@@ -1,0 +1,104 @@
+"""Ablation A3: Goldstein (wastewater) vs Cori (cases) R(t) estimation.
+
+Quantifies §2.1's cost/benefit: the Goldstein method is orders of magnitude
+more expensive (hence the HPC offload) but works from passive wastewater
+surveillance alone; the standard Cori method is nearly free but requires a
+case data stream that post-mandate surveillance no longer provides.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.rng import generator_from_seed
+from repro.common.tabulate import format_table
+from repro.models.seir import discretized_gamma
+from repro.models.wastewater import SyntheticIWSS
+from repro.rt import GoldsteinConfig, estimate_rt_cori, estimate_rt_goldstein
+
+GEN = discretized_gamma(6.0, 3.0, 21)
+
+
+@pytest.fixture(scope="module")
+def iwss():
+    return SyntheticIWSS(n_days=120, seed=21)
+
+
+@pytest.fixture(scope="module")
+def comparison(iwss):
+    dataset = iwss.dataset("obrien")
+    rng = generator_from_seed(5)
+
+    t0 = time.perf_counter()
+    cori = estimate_rt_cori(dataset.true_incidence, GEN)
+    t_cori = time.perf_counter() - t0
+
+    from repro.models.surveillance import POST_MANDATE, observe_cases
+
+    degraded = observe_cases(dataset.true_incidence, POST_MANDATE, rng)
+    t0 = time.perf_counter()
+    cori_degraded = estimate_rt_cori(degraded, GEN)
+    t_degraded = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    goldstein = estimate_rt_goldstein(
+        dataset.concentrations, config=GoldsteinConfig(n_iterations=3000), seed=1
+    )
+    t_goldstein = time.perf_counter() - t0
+
+    return {
+        "cori-perfect-cases": (cori, t_cori),
+        "cori-degraded-cases": (cori_degraded, t_degraded),
+        "goldstein-wastewater": (goldstein, t_goldstein),
+    }, dataset.true_rt
+
+
+def test_ablation_rt_methods_regenerate(benchmark, save_artifact, comparison):
+    estimates, truth = comparison
+    rows = []
+    for name, (estimate, runtime) in estimates.items():
+        rows.append(
+            [
+                name,
+                estimate.mae_against(truth),
+                float(np.mean(estimate.band_width())),
+                runtime,
+            ]
+        )
+    text = format_table(
+        ["method", "MAE vs truth", "mean band width", "runtime (s)"],
+        rows,
+        title="A3: R(t) estimation methods",
+        digits=3,
+    )
+    save_artifact("ablation_rt_methods", text)
+    benchmark(lambda: estimates["goldstein-wastewater"][0].mae_against(truth))
+
+    goldstein, t_goldstein = estimates["goldstein-wastewater"]
+    cori, t_cori = estimates["cori-perfect-cases"]
+    # cost shape: Goldstein is orders of magnitude more expensive
+    assert t_goldstein > 50 * t_cori
+    # benefit shape: from wastewater alone it still tracks the truth
+    assert goldstein.mae_against(truth) < 0.2
+
+
+def test_cori_kernel(benchmark, iwss):
+    incidence = iwss.dataset("obrien").true_incidence
+
+    estimate = benchmark(lambda: estimate_rt_cori(incidence, GEN))
+    assert estimate.n_days > 100
+
+
+def test_goldstein_kernel(benchmark, iwss):
+    observations = iwss.dataset("obrien").concentrations
+    config = GoldsteinConfig(n_iterations=600)
+
+    estimate = benchmark.pedantic(
+        lambda: estimate_rt_goldstein(observations, config=config, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert estimate.n_days > 100

@@ -1,0 +1,71 @@
+"""Ablation A4: vectorized batch MetaRVM vs per-run loop.
+
+The HPC-Python guideline this library is built on: the Saltelli reference
+and PCE designs need thousands of model evaluations, which the batch
+evaluator runs as one vectorized numpy program over (batch × groups)
+arrays.  This ablation measures the speedup over looping single runs, and
+asserts the two paths agree exactly under common random numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.rng import generator_from_seed
+from repro.common.tabulate import format_table
+from repro.models.metarvm import MetaRVM, MetaRVMConfig
+from repro.models.parameters import GSA_PARAMETER_SPACE
+
+MODEL = MetaRVM(MetaRVMConfig())
+DESIGN = GSA_PARAMETER_SPACE.sample(128, generator_from_seed(0))
+
+
+def loop_evaluate(design: np.ndarray, seed: int) -> np.ndarray:
+    """The naive path: one run_batch call per parameter set."""
+    return np.array(
+        [MODEL.total_hospitalizations(row[None, :], seed=seed)[0] for row in design]
+    )
+
+
+def test_vectorized_matches_loop_exactly(benchmark):
+    """Common random numbers make both paths bit-identical."""
+    y_loop = loop_evaluate(DESIGN[:16], seed=3)
+    y_vec = benchmark.pedantic(
+        lambda: MODEL.total_hospitalizations(DESIGN[:16], seed=3), rounds=2, iterations=1
+    )
+    assert np.array_equal(y_loop, y_vec)
+
+
+def test_ablation_vectorization_regenerate(benchmark, save_artifact):
+    t0 = time.perf_counter()
+    loop_evaluate(DESIGN, seed=1)
+    t_loop = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    MODEL.total_hospitalizations(DESIGN, seed=1)
+    t_vec = time.perf_counter() - t0
+    text = format_table(
+        ["path", "runtime (s)", "evals/s"],
+        [
+            ["per-run loop", t_loop, len(DESIGN) / t_loop],
+            ["vectorized batch", t_vec, len(DESIGN) / t_vec],
+        ],
+        title=f"A4: MetaRVM evaluation paths ({len(DESIGN)} parameter sets)",
+        digits=3,
+    )
+    text += f"\n\nvectorization speedup: {t_loop / t_vec:.1f}x"
+    save_artifact("ablation_vectorization", text)
+    benchmark(lambda: t_loop / t_vec)
+    assert t_vec < t_loop / 3
+
+
+def test_loop_kernel(benchmark):
+    y = benchmark.pedantic(lambda: loop_evaluate(DESIGN[:32], seed=1), rounds=2, iterations=1)
+    assert y.shape == (32,)
+
+
+def test_vectorized_kernel(benchmark):
+    y = benchmark(lambda: MODEL.total_hospitalizations(DESIGN, seed=1))
+    assert y.shape == (128,)

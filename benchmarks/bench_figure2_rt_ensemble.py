@@ -1,0 +1,76 @@
+"""Figure 2: per-plant R(t) estimates + population-weighted ensemble.
+
+Regenerates the figure's content — four Goldstein estimates with 95% bands
+and the ensemble panel — and benchmarks the expensive kernel (one Goldstein
+MCMC analysis), the step the paper offloads to a batch-scheduled Globus
+Compute endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.wastewater import SyntheticIWSS
+from repro.rt import GoldsteinConfig, estimate_rt_goldstein
+from repro.rt.ensemble import mean_band_width, population_weighted_ensemble
+from repro.workflows.figures import render_figure2
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+
+@pytest.fixture(scope="module")
+def workflow_result():
+    return run_wastewater_workflow(
+        data_start_day=110.0,
+        sim_days=6.0,
+        goldstein_iterations=1500,
+        seed=17,
+    )
+
+
+def test_figure2_regenerate(benchmark, save_artifact, save_svg, workflow_result):
+    result = workflow_result
+    assert len(result.plant_estimates) == 4
+    # shape claims of the figure: every estimate tracks the truth, and the
+    # ensemble band is narrower than the typical individual band
+    for plant, metrics in result.plant_metrics().items():
+        assert metrics["mae"] < 0.3, plant
+    individual = np.mean(
+        [mean_band_width(e) for e in result.plant_estimates.values()]
+    )
+    assert mean_band_width(result.ensemble) < individual
+    save_artifact("figure2", render_figure2(result))
+    from repro.workflows.figures import figure2_svg
+
+    save_svg("figure2", figure2_svg(result))
+    benchmark(lambda: render_figure2(result))
+
+
+def test_goldstein_analysis_kernel(benchmark):
+    """The per-plant R(t) estimation the workflow queues as a batch job."""
+    iwss = SyntheticIWSS(n_days=120)
+    observations = iwss.dataset("obrien").concentrations
+    config = GoldsteinConfig(n_iterations=800)
+
+    estimate = benchmark.pedantic(
+        lambda: estimate_rt_goldstein(observations, config=config, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert estimate.n_days > 100
+
+
+def test_ensemble_pooling_kernel(benchmark):
+    """Sample-wise population-weighted pooling of four posteriors."""
+    iwss = SyntheticIWSS(n_days=120)
+    config = GoldsteinConfig(n_iterations=600)
+    estimates = {
+        name: estimate_rt_goldstein(
+            iwss.dataset(name).concentrations, config=config, seed=2
+        )
+        for name in iwss.plant_names()
+    }
+    weights = iwss.population_weights()
+
+    ensemble = benchmark(lambda: population_weighted_ensemble(estimates, weights))
+    assert ensemble.n_days > 100

@@ -1,0 +1,45 @@
+"""Figure 3: the MetaRVM compartments, transitions, and parameters.
+
+Regenerates the compartment/transition structure and benchmarks the model
+itself: single stochastic runs and the vectorized batch evaluator that the
+GSA experiments depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import generator_from_seed
+from repro.models.metarvm import COMPARTMENTS, MetaRVM, MetaRVMConfig, transition_graph
+from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams
+from repro.workflows.figures import render_figure3
+
+
+def test_figure3_regenerate(benchmark, save_artifact):
+    graph = transition_graph()
+    # the paper's structure: 9 compartments, 13 transitions, D absorbing
+    assert set(graph.nodes) == set(COMPARTMENTS)
+    assert graph.number_of_edges() == 13
+    assert graph.out_degree("D") == 0
+    assert graph.edges["S", "E"]["parameters"] == "ts"
+    save_artifact("figure3", render_figure3())
+    benchmark(transition_graph)
+
+
+def test_single_run_kernel(benchmark):
+    model = MetaRVM(MetaRVMConfig())
+
+    result = benchmark(lambda: model.run(MetaRVMParams(), seed=1))
+    totals = result.trajectories[0].sum(axis=1)
+    assert np.allclose(totals, np.asarray(model.config.population, float))
+
+
+def test_batch_evaluation_kernel(benchmark):
+    """256 parameter sets, common random numbers, one vectorized call."""
+    model = MetaRVM(MetaRVMConfig())
+    design = GSA_PARAMETER_SPACE.sample(256, generator_from_seed(0))
+
+    y = benchmark(lambda: model.total_hospitalizations(design, seed=1))
+    assert y.shape == (256,)
+    assert y.min() >= 0

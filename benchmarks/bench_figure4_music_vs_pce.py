@@ -1,0 +1,89 @@
+"""Figure 4: MUSIC vs PCE first-order Sobol index convergence (fixed seed).
+
+Regenerates the paper's headline GSA comparison: per-parameter index
+estimates as a function of sample size for the MUSIC active-learning
+algorithm (teal in the paper) and the degree-3 PCE baseline (magenta),
+against a large-Saltelli reference.  The *shape* claim checked here is the
+paper's: MUSIC stabilizes with fewer samples than the one-shot PCE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gsa.music import MusicConfig, MusicGSA
+from repro.models.parameters import GSA_PARAMETER_SPACE
+from repro.workflows.figures import render_figure4
+from repro.workflows.music_gsa import make_qoi, run_music_vs_pce
+
+BUDGET = 160
+MUSIC_CONFIG = MusicConfig(
+    n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
+)
+
+
+@pytest.fixture(scope="module")
+def figure4_data():
+    return run_music_vs_pce(
+        seed=0,
+        budget=BUDGET,
+        music_config=MUSIC_CONFIG,
+        reference_n=1024,
+        use_emews=True,
+    )
+
+
+def test_figure4_regenerate(benchmark, save_artifact, save_svg, figure4_data):
+    data = figure4_data
+    save_artifact("figure4", render_figure4(data))
+    from repro.workflows.figures import figure4_svg
+
+    save_svg("figure4", figure4_svg(data))
+    benchmark(lambda: render_figure4(data))
+
+    # Who wins: MUSIC stabilizes earlier than PCE (the paper's claim).
+    stab = data.stabilization(tol=0.05)
+    assert stab["music"]["n_stable"] < stab["pce"]["n_stable"]
+    # Both methods end near the reference.
+    errors = data.final_errors()
+    assert errors["music"] < 0.1
+    assert errors["pce"] < 0.15
+    # Parameter story: ts dominant, phd inert for an admissions QoI.
+    assert data.reference[0] == data.reference.max()
+    assert abs(data.reference[4]) < 0.05
+
+
+def test_music_iteration_kernel(benchmark):
+    """One MUSIC acquisition step (propose + evaluate + tell) at n~60."""
+    qoi = make_qoi(0)
+    music = MusicGSA(GSA_PARAMETER_SPACE, MUSIC_CONFIG, seed=0)
+    design = music.initial_design()
+    music.tell(design, qoi(design))
+    for _ in range(30):
+        point = music.propose()
+        music.tell(point, qoi(point))
+
+    def one_step():
+        point = music.propose()
+        music.tell(point, qoi(point))
+        return point
+
+    point = benchmark.pedantic(one_step, rounds=5, iterations=1)
+    assert point.shape == (1, 5)
+
+
+def test_pce_fit_kernel(benchmark):
+    """One degree-3 PCE fit + analytic indices at n=150 (the one-shot cost)."""
+    from repro.gsa.pce import PCEModel
+
+    rng = np.random.default_rng(0)
+    x = rng.random((150, 5))
+    qoi = make_qoi(0)
+    y = qoi(GSA_PARAMETER_SPACE.scale(x))
+
+    def fit():
+        return PCEModel(dim=5, degree=3).fit(x, y).first_order()
+
+    indices = benchmark(fit)
+    assert indices.shape == (5,)

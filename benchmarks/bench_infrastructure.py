@@ -1,0 +1,116 @@
+"""Infrastructure micro-benchmarks: the platform layers under the science.
+
+Not tied to one paper figure; these keep the substrate costs visible —
+task-database throughput on both backends, discrete-event loop throughput,
+AERO trigger propagation, and provenance graph construction — so that
+regressions in the plumbing can't silently distort the workflow results.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.aero.provenance import version_graph
+from repro.emews import EmewsService, as_completed
+from repro.emews.db import TaskDatabase
+from repro.emews.sqlite_db import SqliteTaskDatabase
+from repro.sim import SimulationEnvironment
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_task_db_submit_pop_complete_throughput(benchmark, backend):
+    """One full task lifecycle through the database, batched x200."""
+
+    def lifecycle():
+        db = TaskDatabase() if backend == "memory" else SqliteTaskDatabase()
+        ids = [db.submit("bench", "t", {"i": i}) for i in range(200)]
+        while (task := db.pop_task("t", "w")) is not None:
+            db.complete_task(task.task_id, task.payload_obj())
+        return db.counts()["complete"]
+
+    completed = benchmark.pedantic(lifecycle, rounds=3, iterations=1)
+    assert completed == 200
+
+
+def test_threaded_pool_throughput(benchmark):
+    """End-to-end task throughput with 4 worker threads (trivial payloads)."""
+
+    def run():
+        svc = EmewsService()
+        svc.start_local_pool("t", lambda p: p, n_workers=4)
+        queue = svc.make_queue("bench")
+        futures = queue.submit_tasks("t", [{"i": i} for i in range(300)])
+        for future in as_completed(futures, timeout=60):
+            pass
+        svc.finalize(queue)
+        return len(futures)
+
+    count = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert count == 300
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw discrete-event dispatch rate (schedule + fire 50k events)."""
+
+    def run():
+        env = SimulationEnvironment()
+        for i in range(50_000):
+            env.schedule(i * 1e-6, lambda: None)
+        env.run()
+        return env.events_fired
+
+    fired = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert fired == 50_000
+
+
+def test_timer_cascade_throughput(benchmark):
+    """A year of daily timers across 20 flows (the AERO polling load)."""
+    from repro.globus.auth import AuthService
+    from repro.globus.timers import TimerService
+
+    def run():
+        env = SimulationEnvironment()
+        auth = AuthService(env)
+        ident = auth.register_identity("bench")
+        token = auth.issue_token(ident, ["timers"], lifetime=1000.0)
+        timers = TimerService(auth, env)
+        counter = [0]
+        for k in range(20):
+            timers.create_timer(
+                token,
+                lambda: counter.__setitem__(0, counter[0] + 1),
+                interval=1.0,
+                max_firings=365,
+            )
+        env.run()
+        return counter[0]
+
+    fired = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert fired == 20 * 365
+
+
+def test_provenance_graph_scaling(benchmark):
+    """Version-graph construction over a thousand-version metadata DB."""
+    from repro.aero.metadata import MetadataDatabase
+
+    env = SimulationEnvironment()
+    db = MetadataDatabase(env)
+    upstream = db.register_data("raw", "bench")
+    for _ in range(100):
+        db.add_version(upstream.data_id, checksum="c", size=1, uri="c:p", created_by="f")
+    derived = [db.register_data(f"out-{i}", "bench") for i in range(10)]
+    for obj in derived:
+        for version in range(1, 101):
+            db.add_version(
+                obj.data_id,
+                checksum="c",
+                size=1,
+                uri="c:p",
+                created_by="f",
+                derived_from=[(upstream.data_id, version)],
+            )
+
+    graph = benchmark(lambda: version_graph(db))
+    assert graph.number_of_nodes() == 1100
+    assert nx.is_directed_acyclic_graph(graph)

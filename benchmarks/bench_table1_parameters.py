@@ -1,0 +1,36 @@
+"""Table 1: MetaRVM model parameters and ranges for GSA.
+
+Regenerates the paper's Table 1 from :data:`GSA_PARAMETER_SPACE` and
+benchmarks the parameter-space machinery the GSA stack leans on (scaling a
+large design between the unit cube and natural units).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import generator_from_seed
+from repro.models.parameters import GSA_PARAMETER_SPACE, table1_rows
+from repro.workflows.figures import render_table1
+
+
+def test_table1_regenerate(benchmark, save_artifact):
+    rows = table1_rows()
+    assert [r[0] for r in rows] == ["ts", "tv", "pea", "psh", "phd"]
+    assert rows[0][2] == "(0.1, 0.9)"
+    assert rows[4][2] == "(0, 0.3)"
+    save_artifact("table1", render_table1())
+    benchmark(render_table1)
+
+
+def test_parameter_space_scaling_throughput(benchmark):
+    rng = generator_from_seed(0)
+    unit = rng.random((100_000, GSA_PARAMETER_SPACE.dim))
+
+    def roundtrip():
+        natural = GSA_PARAMETER_SPACE.scale(unit)
+        return GSA_PARAMETER_SPACE.unscale(natural)
+
+    back = benchmark(roundtrip)
+    assert np.allclose(back, unit)

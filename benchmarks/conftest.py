@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures: the rendered
+text is printed (visible with ``-s``) and also written to
+``benchmarks/output/<name>.txt`` so artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory the rendered tables/figures are written to."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    """Write rendered text to the artifact directory and echo it."""
+
+    def save(name: str, text: str) -> str:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name} -> {path}]")
+        print(text)
+        return text
+
+    return save
+
+
+@pytest.fixture(scope="session")
+def save_svg(artifact_dir):
+    """Write an SVG figure to the artifact directory."""
+
+    def save(name: str, svg: str) -> str:
+        path = artifact_dir / f"{name}.svg"
+        path.write_text(svg)
+        print(f"\n[{name} -> {path}]")
+        return svg
+
+    return save

@@ -1,0 +1,85 @@
+"""From monitoring to planning: forecast incidence and hospital load.
+
+Extends the paper's monitoring pipeline one step toward decision support:
+estimate R(t) from wastewater with the Goldstein method, then project the
+posterior forward through the renewal equation to forecast incidence and
+hospital admissions with uncertainty bands — including the probability of
+exceeding a planning threshold.
+
+Usage::
+
+    python examples/forecasting.py [horizon_days]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.common.tabulate import format_table
+from repro.models import SyntheticIWSS
+from repro.rt import (
+    GoldsteinConfig,
+    estimate_rt_goldstein,
+    forecast_hospitalizations,
+    forecast_incidence,
+)
+
+
+def main(horizon: int = 28) -> None:
+    iwss = SyntheticIWSS(n_days=120)
+    dataset = iwss.dataset("obrien")
+
+    print("Estimating R(t) from O'Brien wastewater (Goldstein method)...")
+    estimate = estimate_rt_goldstein(
+        dataset.concentrations, config=GoldsteinConfig(n_iterations=3000), seed=0
+    )
+    r_now = estimate.median[-1]
+    print(
+        f"current R(t): {r_now:.2f} "
+        f"[{estimate.lower[-1]:.2f}, {estimate.upper[-1]:.2f}]\n"
+    )
+
+    forecast = forecast_incidence(
+        estimate, dataset.true_incidence, horizon=horizon, damping=0.03
+    )
+    hosp = forecast_hospitalizations(forecast, hospitalization_fraction=0.03)
+    current = dataset.true_incidence[-1]
+    threshold = 1.5 * current
+
+    rows = []
+    for i in range(0, horizon, 7):
+        rows.append(
+            [
+                int(forecast.times[i]),
+                float(forecast.median[i]),
+                float(forecast.lower[i]),
+                float(forecast.upper[i]),
+                float(hosp["median"][i]),
+                float(forecast.exceeds(threshold)[i]),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "day ahead",
+                "incidence (median)",
+                "lo",
+                "hi",
+                "admissions (median)",
+                f"P(incidence > {threshold:.0f})",
+            ],
+            rows,
+            digits=3,
+        )
+    )
+    direction = "growing" if forecast.median[-1] > current else "declining"
+    print(
+        f"\n{horizon}-day outlook: incidence {direction} from ~{current:.0f}/day "
+        f"to ~{forecast.median[-1]:.0f}/day (median path)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 28)

@@ -1,0 +1,59 @@
+"""Use case 2 end to end: surrogate-based GSA of MetaRVM via EMEWS.
+
+Reproduces the paper's §3 experiments at reduced (flag-adjustable) scale:
+
+- Figure 4: MUSIC active-learning GSA vs. degree-3 PCE convergence of
+  first-order Sobol indices, at a fixed random seed;
+- Figure 5: the GSA repeated independently across stochastic replicates,
+  interleaved through EMEWS futures.
+
+Usage::
+
+    python examples/gsa_metarvm.py [budget] [n_replicates]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gsa.music import MusicConfig
+from repro.workflows.figures import render_figure4, render_figure5, render_table1
+from repro.workflows.music_gsa import run_music_vs_pce, run_replicate_gsa
+
+
+def main(budget: int = 120, n_replicates: int = 5) -> None:
+    print(render_table1())
+    print()
+
+    music_config = MusicConfig(
+        n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
+    )
+
+    print(
+        f"Figure 4 experiment: MUSIC vs PCE, budget {budget} evaluations, "
+        "fixed seed, evaluations through an EMEWS task database...\n"
+    )
+    figure4 = run_music_vs_pce(
+        seed=0, budget=budget, music_config=music_config, reference_n=1024
+    )
+    print(render_figure4(figure4))
+    print()
+
+    print(
+        f"Figure 5 experiment: {n_replicates} interleaved replicates, "
+        f"budget {budget // 2} each...\n"
+    )
+    figure5 = run_replicate_gsa(
+        n_replicates=n_replicates,
+        budget=budget // 2,
+        music_config=MusicConfig(
+            n_initial=20, refit_every=10, surrogate_mc=256, n_candidates=64
+        ),
+    )
+    print(render_figure5(figure5))
+
+
+if __name__ == "__main__":
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    n_replicates = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(budget, n_replicates)

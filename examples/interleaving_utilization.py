@@ -1,0 +1,67 @@
+"""The §3.2 scheduling argument, quantified: interleaved vs sequential.
+
+Simulates the MUSIC workload pattern (an initial batch per instance, then
+strictly sequential single evaluations) against a worker pool, under both
+scheduling modes, and reports exact makespan and utilization from the
+discrete-event substrate.
+
+Usage::
+
+    python examples/interleaving_utilization.py
+"""
+
+from __future__ import annotations
+
+from repro.common.tabulate import format_table
+from repro.workflows.utilization import compare_scheduling_modes
+
+
+def main() -> None:
+    scenarios = [
+        # (label, instances, n_initial, n_steps, slots)
+        ("paper-scale (10 x 30+170, 32 slots)", 10, 30, 170, 32),
+        ("pool matches instances (10 x 30+170, 10 slots)", 10, 30, 170, 10),
+        ("few big batches (4 x 64+50, 64 slots)", 4, 64, 50, 64),
+    ]
+    rows = []
+    for label, n_instances, n_initial, n_steps, n_slots in scenarios:
+        results = compare_scheduling_modes(
+            n_instances=n_instances,
+            n_initial=n_initial,
+            n_steps=n_steps,
+            n_slots=n_slots,
+            task_duration=0.001,
+        )
+        seq = results["sequential"]
+        inter = results["interleaved"]
+        rows.append(
+            [
+                label,
+                round(seq.makespan, 3),
+                round(seq.utilization, 3),
+                round(inter.makespan, 3),
+                round(inter.utilization, 3),
+                round(seq.makespan / inter.makespan, 2),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scenario",
+                "seq makespan",
+                "seq util",
+                "inter makespan",
+                "inter util",
+                "speedup",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nInterleaving keeps the pool busy through the sequential tail of "
+        "each MUSIC instance — the effect §3.2 of the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Goldstein (wastewater) vs Cori (cases): accuracy and cost trade-off.
+
+The paper motivates the Goldstein method as "significantly more
+computationally expensive than more standard R(t) estimation methods" but
+able to work from passive wastewater surveillance when case reporting has
+ended.  This example quantifies both halves of that statement on synthetic
+data with known truth:
+
+- Cori on (latent, perfectly observed) case incidence: cheap and accurate —
+  but requires the case data stream that no longer exists post-mandates;
+- Cori on a *degraded* case stream (20% reporting, weekday effects) — what
+  case-based estimation actually has to work with;
+- Goldstein on noisy wastewater concentrations — slower, but close to the
+  truth with no case data at all.
+
+Usage::
+
+    python examples/rt_method_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.common.rng import generator_from_seed
+from repro.common.tabulate import format_table
+from repro.models import SyntheticIWSS
+from repro.models.seir import discretized_gamma
+from repro.rt import GoldsteinConfig, estimate_rt_cori, estimate_rt_goldstein
+
+
+def degraded_cases(incidence: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A post-mandate case stream (see repro.models.surveillance)."""
+    from repro.models.surveillance import POST_MANDATE, observe_cases
+
+    return observe_cases(incidence, POST_MANDATE, rng)
+
+
+def main() -> None:
+    iwss = SyntheticIWSS(n_days=120)
+    dataset = iwss.dataset("obrien")
+    gen = discretized_gamma(6.0, 3.0, 21)
+    rng = generator_from_seed(5)
+
+    rows = []
+
+    t0 = time.perf_counter()
+    cori_perfect = estimate_rt_cori(dataset.true_incidence, gen)
+    t_cori = time.perf_counter() - t0
+    rows.append(
+        [
+            "Cori, perfect case data",
+            round(cori_perfect.mae_against(dataset.true_rt), 3),
+            round(float(np.mean(cori_perfect.band_width())), 3),
+            f"{t_cori * 1e3:.1f} ms",
+        ]
+    )
+
+    t0 = time.perf_counter()
+    cori_degraded = estimate_rt_cori(degraded_cases(dataset.true_incidence, rng), gen)
+    t_degraded = time.perf_counter() - t0
+    rows.append(
+        [
+            "Cori, degraded case data",
+            round(cori_degraded.mae_against(dataset.true_rt), 3),
+            round(float(np.mean(cori_degraded.band_width())), 3),
+            f"{t_degraded * 1e3:.1f} ms",
+        ]
+    )
+
+    t0 = time.perf_counter()
+    goldstein = estimate_rt_goldstein(
+        dataset.concentrations, config=GoldsteinConfig(n_iterations=4000), seed=1
+    )
+    t_goldstein = time.perf_counter() - t0
+    rows.append(
+        [
+            "Goldstein, wastewater only",
+            round(goldstein.mae_against(dataset.true_rt), 3),
+            round(float(np.mean(goldstein.band_width())), 3),
+            f"{t_goldstein:.2f} s",
+        ]
+    )
+
+    print(format_table(["method", "MAE vs truth", "mean band width", "runtime"], rows))
+    print(
+        f"\nGoldstein costs ~{t_goldstein / max(t_cori, 1e-9):,.0f}x Cori — "
+        "the gap that motivates running it through HPC (batch-scheduled "
+        "Globus Compute) in the paper's workflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of the OSPREY epidemiological-workflow platform.
+
+This package reimplements, in pure Python, every system described in
+*"Automation and Collaboration in Complex Epidemiological Workflows with
+OSPREY"* (Ozik et al., ICPP 2025):
+
+- :mod:`repro.sim` — deterministic discrete-event simulation substrate.
+- :mod:`repro.globus` — simulated Globus services (Auth, Collections,
+  Transfer, Compute, Flows, Timers).
+- :mod:`repro.hpc` — simulated HPC cluster and batch scheduler.
+- :mod:`repro.aero` — the AERO event-driven research-automation platform
+  (metadata database, ingestion and analysis flows, provenance).
+- :mod:`repro.emews` — the EMEWS task database, futures, and worker pools.
+- :mod:`repro.models` — SEIR and MetaRVM epidemic models plus the synthetic
+  wastewater surveillance data generator.
+- :mod:`repro.rt` — effective-reproduction-number estimation (Goldstein
+  semiparametric Bayesian method, Cori baseline, population-weighted
+  ensembles).
+- :mod:`repro.gsa` — global sensitivity analysis (Saltelli Sobol estimators,
+  Gaussian-process surrogates, MUSIC active learning, PCE baseline).
+- :mod:`repro.workflows` — the paper's two end-to-end use cases and the
+  figure/table regeneration entry points.
+
+The public API most users need is re-exported from the subpackages; see the
+README quickstart and :mod:`repro.workflows`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,57 @@
+"""AERO — Automated Event-based Research Orchestration.
+
+Reimplementation of the AERO platform the paper's first use case is built on
+(§2): "an open-source hybrid and asynchronous data research automation
+platform ... storing metadata centrally and integrating distributed
+user-owned and -managed resources for data storage and workflow execution."
+
+The key structural properties reproduced here:
+
+- **Central metadata, distributed data.**  The metadata database
+  (:mod:`repro.aero.metadata`) stores checksums, timestamps, version numbers
+  and storage URIs — never payload bytes.  Flows move data directly between
+  storage collections and compute endpoints ("the data itself never passes
+  through the AERO server, only the metadata").
+- **Ingestion flows** (:mod:`repro.aero.flows`) poll a data source on a
+  timer, detect updates by checksum, stage data to a compute endpoint, run a
+  user transformation function, upload outputs, and register version
+  metadata.  Registration returns UUIDs identifying the outputs.
+- **Analysis flows** register data UUIDs as inputs and are *triggered* when
+  those inputs gain new versions (ANY or ALL policy), running a user
+  analysis function through Globus Compute.
+- **Provenance** (:mod:`repro.aero.provenance`): every derived version
+  records exactly which input versions produced it, yielding the Figure 1
+  dependency graph.
+"""
+
+from repro.aero.metadata import DataObject, DataVersion, MetadataDatabase
+from repro.aero.sources import CallableSource, DataSource, StaticSource
+from repro.aero.flows import (
+    AnalysisFlow,
+    FlowRunRecord,
+    IngestionFlow,
+    TriggerPolicy,
+)
+from repro.aero.platform import AeroPlatform
+from repro.aero.client import AeroClient
+from repro.aero.provenance import flow_graph, version_graph
+from repro.aero.search import CatalogEntry, MetadataCatalog
+
+__all__ = [
+    "DataObject",
+    "DataVersion",
+    "MetadataDatabase",
+    "DataSource",
+    "StaticSource",
+    "CallableSource",
+    "IngestionFlow",
+    "AnalysisFlow",
+    "FlowRunRecord",
+    "TriggerPolicy",
+    "AeroPlatform",
+    "AeroClient",
+    "flow_graph",
+    "version_graph",
+    "CatalogEntry",
+    "MetadataCatalog",
+]

@@ -1,0 +1,223 @@
+"""The user-facing AERO Python API.
+
+"When registering an ingestion flow using the AERO API, a user specifies the
+polling frequency, a URL from which to retrieve the data, a function to run
+on the data, any other arguments to that function, and a Globus Compute
+endpoint where the function will run. ... The registration returns one or
+more UUIDs that uniquely identify the output data.  These UUIDs can then be
+used to specify that data as input to an AERO analysis flow." (§2.2)
+
+:class:`AeroClient` is that API: it registers the user's function with the
+compute service, wraps it in the AERO staging/upload/metadata code (see
+:mod:`repro.aero.flows`), and wires triggers through the metadata database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.globus.auth import Identity, Token
+from repro.aero.flows import AnalysisFlow, FlowRunRecord, IngestionFlow, TriggerPolicy
+from repro.aero.metadata import DataVersion
+from repro.aero.platform import AeroPlatform
+from repro.aero.sources import DataSource
+
+
+class AeroClient:
+    """A user session against an :class:`AeroPlatform`.
+
+    Parameters
+    ----------
+    platform:
+        The deployment to talk to.
+    identity, token:
+        The user's identity and a token with ``aero``, ``transfer``,
+        ``compute`` and ``timers`` scopes (as issued by
+        :meth:`AeroPlatform.create_user`).
+    """
+
+    def __init__(self, platform: AeroPlatform, identity: Identity, token: Token) -> None:
+        self.platform = platform
+        self.identity = identity
+        self.token = token
+        self._flows: Dict[str, object] = {}
+
+    # -------------------------------------------------------------- register
+    def register_ingestion_flow(
+        self,
+        name: str,
+        *,
+        source: DataSource,
+        function: Callable[[str], Mapping[str, str]],
+        endpoint: str,
+        storage: str,
+        outputs: Sequence[str],
+        interval: float = 1.0,
+        max_retries: int = 0,
+        retry_delay: float = 0.01,
+    ) -> Dict[str, str]:
+        """Register a polling ingestion flow.
+
+        Parameters
+        ----------
+        source:
+            The pollable data source (the paper's "URL").
+        function:
+            Validation/transformation function: ``fn(raw_text) -> {output
+            name: content}``.
+        endpoint:
+            Name of an attached compute endpoint where the function runs.
+        storage:
+            Name of the user's storage collection for raw and derived data.
+        outputs:
+            Declared output names; the function must return exactly these.
+        interval:
+            Polling frequency in days (``1.0`` = the paper's daily polling).
+        max_retries, retry_delay:
+            Robustness policy: re-attempt a failed run up to ``max_retries``
+            times, ``retry_delay`` days apart (ingestion retries re-poll the
+            source).
+
+        Returns
+        -------
+        dict
+            Mapping output name → data UUID (usable as analysis-flow inputs).
+        """
+        self._check_name(name)
+        bundle = self.platform.endpoint_bundle(endpoint)
+        collection = self.platform.storage.get_collection(storage)
+        self.platform.grant_staging_access(endpoint, self.identity)
+        function_id = self.platform.compute.register_function(
+            self.token, function, name=f"{name}:transform"
+        )
+        flow = IngestionFlow(
+            name=name,
+            platform=self.platform,
+            token=self.token,
+            bundle=bundle,
+            storage=collection,
+            source=source,
+            function_id=function_id,
+            output_names=list(outputs),
+            owner=self.identity.username,
+            interval=interval,
+            max_retries=max_retries,
+            retry_delay=retry_delay,
+        )
+        self._flows[name] = flow
+        return flow.output_ids()
+
+    def register_analysis_flow(
+        self,
+        name: str,
+        *,
+        inputs: Mapping[str, str],
+        function: Callable[[Mapping[str, str]], Mapping[str, str]],
+        endpoint: str,
+        storage: str,
+        outputs: Sequence[str],
+        policy: TriggerPolicy = TriggerPolicy.ANY,
+        max_retries: int = 0,
+        retry_delay: float = 0.01,
+    ) -> Dict[str, str]:
+        """Register a data-triggered analysis flow.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping label → data UUID.  "When the data identified by that
+            UUID is updated, then any analysis flows that have registered
+            that UUID as input are triggered."
+        policy:
+            ``TriggerPolicy.ANY`` (default, single-input flows) or
+            ``TriggerPolicy.ALL`` (the aggregation flow: run only when every
+            input has produced new data).
+
+        Returns
+        -------
+        dict
+            Mapping output name → data UUID.
+        """
+        self._check_name(name)
+        bundle = self.platform.endpoint_bundle(endpoint)
+        collection = self.platform.storage.get_collection(storage)
+        self.platform.grant_staging_access(endpoint, self.identity)
+        function_id = self.platform.compute.register_function(
+            self.token, function, name=f"{name}:analysis"
+        )
+        flow = AnalysisFlow(
+            name=name,
+            platform=self.platform,
+            token=self.token,
+            bundle=bundle,
+            storage=collection,
+            inputs=inputs,
+            policy=policy,
+            function_id=function_id,
+            output_names=list(outputs),
+            owner=self.identity.username,
+            max_retries=max_retries,
+            retry_delay=retry_delay,
+        )
+        self._flows[name] = flow
+        return flow.output_ids()
+
+    def _check_name(self, name: str) -> None:
+        if not name:
+            raise ValidationError("flow name must be non-empty")
+        if name in self._flows:
+            raise ValidationError(f"a flow named {name!r} is already registered")
+
+    # ----------------------------------------------------------------- tokens
+    def renew_token(self, *, lifetime: float = 365.0) -> None:
+        """Re-issue the client's token and propagate it to every flow.
+
+        Long-lived deployments outlast any single access token; renewal
+        swaps in a fresh token for future polls, staging transfers, and
+        compute submissions.  Runs already in flight keep the old token
+        (their transfers were authorized at submission).
+        """
+        self.token = self.platform.auth.refresh(self.token, lifetime=lifetime)
+        for flow in self._flows.values():
+            flow.token = self.token
+
+    # ----------------------------------------------------------------- query
+    def get_flow(self, name: str):
+        """The registered flow object (for counters, cancellation, runs)."""
+        try:
+            return self._flows[name]
+        except KeyError:
+            raise NotFoundError(f"no flow named {name!r}") from None
+
+    def flow_names(self) -> List[str]:
+        """Names of all flows registered through this client."""
+        return sorted(self._flows)
+
+    def runs(self, flow_name: str) -> List[FlowRunRecord]:
+        """Run records of a flow, oldest first."""
+        return list(self.get_flow(flow_name).runs)
+
+    def latest_version(self, data_id: str) -> Optional[DataVersion]:
+        """Most recent version of a data object (or None)."""
+        return self.platform.metadata.latest(data_id)
+
+    def versions(self, data_id: str) -> List[DataVersion]:
+        """All versions of a data object."""
+        return self.platform.metadata.versions(data_id)
+
+    def fetch_content(self, data_id: str, version: Optional[int] = None) -> str:
+        """Download the content of a data version from its storage collection.
+
+        This is the consumer path public-health stakeholders would use: the
+        metadata database supplies the URI, the bytes come straight from the
+        (permissioned) collection.
+        """
+        if version is None:
+            record = self.platform.metadata.latest(data_id)
+            if record is None:
+                raise NotFoundError(f"data object {data_id!r} has no versions yet")
+        else:
+            record = self.platform.metadata.get_version(data_id, version)
+        collection, path = self.platform.storage.resolve_uri(record.uri)
+        return collection.get_text(self.token, path)

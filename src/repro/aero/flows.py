@@ -1,0 +1,576 @@
+"""AERO ingestion and analysis flows and the trigger engine.
+
+This module implements the behaviour of §2.2 of the paper:
+
+**Ingestion flows.**  "AERO will poll the wastewater data source at a user
+specifiable frequency ... If there is a data update, the new data is uploaded
+to a user-specifiable Globus collection ... The data is also temporarily sent
+to a user-specifiable Globus Compute endpoint ... where the validation and
+transformation function is run with the data as input.  The transformed data
+file is then uploaded to the Globus endpoint."  The AERO wrapper around the
+user function (1) stages input data, (2) calls the function, (3) uploads
+outputs, (4) updates the metadata database.
+
+**Analysis flows.**  "Rather than a URL, data UUIDs are specified as inputs.
+If there are multiple input UUIDs, the user can specify that the analysis
+function should be run when either one or all of the inputs are updated."
+
+Both flow kinds execute as *asynchronous chains* over the simulated services:
+a poll firing, a transfer completing, and a compute task finishing are
+distinct events on the simulated timeline, so flows overlap exactly the way
+the paper's Figure 1 workflow does (four R(t) analyses in flight at once, the
+aggregation firing only when all four have produced new data).
+
+Function contracts
+------------------
+- transform function: ``fn(raw_text: str) -> Dict[output_name, str]``
+- analysis function: ``fn(inputs: Dict[label, str]) -> Dict[output_name, str]``
+
+Functions may declare a simulated execution cost with
+:func:`repro.globus.compute.simulated_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError, ValidationError
+from repro.common.hashing import content_checksum
+from repro.globus.auth import Token
+from repro.globus.collections import Collection
+from repro.globus.compute import ComputeFuture
+from repro.globus.transfer import TransferStatus, TransferTask
+from repro.aero.metadata import DataObject, DataVersion
+from repro.aero.platform import AeroPlatform, EndpointBundle
+from repro.aero.sources import DataSource
+
+
+class TriggerPolicy(Enum):
+    """When a multi-input analysis flow runs."""
+
+    ANY = "any"  # run whenever any input is updated
+    ALL = "all"  # run only once every input has an unconsumed update
+
+
+class RunStatus(Enum):
+    """Lifecycle of one flow run."""
+
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class FlowRunRecord:
+    """Log of a single ingestion or analysis run."""
+
+    run_id: str
+    flow_name: str
+    started_at: float
+    status: RunStatus = RunStatus.ACTIVE
+    completed_at: Optional[float] = None
+    error: Optional[str] = None
+    steps: List[Tuple[float, str, str]] = field(default_factory=list)
+    consumed: Dict[str, int] = field(default_factory=dict)  # data_id -> version
+    outputs: Dict[str, DataVersion] = field(default_factory=dict)
+
+    def log(self, now: float, step: str, detail: str = "") -> None:
+        """Append a timestamped step entry."""
+        self.steps.append((now, step, detail))
+
+    @property
+    def done(self) -> bool:
+        """True once the run finished (either way)."""
+        return self.status is not RunStatus.ACTIVE
+
+
+class _BaseFlow:
+    """Shared machinery: staging, output upload, version registration,
+    and failure retries.
+
+    ``max_retries``/``retry_delay`` implement AERO's robustness behaviour:
+    a failed run (staging transfer failure, function exception, endpoint
+    walltime) is re-attempted up to ``max_retries`` times, ``retry_delay``
+    simulated days apart, before the failure is left standing in the run
+    log.  The counter resets after any successful run.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: AeroPlatform,
+        token: Token,
+        bundle: EndpointBundle,
+        storage: Collection,
+        function_id: str,
+        output_names: Sequence[str],
+        owner: str,
+        max_retries: int = 0,
+        retry_delay: float = 0.01,
+    ) -> None:
+        if not name:
+            raise ValidationError("flow name must be non-empty")
+        if not output_names:
+            raise ValidationError(f"flow {name!r} must declare at least one output")
+        if len(set(output_names)) != len(output_names):
+            raise ValidationError(f"flow {name!r} has duplicate output names")
+        self.name = name
+        self.platform = platform
+        self.token = token
+        self.bundle = bundle
+        self.storage = storage
+        self.function_id = function_id
+        self.owner = owner
+        if max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if retry_delay < 0:
+            raise ValidationError("retry_delay must be >= 0")
+        self.max_retries = int(max_retries)
+        self.retry_delay = float(retry_delay)
+        self.retries_used = 0
+        self.runs: List[FlowRunRecord] = []
+        self._run_counter = 0
+        self._running = False
+        #: Logical output objects, registered at flow registration time so
+        #: that "the registration returns one or more UUIDs that uniquely
+        #: identify the output data" (§2.2).
+        self.output_objects: Dict[str, DataObject] = {
+            out: platform.metadata.register_data(f"{name}/{out}", owner)
+            for out in output_names
+        }
+
+    # ------------------------------------------------------------------ api
+    def output_ids(self) -> Dict[str, str]:
+        """Mapping output name → data UUID (what registration returns)."""
+        return {name: obj.data_id for name, obj in self.output_objects.items()}
+
+    @property
+    def running(self) -> bool:
+        """True while a run of this flow is in flight."""
+        return self._running
+
+    # ------------------------------------------------------------- internals
+    def _new_run(self) -> FlowRunRecord:
+        self._run_counter += 1
+        record = FlowRunRecord(
+            run_id=f"{self.name}:run-{self._run_counter:05d}",
+            flow_name=self.name,
+            started_at=self.platform.env.now,
+        )
+        self.runs.append(record)
+        self._running = True
+        return record
+
+    def _finish(self, record: FlowRunRecord, status: RunStatus, error: Optional[str] = None) -> None:
+        record.status = status
+        record.error = error
+        record.completed_at = self.platform.env.now
+        record.log(self.platform.env.now, "finish", status.value)
+        self._running = False
+        if status is RunStatus.SUCCEEDED:
+            self.retries_used = 0
+        elif status is RunStatus.FAILED and self.retries_used < self.max_retries:
+            self.retries_used += 1
+            record.log(
+                self.platform.env.now,
+                "schedule-retry",
+                f"attempt {self.retries_used}/{self.max_retries} "
+                f"in {self.retry_delay} days",
+            )
+            self.platform.env.schedule(
+                self.retry_delay, self._retry, label=f"{self.name}:retry"
+            )
+            return  # the retry owns the follow-up; skip normal after-run
+        self._after_run(record)
+
+    def _retry(self) -> None:
+        """Re-attempt after a failure (subclasses define what a retry is)."""
+
+    def _after_run(self, record: FlowRunRecord) -> None:
+        """Hook for subclasses (analysis flows re-check pending triggers)."""
+
+    def _publish_outputs(
+        self,
+        record: FlowRunRecord,
+        results: Mapping[str, str],
+        derived_from: Sequence[Tuple[str, int]],
+    ) -> None:
+        """Upload function outputs from staging to storage, register versions.
+
+        The function produced its outputs "locally" on the endpoint; the
+        wrapper writes them to the endpoint's staging collection and then
+        transfers each to the user's storage collection, registering a
+        metadata version as each transfer lands.
+        """
+        unknown = set(results) - set(self.output_objects)
+        if unknown:
+            self._finish(
+                record,
+                RunStatus.FAILED,
+                f"function returned undeclared outputs: {sorted(unknown)}",
+            )
+            return
+        missing = set(self.output_objects) - set(results)
+        if missing:
+            self._finish(
+                record,
+                RunStatus.FAILED,
+                f"function did not produce declared outputs: {sorted(missing)}",
+            )
+            return
+
+        remaining = len(results)
+
+        def make_on_done(out_name: str, dest_path: str) -> Callable[[TransferTask], None]:
+            def on_done(task: TransferTask) -> None:
+                nonlocal remaining
+                if record.done:
+                    return
+                if task.status is not TransferStatus.SUCCEEDED:
+                    self._finish(
+                        record, RunStatus.FAILED, f"output transfer failed: {task.error}"
+                    )
+                    return
+                obj = self.output_objects[out_name]
+                content = results[out_name]
+                version = self.platform.metadata.add_version(
+                    obj.data_id,
+                    checksum=content_checksum(content),
+                    size=len(content.encode("utf-8")),
+                    uri=f"{self.storage.name}:{dest_path}",
+                    created_by=self.name,
+                    derived_from=derived_from,
+                )
+                record.outputs[out_name] = version
+                record.log(
+                    self.platform.env.now,
+                    "register-output",
+                    f"{out_name} v{version.version}",
+                )
+                remaining -= 1
+                if remaining == 0:
+                    self._finish(record, RunStatus.SUCCEEDED)
+
+            return on_done
+
+        for out_name, content in results.items():
+            if not isinstance(content, str):
+                self._finish(
+                    record,
+                    RunStatus.FAILED,
+                    f"output {out_name!r} is {type(content).__name__}, expected str",
+                )
+                return
+            obj = self.output_objects[out_name]
+            next_version = len(self.platform.metadata.versions(obj.data_id)) + 1
+            staging_path = f"stage/{self.name}/out/{out_name}"
+            dest_path = f"aero/{self.name}/{out_name}/v{next_version:05d}"
+            self.bundle.staging.put(self.token, staging_path, content)
+            record.log(self.platform.env.now, "upload-output", f"{out_name} -> staging")
+            self.platform.transfer.submit(
+                self.token,
+                f"{self.bundle.staging.name}:{staging_path}",
+                f"{self.storage.name}:{dest_path}",
+                on_complete=make_on_done(out_name, dest_path),
+            )
+
+
+class IngestionFlow(_BaseFlow):
+    """Poll a source; on update, validate/transform and register outputs.
+
+    Create through :meth:`repro.aero.client.AeroClient.register_ingestion_flow`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: AeroPlatform,
+        token: Token,
+        bundle: EndpointBundle,
+        storage: Collection,
+        source: DataSource,
+        function_id: str,
+        output_names: Sequence[str],
+        owner: str,
+        interval: float,
+        max_retries: int = 0,
+        retry_delay: float = 0.01,
+    ) -> None:
+        super().__init__(
+            name, platform, token, bundle, storage, function_id, output_names,
+            owner, max_retries=max_retries, retry_delay=retry_delay,
+        )
+        self.source = source
+        self.interval = float(interval)
+        #: The raw (pre-transform) data product is itself versioned: AERO
+        #: stores metadata "both for the input and transformed data".
+        self.raw_object = platform.metadata.register_data(f"{name}/raw", owner)
+        self._last_checksum: Optional[str] = None
+        self.poll_count = 0
+        self.update_count = 0
+        self.timer = platform.timers.create_timer(
+            token,
+            self.poll,
+            interval=self.interval,
+            label=f"ingest:{name}",
+        )
+
+    # ------------------------------------------------------------------ poll
+    def poll(self) -> None:
+        """One polling cycle: fetch, compare checksum, maybe run.
+
+        Service failures (an expired token, an unreachable source, a
+        permission change) are recorded as a failed run instead of
+        propagating — a crashed poll must never take the whole always-on
+        platform down with it.
+        """
+        self.poll_count += 1
+        if self._running:
+            # The previous update is still being processed; skip this cycle
+            # (the next poll will pick up whatever is new).
+            return
+        try:
+            raw = self.source.fetch()
+            checksum = content_checksum(raw)
+            if checksum == self._last_checksum:
+                return
+            self._last_checksum = checksum
+            self.update_count += 1
+            self._run(raw, checksum)
+        except ReproError as exc:
+            record = (
+                self.runs[-1]
+                if self.runs and not self.runs[-1].done
+                else self._new_run()
+            )
+            self._finish(record, RunStatus.FAILED, f"{type(exc).__name__}: {exc}")
+
+    def _run(self, raw: bytes, checksum: str) -> None:
+        record = self._new_run()
+        record.log(self.platform.env.now, "poll", f"update detected ({len(raw)} bytes)")
+        env = self.platform.env
+
+        # 1) Upload the new raw data to the user's storage collection.
+        raw_version_number = len(self.platform.metadata.versions(self.raw_object.data_id)) + 1
+        raw_path = f"aero/{self.name}/raw/v{raw_version_number:05d}"
+        self.storage.put(self.token, raw_path, raw)
+        raw_version = self.platform.metadata.add_version(
+            self.raw_object.data_id,
+            checksum=checksum,
+            size=len(raw),
+            uri=f"{self.storage.name}:{raw_path}",
+            created_by=f"{self.name}:ingest",
+        )
+        record.consumed[self.raw_object.data_id] = raw_version.version
+        record.log(env.now, "upload-raw", f"v{raw_version.version}")
+
+        # 2) Stage the raw data to the compute endpoint.
+        staging_path = f"stage/{self.name}/in"
+
+        def on_staged(task: TransferTask) -> None:
+            if task.status is not TransferStatus.SUCCEEDED:
+                self._finish(record, RunStatus.FAILED, f"staging failed: {task.error}")
+                return
+            record.log(env.now, "stage-input", staging_path)
+            # 3) Run the user transformation function on the endpoint, with
+            #    the staged data as input.
+            staged_text = self.bundle.staging.get_text(self.token, staging_path)
+            future = self.bundle.endpoint.submit(
+                self.token, self.function_id, staged_text
+            )
+            record.log(env.now, "submit-transform", future.task_id)
+            future.add_done_callback(lambda fut: self._on_transformed(record, raw_version, fut))
+
+        self.platform.transfer.submit(
+            self.token,
+            f"{self.storage.name}:{raw_path}",
+            f"{self.bundle.staging.name}:{staging_path}",
+            on_complete=on_staged,
+        )
+
+    def _on_transformed(self, record: FlowRunRecord, raw_version: DataVersion, future: ComputeFuture) -> None:
+        if future.error is not None:
+            self._finish(record, RunStatus.FAILED, f"transform failed: {future.error}")
+            return
+        record.log(self.platform.env.now, "transform-done", future.task_id)
+        results = future.result()
+        if not isinstance(results, Mapping):
+            self._finish(
+                record,
+                RunStatus.FAILED,
+                f"transform returned {type(results).__name__}, expected a mapping",
+            )
+            return
+        # 4) Upload outputs and update the metadata database.
+        self._publish_outputs(
+            record, results, derived_from=[(raw_version.data_id, raw_version.version)]
+        )
+
+    def _retry(self) -> None:
+        """Retry a failed ingestion by re-polling the source.
+
+        Re-fetching (rather than replaying the stale bytes) matches what an
+        operator would want: the retry processes whatever the source serves
+        *now*.  Resetting the checksum forces the poll to treat the content
+        as new.
+        """
+        self._last_checksum = None
+        self.poll()
+
+    def cancel(self) -> None:
+        """Stop polling permanently."""
+        self.timer.cancel()
+
+
+class AnalysisFlow(_BaseFlow):
+    """Run an analysis function when registered input UUIDs are updated.
+
+    Create through :meth:`repro.aero.client.AeroClient.register_analysis_flow`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: AeroPlatform,
+        token: Token,
+        bundle: EndpointBundle,
+        storage: Collection,
+        inputs: Mapping[str, str],
+        policy: TriggerPolicy,
+        function_id: str,
+        output_names: Sequence[str],
+        owner: str,
+        max_retries: int = 0,
+        retry_delay: float = 0.01,
+    ) -> None:
+        super().__init__(
+            name, platform, token, bundle, storage, function_id, output_names,
+            owner, max_retries=max_retries, retry_delay=retry_delay,
+        )
+        if not inputs:
+            raise ValidationError(f"analysis flow {name!r} needs at least one input")
+        self.inputs: Dict[str, str] = dict(inputs)  # label -> data_id
+        self.policy = policy
+        self.trigger_count = 0
+        #: data_id -> last version consumed by a completed/started run.
+        self._consumed: Dict[str, int] = {data_id: 0 for data_id in self.inputs.values()}
+        for data_id in self.inputs.values():
+            platform.metadata.get_object(data_id)  # validate existence
+            platform.metadata.subscribe(data_id, self._on_input_version)
+
+    # --------------------------------------------------------------- trigger
+    def _on_input_version(self, version: DataVersion) -> None:
+        self._maybe_trigger()
+
+    def _unconsumed(self) -> Dict[str, DataVersion]:
+        """Latest unconsumed version per input label, where one exists."""
+        fresh: Dict[str, DataVersion] = {}
+        for label, data_id in self.inputs.items():
+            latest = self.platform.metadata.latest(data_id)
+            if latest is not None and latest.version > self._consumed[data_id]:
+                fresh[label] = latest
+        return fresh
+
+    def _maybe_trigger(self) -> None:
+        if self._running:
+            return  # _after_run re-checks once the current run finishes
+        fresh = self._unconsumed()
+        if not fresh:
+            return
+        if self.policy is TriggerPolicy.ALL and len(fresh) != len(self.inputs):
+            return
+        self.trigger_count += 1
+        self._run()
+
+    def _retry(self) -> None:
+        """Retry a failed analysis with the latest versions of its inputs."""
+        if not self._running:
+            self._run()
+
+    def _after_run(self, record: FlowRunRecord) -> None:
+        # Updates that arrived while we were running may already satisfy the
+        # policy again.
+        self.platform.env.schedule(0.0, self._maybe_trigger, label=f"{self.name}:retrigger")
+
+    # ------------------------------------------------------------------- run
+    def _run(self) -> None:
+        record = self._new_run()
+        env = self.platform.env
+        # Snapshot the exact versions this run consumes (latest of each input).
+        snapshot: Dict[str, DataVersion] = {}
+        for label, data_id in self.inputs.items():
+            latest = self.platform.metadata.latest(data_id)
+            if latest is None:
+                self._finish(
+                    record, RunStatus.FAILED, f"input {label!r} has no versions yet"
+                )
+                return
+            snapshot[label] = latest
+            record.consumed[data_id] = latest.version
+            self._consumed[data_id] = latest.version
+        record.log(
+            env.now,
+            "trigger",
+            ", ".join(f"{label}=v{v.version}" for label, v in sorted(snapshot.items())),
+        )
+
+        staged: Dict[str, str] = {}
+        remaining = len(snapshot)
+
+        def make_on_staged(label: str, staging_path: str) -> Callable[[TransferTask], None]:
+            def on_staged(task: TransferTask) -> None:
+                nonlocal remaining
+                if record.done:
+                    return
+                if task.status is not TransferStatus.SUCCEEDED:
+                    self._finish(record, RunStatus.FAILED, f"staging {label!r} failed: {task.error}")
+                    return
+                staged[label] = self.bundle.staging.get_text(self.token, staging_path)
+                record.log(env.now, "stage-input", label)
+                remaining -= 1
+                if remaining == 0:
+                    self._submit(record, snapshot, staged)
+
+            return on_staged
+
+        try:
+            for label, version in snapshot.items():
+                staging_path = f"stage/{self.name}/{label}"
+                self.platform.transfer.submit(
+                    self.token,
+                    version.uri,
+                    f"{self.bundle.staging.name}:{staging_path}",
+                    on_complete=make_on_staged(label, staging_path),
+                )
+        except ReproError as exc:
+            if not record.done:
+                self._finish(record, RunStatus.FAILED, f"{type(exc).__name__}: {exc}")
+
+    def _submit(
+        self,
+        record: FlowRunRecord,
+        snapshot: Mapping[str, DataVersion],
+        staged: Dict[str, str],
+    ) -> None:
+        future = self.bundle.endpoint.submit(self.token, self.function_id, staged)
+        record.log(self.platform.env.now, "submit-analysis", future.task_id)
+
+        def on_done(fut: ComputeFuture) -> None:
+            if fut.error is not None:
+                self._finish(record, RunStatus.FAILED, f"analysis failed: {fut.error}")
+                return
+            record.log(self.platform.env.now, "analysis-done", fut.task_id)
+            results = fut.result()
+            if not isinstance(results, Mapping):
+                self._finish(
+                    record,
+                    RunStatus.FAILED,
+                    f"analysis returned {type(results).__name__}, expected a mapping",
+                )
+                return
+            derived = [(v.data_id, v.version) for v in snapshot.values()]
+            self._publish_outputs(record, results, derived_from=derived)
+
+        future.add_done_callback(on_done)

@@ -1,0 +1,197 @@
+"""The AERO metadata database.
+
+"Versioning metadata, such as a checksum, a timestamp, and version number is
+stored in the AERO metadata database both for the input and transformed
+data" (§2.2).  This module is that database:
+
+- a :class:`DataObject` is a logical data product identified by a UUID —
+  the UUIDs returned by flow registration and used to wire analysis flows
+  to their inputs;
+- a :class:`DataVersion` is one immutable snapshot of a data object:
+  version number, checksum, timestamp, size, a *URI pointing at* the stored
+  bytes (``collection:path``), and provenance (which input versions it was
+  derived from, by which flow/function);
+- subscriptions: the trigger engine registers callbacks that fire when a
+  data object gains a new version.
+
+The database intentionally has no way to store payload bytes — passing
+payloads raises :class:`~repro.common.errors.ValidationError`, enforcing the
+paper's "only metadata passes through the AERO server" property by
+construction.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.sim import SimulationEnvironment
+
+#: AERO's UUID namespace (any fixed namespace works; derived ids are uuid5,
+#: so object identity is deterministic for a given database instance).
+_AERO_NAMESPACE = uuid.UUID("6f72a0c4-93f5-4aa8-8e7e-1fb1c2d3e4a5")
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """A logical data product tracked by AERO."""
+
+    data_id: str
+    name: str
+    owner: str
+    created_at: float
+
+
+@dataclass(frozen=True)
+class DataVersion:
+    """One immutable version of a data object.
+
+    Attributes
+    ----------
+    derived_from:
+        ``(data_id, version)`` pairs of the exact input versions consumed by
+        the producing run — the provenance edges of the Figure 1 graph.
+    created_by:
+        Name of the flow (and function) that produced this version; the
+        string ``"ingestion"`` source fetches.
+    """
+
+    data_id: str
+    version: int
+    checksum: str
+    timestamp: float
+    size: int
+    uri: str
+    created_by: str
+    derived_from: Tuple[Tuple[str, int], ...] = ()
+
+
+class MetadataDatabase:
+    """Central store of data objects, versions, and update subscriptions."""
+
+    def __init__(self, env: SimulationEnvironment) -> None:
+        self._env = env
+        self._objects: Dict[str, DataObject] = {}
+        self._versions: Dict[str, List[DataVersion]] = {}
+        self._subscribers: Dict[str, List[Callable[[DataVersion], None]]] = {}
+        self._counter = 0
+
+    # --------------------------------------------------------------- objects
+    def register_data(self, name: str, owner: str) -> DataObject:
+        """Create a data object; returns it with its UUID assigned.
+
+        The UUID is deterministic in registration order (uuid5 over a
+        per-database counter), so repeated runs of a workflow script yield
+        identical identifiers — important for reproducible provenance.
+        """
+        if not name:
+            raise ValidationError("data object name must be non-empty")
+        self._counter += 1
+        data_id = str(uuid.uuid5(_AERO_NAMESPACE, f"{self._counter}:{name}"))
+        obj = DataObject(
+            data_id=data_id, name=name, owner=owner, created_at=self._env.now
+        )
+        self._objects[data_id] = obj
+        self._versions[data_id] = []
+        self._subscribers[data_id] = []
+        return obj
+
+    def get_object(self, data_id: str) -> DataObject:
+        """Look up a data object by UUID."""
+        try:
+            return self._objects[data_id]
+        except KeyError:
+            raise NotFoundError(f"unknown data object {data_id!r}") from None
+
+    def find_by_name(self, name: str) -> List[DataObject]:
+        """All data objects with the given logical name."""
+        return [o for o in self._objects.values() if o.name == name]
+
+    def all_objects(self) -> List[DataObject]:
+        """Every registered data object, in registration order."""
+        return sorted(self._objects.values(), key=lambda o: o.created_at)
+
+    # -------------------------------------------------------------- versions
+    def add_version(
+        self,
+        data_id: str,
+        *,
+        checksum: str,
+        size: int,
+        uri: str,
+        created_by: str,
+        derived_from: Sequence[Tuple[str, int]] = (),
+        payload: object = None,
+    ) -> DataVersion:
+        """Append a new version to ``data_id`` and notify subscribers.
+
+        ``payload`` exists only to *reject* misuse: AERO stores metadata, not
+        data, so passing any payload is an error.
+        """
+        if payload is not None:
+            raise ValidationError(
+                "the AERO metadata database never stores payload bytes; "
+                "store data in a collection and pass its URI"
+            )
+        obj = self.get_object(data_id)
+        if ":" not in uri:
+            raise ValidationError(f"URI {uri!r} must have the form 'collection:path'")
+        if size < 0:
+            raise ValidationError("size must be non-negative")
+        for dep_id, dep_version in derived_from:
+            dep_versions = self._versions.get(dep_id)
+            if dep_versions is None:
+                raise NotFoundError(f"derived_from references unknown object {dep_id!r}")
+            if not any(v.version == dep_version for v in dep_versions):
+                raise NotFoundError(
+                    f"derived_from references {dep_id!r} v{dep_version}, which does not exist"
+                )
+        existing = self._versions[data_id]
+        version = DataVersion(
+            data_id=data_id,
+            version=len(existing) + 1,
+            checksum=checksum,
+            timestamp=self._env.now,
+            size=int(size),
+            uri=uri,
+            created_by=created_by,
+            derived_from=tuple((d, int(v)) for d, v in derived_from),
+        )
+        existing.append(version)
+        for callback in list(self._subscribers[data_id]):
+            callback(version)
+        return version
+
+    def versions(self, data_id: str) -> List[DataVersion]:
+        """All versions of ``data_id``, oldest first."""
+        self.get_object(data_id)
+        return list(self._versions[data_id])
+
+    def latest(self, data_id: str) -> Optional[DataVersion]:
+        """Most recent version, or ``None`` if no version exists yet."""
+        self.get_object(data_id)
+        versions = self._versions[data_id]
+        return versions[-1] if versions else None
+
+    def get_version(self, data_id: str, version: int) -> DataVersion:
+        """A specific version of ``data_id``."""
+        for record in self._versions.get(data_id, ()):
+            if record.version == version:
+                return record
+        raise NotFoundError(f"no version {version} of data object {data_id!r}")
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(self, data_id: str, callback: Callable[[DataVersion], None]) -> None:
+        """Call ``callback(version)`` whenever ``data_id`` gains a version."""
+        self.get_object(data_id)
+        self._subscribers[data_id].append(callback)
+
+    # ----------------------------------------------------------------- stats
+    def version_counts(self) -> Dict[str, int]:
+        """Mapping object name → number of versions (reports, Figure 1 bench)."""
+        return {
+            self._objects[data_id].name: len(versions)
+            for data_id, versions in self._versions.items()
+        }

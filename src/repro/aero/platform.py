@@ -1,0 +1,166 @@
+"""Wiring of the simulated service stack underneath AERO.
+
+An :class:`AeroPlatform` owns one simulation environment and one instance of
+each simulated Globus service plus the AERO metadata database, and provides
+the "bring your own storage and compute" registration calls the paper
+highlights: users attach their *existing* collections and endpoints (ALCF
+Eagle storage, LCRC Bebop compute in the paper) rather than AERO providing
+resources itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import NotFoundError
+from repro.globus.auth import AuthService, Identity, Token
+from repro.globus.collections import Collection, StorageService
+from repro.globus.compute import (
+    ComputeEndpoint,
+    ComputeService,
+    GlobusComputeEngine,
+    LoginNodeEngine,
+)
+from repro.globus.flows import FlowsService
+from repro.globus.timers import TimerService
+from repro.globus.transfer import TransferService
+from repro.hpc.cluster import Cluster
+from repro.hpc.scheduler import BatchScheduler
+from repro.aero.metadata import MetadataDatabase
+from repro.sim import SimulationEnvironment
+
+
+@dataclass(frozen=True)
+class EndpointBundle:
+    """A compute endpoint plus the staging collection representing its
+    local filesystem (where inputs are staged and outputs are produced)."""
+
+    endpoint: ComputeEndpoint
+    staging: Collection
+    scheduler: Optional[BatchScheduler] = None
+
+
+class AeroPlatform:
+    """One deployment of the full simulated stack.
+
+    Parameters
+    ----------
+    env:
+        Optionally share an existing simulation environment; a fresh one is
+        created otherwise.
+    token_lifetime:
+        Default lifetime (simulated days) for tokens issued via
+        :meth:`create_user`.  AERO deployments run for months, so the
+        default is one simulated year.
+    """
+
+    def __init__(
+        self,
+        env: Optional[SimulationEnvironment] = None,
+        *,
+        token_lifetime: float = 365.0,
+    ) -> None:
+        self.env = env if env is not None else SimulationEnvironment()
+        self.auth = AuthService(self.env)
+        self.storage = StorageService(self.auth, self.env)
+        self.transfer = TransferService(self.auth, self.storage, self.env)
+        self.timers = TimerService(self.auth, self.env)
+        self.flows_service = FlowsService(self.auth, self.env)
+        self.compute = ComputeService(self.auth, self.env)
+        self.metadata = MetadataDatabase(self.env)
+        self._token_lifetime = float(token_lifetime)
+        self._bundles: Dict[str, EndpointBundle] = {}
+
+        # The platform's own service identity (owns staging collections).
+        self._service_identity = self.auth.register_identity(
+            "aero-service", "AERO platform service"
+        )
+        self._service_token = self.auth.issue_token(
+            self._service_identity,
+            ["transfer", "compute", "flows", "timers", "aero"],
+            lifetime=self._token_lifetime,
+        )
+
+    # ------------------------------------------------------------------ users
+    def create_user(self, username: str) -> Tuple[Identity, Token]:
+        """Register a user identity and issue it a full-scope token."""
+        identity = self.auth.register_identity(username)
+        token = self.auth.issue_token(
+            identity,
+            ["transfer", "compute", "flows", "timers", "aero"],
+            lifetime=self._token_lifetime,
+        )
+        return identity, token
+
+    @property
+    def service_token(self) -> Token:
+        """The platform's own token (staging-collection operations)."""
+        return self._service_token
+
+    # --------------------------------------------------------------- storage
+    def add_storage_collection(self, name: str, owner_token: Token) -> Collection:
+        """Attach a user-owned storage collection (BYO storage)."""
+        return self.storage.create_collection(name, owner_token)
+
+    # --------------------------------------------------------------- compute
+    def add_login_endpoint(
+        self, name: str, *, max_concurrent: int = 4
+    ) -> EndpointBundle:
+        """Attach a shared login-node endpoint (cheap functions).
+
+        Mirrors the paper's "Globus Compute endpoint configured on a login
+        node on the Bebop cluster" for sub-minute transformation and
+        aggregation tasks.
+        """
+        engine = LoginNodeEngine(self.env, max_concurrent=max_concurrent)
+        return self._register_endpoint(name, engine, scheduler=None)
+
+    def add_cluster_endpoint(
+        self,
+        name: str,
+        *,
+        n_nodes: int = 8,
+        cores_per_node: int = 8,
+        walltime: float = 1.0,
+        nodes_per_task: int = 1,
+    ) -> EndpointBundle:
+        """Attach a batch-scheduled endpoint (expensive functions).
+
+        Mirrors "a Globus Compute endpoint configured for a compute node
+        using the GlobusComputeEngine": each submitted task becomes a
+        scheduler job on a dedicated cluster.
+        """
+        cluster = Cluster(name, n_nodes, cores_per_node)
+        scheduler = BatchScheduler(self.env, cluster)
+        engine = GlobusComputeEngine(
+            scheduler, nodes_per_task=nodes_per_task, walltime=walltime
+        )
+        return self._register_endpoint(name, engine, scheduler=scheduler)
+
+    def _register_endpoint(self, name, engine, scheduler) -> EndpointBundle:
+        endpoint = self.compute.create_endpoint(name, engine)
+        staging = self.storage.create_collection(
+            f"{name}-staging", self._service_token
+        )
+        bundle = EndpointBundle(endpoint=endpoint, staging=staging, scheduler=scheduler)
+        self._bundles[name] = bundle
+        return bundle
+
+    def endpoint_bundle(self, name: str) -> EndpointBundle:
+        """Look up an attached endpoint (with its staging collection)."""
+        try:
+            return self._bundles[name]
+        except KeyError:
+            raise NotFoundError(f"no endpoint named {name!r} is attached") from None
+
+    def grant_staging_access(self, name: str, identity: Identity) -> None:
+        """Give a user write access to an endpoint's staging collection.
+
+        Flow wrappers run *as the user* and must read/write the endpoint's
+        local staging area.
+        """
+        from repro.globus.collections import Permission
+
+        bundle = self.endpoint_bundle(name)
+        bundle.staging.grant(self._service_token, identity, Permission.WRITE)

@@ -1,0 +1,136 @@
+"""Metadata indexing and search over AERO data products.
+
+OSPREY's second goal requires the platform to "ingest, curate, store, and
+*index* data while managing models and outputs" (§1).  This module is the
+index: a query layer over the metadata database supporting the questions a
+collaborator actually asks —
+
+- *what data products exist?* (name substrings, owners, tags),
+- *what was current as of day T?* (time-travel lookups for reproducing an
+  analysis exactly as it ran),
+- *what changed recently?* (freshness windows),
+- *is anything stale?* (products whose sources moved on without them —
+  the monitoring hook an always-on platform needs).
+
+Like everything AERO-side, the index sees only metadata; content stays in
+the collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.aero.metadata import DataObject, DataVersion, MetadataDatabase
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One search hit: a data object with its current version summary."""
+
+    data_id: str
+    name: str
+    owner: str
+    n_versions: int
+    latest_version: Optional[int]
+    latest_timestamp: Optional[float]
+    latest_checksum: Optional[str]
+
+
+class MetadataCatalog:
+    """Search/index layer over a :class:`MetadataDatabase`."""
+
+    def __init__(self, metadata: MetadataDatabase) -> None:
+        self._metadata = metadata
+
+    # ----------------------------------------------------------------- search
+    def _entry(self, obj: DataObject) -> CatalogEntry:
+        latest = self._metadata.latest(obj.data_id)
+        return CatalogEntry(
+            data_id=obj.data_id,
+            name=obj.name,
+            owner=obj.owner,
+            n_versions=len(self._metadata.versions(obj.data_id)),
+            latest_version=None if latest is None else latest.version,
+            latest_timestamp=None if latest is None else latest.timestamp,
+            latest_checksum=None if latest is None else latest.checksum,
+        )
+
+    def search(
+        self,
+        *,
+        name_contains: Optional[str] = None,
+        owner: Optional[str] = None,
+        has_versions: Optional[bool] = None,
+    ) -> List[CatalogEntry]:
+        """Find data products by name substring / owner / version presence.
+
+        Results are sorted by name for stable output.
+        """
+        entries = []
+        for obj in self._metadata.all_objects():
+            if name_contains is not None and name_contains not in obj.name:
+                continue
+            if owner is not None and obj.owner != owner:
+                continue
+            entry = self._entry(obj)
+            if has_versions is not None:
+                if has_versions != (entry.n_versions > 0):
+                    continue
+            entries.append(entry)
+        return sorted(entries, key=lambda e: e.name)
+
+    # ------------------------------------------------------------ time travel
+    def version_as_of(self, data_id: str, day: float) -> Optional[DataVersion]:
+        """The version that was current at simulated time ``day``.
+
+        This is the reproducibility query: *which input did the analysis
+        that ran on day T actually consume?*  Returns ``None`` if no version
+        existed yet.
+        """
+        current: Optional[DataVersion] = None
+        for version in self._metadata.versions(data_id):
+            if version.timestamp <= day:
+                current = version
+            else:
+                break
+        return current
+
+    def updated_since(self, day: float) -> List[Tuple[CatalogEntry, DataVersion]]:
+        """Products whose latest version landed after ``day`` (freshness)."""
+        hits = []
+        for obj in self._metadata.all_objects():
+            latest = self._metadata.latest(obj.data_id)
+            if latest is not None and latest.timestamp > day:
+                hits.append((self._entry(obj), latest))
+        return sorted(hits, key=lambda pair: -pair[1].timestamp)
+
+    # -------------------------------------------------------------- staleness
+    def stale_products(
+        self, *, now: float, max_age: float
+    ) -> List[CatalogEntry]:
+        """Versioned products not updated within ``max_age`` days of ``now``.
+
+        The operational alert for an always-on surveillance platform: the
+        upstream feed may have broken, or a flow may be wedged.
+        """
+        if max_age <= 0:
+            raise ValidationError("max_age must be positive")
+        stale = []
+        for obj in self._metadata.all_objects():
+            latest = self._metadata.latest(obj.data_id)
+            if latest is not None and now - latest.timestamp > max_age:
+                stale.append(self._entry(obj))
+        return sorted(stale, key=lambda e: e.latest_timestamp or 0.0)
+
+    # ----------------------------------------------------------------- counts
+    def summary(self) -> Dict[str, int]:
+        """Catalog-wide counts: products, versioned products, versions."""
+        objects = self._metadata.all_objects()
+        counts = self._metadata.version_counts()
+        return {
+            "products": len(objects),
+            "versioned_products": sum(1 for n in counts.values() if n > 0),
+            "total_versions": sum(counts.values()),
+        }

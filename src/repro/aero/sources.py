@@ -1,0 +1,93 @@
+"""Pollable external data sources.
+
+An AERO ingestion flow is registered with "a URL from which to retrieve the
+data" (§2.2); the platform polls that URL on a timer and compares checksums
+to detect updates.  Offline, a "URL" is an object implementing
+:class:`DataSource`: it has an address and returns bytes on ``fetch()``.
+
+:class:`CallableSource` adapts any function of the simulated clock — the
+synthetic Illinois Wastewater Surveillance System feed in
+:mod:`repro.models.wastewater` is exposed this way, producing a CSV that
+grows as simulated days pass, exactly like a live surveillance endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ValidationError
+from repro.sim import SimulationEnvironment
+
+
+class DataSource:
+    """Interface for a pollable data source."""
+
+    #: Address string recorded in flow registrations and provenance.
+    url: str
+
+    def fetch(self) -> bytes:  # pragma: no cover - interface
+        """Return the current full content of the source."""
+        raise NotImplementedError
+
+
+class StaticSource(DataSource):
+    """A source with fixed (but settable) content — handy for tests.
+
+    ``set_content`` simulates the upstream publisher releasing an update.
+    """
+
+    def __init__(self, url: str, content: bytes | str = b"") -> None:
+        if not url:
+            raise ValidationError("source url must be non-empty")
+        self.url = url
+        self._content = b""
+        self.set_content(content)
+        self.fetch_count = 0
+
+    def set_content(self, content: bytes | str) -> None:
+        """Replace the source content (an upstream update)."""
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        self._content = bytes(content)
+
+    def fetch(self) -> bytes:
+        self.fetch_count += 1
+        return self._content
+
+
+class CallableSource(DataSource):
+    """A source whose content is computed from the simulated clock.
+
+    Parameters
+    ----------
+    url:
+        Address string for registration records.
+    env:
+        Simulation environment; ``content_fn`` receives ``env.now``.
+    content_fn:
+        Maps the current simulated day to the full source content.  Must be
+        deterministic in its argument so checksum-based change detection is
+        meaningful.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        env: SimulationEnvironment,
+        content_fn: Callable[[float], bytes | str],
+    ) -> None:
+        if not url:
+            raise ValidationError("source url must be non-empty")
+        if not callable(content_fn):
+            raise ValidationError("content_fn must be callable")
+        self.url = url
+        self._env = env
+        self._content_fn = content_fn
+        self.fetch_count = 0
+
+    def fetch(self) -> bytes:
+        self.fetch_count += 1
+        content = self._content_fn(self._env.now)
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        return bytes(content)

@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli figure1 --sim-days 10
+    python -m repro.cli figure2 --iterations 2000
+    python -m repro.cli figure3
+    python -m repro.cli figure4 --budget 160 --seed 0
+    python -m repro.cli figure5 --replicates 10 --budget 120
+    python -m repro.cli interleaving --instances 10 --slots 32
+    python -m repro.cli shapley --n 512
+
+Each subcommand prints the same rendering the benchmark harness writes to
+``benchmarks/output/``; sizes default to quick-turnaround settings and can
+be raised to paper scale with the flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.workflows.figures import render_table1
+
+    return render_table1()
+
+
+def _cmd_figure1(args: argparse.Namespace) -> str:
+    from repro.workflows.figures import render_figure1
+    from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+    result = run_wastewater_workflow(
+        sim_days=args.sim_days, goldstein_iterations=args.iterations, seed=args.seed
+    )
+    return render_figure1(result)
+
+
+def _cmd_figure2(args: argparse.Namespace) -> str:
+    from repro.workflows.figures import render_figure2
+    from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+    result = run_wastewater_workflow(
+        sim_days=args.sim_days, goldstein_iterations=args.iterations, seed=args.seed
+    )
+    return render_figure2(result)
+
+
+def _cmd_figure3(args: argparse.Namespace) -> str:
+    from repro.workflows.figures import render_figure3
+
+    return render_figure3()
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    from repro.gsa.music import MusicConfig
+    from repro.workflows.figures import render_figure4
+    from repro.workflows.music_gsa import run_music_vs_pce
+
+    data = run_music_vs_pce(
+        seed=args.seed,
+        budget=args.budget,
+        music_config=MusicConfig(
+            n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
+        ),
+        reference_n=args.reference_n,
+    )
+    return render_figure4(data)
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    from repro.gsa.music import MusicConfig
+    from repro.workflows.figures import render_figure5
+    from repro.workflows.music_gsa import run_replicate_gsa
+
+    data = run_replicate_gsa(
+        n_replicates=args.replicates,
+        budget=args.budget,
+        root_seed=args.seed,
+        music_config=MusicConfig(
+            n_initial=25, refit_every=10, surrogate_mc=384, n_candidates=96
+        ),
+    )
+    return render_figure5(data)
+
+
+def _cmd_interleaving(args: argparse.Namespace) -> str:
+    from repro.common.tabulate import format_table
+    from repro.workflows.utilization import compare_scheduling_modes
+
+    results = compare_scheduling_modes(
+        n_instances=args.instances,
+        n_initial=args.n_initial,
+        n_steps=args.n_steps,
+        n_slots=args.slots,
+    )
+    rows = [
+        [r.mode, r.makespan, r.utilization, r.tasks_evaluated]
+        for r in results.values()
+    ]
+    text = format_table(
+        ["mode", "makespan (days)", "utilization", "tasks"], rows, digits=4
+    )
+    speedup = results["sequential"].makespan / results["interleaved"].makespan
+    return f"{text}\n\ninterleaving speedup: {speedup:.2f}x"
+
+
+def _cmd_shapley(args: argparse.Namespace) -> str:
+    from repro.common.tabulate import format_table
+    from repro.gsa.shapley import shapley_effects
+    from repro.models.parameters import GSA_PARAMETER_SPACE
+    from repro.workflows.music_gsa import make_qoi
+
+    qoi = make_qoi(args.seed)
+    effects = shapley_effects(
+        lambda x: qoi(GSA_PARAMETER_SPACE.scale(x)),
+        GSA_PARAMETER_SPACE.dim,
+        n=args.n,
+        seed=args.seed,
+    )
+    rows = [
+        [name, float(value)]
+        for name, value in zip(GSA_PARAMETER_SPACE.names, effects)
+    ]
+    return format_table(
+        ["parameter", "Shapley effect"],
+        rows,
+        title="Shapley effects of the MetaRVM QoI",
+        digits=3,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from the OSPREY reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: GSA parameter ranges").set_defaults(
+        fn=_cmd_table1
+    )
+
+    for name, fn, help_text in (
+        ("figure1", _cmd_figure1, "workflow structure and activity"),
+        ("figure2", _cmd_figure2, "R(t) estimates + ensemble"),
+    ):
+        p = sub.add_parser(name, help=f"Figure {name[-1]}: {help_text}")
+        p.add_argument("--sim-days", type=float, default=8.0)
+        p.add_argument("--iterations", type=int, default=1000)
+        p.add_argument("--seed", type=int, default=2024)
+        p.set_defaults(fn=fn)
+
+    sub.add_parser("figure3", help="Figure 3: MetaRVM structure").set_defaults(
+        fn=_cmd_figure3
+    )
+
+    p4 = sub.add_parser("figure4", help="Figure 4: MUSIC vs PCE convergence")
+    p4.add_argument("--budget", type=int, default=120)
+    p4.add_argument("--seed", type=int, default=0)
+    p4.add_argument("--reference-n", type=int, default=1024)
+    p4.set_defaults(fn=_cmd_figure4)
+
+    p5 = sub.add_parser("figure5", help="Figure 5: replicate GSA spread")
+    p5.add_argument("--replicates", type=int, default=5)
+    p5.add_argument("--budget", type=int, default=70)
+    p5.add_argument("--seed", type=int, default=42)
+    p5.set_defaults(fn=_cmd_figure5)
+
+    pi = sub.add_parser("interleaving", help="A1: scheduling-mode comparison")
+    pi.add_argument("--instances", type=int, default=10)
+    pi.add_argument("--n-initial", type=int, default=30)
+    pi.add_argument("--n-steps", type=int, default=170)
+    pi.add_argument("--slots", type=int, default=32)
+    pi.set_defaults(fn=_cmd_interleaving)
+
+    ps = sub.add_parser("shapley", help="A7: Shapley effects of the QoI")
+    ps.add_argument("--n", type=int, default=256)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.set_defaults(fn=_cmd_shapley)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Shared utilities used by every subsystem.
+
+Nothing in this subpackage knows about epidemiology, Globus, or workflows; it
+provides the deterministic plumbing the rest of the library is built on:
+
+- :mod:`repro.common.errors` — the exception hierarchy.
+- :mod:`repro.common.rng` — seed-sequence-based random-stream management.
+- :mod:`repro.common.hashing` — content checksums and stable digests.
+- :mod:`repro.common.timeseries` — a small labelled time-series container.
+- :mod:`repro.common.validation` — argument-checking helpers.
+- :mod:`repro.common.tabulate` — plain-text table rendering for reports.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    ValidationError,
+    NotFoundError,
+    StateError,
+)
+from repro.common.rng import RngRegistry, spawn_generator, generator_from_seed
+from repro.common.hashing import content_checksum, stable_digest
+from repro.common.timeseries import TimeSeries
+from repro.common.tabulate import format_table
+from repro.common.svgplot import SvgChart, dag_svg, small_multiples
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "NotFoundError",
+    "StateError",
+    "RngRegistry",
+    "spawn_generator",
+    "generator_from_seed",
+    "content_checksum",
+    "stable_digest",
+    "TimeSeries",
+    "format_table",
+    "SvgChart",
+    "small_multiples",
+    "dag_svg",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError`` from their own
+code, and so on).  Subsystems define more specific subclasses where a caller
+could plausibly want to branch on the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid settings."""
+
+
+class ValidationError(ReproError):
+    """Input data or arguments failed validation."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (UUID, endpoint, task, file) does not exist."""
+
+
+class StateError(ReproError):
+    """An operation was attempted in an invalid lifecycle state."""
+
+
+class AuthorizationError(ReproError):
+    """An identity lacks the scope or permission required for an operation."""
+
+
+class SchedulingError(ReproError):
+    """A job or task could not be scheduled (e.g. requests exceed capacity)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical procedure failed to converge."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""

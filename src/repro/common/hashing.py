@@ -1,0 +1,94 @@
+"""Content checksums and stable structural digests.
+
+AERO's metadata database stores "versioning metadata, such as a checksum, a
+timestamp, and version number" for every ingested and derived data product
+(§2.2).  The functions here produce those checksums, plus order-insensitive
+digests of structured Python values used for change detection in ingestion
+flows (a re-serialized CSV with identical content must hash identically).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+CHECKSUM_ALGORITHM = "sha256"
+
+
+def content_checksum(data: bytes | str) -> str:
+    """SHA-256 hex digest of raw content.
+
+    Strings are encoded as UTF-8.  This is the checksum recorded in AERO
+    ``DataVersion`` records.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise ValidationError(
+            f"content_checksum expects bytes or str, got {type(data).__name__}"
+        )
+    return hashlib.sha256(bytes(data)).hexdigest()
+
+
+def _canonicalize(value: Any) -> Any:
+    """Convert ``value`` into a JSON-serializable canonical form.
+
+    - numpy scalars/arrays become Python scalars / nested lists;
+    - dict keys are sorted by the JSON serializer;
+    - NaN and infinities are encoded as tagged strings so that equal payloads
+      hash equally across platforms;
+    - sets are sorted by their canonical JSON encoding.
+    """
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype), "shape": list(value.shape)}
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        if math.isinf(value):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        canon = [_canonicalize(v) for v in value]
+        return {"__set__": sorted(canon, key=lambda v: json.dumps(v, sort_keys=True))}
+    if isinstance(value, dict):
+        out = {}
+        for key, val in value.items():
+            if not isinstance(key, str):
+                key = json.dumps(_canonicalize(key), sort_keys=True)
+            out[key] = _canonicalize(val)
+        return out
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": hashlib.sha256(bytes(value)).hexdigest()}
+    raise ValidationError(
+        f"cannot compute a stable digest for values of type {type(value).__name__}"
+    )
+
+
+def stable_digest(value: Any) -> str:
+    """Deterministic SHA-256 digest of a structured Python value.
+
+    Two values that compare equal under the canonicalization rules (same
+    nested structure, same numbers, dict-order-insensitive) produce the same
+    digest in every process on every platform.
+    """
+    canonical = json.dumps(_canonicalize(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def short_id(digest: str, length: int = 12) -> str:
+    """Human-friendly prefix of a hex digest (for log lines and labels)."""
+    if length < 4:
+        raise ValidationError("short_id length must be at least 4")
+    return digest[:length]

@@ -1,0 +1,436 @@
+"""A minimal pure-Python SVG line-chart renderer.
+
+The offline environment has no plotting library, but the paper's figures
+are line charts with bands — easy to emit as standalone SVG.  This module
+provides exactly what the figure regeneration needs: lines, shaded bands,
+reference lines, axes with tick labels, and a legend.  No dependency, no
+DOM; just careful string assembly (validated as XML in the tests).
+
+Used by :mod:`repro.workflows.figures` to write ``figure*.svg`` artifacts
+next to the text renderings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.validation import check_array
+
+#: Default series colors (colorblind-safe-ish palette).
+PALETTE = ("#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02")
+
+
+def _nice_ticks(low: float, high: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [low, high] (the usual 1-2-5 ladder)."""
+    if not math.isfinite(low) or not math.isfinite(high):
+        raise ValidationError("axis limits must be finite")
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if raw_step <= step:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-12 * step:
+        ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric label."""
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+@dataclass
+class _Line:
+    x: np.ndarray
+    y: np.ndarray
+    color: str
+    label: Optional[str]
+    width: float
+    dash: Optional[str]
+
+
+@dataclass
+class _Band:
+    x: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    color: str
+    opacity: float
+    label: Optional[str]
+
+
+class SvgChart:
+    """One chart: add series, then :meth:`render` or :meth:`save`.
+
+    Examples
+    --------
+    >>> chart = SvgChart(title="demo", x_label="n", y_label="S")
+    >>> chart.add_line([0, 1, 2], [0.1, 0.4, 0.3], label="music")
+    >>> svg = chart.render()
+    >>> svg.startswith("<svg") and "demo" in svg
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        width: int = 640,
+        height: int = 400,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+    ) -> None:
+        if width < 100 or height < 80:
+            raise ValidationError("chart must be at least 100x80")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._lines: List[_Line] = []
+        self._bands: List[_Band] = []
+        self._hlines: List[Tuple[float, str, Optional[str]]] = []
+        self._color_cycle = 0
+
+    # -------------------------------------------------------------- add data
+    def _next_color(self) -> str:
+        color = PALETTE[self._color_cycle % len(PALETTE)]
+        self._color_cycle += 1
+        return color
+
+    def add_line(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        *,
+        label: Optional[str] = None,
+        color: Optional[str] = None,
+        width: float = 2.0,
+        dash: Optional[str] = None,
+    ) -> "SvgChart":
+        """Add a polyline series."""
+        x_arr = check_array("x", x, ndim=1, finite=True)
+        y_arr = check_array("y", y, ndim=1, finite=True)
+        if x_arr.size != y_arr.size or x_arr.size < 2:
+            raise ValidationError("line needs matching x/y with >= 2 points")
+        self._lines.append(
+            _Line(x_arr, y_arr, color or self._next_color(), label, width, dash)
+        )
+        return self
+
+    def add_band(
+        self,
+        x: Sequence[float],
+        lower: Sequence[float],
+        upper: Sequence[float],
+        *,
+        label: Optional[str] = None,
+        color: Optional[str] = None,
+        opacity: float = 0.25,
+    ) -> "SvgChart":
+        """Add a shaded band (e.g. a 95% credible interval)."""
+        x_arr = check_array("x", x, ndim=1, finite=True)
+        lo = check_array("lower", lower, ndim=1, finite=True)
+        hi = check_array("upper", upper, ndim=1, finite=True)
+        if not (x_arr.size == lo.size == hi.size) or x_arr.size < 2:
+            raise ValidationError("band needs matching x/lower/upper with >= 2 points")
+        if np.any(lo > hi + 1e-12):
+            raise ValidationError("band lower must not exceed upper")
+        if not 0.0 < opacity <= 1.0:
+            raise ValidationError("opacity must be in (0, 1]")
+        self._bands.append(
+            _Band(x_arr, lo, hi, color or self._next_color(), opacity, label)
+        )
+        return self
+
+    def add_hline(
+        self, y: float, *, dash: str = "4,3", label: Optional[str] = None
+    ) -> "SvgChart":
+        """Add a horizontal reference line (e.g. R = 1)."""
+        self._hlines.append((float(y), dash, label))
+        return self
+
+    # ---------------------------------------------------------------- render
+    def _data_limits(self) -> Tuple[float, float, float, float]:
+        xs: List[np.ndarray] = [line.x for line in self._lines] + [b.x for b in self._bands]
+        ys: List[np.ndarray] = [line.y for line in self._lines]
+        ys += [b.lower for b in self._bands] + [b.upper for b in self._bands]
+        if not xs:
+            raise StateError("chart has no data series")
+        x_min = min(float(a.min()) for a in xs)
+        x_max = max(float(a.max()) for a in xs)
+        y_values = [float(a.min()) for a in ys] + [float(a.max()) for a in ys]
+        y_values += [y for y, _, _ in self._hlines]
+        y_min, y_max = min(y_values), max(y_values)
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        pad = 0.05 * (y_max - y_min)
+        return x_min, x_max, y_min - pad, y_max + pad
+
+    def render(self) -> str:
+        """Produce the SVG document text."""
+        margin_left, margin_right = 62, 16
+        margin_top = 34 if self.title else 16
+        margin_bottom = 48
+        plot_w = self.width - margin_left - margin_right
+        plot_h = self.height - margin_top - margin_bottom
+        x_min, x_max, y_min, y_max = self._data_limits()
+
+        def sx(x: float) -> float:
+            return margin_left + (x - x_min) / (x_max - x_min or 1.0) * plot_w
+
+        def sy(y: float) -> float:
+            return margin_top + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2:.1f}" y="20" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="14" font-weight="bold">'
+                f"{self.title}</text>"
+            )
+
+        # Grid + ticks.
+        for tick in _nice_ticks(y_min, y_max):
+            if tick < y_min or tick > y_max:
+                continue
+            y_px = sy(tick)
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y_px:.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{y_px:.1f}" '
+                'stroke="#dddddd" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 6}" y="{y_px + 4:.1f}" text-anchor="end" '
+                f'font-family="sans-serif" font-size="11">{_fmt(tick)}</text>'
+            )
+        for tick in _nice_ticks(x_min, x_max):
+            if tick < x_min or tick > x_max:
+                continue
+            x_px = sx(tick)
+            parts.append(
+                f'<line x1="{x_px:.1f}" y1="{margin_top + plot_h}" '
+                f'x2="{x_px:.1f}" y2="{margin_top + plot_h + 4}" '
+                'stroke="#333333" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{x_px:.1f}" y="{margin_top + plot_h + 17}" '
+                f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+                f"{_fmt(tick)}</text>"
+            )
+
+        # Bands under lines.
+        for band in self._bands:
+            points = [f"{sx(x):.1f},{sy(hi):.1f}" for x, hi in zip(band.x, band.upper)]
+            points += [
+                f"{sx(x):.1f},{sy(lo):.1f}"
+                for x, lo in zip(band.x[::-1], band.lower[::-1])
+            ]
+            parts.append(
+                f'<polygon points="{" ".join(points)}" fill="{band.color}" '
+                f'opacity="{band.opacity}"/>'
+            )
+        for y, dash, _ in self._hlines:
+            parts.append(
+                f'<line x1="{margin_left}" y1="{sy(y):.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{sy(y):.1f}" '
+                f'stroke="#888888" stroke-width="1" stroke-dasharray="{dash}"/>'
+            )
+        for line in self._lines:
+            points = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(line.x, line.y)
+            )
+            dash = f' stroke-dasharray="{line.dash}"' if line.dash else ""
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{line.color}" '
+                f'stroke-width="{line.width}"{dash}/>'
+            )
+
+        # Axes.
+        parts.append(
+            f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+            f'y2="{margin_top + plot_h}" stroke="#333333" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+            f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" '
+            'stroke="#333333" stroke-width="1.5"/>'
+        )
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_left + plot_w / 2:.1f}" '
+                f'y="{self.height - 10}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="12">{self.x_label}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{margin_top + plot_h / 2:.1f}" '
+                f'text-anchor="middle" font-family="sans-serif" font-size="12" '
+                f'transform="rotate(-90 16 {margin_top + plot_h / 2:.1f})">'
+                f"{self.y_label}</text>"
+            )
+
+        # Legend.
+        entries = [(l.label, l.color, False) for l in self._lines if l.label]
+        entries += [(b.label, b.color, True) for b in self._bands if b.label]
+        if entries:
+            legend_y = margin_top + 8
+            legend_x = margin_left + plot_w - 140
+            for i, (label, color, is_band) in enumerate(entries):
+                y_px = legend_y + 16 * i
+                if is_band:
+                    parts.append(
+                        f'<rect x="{legend_x}" y="{y_px - 7}" width="18" height="9" '
+                        f'fill="{color}" opacity="0.35"/>'
+                    )
+                else:
+                    parts.append(
+                        f'<line x1="{legend_x}" y1="{y_px - 3}" x2="{legend_x + 18}" '
+                        f'y2="{y_px - 3}" stroke="{color}" stroke-width="2.5"/>'
+                    )
+                parts.append(
+                    f'<text x="{legend_x + 23}" y="{y_px}" font-family="sans-serif" '
+                    f'font-size="11">{label}</text>'
+                )
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> str:
+        """Write the SVG to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+        return path
+
+
+def small_multiples(
+    charts: Sequence[SvgChart], *, columns: int = 3, gap: int = 10
+) -> str:
+    """Compose charts into one SVG grid (the paper's per-parameter facets)."""
+    if not charts:
+        raise ValidationError("need at least one chart")
+    columns = max(1, min(columns, len(charts)))
+    rows = math.ceil(len(charts) / columns)
+    cell_w = max(c.width for c in charts)
+    cell_h = max(c.height for c in charts)
+    total_w = columns * cell_w + (columns - 1) * gap
+    total_h = rows * cell_h + (rows - 1) * gap
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{total_h}" viewBox="0 0 {total_w} {total_h}">'
+    ]
+    for i, chart in enumerate(charts):
+        row, col = divmod(i, columns)
+        x = col * (cell_w + gap)
+        y = row * (cell_h + gap)
+        inner = chart.render()
+        # strip the outer <svg ...> wrapper and re-nest with an offset
+        body = inner[inner.index(">") + 1 : inner.rindex("</svg>")]
+        parts.append(
+            f'<svg x="{x}" y="{y}" width="{chart.width}" height="{chart.height}" '
+            f'viewBox="0 0 {chart.width} {chart.height}">{body}</svg>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def dag_svg(
+    graph,
+    *,
+    kind_attr: str = "kind",
+    label_attr: str = "name",
+    node_width: int = 120,
+    node_height: int = 30,
+    h_gap: int = 46,
+    v_gap: int = 14,
+    kind_colors: Optional[dict] = None,
+) -> str:
+    """Render a DAG as a layered left-to-right SVG diagram.
+
+    Nodes are placed by topological generation (networkx), drawn as rounded
+    rectangles colored by their ``kind`` attribute, with edges as lines plus
+    arrowheads.  Built for the Figure 1 workflow graph (sources → ingestion
+    flows → data products → analysis flows → aggregation), but generic over
+    any :class:`networkx.DiGraph`.
+    """
+    import networkx as nx
+
+    if graph.number_of_nodes() == 0:
+        raise ValidationError("cannot render an empty graph")
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValidationError("dag_svg requires an acyclic directed graph")
+    colors = {
+        "source": "#e6ab02",
+        "flow": "#1b9e77",
+        "data": "#7570b3",
+        "version": "#7570b3",
+    }
+    if kind_colors:
+        colors.update(kind_colors)
+
+    layers = list(nx.topological_generations(graph))
+    width = len(layers) * (node_width + h_gap) + h_gap
+    tallest = max(len(layer) for layer in layers)
+    height = tallest * (node_height + v_gap) + v_gap + 20
+
+    positions = {}
+    for col, layer in enumerate(layers):
+        layer_height = len(layer) * (node_height + v_gap) - v_gap
+        y0 = (height - layer_height) / 2
+        for row, node in enumerate(sorted(layer)):
+            x = h_gap + col * (node_width + h_gap)
+            y = y0 + row * (node_height + v_gap)
+            positions[node] = (x, y)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        '<defs><marker id="arrow" markerWidth="8" markerHeight="8" refX="7" '
+        'refY="3" orient="auto"><path d="M0,0 L7,3 L0,6 z" fill="#777777"/>'
+        "</marker></defs>",
+    ]
+    for src, dst in graph.edges():
+        x1, y1 = positions[src]
+        x2, y2 = positions[dst]
+        parts.append(
+            f'<line x1="{x1 + node_width:.1f}" y1="{y1 + node_height / 2:.1f}" '
+            f'x2="{x2:.1f}" y2="{y2 + node_height / 2:.1f}" stroke="#777777" '
+            'stroke-width="1.2" marker-end="url(#arrow)"/>'
+        )
+    for node, (x, y) in positions.items():
+        data = graph.nodes[node]
+        kind = data.get(kind_attr, "data")
+        label = str(data.get(label_attr) or node)
+        if len(label) > 20:
+            label = label[:19] + "…"
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{node_width}" '
+            f'height="{node_height}" rx="6" fill="{colors.get(kind, "#cccccc")}" '
+            'opacity="0.85"/>'
+        )
+        parts.append(
+            f'<text x="{x + node_width / 2:.1f}" y="{y + node_height / 2 + 4:.1f}" '
+            'text-anchor="middle" font-family="sans-serif" font-size="10" '
+            f'fill="white">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

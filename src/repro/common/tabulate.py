@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text.  ``format_table`` renders aligned monospace tables without any third-
+party dependency; ``format_float`` gives consistent numeric formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+
+
+def format_float(value: Any, digits: int = 4) -> str:
+    """Format a float compactly; pass through non-floats as ``str``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    magnitude = abs(value)
+    if magnitude != 0 and (magnitude < 10 ** (-digits) or magnitude >= 10**7):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    digits: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Every row must have the same number of cells as there are headers.
+    Numeric cells are right-aligned; text cells left-aligned.
+    """
+    materialized: List[List[str]] = []
+    numeric = [True] * len(headers)
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        cells = []
+        for i, cell in enumerate(row):
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                numeric[i] = False
+            cells.append(format_float(cell, digits=digits))
+        materialized.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in materialized:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in materialized)
+    return "\n".join(lines)

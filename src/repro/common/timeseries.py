@@ -1,0 +1,192 @@
+"""A labelled time-series container.
+
+Wastewater concentrations, estimated R(t) trajectories, and hospitalization
+curves are all "values indexed by day, with a name and provenance-friendly
+serialization".  :class:`TimeSeries` is that one container, kept deliberately
+small: numpy arrays inside, CSV/JSON-compatible dict outside, vectorized
+resampling and windowed statistics, nothing pandas-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An immutable series of float values at strictly increasing times.
+
+    Attributes
+    ----------
+    times:
+        1-D float array of observation times (days, in this library).
+    values:
+        1-D float array, same length as ``times``; NaN marks missing values.
+    name:
+        Label used in reports and serialized artifacts.
+    meta:
+        Free-form metadata carried through transformations (plant name,
+        population served, units, ...).
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = "series"
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValidationError("TimeSeries requires 1-D times and values")
+        if times.shape != values.shape:
+            raise ValidationError(
+                f"times ({times.shape}) and values ({values.shape}) must match"
+            )
+        if times.size > 1 and not np.all(np.diff(times) > 0):
+            raise ValidationError("TimeSeries times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "meta", dict(self.meta))
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return zip(self.times.tolist(), self.values.tolist())
+
+    @property
+    def start(self) -> float:
+        """First observation time; raises on empty series."""
+        if len(self) == 0:
+            raise ValidationError("empty TimeSeries has no start")
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        """Last observation time; raises on empty series."""
+        if len(self) == 0:
+            raise ValidationError("empty TimeSeries has no end")
+        return float(self.times[-1])
+
+    def is_complete(self) -> bool:
+        """True when the series has no missing (NaN) values."""
+        return bool(np.all(np.isfinite(self.values)))
+
+    # ------------------------------------------------------------- transforms
+    def with_name(self, name: str) -> "TimeSeries":
+        """Copy with a different name."""
+        return TimeSeries(self.times, self.values, name=name, meta=self.meta)
+
+    def with_meta(self, **updates: Any) -> "TimeSeries":
+        """Copy with metadata keys merged in."""
+        meta = dict(self.meta)
+        meta.update(updates)
+        return TimeSeries(self.times, self.values, name=self.name, meta=meta)
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with ``t0 <= t <= t1``."""
+        mask = (self.times >= t0) & (self.times <= t1)
+        return TimeSeries(self.times[mask], self.values[mask], name=self.name, meta=self.meta)
+
+    def append(self, times: Sequence[float], values: Sequence[float]) -> "TimeSeries":
+        """New series with extra observations appended after the current end."""
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.size and len(self) and times[0] <= self.end:
+            raise ValidationError(
+                f"appended times must start after {self.end}, got {times[0]}"
+            )
+        return TimeSeries(
+            np.concatenate([self.times, times]),
+            np.concatenate([self.values, values]),
+            name=self.name,
+            meta=self.meta,
+        )
+
+    def dropna(self) -> "TimeSeries":
+        """Series with missing observations removed."""
+        mask = np.isfinite(self.values)
+        return TimeSeries(self.times[mask], self.values[mask], name=self.name, meta=self.meta)
+
+    def interpolate_to(self, times: Sequence[float]) -> "TimeSeries":
+        """Linear interpolation onto a new time grid (NaNs dropped first)."""
+        clean = self.dropna()
+        if len(clean) == 0:
+            raise ValidationError("cannot interpolate an all-missing series")
+        times = np.asarray(times, dtype=float)
+        values = np.interp(times, clean.times, clean.values)
+        return TimeSeries(times, values, name=self.name, meta=self.meta)
+
+    def rolling_mean(self, window: int) -> "TimeSeries":
+        """Centered rolling mean over ``window`` observations (NaN-aware)."""
+        if window < 1:
+            raise ValidationError("rolling window must be >= 1")
+        vals = self.values
+        finite = np.isfinite(vals)
+        filled = np.where(finite, vals, 0.0)
+        kernel = np.ones(window)
+        num = np.convolve(filled, kernel, mode="same")
+        den = np.convolve(finite.astype(float), kernel, mode="same")
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(den > 0, num / den, np.nan)
+        return TimeSeries(self.times, out, name=self.name, meta=self.meta)
+
+    # ------------------------------------------------------------ statistics
+    def mean(self) -> float:
+        """Mean of the non-missing values."""
+        return float(np.nanmean(self.values))
+
+    def std(self) -> float:
+        """Standard deviation of the non-missing values."""
+        return float(np.nanstd(self.values))
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "times": self.times.tolist(),
+            "values": [None if not np.isfinite(v) else float(v) for v in self.values],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimeSeries":
+        """Inverse of :meth:`to_dict`."""
+        values = [np.nan if v is None else float(v) for v in payload["values"]]
+        return cls(
+            np.asarray(payload["times"], dtype=float),
+            np.asarray(values, dtype=float),
+            name=str(payload.get("name", "series")),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_csv(self) -> str:
+        """Two-column CSV text (``time,value``), with a header row."""
+        lines = ["time,value"]
+        for t, v in self:
+            lines.append(f"{t:.10g},{'' if not np.isfinite(v) else format(v, '.10g')}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(cls, text: str, name: str = "series") -> "TimeSeries":
+        """Parse the :meth:`to_csv` format (empty value field means missing)."""
+        times = []
+        values = []
+        rows = [ln for ln in text.strip().splitlines() if ln.strip()]
+        if not rows or rows[0].strip().lower() != "time,value":
+            raise ValidationError("CSV must start with a 'time,value' header")
+        for line in rows[1:]:
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValidationError(f"malformed CSV row: {line!r}")
+            times.append(float(parts[0]))
+            values.append(np.nan if parts[1].strip() == "" else float(parts[1]))
+        return cls(np.asarray(times), np.asarray(values), name=name)

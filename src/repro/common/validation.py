@@ -1,0 +1,92 @@
+"""Small argument-checking helpers.
+
+These keep validation at public API boundaries terse and the error messages
+uniform.  They raise :class:`repro.common.errors.ValidationError` so callers
+can distinguish bad input from library bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that a scalar lies in the closed unit interval."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_int(name: str, value: Any, *, minimum: Optional[int] = None) -> int:
+    """Validate an integer argument, optionally with a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_interval(name: str, interval: Sequence[float]) -> Tuple[float, float]:
+    """Validate a (low, high) pair with low < high."""
+    if len(interval) != 2:
+        raise ValidationError(f"{name} must be a (low, high) pair, got {interval!r}")
+    low, high = float(interval[0]), float(interval[1])
+    if not low < high:
+        raise ValidationError(f"{name} must satisfy low < high, got ({low}, {high})")
+    return low, high
+
+
+def check_array(
+    name: str,
+    value: Any,
+    *,
+    ndim: Optional[int] = None,
+    shape: Optional[Tuple[Optional[int], ...]] = None,
+    finite: bool = False,
+    dtype: Any = float,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate its shape/contents.
+
+    Parameters
+    ----------
+    ndim:
+        Required number of dimensions, if given.
+    shape:
+        Required shape; ``None`` entries are wildcards.
+    finite:
+        If true, reject NaN/inf entries.
+    """
+    arr = np.asarray(value, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ValidationError(f"{name} must have shape {shape}, got {arr.shape}")
+        for want, got in zip(shape, arr.shape):
+            if want is not None and want != got:
+                raise ValidationError(f"{name} must have shape {shape}, got {arr.shape}")
+    if finite and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr

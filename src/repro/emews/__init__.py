@@ -1,0 +1,49 @@
+"""EMEWS — Extreme-scale Model Exploration with Swift (task-database core).
+
+Reimplementation of the EMEWS framework the paper's second use case runs on
+(§3.2): "EMEWS is based on a decoupled architecture consisting of a task
+database, and a task API, with both Python and R implementations, for
+distributing tasks on heterogeneous compute resources.  EMEWS worker pools
+running on those compute resources retrieve and evaluate tasks submitted to
+the task database."
+
+Pieces:
+
+- :mod:`repro.emews.db` — the task database (thread-safe, priority-ordered).
+- :mod:`repro.emews.futures` — *Futures*: "the submission returns a Future,
+  which encapsulates the asynchronous execution of the task", including the
+  single-future completion check used for interleaving.
+- :mod:`repro.emews.worker_pool` — worker pools: a threaded pool for real
+  parallel evaluation and a simulated pool for exact utilization accounting.
+- :mod:`repro.emews.api` — the task API (Python surface plus an R-style
+  alias surface demonstrating the multi-language task API design).
+- :mod:`repro.emews.service` — initialization/finalization: create a task
+  queue and "programmatically start a worker pool on a compute node via an
+  API call", i.e. by submitting a scheduler job.
+"""
+
+from repro.emews.db import Task, TaskDatabase, TaskState
+from repro.emews.sqlite_db import SqliteTaskDatabase
+from repro.emews.futures import TaskFuture, as_completed, pop_completed
+from repro.emews.worker_pool import SimWorkerPool, ThreadedWorkerPool
+from repro.emews.api import TaskQueue
+from repro.emews.reports import ExperimentReport, experiment_report, render_report
+from repro.emews.service import EmewsService, PoolHandle
+
+__all__ = [
+    "Task",
+    "TaskDatabase",
+    "SqliteTaskDatabase",
+    "TaskState",
+    "TaskFuture",
+    "as_completed",
+    "pop_completed",
+    "SimWorkerPool",
+    "ThreadedWorkerPool",
+    "TaskQueue",
+    "ExperimentReport",
+    "experiment_report",
+    "render_report",
+    "EmewsService",
+    "PoolHandle",
+]

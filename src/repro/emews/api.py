@@ -1,0 +1,110 @@
+"""The EMEWS task API.
+
+"EMEWS is based on a decoupled architecture consisting of a task database,
+and a task API, with both Python and R implementations" (§3.2).  The primary
+surface here is :class:`TaskQueue` (the Python task API).  The module also
+exposes an R-flavoured alias surface (:class:`RTaskAPI`) with the naming
+conventions of the ``emews`` R package (``eq_submit_task``,
+``eq_query_result``, ...), demonstrating the multi-*client* design: two
+independent API surfaces over one task database, the offline stand-in for
+the paper's multi-language capability (its ME algorithm drives the workflow
+from R).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.emews.db import TaskDatabase
+from repro.emews.futures import TaskFuture
+
+
+class TaskQueue:
+    """Python task API over one task database.
+
+    All submissions through one queue share an experiment id, mirroring the
+    EMEWS convention of scoping a model-exploration run.
+    """
+
+    def __init__(self, db: TaskDatabase, exp_id: str) -> None:
+        if not exp_id:
+            raise ValidationError("experiment id must be non-empty")
+        self._db = db
+        self.exp_id = exp_id
+
+    @property
+    def db(self) -> TaskDatabase:
+        """The underlying task database."""
+        return self._db
+
+    # ----------------------------------------------------------------- submit
+    def submit_task(
+        self, task_type: str, payload: Any, *, priority: int = 0
+    ) -> TaskFuture:
+        """Insert one task; returns its Future immediately (no waiting)."""
+        task_id = self._db.submit(self.exp_id, task_type, payload, priority=priority)
+        return TaskFuture(self._db, task_id)
+
+    def submit_tasks(
+        self,
+        task_type: str,
+        payloads: Sequence[Any],
+        *,
+        priority: int = 0,
+    ) -> List[TaskFuture]:
+        """Insert a batch of tasks (an experiment design), one Future each."""
+        return [
+            self.submit_task(task_type, payload, priority=priority)
+            for payload in payloads
+        ]
+
+    # ------------------------------------------------------------------ query
+    def queued_count(self, task_type: str) -> int:
+        """Tasks of ``task_type`` still waiting for a worker."""
+        return self._db.queue_length(task_type)
+
+    def counts(self) -> Dict[str, int]:
+        """Database-wide task counts by state."""
+        return self._db.counts()
+
+    def close(self) -> None:
+        """Close the queue: no further submissions, workers drain and exit."""
+        self._db.close()
+
+
+class RTaskAPI:
+    """R-style alias surface over the same task database.
+
+    The method names follow the EMEWS R task API (the paper's workflow "is
+    driven by an R-based model exploration (ME) code" using "the EMEWS R
+    task API").  Functionally identical to :class:`TaskQueue`; existing side
+    by side it demonstrates — and the integration tests exercise — the
+    decoupling property: clients written against different API surfaces
+    interoperate through the shared database.
+    """
+
+    def __init__(self, db: TaskDatabase, exp_id: str) -> None:
+        self._queue = TaskQueue(db, exp_id)
+
+    def eq_submit_task(self, task_type: str, payload: Any, priority: int = 0) -> TaskFuture:
+        """R API: submit one task, returning a Future."""
+        return self._queue.submit_task(task_type, payload, priority=priority)
+
+    def eq_submit_tasks(
+        self, task_type: str, payloads: Sequence[Any], priority: int = 0
+    ) -> List[TaskFuture]:
+        """R API: submit a batch of tasks."""
+        return self._queue.submit_tasks(task_type, payloads, priority=priority)
+
+    def eq_query_result(self, future: TaskFuture, timeout: Optional[float] = None) -> Any:
+        """R API: blocking result query."""
+        return future.result(timeout=timeout)
+
+    def eq_check(self, future: TaskFuture) -> bool:
+        """R API: non-blocking completion check."""
+        return future.check()
+
+    def eq_stop(self) -> None:
+        """R API: close the task queue."""
+        self._queue.close()

@@ -1,0 +1,323 @@
+"""The EMEWS task database.
+
+In EMEWS proper this is EQ-SQL: a PostgreSQL/SQLite database holding task
+input and output queues, with worker pools popping work by type and priority
+and algorithms querying results asynchronously.  This module is a faithful
+in-process equivalent:
+
+- tasks carry an experiment id, a task *type* (worker pools serve one type),
+  a JSON payload, and an integer priority (higher pops first; FIFO within a
+  priority level);
+- submission and completion are thread-safe — the threaded worker pool and
+  the submitting algorithm genuinely race, as in a real deployment;
+- blocking pops support timeouts, and completion signals wake blocked
+  ``result()`` calls on futures;
+- submit/complete listeners let the *simulated* worker pool react to
+  arrivals without polling (the discrete-event analogue of EQ-SQL's
+  notification channel).
+
+Payloads and results must be JSON-serializable: the database stores the
+serialized text, exactly like EQ-SQL, which keeps algorithm and worker
+processes decoupled (nothing object-shaped sneaks through).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+
+
+class TaskState(Enum):
+    """Task lifecycle in the database."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Task:
+    """One row of the task table."""
+
+    task_id: int
+    exp_id: str
+    task_type: str
+    payload: str  # JSON text
+    priority: int
+    state: TaskState = TaskState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    worker_id: Optional[str] = None
+    result: Optional[str] = None  # JSON text
+    error: Optional[str] = None
+
+    def payload_obj(self) -> Any:
+        """Deserialize the payload."""
+        return json.loads(self.payload)
+
+    def result_obj(self) -> Any:
+        """Deserialize the result (None if not complete)."""
+        return None if self.result is None else json.loads(self.result)
+
+
+class TaskDatabase:
+    """Thread-safe task store with priority queues per task type.
+
+    Parameters
+    ----------
+    clock:
+        Time source for the timestamp columns.  Real deployments use wall
+        time (default); simulated worker pools pass ``lambda: env.now`` so
+        queue-wait statistics are in simulated days.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.RLock()
+        self._cv = threading.Condition(self._lock)
+        self._tasks: Dict[int, Task] = {}
+        self._queues: Dict[str, List[Tuple[int, int, int]]] = {}
+        # each queue entry: (-priority, sequence, task_id) kept sorted
+        self._sequence = itertools.count()
+        self._ids = itertools.count(1)
+        self._submit_listeners: List[Callable[[Task], None]] = []
+        self._complete_listeners: List[Callable[[Task], None]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------- listeners
+    def add_submit_listener(self, callback: Callable[[Task], None]) -> None:
+        """Invoke ``callback(task)`` after each submission (sim pools)."""
+        with self._lock:
+            self._submit_listeners.append(callback)
+
+    def add_complete_listener(self, callback: Callable[[Task], None]) -> None:
+        """Invoke ``callback(task)`` after each completion/failure."""
+        with self._lock:
+            self._complete_listeners.append(callback)
+
+    # ----------------------------------------------------------------- submit
+    def submit(
+        self,
+        exp_id: str,
+        task_type: str,
+        payload: Any,
+        *,
+        priority: int = 0,
+    ) -> int:
+        """Insert a task; returns its task id.
+
+        ``payload`` is JSON-serialized here; non-serializable payloads are a
+        caller error.
+        """
+        try:
+            payload_text = json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"task payload is not JSON-serializable: {exc}") from exc
+        with self._cv:
+            if self._closed:
+                raise StateError("task database is closed to new submissions")
+            task = Task(
+                task_id=next(self._ids),
+                exp_id=str(exp_id),
+                task_type=str(task_type),
+                payload=payload_text,
+                priority=int(priority),
+                submitted_at=self._clock(),
+            )
+            self._tasks[task.task_id] = task
+            queue = self._queues.setdefault(task.task_type, [])
+            self._insert_sorted(queue, task)
+            listeners = list(self._submit_listeners)
+            self._cv.notify_all()
+        for callback in listeners:
+            callback(task)
+        return task.task_id
+
+    @staticmethod
+    def _insert_sorted(queue: List[Tuple[int, int, int]], task: Task) -> None:
+        import bisect
+
+        entry = (-task.priority, task.task_id, task.task_id)
+        bisect.insort(queue, entry)
+
+    # -------------------------------------------------------------------- pop
+    def pop_task(
+        self,
+        task_type: str,
+        worker_id: str,
+        *,
+        timeout: Optional[float] = 0.0,
+    ) -> Optional[Task]:
+        """Claim the highest-priority queued task of ``task_type``.
+
+        ``timeout`` semantics: ``0.0`` (default) returns immediately;
+        ``None`` blocks until a task arrives or the database closes; a
+        positive value blocks up to that many wall seconds.
+
+        Returns ``None`` when nothing is available.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                queue = self._queues.get(task_type)
+                while queue:
+                    _, _, task_id = queue.pop(0)
+                    task = self._tasks[task_id]
+                    if task.state is TaskState.QUEUED:
+                        task.state = TaskState.RUNNING
+                        task.started_at = self._clock()
+                        task.worker_id = worker_id
+                        return task
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cv.wait(remaining)
+
+    # --------------------------------------------------------------- complete
+    def complete_task(self, task_id: int, result: Any) -> None:
+        """Record a successful result for a RUNNING task."""
+        try:
+            result_text = json.dumps(result)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"task result is not JSON-serializable: {exc}") from exc
+        self._finish(task_id, TaskState.COMPLETE, result=result_text)
+
+    def fail_task(self, task_id: int, error: str) -> None:
+        """Record a failure for a RUNNING task."""
+        self._finish(task_id, TaskState.FAILED, error=error)
+
+    def _finish(
+        self,
+        task_id: int,
+        state: TaskState,
+        *,
+        result: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        with self._cv:
+            task = self._get(task_id)
+            if task.state is not TaskState.RUNNING:
+                raise StateError(
+                    f"task {task_id} is {task.state.value}, expected running"
+                )
+            task.state = state
+            task.result = result
+            task.error = error
+            task.completed_at = self._clock()
+            listeners = list(self._complete_listeners)
+            self._cv.notify_all()
+        for callback in listeners:
+            callback(task)
+
+    def cancel(self, task_id: int) -> bool:
+        """Cancel a QUEUED task.  Returns False if it already started."""
+        with self._cv:
+            task = self._get(task_id)
+            if task.state is not TaskState.QUEUED:
+                return False
+            task.state = TaskState.CANCELLED
+            task.completed_at = self._clock()
+            self._cv.notify_all()
+            return True
+
+    def set_priority(self, task_id: int, priority: int) -> bool:
+        """Re-prioritize a QUEUED task.  Returns False once it has started."""
+        with self._cv:
+            task = self._get(task_id)
+            if task.state is not TaskState.QUEUED:
+                return False
+            queue = self._queues.get(task.task_type, [])
+            old = (-task.priority, task.task_id, task.task_id)
+            if old in queue:
+                queue.remove(old)
+            task.priority = int(priority)
+            self._insert_sorted(queue, task)
+            self._cv.notify_all()
+            return True
+
+    # ------------------------------------------------------------------ close
+    def close(self) -> None:
+        """Refuse further submissions and wake all blocked pops.
+
+        Worker pools treat a ``None`` pop after close as "drain finished".
+        """
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    # ------------------------------------------------------------------ query
+    def _get(self, task_id: int) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise NotFoundError(f"unknown task id {task_id}") from None
+
+    def get_task(self, task_id: int) -> Task:
+        """Fetch a task row (live object; do not mutate)."""
+        with self._lock:
+            return self._get(task_id)
+
+    def wait_for(self, task_id: int, *, timeout: Optional[float] = None) -> Task:
+        """Block until ``task_id`` reaches a terminal state.
+
+        Only meaningful with real (threaded) worker pools; simulated pools
+        complete tasks on the event loop instead.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                task = self._get(task_id)
+                if task.state in (TaskState.COMPLETE, TaskState.FAILED, TaskState.CANCELLED):
+                    return task
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise StateError(f"timed out waiting for task {task_id}")
+                    self._cv.wait(remaining)
+
+    def counts(self) -> Dict[str, int]:
+        """Task counts by state (reports)."""
+        with self._lock:
+            out: Dict[str, int] = {state.value: 0 for state in TaskState}
+            for task in self._tasks.values():
+                out[task.state.value] += 1
+            return out
+
+    def queue_length(self, task_type: str) -> int:
+        """Number of queued tasks of ``task_type``."""
+        with self._lock:
+            return sum(
+                1
+                for _, _, task_id in self._queues.get(task_type, [])
+                if self._tasks[task_id].state is TaskState.QUEUED
+            )
+
+    def tasks_for_experiment(self, exp_id: str) -> List[Task]:
+        """All tasks of one experiment, in submission order."""
+        with self._lock:
+            return sorted(
+                (t for t in self._tasks.values() if t.exp_id == exp_id),
+                key=lambda t: t.task_id,
+            )

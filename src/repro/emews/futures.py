@@ -1,0 +1,124 @@
+"""EMEWS task futures.
+
+"Submitting a task consists of inserting the task into a task database.
+Rather than wait for the task to complete, the submission returns a *Future*,
+which encapsulates the asynchronous execution of the task.  This Future can
+then be queried later for the result of the task evaluation." (§3.2)
+
+The interleaving pattern central to the paper's MUSIC workflow uses the
+non-blocking single-future check: "each algorithm checks for the completion
+of a single Future, ceding control to the next instance after this check."
+That is :meth:`TaskFuture.check` here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.common.errors import StateError, ValidationError
+from repro.emews.db import Task, TaskDatabase, TaskState
+
+#: States from which a task can no longer progress.
+_TERMINAL = (TaskState.COMPLETE, TaskState.FAILED, TaskState.CANCELLED)
+
+
+class TaskFuture:
+    """Asynchronous handle for one submitted EMEWS task."""
+
+    def __init__(self, db: TaskDatabase, task_id: int) -> None:
+        self._db = db
+        self.task_id = task_id
+
+    # ------------------------------------------------------------------ state
+    def state(self) -> TaskState:
+        """Current database state of the task."""
+        return self._db.get_task(self.task_id).state
+
+    def check(self) -> bool:
+        """Non-blocking completion check (the interleaving primitive).
+
+        Returns True if the task has reached a terminal state.
+        """
+        return self.state() in _TERMINAL
+
+    @property
+    def done(self) -> bool:
+        """Alias of :meth:`check` as a property."""
+        return self.check()
+
+    # ----------------------------------------------------------------- result
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until complete and return the deserialized result.
+
+        Only valid with threaded worker pools (a simulated pool never makes
+        progress while the caller blocks).  Raises :class:`StateError` on
+        task failure or cancellation, or on timeout.
+        """
+        task = self._db.wait_for(self.task_id, timeout=timeout)
+        return self._result_of(task)
+
+    def result_nowait(self) -> Any:
+        """Return the result if available now; raise :class:`StateError` if not."""
+        task = self._db.get_task(self.task_id)
+        if task.state not in _TERMINAL:
+            raise StateError(f"task {self.task_id} has not completed")
+        return self._result_of(task)
+
+    @staticmethod
+    def _result_of(task: Task) -> Any:
+        if task.state is TaskState.FAILED:
+            raise StateError(f"task {task.task_id} failed: {task.error}")
+        if task.state is TaskState.CANCELLED:
+            raise StateError(f"task {task.task_id} was cancelled")
+        return task.result_obj()
+
+    # ---------------------------------------------------------------- control
+    def cancel(self) -> bool:
+        """Cancel if still queued; returns False if already started."""
+        return self._db.cancel(self.task_id)
+
+    def set_priority(self, priority: int) -> bool:
+        """Raise/lower queue priority while still queued."""
+        return self._db.set_priority(self.task_id, priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TaskFuture(task_id={self.task_id}, state={self.state().value})"
+
+
+def pop_completed(futures: List[TaskFuture]) -> Optional[TaskFuture]:
+    """Remove and return one completed future from ``futures``, else None.
+
+    Non-blocking; scans in order, so repeated calls drain completions in
+    submission order.  This is the EMEWS ``pop_completed`` used by worker-
+    pool-aware algorithms.
+    """
+    for i, future in enumerate(futures):
+        if future.check():
+            return futures.pop(i)
+    return None
+
+
+def as_completed(
+    futures: Sequence[TaskFuture],
+    *,
+    timeout: Optional[float] = None,
+    poll_interval: float = 0.001,
+) -> Iterator[TaskFuture]:
+    """Yield futures as they complete (threaded pools only).
+
+    Raises :class:`StateError` if ``timeout`` wall-seconds elapse with
+    futures still outstanding.
+    """
+    if poll_interval <= 0:
+        raise ValidationError("poll_interval must be positive")
+    pending = list(futures)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while pending:
+        completed = pop_completed(pending)
+        if completed is not None:
+            yield completed
+            continue
+        if deadline is not None and time.monotonic() > deadline:
+            raise StateError(f"as_completed timed out with {len(pending)} pending")
+        time.sleep(poll_interval)

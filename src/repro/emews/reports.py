@@ -1,0 +1,113 @@
+"""Experiment reports over the EMEWS task database.
+
+Operational visibility for model-exploration runs: per-experiment
+throughput, queue-wait and service-time statistics, worker load balance,
+and failure summaries — computed from the task table either backend
+records.  These are the numbers an EMEWS operator checks when deciding
+whether a worker pool is sized correctly (the practical side of the paper's
+utilization discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.tabulate import format_table
+from repro.emews.db import Task, TaskState
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Summary statistics for one experiment's tasks."""
+
+    exp_id: str
+    n_tasks: int
+    n_complete: int
+    n_failed: int
+    n_cancelled: int
+    n_outstanding: int
+    mean_queue_wait: float
+    max_queue_wait: float
+    mean_service_time: float
+    makespan: float
+    worker_load: Dict[str, int]
+
+    @property
+    def success_rate(self) -> float:
+        """Completed / finished (1.0 when nothing finished yet)."""
+        finished = self.n_complete + self.n_failed
+        return 1.0 if finished == 0 else self.n_complete / finished
+
+    def load_imbalance(self) -> float:
+        """max/mean tasks per worker (1.0 = perfectly balanced)."""
+        if not self.worker_load:
+            return 1.0
+        loads = np.array(list(self.worker_load.values()), dtype=float)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+
+def experiment_report(db, exp_id: str) -> ExperimentReport:
+    """Build an :class:`ExperimentReport` from either database backend."""
+    tasks: List[Task] = db.tasks_for_experiment(exp_id)
+    if not tasks:
+        raise ValidationError(f"no tasks recorded for experiment {exp_id!r}")
+    waits = []
+    services = []
+    worker_load: Dict[str, int] = {}
+    n_complete = n_failed = n_cancelled = 0
+    start = min(t.submitted_at for t in tasks)
+    end = start
+    for task in tasks:
+        if task.started_at is not None:
+            waits.append(task.started_at - task.submitted_at)
+            if task.worker_id:
+                worker_load[task.worker_id] = worker_load.get(task.worker_id, 0) + 1
+        if task.completed_at is not None:
+            end = max(end, task.completed_at)
+            if task.started_at is not None:
+                services.append(task.completed_at - task.started_at)
+        if task.state is TaskState.COMPLETE:
+            n_complete += 1
+        elif task.state is TaskState.FAILED:
+            n_failed += 1
+        elif task.state is TaskState.CANCELLED:
+            n_cancelled += 1
+    return ExperimentReport(
+        exp_id=exp_id,
+        n_tasks=len(tasks),
+        n_complete=n_complete,
+        n_failed=n_failed,
+        n_cancelled=n_cancelled,
+        n_outstanding=len(tasks) - n_complete - n_failed - n_cancelled,
+        mean_queue_wait=float(np.mean(waits)) if waits else 0.0,
+        max_queue_wait=float(np.max(waits)) if waits else 0.0,
+        mean_service_time=float(np.mean(services)) if services else 0.0,
+        makespan=end - start,
+        worker_load=worker_load,
+    )
+
+
+def render_report(report: ExperimentReport) -> str:
+    """Monospace rendering of an experiment report."""
+    rows = [
+        ["tasks", report.n_tasks],
+        ["complete", report.n_complete],
+        ["failed", report.n_failed],
+        ["cancelled", report.n_cancelled],
+        ["outstanding", report.n_outstanding],
+        ["success rate", round(report.success_rate, 4)],
+        ["mean queue wait", round(report.mean_queue_wait, 6)],
+        ["max queue wait", round(report.max_queue_wait, 6)],
+        ["mean service time", round(report.mean_service_time, 6)],
+        ["makespan", round(report.makespan, 6)],
+        ["workers", len(report.worker_load)],
+        ["load imbalance (max/mean)", round(report.load_imbalance(), 3)],
+    ]
+    return format_table(
+        ["metric", "value"], rows, title=f"experiment {report.exp_id!r}"
+    )

@@ -1,0 +1,159 @@
+"""EMEWS service: queue setup and programmatic worker-pool start.
+
+"The initialization code first sets up the EMEWS task queue used for the
+task submissions, and then starts an EMEWS worker pool.  When this
+initialization code is run in production on a compute node (as opposed to
+locally when testing), the code starts a worker pool by submitting a job to
+the compute resource scheduler (e.g., SLURM or PBS). ... Once all of the
+MUSIC algorithms have finished, the finalization code closes the task queue,
+and stops the worker pool." (§3.2)
+
+:class:`EmewsService` is that initialization/finalization API, with both
+modes:
+
+- ``start_local_pool`` — threads in this process ("locally when testing");
+- ``start_scheduled_pool`` — submits a batch job to a
+  :class:`~repro.hpc.BatchScheduler`; the job's payload starts a
+  :class:`~repro.emews.worker_pool.SimWorkerPool` sized to the allocated
+  nodes, and stopping the pool completes the job ("in production on a
+  compute node").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from repro.common.errors import ValidationError
+from repro.emews.db import TaskDatabase
+from repro.emews.api import TaskQueue
+from repro.emews.worker_pool import EvalFn, SimWorkerPool, ThreadedWorkerPool
+from repro.hpc.scheduler import BatchScheduler, Job, JobRequest
+from repro.sim import SimulationEnvironment
+
+
+@dataclass
+class PoolHandle:
+    """Handle for a started worker pool (either mode)."""
+
+    name: str
+    pool: Union[ThreadedWorkerPool, SimWorkerPool]
+    job: Optional[Job] = None  # the scheduler job, for scheduled pools
+
+    def stop(self) -> None:
+        """Stop the pool; for scheduled pools, also complete the batch job."""
+        if isinstance(self.pool, ThreadedWorkerPool):
+            self.pool.shutdown()
+        else:
+            self.pool.stop()
+        if self.job is not None and not self.job.done:
+            self.job.complete(result=f"pool {self.name} stopped")
+
+    @property
+    def tasks_processed(self) -> int:
+        """Tasks evaluated by this pool so far."""
+        return self.pool.tasks_processed
+
+
+class EmewsService:
+    """Queue creation plus worker-pool lifecycle management."""
+
+    def __init__(self, db: Optional[TaskDatabase] = None) -> None:
+        self.db = db if db is not None else TaskDatabase()
+        self._pools: list[PoolHandle] = []
+
+    # ------------------------------------------------------------------ queue
+    def make_queue(self, exp_id: str) -> TaskQueue:
+        """Set up a task queue for an experiment."""
+        return TaskQueue(self.db, exp_id)
+
+    # ------------------------------------------------------------- local pool
+    def start_local_pool(
+        self,
+        task_type: str,
+        fn: EvalFn,
+        *,
+        n_workers: int = 4,
+        name: str = "local-pool",
+    ) -> PoolHandle:
+        """Start a threaded pool in this process (the testing mode)."""
+        pool = ThreadedWorkerPool(
+            self.db, task_type, fn, n_workers=n_workers, name=name
+        ).start()
+        handle = PoolHandle(name=name, pool=pool)
+        self._pools.append(handle)
+        return handle
+
+    # --------------------------------------------------------- scheduled pool
+    def start_scheduled_pool(
+        self,
+        scheduler: BatchScheduler,
+        env: SimulationEnvironment,
+        task_type: str,
+        *,
+        n_nodes: int = 1,
+        slots_per_node: Optional[int] = None,
+        walltime: float = 2.0,
+        fn: Optional[EvalFn] = None,
+        duration_fn: Callable[[Any], float] = lambda payload: 1e-3,
+        name: str = "scheduled-pool",
+    ) -> PoolHandle:
+        """Start a pool by submitting a job to the batch scheduler.
+
+        The returned handle's pool only begins serving tasks once the job
+        starts (i.e., after any queue wait), faithfully reproducing the
+        production path.  ``slots_per_node`` defaults to the cluster's
+        cores per node.
+        """
+        if slots_per_node is None:
+            slots_per_node = scheduler.cluster.cores_per_node
+        if slots_per_node < 1:
+            raise ValidationError("slots_per_node must be >= 1")
+        n_slots = n_nodes * slots_per_node
+        pool = SimWorkerPool(
+            env,
+            self.db,
+            task_type,
+            fn=fn,
+            duration_fn=duration_fn,
+            n_slots=n_slots,
+            name=name,
+        )
+        handle = PoolHandle(name=name, pool=pool)
+
+        def payload(job: Job) -> str:
+            pool.start()
+            return f"worker pool {name} started on {n_nodes} node(s)"
+
+        job = scheduler.submit(
+            JobRequest(
+                name=f"emews-pool:{name}",
+                n_nodes=n_nodes,
+                walltime=walltime,
+                payload=payload,
+                duration=None,  # service job: runs until stopped or walltime
+            )
+        )
+
+        def on_job_done(finished: Job) -> None:
+            pool.stop()
+
+        job.on_complete.append(on_job_done)
+        handle.job = job
+        self._pools.append(handle)
+        return handle
+
+    # ------------------------------------------------------------ finalization
+    def finalize(self, queue: Optional[TaskQueue] = None) -> None:
+        """Close the task queue and stop every pool started by this service."""
+        if queue is not None:
+            queue.close()
+        else:
+            self.db.close()
+        for handle in self._pools:
+            handle.stop()
+
+    @property
+    def pools(self) -> list[PoolHandle]:
+        """Handles of all pools started through this service."""
+        return list(self._pools)

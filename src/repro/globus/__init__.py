@@ -1,0 +1,61 @@
+"""Simulated Globus services.
+
+The paper's AERO deployment "relies on the security and robustness of Globus
+technologies such as Globus Auth, Flows, and Timers" (§2.2), stores data on
+the ALCF Eagle Globus collection, and executes functions through Globus
+Compute endpoints on the LCRC Bebop cluster.  None of those services are
+reachable offline, so this subpackage reimplements each of them in-process
+with the same API shapes and the semantics the paper depends on:
+
+- :mod:`repro.globus.auth` — identities, scoped access tokens (Globus Auth).
+- :mod:`repro.globus.collections` — named storage collections with per-
+  identity permissions (Globus Collections / Transfer endpoints).
+- :mod:`repro.globus.transfer` — asynchronous third-party transfers between
+  collections (Globus Transfer).
+- :mod:`repro.globus.compute` — registered functions executed on remote
+  endpoints, either on a shared login node or through a batch scheduler
+  (Globus Compute / funcX).
+- :mod:`repro.globus.flows` — multi-step flow definitions and run logs
+  (Globus Flows).
+- :mod:`repro.globus.timers` — periodic scheduled actions (Globus Timers).
+
+All services share one :class:`repro.sim.SimulationEnvironment` so that
+polling intervals, queue waits, and transfer latencies compose into a single
+deterministic timeline.
+"""
+
+from repro.globus.auth import AuthService, Identity, Token
+from repro.globus.collections import Collection, Permission, StorageService
+from repro.globus.transfer import TransferService, TransferTask
+from repro.globus.timers import Timer, TimerService
+from repro.globus.flows import FlowDefinition, FlowRun, FlowsService
+from repro.globus.compute import (
+    ComputeEndpoint,
+    ComputeFuture,
+    ComputeService,
+    GlobusComputeEngine,
+    LoginNodeEngine,
+    simulated_cost,
+)
+
+__all__ = [
+    "AuthService",
+    "Identity",
+    "Token",
+    "Collection",
+    "Permission",
+    "StorageService",
+    "TransferService",
+    "TransferTask",
+    "Timer",
+    "TimerService",
+    "FlowDefinition",
+    "FlowRun",
+    "FlowsService",
+    "ComputeEndpoint",
+    "ComputeFuture",
+    "ComputeService",
+    "GlobusComputeEngine",
+    "LoginNodeEngine",
+    "simulated_cost",
+]

@@ -1,0 +1,219 @@
+"""Simulated Globus storage collections.
+
+The wastewater workflow stores every raw, transformed, and derived artifact
+on "the ALCF Eagle Globus endpoint" and shares results with stakeholders
+"through standard Globus Collection permissions" (§2.2).  A collection here
+is a named, permissioned, in-memory object store: path → bytes, with
+per-identity read/write grants enforced on every operation.
+
+Two deliberate fidelity points:
+
+- **Data never passes through the AERO server.**  AERO (see
+  :mod:`repro.aero`) holds only collection/path URIs and checksums; flows
+  read and write collections directly, as in the paper.
+- **Versioned paths are immutable by convention, not by mechanism** — the
+  store allows overwrite (like a real POSIX-backed collection), and AERO's
+  metadata layer is what provides versioning on top.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    AuthorizationError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.common.hashing import content_checksum
+from repro.globus.auth import AuthService, Identity, Token
+from repro.sim import SimulationEnvironment
+
+
+class Permission(Enum):
+    """Access levels grantable on a collection."""
+
+    READ = "read"
+    WRITE = "write"  # implies read, as in Globus ACLs
+
+
+def _normalize_path(path: str) -> str:
+    """Normalize a collection path: forward slashes, no leading slash, no '..'."""
+    if not path or path.startswith("/") or ".." in path.split("/"):
+        raise ValidationError(f"invalid collection path {path!r}")
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    if not parts:
+        raise ValidationError(f"invalid collection path {path!r}")
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """Metadata for one stored object."""
+
+    path: str
+    size: int
+    checksum: str
+    modified_at: float
+
+
+class Collection:
+    """A named storage collection with identity-based access control.
+
+    Created through :meth:`StorageService.create_collection`; not meant to be
+    instantiated directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        owner: Identity,
+        auth: AuthService,
+        env: SimulationEnvironment,
+    ) -> None:
+        self.name = name
+        self.owner = owner
+        self._auth = auth
+        self._env = env
+        self._objects: Dict[str, bytes] = {}
+        self._records: Dict[str, FileRecord] = {}
+        self._acl: Dict[str, Permission] = {owner.identity_id: Permission.WRITE}
+
+    # ------------------------------------------------------------------- acl
+    def grant(self, granting_token: Token, identity: Identity, permission: Permission) -> None:
+        """Grant ``identity`` access.  Only the owner may change the ACL."""
+        grantor = self._auth.validate(granting_token, "transfer")
+        if grantor.identity_id != self.owner.identity_id:
+            raise AuthorizationError(
+                f"only the owner of collection {self.name!r} may modify its ACL"
+            )
+        self._acl[identity.identity_id] = permission
+
+    def permissions_for(self, identity: Identity) -> Optional[Permission]:
+        """The permission currently granted to ``identity``, if any."""
+        return self._acl.get(identity.identity_id)
+
+    def _check(self, token: Token, needed: Permission) -> Identity:
+        identity = self._auth.validate(token, "transfer")
+        granted = self._acl.get(identity.identity_id)
+        if granted is None:
+            raise AuthorizationError(
+                f"identity {identity.username!r} has no access to collection {self.name!r}"
+            )
+        if needed is Permission.WRITE and granted is not Permission.WRITE:
+            raise AuthorizationError(
+                f"identity {identity.username!r} has read-only access to {self.name!r}"
+            )
+        return identity
+
+    # ------------------------------------------------------------------- i/o
+    def put(self, token: Token, path: str, data: bytes | str) -> FileRecord:
+        """Store ``data`` at ``path`` (overwriting), returning its record."""
+        self._check(token, Permission.WRITE)
+        path = _normalize_path(path)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._objects[path] = bytes(data)
+        record = FileRecord(
+            path=path,
+            size=len(data),
+            checksum=content_checksum(data),
+            modified_at=self._env.now,
+        )
+        self._records[path] = record
+        return record
+
+    def get(self, token: Token, path: str) -> bytes:
+        """Fetch the bytes stored at ``path``."""
+        self._check(token, Permission.READ)
+        path = _normalize_path(path)
+        try:
+            return self._objects[path]
+        except KeyError:
+            raise NotFoundError(f"{self.name}:{path} does not exist") from None
+
+    def get_text(self, token: Token, path: str) -> str:
+        """Fetch ``path`` and decode as UTF-8."""
+        return self.get(token, path).decode("utf-8")
+
+    def stat(self, token: Token, path: str) -> FileRecord:
+        """Metadata for ``path``."""
+        self._check(token, Permission.READ)
+        path = _normalize_path(path)
+        try:
+            return self._records[path]
+        except KeyError:
+            raise NotFoundError(f"{self.name}:{path} does not exist") from None
+
+    def exists(self, token: Token, path: str) -> bool:
+        """True if an object is stored at ``path``."""
+        self._check(token, Permission.READ)
+        return _normalize_path(path) in self._objects
+
+    def delete(self, token: Token, path: str) -> None:
+        """Remove the object at ``path``."""
+        self._check(token, Permission.WRITE)
+        path = _normalize_path(path)
+        if path not in self._objects:
+            raise NotFoundError(f"{self.name}:{path} does not exist")
+        del self._objects[path]
+        del self._records[path]
+
+    def ls(self, token: Token, pattern: str = "*") -> List[FileRecord]:
+        """Records for all paths matching a glob ``pattern``, sorted by path."""
+        self._check(token, Permission.READ)
+        return [
+            self._records[p]
+            for p in sorted(self._objects)
+            if fnmatch.fnmatch(p, pattern)
+        ]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total stored bytes (for transfer-latency modelling and reports)."""
+        return sum(len(v) for v in self._objects.values())
+
+
+class StorageService:
+    """Registry of collections, addressed by name.
+
+    URIs of the form ``collection_name:path`` (as stored in AERO metadata)
+    are resolved through :meth:`resolve_uri`.
+    """
+
+    def __init__(self, auth: AuthService, env: SimulationEnvironment) -> None:
+        self._auth = auth
+        self._env = env
+        self._collections: Dict[str, Collection] = {}
+
+    def create_collection(self, name: str, owner_token: Token) -> Collection:
+        """Create a collection owned by the token's identity."""
+        if not name or ":" in name:
+            raise ValidationError(f"invalid collection name {name!r}")
+        if name in self._collections:
+            raise ValidationError(f"collection {name!r} already exists")
+        owner = self._auth.validate(owner_token, "transfer")
+        collection = Collection(name, owner, self._auth, self._env)
+        self._collections[name] = collection
+        return collection
+
+    def get_collection(self, name: str) -> Collection:
+        """Look up a collection by name."""
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise NotFoundError(f"unknown collection {name!r}") from None
+
+    def resolve_uri(self, uri: str) -> Tuple[Collection, str]:
+        """Split ``collection:path`` into (collection, normalized path)."""
+        if ":" not in uri:
+            raise ValidationError(f"malformed storage URI {uri!r}")
+        name, _, path = uri.partition(":")
+        return self.get_collection(name), _normalize_path(path)
+
+    def make_uri(self, collection: Collection, path: str) -> str:
+        """Canonical URI for (collection, path)."""
+        return f"{collection.name}:{_normalize_path(path)}"

@@ -1,0 +1,374 @@
+"""Simulated Globus Compute (funcX): federated function execution.
+
+The paper runs three kinds of functions through Globus Compute (§2.2):
+
+- cheap data transformation and aggregation functions "on a Globus Compute
+  endpoint configured on a login node on the Bebop cluster" (shared node,
+  runs in under a minute);
+- the expensive R(t) analysis "using a Globus Compute endpoint configured
+  for a compute node using the GlobusComputeEngine", where "Globus Compute
+  will queue a job on Bebop's PBS scheduler to run the function on one node".
+
+This module reproduces both execution paths:
+
+- :class:`LoginNodeEngine` — bounded-concurrency execution directly on a
+  shared node (no batch queue);
+- :class:`GlobusComputeEngine` — one batch job per task, submitted to a
+  :class:`repro.hpc.BatchScheduler`, so tasks experience real queue waits.
+
+Functions are registered with the service (returning a function id, as with
+funcX) and submitted by id.  Each function may declare a *simulated cost*
+(days of compute) via :func:`simulated_cost`; the Python body runs for real
+when the task starts on the simulated clock, and the task then occupies its
+resource for the declared duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import (
+    NotFoundError,
+    StateError,
+    ValidationError,
+)
+from repro.globus.auth import AuthService, Token
+from repro.hpc.scheduler import BatchScheduler, Job, JobRequest, JobState
+from repro.sim import SimulationEnvironment
+
+_COST_ATTR = "__simulated_cost__"
+
+#: Default simulated task duration (days) when a function declares none:
+#: about 5 simulated seconds, i.e. effectively instant but strictly positive.
+DEFAULT_COST_DAYS = 5.0 / 86400.0
+
+
+def simulated_cost(cost: Union[float, Callable[..., float]]):
+    """Decorator attaching a simulated execution cost to a function.
+
+    ``cost`` is either a fixed number of days or a callable evaluated on the
+    task's ``(*args, **kwargs)`` at start time, so cost can scale with input
+    size (e.g. MCMC iterations).
+
+    Examples
+    --------
+    >>> @simulated_cost(0.05)            # ~1.2 simulated hours
+    ... def rt_analysis(data): ...
+    """
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        setattr(fn, _COST_ATTR, cost)
+        return fn
+
+    return wrap
+
+
+def task_cost(fn: Callable[..., Any], args: tuple, kwargs: dict) -> float:
+    """Resolve the simulated cost of invoking ``fn`` with given arguments."""
+    cost = getattr(fn, _COST_ATTR, DEFAULT_COST_DAYS)
+    if callable(cost):
+        cost = cost(*args, **kwargs)
+    cost = float(cost)
+    if cost < 0:
+        raise ValidationError(f"simulated cost of {fn!r} resolved to {cost} < 0")
+    return cost
+
+
+class TaskStatus(Enum):
+    """Compute task lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class ComputeFuture:
+    """Handle for a submitted compute task."""
+
+    def __init__(self, task_id: str, endpoint_name: str) -> None:
+        self.task_id = task_id
+        self.endpoint_name = endpoint_name
+        self.status = TaskStatus.PENDING
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._result: Any = None
+        self._error: Optional[str] = None
+        self._callbacks: List[Callable[["ComputeFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the task succeeded or failed."""
+        return self.status in (TaskStatus.SUCCEEDED, TaskStatus.FAILED)
+
+    def result(self) -> Any:
+        """The function's return value.
+
+        Raises
+        ------
+        StateError
+            If the task is not finished, or finished with an error.
+        """
+        if not self.done:
+            raise StateError(f"task {self.task_id} has not completed")
+        if self.status is TaskStatus.FAILED:
+            raise StateError(f"task {self.task_id} failed: {self._error}")
+        return self._result
+
+    @property
+    def error(self) -> Optional[str]:
+        """Failure message, if the task failed."""
+        return self._error
+
+    def add_done_callback(self, callback: Callable[["ComputeFuture"], None]) -> None:
+        """Invoke ``callback(self)`` on completion (immediately if done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # internal
+    def _finish(self, status: TaskStatus, result: Any, error: Optional[str], now: float) -> None:
+        self.status = status
+        self._result = result
+        self._error = error
+        self.completed_at = now
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class _Engine:
+    """Execution backend interface for an endpoint."""
+
+    def execute(
+        self,
+        future: ComputeFuture,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LoginNodeEngine(_Engine):
+    """Bounded-concurrency execution on a shared login node.
+
+    Tasks beyond ``max_concurrent`` wait in FIFO order.  Suitable for the
+    paper's sub-minute transformation and aggregation functions.
+    """
+
+    def __init__(self, env: SimulationEnvironment, *, max_concurrent: int = 4) -> None:
+        if max_concurrent < 1:
+            raise ValidationError("max_concurrent must be >= 1")
+        self._env = env
+        self._max = max_concurrent
+        self._running = 0
+        self._waiting: List[Tuple[ComputeFuture, Callable[..., Any], tuple, dict]] = []
+
+    @property
+    def running(self) -> int:
+        """Tasks currently executing."""
+        return self._running
+
+    def execute(self, future, fn, args, kwargs) -> None:
+        self._waiting.append((future, fn, args, kwargs))
+        self._env.schedule(0.0, self._drain, label="login-node-drain")
+
+    def _drain(self) -> None:
+        while self._waiting and self._running < self._max:
+            future, fn, args, kwargs = self._waiting.pop(0)
+            self._run(future, fn, args, kwargs)
+
+    def _run(self, future: ComputeFuture, fn, args, kwargs) -> None:
+        self._running += 1
+        future.status = TaskStatus.RUNNING
+        future.started_at = self._env.now
+        try:
+            result = fn(*args, **kwargs)
+            error = None
+            status = TaskStatus.SUCCEEDED
+            cost = task_cost(fn, args, kwargs)
+        except Exception as exc:
+            result, status = None, TaskStatus.FAILED
+            error = f"{type(exc).__name__}: {exc}"
+            cost = DEFAULT_COST_DAYS
+
+        def _complete() -> None:
+            self._running -= 1
+            future._finish(status, result, error, self._env.now)
+            self._drain()
+
+        self._env.schedule(cost, _complete, label=f"login-task:{future.task_id}")
+
+
+class GlobusComputeEngine(_Engine):
+    """One batch job per task, queued through a :class:`BatchScheduler`.
+
+    Reproduces the paper's expensive-analysis path: "Globus Compute will
+    queue a job on Bebop's PBS scheduler to run the function on one node."
+    """
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        *,
+        nodes_per_task: int = 1,
+        walltime: float = 1.0,
+    ) -> None:
+        if nodes_per_task < 1:
+            raise ValidationError("nodes_per_task must be >= 1")
+        if walltime <= 0:
+            raise ValidationError("walltime must be positive")
+        self.scheduler = scheduler
+        self._nodes_per_task = nodes_per_task
+        self._walltime = float(walltime)
+
+    def execute(self, future, fn, args, kwargs) -> None:
+        def payload(job: Job) -> Any:
+            future.status = TaskStatus.RUNNING
+            future.started_at = job.started_at
+            return fn(*args, **kwargs)
+
+        def on_job_done(job: Job) -> None:
+            now = job.completed_at if job.completed_at is not None else 0.0
+            if job.state is JobState.COMPLETED:
+                future._finish(TaskStatus.SUCCEEDED, job.result, None, now)
+            elif job.state is JobState.TIMEOUT:
+                future._finish(TaskStatus.FAILED, None, "walltime exceeded", now)
+            else:
+                future._finish(TaskStatus.FAILED, None, job.error or job.state.value, now)
+
+        request = JobRequest(
+            name=f"globus-compute:{future.task_id}",
+            n_nodes=self._nodes_per_task,
+            walltime=self._walltime,
+            payload=payload,
+            duration=lambda job: task_cost(fn, args, kwargs),
+        )
+        job = self.scheduler.submit(request)
+        job.on_complete.append(on_job_done)
+
+
+@dataclass(frozen=True)
+class _RegisteredFunction:
+    function_id: str
+    name: str
+    fn: Callable[..., Any]
+
+
+class ComputeEndpoint:
+    """A named execution endpoint bound to an engine."""
+
+    def __init__(self, name: str, engine: _Engine, service: "ComputeService") -> None:
+        self.name = name
+        self._engine = engine
+        self._service = service
+
+    @property
+    def engine(self) -> _Engine:
+        """The execution backend (exposed for utilization inspection)."""
+        return self._engine
+
+    def submit(
+        self,
+        token: Token,
+        function_id: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> ComputeFuture:
+        """Submit a registered function for execution on this endpoint."""
+        return self._service._submit(token, self, function_id, args, kwargs)
+
+
+class ComputeService:
+    """Function registry plus endpoint directory (the funcX web service)."""
+
+    def __init__(self, auth: AuthService, env: SimulationEnvironment) -> None:
+        self._auth = auth
+        self._env = env
+        self._functions: Dict[str, _RegisteredFunction] = {}
+        self._endpoints: Dict[str, ComputeEndpoint] = {}
+        self._fn_counter = 0
+        self._task_counter = 0
+        self._tasks: Dict[str, ComputeFuture] = {}
+
+    # -------------------------------------------------------------- registry
+    def register_function(
+        self, token: Token, fn: Callable[..., Any], *, name: Optional[str] = None
+    ) -> str:
+        """Register ``fn``; returns its function id for later submission."""
+        self._auth.validate(token, "compute")
+        if not callable(fn):
+            raise ValidationError("only callables can be registered")
+        self._fn_counter += 1
+        function_id = f"fn-{self._fn_counter:06d}"
+        self._functions[function_id] = _RegisteredFunction(
+            function_id=function_id,
+            name=name or getattr(fn, "__name__", "anonymous"),
+            fn=fn,
+        )
+        return function_id
+
+    def get_function_name(self, function_id: str) -> str:
+        """Human-readable name of a registered function."""
+        return self._get_function(function_id).name
+
+    def _get_function(self, function_id: str) -> _RegisteredFunction:
+        try:
+            return self._functions[function_id]
+        except KeyError:
+            raise NotFoundError(f"unknown function id {function_id!r}") from None
+
+    def create_endpoint(self, name: str, engine: _Engine) -> ComputeEndpoint:
+        """Register an endpoint backed by ``engine``."""
+        if name in self._endpoints:
+            raise ValidationError(f"endpoint {name!r} already exists")
+        endpoint = ComputeEndpoint(name, engine, self)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def get_endpoint(self, name: str) -> ComputeEndpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise NotFoundError(f"unknown compute endpoint {name!r}") from None
+
+    # ---------------------------------------------------------------- submit
+    def _submit(
+        self,
+        token: Token,
+        endpoint: ComputeEndpoint,
+        function_id: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> ComputeFuture:
+        self._auth.validate(token, "compute")
+        registered = self._get_function(function_id)
+        self._task_counter += 1
+        future = ComputeFuture(
+            task_id=f"gc-task-{self._task_counter:08d}",
+            endpoint_name=endpoint.name,
+        )
+        future.submitted_at = self._env.now
+        self._tasks[future.task_id] = future
+        endpoint._engine.execute(future, registered.fn, args, kwargs)
+        return future
+
+    def get_task(self, task_id: str) -> ComputeFuture:
+        """Look up a task future by id."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise NotFoundError(f"unknown compute task {task_id!r}") from None
+
+    def task_counts(self) -> Dict[str, int]:
+        """Mapping endpoint name → tasks submitted (reports)."""
+        counts: Dict[str, int] = {}
+        for future in self._tasks.values():
+            counts[future.endpoint_name] = counts.get(future.endpoint_name, 0) + 1
+        return counts

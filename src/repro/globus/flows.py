@@ -1,0 +1,201 @@
+"""Simulated Globus Flows: multi-step orchestration with run logs.
+
+Globus Flows [Chard et al. 2023] executes declarative state machines whose
+states invoke action providers (transfer, compute, ...).  AERO composes its
+ingestion and analysis behaviour from such steps ("the AERO API wraps the
+function call with additional code that 1) performs the data retrieval ...
+2) calls the user-specified function ... 3) uploads any outputs ... and
+4) updates the AERO database", §2.2).
+
+This module provides the orchestration slice AERO needs: a
+:class:`FlowDefinition` is an ordered list of named steps, each a callable
+taking and returning a context dict; running a flow produces a
+:class:`FlowRun` that logs per-step start/stop times and status on the
+simulated clock.  Steps execute synchronously within the simulated instant in
+which the run is started — asynchrony between flows comes from the services
+the steps call (transfers, compute tasks, timers), exactly as in AERO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.globus.auth import AuthService, Token
+from repro.sim import SimulationEnvironment
+
+#: A flow step: takes the mutable run context, returns updates to merge in.
+StepFn = Callable[[Dict[str, Any]], Optional[Dict[str, Any]]]
+
+
+class RunStatus(Enum):
+    """Lifecycle states of a flow run."""
+
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class StepRecord:
+    """Log entry for one executed step of a run."""
+
+    name: str
+    started_at: float
+    completed_at: Optional[float] = None
+    status: RunStatus = RunStatus.ACTIVE
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FlowDefinition:
+    """An ordered, named sequence of steps.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique id assigned at registration.
+    title:
+        Human-readable name shown in run logs.
+    steps:
+        ``(name, callable)`` pairs executed in order.
+    """
+
+    flow_id: str
+    title: str
+    steps: Tuple[Tuple[str, StepFn], ...]
+
+    def step_names(self) -> List[str]:
+        """Names of the steps in execution order."""
+        return [name for name, _ in self.steps]
+
+
+@dataclass
+class FlowRun:
+    """One execution of a flow definition."""
+
+    run_id: str
+    flow_id: str
+    started_at: float
+    context: Dict[str, Any] = field(default_factory=dict)
+    step_log: List[StepRecord] = field(default_factory=list)
+    status: RunStatus = RunStatus.ACTIVE
+    completed_at: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the run has succeeded or failed."""
+        return self.status is not RunStatus.ACTIVE
+
+
+class FlowsService:
+    """In-process Globus Flows replacement."""
+
+    def __init__(self, auth: AuthService, env: SimulationEnvironment) -> None:
+        self._auth = auth
+        self._env = env
+        self._flows: Dict[str, FlowDefinition] = {}
+        self._runs: Dict[str, FlowRun] = {}
+        self._flow_counter = 0
+        self._run_counter = 0
+
+    # -------------------------------------------------------------- register
+    def register_flow(
+        self,
+        token: Token,
+        title: str,
+        steps: Sequence[Tuple[str, StepFn]],
+    ) -> FlowDefinition:
+        """Register a flow definition and return it."""
+        self._auth.validate(token, "flows")
+        if not steps:
+            raise ValidationError("a flow must have at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate step names in flow {title!r}: {names}")
+        for name, fn in steps:
+            if not callable(fn):
+                raise ValidationError(f"step {name!r} of flow {title!r} is not callable")
+        self._flow_counter += 1
+        flow = FlowDefinition(
+            flow_id=f"flow-{self._flow_counter:06d}",
+            title=title,
+            steps=tuple((name, fn) for name, fn in steps),
+        )
+        self._flows[flow.flow_id] = flow
+        return flow
+
+    def get_flow(self, flow_id: str) -> FlowDefinition:
+        """Look up a registered flow."""
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise NotFoundError(f"unknown flow {flow_id!r}") from None
+
+    # ------------------------------------------------------------------ run
+    def run_flow(
+        self,
+        token: Token,
+        flow: FlowDefinition,
+        initial_context: Optional[Dict[str, Any]] = None,
+    ) -> FlowRun:
+        """Execute ``flow`` now, step by step, and return its run record.
+
+        A step failure marks the run FAILED, records the exception message,
+        and skips remaining steps; it never propagates out of the service
+        (runs are observed through their logs, as with real Flows).
+        """
+        self._auth.validate(token, "flows")
+        if flow.flow_id not in self._flows:
+            raise NotFoundError(f"flow {flow.flow_id!r} is not registered")
+        self._run_counter += 1
+        run = FlowRun(
+            run_id=f"run-{self._run_counter:08d}",
+            flow_id=flow.flow_id,
+            started_at=self._env.now,
+            context=dict(initial_context or {}),
+        )
+        self._runs[run.run_id] = run
+        for name, fn in flow.steps:
+            record = StepRecord(name=name, started_at=self._env.now)
+            run.step_log.append(record)
+            try:
+                updates = fn(run.context)
+            except Exception as exc:
+                record.status = RunStatus.FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.completed_at = self._env.now
+                run.status = RunStatus.FAILED
+                run.error = f"step {name!r} failed: {record.error}"
+                run.completed_at = self._env.now
+                return run
+            if updates:
+                run.context.update(updates)
+            record.status = RunStatus.SUCCEEDED
+            record.completed_at = self._env.now
+        run.status = RunStatus.SUCCEEDED
+        run.completed_at = self._env.now
+        return run
+
+    # ---------------------------------------------------------------- query
+    def get_run(self, run_id: str) -> FlowRun:
+        """Look up a run by id."""
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise NotFoundError(f"unknown flow run {run_id!r}") from None
+
+    def runs_for(self, flow: FlowDefinition) -> List[FlowRun]:
+        """All runs of ``flow``, in start order."""
+        return [r for r in self._runs.values() if r.flow_id == flow.flow_id]
+
+    def run_counts(self) -> Dict[str, int]:
+        """Mapping of flow title → number of runs (workflow reports)."""
+        counts: Dict[str, int] = {}
+        for run in self._runs.values():
+            title = self._flows[run.flow_id].title
+            counts[title] = counts.get(title, 0) + 1
+        return counts

@@ -1,0 +1,153 @@
+"""Simulated Globus Timers: periodic scheduled actions.
+
+AERO "will poll the wastewater data source at a user specifiable frequency,
+in this case daily" (§2.2); in the real deployment that polling is a Globus
+Timer firing a flow.  This module provides the periodic-action service on the
+shared simulated clock.
+
+Semantics (matching Globus Timers where it matters):
+
+- a timer has an interval, an optional start offset, and an optional maximum
+  number of firings;
+- firings are *serialized per timer*: the next firing is scheduled only after
+  the current callback returns, so a slow callback delays subsequent firings
+  rather than stacking them;
+- pausing and resuming preserves the phase of the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import StateError, ValidationError
+from repro.globus.auth import AuthService, Token
+from repro.sim import Event, SimulationEnvironment
+
+
+class Timer:
+    """A periodic timer.  Create through :meth:`TimerService.create_timer`."""
+
+    def __init__(
+        self,
+        timer_id: str,
+        env: SimulationEnvironment,
+        callback: Callable[[], None],
+        interval: float,
+        start_delay: float,
+        max_firings: Optional[int],
+        label: str,
+    ) -> None:
+        self.timer_id = timer_id
+        self.label = label
+        self.interval = interval
+        self.max_firings = max_firings
+        self._env = env
+        self._callback = callback
+        self._firings = 0
+        self._active = True
+        self._pending: Optional[Event] = None
+        self._schedule(start_delay)
+
+    # ---------------------------------------------------------------- state
+    @property
+    def firings(self) -> int:
+        """Number of times the callback has run."""
+        return self._firings
+
+    @property
+    def active(self) -> bool:
+        """True while the timer will continue to fire."""
+        return self._active
+
+    def _schedule(self, delay: float) -> None:
+        self._pending = self._env.schedule(
+            delay, self._fire, label=f"timer:{self.label}"
+        )
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self._pending = None
+        self._firings += 1
+        try:
+            self._callback()
+        finally:
+            if self._active and (
+                self.max_firings is None or self._firings < self.max_firings
+            ):
+                self._schedule(self.interval)
+            else:
+                self._active = False
+
+    # -------------------------------------------------------------- control
+    def cancel(self) -> None:
+        """Stop the timer permanently."""
+        self._active = False
+        if self._pending is not None and self._pending.pending:
+            self._pending.cancel()
+        self._pending = None
+
+    def fire_now(self) -> None:
+        """Run the callback immediately, out of schedule (manual trigger).
+
+        Does not perturb the periodic schedule; counts as a firing.
+        """
+        if not self._active:
+            raise StateError(f"timer {self.timer_id} is no longer active")
+        self._firings += 1
+        self._callback()
+
+
+class TimerService:
+    """In-process Globus Timers replacement."""
+
+    def __init__(self, auth: AuthService, env: SimulationEnvironment) -> None:
+        self._auth = auth
+        self._env = env
+        self._timers: Dict[str, Timer] = {}
+        self._counter = 0
+
+    def create_timer(
+        self,
+        token: Token,
+        callback: Callable[[], None],
+        *,
+        interval: float,
+        start_delay: float = 0.0,
+        max_firings: Optional[int] = None,
+        label: str = "timer",
+    ) -> Timer:
+        """Register a periodic ``callback`` every ``interval`` days.
+
+        ``start_delay`` offsets the first firing; ``max_firings`` bounds the
+        total count (``None`` = unbounded, until cancelled).
+        """
+        self._auth.validate(token, "timers")
+        if interval <= 0:
+            raise ValidationError(f"timer interval must be > 0, got {interval}")
+        if start_delay < 0:
+            raise ValidationError("timer start delay must be >= 0")
+        if max_firings is not None and max_firings < 1:
+            raise ValidationError("max_firings must be >= 1 when given")
+        self._counter += 1
+        timer = Timer(
+            timer_id=f"timer-{self._counter:06d}",
+            env=self._env,
+            callback=callback,
+            interval=float(interval),
+            start_delay=float(start_delay),
+            max_firings=max_firings,
+            label=label,
+        )
+        self._timers[timer.timer_id] = timer
+        return timer
+
+    def cancel_all(self) -> None:
+        """Cancel every registered timer (workflow teardown)."""
+        for timer in self._timers.values():
+            if timer.active:
+                timer.cancel()
+
+    def active_timers(self) -> List[Timer]:
+        """Timers that will still fire."""
+        return [t for t in self._timers.values() if t.active]

@@ -1,0 +1,170 @@
+"""Simulated Globus Transfer: asynchronous copies between collections.
+
+AERO ingestion flows upload raw and transformed data to Globus collections,
+and analysis flows download inputs to compute staging areas (§2.2).  Those
+movements are third-party transfers: a client asks the transfer service to
+copy ``src_collection:path`` to ``dst_collection:path``, gets a task handle
+back, and the copy completes later.
+
+The simulation models latency as ``base_latency + size / bandwidth`` on the
+shared simulated clock, which is enough to exercise the asynchrony (a flow
+must not read its input before the staging transfer completes) and to make
+transfer time visible in workflow timing reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import NotFoundError, ReproError, StateError, ValidationError
+from repro.globus.auth import AuthService, Token
+from repro.globus.collections import StorageService
+from repro.sim import SimulationEnvironment
+
+
+class TransferStatus(Enum):
+    """Lifecycle states of a transfer task."""
+
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class TransferTask:
+    """Handle for one submitted transfer."""
+
+    task_id: str
+    source_uri: str
+    dest_uri: str
+    size: int
+    submitted_at: float
+    status: TransferStatus = TransferStatus.ACTIVE
+    completed_at: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the transfer succeeded or failed."""
+        return self.status is not TransferStatus.ACTIVE
+
+
+class TransferService:
+    """In-process Globus Transfer replacement.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_day:
+        Simulated throughput.  The default (86.4 GB per simulated day, i.e.
+        1 MB/s) makes the small surveillance files effectively instant while
+        keeping latency strictly positive, preserving event ordering.
+    base_latency_days:
+        Fixed per-transfer setup latency (control-channel overhead).
+    """
+
+    def __init__(
+        self,
+        auth: AuthService,
+        storage: StorageService,
+        env: SimulationEnvironment,
+        *,
+        bandwidth_bytes_per_day: float = 86.4e9,
+        base_latency_days: float = 1e-4,
+    ) -> None:
+        if bandwidth_bytes_per_day <= 0 or base_latency_days < 0:
+            raise ValidationError("bandwidth must be > 0 and base latency >= 0")
+        self._auth = auth
+        self._storage = storage
+        self._env = env
+        self._bandwidth = float(bandwidth_bytes_per_day)
+        self._base_latency = float(base_latency_days)
+        self._tasks: Dict[str, TransferTask] = {}
+        self._counter = 0
+        self._bytes_moved = 0
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self,
+        token: Token,
+        source_uri: str,
+        dest_uri: str,
+        *,
+        on_complete: Optional[Callable[[TransferTask], None]] = None,
+    ) -> TransferTask:
+        """Submit an asynchronous copy from ``source_uri`` to ``dest_uri``.
+
+        The token must carry the ``transfer`` scope and grant read access on
+        the source and write access on the destination collection.  The data
+        itself is read at submission (the source version as of now is what
+        gets copied, even if the source is later overwritten) and written at
+        completion time — matching Globus checkpoint-restart semantics
+        closely enough for the workflows here.
+        """
+        self._auth.validate(token, "transfer")
+        src_collection, src_path = self._storage.resolve_uri(source_uri)
+        dst_collection, dst_path = self._storage.resolve_uri(dest_uri)
+
+        self._counter += 1
+        task = TransferTask(
+            task_id=f"transfer-{self._counter:08d}",
+            source_uri=source_uri,
+            dest_uri=dest_uri,
+            size=0,
+            submitted_at=self._env.now,
+        )
+        self._tasks[task.task_id] = task
+
+        try:
+            data = src_collection.get(token, src_path)
+        except ReproError as exc:
+            # Missing source or no read permission: the task exists, then
+            # fails (failure is observed on the task, as with real Globus).
+            task.status = TransferStatus.FAILED
+            task.error = str(exc)
+            task.completed_at = self._env.now
+            return task
+
+        task.size = len(data)
+        delay = self._base_latency + len(data) / self._bandwidth
+
+        def _complete() -> None:
+            try:
+                dst_collection.put(token, dst_path, data)
+            except Exception as exc:  # authorization or validation failures
+                task.status = TransferStatus.FAILED
+                task.error = str(exc)
+            else:
+                task.status = TransferStatus.SUCCEEDED
+                self._bytes_moved += task.size
+            task.completed_at = self._env.now
+            if on_complete is not None:
+                on_complete(task)
+
+        self._env.schedule(delay, _complete, label=f"{task.task_id}:{dest_uri}")
+        return task
+
+    # ----------------------------------------------------------------- query
+    def get_task(self, task_id: str) -> TransferTask:
+        """Look up a transfer task by id."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise NotFoundError(f"unknown transfer task {task_id!r}") from None
+
+    def require_success(self, task: TransferTask) -> None:
+        """Raise :class:`StateError` unless ``task`` has succeeded."""
+        if task.status is TransferStatus.ACTIVE:
+            raise StateError(f"transfer {task.task_id} has not completed yet")
+        if task.status is TransferStatus.FAILED:
+            raise StateError(f"transfer {task.task_id} failed: {task.error}")
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total payload bytes successfully transferred."""
+        return self._bytes_moved
+
+    def tasks(self) -> List[TransferTask]:
+        """All transfer tasks, in submission order."""
+        return [self._tasks[k] for k in sorted(self._tasks)]

@@ -1,0 +1,91 @@
+"""Global sensitivity analysis: Sobol indices, surrogates, active learning.
+
+The paper's second use case (§3) performs a surrogate-based GSA of MetaRVM:
+
+- :mod:`repro.gsa.lhs` — Latin hypercube designs ("an initial experiment
+  design ... from a latin hypercube sample").
+- :mod:`repro.gsa.sobol` — variance-based Sobol sensitivity analysis via
+  Saltelli pick-freeze estimators (the reference method, and the index
+  definitions everything else approximates).
+- :mod:`repro.gsa.testfunctions` — analytic benchmark functions (Ishigami,
+  Sobol g-function) with known indices, used to validate every estimator.
+- :mod:`repro.gsa.gp` — the Gaussian-process surrogate (the role the hetGP
+  R package plays in the paper).
+- :mod:`repro.gsa.acquisition` — acquisition functions: EI, UCB, EIGF, and
+  the MUSIC criterion (EIGF weighted by the D1 main-effect D-function).
+- :mod:`repro.gsa.music` — the MUSIC active-learning GSA algorithm
+  (Chauhan et al. 2024 / the activeSens R package), with a step-wise API
+  designed for interleaving many instances.
+- :mod:`repro.gsa.pce` — the polynomial chaos expansion baseline ("a degree
+  3 PCE as it performed the best among the PCE degrees we examined").
+- :mod:`repro.gsa.interleave` — the cooperative round-robin driver that
+  interleaves N algorithm instances over EMEWS futures (§3.2).
+"""
+
+from repro.gsa.lhs import latin_hypercube, maximin_latin_hypercube
+from repro.gsa.sobol import (
+    SaltelliDesign,
+    first_order_indices,
+    saltelli_design,
+    second_order_design,
+    second_order_indices,
+    sobol_indices,
+    sobol_indices_with_second_order,
+    total_order_indices,
+)
+from repro.gsa.testfunctions import ishigami, ISHIGAMI_FIRST_ORDER, sobol_g, sobol_g_first_order
+from repro.gsa.gp import GaussianProcess, collapse_replicates
+from repro.gsa.acquisition import (
+    eigf_scores,
+    expected_improvement,
+    music_scores,
+    upper_confidence_bound,
+)
+from repro.gsa.music import MusicGSA, MusicConfig
+from repro.gsa.pce import PCEModel, pce_sobol_indices
+from repro.gsa.shapley import shapley_effects, shapley_from_subset_variances, subset_variances
+from repro.gsa.calibration import (
+    CalibrationConfig,
+    CalibrationResult,
+    SurrogateCalibrator,
+    admissions_curve_distance,
+    calibrate,
+)
+from repro.gsa.interleave import InterleavedDriver, SequentialDriver
+
+__all__ = [
+    "latin_hypercube",
+    "maximin_latin_hypercube",
+    "SaltelliDesign",
+    "saltelli_design",
+    "first_order_indices",
+    "total_order_indices",
+    "second_order_design",
+    "second_order_indices",
+    "sobol_indices",
+    "sobol_indices_with_second_order",
+    "ishigami",
+    "ISHIGAMI_FIRST_ORDER",
+    "sobol_g",
+    "sobol_g_first_order",
+    "GaussianProcess",
+    "collapse_replicates",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "eigf_scores",
+    "music_scores",
+    "MusicGSA",
+    "MusicConfig",
+    "PCEModel",
+    "pce_sobol_indices",
+    "shapley_effects",
+    "shapley_from_subset_variances",
+    "subset_variances",
+    "CalibrationConfig",
+    "CalibrationResult",
+    "SurrogateCalibrator",
+    "admissions_curve_distance",
+    "calibrate",
+    "InterleavedDriver",
+    "SequentialDriver",
+]

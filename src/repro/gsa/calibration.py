@@ -1,0 +1,244 @@
+"""Surrogate-accelerated model calibration.
+
+The paper motivates GSA as a precursor to calibration: it "identif[ies] the
+most influential parameters, facilitates dimensional reduction to aid in
+model calibration efforts" (§3.1.1).  This module closes that loop: a
+Bayesian-optimization-style calibrator that fits simulator parameters to
+observed data by minimizing a distance function, using the same GP
+surrogate and acquisition machinery as MUSIC — and the same stepwise
+ask/tell API, so calibration instances interleave through EMEWS exactly
+like GSA instances.
+
+Algorithm: evaluate an initial LHS design of parameter points; fit a GP to
+``log(distance)`` (log because distances span orders of magnitude near the
+optimum); repeatedly propose the candidate maximizing expected improvement
+*downward*; finish with the best evaluated point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.rng import generator_from_seed
+from repro.common.validation import check_array, check_int
+from repro.models.parameters import ParameterSpace
+from repro.gsa.acquisition import expected_improvement
+from repro.gsa.gp import GaussianProcess
+from repro.gsa.lhs import latin_hypercube, maximin_latin_hypercube
+
+#: Distance function: parameter matrix (n, dim) -> non-negative distances (n,).
+DistanceFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Tunables of the surrogate calibrator."""
+
+    n_initial: int = 25
+    n_candidates: int = 256
+    refit_every: int = 5
+    exploration_fraction: float = 0.1  # occasional random points guard EI myopia
+
+    def __post_init__(self) -> None:
+        check_int("n_initial", self.n_initial, minimum=4)
+        check_int("n_candidates", self.n_candidates, minimum=8)
+        check_int("refit_every", self.refit_every, minimum=1)
+        if not 0.0 <= self.exploration_fraction < 1.0:
+            raise ValidationError("exploration_fraction must be in [0, 1)")
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a calibration run."""
+
+    best_point: np.ndarray
+    best_distance: float
+    n_evaluations: int
+    history: List[Tuple[int, float]]  # (n_evaluations, best-so-far distance)
+
+    def improvement_over_initial(self) -> float:
+        """Best distance after the initial design / final best (>= 1)."""
+        initial_best = self.history[0][1]
+        return initial_best / max(self.best_distance, 1e-300)
+
+
+class SurrogateCalibrator:
+    """Stepwise (ask/tell) surrogate calibrator over a parameter space.
+
+    Mirrors :class:`~repro.gsa.music.MusicGSA`'s API so drivers can
+    interleave calibration instances through EMEWS futures.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.models.parameters import ParameterSpace
+    >>> space = ParameterSpace([("a", (0.0, 1.0)), ("b", (0.0, 1.0))])
+    >>> target = np.array([0.3, 0.7])
+    >>> distance = lambda x: np.linalg.norm(np.atleast_2d(x) - target, axis=1)
+    >>> cal = SurrogateCalibrator(space, seed=0)
+    >>> design = cal.initial_design()
+    >>> _ = cal.tell(design, distance(design))
+    >>> for _ in range(15):
+    ...     point = cal.propose()
+    ...     _ = cal.tell(point, distance(point))
+    >>> bool(np.linalg.norm(cal.best_point() - target) < 0.15)
+    True
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        config: Optional[CalibrationConfig] = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.config = config if config is not None else CalibrationConfig()
+        self._rng = generator_from_seed(seed)
+        self._gp = GaussianProcess(dim=space.dim)
+        self._x_unit: Optional[np.ndarray] = None
+        self._d: Optional[np.ndarray] = None
+        self._since_refit = 0
+        self.history: List[Tuple[int, float]] = []
+
+    # ----------------------------------------------------------------- design
+    def initial_design(self) -> np.ndarray:
+        """The initial LHS design, in natural units."""
+        unit = maximin_latin_hypercube(self.config.n_initial, self.space.dim, self._rng)
+        return self.space.scale(unit)
+
+    # ------------------------------------------------------------------- tell
+    def tell(self, x_natural: np.ndarray, distances: np.ndarray) -> float:
+        """Incorporate evaluated distances; returns the best so far."""
+        x_natural = np.atleast_2d(check_array("x_natural", x_natural, finite=True))
+        distances = np.atleast_1d(check_array("distances", distances, ndim=1, finite=True))
+        if np.any(distances < 0):
+            raise ValidationError("distances must be non-negative")
+        if x_natural.shape[0] != distances.size:
+            raise ValidationError("x and distance row counts differ")
+        x_unit = self.space.unscale(x_natural)
+        log_d = np.log(np.maximum(distances, 1e-12))
+        if self._x_unit is None:
+            self._x_unit = x_unit
+            self._d = distances.copy()
+            self._log_d = log_d
+            self._gp.fit(self._x_unit, self._log_d)
+            self._since_refit = 0
+        else:
+            self._x_unit = np.vstack([self._x_unit, x_unit])
+            self._d = np.concatenate([self._d, distances])
+            self._log_d = np.concatenate([self._log_d, log_d])
+            self._since_refit += x_unit.shape[0]
+            if self._since_refit >= self.config.refit_every:
+                self._gp.fit(self._x_unit, self._log_d)
+                self._since_refit = 0
+            else:
+                self._gp.add_points(x_unit, log_d)
+        best = self.best_distance()
+        self.history.append((int(self._d.size), best))
+        return best
+
+    # ---------------------------------------------------------------- propose
+    def propose(self) -> np.ndarray:
+        """The next parameter point to evaluate (natural units, (1, dim))."""
+        if self._x_unit is None:
+            raise StateError("tell() the initial design before proposing")
+        cfg = self.config
+        if self._rng.random() < cfg.exploration_fraction:
+            unit = self._rng.random((1, self.space.dim))
+            return self.space.scale(unit)
+        candidates = latin_hypercube(cfg.n_candidates, self.space.dim, self._rng)
+        mean, var = self._gp.predict(candidates)
+        scores = expected_improvement(
+            mean, var, best=float(self._log_d.min()), maximize=False
+        )
+        best = candidates[int(np.argmax(scores))]
+        return self.space.scale(best[None, :])
+
+    # ------------------------------------------------------------------ state
+    @property
+    def n_evaluations(self) -> int:
+        """Simulator evaluations consumed so far."""
+        return 0 if self._d is None else int(self._d.size)
+
+    def best_point(self) -> np.ndarray:
+        """Best evaluated parameter point (natural units)."""
+        if self._d is None:
+            raise StateError("no evaluations yet")
+        idx = int(np.argmin(self._d))
+        return self.space.scale(self._x_unit[idx][None, :])[0]
+
+    def best_distance(self) -> float:
+        """Smallest evaluated distance."""
+        if self._d is None:
+            raise StateError("no evaluations yet")
+        return float(self._d.min())
+
+    def result(self) -> CalibrationResult:
+        """Summarize the run."""
+        if self._d is None:
+            raise StateError("no evaluations yet")
+        return CalibrationResult(
+            best_point=self.best_point(),
+            best_distance=self.best_distance(),
+            n_evaluations=self.n_evaluations,
+            history=list(self.history),
+        )
+
+
+def calibrate(
+    distance_fn: DistanceFn,
+    space: ParameterSpace,
+    *,
+    budget: int = 80,
+    config: Optional[CalibrationConfig] = None,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Closed-loop convenience wrapper around :class:`SurrogateCalibrator`."""
+    check_int("budget", budget, minimum=8)
+    calibrator = SurrogateCalibrator(space, config, seed=seed)
+    design = calibrator.initial_design()
+    if design.shape[0] > budget:
+        raise ValidationError("budget smaller than the initial design")
+    calibrator.tell(design, np.asarray(distance_fn(design), dtype=float))
+    while calibrator.n_evaluations < budget:
+        point = calibrator.propose()
+        calibrator.tell(point, np.asarray(distance_fn(point), dtype=float))
+    return calibrator.result()
+
+
+def admissions_curve_distance(
+    observed_daily_admissions: np.ndarray,
+    model,
+    *,
+    stochastic: bool = False,
+    seed: int = 0,
+) -> DistanceFn:
+    """Distance between MetaRVM's admission curve and observed data.
+
+    Normalized RMSE of total daily hospital admissions.  By default the
+    model is evaluated in expectation (deterministic) mode — the standard
+    smooth-objective choice for calibration; pass ``stochastic=True`` with a
+    fixed seed for a CRN stochastic objective.
+    """
+    observed = check_array(
+        "observed_daily_admissions", observed_daily_admissions, ndim=1, finite=True
+    )
+    scale = max(float(observed.std()), 1e-9)
+
+    def distance(x_natural: np.ndarray) -> np.ndarray:
+        result = model.run_batch(
+            np.atleast_2d(x_natural), seed=seed, stochastic=stochastic
+        )
+        curves = result.hospital_admissions.sum(axis=2)  # (batch, days)
+        if curves.shape[1] != observed.size:
+            raise ValidationError(
+                f"model horizon {curves.shape[1]} != observed length {observed.size}"
+            )
+        return np.sqrt(np.mean((curves - observed) ** 2, axis=1)) / scale
+
+    return distance

@@ -1,0 +1,329 @@
+"""Gaussian-process surrogate regression.
+
+Plays the role the hetGP R package plays in the paper's MUSIC workflow: "It
+relies on a GP surrogate model constructed using the hetGP package" (§3.1.2).
+
+Implementation notes
+--------------------
+- Separable (anisotropic) squared-exponential kernel with a nugget:
+  ``k(x, x') = σ² exp(−½ Σ_i (x_i − x'_i)²/ℓ_i²) + g·δ``.
+- Inputs are expected in the unit cube (callers scale through their
+  :class:`~repro.models.parameters.ParameterSpace`); outputs are
+  standardized internally.
+- Hyperparameters (log ℓ, log σ², log g) are fit by maximizing the marginal
+  likelihood with analytic gradients (L-BFGS-B, warm-started multi-start) —
+  the active-learning loop refits repeatedly, so gradient quality matters
+  more than optimizer sophistication.
+- :meth:`add_points` appends data and re-factorizes without refitting
+  hyperparameters, so the MUSIC loop can refit only every few acquisitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.validation import check_array
+
+_LOG_LENGTH_BOUNDS = (np.log(0.03), np.log(10.0))
+_LOG_SIGNAL_BOUNDS = (np.log(1e-4), np.log(1e4))
+_LOG_NUGGET_BOUNDS = (np.log(1e-8), np.log(2.0))
+_JITTER = 1e-10
+
+
+class GaussianProcess:
+    """GP regression with anisotropic SE kernel and MLE hyperparameters.
+
+    Parameters
+    ----------
+    dim:
+        Input dimension.
+    nugget:
+        Initial nugget variance (standardized-output units).  The nugget is
+        itself optimized during :meth:`fit`; for common-random-number
+        simulator outputs it typically shrinks toward the lower bound.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.random((40, 2))
+    >>> y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+    >>> gp = GaussianProcess(dim=2).fit(X, y)
+    >>> mean, var = gp.predict(X[:3])
+    >>> bool(np.allclose(mean, y[:3], atol=0.1))
+    True
+    """
+
+    def __init__(self, dim: int, *, nugget: float = 1e-4) -> None:
+        if dim < 1:
+            raise ValidationError("dim must be >= 1")
+        if nugget <= 0:
+            raise ValidationError("nugget must be positive")
+        self.dim = dim
+        self._theta = np.concatenate(
+            [np.zeros(dim) + np.log(0.5), [np.log(1.0)], [np.log(nugget)]]
+        )
+        self._x: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._chol: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._noise_std: Optional[np.ndarray] = None  # standardized units
+
+    # -------------------------------------------------------------- utilities
+    @property
+    def n_train(self) -> int:
+        """Number of training points."""
+        return 0 if self._x is None else self._x.shape[0]
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        """Fitted per-dimension lengthscales."""
+        return np.exp(self._theta[: self.dim])
+
+    @property
+    def signal_variance(self) -> float:
+        """Fitted signal variance (standardized-output units)."""
+        return float(np.exp(self._theta[self.dim]))
+
+    @property
+    def nugget(self) -> float:
+        """Fitted nugget variance (standardized-output units)."""
+        return float(np.exp(self._theta[self.dim + 1]))
+
+    def _scaled_sq_dists(self, a: np.ndarray, b: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        diff = a[:, None, :] - b[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff / lengths, diff / lengths)
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        lengths = np.exp(theta[: self.dim])
+        signal = np.exp(theta[self.dim])
+        return signal * np.exp(-0.5 * self._scaled_sq_dists(a, b, lengths))
+
+    # -------------------------------------------------------------------- fit
+    def _nll_and_grad(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        x, y = self._x, self._y_std_vec
+        n = x.shape[0]
+        lengths = np.exp(theta[: self.dim])
+        nugget = np.exp(theta[self.dim + 1])
+        k_se = self._kernel(x, x, theta)
+        k = k_se + (nugget + _JITTER) * np.eye(n)
+        if self._noise_std is not None:
+            k = k + np.diag(self._noise_std)
+        try:
+            chol = linalg.cholesky(k, lower=True)
+        except linalg.LinAlgError:
+            return 1e10, np.zeros_like(theta)
+        alpha = linalg.cho_solve((chol, True), y)
+        nll = (
+            0.5 * float(y @ alpha)
+            + float(np.sum(np.log(np.diag(chol))))
+            + 0.5 * n * np.log(2 * np.pi)
+        )
+        # trace term: W = alpha alpha^T - K^{-1}
+        k_inv = linalg.cho_solve((chol, True), np.eye(n))
+        w = np.outer(alpha, alpha) - k_inv
+        grad = np.empty_like(theta)
+        for i in range(self.dim):
+            diff2 = (x[:, i][:, None] - x[:, i][None, :]) ** 2
+            dk = k_se * diff2 / lengths[i] ** 2
+            grad[i] = -0.5 * float(np.sum(w * dk))
+        grad[self.dim] = -0.5 * float(np.sum(w * k_se))
+        grad[self.dim + 1] = -0.5 * float(np.trace(w)) * nugget
+        return nll, grad
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        noise_variances: Optional[np.ndarray] = None,
+        n_restarts: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GaussianProcess":
+        """Set training data and maximize the marginal likelihood.
+
+        Warm-starts from the current hyperparameters and adds
+        ``n_restarts`` random restarts; keeps the best optimum found.
+
+        ``noise_variances`` enables the hetGP-style heteroskedastic mode:
+        a known per-point observation-noise variance (original y units) is
+        added to the kernel diagonal — this is how replicate-averaged
+        responses carry their ``s²/r`` standard errors into the surrogate
+        (see :func:`collapse_replicates`).  The global nugget is still
+        optimized on top, absorbing any unmodelled residual noise.
+        """
+        x = np.atleast_2d(check_array("x", x, finite=True))
+        y = check_array("y", y, ndim=1, finite=True)
+        if x.shape != (y.size, self.dim):
+            raise ValidationError(
+                f"x must be ({y.size}, {self.dim}), got {x.shape}"
+            )
+        if y.size < 2:
+            raise ValidationError("GP needs at least 2 training points")
+        self._x = x.copy()
+        self._y_raw = y.copy()
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        self._y_std_vec = (y - self._y_mean) / self._y_std
+        if noise_variances is not None:
+            noise = check_array("noise_variances", noise_variances, ndim=1, finite=True)
+            if noise.size != y.size or np.any(noise < 0):
+                raise ValidationError(
+                    "noise_variances must be non-negative, one per observation"
+                )
+            self._noise_std = noise / self._y_std**2
+        else:
+            self._noise_std = None
+
+        bounds = (
+            [_LOG_LENGTH_BOUNDS] * self.dim + [_LOG_SIGNAL_BOUNDS] + [_LOG_NUGGET_BOUNDS]
+        )
+        starts = [np.clip(self._theta, [b[0] for b in bounds], [b[1] for b in bounds])]
+        # A deliberately short-lengthscale start: wiggly responses (high-
+        # frequency main effects) are a local optimum the smooth start misses.
+        starts.append(
+            np.concatenate([np.full(self.dim, np.log(0.15)), [0.0], [np.log(1e-4)]])
+        )
+        if rng is None:
+            rng = np.random.default_rng(y.size)
+        for _ in range(n_restarts):
+            starts.append(
+                np.concatenate(
+                    [
+                        rng.uniform(np.log(0.1), np.log(2.0), self.dim),
+                        [rng.uniform(np.log(0.2), np.log(5.0))],
+                        [rng.uniform(np.log(1e-6), np.log(1e-2))],
+                    ]
+                )
+            )
+        best_theta, best_nll = None, np.inf
+        for start in starts:
+            result = optimize.minimize(
+                self._nll_and_grad,
+                start,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": 100},
+            )
+            if result.fun < best_nll:
+                best_nll = float(result.fun)
+                best_theta = np.asarray(result.x)
+        if best_theta is None:  # pragma: no cover - optimizer always returns
+            raise StateError("hyperparameter optimization failed")
+        self._theta = best_theta
+        self._refactor()
+        return self
+
+    def add_points(self, x_new: np.ndarray, y_new: np.ndarray) -> "GaussianProcess":
+        """Append training data and re-factorize with current hyperparameters.
+
+        Used between hyperparameter refits in the active-learning loop.
+        """
+        if self._x is None:
+            raise StateError("call fit() before add_points()")
+        x_new = np.atleast_2d(check_array("x_new", x_new, finite=True))
+        y_new = np.atleast_1d(check_array("y_new", y_new, finite=True))
+        old_std = self._y_std
+        self._x = np.vstack([self._x, x_new])
+        self._y_raw = np.concatenate([self._y_raw, y_new])
+        self._y_mean = float(self._y_raw.mean())
+        self._y_std = float(self._y_raw.std()) or 1.0
+        self._y_std_vec = (self._y_raw - self._y_mean) / self._y_std
+        if self._noise_std is not None:
+            # re-standardize existing noise, assume noise-free new points
+            rescaled = self._noise_std * old_std**2 / self._y_std**2
+            self._noise_std = np.concatenate([rescaled, np.zeros(y_new.size)])
+        self._refactor()
+        return self
+
+    def _refactor(self) -> None:
+        n = self._x.shape[0]
+        k = self._kernel(self._x, self._x, self._theta) + (
+            self.nugget + _JITTER
+        ) * np.eye(n)
+        if self._noise_std is not None:
+            k = k + np.diag(self._noise_std)
+        self._chol = linalg.cholesky(k, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), self._y_std_vec)
+
+    # ---------------------------------------------------------------- predict
+    def predict(
+        self, x_star: np.ndarray, *, include_noise: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at query points (original y units).
+
+        ``include_noise`` adds the nugget to the predictive variance
+        (prediction of a new noisy observation rather than the latent
+        surface).
+        """
+        if self._chol is None:
+            raise StateError("the GP has not been fitted")
+        x_star = np.atleast_2d(check_array("x_star", x_star, finite=True))
+        if x_star.shape[1] != self.dim:
+            raise ValidationError(f"query points must have {self.dim} columns")
+        k_star = self._kernel(x_star, self._x, self._theta)  # (m, n)
+        mean_std = k_star @ self._alpha
+        v = linalg.solve_triangular(self._chol, k_star.T, lower=True)
+        var_std = self.signal_variance - np.einsum("ij,ij->j", v, v)
+        var_std = np.maximum(var_std, 1e-12)
+        if include_noise:
+            var_std = var_std + self.nugget
+        mean = self._y_mean + self._y_std * mean_std
+        var = self._y_std**2 * var_std
+        return mean, var
+
+    def predict_mean(self, x_star: np.ndarray) -> np.ndarray:
+        """Posterior mean only (cheaper; used by surrogate Sobol MC)."""
+        return self.predict(x_star)[0]
+
+    # ------------------------------------------------------------- diagnostics
+    @property
+    def heteroskedastic(self) -> bool:
+        """True when per-point noise variances are in effect."""
+        return self._noise_std is not None
+
+    def loo_rmse(self) -> float:
+        """Leave-one-out RMSE via the closed-form LOO identities."""
+        if self._chol is None:
+            raise StateError("the GP has not been fitted")
+        k_inv = linalg.cho_solve((self._chol, True), np.eye(self.n_train))
+        diag = np.diag(k_inv)
+        loo_resid_std = self._alpha / diag
+        return float(np.sqrt(np.mean(loo_resid_std**2))) * self._y_std
+
+
+def collapse_replicates(
+    x: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse replicated design points to means with standard errors.
+
+    The hetGP workflow for stochastic simulators: repeated evaluations at
+    the same input are summarized as the sample mean with observation-noise
+    variance ``s² / r`` (zero where a point has a single replicate, letting
+    the GP's nugget absorb it).  Returns ``(x_unique, y_mean,
+    noise_variances)`` ready for :meth:`GaussianProcess.fit`.
+    """
+    x = np.atleast_2d(check_array("x", x, finite=True))
+    y = check_array("y", y, ndim=1, finite=True)
+    if x.shape[0] != y.size:
+        raise ValidationError("x and y row counts differ")
+    unique, inverse, counts = np.unique(
+        x, axis=0, return_inverse=True, return_counts=True
+    )
+    means = np.zeros(unique.shape[0])
+    np.add.at(means, inverse, y)
+    means /= counts
+    sq = np.zeros(unique.shape[0])
+    np.add.at(sq, inverse, (y - means[inverse]) ** 2)
+    noise = np.zeros(unique.shape[0])
+    replicated = counts > 1
+    # unbiased within-point variance of the mean: s^2 / r
+    noise[replicated] = sq[replicated] / (counts[replicated] - 1) / counts[replicated]
+    return unique, means, noise

@@ -1,0 +1,144 @@
+"""Shapley effects: game-theoretic variance attribution.
+
+The paper's Sobol reference is Owen's *"Sobol' Indices and Shapley Value"*
+(SIAM/ASA JUQ 2014), which shows that attributing output variance by the
+Shapley value of the "explanatory power" game ``val(u) = Var(E[Y | X_u])``
+resolves the classic gap between first-order and total-order indices:
+Shapley effects are non-negative, sum exactly to the total variance, and
+split interaction/duplication effects fairly between the inputs involved.
+
+This module implements exact-subset-enumeration Shapley effects (feasible
+for the d ≤ ~12 regime of epidemiological GSA; the paper's space has d=5,
+i.e. 32 subsets):
+
+- :func:`subset_variances` — pick-freeze Monte Carlo estimates of
+  ``Var(E[Y | X_u])`` for every subset u, sharing one (A, B) sample pair
+  so the whole table costs ``n · 2^d`` function evaluations (vectorizable
+  in a single batch call);
+- :func:`shapley_from_subset_variances` — the exact Shapley combination
+  ``Sh_i = Σ_{u ∌ i} |u|!(d−1−|u|)!/d! · (val(u ∪ {i}) − val(u))``;
+- :func:`shapley_effects` — end-to-end convenience returning normalized
+  effects (summing to 1).
+
+The A7 ablation benchmark compares Shapley, first-order, and total-order
+attributions on the MetaRVM QoI.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_int
+from repro.gsa.sobol import saltelli_design
+
+
+def _all_subsets(dim: int) -> np.ndarray:
+    """Boolean membership matrix of all 2^dim subsets, shape (2^dim, dim).
+
+    Subset ``s`` contains input ``i`` iff bit ``i`` of ``s`` is set; index 0
+    is the empty set, index 2^dim - 1 the full set.
+    """
+    masks = np.arange(2**dim, dtype=np.int64)
+    return (masks[:, None] >> np.arange(dim)) & 1 == 1
+
+
+def subset_variances(
+    fn: Callable[[np.ndarray], np.ndarray],
+    dim: int,
+    n: int,
+    *,
+    seed: int = 0,
+) -> np.ndarray:
+    """Estimate ``val(u) = Var(E[Y | X_u])`` for every subset u.
+
+    Uses the pick-freeze identity ``Var(E[Y|X_u]) = Cov(Y(A), Y(A_u, B_-u))``
+    on a shared scrambled-Sobol (A, B) pair.  ``fn`` must accept a batch of
+    points in the unit cube; the full table is evaluated in **one** call of
+    ``n · 2^dim`` rows, so a vectorized model pays no per-subset overhead.
+
+    Returns an array of length ``2^dim`` (index = subset bitmask), with
+    ``val(∅) = 0`` and ``val(full) = Var(Y)`` by construction.
+    """
+    dim = check_int("dim", dim, minimum=1)
+    n = check_int("n", n, minimum=8)
+    if dim > 16:
+        raise ValidationError("exact subset enumeration is limited to dim <= 16")
+    design = saltelli_design(n, dim, seed=seed)
+    a, b = design.a, design.b
+    subsets = _all_subsets(dim)  # (2^d, d)
+    n_subsets = subsets.shape[0]
+
+    # Build the mixed matrices: rows from A where the subset holds the
+    # column, from B elsewhere. Stack everything into one batch call.
+    mixed = np.where(subsets[:, None, :], a[None, :, :], b[None, :, :])
+    batch = np.concatenate([a, b, mixed.reshape(-1, dim)])
+    y = np.asarray(fn(batch), dtype=float).ravel()
+    if y.size != batch.shape[0]:
+        raise ValidationError(
+            f"fn returned {y.size} outputs for {batch.shape[0]} points"
+        )
+    y_a = y[:n]
+    y_b = y[n : 2 * n]
+    y_mixed = y[2 * n :].reshape(n_subsets, n)
+
+    # The mixed rows share exactly the subset-u columns with A, so
+    # Cov(Y(A), Y(A_u, B_-u)) = Var(E[Y | X_u]).
+    mean = 0.5 * (y_a.mean() + y_b.mean())
+    values = (y_a[None, :] * y_mixed).mean(axis=1) - mean**2
+    values[0] = 0.0  # val(∅) is exactly zero
+    # val(full): the mixed matrix equals A, so the estimator reduces to
+    # Cov(y_A, y_B-mixed...) noise; replace with the direct variance.
+    values[-1] = float(np.var(np.concatenate([y_a, y_b]), ddof=0))
+    return values
+
+
+def shapley_from_subset_variances(values: np.ndarray, dim: int) -> np.ndarray:
+    """Exact Shapley combination of a full subset-value table.
+
+    ``values[mask]`` is ``val(u)`` for the subset with that bitmask.
+    Returns the unnormalized Shapley effects (they sum to ``values[-1]``).
+    """
+    values = check_array("values", values, ndim=1, finite=True)
+    if values.size != 2**dim:
+        raise ValidationError(f"expected {2 ** dim} subset values, got {values.size}")
+    weights = [
+        factorial(s) * factorial(dim - 1 - s) / factorial(dim) for s in range(dim)
+    ]
+    effects = np.zeros(dim)
+    sizes = np.array([bin(mask).count("1") for mask in range(2**dim)])
+    for i in range(dim):
+        bit = 1 << i
+        for mask in range(2**dim):
+            if mask & bit:
+                continue
+            marginal = values[mask | bit] - values[mask]
+            effects[i] += weights[sizes[mask]] * marginal
+    return effects
+
+
+def shapley_effects(
+    fn: Callable[[np.ndarray], np.ndarray],
+    dim: int,
+    n: int = 512,
+    *,
+    seed: int = 0,
+    normalize: bool = True,
+) -> np.ndarray:
+    """End-to-end Shapley effects of a batch-evaluable function on [0,1]^d.
+
+    With ``normalize=True`` (default) the effects sum to 1 — directly
+    comparable to first-order Sobol indices (which sum to ≤ 1 in the
+    presence of interactions, the gap Shapley closes).
+    """
+    values = subset_variances(fn, dim, n, seed=seed)
+    effects = shapley_from_subset_variances(values, dim)
+    if not normalize:
+        return effects
+    total = values[-1]
+    if total <= 0:
+        return np.zeros(dim)
+    return effects / total

@@ -1,0 +1,235 @@
+"""Variance-based Sobol sensitivity analysis (Saltelli pick-freeze).
+
+"Sobol sensitivity analysis is a variance-based GSA method that decomposes
+the total variance of the model output into contributions from individual
+input parameters and their higher-order interactions.  ... the first-order
+index reflects the main effect of a single parameter, while total-order
+indices capture both main and interaction effects." (§3.1.1)
+
+This module provides the sampling-based reference estimators:
+
+- :func:`saltelli_design` — the A/B/AB_i pick-freeze design on a scrambled
+  Sobol low-discrepancy sequence;
+- :func:`first_order_indices` — the Saltelli-2010 first-order estimator
+  ``S_i = mean(y_B (y_{AB_i} − y_A)) / Var(y)``;
+- :func:`total_order_indices` — the Jansen estimator
+  ``T_i = mean((y_A − y_{AB_i})²) / (2 Var(y))``;
+- :func:`sobol_indices` — end-to-end convenience with bootstrap CIs.
+
+These are what the GP surrogate and PCE approaches approximate, and the
+ground truth the Figure 4 benchmark compares both against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_int
+
+
+@dataclass(frozen=True)
+class SaltelliDesign:
+    """The pick-freeze evaluation design.
+
+    ``all_points`` stacks A, B, then AB_1..AB_d (each ``n`` rows), so a
+    model that evaluates batches needs one call of ``n (d + 2)`` rows.
+    """
+
+    a: np.ndarray  # (n, d)
+    b: np.ndarray  # (n, d)
+    ab: np.ndarray  # (d, n, d): ab[i] = A with column i from B
+
+    @property
+    def n(self) -> int:
+        """Base sample size."""
+        return self.a.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Input dimension."""
+        return self.a.shape[1]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total model evaluations required: n (d + 2)."""
+        return self.n * (self.dim + 2)
+
+    @property
+    def all_points(self) -> np.ndarray:
+        """Stacked design, shape (n (d + 2), d)."""
+        return np.concatenate([self.a, self.b, self.ab.reshape(-1, self.dim)])
+
+    def split(self, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split stacked outputs back into (y_A, y_B, y_AB[(d, n)])."""
+        y = check_array("y", y, ndim=1)
+        if y.size != self.n_evaluations:
+            raise ValidationError(
+                f"expected {self.n_evaluations} outputs, got {y.size}"
+            )
+        y_a = y[: self.n]
+        y_b = y[self.n : 2 * self.n]
+        y_ab = y[2 * self.n :].reshape(self.dim, self.n)
+        return y_a, y_b, y_ab
+
+
+def saltelli_design(n: int, dim: int, *, seed: int = 0) -> SaltelliDesign:
+    """Build a pick-freeze design in the unit cube.
+
+    Uses a scrambled Sobol sequence of ``2 dim`` columns (A from the first
+    ``dim``, B from the rest) — the standard low-discrepancy construction.
+    """
+    n = check_int("n", n, minimum=2)
+    dim = check_int("dim", dim, minimum=1)
+    sampler = qmc.Sobol(d=2 * dim, scramble=True, seed=seed)
+    # Draw a power-of-two block (the Sobol balance property) and slice.
+    n_pow2 = 1 << (n - 1).bit_length()
+    base = sampler.random(n_pow2)[:n]
+    a = base[:, :dim].copy()
+    b = base[:, dim:].copy()
+    ab = np.repeat(a[None, :, :], dim, axis=0)
+    for i in range(dim):
+        ab[i, :, i] = b[:, i]
+    return SaltelliDesign(a=a, b=b, ab=ab)
+
+
+def first_order_indices(y_a: np.ndarray, y_b: np.ndarray, y_ab: np.ndarray) -> np.ndarray:
+    """Saltelli-2010 first-order estimator from pick-freeze outputs.
+
+    Parameters
+    ----------
+    y_a, y_b:
+        Shape (n,).
+    y_ab:
+        Shape (d, n); row i from the AB_i matrix.
+    """
+    y_a = check_array("y_a", y_a, ndim=1, finite=True)
+    y_b = check_array("y_b", y_b, ndim=1, finite=True)
+    y_ab = check_array("y_ab", y_ab, ndim=2, finite=True)
+    if y_ab.shape[1] != y_a.size or y_b.size != y_a.size:
+        raise ValidationError("output blocks have inconsistent sizes")
+    variance = np.var(np.concatenate([y_a, y_b]), ddof=0)
+    if variance <= 0:
+        return np.zeros(y_ab.shape[0])
+    return np.mean(y_b[None, :] * (y_ab - y_a[None, :]), axis=1) / variance
+
+
+def total_order_indices(y_a: np.ndarray, y_b: np.ndarray, y_ab: np.ndarray) -> np.ndarray:
+    """Jansen total-order estimator from pick-freeze outputs."""
+    y_a = check_array("y_a", y_a, ndim=1, finite=True)
+    y_b = check_array("y_b", y_b, ndim=1, finite=True)
+    y_ab = check_array("y_ab", y_ab, ndim=2, finite=True)
+    if y_ab.shape[1] != y_a.size or y_b.size != y_a.size:
+        raise ValidationError("output blocks have inconsistent sizes")
+    variance = np.var(np.concatenate([y_a, y_b]), ddof=0)
+    if variance <= 0:
+        return np.zeros(y_ab.shape[0])
+    return np.mean((y_a[None, :] - y_ab) ** 2, axis=1) / (2.0 * variance)
+
+
+def sobol_indices(
+    fn: Callable[[np.ndarray], np.ndarray],
+    dim: int,
+    n: int,
+    *,
+    seed: int = 0,
+    bootstrap: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """End-to-end Sobol analysis of a batch-evaluable function on [0,1]^d.
+
+    Returns a dict with ``first`` and ``total`` index arrays and, when
+    ``bootstrap > 0``, 95% bootstrap confidence bounds ``first_lo`` /
+    ``first_hi`` (resampling the pick-freeze rows).
+    """
+    design = saltelli_design(n, dim, seed=seed)
+    y = np.asarray(fn(design.all_points), dtype=float).ravel()
+    y_a, y_b, y_ab = design.split(y)
+    out: Dict[str, np.ndarray] = {
+        "first": first_order_indices(y_a, y_b, y_ab),
+        "total": total_order_indices(y_a, y_b, y_ab),
+    }
+    if bootstrap > 0:
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        draws = np.empty((bootstrap, dim))
+        for b_i in range(bootstrap):
+            idx = rng.integers(0, design.n, size=design.n)
+            draws[b_i] = first_order_indices(y_a[idx], y_b[idx], y_ab[:, idx])
+        out["first_lo"] = np.percentile(draws, 2.5, axis=0)
+        out["first_hi"] = np.percentile(draws, 97.5, axis=0)
+    return out
+
+
+def second_order_design(n: int, dim: int, *, seed: int = 0) -> Tuple[SaltelliDesign, np.ndarray]:
+    """Extend the pick-freeze design with BA_i matrices for second-order terms.
+
+    Returns the base design plus ``ba`` of shape (dim, n, dim): ``ba[i]`` is
+    B with column i taken from A.  Together with the base design this
+    supports the Saltelli-2002 second-order estimator implemented by
+    :func:`second_order_indices`; total cost is ``n (2 dim + 2)``
+    evaluations.
+    """
+    design = saltelli_design(n, dim, seed=seed)
+    ba = np.repeat(design.b[None, :, :], dim, axis=0)
+    for i in range(dim):
+        ba[i, :, i] = design.a[:, i]
+    return design, ba
+
+
+def second_order_indices(
+    y_a: np.ndarray,
+    y_b: np.ndarray,
+    y_ab: np.ndarray,
+    y_ba: np.ndarray,
+) -> np.ndarray:
+    """Closed (i, j) second-order Sobol indices, shape (dim, dim).
+
+    Saltelli-2002: ``V_ij^closed = mean(y_{BA_i} · y_{AB_j}) − mean(y_A)
+    mean(y_B)`` estimates ``V_i + V_j + V_ij``; subtracting the first-order
+    terms leaves the pure interaction ``S_ij``.  Only the upper triangle is
+    populated (``i < j``); diagonal and lower entries are zero.
+    """
+    y_a = check_array("y_a", y_a, ndim=1, finite=True)
+    y_b = check_array("y_b", y_b, ndim=1, finite=True)
+    y_ab = check_array("y_ab", y_ab, ndim=2, finite=True)
+    y_ba = check_array("y_ba", y_ba, ndim=2, finite=True)
+    if y_ab.shape != y_ba.shape or y_ab.shape[1] != y_a.size:
+        raise ValidationError("output blocks have inconsistent sizes")
+    dim = y_ab.shape[0]
+    variance = np.var(np.concatenate([y_a, y_b]), ddof=0)
+    out = np.zeros((dim, dim))
+    if variance <= 0:
+        return out
+    first = first_order_indices(y_a, y_b, y_ab)
+    mean_sq = y_a.mean() * y_b.mean()
+    for i in range(dim):
+        for j in range(i + 1, dim):
+            closed = (np.mean(y_ba[i] * y_ab[j]) - mean_sq) / variance
+            out[i, j] = closed - first[i] - first[j]
+    return out
+
+
+def sobol_indices_with_second_order(
+    fn: Callable[[np.ndarray], np.ndarray],
+    dim: int,
+    n: int,
+    *,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """First-, second-, and total-order Sobol analysis in one batch call."""
+    design, ba = second_order_design(n, dim, seed=seed)
+    batch = np.concatenate([design.all_points, ba.reshape(-1, dim)])
+    y = np.asarray(fn(batch), dtype=float).ravel()
+    base = design.n_evaluations
+    y_a, y_b, y_ab = design.split(y[:base])
+    y_ba = y[base:].reshape(dim, design.n)
+    return {
+        "first": first_order_indices(y_a, y_b, y_ab),
+        "total": total_order_indices(y_a, y_b, y_ab),
+        "second": second_order_indices(y_a, y_b, y_ab, y_ba),
+    }

@@ -1,0 +1,28 @@
+"""Simulated HPC cluster and batch scheduler.
+
+The paper runs on two LCRC clusters: Bebop (PBS — Globus Compute queues "a
+job on Bebop's PBS scheduler to run the function on one node", §2.2) and
+Improv (EMEWS worker pools started "by submitting a job to the compute
+resource scheduler (e.g., SLURM or PBS)", §3.2).  This subpackage provides a
+deterministic discrete-event model of that layer:
+
+- :class:`Cluster` — a set of nodes with per-node core counts.
+- :class:`BatchScheduler` — a FIFO-with-backfill batch queue: jobs request
+  nodes and a walltime, wait for allocation, run a Python payload, release.
+- :class:`UtilizationTracker` — exact node-hour accounting, used by the
+  interleaved-vs-sequential ablation (the paper's §3.2 motivation).
+"""
+
+from repro.hpc.cluster import Cluster, Node
+from repro.hpc.scheduler import BatchScheduler, Job, JobRequest, JobState
+from repro.hpc.utilization import UtilizationTracker
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "BatchScheduler",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "UtilizationTracker",
+]

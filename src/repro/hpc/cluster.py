@@ -1,0 +1,128 @@
+"""Cluster topology: nodes and core-level allocation.
+
+Kept independent of scheduling policy: a :class:`Cluster` only knows which
+nodes exist and which are currently allocated.  The :class:`BatchScheduler`
+decides *when* to allocate; the cluster enforces *that allocation is
+consistent* (a node can never be double-allocated — a property the test suite
+checks under hypothesis-generated workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import SchedulingError, ValidationError
+
+
+@dataclass
+class Node:
+    """One compute node."""
+
+    name: str
+    cores: int
+    allocated_to: Optional[str] = None  # job_id currently holding the node
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValidationError(f"node {self.name!r} must have >= 1 core")
+
+    @property
+    def free(self) -> bool:
+        """True when no job holds this node."""
+        return self.allocated_to is None
+
+
+class Cluster:
+    """A named cluster: a list of nodes with whole-node allocation.
+
+    Whole-node allocation matches both schedulers in the paper (PBS on Bebop
+    and the Improv scheduler allocate by node for these workloads).
+
+    Parameters
+    ----------
+    name:
+        Cluster name (appears in job records and reports).
+    n_nodes:
+        Number of identical nodes.
+    cores_per_node:
+        Core count per node (Bebop nodes have 36; the default is a
+        laptop-scale 8 so examples run quickly — benches override it).
+    """
+
+    def __init__(self, name: str, n_nodes: int, cores_per_node: int = 8) -> None:
+        if n_nodes < 1:
+            raise ValidationError("a cluster needs at least one node")
+        self.name = name
+        self._nodes: List[Node] = [
+            Node(name=f"{name}-node-{i:04d}", cores=cores_per_node)
+            for i in range(n_nodes)
+        ]
+
+    # ----------------------------------------------------------------- views
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All nodes (do not mutate)."""
+        return tuple(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return len(self._nodes)
+
+    @property
+    def cores_per_node(self) -> int:
+        """Cores on each (identical) node."""
+        return self._nodes[0].cores
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across the cluster."""
+        return sum(n.cores for n in self._nodes)
+
+    def free_nodes(self) -> List[Node]:
+        """Currently unallocated nodes, in stable order."""
+        return [n for n in self._nodes if n.free]
+
+    def n_free(self) -> int:
+        """Count of unallocated nodes."""
+        return sum(1 for n in self._nodes if n.free)
+
+    # ------------------------------------------------------------ allocation
+    def allocate(self, job_id: str, n_nodes: int) -> List[Node]:
+        """Allocate ``n_nodes`` free nodes to ``job_id``.
+
+        Raises :class:`SchedulingError` if not enough nodes are free — the
+        scheduler must check :meth:`n_free` first; failing here indicates a
+        scheduler bug, and the tests rely on that.
+        """
+        if n_nodes < 1:
+            raise ValidationError("must allocate at least one node")
+        free = self.free_nodes()
+        if len(free) < n_nodes:
+            raise SchedulingError(
+                f"job {job_id!r} requested {n_nodes} nodes, only {len(free)} free"
+            )
+        granted = free[:n_nodes]
+        for node in granted:
+            node.allocated_to = job_id
+        return granted
+
+    def release(self, job_id: str) -> int:
+        """Release every node held by ``job_id``; returns how many."""
+        count = 0
+        for node in self._nodes:
+            if node.allocated_to == job_id:
+                node.allocated_to = None
+                count += 1
+        if count == 0:
+            raise SchedulingError(f"job {job_id!r} holds no nodes to release")
+        return count
+
+    def holder_map(self) -> Dict[str, int]:
+        """Mapping job_id → node count held (diagnostics, invariant checks)."""
+        held: Dict[str, int] = {}
+        for node in self._nodes:
+            if node.allocated_to is not None:
+                held[node.allocated_to] = held.get(node.allocated_to, 0) + 1
+        return held

@@ -1,0 +1,280 @@
+"""A FIFO-with-backfill batch scheduler on the simulated clock.
+
+Models the slice of PBS/SLURM the paper's workflows interact with:
+
+- jobs request a node count and a walltime limit;
+- queued jobs start when nodes free up (FIFO order, with optional backfill so
+  a small job may start ahead of a blocked larger one);
+- a job's Python payload runs (for real) when the job *starts* in simulated
+  time, and the job then occupies its nodes for its declared simulated
+  duration (or until its walltime limit kills it);
+- "service" jobs (duration ``None``) — e.g. an EMEWS worker pool — run until
+  explicitly completed or until walltime.
+
+Exact queue-wait and utilization accounting feeds the interleaving ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.common.errors import SchedulingError, StateError, ValidationError
+from repro.hpc.cluster import Cluster, Node
+from repro.hpc.utilization import UtilizationTracker
+from repro.sim import Event, SimulationEnvironment
+
+#: Payload signature: receives the running Job, returns an arbitrary result.
+PayloadFn = Callable[["Job"], Any]
+#: Simulated duration: fixed days, or computed from the job at start time.
+DurationSpec = Union[float, Callable[["Job"], float], None]
+
+
+class JobState(Enum):
+    """Batch job lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What a client submits to the scheduler.
+
+    Attributes
+    ----------
+    name:
+        Label for logs and reports.
+    n_nodes:
+        Whole nodes requested.
+    walltime:
+        Maximum simulated days the job may run before being killed.
+    payload:
+        Python callable executed (once, for real) when the job starts.
+    duration:
+        Simulated run length in days.  A float, a callable evaluated at start
+        (so duration may depend on the payload's inputs), or ``None`` for a
+        service job that runs until :meth:`Job.complete` or walltime.
+    """
+
+    name: str
+    n_nodes: int
+    walltime: float
+    payload: Optional[PayloadFn] = None
+    duration: DurationSpec = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValidationError("jobs must request at least one node")
+        if self.walltime <= 0:
+            raise ValidationError("walltime must be positive")
+
+
+class Job:
+    """A submitted batch job.  Created by :meth:`BatchScheduler.submit`."""
+
+    def __init__(self, job_id: str, request: JobRequest, submitted_at: float) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.submitted_at = submitted_at
+        self.state = JobState.PENDING
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.nodes: List[Node] = []
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self.on_complete: List[Callable[["Job"], None]] = []
+        self._scheduler: Optional["BatchScheduler"] = None
+        self._kill_event: Optional[Event] = None
+
+    @property
+    def done(self) -> bool:
+        """True in any terminal state."""
+        return self.state in (
+            JobState.COMPLETED,
+            JobState.TIMEOUT,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        )
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Days spent pending before start (None until started)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def complete(self, result: Any = None) -> None:
+        """Finish a RUNNING service job now (used by worker pools)."""
+        if self._scheduler is None:
+            raise StateError(f"job {self.job_id} is not managed by a scheduler")
+        self._scheduler._finish(self, JobState.COMPLETED, result=result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Job({self.job_id}, {self.request.name!r}, {self.state.value})"
+
+
+class BatchScheduler:
+    """FIFO + backfill scheduler over a :class:`Cluster`.
+
+    Parameters
+    ----------
+    env:
+        Shared simulation environment.
+    cluster:
+        Node pool to schedule onto.
+    backfill:
+        When true (default), a queued job that fits may start even if an
+        earlier, larger job is still blocked — conservative backfill without
+        reservations, adequate for the workload mixes reproduced here.
+    """
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        cluster: Cluster,
+        *,
+        backfill: bool = True,
+    ) -> None:
+        self._env = env
+        self.cluster = cluster
+        self.backfill = backfill
+        self.tracker = UtilizationTracker(cluster.n_nodes)
+        self._queue: List[Job] = []
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, request: JobRequest) -> Job:
+        """Enqueue ``request``; the job starts when nodes are available."""
+        if request.n_nodes > self.cluster.n_nodes:
+            raise SchedulingError(
+                f"job {request.name!r} requests {request.n_nodes} nodes; "
+                f"cluster {self.cluster.name!r} has only {self.cluster.n_nodes}"
+            )
+        self._counter += 1
+        job = Job(
+            job_id=f"{self.cluster.name}-job-{self._counter:07d}",
+            request=request,
+            submitted_at=self._env.now,
+        )
+        job._scheduler = self
+        self._jobs[job.job_id] = job
+        self._queue.append(job)
+        # Start eligible jobs in this same simulated instant.
+        self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a pending job (running jobs must be completed or time out)."""
+        if job.state is not JobState.PENDING:
+            raise StateError(f"cannot cancel job {job.job_id} in state {job.state.value}")
+        self._queue.remove(job)
+        job.state = JobState.CANCELLED
+        job.completed_at = self._env.now
+        self._notify(job)
+
+    # -------------------------------------------------------------- internal
+    def _schedule_pass(self) -> None:
+        """Start every queued job that can start under the policy."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for job in list(self._queue):
+                if job.request.n_nodes <= self.cluster.n_free():
+                    self._queue.remove(job)
+                    self._start(job)
+                    progressed = True
+                    break  # restart scan: FIFO order among still-queued jobs
+                if not self.backfill:
+                    return  # strict FIFO: blocked head blocks everyone
+        return
+
+    def _start(self, job: Job) -> None:
+        job.nodes = self.cluster.allocate(job.job_id, job.request.n_nodes)
+        job.state = JobState.RUNNING
+        job.started_at = self._env.now
+        self.tracker.begin(job.job_id, self._env.now, job.request.n_nodes)
+
+        # Walltime kill, armed before the payload so even a payload that
+        # schedules nothing still terminates.
+        job._kill_event = self._env.schedule(
+            job.request.walltime,
+            lambda: self._finish(job, JobState.TIMEOUT),
+            label=f"{job.job_id}:walltime",
+        )
+
+        if job.request.payload is not None:
+            try:
+                job.result = job.request.payload(job)
+            except Exception as exc:
+                self._finish(job, JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+                return
+
+        duration = job.request.duration
+        if callable(duration):
+            duration = float(duration(job))
+        if duration is not None:
+            if duration < 0:
+                self._finish(job, JobState.FAILED, error="negative simulated duration")
+                return
+            if duration < job.request.walltime:
+                self._env.schedule(
+                    duration,
+                    lambda: self._finish(job, JobState.COMPLETED, result=job.result),
+                    label=f"{job.job_id}:complete",
+                )
+            # else: the walltime kill event already handles it (TIMEOUT).
+
+    def _finish(self, job: Job, state: JobState, *, result: Any = None, error: Optional[str] = None) -> None:
+        if job.done:
+            return  # completion already raced with walltime kill
+        if job.state is not JobState.RUNNING:
+            raise StateError(f"cannot finish job {job.job_id} in state {job.state.value}")
+        job.state = state
+        job.completed_at = self._env.now
+        if result is not None:
+            job.result = result
+        job.error = error
+        if job._kill_event is not None and job._kill_event.pending:
+            job._kill_event.cancel()
+        job._kill_event = None
+        self.cluster.release(job.job_id)
+        self.tracker.end(job.job_id, self._env.now)
+        self._notify(job)
+        self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
+
+    def _notify(self, job: Job) -> None:
+        for callback in job.on_complete:
+            callback(job)
+
+    # ----------------------------------------------------------------- query
+    def pending_jobs(self) -> List[Job]:
+        """Jobs waiting in the queue, FIFO order."""
+        return list(self._queue)
+
+    def running_jobs(self) -> List[Job]:
+        """Jobs currently holding nodes."""
+        return [j for j in self._jobs.values() if j.state is JobState.RUNNING]
+
+    def all_jobs(self) -> List[Job]:
+        """Every job ever submitted, in submission order."""
+        return [self._jobs[k] for k in sorted(self._jobs)]
+
+    def job_stats(self) -> Dict[str, float]:
+        """Aggregate queue/runtime statistics for reports."""
+        waits = [j.queue_wait for j in self._jobs.values() if j.queue_wait is not None]
+        finished = [j for j in self._jobs.values() if j.done and j.started_at is not None]
+        runtimes = [j.completed_at - j.started_at for j in finished]
+        return {
+            "n_jobs": float(len(self._jobs)),
+            "n_finished": float(len(finished)),
+            "mean_queue_wait": float(sum(waits) / len(waits)) if waits else 0.0,
+            "max_queue_wait": float(max(waits)) if waits else 0.0,
+            "mean_runtime": float(sum(runtimes) / len(runtimes)) if runtimes else 0.0,
+        }

@@ -1,0 +1,85 @@
+"""Epidemic models and synthetic surveillance data.
+
+- :mod:`repro.models.parameters` — parameter spaces, including the paper's
+  Table 1 (the five uncertain MetaRVM parameters and their GSA ranges), and
+  the full MetaRVM parameter set with nominal values.
+- :mod:`repro.models.mixing` — demographic-group contact matrices.
+- :mod:`repro.models.seir` — SEIR substrate: deterministic ODE, stochastic
+  chain-binomial, and renewal-equation incidence with time-varying R(t).
+- :mod:`repro.models.metarvm` — the MetaRVM metapopulation model (Figure 3):
+  compartments S, V, E, Ia, Ip, Is, H, R, D with vaccination, waning,
+  hospitalization and death, heterogeneous mixing across subgroups, and a
+  fully vectorized batch evaluator with common-random-number support.
+- :mod:`repro.models.wastewater` — synthetic wastewater pathogen-
+  concentration surveillance: latent epidemic with known R(t), shedding-load
+  convolution, plant-level noise; the offline stand-in for the Illinois
+  Wastewater Surveillance System feed.
+"""
+
+from repro.models.parameters import (
+    GSA_PARAMETER_SPACE,
+    MetaRVMParams,
+    ParameterSpace,
+    table1_rows,
+)
+from repro.models.interventions import InterventionSchedule, lockdown_scenario
+from repro.models.mixing import assortative_mixing, uniform_mixing
+from repro.models.surveillance import (
+    MANDATE_ERA,
+    POST_MANDATE,
+    SurveillanceScenario,
+    observe_cases,
+    observe_hospital_admissions,
+)
+from repro.models.seir import (
+    SEIRParams,
+    discretized_gamma,
+    renewal_incidence,
+    seir_deterministic,
+    seir_stochastic,
+)
+from repro.models.metarvm import (
+    COMPARTMENTS,
+    MetaRVM,
+    MetaRVMConfig,
+    MetaRVMResult,
+    transition_graph,
+)
+from repro.models.wastewater import (
+    CHICAGO_PLANTS,
+    SyntheticIWSS,
+    WastewaterPlant,
+    default_rt_scenario,
+    shedding_kernel,
+)
+
+__all__ = [
+    "GSA_PARAMETER_SPACE",
+    "MetaRVMParams",
+    "ParameterSpace",
+    "table1_rows",
+    "InterventionSchedule",
+    "lockdown_scenario",
+    "assortative_mixing",
+    "uniform_mixing",
+    "MANDATE_ERA",
+    "POST_MANDATE",
+    "SurveillanceScenario",
+    "observe_cases",
+    "observe_hospital_admissions",
+    "SEIRParams",
+    "discretized_gamma",
+    "renewal_incidence",
+    "seir_deterministic",
+    "seir_stochastic",
+    "COMPARTMENTS",
+    "MetaRVM",
+    "MetaRVMConfig",
+    "MetaRVMResult",
+    "transition_graph",
+    "CHICAGO_PLANTS",
+    "SyntheticIWSS",
+    "WastewaterPlant",
+    "default_rt_scenario",
+    "shedding_kernel",
+]

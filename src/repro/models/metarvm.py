@@ -1,0 +1,480 @@
+"""MetaRVM: a stochastic metapopulation respiratory-virus model.
+
+Reimplementation of the MetaRVM model [Fadikar et al. 2025] as described in
+§3.1.1 and Figure 3 of the paper.  The model "extends the SEIR framework by
+introducing additional compartments to capture more detailed disease
+progression and heterogeneous mixing across demographic subgroups", with
+compartments
+
+    S  Susceptible          Ip  Presymptomatic infectious
+    V  Vaccinated           Is  Symptomatic infectious
+    E  Exposed              H   Hospitalized
+    Ia Asymptomatic         R   Recovered
+                            D   Dead
+
+and transitions (daily probabilities ``1 - exp(-rate)``):
+
+- S → E at force of infection scaled by ``ts``; V → E scaled by ``tv``;
+- S → V at the vaccination rate; V → S as immunity wanes (mean ``dv`` days);
+- E exits after mean ``de`` days, a fraction ``pea`` to Ia, the rest to Ip;
+- Ia → R after ``da`` days; Ip → Is after ``dp`` days;
+- Is exits after ``ds`` days, fraction ``psh`` to H, rest (``psr``) to R;
+- H exits after ``dh`` days, fraction ``phd`` to D, rest to R;
+- R → S after mean ``dr`` days (reinfection).
+
+Force of infection for group ``g``:
+``λ_g = Σ_k C[g,k] (Ia_k + Ip_k + Is_k) / N_k`` with mixing matrix ``C``.
+
+Performance and reproducibility design
+--------------------------------------
+The GSA workflows evaluate the model at hundreds of parameter sets **with a
+fixed random seed per replicate** ("each replicate generated using a unique
+random stream seed value", §3.1.2).  Two requirements follow:
+
+1. *Common random numbers*: for one replicate seed, the stochastic
+   realization must be a deterministic function of the parameters, and the
+   *same* underlying noise must drive every parameter set, so the QoI is a
+   (noisy-but-fixed) deterministic surface the GP surrogate can learn.
+2. *Vectorized batches*: a Saltelli reference run needs thousands of
+   evaluations.
+
+Both are met by pre-drawing a uniform noise tensor ``U[day, transition,
+group]`` from the replicate seed and converting each uniform into a binomial
+draw by a hybrid inverse-CDF: a normal quantile approximation where counts
+are large (vectorized, exact to ~1/sqrt(n)) and the exact binomial ppf where
+counts are small.  A batch of parameter sets shares one ``U`` (common random
+numbers) or takes independent slabs (independent replicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy import special, stats
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.common.validation import check_array, check_int
+from repro.models.interventions import InterventionSchedule
+from repro.models.mixing import age_structured_mixing, validate_mixing
+from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams
+
+#: Compartment order used in all state arrays.
+COMPARTMENTS: Tuple[str, ...] = ("S", "V", "E", "Ia", "Ip", "Is", "H", "R", "D")
+_IDX = {name: i for i, name in enumerate(COMPARTMENTS)}
+
+#: Named noise channels — one uniform per (day, channel, group).
+_TRANSITION_CHANNELS: Tuple[str, ...] = (
+    "s_to_e",
+    "v_to_e",
+    "s_to_v",
+    "v_to_s",
+    "e_out",
+    "e_split",
+    "ia_to_r",
+    "ip_to_is",
+    "is_out",
+    "is_split",
+    "h_out",
+    "h_split",
+    "r_to_s",
+)
+N_CHANNELS = len(_TRANSITION_CHANNELS)
+
+#: Threshold below which the exact binomial inverse CDF is used.
+_EXACT_VARIANCE_CUTOFF = 25.0
+
+
+@dataclass(frozen=True)
+class MetaRVMConfig:
+    """Population structure and horizon of a MetaRVM experiment.
+
+    Attributes
+    ----------
+    population:
+        Individuals per demographic group.
+    initial_infections:
+        Initially Exposed individuals per group.
+    mixing:
+        Row-stochastic contact matrix; defaults to an age-structured banded
+        matrix over the given groups.
+    n_days:
+        Simulation horizon (the paper's GSA uses 90 days).
+    initial_vaccinated_fraction:
+        Fraction of each group starting in V.
+    intervention:
+        Optional piecewise-constant transmission-multiplier schedule
+        (:class:`repro.models.interventions.InterventionSchedule`); scales
+        both ``ts`` and ``tv`` day by day.
+    """
+
+    population: Tuple[int, ...] = (60_000, 80_000, 70_000, 40_000)
+    initial_infections: Tuple[int, ...] = (20, 20, 20, 20)
+    mixing: Optional[np.ndarray] = None
+    n_days: int = 90
+    initial_vaccinated_fraction: float = 0.1
+    intervention: Optional["InterventionSchedule"] = None
+
+    def __post_init__(self) -> None:
+        pop = np.asarray(self.population, dtype=np.int64)
+        if pop.ndim != 1 or pop.size < 1 or np.any(pop <= 0):
+            raise ValidationError("population must be positive per group")
+        init = np.asarray(self.initial_infections, dtype=np.int64)
+        if init.shape != pop.shape or np.any(init < 0) or np.any(init > pop):
+            raise ValidationError(
+                "initial_infections must be non-negative and at most the population"
+            )
+        check_int("n_days", self.n_days, minimum=1)
+        if not 0.0 <= self.initial_vaccinated_fraction <= 1.0:
+            raise ValidationError("initial_vaccinated_fraction must be in [0, 1]")
+        mixing = (
+            age_structured_mixing(pop.size)
+            if self.mixing is None
+            else np.asarray(self.mixing, dtype=float)
+        )
+        validate_mixing(mixing, pop.size)
+        object.__setattr__(self, "population", tuple(int(p) for p in pop))
+        object.__setattr__(self, "initial_infections", tuple(int(i) for i in init))
+        object.__setattr__(self, "mixing", mixing)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of demographic groups."""
+        return len(self.population)
+
+    @property
+    def total_population(self) -> int:
+        """Total individuals across groups."""
+        return int(sum(self.population))
+
+
+@dataclass
+class MetaRVMResult:
+    """Outputs of one (or a batch of) MetaRVM run(s).
+
+    Attributes
+    ----------
+    trajectories:
+        Shape (batch, n_days + 1, 9, n_groups): compartment counts per day.
+    new_infections, hospital_admissions, deaths_per_day:
+        Daily flows, shape (batch, n_days, n_groups).
+    """
+
+    config: MetaRVMConfig
+    trajectories: np.ndarray
+    new_infections: np.ndarray
+    hospital_admissions: np.ndarray
+    deaths_per_day: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of parameter sets in this result."""
+        return self.trajectories.shape[0]
+
+    def compartment(self, name: str, *, batch: int = 0) -> np.ndarray:
+        """Per-day counts of one compartment, summed over groups."""
+        if name not in _IDX:
+            raise ValidationError(f"unknown compartment {name!r}")
+        return self.trajectories[batch, :, _IDX[name], :].sum(axis=-1)
+
+    def total_hospitalizations(self) -> np.ndarray:
+        """The paper's GSA quantity of interest: cumulative hospital
+        admissions over the horizon, per batch row."""
+        return self.hospital_admissions.sum(axis=(1, 2))
+
+    def total_deaths(self) -> np.ndarray:
+        """Cumulative deaths per batch row."""
+        return self.deaths_per_day.sum(axis=(1, 2))
+
+    def attack_rate(self) -> np.ndarray:
+        """Cumulative infections / total population, per batch row."""
+        return self.new_infections.sum(axis=(1, 2)) / self.config.total_population
+
+    def peak_hospital_occupancy(self) -> np.ndarray:
+        """Maximum simultaneous H count over the horizon, per batch row."""
+        h = self.trajectories[:, :, _IDX["H"], :].sum(axis=-1)
+        return h.max(axis=1)
+
+
+def _noise_tensor(seed: int, n_days: int, n_groups: int, batch: int) -> np.ndarray:
+    """Uniform noise U of shape (batch, n_days, N_CHANNELS, n_groups).
+
+    ``batch == 1`` with broadcasting gives common random numbers; larger
+    batch sizes give independent noise per row.
+    Uniforms are clipped away from {0, 1} so normal quantiles stay finite.
+    """
+    rng = generator_from_seed(seed)
+    u = rng.random((batch, n_days, N_CHANNELS, n_groups))
+    eps = 1e-12
+    return np.clip(u, eps, 1.0 - eps)
+
+
+def _crn_binomial(n: np.ndarray, p: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Binomial draw from a shared uniform (common-random-number scheme).
+
+    Large-count entries use the normal-quantile approximation
+    ``round(np + sqrt(np(1-p)) * Phi^{-1}(u))`` (clipped to [0, n]); entries
+    with variance below ``_EXACT_VARIANCE_CUTOFF`` use the exact binomial
+    inverse CDF.  Both paths are monotone in ``u``, so a fixed ``u``
+    produces outcomes that vary smoothly with (n, p) — the property common
+    random numbers exist to provide.
+    """
+    n_arr, p_arr, u_arr = np.broadcast_arrays(
+        np.asarray(n, dtype=float), np.asarray(p, dtype=float), u
+    )
+    variance = n_arr * p_arr * (1.0 - p_arr)
+    z = special.ndtri(u_arr)
+    draws = np.rint(n_arr * p_arr + np.sqrt(np.maximum(variance, 0.0)) * z)
+    small = variance < _EXACT_VARIANCE_CUTOFF
+    if np.any(small):
+        exact = stats.binom.ppf(u_arr[small], n_arr[small], p_arr[small])
+        draws = draws.copy()
+        draws[small] = exact
+    return np.clip(draws, 0.0, n_arr)
+
+
+def _expected_binomial(n: np.ndarray, p: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Deterministic (expected-value) stand-in for :func:`_crn_binomial`."""
+    return np.asarray(n, dtype=float) * np.asarray(p, dtype=float)
+
+
+class MetaRVM:
+    """The MetaRVM simulator.
+
+    Parameters
+    ----------
+    config:
+        Population structure and horizon.
+    base_params:
+        Nominal values for parameters not varied per run.
+
+    Examples
+    --------
+    >>> model = MetaRVM(MetaRVMConfig(n_days=30))
+    >>> result = model.run(MetaRVMParams(), seed=1)
+    >>> float(result.total_hospitalizations()[0]) >= 0
+    True
+    """
+
+    def __init__(
+        self,
+        config: Optional[MetaRVMConfig] = None,
+        base_params: Optional[MetaRVMParams] = None,
+    ) -> None:
+        self.config = config if config is not None else MetaRVMConfig()
+        self.base_params = base_params if base_params is not None else MetaRVMParams()
+
+    # -------------------------------------------------------------- single run
+    def run(
+        self,
+        params: Optional[MetaRVMParams] = None,
+        *,
+        seed: int = 0,
+        stochastic: bool = True,
+    ) -> MetaRVMResult:
+        """One full simulation with complete trajectories."""
+        params = params if params is not None else self.base_params
+        theta = {name: np.array([getattr(params, name)]) for name in params.as_dict()}
+        return self._simulate(theta, seed=seed, stochastic=stochastic, common_noise=True)
+
+    # --------------------------------------------------------------- batch run
+    def run_batch(
+        self,
+        gsa_matrix: np.ndarray,
+        *,
+        seed: int = 0,
+        stochastic: bool = True,
+        common_noise: bool = True,
+    ) -> MetaRVMResult:
+        """Simulate a batch of Table 1 parameter sets.
+
+        Parameters
+        ----------
+        gsa_matrix:
+            Shape (batch, 5) in :data:`GSA_PARAMETER_SPACE` order
+            (ts, tv, pea, psh, phd); remaining parameters come from
+            ``base_params``.
+        seed:
+            Replicate seed.  With ``common_noise=True`` every row is driven
+            by the same noise tensor (the fixed-seed GSA setting); with
+            ``False`` each row gets independent noise derived from ``seed``.
+        """
+        gsa = np.atleast_2d(check_array("gsa_matrix", gsa_matrix, finite=True))
+        if gsa.shape[1] != GSA_PARAMETER_SPACE.dim:
+            raise ValidationError(
+                f"gsa_matrix must have {GSA_PARAMETER_SPACE.dim} columns, got {gsa.shape[1]}"
+            )
+        base = self.base_params.as_dict()
+        batch = gsa.shape[0]
+        theta = {name: np.full(batch, value) for name, value in base.items()}
+        for j, name in enumerate(GSA_PARAMETER_SPACE.names):
+            theta[name] = gsa[:, j].astype(float)
+        return self._simulate(
+            theta, seed=seed, stochastic=stochastic, common_noise=common_noise
+        )
+
+    def total_hospitalizations(
+        self,
+        gsa_matrix: np.ndarray,
+        *,
+        seed: int = 0,
+        stochastic: bool = True,
+        common_noise: bool = True,
+    ) -> np.ndarray:
+        """The GSA QoI for a batch of parameter sets (shape (batch,))."""
+        result = self.run_batch(
+            gsa_matrix, seed=seed, stochastic=stochastic, common_noise=common_noise
+        )
+        return result.total_hospitalizations()
+
+    # ----------------------------------------------------------------- engine
+    def _simulate(
+        self,
+        theta: Dict[str, np.ndarray],
+        *,
+        seed: int,
+        stochastic: bool,
+        common_noise: bool,
+    ) -> MetaRVMResult:
+        cfg = self.config
+        g = cfg.n_groups
+        n_days = cfg.n_days
+        batch = int(next(iter(theta.values())).shape[0])
+        col = lambda name: theta[name].reshape(batch, 1)
+
+        # Per-day transition probabilities (batch, 1), broadcast over groups.
+        p_vax = -np.expm1(-col("vax_rate"))
+        p_wane = -np.expm1(-1.0 / col("dv"))
+        p_e_out = -np.expm1(-1.0 / col("de"))
+        p_ia_out = -np.expm1(-1.0 / col("da"))
+        p_ip_out = -np.expm1(-1.0 / col("dp"))
+        p_is_out = -np.expm1(-1.0 / col("ds"))
+        p_h_out = -np.expm1(-1.0 / col("dh"))
+        p_r_out = -np.expm1(-1.0 / col("dr"))
+        pea = col("pea")
+        psh = col("psh")
+        phd = col("phd")
+        ts = col("ts")
+        tv = col("tv")
+
+        population = np.asarray(cfg.population, dtype=float)  # (g,)
+        mixing_t = np.asarray(cfg.mixing, dtype=float).T  # (k, g) for frac @ C.T
+        if cfg.intervention is not None:
+            transmission_multiplier = cfg.intervention.multiplier_array(n_days)
+        else:
+            transmission_multiplier = np.ones(n_days)
+
+        # Initial state.
+        state = np.zeros((batch, len(COMPARTMENTS), g))
+        init_e = np.asarray(cfg.initial_infections, dtype=float)
+        init_v = np.floor(cfg.initial_vaccinated_fraction * population)
+        init_v = np.minimum(init_v, population - init_e)
+        state[:, _IDX["E"], :] = init_e
+        state[:, _IDX["V"], :] = init_v
+        state[:, _IDX["S"], :] = population - init_e - init_v
+
+        noise_batch = 1 if common_noise else batch
+        if stochastic:
+            u_tensor = _noise_tensor(seed, n_days, g, noise_batch)
+            draw = _crn_binomial
+        else:
+            u_tensor = np.full((1, n_days, N_CHANNELS, g), 0.5)
+            draw = _expected_binomial
+
+        trajectories = np.empty((batch, n_days + 1, len(COMPARTMENTS), g))
+        trajectories[:, 0] = state
+        new_infections = np.empty((batch, n_days, g))
+        hospital_admissions = np.empty((batch, n_days, g))
+        deaths_per_day = np.empty((batch, n_days, g))
+
+        s_i, v_i, e_i = _IDX["S"], _IDX["V"], _IDX["E"]
+        ia_i, ip_i, is_i = _IDX["Ia"], _IDX["Ip"], _IDX["Is"]
+        h_i, r_i, d_i = _IDX["H"], _IDX["R"], _IDX["D"]
+
+        for day in range(n_days):
+            u = u_tensor[:, day]  # (noise_batch, N_CHANNELS, g)
+            S = state[:, s_i]
+            V = state[:, v_i]
+            E = state[:, e_i]
+            Ia = state[:, ia_i]
+            Ip = state[:, ip_i]
+            Is = state[:, is_i]
+            H = state[:, h_i]
+            R = state[:, r_i]
+
+            infectious_frac = (Ia + Ip + Is) / population  # (batch, g)
+            lam = (infectious_frac @ mixing_t) * transmission_multiplier[day]
+            p_se = -np.expm1(-ts * lam)
+            p_ve = -np.expm1(-tv * lam)
+
+            s_to_e = draw(S, p_se, u[:, 0])
+            v_to_e = draw(V, p_ve, u[:, 1])
+            s_to_v = draw(S - s_to_e, p_vax, u[:, 2])
+            v_to_s = draw(V - v_to_e, p_wane, u[:, 3])
+            e_out = draw(E, p_e_out, u[:, 4])
+            e_to_ia = draw(e_out, pea, u[:, 5])
+            e_to_ip = e_out - e_to_ia
+            ia_to_r = draw(Ia, p_ia_out, u[:, 6])
+            ip_to_is = draw(Ip, p_ip_out, u[:, 7])
+            is_out = draw(Is, p_is_out, u[:, 8])
+            is_to_h = draw(is_out, psh, u[:, 9])
+            is_to_r = is_out - is_to_h
+            h_out = draw(H, p_h_out, u[:, 10])
+            h_to_d = draw(h_out, phd, u[:, 11])
+            h_to_r = h_out - h_to_d
+            r_to_s = draw(R, p_r_out, u[:, 12])
+
+            state[:, s_i] = S - s_to_e - s_to_v + v_to_s + r_to_s
+            state[:, v_i] = V - v_to_e - v_to_s + s_to_v
+            state[:, e_i] = E + s_to_e + v_to_e - e_out
+            state[:, ia_i] = Ia + e_to_ia - ia_to_r
+            state[:, ip_i] = Ip + e_to_ip - ip_to_is
+            state[:, is_i] = Is + ip_to_is - is_out
+            state[:, h_i] = H + is_to_h - h_out
+            state[:, r_i] = R + ia_to_r + is_to_r + h_to_r - r_to_s
+            state[:, d_i] += h_to_d
+
+            trajectories[:, day + 1] = state
+            new_infections[:, day] = s_to_e + v_to_e
+            hospital_admissions[:, day] = is_to_h
+            deaths_per_day[:, day] = h_to_d
+
+        return MetaRVMResult(
+            config=cfg,
+            trajectories=trajectories,
+            new_infections=new_infections,
+            hospital_admissions=hospital_admissions,
+            deaths_per_day=deaths_per_day,
+        )
+
+
+def transition_graph() -> nx.DiGraph:
+    """The Figure 3 compartment/transition graph, with parameter labels.
+
+    Nodes are the nine compartments; each edge carries the parameters that
+    govern it (rates and branch probabilities).  The Figure 3 benchmark
+    asserts this structure matches the paper.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(COMPARTMENTS)
+    edges = [
+        ("S", "E", "ts"),
+        ("V", "E", "tv"),
+        ("S", "V", "vax_rate"),
+        ("V", "S", "1/dv"),
+        ("E", "Ia", "pea, 1/de"),
+        ("E", "Ip", "1-pea, 1/de"),
+        ("Ia", "R", "1/da"),
+        ("Ip", "Is", "1/dp"),
+        ("Is", "R", "psr, 1/ds"),
+        ("Is", "H", "psh, 1/ds"),
+        ("H", "R", "1-phd, 1/dh"),
+        ("H", "D", "phd, 1/dh"),
+        ("R", "S", "1/dr"),
+    ]
+    for src, dst, label in edges:
+        graph.add_edge(src, dst, parameters=label)
+    return graph

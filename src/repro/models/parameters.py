@@ -1,0 +1,252 @@
+"""Parameter spaces and the MetaRVM parameter set.
+
+Table 1 of the paper defines the GSA experiment's uncertain inputs:
+
+=========  ==================================  ===========
+Parameter  Description                         Range
+=========  ==================================  ===========
+ts         Transmission rate for susceptible   (0.1, 0.9)
+tv         Transmission rate for vaccinated    (0.01, 0.5)
+pea        Proportion of asymptomatic cases    (0.4, 0.9)
+psh        Proportion of hospitalized          (0.1, 0.4)
+phd        Proportion of dead                  (0, 0.3)
+=========  ==================================  ===========
+
+"Five of the MetaRVM model parameters are treated as uncertain within their
+specified ranges, while the remaining parameters are fixed at nominal
+values." (§3.1.2) — :data:`GSA_PARAMETER_SPACE` is that space and
+:class:`MetaRVMParams` carries the full set with nominal values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_interval
+
+
+class ParameterSpace:
+    """An ordered box of named continuous parameters.
+
+    Provides scaling between the unit hypercube (where designs and
+    surrogates operate) and natural units (what the model consumes).
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Tuple[str, Tuple[float, float]]],
+        descriptions: Mapping[str, str] | None = None,
+    ) -> None:
+        if not parameters:
+            raise ValidationError("a parameter space needs at least one parameter")
+        names = [name for name, _ in parameters]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate parameter names: {names}")
+        self._names: List[str] = names
+        self._bounds = np.array(
+            [check_interval(name, bounds) for name, bounds in parameters], dtype=float
+        )
+        self._descriptions = dict(descriptions or {})
+
+    # ------------------------------------------------------------------ views
+    @property
+    def names(self) -> List[str]:
+        """Parameter names, in order."""
+        return list(self._names)
+
+    @property
+    def dim(self) -> int:
+        """Number of parameters."""
+        return len(self._names)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Array of shape (dim, 2): [low, high] per parameter."""
+        return self._bounds.copy()
+
+    def description(self, name: str) -> str:
+        """Human-readable description of a parameter (may be empty)."""
+        return self._descriptions.get(name, "")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    # -------------------------------------------------------------- transforms
+    def scale(self, unit: np.ndarray) -> np.ndarray:
+        """Map points from the unit cube to natural units.
+
+        ``unit`` has shape (n, dim) or (dim,); values must be in [0, 1].
+        """
+        unit = np.atleast_2d(check_array("unit", unit, finite=True))
+        if unit.shape[-1] != self.dim:
+            raise ValidationError(f"expected {self.dim} columns, got {unit.shape[-1]}")
+        if unit.min() < -1e-12 or unit.max() > 1 + 1e-12:
+            raise ValidationError("unit-cube coordinates must lie in [0, 1]")
+        low = self._bounds[:, 0]
+        high = self._bounds[:, 1]
+        return low + np.clip(unit, 0.0, 1.0) * (high - low)
+
+    def unscale(self, natural: np.ndarray) -> np.ndarray:
+        """Map points from natural units to the unit cube."""
+        natural = np.atleast_2d(check_array("natural", natural, finite=True))
+        if natural.shape[-1] != self.dim:
+            raise ValidationError(f"expected {self.dim} columns, got {natural.shape[-1]}")
+        low = self._bounds[:, 0]
+        high = self._bounds[:, 1]
+        unit = (natural - low) / (high - low)
+        if unit.min() < -1e-9 or unit.max() > 1 + 1e-9:
+            raise ValidationError("point lies outside the parameter space")
+        return np.clip(unit, 0.0, 1.0)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random sample of ``n`` points, in natural units."""
+        if n < 1:
+            raise ValidationError("sample size must be >= 1")
+        return self.scale(rng.random((n, self.dim)))
+
+    def to_dicts(self, natural: np.ndarray) -> List[Dict[str, float]]:
+        """Rows of a design matrix as name→value dicts (task payloads)."""
+        natural = np.atleast_2d(np.asarray(natural, dtype=float))
+        return [dict(zip(self._names, row.tolist())) for row in natural]
+
+    def from_dict(self, values: Mapping[str, float]) -> np.ndarray:
+        """One point from a name→value mapping, in parameter order."""
+        missing = set(self._names) - set(values)
+        if missing:
+            raise ValidationError(f"missing parameters: {sorted(missing)}")
+        return np.array([float(values[name]) for name in self._names])
+
+
+#: The paper's Table 1: the five uncertain MetaRVM parameters for GSA.
+GSA_PARAMETER_SPACE = ParameterSpace(
+    [
+        ("ts", (0.1, 0.9)),
+        ("tv", (0.01, 0.5)),
+        ("pea", (0.4, 0.9)),
+        ("psh", (0.1, 0.4)),
+        ("phd", (0.0, 0.3)),
+    ],
+    descriptions={
+        "ts": "Transmission rate for susceptible",
+        "tv": "Transmission rate for vaccinated",
+        "pea": "Proportion of asymptomatic cases",
+        "psh": "Proportion of hospitalized",
+        "phd": "Proportion of dead",
+    },
+)
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """The rows of the paper's Table 1, as (parameter, description, range)."""
+    rows = []
+    for name in GSA_PARAMETER_SPACE:
+        low, high = GSA_PARAMETER_SPACE.bounds[GSA_PARAMETER_SPACE.names.index(name)]
+        fmt = lambda x: f"{x:g}"
+        rows.append(
+            (name, GSA_PARAMETER_SPACE.description(name), f"({fmt(low)}, {fmt(high)})")
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MetaRVMParams:
+    """Full MetaRVM parameter set (Figure 3 of the paper).
+
+    Rates are per day; proportions are probabilities.  Nominal values are
+    the fixed settings used when a parameter is *not* in the GSA space.
+
+    Attributes
+    ----------
+    ts, tv:
+        Transmission rates for Susceptible and Vaccinated individuals.
+    ve:
+        Vaccine efficacy — Vaccinated face "a reduced probability of
+        infection"; the effective vaccinated exposure rate is
+        ``tv * (1 - ve)`` when tv is interpreted as a base rate.  Following
+        the paper's Table 1 (which varies ``tv`` directly), our force of
+        infection for V uses ``tv`` alone and ``ve`` is retained for the
+        vaccination-uptake pathway.
+    dv:
+        Mean days until vaccine-conferred immunity wanes (V → S).
+    de:
+        Mean days in Exposed before becoming infectious.
+    pea:
+        Proportion of exposed who become Asymptomatic (rest Presymptomatic).
+    da, dp, ds:
+        Mean days spent Asymptomatic, Presymptomatic, Symptomatic.
+    psh:
+        Proportion of symptomatic who are hospitalized (``1 - psr``).
+    dh:
+        Mean days hospitalized.
+    phd:
+        Proportion of hospitalized who die.
+    dr:
+        Mean days until Recovered return to Susceptible (reinfection).
+    vax_rate:
+        Daily per-capita vaccination rate (S → V).
+    """
+
+    ts: float = 0.5
+    tv: float = 0.2
+    ve: float = 0.6
+    dv: float = 180.0
+    de: float = 3.0
+    pea: float = 0.6
+    da: float = 5.0
+    dp: float = 2.0
+    ds: float = 5.0
+    psh: float = 0.2
+    dh: float = 7.0
+    phd: float = 0.1
+    dr: float = 120.0
+    vax_rate: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("ts", "tv", "vax_rate"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValidationError(f"{name} must be >= 0, got {value}")
+        for name in ("pea", "psh", "phd", "ve"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {value}")
+        for name in ("dv", "de", "da", "dp", "ds", "dh", "dr"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValidationError(f"{name} must be > 0 days, got {value}")
+
+    def with_updates(self, **updates: float) -> "MetaRVMParams":
+        """A copy with the given fields replaced (validated)."""
+        valid = {f.name for f in fields(self)}
+        unknown = set(updates) - valid
+        if unknown:
+            raise ValidationError(f"unknown MetaRVM parameters: {sorted(unknown)}")
+        return replace(self, **updates)
+
+    def with_gsa_values(self, values: Mapping[str, float] | np.ndarray) -> "MetaRVMParams":
+        """A copy with the Table 1 parameters set from a GSA point.
+
+        ``values`` is either a name→value mapping or an array in
+        :data:`GSA_PARAMETER_SPACE` order.
+        """
+        if isinstance(values, Mapping):
+            point = {name: float(values[name]) for name in GSA_PARAMETER_SPACE}
+        else:
+            arr = np.asarray(values, dtype=float).ravel()
+            if arr.size != GSA_PARAMETER_SPACE.dim:
+                raise ValidationError(
+                    f"expected {GSA_PARAMETER_SPACE.dim} GSA values, got {arr.size}"
+                )
+            point = dict(zip(GSA_PARAMETER_SPACE.names, arr.tolist()))
+        return self.with_updates(**point)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All parameters as a plain dict (payloads, provenance)."""
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}

@@ -1,0 +1,227 @@
+"""SEIR substrate: compartmental dynamics and renewal-equation incidence.
+
+Three tools the rest of the library builds on:
+
+- :func:`seir_deterministic` / :func:`seir_stochastic` — the basic SEIR
+  model the paper describes as the foundation MetaRVM extends.
+- :func:`renewal_incidence` — infection incidence driven by a *time-varying
+  reproduction number* through the renewal equation
+  ``I_t = R_t * sum_s w_s I_{t-s}`` with generation-interval pmf ``w``.
+  This is the latent-epidemic engine of the synthetic wastewater generator
+  (known ground-truth R(t)) and the mechanistic core of the Goldstein
+  estimator's forward model.
+- :func:`discretized_gamma` — discretized gamma pmfs for generation
+  intervals and shedding-load kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_int, check_positive
+
+
+@dataclass(frozen=True)
+class SEIRParams:
+    """Parameters of the basic SEIR model.
+
+    ``beta`` is the transmission rate per day; ``de``/``di`` are mean days
+    in the Exposed and Infectious compartments.  The basic reproduction
+    number is ``R0 = beta * di``.
+    """
+
+    beta: float = 0.4
+    de: float = 3.0
+    di: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("beta", self.beta, strict=False)
+        check_positive("de", self.de)
+        check_positive("di", self.di)
+
+    @property
+    def r0(self) -> float:
+        """Basic reproduction number ``beta * di``."""
+        return self.beta * self.di
+
+
+def seir_deterministic(
+    params: SEIRParams,
+    population: float,
+    initial_infected: float,
+    n_days: int,
+    *,
+    steps_per_day: int = 4,
+) -> Dict[str, np.ndarray]:
+    """Deterministic SEIR via fixed-step RK4-free Euler sub-stepping.
+
+    Returns arrays of length ``n_days + 1`` for S, E, I, R and the daily
+    new-infection incidence (length ``n_days``).
+    """
+    n_days = check_int("n_days", n_days, minimum=1)
+    steps = check_int("steps_per_day", steps_per_day, minimum=1)
+    population = check_positive("population", population)
+    if not 0 <= initial_infected <= population:
+        raise ValidationError("initial_infected must be in [0, population]")
+    dt = 1.0 / steps
+    s, e, i, r = population - initial_infected, 0.0, initial_infected, 0.0
+    S = np.empty(n_days + 1)
+    E = np.empty(n_days + 1)
+    I = np.empty(n_days + 1)
+    R = np.empty(n_days + 1)
+    incidence = np.zeros(n_days)
+    S[0], E[0], I[0], R[0] = s, e, i, r
+    for day in range(n_days):
+        new_inf_today = 0.0
+        for _ in range(steps):
+            foi = params.beta * i / population
+            new_e = foi * s * dt
+            new_i = e / params.de * dt
+            new_r = i / params.di * dt
+            s -= new_e
+            e += new_e - new_i
+            i += new_i - new_r
+            r += new_r
+            new_inf_today += new_e
+        S[day + 1], E[day + 1], I[day + 1], R[day + 1] = s, e, i, r
+        incidence[day] = new_inf_today
+    return {"S": S, "E": E, "I": I, "R": R, "incidence": incidence}
+
+
+def seir_stochastic(
+    params: SEIRParams,
+    population: int,
+    initial_infected: int,
+    n_days: int,
+    rng: np.random.Generator,
+) -> Dict[str, np.ndarray]:
+    """Chain-binomial stochastic SEIR (daily time step).
+
+    Transition probabilities are ``1 - exp(-rate)`` per day.  Returns
+    integer compartment trajectories and daily new-infection counts.
+    """
+    n_days = check_int("n_days", n_days, minimum=1)
+    population = check_int("population", population, minimum=1)
+    initial_infected = check_int("initial_infected", initial_infected, minimum=0)
+    if initial_infected > population:
+        raise ValidationError("initial_infected exceeds population")
+    s, e, i, r = population - initial_infected, 0, initial_infected, 0
+    S = np.empty(n_days + 1, dtype=np.int64)
+    E = np.empty(n_days + 1, dtype=np.int64)
+    I = np.empty(n_days + 1, dtype=np.int64)
+    R = np.empty(n_days + 1, dtype=np.int64)
+    incidence = np.zeros(n_days, dtype=np.int64)
+    S[0], E[0], I[0], R[0] = s, e, i, r
+    p_ei = 1.0 - np.exp(-1.0 / params.de)
+    p_ir = 1.0 - np.exp(-1.0 / params.di)
+    for day in range(n_days):
+        p_se = 1.0 - np.exp(-params.beta * i / population)
+        new_e = rng.binomial(s, p_se)
+        new_i = rng.binomial(e, p_ei)
+        new_r = rng.binomial(i, p_ir)
+        s -= new_e
+        e += new_e - new_i
+        i += new_i - new_r
+        r += new_r
+        S[day + 1], E[day + 1], I[day + 1], R[day + 1] = s, e, i, r
+        incidence[day] = new_e
+    return {"S": S, "E": E, "I": I, "R": R, "incidence": incidence}
+
+
+def discretized_gamma(mean: float, sd: float, n_days: int) -> np.ndarray:
+    """Discretize a Gamma(mean, sd) density onto days 1..n_days.
+
+    Day ``s`` carries the probability mass of the interval ``[s-1, s]``
+    (shifted so no mass sits at lag zero — an individual cannot infect, or
+    shed, before the day after infection).  The pmf is renormalized to sum
+    to 1 over the window.
+    """
+    mean = check_positive("mean", mean)
+    sd = check_positive("sd", sd)
+    n_days = check_int("n_days", n_days, minimum=1)
+    shape = (mean / sd) ** 2
+    scale = sd**2 / mean
+    edges = np.arange(0, n_days + 1, dtype=float)
+    cdf = stats.gamma.cdf(edges, a=shape, scale=scale)
+    pmf = np.diff(cdf)
+    total = pmf.sum()
+    if total <= 0:
+        raise ValidationError("gamma discretization produced zero mass; widen n_days")
+    return pmf / total
+
+
+def renewal_incidence(
+    rt: np.ndarray,
+    generation_interval: np.ndarray,
+    *,
+    seed_incidence: float = 10.0,
+    seed_days: int = 7,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Incidence from the renewal equation with time-varying R(t).
+
+    ``I_t = R_t * sum_{s>=1} w_s I_{t-s}`` for ``t >= seed_days``, where the
+    first ``seed_days`` days are seeded at ``seed_incidence``.  If ``rng``
+    is given, each day's expected incidence is replaced by a Poisson draw
+    (demographic stochasticity); otherwise the expectation is returned.
+
+    Parameters
+    ----------
+    rt:
+        R(t) values for every simulated day (length = horizon).
+    generation_interval:
+        Pmf over lags 1..len(w), as from :func:`discretized_gamma`.
+
+    Returns
+    -------
+    ndarray
+        Daily incidence, same length as ``rt``.
+    """
+    rt = check_array("rt", rt, ndim=1, finite=True)
+    w = check_array("generation_interval", generation_interval, ndim=1, finite=True)
+    if np.any(rt < 0):
+        raise ValidationError("R(t) must be non-negative")
+    if np.any(w < 0) or not np.isclose(w.sum(), 1.0, atol=1e-6):
+        raise ValidationError("generation interval must be a pmf summing to 1")
+    seed_days = check_int("seed_days", seed_days, minimum=1)
+    seed_incidence = check_positive("seed_incidence", seed_incidence, strict=False)
+    horizon = rt.size
+    incidence = np.zeros(horizon)
+    upto = min(seed_days, horizon)
+    if rng is None:
+        incidence[:upto] = seed_incidence
+    else:
+        incidence[:upto] = rng.poisson(seed_incidence, size=upto)
+    max_lag = w.size
+    for t in range(upto, horizon):
+        lags = min(t, max_lag)
+        pressure = float(incidence[t - lags : t] @ w[:lags][::-1])
+        expected = rt[t] * pressure
+        incidence[t] = expected if rng is None else rng.poisson(expected)
+    return incidence
+
+
+def case_reproduction_number(
+    incidence: np.ndarray, generation_interval: np.ndarray
+) -> np.ndarray:
+    """Invert the renewal equation: the R(t) implied by an incidence curve.
+
+    Returns NaN where the infection pressure is zero.  Used in tests to
+    check that :func:`renewal_incidence` and estimation code agree.
+    """
+    incidence = check_array("incidence", incidence, ndim=1)
+    w = check_array("generation_interval", generation_interval, ndim=1)
+    horizon = incidence.size
+    out = np.full(horizon, np.nan)
+    max_lag = w.size
+    for t in range(1, horizon):
+        lags = min(t, max_lag)
+        pressure = float(incidence[t - lags : t] @ w[:lags][::-1])
+        if pressure > 0:
+            out[t] = incidence[t] / pressure
+    return out

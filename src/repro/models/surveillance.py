@@ -1,0 +1,132 @@
+"""Observation models for traditional surveillance streams.
+
+The paper's premise is that mandate-era surveillance has degraded: "many of
+the datasets that had previously been used for inputs into the estimation
+of R(t), such as COVID-19 cases and hospitalizations, are no longer
+actively maintained" (§2.1).  This module models what such streams actually
+look like so the estimator comparisons (A3 ablation, the method-comparison
+example) run against realistic case data rather than perfect incidence:
+
+- :func:`observe_cases` — underreporting (possibly decaying over time),
+  day-of-week reporting artifacts, reporting delay, and count noise;
+- :func:`observe_hospital_admissions` — severity-fraction thinning plus an
+  infection-to-admission delay;
+- :class:`SurveillanceScenario` — named presets from mandate-era to
+  post-mandate surveillance quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_int, check_probability
+from repro.models.seir import discretized_gamma
+
+
+@dataclass(frozen=True)
+class SurveillanceScenario:
+    """Quality parameters of a case-reporting stream.
+
+    Attributes
+    ----------
+    reporting_fraction:
+        Mean fraction of infections that become reported cases.
+    reporting_decay:
+        Per-day multiplicative decay of the reporting fraction (post-mandate
+        erosion; 0 = stable reporting).
+    weekday_amplitude:
+        Relative day-of-week modulation (0 = none; 0.3 = strong weekend dip).
+    delay_mean, delay_sd:
+        Infection-to-report delay distribution (days).
+    """
+
+    reporting_fraction: float = 0.3
+    reporting_decay: float = 0.0
+    weekday_amplitude: float = 0.2
+    delay_mean: float = 5.0
+    delay_sd: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_probability("reporting_fraction", self.reporting_fraction)
+        if not 0.0 <= self.reporting_decay < 0.1:
+            raise ValidationError("reporting_decay must be in [0, 0.1) per day")
+        if not 0.0 <= self.weekday_amplitude < 1.0:
+            raise ValidationError("weekday_amplitude must be in [0, 1)")
+        if self.delay_mean <= 0 or self.delay_sd <= 0:
+            raise ValidationError("delay parameters must be positive")
+
+
+#: Mandate-era surveillance: high, stable reporting with modest artifacts.
+MANDATE_ERA = SurveillanceScenario(
+    reporting_fraction=0.5, reporting_decay=0.0, weekday_amplitude=0.15
+)
+
+#: Post-mandate surveillance: low and eroding reporting, strong artifacts —
+#: the regime that motivates wastewater-based estimation.
+POST_MANDATE = SurveillanceScenario(
+    reporting_fraction=0.15, reporting_decay=0.005, weekday_amplitude=0.35
+)
+
+
+def observe_cases(
+    incidence: np.ndarray,
+    scenario: SurveillanceScenario,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    delay_days: int = 15,
+) -> np.ndarray:
+    """Turn true infection incidence into a reported-case stream.
+
+    Pipeline: delay convolution → time-varying reporting fraction with
+    day-of-week modulation → binomial thinning (or expectation when ``rng``
+    is ``None``).
+    """
+    incidence = check_array("incidence", incidence, ndim=1, finite=True)
+    if np.any(incidence < 0):
+        raise ValidationError("incidence must be non-negative")
+    check_int("delay_days", delay_days, minimum=1)
+    n_days = incidence.size
+    delay = discretized_gamma(scenario.delay_mean, scenario.delay_sd, delay_days)
+    delayed = np.convolve(incidence, delay)[:n_days]
+
+    t = np.arange(n_days, dtype=float)
+    fraction = scenario.reporting_fraction * np.exp(-scenario.reporting_decay * t)
+    weekday = 1.0 + scenario.weekday_amplitude * np.sin(2.0 * np.pi * t / 7.0)
+    probability = np.clip(fraction * weekday, 0.0, 1.0)
+
+    expected = delayed * probability
+    if rng is None:
+        return expected
+    return rng.binomial(np.round(delayed).astype(np.int64), probability).astype(float)
+
+
+def observe_hospital_admissions(
+    incidence: np.ndarray,
+    *,
+    severity_fraction: float = 0.03,
+    delay_mean: float = 8.0,
+    delay_sd: float = 3.0,
+    delay_days: int = 21,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Turn infection incidence into a hospital-admission stream."""
+    incidence = check_array("incidence", incidence, ndim=1, finite=True)
+    check_probability("severity_fraction", severity_fraction)
+    if severity_fraction == 0.0:
+        raise ValidationError("severity_fraction must be positive")
+    delay = discretized_gamma(delay_mean, delay_sd, delay_days)
+    delayed = np.convolve(incidence, delay)[: incidence.size]
+    expected = severity_fraction * delayed
+    if rng is None:
+        return expected
+    return rng.poisson(np.maximum(expected, 0.0)).astype(float)
+
+
+def effective_case_count(observed: np.ndarray) -> float:
+    """Total reported cases (the headline count a dashboard would show)."""
+    observed = check_array("observed", observed, ndim=1, finite=True)
+    return float(observed.sum())

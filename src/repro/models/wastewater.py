@@ -1,0 +1,267 @@
+"""Synthetic wastewater pathogen-concentration surveillance.
+
+The paper's first use case ingests "wastewater data from Chicago-area water
+reclamation plants" via the Illinois Wastewater Surveillance System: the
+O'Brien, Calumet, Stickney South, and Stickney North plants (§2.1–2.2).
+That live feed is unavailable offline, so this module generates a synthetic
+equivalent with *known ground truth*:
+
+1. a regional ground-truth R(t) trajectory (:func:`default_rt_scenario`),
+   slightly perturbed per plant;
+2. latent infection incidence from the renewal equation with Poisson
+   demographic noise, scaled to each plant's served population;
+3. viral shedding: expected pathogen genome concentration is the
+   incidence convolved with a gamma shedding-load kernel, per capita;
+4. measurement: log-normal observation noise, sampling every few days, and
+   occasional missing samples — the "noisy ... complicated dynamics" the
+   paper highlights.
+
+:class:`SyntheticIWSS` exposes the result as a *growing CSV feed*: content
+up to simulated day ``t`` is a deterministic function of ``t``, so AERO's
+checksum-based change detection works exactly as against the real IWSS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.rng import RngRegistry
+from repro.common.timeseries import TimeSeries
+from repro.common.validation import check_int, check_positive
+from repro.models.seir import discretized_gamma, renewal_incidence
+
+
+@dataclass(frozen=True)
+class WastewaterPlant:
+    """One water reclamation plant.
+
+    ``population`` is the population served (used for the paper's
+    population-weighted ensemble); ``noise_sigma`` is the log-scale
+    measurement noise; ``sample_interval`` the days between samples.
+    """
+
+    name: str
+    population: int
+    noise_sigma: float = 0.35
+    sample_interval: int = 2
+    missing_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("plant name must be non-empty")
+        check_int("population", self.population, minimum=1)
+        check_positive("noise_sigma", self.noise_sigma)
+        check_int("sample_interval", self.sample_interval, minimum=1)
+        if not 0.0 <= self.missing_rate < 1.0:
+            raise ValidationError("missing_rate must be in [0, 1)")
+
+
+#: The four Chicago-area plants of the paper, with approximate service
+#: populations (synthetic values of realistic magnitude; the real MWRD
+#: service areas are of this order).
+CHICAGO_PLANTS: Tuple[WastewaterPlant, ...] = (
+    WastewaterPlant("obrien", population=1_300_000),
+    WastewaterPlant("calumet", population=1_000_000),
+    WastewaterPlant("stickney-south", population=1_200_000, noise_sigma=0.4),
+    WastewaterPlant("stickney-north", population=1_100_000, noise_sigma=0.4),
+)
+
+
+def shedding_kernel(
+    mean: float = 9.0, sd: float = 4.0, n_days: int = 30
+) -> np.ndarray:
+    """Discretized gamma shedding-load profile over days since infection.
+
+    An infected individual's expected contribution to wastewater viral load
+    peaks about a week after infection and decays over ~a month, matching
+    the shape used in wastewater R(t) models (e.g. Goldstein et al. 2024).
+    """
+    return discretized_gamma(mean, sd, n_days)
+
+
+def default_rt_scenario(n_days: int = 150) -> np.ndarray:
+    """Regional ground-truth R(t): an epidemic wave, control, and rebound.
+
+    Smooth (sum-of-sigmoids) so the semiparametric estimator's smoothness
+    prior is well-matched: starts near 1.4, is pushed below 1, rebounds
+    above 1, and settles near 1 — crossing the R = 1 policy threshold twice.
+    """
+    n_days = check_int("n_days", n_days, minimum=10)
+    t = np.arange(n_days, dtype=float)
+
+    def sigmoid(center: float, scale: float) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-(t - center) / scale))
+
+    rt = (
+        1.4
+        - 0.7 * sigmoid(0.30 * n_days, 0.04 * n_days)
+        + 0.5 * sigmoid(0.60 * n_days, 0.05 * n_days)
+        - 0.2 * sigmoid(0.85 * n_days, 0.04 * n_days)
+    )
+    return np.maximum(rt, 0.05)
+
+
+@dataclass(frozen=True)
+class PlantDataset:
+    """The complete synthetic record for one plant.
+
+    Attributes
+    ----------
+    concentrations:
+        Observed log-concentration time series (NaN = missing sample).
+    true_rt:
+        The plant's ground-truth R(t), daily.
+    true_incidence:
+        The latent daily infection counts that generated the signal.
+    """
+
+    plant: WastewaterPlant
+    concentrations: TimeSeries
+    true_rt: TimeSeries
+    true_incidence: np.ndarray
+
+
+class SyntheticIWSS:
+    """Synthetic Illinois Wastewater Surveillance System.
+
+    Generates, at construction, the full-horizon dataset for each plant
+    from a root seed (deterministic), then serves growing per-plant CSV
+    feeds via :meth:`csv_feed` — the content visible at day ``t`` is all
+    samples taken on or before ``t``.
+
+    Parameters
+    ----------
+    plants:
+        Plants to simulate (defaults to the paper's four Chicago plants).
+    n_days:
+        Full data horizon.
+    seed:
+        Root seed; every plant stream derives deterministically from it.
+    incidence_scale:
+        Fraction of the served population participating in transmission
+        (keeps synthetic epidemics at realistic incidence magnitudes).
+    concentration_scale:
+        Copies shed per infection, converting per-capita infection load to
+        a concentration-like unit.
+    """
+
+    def __init__(
+        self,
+        plants: Sequence[WastewaterPlant] = CHICAGO_PLANTS,
+        *,
+        n_days: int = 150,
+        seed: int = 2024,
+        incidence_scale: float = 0.01,
+        concentration_scale: float = 1e5,
+        rt_scenario: Optional[np.ndarray] = None,
+    ) -> None:
+        if not plants:
+            raise ValidationError("at least one plant is required")
+        self.n_days = check_int("n_days", n_days, minimum=10)
+        self.plants: Tuple[WastewaterPlant, ...] = tuple(plants)
+        names = [p.name for p in self.plants]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate plant names: {names}")
+        check_positive("incidence_scale", incidence_scale)
+        check_positive("concentration_scale", concentration_scale)
+        regional_rt = (
+            default_rt_scenario(n_days) if rt_scenario is None else np.asarray(rt_scenario, float)
+        )
+        if regional_rt.shape != (n_days,):
+            raise ValidationError(f"rt_scenario must have length {n_days}")
+        self.regional_rt = regional_rt
+        self._registry = RngRegistry(seed)
+        self._kernel = shedding_kernel()
+        self._datasets: Dict[str, PlantDataset] = {
+            plant.name: self._generate_plant(
+                plant, incidence_scale, concentration_scale
+            )
+            for plant in self.plants
+        }
+
+    # -------------------------------------------------------------- generation
+    def _generate_plant(
+        self,
+        plant: WastewaterPlant,
+        incidence_scale: float,
+        concentration_scale: float,
+    ) -> PlantDataset:
+        rng = self._registry.stream(f"iwss/{plant.name}")
+        # Plant-specific smooth perturbation of the regional R(t).
+        t = np.arange(self.n_days, dtype=float)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(0.02, 0.06)
+        rt = np.maximum(
+            self.regional_rt * (1.0 + amp * np.sin(2 * np.pi * t / 60.0 + phase)), 0.05
+        )
+        # Latent incidence in the participating population.  Seeding is
+        # large enough that demographic (Poisson) noise perturbs rather than
+        # dominates the epidemic, so the realized R(t) tracks the scenario.
+        effective_pop = plant.population * incidence_scale
+        seed_incidence = max(50.0, effective_pop * 2e-3)
+        incidence = renewal_incidence(
+            rt, discretized_gamma(6.0, 3.0, 21), seed_incidence=seed_incidence, rng=rng
+        )
+        # Expected concentration: per-capita shedding load.
+        load = np.convolve(incidence, self._kernel)[: self.n_days]
+        expected = concentration_scale * load / plant.population
+        # Observation: sample every `interval` days, lognormal noise, missing.
+        sample_days = np.arange(1, self.n_days, plant.sample_interval, dtype=float)
+        idx = sample_days.astype(int)
+        noise = rng.normal(0.0, plant.noise_sigma, size=idx.size)
+        observed = expected[idx] * np.exp(noise)
+        missing = rng.random(idx.size) < plant.missing_rate
+        observed = np.where(missing, np.nan, observed)
+        # Floor so log transforms downstream never see exact zero.
+        observed = np.where(np.isfinite(observed), np.maximum(observed, 1e-8), observed)
+        concentrations = TimeSeries(
+            sample_days,
+            observed,
+            name=f"{plant.name}-concentration",
+            meta={
+                "plant": plant.name,
+                "population": plant.population,
+                "units": "genome copies / person (synthetic)",
+            },
+        )
+        true_rt = TimeSeries(t, rt, name=f"{plant.name}-true-rt")
+        return PlantDataset(
+            plant=plant,
+            concentrations=concentrations,
+            true_rt=true_rt,
+            true_incidence=incidence,
+        )
+
+    # ------------------------------------------------------------------ access
+    def plant_names(self) -> List[str]:
+        """Names of the simulated plants."""
+        return [p.name for p in self.plants]
+
+    def dataset(self, plant_name: str) -> PlantDataset:
+        """Full-horizon dataset for one plant."""
+        try:
+            return self._datasets[plant_name]
+        except KeyError:
+            raise NotFoundError(f"unknown plant {plant_name!r}") from None
+
+    def observations_until(self, plant_name: str, day: float) -> TimeSeries:
+        """Samples taken on or before ``day`` (what a poller would see)."""
+        return self.dataset(plant_name).concentrations.slice(-np.inf, day)
+
+    def csv_feed(self, plant_name: str, day: float) -> str:
+        """The plant's CSV feed as visible at simulated ``day``.
+
+        Format is the :meth:`repro.common.timeseries.TimeSeries.to_csv`
+        two-column layout; missing samples have an empty value field, like
+        real surveillance exports.
+        """
+        return self.observations_until(plant_name, day).to_csv()
+
+    def population_weights(self) -> Dict[str, float]:
+        """Normalized population weights (the ensemble weighting)."""
+        total = float(sum(p.population for p in self.plants))
+        return {p.name: p.population / total for p in self.plants}

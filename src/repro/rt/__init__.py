@@ -1,0 +1,45 @@
+"""Effective reproduction number R(t) estimation.
+
+"R(t) is a time-varying quantity that represents, on average, the number of
+new cases caused by an already-infected individual ... closely monitored by
+public health officials throughout an epidemic." (§2.1)
+
+- :mod:`repro.rt.estimate` — the :class:`RtEstimate` result container
+  (posterior median + credible band, serializable as an AERO artifact).
+- :mod:`repro.rt.cori` — the standard sliding-window estimator of Cori et
+  al. 2013 (the paper's example of a cheaper conventional method).
+- :mod:`repro.rt.mcmc` — adaptive random-walk Metropolis machinery.
+- :mod:`repro.rt.goldstein` — the Goldstein et al. 2024 semiparametric
+  Bayesian estimator from wastewater concentrations: a mechanistic renewal
+  infection process, a shedding-load observation model, and a random-walk
+  prior on log R(t), sampled by MCMC.  "This estimation procedure is
+  significantly more computationally expensive than more standard R(t)
+  estimation methods and, therefore, can benefit from HPC resources."
+- :mod:`repro.rt.ensemble` — pooling "estimates across multiple wastewater
+  sources ... a population-weighted ensemble average to improve the R(t)
+  signal to noise".
+- :mod:`repro.rt.forecast` — extension: project the R(t) posterior forward
+  through the renewal equation into incidence/hospitalization forecasts.
+"""
+
+from repro.rt.estimate import RtEstimate
+from repro.rt.cori import estimate_rt_cori
+from repro.rt.mcmc import AdaptiveMetropolis, MCMCResult, effective_sample_size, gelman_rubin
+from repro.rt.goldstein import GoldsteinConfig, estimate_rt_goldstein
+from repro.rt.ensemble import population_weighted_ensemble
+from repro.rt.forecast import IncidenceForecast, forecast_hospitalizations, forecast_incidence
+
+__all__ = [
+    "RtEstimate",
+    "estimate_rt_cori",
+    "AdaptiveMetropolis",
+    "MCMCResult",
+    "effective_sample_size",
+    "gelman_rubin",
+    "GoldsteinConfig",
+    "estimate_rt_goldstein",
+    "population_weighted_ensemble",
+    "IncidenceForecast",
+    "forecast_incidence",
+    "forecast_hospitalizations",
+]

@@ -1,0 +1,94 @@
+"""Population-weighted pooling of R(t) estimates.
+
+"We pool estimates across multiple wastewater sources and use a
+population-weighted ensemble average to improve the R(t) signal to noise."
+(§2.1) — the quantity plotted in the bottom panel of the paper's Figure 2.
+
+Pooling is *sample-wise*: the ensemble posterior draw ``r*_s(t)`` is the
+weighted average ``Σ_i w_i r_{i,s}(t)`` of one draw from each plant's
+posterior.  Because the plants' posteriors are independent, averaging
+contracts the variance, so the ensemble band is narrower than the typical
+individual band — the signal-to-noise improvement the paper claims, which
+the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.rt.estimate import RtEstimate
+
+
+def population_weighted_ensemble(
+    estimates: Mapping[str, RtEstimate],
+    weights: Mapping[str, float],
+    *,
+    n_samples: int = 400,
+    meta: Optional[dict] = None,
+) -> RtEstimate:
+    """Pool per-source estimates into a population-weighted ensemble.
+
+    Parameters
+    ----------
+    estimates:
+        Source name → estimate.  Every estimate must carry posterior
+        samples (as produced by :func:`~repro.rt.goldstein.estimate_rt_goldstein`).
+    weights:
+        Source name → non-negative weight (e.g. populations served);
+        normalized internally.
+    n_samples:
+        Number of pooled posterior draws to form.
+
+    Returns
+    -------
+    RtEstimate
+        On the common daily grid (intersection of the sources' spans).
+    """
+    if not estimates:
+        raise ValidationError("ensemble needs at least one estimate")
+    missing = set(estimates) - set(weights)
+    if missing:
+        raise ValidationError(f"missing weights for: {sorted(missing)}")
+    w = np.array([float(weights[name]) for name in estimates], dtype=float)
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ValidationError("weights must be non-negative with positive sum")
+    w = w / w.sum()
+
+    # Common daily grid: intersection of spans.
+    start = max(est.times[0] for est in estimates.values())
+    end = min(est.times[-1] for est in estimates.values())
+    if end <= start:
+        raise ValidationError("estimates have no overlapping time span")
+    grid = np.arange(np.ceil(start), np.floor(end) + 1.0)
+
+    pooled = np.zeros((n_samples, grid.size))
+    for weight, (name, estimate) in zip(w, estimates.items()):
+        if estimate.samples is None or estimate.samples.shape[0] == 0:
+            raise ValidationError(
+                f"estimate {name!r} carries no posterior samples; "
+                "re-run with sample retention enabled"
+            )
+        samples = estimate.samples
+        # Interpolate each retained draw onto the common grid, recycling
+        # draws if a source kept fewer than n_samples.
+        idx = np.arange(n_samples) % samples.shape[0]
+        for row, source_row in enumerate(idx):
+            pooled[row] += weight * np.interp(
+                grid, estimate.times, samples[source_row]
+            )
+
+    info: Dict[str, object] = {
+        "method": "population-weighted-ensemble",
+        "sources": sorted(estimates),
+        "weights": {name: round(float(x), 6) for name, x in zip(estimates, w)},
+    }
+    info.update(meta or {})
+    return RtEstimate.from_samples(grid, pooled, meta=info)
+
+
+def mean_band_width(estimate: RtEstimate) -> float:
+    """Average 95%-band width — the ensemble's signal-to-noise metric."""
+    return float(np.mean(estimate.band_width()))

@@ -1,0 +1,189 @@
+"""The RtEstimate result container.
+
+An R(t) estimate is a posterior summary over a daily grid: median and a 95%
+credible band, optionally with the posterior samples retained.  Estimates
+are the artifacts the wastewater workflow stores through AERO ("the model's
+tabular data, binary R datatable objects, and plots", §2.2) — here the
+"datatable object" is the JSON serialization and the "plot" is a rendered
+text/table artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.timeseries import TimeSeries
+from repro.common.validation import check_array
+
+
+@dataclass(frozen=True)
+class RtEstimate:
+    """Posterior summary of an R(t) trajectory.
+
+    Attributes
+    ----------
+    times:
+        Daily grid (days since the start of the analyzed series).
+    median, lower, upper:
+        Posterior median and 95% credible interval bounds per day.
+    samples:
+        Optional posterior draws, shape (n_samples, n_days) — kept when the
+        estimate feeds an ensemble (sample-wise pooling needs them).
+    meta:
+        Source metadata (plant name, population served, method, ...).
+    """
+
+    times: np.ndarray
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    samples: Optional[np.ndarray] = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = check_array("times", self.times, ndim=1, finite=True)
+        median = check_array("median", self.median, ndim=1, finite=True)
+        lower = check_array("lower", self.lower, ndim=1, finite=True)
+        upper = check_array("upper", self.upper, ndim=1, finite=True)
+        if not (times.shape == median.shape == lower.shape == upper.shape):
+            raise ValidationError("times/median/lower/upper must share one shape")
+        if np.any(lower > median + 1e-9) or np.any(median > upper + 1e-9):
+            raise ValidationError("credible band must satisfy lower <= median <= upper")
+        if np.any(lower < 0):
+            raise ValidationError("R(t) is non-negative; lower bound below 0")
+        samples = self.samples
+        if samples is not None:
+            samples = check_array("samples", samples, ndim=2, finite=True)
+            if samples.shape[1] != times.size:
+                raise ValidationError(
+                    f"samples must have {times.size} columns, got {samples.shape[1]}"
+                )
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "median", median)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "meta", dict(self.meta))
+
+    # ------------------------------------------------------------------ views
+    @property
+    def n_days(self) -> int:
+        """Length of the daily grid."""
+        return int(self.times.size)
+
+    def median_series(self) -> TimeSeries:
+        """Posterior median as a TimeSeries."""
+        return TimeSeries(self.times, self.median, name="rt-median", meta=self.meta)
+
+    def band_width(self) -> np.ndarray:
+        """Daily width of the 95% band (the signal-to-noise diagnostic the
+        paper's ensemble exists to shrink)."""
+        return self.upper - self.lower
+
+    # ------------------------------------------------------------- validation
+    def coverage_of(self, truth: TimeSeries) -> float:
+        """Fraction of days where the true R(t) falls inside the 95% band.
+
+        ``truth`` is interpolated onto this estimate's grid.
+        """
+        true_values = truth.interpolate_to(self.times).values
+        inside = (true_values >= self.lower) & (true_values <= self.upper)
+        return float(np.mean(inside))
+
+    def mae_against(self, truth: TimeSeries) -> float:
+        """Mean absolute error of the posterior median vs. a known truth."""
+        true_values = truth.interpolate_to(self.times).values
+        return float(np.mean(np.abs(self.median - true_values)))
+
+    def threshold_crossings(self, threshold: float = 1.0) -> int:
+        """Number of times the posterior median crosses ``threshold`` —
+        the epidemic-trend signal public-health users act on."""
+        above = self.median > threshold
+        return int(np.sum(above[1:] != above[:-1]))
+
+    # ---------------------------------------------------------- serialization
+    def to_json(self, *, include_samples: bool = False) -> str:
+        """Serialize for storage as an AERO artifact."""
+        payload: Dict[str, Any] = {
+            "times": self.times.tolist(),
+            "median": self.median.tolist(),
+            "lower": self.lower.tolist(),
+            "upper": self.upper.tolist(),
+            "meta": dict(self.meta),
+        }
+        if include_samples and self.samples is not None:
+            payload["samples"] = self.samples.tolist()
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RtEstimate":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        samples = payload.get("samples")
+        return cls(
+            times=np.asarray(payload["times"], dtype=float),
+            median=np.asarray(payload["median"], dtype=float),
+            lower=np.asarray(payload["lower"], dtype=float),
+            upper=np.asarray(payload["upper"], dtype=float),
+            samples=None if samples is None else np.asarray(samples, dtype=float),
+            meta=payload.get("meta", {}),
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        times: np.ndarray,
+        samples: np.ndarray,
+        *,
+        meta: Optional[Mapping[str, Any]] = None,
+        keep_samples: bool = True,
+        max_kept_samples: int = 400,
+    ) -> "RtEstimate":
+        """Summarize posterior draws into an estimate.
+
+        ``samples`` has shape (n_draws, n_days); the 2.5/50/97.5 percentiles
+        form the band.  At most ``max_kept_samples`` evenly-spaced draws are
+        retained (enough for ensemble pooling without bloating artifacts).
+        """
+        samples = check_array("samples", samples, ndim=2, finite=True)
+        quantiles = np.percentile(samples, [2.5, 50.0, 97.5], axis=0)
+        kept = None
+        if keep_samples:
+            step = max(1, samples.shape[0] // max_kept_samples)
+            kept = samples[::step][:max_kept_samples]
+        return cls(
+            times=np.asarray(times, dtype=float),
+            median=quantiles[1],
+            lower=quantiles[0],
+            upper=quantiles[2],
+            samples=kept,
+            meta=meta or {},
+        )
+
+    def render_text_plot(self, *, width: int = 60) -> str:
+        """A monospace 'plot' artifact: one row per week, a bar for the
+        median with the 95% band marked — the workflow's stand-in for the
+        paper's R plot outputs."""
+        lines = ["day   R(t) [95% CI]  0" + "-" * (width - 1) + f"> {2.0:g}"]
+        scale = width / 2.0
+        for i in range(0, self.n_days, 7):
+            lo = int(np.clip(self.lower[i] * scale, 0, width - 1))
+            hi = int(np.clip(self.upper[i] * scale, 0, width - 1))
+            md = int(np.clip(self.median[i] * scale, 0, width - 1))
+            bar = [" "] * width
+            for j in range(lo, hi + 1):
+                bar[j] = "-"
+            bar[md] = "|"
+            one = int(np.clip(1.0 * scale, 0, width - 1))
+            if bar[one] == " ":
+                bar[one] = "."
+            lines.append(
+                f"{int(self.times[i]):>3d}  {self.median[i]:4.2f} "
+                f"[{self.lower[i]:4.2f},{self.upper[i]:4.2f}] {''.join(bar)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Short-term epidemic forecasting from an R(t) posterior.
+
+The decision-support product downstream of R(t) estimation: given the
+posterior over recent transmission, project incidence (and the derived
+hospitalization burden) forward.  Each posterior R(t) draw is extended
+beyond the data horizon (held at its last value, optionally damped toward
+1) and pushed through the renewal equation seeded with the recent incidence
+reconstruction; the resulting trajectory fan yields forecast quantiles.
+
+This is an extension module (the paper stops at monitoring), built from the
+same renewal substrate, and exercised by the forecasting example and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.timeseries import TimeSeries
+from repro.common.validation import check_array, check_int, check_positive
+from repro.models.seir import discretized_gamma
+from repro.rt.estimate import RtEstimate
+
+
+@dataclass(frozen=True)
+class IncidenceForecast:
+    """Forecast quantiles of daily incidence.
+
+    ``times`` are days after the estimation horizon (1..h); ``median``,
+    ``lower``, ``upper`` are the 50/2.5/97.5 percentiles of the projected
+    trajectory fan; ``trajectories`` retains the full fan.
+    """
+
+    times: np.ndarray
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    trajectories: np.ndarray  # (n_draws, horizon)
+
+    @property
+    def horizon(self) -> int:
+        """Forecast length in days."""
+        return int(self.times.size)
+
+    def exceeds(self, threshold: float) -> np.ndarray:
+        """Per-day probability that incidence exceeds ``threshold`` —
+        the alerting quantity a public-health consumer wants."""
+        return (self.trajectories > threshold).mean(axis=0)
+
+    def to_series(self) -> TimeSeries:
+        """The median forecast as a TimeSeries."""
+        return TimeSeries(self.times, self.median, name="incidence-forecast")
+
+
+def forecast_incidence(
+    estimate: RtEstimate,
+    recent_incidence: np.ndarray,
+    *,
+    horizon: int = 28,
+    damping: float = 0.0,
+    generation_mean: float = 6.0,
+    generation_sd: float = 3.0,
+    generation_days: int = 21,
+    rng: Optional[np.random.Generator] = None,
+) -> IncidenceForecast:
+    """Project incidence ``horizon`` days past the end of an R(t) estimate.
+
+    Parameters
+    ----------
+    estimate:
+        A posterior with samples attached (e.g. from the Goldstein method).
+    recent_incidence:
+        Daily incidence for (at least) the last ``generation_days`` days of
+        the estimation window — the renewal equation's memory.
+    damping:
+        Per-day geometric pull of each projected R draw toward 1
+        (``0`` = hold R constant; ``0.05`` ≈ mean-reversion over ~3 weeks),
+        encoding that extreme transmission levels rarely persist.
+    rng:
+        If given, adds Poisson observation noise to each trajectory
+        (forecasting realized counts); otherwise projects expectations.
+
+    Returns
+    -------
+    IncidenceForecast
+    """
+    if estimate.samples is None or estimate.samples.shape[0] == 0:
+        raise ValidationError("forecasting needs an estimate with posterior samples")
+    horizon = check_int("horizon", horizon, minimum=1)
+    if not 0.0 <= damping < 1.0:
+        raise ValidationError("damping must be in [0, 1)")
+    recent = check_array("recent_incidence", recent_incidence, ndim=1, finite=True)
+    if np.any(recent < 0):
+        raise ValidationError("incidence must be non-negative")
+    gen = discretized_gamma(generation_mean, generation_sd, generation_days)
+    if recent.size < gen.size:
+        raise ValidationError(
+            f"need at least {gen.size} days of recent incidence, got {recent.size}"
+        )
+
+    draws = estimate.samples
+    n_draws = draws.shape[0]
+    # Each draw's final R value, damped toward 1 over the horizon.
+    r_last = draws[:, -1]
+    steps = np.arange(1, horizon + 1)
+    pull = (1.0 - damping) ** steps  # (horizon,)
+    r_future = 1.0 + (r_last[:, None] - 1.0) * pull[None, :]  # (n_draws, horizon)
+
+    gen_rev = gen[::-1]
+    max_lag = gen.size
+    history = np.tile(recent[-max_lag:], (n_draws, 1)).astype(float)
+    trajectories = np.empty((n_draws, horizon))
+    for t in range(horizon):
+        pressure = history @ gen_rev
+        expected = r_future[:, t] * pressure
+        if rng is not None:
+            expected = rng.poisson(np.maximum(expected, 0.0)).astype(float)
+        trajectories[:, t] = expected
+        history = np.concatenate([history[:, 1:], expected[:, None]], axis=1)
+
+    quantiles = np.percentile(trajectories, [2.5, 50.0, 97.5], axis=0)
+    return IncidenceForecast(
+        times=steps.astype(float),
+        median=quantiles[1],
+        lower=quantiles[0],
+        upper=quantiles[2],
+        trajectories=trajectories,
+    )
+
+
+def forecast_hospitalizations(
+    forecast: IncidenceForecast,
+    *,
+    hospitalization_fraction: float = 0.03,
+    delay_mean: float = 8.0,
+    delay_sd: float = 3.0,
+    delay_days: int = 21,
+) -> Dict[str, np.ndarray]:
+    """Convolve an incidence forecast into expected hospital admissions.
+
+    Returns ``{"times", "median", "lower", "upper"}`` for daily admissions,
+    using a lognormal-ish (discretized gamma) infection-to-admission delay
+    and a fixed severity fraction — the planning quantity behind the
+    paper's hospitalization QoI.
+    """
+    check_positive("hospitalization_fraction", hospitalization_fraction)
+    delay = discretized_gamma(delay_mean, delay_sd, delay_days)
+    admissions = hospitalization_fraction * np.apply_along_axis(
+        lambda row: np.convolve(row, delay)[: row.size], 1, forecast.trajectories
+    )
+    quantiles = np.percentile(admissions, [2.5, 50.0, 97.5], axis=0)
+    return {
+        "times": forecast.times,
+        "lower": quantiles[0],
+        "median": quantiles[1],
+        "upper": quantiles[2],
+    }

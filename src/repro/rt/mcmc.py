@@ -1,0 +1,234 @@
+"""Adaptive random-walk Metropolis sampling.
+
+The Goldstein estimator's posterior is sampled with an adaptive Metropolis
+scheme (Haario et al. 2001 style): a multivariate normal proposal whose
+covariance is learned from the chain history during warmup, combined with
+Robbins–Monro adaptation of a global step scale toward a target acceptance
+rate.  Generic over any log-posterior callable, so the test suite can verify
+the sampler against analytically known distributions before trusting it on
+the epidemiological model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.common.validation import check_array, check_int, check_positive
+
+LogPosterior = Callable[[np.ndarray], float]
+
+
+@dataclass
+class MCMCResult:
+    """Output of one MCMC run.
+
+    ``chain`` excludes warmup iterations; ``acceptance_rate`` covers the
+    post-warmup phase.
+    """
+
+    chain: np.ndarray  # (n_kept, dim)
+    log_posteriors: np.ndarray  # (n_kept,)
+    acceptance_rate: float
+    warmup: int
+
+    @property
+    def n_samples(self) -> int:
+        """Number of retained draws."""
+        return self.chain.shape[0]
+
+    def posterior_mean(self) -> np.ndarray:
+        """Mean of the retained draws."""
+        return self.chain.mean(axis=0)
+
+    def min_ess(self) -> float:
+        """Smallest effective sample size across dimensions."""
+        return float(
+            min(effective_sample_size(self.chain[:, j]) for j in range(self.chain.shape[1]))
+        )
+
+
+def effective_sample_size(draws: np.ndarray, *, max_lag: Optional[int] = None) -> float:
+    """Autocorrelation-based ESS (initial positive sequence estimator).
+
+    Sums autocorrelations until the first non-positive value (Geyer's
+    initial positive sequence, simplified), then returns ``n / (1 + 2Σρ)``.
+    """
+    draws = check_array("draws", draws, ndim=1, finite=True)
+    n = draws.size
+    if n < 4:
+        return float(n)
+    centered = draws - draws.mean()
+    variance = float(centered @ centered) / n
+    if variance == 0:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n - 2, 1000)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = float(centered[:-lag] @ centered[lag:]) / ((n - lag) * variance)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    return float(n / (1.0 + 2.0 * rho_sum))
+
+
+def gelman_rubin(chains: np.ndarray) -> np.ndarray:
+    """Split-R̂ convergence diagnostic per parameter.
+
+    Parameters
+    ----------
+    chains:
+        Shape (n_chains, n_draws, dim) — post-warmup draws from independent
+        chains.  Each chain is split in half (Gelman et al.'s split-R̂), so
+        even two chains give four half-chains.
+
+    Returns
+    -------
+    ndarray
+        R̂ per dimension; values near 1 (conventionally < 1.05) indicate the
+        chains agree on location and scale.
+    """
+    chains = np.asarray(chains, dtype=float)
+    if chains.ndim != 3:
+        raise ValidationError("chains must have shape (n_chains, n_draws, dim)")
+    n_chains, n_draws, dim = chains.shape
+    if n_chains < 1 or n_draws < 4:
+        raise ValidationError("need at least one chain of >= 4 draws")
+    half = n_draws // 2
+    split = chains[:, : 2 * half, :].reshape(n_chains * 2, half, dim)
+    m, n = split.shape[0], split.shape[1]
+    chain_means = split.mean(axis=1)  # (m, dim)
+    chain_vars = split.var(axis=1, ddof=1)  # (m, dim)
+    w = chain_vars.mean(axis=0)
+    b = n * chain_means.var(axis=0, ddof=1)
+    var_hat = (n - 1) / n * w + b / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r_hat = np.sqrt(var_hat / w)
+    return np.where(w > 0, r_hat, 1.0)
+
+
+class AdaptiveMetropolis:
+    """Adaptive random-walk Metropolis sampler.
+
+    Parameters
+    ----------
+    log_posterior:
+        Maps a parameter vector to an (unnormalized) log density; ``-inf``
+        rejects a point outright.
+    dim:
+        Parameter dimension.
+    initial_scale:
+        Starting proposal scale (relative to the 2.38/sqrt(d) heuristic).
+    target_accept:
+        Target acceptance rate for the Robbins–Monro scale adaptation
+        (0.234 is the high-dimensional RWM optimum).
+    """
+
+    def __init__(
+        self,
+        log_posterior: LogPosterior,
+        dim: int,
+        *,
+        initial_scale: float = 1.0,
+        target_accept: float = 0.234,
+    ) -> None:
+        self._log_post = log_posterior
+        self._dim = check_int("dim", dim, minimum=1)
+        check_positive("initial_scale", initial_scale)
+        if not 0.05 <= target_accept <= 0.9:
+            raise ValidationError("target_accept must be in [0.05, 0.9]")
+        self._initial_scale = float(initial_scale)
+        self._target = float(target_accept)
+
+    def run(
+        self,
+        x0: np.ndarray,
+        n_iterations: int,
+        rng: np.random.Generator,
+        *,
+        warmup_fraction: float = 0.3,
+    ) -> MCMCResult:
+        """Sample the posterior from starting point ``x0``.
+
+        Raises
+        ------
+        ConvergenceError
+            If the starting point has zero posterior density, or if nothing
+            is ever accepted (a hopeless posterior/scale combination).
+        """
+        x0 = check_array("x0", x0, ndim=1, finite=True)
+        if x0.size != self._dim:
+            raise ValidationError(f"x0 must have {self._dim} entries, got {x0.size}")
+        n_iterations = check_int("n_iterations", n_iterations, minimum=10)
+        if not 0.0 < warmup_fraction < 1.0:
+            raise ValidationError("warmup_fraction must be in (0, 1)")
+        warmup = max(1, int(n_iterations * warmup_fraction))
+
+        current = x0.copy()
+        current_lp = float(self._log_post(current))
+        if not np.isfinite(current_lp):
+            raise ConvergenceError("log posterior is not finite at the starting point")
+
+        base = 2.38 / np.sqrt(self._dim)
+        log_scale = np.log(self._initial_scale)
+        cov = np.eye(self._dim)
+        chol = np.linalg.cholesky(cov)
+
+        chain = np.empty((n_iterations, self._dim))
+        log_posts = np.empty(n_iterations)
+        accepted_post_warmup = 0
+        accepted_total = 0
+
+        # Running moments for covariance adaptation.
+        mean = current.copy()
+        m2 = np.zeros((self._dim, self._dim))
+
+        for i in range(n_iterations):
+            step = np.exp(log_scale) * base * (chol @ rng.standard_normal(self._dim))
+            proposal = current + step
+            proposal_lp = float(self._log_post(proposal))
+            if np.log(rng.random()) < proposal_lp - current_lp:
+                current = proposal
+                current_lp = proposal_lp
+                accepted_total += 1
+                if i >= warmup:
+                    accepted_post_warmup += 1
+                accepted = 1.0
+            else:
+                accepted = 0.0
+
+            chain[i] = current
+            log_posts[i] = current_lp
+
+            # Update running covariance estimate.
+            delta = current - mean
+            mean = mean + delta / (i + 2)
+            m2 = m2 + np.outer(delta, current - mean)
+
+            if i < warmup:
+                # Robbins–Monro on the global scale.
+                log_scale += (accepted - self._target) / np.sqrt(i + 1.0)
+                # Periodically refresh the proposal covariance.
+                if i >= 19 and (i + 1) % 20 == 0:
+                    sample_cov = m2 / (i + 1)
+                    jitter = 1e-8 * np.eye(self._dim)
+                    try:
+                        chol = np.linalg.cholesky(sample_cov + jitter)
+                    except np.linalg.LinAlgError:
+                        pass  # keep the previous factor
+
+        if accepted_total == 0:
+            raise ConvergenceError(
+                "no proposals were ever accepted; check the posterior and scale"
+            )
+        kept = chain[warmup:]
+        return MCMCResult(
+            chain=kept,
+            log_posteriors=log_posts[warmup:],
+            acceptance_rate=accepted_post_warmup / max(1, n_iterations - warmup),
+            warmup=warmup,
+        )

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's AERO use case is driven by wall-clock events: daily polling of a
+wastewater data source, batch-scheduler queueing on Bebop, triggered analysis
+flows.  Reproducing "run for four months and watch the flows fire" in real
+time is infeasible, so every time-dependent subsystem in this library
+(Globus Timers, the HPC scheduler, AERO polling) runs on the simulated clock
+provided here.  The simulation is single-threaded and fully deterministic:
+events scheduled for the same instant fire in insertion order.
+
+Public API:
+
+- :class:`SimulationEnvironment` — clock + event loop bundle shared by all
+  simulated services.
+- :class:`Event` — a scheduled callback handle (cancelable).
+"""
+
+from repro.sim.loop import Event, SimulationEnvironment
+
+__all__ = ["Event", "SimulationEnvironment"]

@@ -1,0 +1,219 @@
+"""The discrete-event loop.
+
+Design notes
+------------
+Time is a float in **days**, the natural unit for epidemiological surveillance
+(the paper's ingestion flows poll daily; MCMC jobs take node-hours, i.e.
+fractions of a day).  The loop is a binary heap of ``(time, sequence,
+event)`` entries.  The ``sequence`` counter makes ordering total and
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled, regardless of heap internals.
+
+Callbacks run synchronously inside :meth:`SimulationEnvironment.run`.  A
+callback may schedule further events (including at the current time, which
+fire in the same run).  Scheduling in the past raises
+:class:`~repro.common.errors.SimulationError` — that is always a logic bug in
+a service, never a legitimate request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError, ValidationError
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`SimulationEnvironment.schedule`; call :meth:`cancel`
+    to prevent a pending event from firing.  Cancelled entries stay in the
+    heap but are skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "callback", "label", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[[], Any], label: str) -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is neither fired nor cancelled."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is an error."""
+        if self._fired:
+            raise SimulationError(f"cannot cancel already-fired event {self.label!r}")
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else "cancelled" if self._cancelled else "pending"
+        return f"Event({self.label!r}, t={self.time}, {state})"
+
+
+class SimulationEnvironment:
+    """Simulated clock plus event loop.
+
+    All simulated services (timers, schedulers, AERO polling) hold a
+    reference to one shared environment and schedule their work through it.
+
+    Examples
+    --------
+    >>> env = SimulationEnvironment()
+    >>> fired = []
+    >>> _ = env.schedule(2.0, lambda: fired.append(env.now))
+    >>> _ = env.schedule(1.0, lambda: fired.append(env.now))
+    >>> env.run()
+    2
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def now(self) -> float:
+        """Current simulated time in days."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed so far (diagnostics / benchmarks)."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for entry in self._heap if entry.event.pending)
+
+    # -------------------------------------------------------------- schedule
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        label: str = "event",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` days from now.
+
+        Returns an :class:`Event` handle.  ``delay`` must be >= 0.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {label!r} {-delay} days in the past")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        label: str = "event",
+    ) -> Event:
+        """Schedule ``callback`` for absolute simulated time ``time``."""
+        if not callable(callback):
+            raise ValidationError(f"callback for {label!r} is not callable")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at t={time} (now is t={self._now})"
+            )
+        event = Event(float(time), callback, label)
+        heapq.heappush(self._heap, _HeapEntry(event.time, next(self._sequence), event))
+        return event
+
+    # ------------------------------------------------------------------- run
+    def _pop_next(self) -> Optional[Event]:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.event.cancelled:
+                return entry.event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if none remained."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        event._fired = True
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run(self, *, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains.  Returns events fired.
+
+        ``max_events`` guards against runaway self-rescheduling loops (a
+        periodic timer with no stop condition, for example).
+        """
+        return self._run(until=None, max_events=max_events)
+
+    def run_until(self, until: float, *, max_events: int = 10_000_000) -> int:
+        """Run events with ``time <= until``, then advance the clock to ``until``.
+
+        Events scheduled beyond ``until`` remain pending, so simulation can be
+        resumed with further ``run_until`` calls — this is how the workflow
+        examples advance "one day at a time".
+        """
+        if until < self._now:
+            raise SimulationError(f"run_until({until}) is in the past (now={self._now})")
+        fired = self._run(until=until, max_events=max_events)
+        self._now = float(until)
+        return fired
+
+    def _run(self, *, until: Optional[float], max_events: int) -> int:
+        if self._running:
+            raise SimulationError("the event loop is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or (until is not None and next_time > until):
+                    break
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {fired} events; "
+                        "likely a runaway periodic event"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return fired

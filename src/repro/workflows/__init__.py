@@ -1,0 +1,36 @@
+"""The paper's two end-to-end use cases, wired through AERO and EMEWS.
+
+- :mod:`repro.workflows.wastewater_rt` — §2: the automated multi-source
+  wastewater R(t) workflow (Figures 1 and 2): four ingestion flows, four
+  Goldstein R(t) analysis flows, one population-weighted aggregation flow,
+  event-driven through the AERO platform on simulated Globus services.
+- :mod:`repro.workflows.music_gsa` — §3: the MUSIC-vs-PCE sample-efficiency
+  experiment (Figure 4) and the 10-replicate stochastic GSA (Figure 5),
+  driven through the EMEWS task database with interleaved instances.
+- :mod:`repro.workflows.figures` — rendering of every table/figure as the
+  text series the benchmark harness prints.
+"""
+
+from repro.workflows.wastewater_rt import (
+    WastewaterWorkflowResult,
+    run_wastewater_workflow,
+)
+from repro.workflows.music_gsa import (
+    Figure4Data,
+    Figure5Data,
+    make_qoi,
+    run_music_vs_pce,
+    run_replicate_gsa,
+    stabilization_sample_size,
+)
+
+__all__ = [
+    "WastewaterWorkflowResult",
+    "run_wastewater_workflow",
+    "Figure4Data",
+    "Figure5Data",
+    "make_qoi",
+    "run_music_vs_pce",
+    "run_replicate_gsa",
+    "stabilization_sample_size",
+]

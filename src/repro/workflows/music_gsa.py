@@ -1,0 +1,403 @@
+"""Use case 2: MUSIC-vs-PCE GSA of MetaRVM through EMEWS.
+
+Reproduces §3 of the paper:
+
+- **Figure 4** (:func:`run_music_vs_pce`): with a fixed random seed, compare
+  first-order Sobol index convergence of the MUSIC active-learning
+  algorithm against degree-3 PCE as samples are added one at a time.
+  "MUSIC demonstrates relatively quick (by 200 samples) stabilization
+  compared to PCE."
+- **Figure 5** (:func:`run_replicate_gsa`): run the GSA "independently on
+  10 replicates of the MetaRVM model" — each with its own random stream —
+  and track the per-replicate index trajectories (aleatoric spread).
+
+The replicate experiment runs through the real machinery: each MUSIC
+instance submits MetaRVM evaluations to the EMEWS task database, a worker
+pool evaluates them, and the instances are *interleaved* with the paper's
+check-one-future-then-cede protocol (:mod:`repro.gsa.interleave`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import replicate_seed
+from repro.common.validation import check_int
+from repro.emews import EmewsService, TaskFuture, pop_completed
+from repro.emews.api import TaskQueue
+from repro.gsa.interleave import InterleavedDriver, SequentialDriver
+from repro.gsa.music import MusicConfig, MusicGSA
+from repro.gsa.pce import PCEModel
+from repro.gsa.sobol import first_order_indices, saltelli_design
+from repro.models.metarvm import MetaRVM, MetaRVMConfig
+from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams
+
+#: Task type used for MetaRVM evaluations in the EMEWS database.
+TASK_TYPE = "metarvm"
+
+#: Default population structure for the GSA experiments.  Substantial
+#: vaccination coverage keeps every Table 1 parameter (including ``tv``,
+#: the vaccinated transmission rate) visibly influential in the figures.
+GSA_MODEL_CONFIG = MetaRVMConfig(initial_vaccinated_fraction=0.4)
+
+
+# --------------------------------------------------------------------- QoI
+def make_qoi(
+    seed: int,
+    *,
+    model_config: Optional[MetaRVMConfig] = None,
+    base_params: Optional[MetaRVMParams] = None,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Batch QoI: GSA matrix (n, 5) → total hospitalizations at day 90.
+
+    Fixed ``seed`` gives the common-random-number surface of one replicate
+    (§3.1.2's "fixing the random seed").
+    """
+    if model_config is None:
+        model_config = GSA_MODEL_CONFIG
+    model = MetaRVM(config=model_config, base_params=base_params)
+
+    def qoi(x_natural: np.ndarray) -> np.ndarray:
+        return model.total_hospitalizations(np.atleast_2d(x_natural), seed=seed)
+
+    return qoi
+
+
+def make_mean_qoi(
+    seeds: Sequence[int],
+    *,
+    model_config: Optional[MetaRVMConfig] = None,
+    base_params: Optional[MetaRVMParams] = None,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Mean-response QoI: hospitalizations averaged over replicate seeds.
+
+    §3.1.2: "In stochastic simulation models, GSA is often performed on the
+    mean response, calculated across multiple replicates" — the conventional
+    alternative the paper departs from.  Averaging marginalizes the aleatoric
+    component, so indices from this QoI measure purely epistemic (parameter)
+    uncertainty; the A8 ablation contrasts them with the per-replicate
+    indices of Figure 5.
+    """
+    if not seeds:
+        raise ValidationError("mean-response QoI needs at least one seed")
+    if model_config is None:
+        model_config = GSA_MODEL_CONFIG
+    model = MetaRVM(config=model_config, base_params=base_params)
+
+    def qoi(x_natural: np.ndarray) -> np.ndarray:
+        x_natural = np.atleast_2d(x_natural)
+        total = np.zeros(x_natural.shape[0])
+        for seed in seeds:
+            total += model.total_hospitalizations(x_natural, seed=int(seed))
+        return total / len(seeds)
+
+    return qoi
+
+
+def metarvm_task_evaluator(
+    model_config: Optional[MetaRVMConfig] = None,
+    base_params: Optional[MetaRVMParams] = None,
+) -> Callable[[Any], Dict[str, float]]:
+    """The worker-pool evaluator: one EMEWS task = one MetaRVM run.
+
+    Payload: ``{"point": [ts, tv, pea, psh, phd], "seed": int}``.
+    Result: ``{"hospitalizations": float}``.
+    """
+    if model_config is None:
+        model_config = GSA_MODEL_CONFIG
+    model = MetaRVM(config=model_config, base_params=base_params)
+
+    def evaluate(payload: Any) -> Dict[str, float]:
+        point = np.asarray(payload["point"], dtype=float)[None, :]
+        value = model.total_hospitalizations(point, seed=int(payload["seed"]))
+        return {"hospitalizations": float(value[0])}
+
+    return evaluate
+
+
+def reference_indices(
+    seed: int,
+    *,
+    n: int = 2048,
+    model_config: Optional[MetaRVMConfig] = None,
+    base_params: Optional[MetaRVMParams] = None,
+) -> np.ndarray:
+    """Ground-truth first-order indices for one replicate's CRN surface.
+
+    A large Saltelli run directly on the simulator (n (d + 2) vectorized
+    evaluations) — what both MUSIC and PCE are trying to reach.
+    """
+    qoi = make_qoi(seed, model_config=model_config, base_params=base_params)
+    design = saltelli_design(n, GSA_PARAMETER_SPACE.dim, seed=seed)
+    y = qoi(GSA_PARAMETER_SPACE.scale(design.all_points))
+    y_a, y_b, y_ab = design.split(y)
+    return first_order_indices(y_a, y_b, y_ab)
+
+
+# ------------------------------------------------------------- EMEWS plumbing
+def _submit_points(
+    queue: TaskQueue, points: np.ndarray, seed: int, *, priority: int = 0
+) -> List[TaskFuture]:
+    payloads = [
+        {"point": row.tolist(), "seed": int(seed)} for row in np.atleast_2d(points)
+    ]
+    return queue.submit_tasks(TASK_TYPE, payloads, priority=priority)
+
+
+def music_coroutine(
+    music: MusicGSA,
+    queue: TaskQueue,
+    seed: int,
+    budget: int,
+) -> Iterator[bool]:
+    """One MUSIC instance as an interleavable coroutine.
+
+    Implements the paper's protocol: submit, hold the futures, check a
+    single future per turn and cede control; when all of a step's futures
+    have completed, continue to the next step.
+    """
+    design = music.initial_design()
+    futures = _submit_points(queue, design, seed)
+    pending = list(futures)
+    results: Dict[int, float] = {}
+    yield True  # submission made: progress
+
+    while pending:
+        done = pop_completed(pending)
+        if done is None:
+            yield False  # checked one future, still pending: cede
+            continue
+        results[done.task_id] = done.result_nowait()["hospitalizations"]
+        yield True
+    ordered = np.array([results[f.task_id] for f in futures])
+    music.tell(design, ordered)
+    yield True
+
+    while music.n_evaluations < budget:
+        point = music.propose()
+        future = _submit_points(queue, point, seed)[0]
+        yield True
+        while not future.check():
+            yield False
+        music.tell(point, np.array([future.result_nowait()["hospitalizations"]]))
+        yield True
+
+
+# ------------------------------------------------------------------ Figure 4
+@dataclass
+class Figure4Data:
+    """Convergence series for the MUSIC-vs-PCE comparison.
+
+    ``music_curve`` and ``pce_curve`` map a sample size to the per-parameter
+    first-order index estimates at that size; ``reference`` is the large
+    Saltelli ground truth on the same CRN surface.
+    """
+
+    parameter_names: List[str]
+    music_curve: List[Tuple[int, np.ndarray]]
+    pce_curve: List[Tuple[int, np.ndarray]]
+    reference: np.ndarray
+    seed: int
+    pce_degree: int
+
+    def stabilization(self, *, tol: float = 0.05) -> Dict[str, Dict[str, float]]:
+        """Per-method stabilization sample sizes (see
+        :func:`stabilization_sample_size`)."""
+        return {
+            "music": {
+                "n_stable": stabilization_sample_size(self.music_curve, self.reference, tol=tol)
+            },
+            "pce": {
+                "n_stable": stabilization_sample_size(self.pce_curve, self.reference, tol=tol)
+            },
+        }
+
+    def final_errors(self) -> Dict[str, float]:
+        """Max-abs error of each method's final estimate vs. the reference."""
+        return {
+            "music": float(np.max(np.abs(self.music_curve[-1][1] - self.reference))),
+            "pce": float(np.max(np.abs(self.pce_curve[-1][1] - self.reference))),
+        }
+
+
+def stabilization_sample_size(
+    curve: Sequence[Tuple[int, np.ndarray]],
+    reference: np.ndarray,
+    *,
+    tol: float = 0.05,
+) -> float:
+    """Smallest n after which every estimate stays within ``tol`` of the
+    reference for all parameters (the Figure 4 "stabilization" reading).
+
+    Returns ``inf`` if the curve never stabilizes within its budget.
+    """
+    if not curve:
+        raise ValidationError("empty convergence curve")
+    stable_from: float = np.inf
+    for n, values in curve:
+        if np.max(np.abs(values - reference)) <= tol:
+            if not np.isfinite(stable_from):
+                stable_from = n
+        else:
+            stable_from = np.inf
+    return stable_from
+
+
+def run_music_vs_pce(
+    *,
+    seed: int = 0,
+    budget: int = 220,
+    music_config: Optional[MusicConfig] = None,
+    pce_degree: int = 3,
+    pce_start: Optional[int] = None,
+    reference_n: int = 2048,
+    model_config: Optional[MetaRVMConfig] = None,
+    use_emews: bool = True,
+    n_workers: int = 4,
+) -> Figure4Data:
+    """The Figure 4 experiment: MUSIC vs PCE at a fixed random seed.
+
+    Both methods consume evaluations of the *same* CRN QoI surface.  MUSIC
+    adds points by acquisition; PCE consumes a growing scrambled-Sobol
+    design, refit (one-shot) at every sample size.  When ``use_emews`` is
+    true the MUSIC evaluations flow through a real EMEWS task database and
+    threaded worker pool, as in the paper's workflow.
+    """
+    check_int("budget", budget, minimum=40)
+    cfg = music_config if music_config is not None else MusicConfig()
+    space = GSA_PARAMETER_SPACE
+    qoi = make_qoi(seed, model_config=model_config)
+
+    music = MusicGSA(space, cfg, seed=seed)
+    if use_emews:
+        service = EmewsService()
+        queue = service.make_queue(f"figure4-seed{seed}")
+        service.start_local_pool(
+            TASK_TYPE,
+            metarvm_task_evaluator(model_config=model_config),
+            n_workers=n_workers,
+            name="figure4-pool",
+        )
+        driver = InterleavedDriver([music_coroutine(music, queue, seed, budget)])
+        driver.run()
+        service.finalize(queue)
+    else:
+        design = music.initial_design()
+        music.tell(design, qoi(design))
+        while music.n_evaluations < budget:
+            point = music.propose()
+            music.tell(point, qoi(point))
+    music_curve = [(e.n_evaluations, e.first_order.copy()) for e in music.history]
+
+    # PCE on a growing low-discrepancy design over the same surface.
+    from scipy.stats import qmc
+
+    sampler = qmc.Sobol(d=space.dim, scramble=True, seed=seed)
+    # Draw a power-of-two block (Sobol balance property) and slice.
+    n_pow2 = 1 << (budget - 1).bit_length()
+    unit_design = sampler.random(n_pow2)[:budget]
+    y_all = qoi(space.scale(unit_design))
+    n_terms = PCEModel(space.dim, pce_degree).n_terms
+    start = pce_start if pce_start is not None else max(space.dim + 2, n_terms // 4)
+    pce_curve: List[Tuple[int, np.ndarray]] = []
+    for n in range(start, budget + 1):
+        model = PCEModel(space.dim, pce_degree).fit(unit_design[:n], y_all[:n])
+        pce_curve.append((n, np.clip(model.first_order(), -0.2, 1.2)))
+
+    reference = reference_indices(seed, n=reference_n, model_config=model_config)
+    return Figure4Data(
+        parameter_names=space.names,
+        music_curve=music_curve,
+        pce_curve=pce_curve,
+        reference=reference,
+        seed=seed,
+        pce_degree=pce_degree,
+    )
+
+
+# ------------------------------------------------------------------ Figure 5
+@dataclass
+class Figure5Data:
+    """Per-replicate index trajectories for the stochastic-variability study."""
+
+    parameter_names: List[str]
+    replicate_curves: Dict[int, List[Tuple[int, np.ndarray]]]
+    replicate_seeds: Dict[int, int]
+    driver_stats: Dict[str, int]
+    tasks_evaluated: int
+
+    def final_indices(self) -> np.ndarray:
+        """Final per-replicate indices, shape (n_replicates, dim)."""
+        return np.stack(
+            [curve[-1][1] for _, curve in sorted(self.replicate_curves.items())]
+        )
+
+    def cross_replicate_spread(self) -> Dict[str, Tuple[float, float]]:
+        """(min, max) of the final index across replicates, per parameter —
+        the aleatoric spread Figure 5 displays."""
+        finals = self.final_indices()
+        return {
+            name: (float(finals[:, j].min()), float(finals[:, j].max()))
+            for j, name in enumerate(self.parameter_names)
+        }
+
+
+def run_replicate_gsa(
+    *,
+    n_replicates: int = 10,
+    budget: int = 120,
+    root_seed: int = 42,
+    music_config: Optional[MusicConfig] = None,
+    model_config: Optional[MetaRVMConfig] = None,
+    n_workers: int = 4,
+    interleaved: bool = True,
+) -> Figure5Data:
+    """The Figure 5 experiment: independent GSAs on N stochastic replicates.
+
+    "We perform the GSA independently on 10 simulation replicates to assess
+    the variability in parameter influences across model stochasticity",
+    with "each replicate generated using a unique random stream seed value"
+    — here ``replicate_seed(root_seed, k)``.  Instances are interleaved
+    through EMEWS futures exactly as in §3.2 (or run sequentially with
+    ``interleaved=False`` for the utilization ablation).
+    """
+    check_int("n_replicates", n_replicates, minimum=1)
+    cfg = music_config if music_config is not None else MusicConfig()
+    space = GSA_PARAMETER_SPACE
+
+    service = EmewsService()
+    queue = service.make_queue(f"figure5-root{root_seed}")
+    pool = service.start_local_pool(
+        TASK_TYPE,
+        metarvm_task_evaluator(model_config=model_config),
+        n_workers=n_workers,
+        name="figure5-pool",
+    )
+
+    seeds = {k: replicate_seed(root_seed, k) for k in range(n_replicates)}
+    instances = {k: MusicGSA(space, cfg, seed=seeds[k]) for k in range(n_replicates)}
+    coroutines = [
+        music_coroutine(instances[k], queue, seeds[k], budget)
+        for k in range(n_replicates)
+    ]
+    if interleaved:
+        stats = InterleavedDriver(coroutines).run()
+    else:
+        stats = SequentialDriver(coroutines).run()
+    tasks = pool.tasks_processed
+    service.finalize(queue)
+
+    return Figure5Data(
+        parameter_names=space.names,
+        replicate_curves={
+            k: [(e.n_evaluations, e.first_order.copy()) for e in instances[k].history]
+            for k in range(n_replicates)
+        },
+        replicate_seeds=seeds,
+        driver_stats=stats,
+        tasks_evaluated=tasks,
+    )

@@ -1,0 +1,306 @@
+"""Integration tests for AERO ingestion and analysis flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.aero import AeroClient, AeroPlatform, StaticSource, TriggerPolicy
+from repro.aero.flows import RunStatus
+from repro.globus.compute import simulated_cost
+
+
+@pytest.fixture
+def platform():
+    return AeroPlatform()
+
+
+@pytest.fixture
+def client(platform):
+    identity, token = platform.create_user("researcher")
+    platform.add_storage_collection("eagle", token)
+    platform.add_login_endpoint("login")
+    platform.add_cluster_endpoint("batch", n_nodes=2, walltime=0.5)
+    return AeroClient(platform, identity, token)
+
+
+def upper_transform(raw: str):
+    return {"clean": raw.upper()}
+
+
+class TestIngestionFlow:
+    def test_first_poll_ingests(self, platform, client):
+        source = StaticSource("https://example/ww.csv", "a,b\n1,2\n")
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+            interval=1.0,
+        )
+        platform.env.run_until(0.5)
+        runs = client.runs("ingest")
+        assert len(runs) == 1
+        assert runs[0].status is RunStatus.SUCCEEDED
+        assert client.fetch_content(ids["clean"]) == "A,B\n1,2\n"
+
+    def test_unchanged_source_does_not_rerun(self, platform, client):
+        source = StaticSource("u", "data")
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(5.0)
+        flow = client.get_flow("ingest")
+        assert flow.poll_count == 6  # t=0..5
+        assert flow.update_count == 1
+        assert len(client.runs("ingest")) == 1
+
+    def test_update_triggers_new_version(self, platform, client):
+        source = StaticSource("u", "v1")
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        source.set_content("v2")
+        platform.env.run_until(1.5)
+        versions = client.versions(ids["clean"])
+        assert [v.version for v in versions] == [1, 2]
+        assert client.fetch_content(ids["clean"], version=1) == "V1"
+        assert client.fetch_content(ids["clean"], version=2) == "V2"
+
+    def test_raw_data_versioned_too(self, platform, client):
+        source = StaticSource("u", "v1")
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        flow = client.get_flow("ingest")
+        raw_versions = platform.metadata.versions(flow.raw_object.data_id)
+        assert len(raw_versions) == 1
+        assert raw_versions[0].checksum  # checksum recorded
+
+    def test_transform_failure_recorded(self, platform, client):
+        def broken(raw):
+            raise ValueError("malformed input")
+
+        source = StaticSource("u", "data")
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=broken,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        runs = client.runs("ingest")
+        assert runs[0].status is RunStatus.FAILED
+        assert "malformed input" in runs[0].error
+
+    def test_undeclared_output_fails(self, platform, client):
+        source = StaticSource("u", "data")
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=lambda raw: {"wrong_name": raw},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        assert client.runs("ingest")[0].status is RunStatus.FAILED
+
+    def test_cancel_stops_polling(self, platform, client):
+        source = StaticSource("u", "data")
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        client.get_flow("ingest").cancel()
+        source.set_content("changed")
+        platform.env.run_until(5.0)
+        assert len(client.runs("ingest")) == 1
+
+    def test_duplicate_flow_name_rejected(self, platform, client):
+        source = StaticSource("u", "data")
+        kwargs = dict(
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        client.register_ingestion_flow("ingest", **kwargs)
+        with pytest.raises(ValidationError):
+            client.register_ingestion_flow("ingest", **kwargs)
+
+
+class TestAnalysisFlow:
+    def _ingest(self, client, source, name="ingest"):
+        return client.register_ingestion_flow(
+            name,
+            source=source,
+            function=upper_transform,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+
+    def test_triggered_by_input_update(self, platform, client):
+        source = StaticSource("u", "v1")
+        ids = self._ingest(client, source)
+        out = client.register_analysis_flow(
+            "analyze",
+            inputs={"clean": ids["clean"]},
+            function=lambda inputs: {"report": f"saw {inputs['clean']}"},
+            endpoint="batch",
+            storage="eagle",
+            outputs=["report"],
+        )
+        platform.env.run_until(0.9)
+        assert client.fetch_content(out["report"]) == "saw V1"
+        source.set_content("v2")
+        platform.env.run_until(2.0)
+        assert client.fetch_content(out["report"]) == "saw V2"
+        assert len(client.runs("analyze")) == 2
+
+    def test_provenance_chain_recorded(self, platform, client):
+        source = StaticSource("u", "v1")
+        ids = self._ingest(client, source)
+        out = client.register_analysis_flow(
+            "analyze",
+            inputs={"clean": ids["clean"]},
+            function=lambda inputs: {"report": "r"},
+            endpoint="batch",
+            storage="eagle",
+            outputs=["report"],
+        )
+        platform.env.run_until(1.0)
+        report_version = client.latest_version(out["report"])
+        assert report_version.derived_from == ((ids["clean"], 1),)
+
+    def test_all_policy_waits_for_every_input(self, platform, client):
+        src_a = StaticSource("a", "a1")
+        src_b = StaticSource("b", "b1")
+        ids_a = self._ingest(client, src_a, "ingest-a")
+        ids_b = self._ingest(client, src_b, "ingest-b")
+        out = client.register_analysis_flow(
+            "agg",
+            inputs={"a": ids_a["clean"], "b": ids_b["clean"]},
+            function=lambda inputs: {"sum": inputs["a"] + "+" + inputs["b"]},
+            endpoint="batch",
+            storage="eagle",
+            outputs=["sum"],
+            policy=TriggerPolicy.ALL,
+        )
+        platform.env.run_until(1.0)
+        assert len(client.runs("agg")) == 1
+        # Update only A: ALL policy must NOT re-trigger.
+        src_a.set_content("a2")
+        platform.env.run_until(3.0)
+        assert len(client.runs("agg")) == 1
+        # Update B too: now it triggers with the latest A and B.
+        src_b.set_content("b2")
+        platform.env.run_until(5.0)
+        runs = client.runs("agg")
+        assert len(runs) == 2
+        assert client.fetch_content(out["sum"]) == "A2+B2"
+
+    def test_any_policy_triggers_on_each_input(self, platform, client):
+        src_a = StaticSource("a", "a1")
+        src_b = StaticSource("b", "b1")
+        ids_a = self._ingest(client, src_a, "ingest-a")
+        ids_b = self._ingest(client, src_b, "ingest-b")
+        client.register_analysis_flow(
+            "any-flow",
+            inputs={"a": ids_a["clean"], "b": ids_b["clean"]},
+            function=lambda inputs: {"out": "x"},
+            endpoint="batch",
+            storage="eagle",
+            outputs=["out"],
+            policy=TriggerPolicy.ANY,
+        )
+        platform.env.run_until(1.0)
+        baseline = len(client.runs("any-flow"))
+        src_a.set_content("a2")
+        platform.env.run_until(3.0)
+        assert len(client.runs("any-flow")) == baseline + 1
+
+    def test_chained_analyses(self, platform, client):
+        """Analysis output UUIDs feed further analyses (the Fig 1 pattern)."""
+        source = StaticSource("u", "v1")
+        ids = self._ingest(client, source)
+        mid = client.register_analysis_flow(
+            "mid",
+            inputs={"clean": ids["clean"]},
+            function=lambda inputs: {"stats": str(len(inputs["clean"]))},
+            endpoint="batch",
+            storage="eagle",
+            outputs=["stats"],
+        )
+        final = client.register_analysis_flow(
+            "final",
+            inputs={"stats": mid["stats"]},
+            function=lambda inputs: {"plot": "plot(" + inputs["stats"] + ")"},
+            endpoint="login",
+            storage="eagle",
+            outputs=["plot"],
+        )
+        platform.env.run_until(2.0)
+        assert client.fetch_content(final["plot"]) == "plot(2)"
+
+    def test_empty_inputs_rejected(self, platform, client):
+        with pytest.raises(ValidationError):
+            client.register_analysis_flow(
+                "bad",
+                inputs={},
+                function=lambda inputs: {"o": "x"},
+                endpoint="batch",
+                storage="eagle",
+                outputs=["o"],
+            )
+
+    def test_expensive_analysis_goes_through_scheduler(self, platform, client):
+        source = StaticSource("u", "v1")
+        ids = self._ingest(client, source)
+
+        @simulated_cost(0.1)
+        def heavy(inputs):
+            return {"out": "done"}
+
+        client.register_analysis_flow(
+            "heavy",
+            inputs={"clean": ids["clean"]},
+            function=heavy,
+            endpoint="batch",
+            storage="eagle",
+            outputs=["out"],
+        )
+        platform.env.run_until(1.0)
+        scheduler = platform.endpoint_bundle("batch").scheduler
+        assert scheduler is not None
+        jobs = scheduler.all_jobs()
+        assert len(jobs) == 1
+        assert jobs[0].completed_at - jobs[0].started_at == pytest.approx(0.1)

@@ -1,0 +1,134 @@
+"""Tests for the AERO metadata database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.aero.metadata import MetadataDatabase
+from repro.sim import SimulationEnvironment
+
+
+@pytest.fixture
+def db(env):
+    return MetadataDatabase(env)
+
+
+class TestObjects:
+    def test_register_returns_uuid(self, db):
+        obj = db.register_data("ww/obrien", "alice")
+        assert len(obj.data_id) == 36  # canonical uuid
+        assert db.get_object(obj.data_id) == obj
+
+    def test_ids_deterministic_in_registration_order(self, env):
+        a = MetadataDatabase(env).register_data("x", "alice")
+        b = MetadataDatabase(env).register_data("x", "alice")
+        assert a.data_id == b.data_id
+
+    def test_find_by_name(self, db):
+        db.register_data("x", "alice")
+        obj = db.register_data("y", "alice")
+        assert db.find_by_name("y") == [obj]
+
+    def test_unknown_object(self, db):
+        with pytest.raises(NotFoundError):
+            db.get_object("not-a-uuid")
+
+    def test_empty_name_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.register_data("", "alice")
+
+
+class TestVersions:
+    def test_versions_number_sequentially(self, db):
+        obj = db.register_data("x", "alice")
+        v1 = db.add_version(obj.data_id, checksum="c1", size=10, uri="c:p1", created_by="f")
+        v2 = db.add_version(obj.data_id, checksum="c2", size=20, uri="c:p2", created_by="f")
+        assert (v1.version, v2.version) == (1, 2)
+        assert db.latest(obj.data_id) == v2
+        assert db.versions(obj.data_id) == [v1, v2]
+        assert db.get_version(obj.data_id, 1) == v1
+
+    def test_latest_none_when_empty(self, db):
+        obj = db.register_data("x", "alice")
+        assert db.latest(obj.data_id) is None
+
+    def test_timestamp_from_clock(self, env, db):
+        obj = db.register_data("x", "alice")
+        env.run_until(5.0)
+        version = db.add_version(obj.data_id, checksum="c", size=1, uri="c:p", created_by="f")
+        assert version.timestamp == 5.0
+
+    def test_payload_rejected(self, db):
+        """AERO stores metadata only — never data."""
+        obj = db.register_data("x", "alice")
+        with pytest.raises(ValidationError):
+            db.add_version(
+                obj.data_id,
+                checksum="c",
+                size=1,
+                uri="c:p",
+                created_by="f",
+                payload=b"raw bytes",
+            )
+
+    def test_malformed_uri_rejected(self, db):
+        obj = db.register_data("x", "alice")
+        with pytest.raises(ValidationError):
+            db.add_version(obj.data_id, checksum="c", size=1, uri="nopath", created_by="f")
+
+    def test_derived_from_must_exist(self, db):
+        obj = db.register_data("x", "alice")
+        with pytest.raises(NotFoundError):
+            db.add_version(
+                obj.data_id,
+                checksum="c",
+                size=1,
+                uri="c:p",
+                created_by="f",
+                derived_from=[("ghost-id", 1)],
+            )
+        other = db.register_data("y", "alice")
+        with pytest.raises(NotFoundError):
+            db.add_version(
+                obj.data_id,
+                checksum="c",
+                size=1,
+                uri="c:p",
+                created_by="f",
+                derived_from=[(other.data_id, 1)],  # no version 1 yet
+            )
+
+    def test_valid_derivation_recorded(self, db):
+        src = db.register_data("src", "alice")
+        v = db.add_version(src.data_id, checksum="c", size=1, uri="c:p", created_by="f")
+        out = db.register_data("out", "alice")
+        derived = db.add_version(
+            out.data_id,
+            checksum="c2",
+            size=1,
+            uri="c:p2",
+            created_by="g",
+            derived_from=[(src.data_id, v.version)],
+        )
+        assert derived.derived_from == ((src.data_id, 1),)
+
+
+class TestSubscriptions:
+    def test_subscriber_notified(self, db):
+        obj = db.register_data("x", "alice")
+        seen = []
+        db.subscribe(obj.data_id, lambda v: seen.append(v.version))
+        db.add_version(obj.data_id, checksum="c", size=1, uri="c:p", created_by="f")
+        db.add_version(obj.data_id, checksum="c2", size=1, uri="c:p2", created_by="f")
+        assert seen == [1, 2]
+
+    def test_subscribe_unknown_object(self, db):
+        with pytest.raises(NotFoundError):
+            db.subscribe("ghost", lambda v: None)
+
+    def test_version_counts(self, db):
+        obj = db.register_data("x", "alice")
+        db.register_data("empty", "alice")
+        db.add_version(obj.data_id, checksum="c", size=1, uri="c:p", created_by="f")
+        assert db.version_counts() == {"x": 1, "empty": 0}

@@ -1,0 +1,104 @@
+"""Tests for provenance graph construction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.aero import AeroClient, AeroPlatform, StaticSource, TriggerPolicy
+from repro.aero.provenance import flow_graph, lineage, summarize, version_graph
+
+
+@pytest.fixture
+def wired():
+    """A miniature Figure-1-shaped workflow: 2 ingest -> 2 analyze -> 1 agg."""
+    platform = AeroPlatform()
+    identity, token = platform.create_user("researcher")
+    platform.add_storage_collection("eagle", token)
+    platform.add_login_endpoint("login")
+    client = AeroClient(platform, identity, token)
+
+    sources = [StaticSource(f"https://iwss/{name}", f"{name}-v1") for name in ("a", "b")]
+    analysis_ids = {}
+    for name, source in zip(("a", "b"), sources):
+        ids = client.register_ingestion_flow(
+            f"ingest-{name}",
+            source=source,
+            function=lambda raw: {"clean": raw.upper()},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        out = client.register_analysis_flow(
+            f"rt-{name}",
+            inputs={"clean": ids["clean"]},
+            function=lambda inputs: {"rt": "rt-data"},
+            endpoint="login",
+            storage="eagle",
+            outputs=["rt"],
+        )
+        analysis_ids[name] = out["rt"]
+    agg = client.register_analysis_flow(
+        "aggregate",
+        inputs={name: data_id for name, data_id in analysis_ids.items()},
+        function=lambda inputs: {"ensemble": "combined"},
+        endpoint="login",
+        storage="eagle",
+        outputs=["ensemble"],
+        policy=TriggerPolicy.ALL,
+    )
+    platform.env.run_until(2.0)
+    flows = [client.get_flow(name) for name in client.flow_names()]
+    return platform, client, flows, agg["ensemble"], sources
+
+
+class TestFlowGraph:
+    def test_structure(self, wired):
+        platform, client, flows, _, _ = wired
+        graph = flow_graph(flows)
+        counts = summarize(graph)
+        assert counts["flow"] == 5  # 2 ingest + 2 rt + 1 aggregate
+        assert counts["source"] == 2
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_aggregation_depends_on_both_analyses(self, wired):
+        _, client, flows, _, _ = wired
+        graph = flow_graph(flows)
+        agg_node = "flow:aggregate"
+        upstream = nx.ancestors(graph, agg_node)
+        assert "flow:rt-a" in upstream
+        assert "flow:rt-b" in upstream
+        assert "flow:ingest-a" in upstream
+
+
+class TestVersionGraph:
+    def test_acyclic_and_complete(self, wired):
+        platform, _, _, _, _ = wired
+        graph = version_graph(platform.metadata)
+        assert nx.is_directed_acyclic_graph(graph)
+        # every registered version appears
+        total_versions = sum(platform.metadata.version_counts().values())
+        assert graph.number_of_nodes() == total_versions
+
+    def test_lineage_traces_to_raw(self, wired):
+        platform, client, _, ensemble_id, _ = wired
+        version = client.latest_version(ensemble_id)
+        chain = lineage(platform.metadata, ensemble_id, version.version)
+        names = {platform.metadata.get_object(node.split("@")[0]).name for node in chain}
+        # the ensemble's ancestry includes both raw feeds
+        assert "ingest-a/raw" in names
+        assert "ingest-b/raw" in names
+
+    def test_lineage_of_unknown_node_is_empty(self, wired):
+        platform, _, _, ensemble_id, _ = wired
+        assert lineage(platform.metadata, ensemble_id, 999) == []
+
+    def test_updates_extend_lineage(self, wired):
+        platform, client, _, ensemble_id, sources = wired
+        for source in sources:
+            source.set_content(source.url + "-v2")
+        platform.env.run_until(4.0)
+        versions = client.versions(ensemble_id)
+        assert len(versions) == 2
+        graph = version_graph(platform.metadata)
+        assert nx.is_directed_acyclic_graph(graph)

@@ -1,0 +1,237 @@
+"""Failure-injection tests for AERO retry policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aero import AeroClient, AeroPlatform, StaticSource
+from repro.aero.flows import RunStatus
+
+
+@pytest.fixture
+def platform():
+    return AeroPlatform()
+
+
+@pytest.fixture
+def client(platform):
+    identity, token = platform.create_user("researcher")
+    platform.add_storage_collection("eagle", token)
+    platform.add_login_endpoint("login")
+    return AeroClient(platform, identity, token)
+
+
+class FlakyFunction:
+    """Fails the first ``n_failures`` calls, then succeeds."""
+
+    def __init__(self, n_failures: int):
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def __call__(self, raw):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise RuntimeError(f"transient failure #{self.calls}")
+        return {"clean": raw.upper()}
+
+
+class FlakyAnalysis:
+    def __init__(self, n_failures: int):
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def __call__(self, inputs):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise RuntimeError(f"transient failure #{self.calls}")
+        return {"out": "ok"}
+
+
+class TestIngestionRetries:
+    def test_transient_failure_recovered(self, platform, client):
+        flaky = FlakyFunction(n_failures=2)
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=StaticSource("u", "data"),
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+            max_retries=3,
+            retry_delay=0.05,
+        )
+        platform.env.run_until(0.5)
+        runs = client.runs("ingest")
+        assert [r.status for r in runs] == [
+            RunStatus.FAILED,
+            RunStatus.FAILED,
+            RunStatus.SUCCEEDED,
+        ]
+        assert client.fetch_content(ids["clean"]) == "DATA"
+        assert flaky.calls == 3
+
+    def test_retries_exhausted(self, platform, client):
+        flaky = FlakyFunction(n_failures=10)
+        client.register_ingestion_flow(
+            "ingest",
+            source=StaticSource("u", "data"),
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+            max_retries=2,
+            retry_delay=0.05,
+        )
+        platform.env.run_until(0.9)
+        runs = client.runs("ingest")
+        # initial attempt + 2 retries, all failed; no further attempts until
+        # the next genuine source update
+        assert len(runs) == 3
+        assert all(r.status is RunStatus.FAILED for r in runs)
+
+    def test_retry_counter_resets_after_success(self, platform, client):
+        source = StaticSource("u", "v1")
+        flaky = FlakyFunction(n_failures=1)
+        client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+            max_retries=1,
+            retry_delay=0.05,
+        )
+        platform.env.run_until(0.5)
+        flow = client.get_flow("ingest")
+        assert flow.retries_used == 0  # reset by the eventual success
+        # a later update gets its own fresh retry budget
+        flaky.n_failures = flaky.calls + 1  # fail exactly once more
+        source.set_content("v2")
+        platform.env.run_until(2.0)
+        assert client.runs("ingest")[-1].status is RunStatus.SUCCEEDED
+
+    def test_no_retries_by_default(self, platform, client):
+        flaky = FlakyFunction(n_failures=1)
+        client.register_ingestion_flow(
+            "ingest",
+            source=StaticSource("u", "data"),
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(0.5)
+        assert len(client.runs("ingest")) == 1
+        assert client.runs("ingest")[0].status is RunStatus.FAILED
+
+    def test_retry_logged_in_run_record(self, platform, client):
+        client.register_ingestion_flow(
+            "ingest",
+            source=StaticSource("u", "data"),
+            function=FlakyFunction(n_failures=1),
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+            max_retries=1,
+        )
+        platform.env.run_until(0.5)
+        first = client.runs("ingest")[0]
+        assert any(step == "schedule-retry" for _, step, _ in first.steps)
+
+
+class TestAnalysisRetries:
+    def test_transient_analysis_failure_recovered(self, platform, client):
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=StaticSource("u", "data"),
+            function=lambda raw: {"clean": raw},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        flaky = FlakyAnalysis(n_failures=1)
+        out = client.register_analysis_flow(
+            "analyze",
+            inputs={"clean": ids["clean"]},
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["out"],
+            max_retries=2,
+            retry_delay=0.05,
+        )
+        platform.env.run_until(1.0)
+        runs = client.runs("analyze")
+        assert runs[0].status is RunStatus.FAILED
+        assert runs[-1].status is RunStatus.SUCCEEDED
+        assert client.fetch_content(out["out"]) == "ok"
+
+    def test_retry_uses_latest_input_versions(self, platform, client):
+        """If the input advanced between failure and retry, the retry picks
+        up the newest version (the operator-preferred semantics)."""
+        source = StaticSource("u", "v1")
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=lambda raw: {"clean": raw},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        flaky = FlakyAnalysis(n_failures=1)
+        out = client.register_analysis_flow(
+            "analyze",
+            inputs={"clean": ids["clean"]},
+            function=flaky,
+            endpoint="login",
+            storage="eagle",
+            outputs=["out"],
+            max_retries=1,
+            retry_delay=1.5,  # long enough for the next poll to land v2
+        )
+        platform.env.run_until(0.5)
+        assert client.runs("analyze")[0].status is RunStatus.FAILED
+        source.set_content("v2")
+        platform.env.run_until(5.0)
+        succeeded = [r for r in client.runs("analyze") if r.status is RunStatus.SUCCEEDED]
+        assert succeeded
+        clean_id = ids["clean"]
+        assert succeeded[0].consumed[clean_id] == 2
+
+
+class TestTokenExpiry:
+    def test_expired_token_fails_runs_without_crashing_platform(self):
+        """An always-on deployment survives token expiry: polls keep firing,
+        runs fail with an authorization error, and renewal restores service."""
+        platform = AeroPlatform(token_lifetime=2.0)  # token dies at t=2
+        identity, token = platform.create_user("short-lived")
+        platform.add_storage_collection("eagle", token)
+        platform.add_login_endpoint("login")
+        client = AeroClient(platform, identity, token)
+        source = StaticSource("u", "v1")
+        ids = client.register_ingestion_flow(
+            "ingest",
+            source=source,
+            function=lambda raw: {"clean": raw},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        platform.env.run_until(1.0)
+        assert client.runs("ingest")[-1].status is RunStatus.SUCCEEDED
+
+        # Past expiry: updates are detected but runs fail (and the event
+        # loop keeps running — the crucial property).
+        source.set_content("v2")
+        platform.env.run_until(4.0)
+        failed = [r for r in client.runs("ingest") if r.status is RunStatus.FAILED]
+        assert failed
+        assert "expired" in failed[-1].error
+
+        # Renew and verify service resumes on the next update.
+        client.renew_token(lifetime=100.0)
+        source.set_content("v3")
+        platform.env.run_until(7.0)
+        assert client.runs("ingest")[-1].status is RunStatus.SUCCEEDED
+        assert client.fetch_content(ids["clean"]) == "v3"

@@ -1,0 +1,133 @@
+"""Tests for the metadata catalog (search/index layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.aero.metadata import MetadataDatabase
+from repro.aero.search import MetadataCatalog
+
+
+@pytest.fixture
+def catalog(env):
+    db = MetadataDatabase(env)
+    objects = {}
+    for name, owner in [
+        ("ingest-obrien/raw", "alice"),
+        ("ingest-obrien/clean", "alice"),
+        ("rt-obrien/datatable", "bob"),
+        ("empty-product", "alice"),
+    ]:
+        objects[name] = db.register_data(name, owner)
+
+    def add(name, day, checksum):
+        env.run_until(max(day, env.now))
+        db.add_version(
+            objects[name].data_id,
+            checksum=checksum,
+            size=10,
+            uri=f"eagle:{name}/v",
+            created_by="test",
+        )
+
+    add("ingest-obrien/raw", 1.0, "c1")
+    add("ingest-obrien/clean", 1.0, "c2")
+    add("ingest-obrien/raw", 5.0, "c3")
+    add("rt-obrien/datatable", 6.0, "c4")
+    return MetadataCatalog(db), db, objects, env
+
+
+class TestSearch:
+    def test_name_substring(self, catalog):
+        cat, _, _, _ = catalog
+        hits = cat.search(name_contains="obrien")
+        assert [h.name for h in hits] == [
+            "ingest-obrien/clean",
+            "ingest-obrien/raw",
+            "rt-obrien/datatable",
+        ]
+
+    def test_owner_filter(self, catalog):
+        cat, _, _, _ = catalog
+        hits = cat.search(owner="bob")
+        assert len(hits) == 1 and hits[0].name == "rt-obrien/datatable"
+
+    def test_has_versions_filter(self, catalog):
+        cat, _, _, _ = catalog
+        unversioned = cat.search(has_versions=False)
+        assert [h.name for h in unversioned] == ["empty-product"]
+        assert all(h.n_versions > 0 for h in cat.search(has_versions=True))
+
+    def test_entry_summarizes_latest(self, catalog):
+        cat, _, _, _ = catalog
+        raw = cat.search(name_contains="raw")[0]
+        assert raw.n_versions == 2
+        assert raw.latest_version == 2
+        assert raw.latest_checksum == "c3"
+
+
+class TestTimeTravel:
+    def test_version_as_of(self, catalog):
+        cat, _, objects, _ = catalog
+        raw_id = objects["ingest-obrien/raw"].data_id
+        assert cat.version_as_of(raw_id, 0.5) is None
+        assert cat.version_as_of(raw_id, 3.0).version == 1
+        assert cat.version_as_of(raw_id, 5.0).version == 2
+        assert cat.version_as_of(raw_id, 100.0).version == 2
+
+    def test_updated_since(self, catalog):
+        cat, _, _, _ = catalog
+        recent = cat.updated_since(4.0)
+        names = [entry.name for entry, _ in recent]
+        assert names == ["rt-obrien/datatable", "ingest-obrien/raw"]
+
+
+class TestStaleness:
+    def test_stale_products(self, catalog):
+        cat, _, _, env = catalog
+        stale = cat.stale_products(now=10.0, max_age=3.0)
+        names = [e.name for e in stale]
+        # clean last updated at t=1 (stale); raw at t=5 (stale at age 5 > 3);
+        # datatable at t=6 (age 4 > 3): all three stale; empty has no versions
+        assert "ingest-obrien/clean" in names
+        assert "empty-product" not in names
+        fresh = cat.stale_products(now=6.5, max_age=3.0)
+        assert [e.name for e in fresh] == ["ingest-obrien/clean"]
+
+    def test_max_age_validated(self, catalog):
+        cat, _, _, _ = catalog
+        with pytest.raises(ValidationError):
+            cat.stale_products(now=1.0, max_age=0.0)
+
+
+class TestSummary:
+    def test_counts(self, catalog):
+        cat, _, _, _ = catalog
+        assert cat.summary() == {
+            "products": 4,
+            "versioned_products": 3,
+            "total_versions": 4,
+        }
+
+
+class TestAgainstLiveWorkflow:
+    def test_catalog_over_wastewater_workflow(self):
+        """The search layer answers real questions about a finished run."""
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        result = run_wastewater_workflow(
+            sim_days=5.0, goldstein_iterations=400, seed=23
+        )
+        cat = MetadataCatalog(result.platform.metadata)
+        # every plant has a versioned datatable product
+        hits = cat.search(name_contains="datatable", has_versions=True)
+        assert len(hits) == 4
+        # nothing versioned is stale at a generous window
+        assert cat.stale_products(now=result.platform.env.now, max_age=10.0) == []
+        # time travel: the ensemble as of day 2 is an earlier version than now
+        ensemble_id = result.output_ids["aggregate/ensemble"]
+        early = cat.version_as_of(ensemble_id, 2.0)
+        late = cat.version_as_of(ensemble_id, result.platform.env.now)
+        assert early is not None and late is not None
+        assert early.version <= late.version

@@ -1,0 +1,97 @@
+"""Tests for checksums and stable digests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import content_checksum, short_id, stable_digest
+
+
+class TestContentChecksum:
+    def test_known_value(self):
+        # sha256 of empty input is a well-known constant.
+        assert content_checksum(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_str_and_bytes_agree(self):
+        assert content_checksum("hello") == content_checksum(b"hello")
+
+    def test_distinct_content_distinct_checksum(self):
+        assert content_checksum(b"a") != content_checksum(b"b")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ValidationError):
+            content_checksum(123)  # type: ignore[arg-type]
+
+    @given(st.binary(max_size=256))
+    def test_deterministic(self, data):
+        assert content_checksum(data) == content_checksum(data)
+
+
+class TestStableDigest:
+    def test_dict_order_insensitive(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_numpy_and_python_scalars_agree(self):
+        assert stable_digest(np.float64(1.5)) == stable_digest(1.5)
+        assert stable_digest(np.int32(7)) == stable_digest(7)
+
+    def test_arrays_hash_by_content(self):
+        a = np.arange(6, dtype=float).reshape(2, 3)
+        b = np.arange(6, dtype=float).reshape(2, 3)
+        assert stable_digest(a) == stable_digest(b)
+
+    def test_array_shape_matters(self):
+        a = np.arange(6, dtype=float).reshape(2, 3)
+        b = np.arange(6, dtype=float).reshape(3, 2)
+        assert stable_digest(a) != stable_digest(b)
+
+    def test_nan_is_stable(self):
+        assert stable_digest(float("nan")) == stable_digest(float("nan"))
+
+    def test_nested_structures(self):
+        value = {"xs": [1, 2, {"y": (3, 4)}], "flag": True, "none": None}
+        assert stable_digest(value) == stable_digest(
+            {"none": None, "flag": True, "xs": [1, 2, {"y": [3, 4]}]}
+        )
+
+    def test_sets_are_order_insensitive(self):
+        assert stable_digest({1, 2, 3}) == stable_digest({3, 2, 1})
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(ValidationError):
+            stable_digest(object())
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(min_value=-(2**31), max_value=2**31),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=8), children, max_size=4),
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_digest_deterministic_on_json_like_values(self, value):
+        assert stable_digest(value) == stable_digest(value)
+
+
+class TestShortId:
+    def test_prefix(self):
+        digest = content_checksum(b"x")
+        assert digest.startswith(short_id(digest))
+        assert len(short_id(digest, 8)) == 8
+
+    def test_rejects_tiny_length(self):
+        with pytest.raises(ValidationError):
+            short_id("abcdef", 2)

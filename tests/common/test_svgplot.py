@@ -1,0 +1,171 @@
+"""Tests for the pure-Python SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.svgplot import SvgChart, _nice_ticks, small_multiples
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceTicks:
+    def test_unit_interval(self):
+        ticks = _nice_ticks(0.0, 1.0)
+        assert ticks[0] == 0.0 and ticks[-1] == 1.0
+        assert all(t2 > t1 for t1, t2 in zip(ticks, ticks[1:]))
+
+    def test_covers_range(self):
+        ticks = _nice_ticks(3.0, 97.0)
+        assert min(ticks) >= 3.0 and max(ticks) <= 97.0
+        assert 3 <= len(ticks) <= 12
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+
+class TestSvgChart:
+    def test_renders_valid_xml(self):
+        chart = SvgChart(title="t", x_label="x", y_label="y")
+        chart.add_line([0, 1, 2], [1.0, 2.0, 1.5], label="series")
+        chart.add_band([0, 1, 2], [0.5, 1.5, 1.0], [1.5, 2.5, 2.0], label="ci")
+        chart.add_hline(1.0)
+        root = parse(chart.render())
+        assert root.tag.endswith("svg")
+
+    def test_contains_expected_elements(self):
+        chart = SvgChart(title="My Title", x_label="days", y_label="R(t)")
+        chart.add_line([0, 10], [0.8, 1.2], label="median")
+        svg = chart.render()
+        assert "My Title" in svg
+        assert "days" in svg and "R(t)" in svg
+        assert "polyline" in svg
+        assert "median" in svg  # legend entry
+
+    def test_band_renders_polygon(self):
+        chart = SvgChart()
+        chart.add_band([0, 1], [0.0, 0.0], [1.0, 1.0])
+        assert "polygon" in chart.render()
+
+    def test_colors_cycle(self):
+        chart = SvgChart()
+        for i in range(3):
+            chart.add_line([0, 1], [i, i + 1], label=f"s{i}")
+        svg = chart.render()
+        assert svg.count("#1b9e77") >= 1 and svg.count("#d95f02") >= 1
+
+    def test_line_scaling_monotone(self):
+        """Higher y values map to smaller pixel y (SVG origin is top-left)."""
+        chart = SvgChart()
+        chart.add_line([0, 1], [0.0, 10.0])
+        svg = chart.render()
+        polyline = [part for part in svg.splitlines() if "polyline" in part][0]
+        points = polyline.split('points="')[1].split('"')[0].split()
+        y_pixels = [float(p.split(",")[1]) for p in points]
+        assert y_pixels[0] > y_pixels[1]
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(StateError):
+            SvgChart().render()
+
+    def test_validation(self):
+        chart = SvgChart()
+        with pytest.raises(ValidationError):
+            chart.add_line([0], [1])  # too short
+        with pytest.raises(ValidationError):
+            chart.add_band([0, 1], [1.0, 1.0], [0.0, 0.0])  # lower > upper
+        with pytest.raises(ValidationError):
+            SvgChart(width=10, height=10)
+
+    def test_save(self, tmp_path):
+        chart = SvgChart()
+        chart.add_line([0, 1], [1.0, 2.0])
+        path = chart.save(str(tmp_path / "chart.svg"))
+        content = open(path).read()
+        parse(content)
+
+    def test_nan_rejected(self):
+        chart = SvgChart()
+        with pytest.raises(ValidationError):
+            chart.add_line([0, 1], [np.nan, 1.0])
+
+
+class TestSmallMultiples:
+    def _chart(self, label):
+        chart = SvgChart(width=200, height=150, title=label)
+        chart.add_line([0, 1], [0.0, 1.0])
+        return chart
+
+    def test_grid_composition(self):
+        svg = small_multiples([self._chart(f"p{i}") for i in range(5)], columns=3)
+        root = parse(svg)
+        nested = [child for child in root if child.tag.endswith("svg")]
+        assert len(nested) == 5
+        assert "p4" in svg
+
+    def test_single_chart(self):
+        svg = small_multiples([self._chart("only")], columns=3)
+        parse(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            small_multiples([])
+
+
+class TestDagSvg:
+    def _graph(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_node("s", kind="source", name="feed")
+        graph.add_node("f", kind="flow", name="ingest")
+        graph.add_node("d", kind="data", name="clean")
+        graph.add_edge("s", "f")
+        graph.add_edge("f", "d")
+        return graph
+
+    def test_renders_valid_xml_with_all_nodes(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.common.svgplot import dag_svg
+
+        svg = dag_svg(self._graph())
+        ET.fromstring(svg)
+        assert svg.count("<rect") == 4  # background + 3 nodes
+        assert svg.count("marker-end") == 2  # 2 edges
+        assert "ingest" in svg and "clean" in svg
+
+    def test_cyclic_graph_rejected(self):
+        import networkx as nx
+
+        from repro.common.svgplot import dag_svg
+
+        graph = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(ValidationError):
+            dag_svg(graph)
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        from repro.common.svgplot import dag_svg
+
+        with pytest.raises(ValidationError):
+            dag_svg(nx.DiGraph())
+
+    def test_long_labels_truncated(self):
+        import networkx as nx
+
+        from repro.common.svgplot import dag_svg
+
+        graph = nx.DiGraph()
+        graph.add_node("x", kind="flow", name="a" * 50)
+        svg = dag_svg(graph)
+        assert "a" * 50 not in svg
+        assert "…" in svg

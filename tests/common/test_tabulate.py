@@ -1,0 +1,101 @@
+"""Tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.tabulate import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_int_passthrough(self):
+        assert format_float(3) == "3"
+
+    def test_float_compaction(self):
+        assert format_float(0.123456789) == "0.1235"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_tiny_uses_scientific(self):
+        assert "e" in format_float(1e-9)
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_bool_is_not_numeric(self):
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["v"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestValidationHelpers:
+    def test_check_helpers(self):
+        from repro.common.validation import (
+            check_array,
+            check_int,
+            check_interval,
+            check_positive,
+            check_probability,
+            require,
+        )
+
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.5)
+
+        assert check_int("n", 3, minimum=1) == 3
+        with pytest.raises(ValidationError):
+            check_int("n", 2.5)
+        with pytest.raises(ValidationError):
+            check_int("n", True)
+        with pytest.raises(ValidationError):
+            check_int("n", 0, minimum=1)
+
+        assert check_interval("r", (0, 1)) == (0.0, 1.0)
+        with pytest.raises(ValidationError):
+            check_interval("r", (1, 0))
+
+        arr = check_array("a", [[1, 2]], ndim=2, shape=(1, None), finite=True)
+        assert arr.shape == (1, 2)
+        with pytest.raises(ValidationError):
+            check_array("a", [1, 2], ndim=2)
+        with pytest.raises(ValidationError):
+            check_array("a", [float("nan")], finite=True)
+        with pytest.raises(ValidationError):
+            check_array("a", [[1], [2]], shape=(1, None))
+
+        require(True, "fine")
+        with pytest.raises(ValidationError):
+            require(False, "boom")

@@ -1,0 +1,135 @@
+"""Tests for the TimeSeries container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.timeseries import TimeSeries
+
+
+def make_series(n=5, name="s"):
+    return TimeSeries(np.arange(n, dtype=float), np.arange(n, dtype=float) * 2, name=name)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = make_series()
+        assert len(ts) == 5
+        assert ts.start == 0.0
+        assert ts.end == 4.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0, 1], [1.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0, 0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            TimeSeries([1, 0], [1.0, 2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty_series_has_no_start(self):
+        ts = TimeSeries([], [])
+        with pytest.raises(ValidationError):
+            _ = ts.start
+
+
+class TestTransforms:
+    def test_slice(self):
+        ts = make_series(10)
+        sub = ts.slice(2, 5)
+        assert sub.times.tolist() == [2, 3, 4, 5]
+
+    def test_append(self):
+        ts = make_series(3)
+        longer = ts.append([5.0, 6.0], [1.0, 2.0])
+        assert len(longer) == 5
+        assert len(ts) == 3  # immutability
+
+    def test_append_rejects_overlap(self):
+        ts = make_series(3)
+        with pytest.raises(ValidationError):
+            ts.append([2.0], [0.0])
+
+    def test_dropna(self):
+        ts = TimeSeries([0, 1, 2], [1.0, np.nan, 3.0])
+        clean = ts.dropna()
+        assert clean.times.tolist() == [0, 2]
+        assert clean.is_complete()
+
+    def test_interpolate_to(self):
+        ts = TimeSeries([0, 2], [0.0, 4.0])
+        interp = ts.interpolate_to([0, 1, 2])
+        assert interp.values.tolist() == [0.0, 2.0, 4.0]
+
+    def test_interpolate_all_missing_raises(self):
+        ts = TimeSeries([0, 1], [np.nan, np.nan])
+        with pytest.raises(ValidationError):
+            ts.interpolate_to([0.5])
+
+    def test_rolling_mean_flat_series_unchanged(self):
+        ts = TimeSeries(np.arange(6), np.full(6, 3.0))
+        smooth = ts.rolling_mean(3)
+        assert np.allclose(smooth.values, 3.0)
+
+    def test_rolling_mean_handles_nan(self):
+        ts = TimeSeries([0, 1, 2], [1.0, np.nan, 3.0])
+        smooth = ts.rolling_mean(3)
+        assert np.isclose(smooth.values[1], 2.0)
+
+    def test_with_name_and_meta(self):
+        ts = make_series().with_name("renamed").with_meta(plant="obrien")
+        assert ts.name == "renamed"
+        assert ts.meta["plant"] == "obrien"
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        ts = TimeSeries([0, 1, 2], [1.0, np.nan, 3.0], name="x", meta={"k": 1})
+        back = TimeSeries.from_dict(ts.to_dict())
+        assert back.name == "x"
+        assert back.meta == {"k": 1}
+        assert np.isnan(back.values[1])
+        assert back.values[2] == 3.0
+
+    def test_csv_roundtrip(self):
+        ts = TimeSeries([0.0, 1.5, 3.0], [1.25, np.nan, -2.0], name="c")
+        back = TimeSeries.from_csv(ts.to_csv(), name="c")
+        assert np.array_equal(back.times, ts.times)
+        assert np.isnan(back.values[1])
+        assert back.values[2] == -2.0
+
+    def test_csv_rejects_missing_header(self):
+        with pytest.raises(ValidationError):
+            TimeSeries.from_csv("0,1\n")
+
+    def test_csv_rejects_malformed_row(self):
+        with pytest.raises(ValidationError):
+            TimeSeries.from_csv("time,value\n0,1,2\n")
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_csv_roundtrip_property(self, values):
+        times = np.arange(len(values), dtype=float)
+        ts = TimeSeries(times, np.asarray(values))
+        back = TimeSeries.from_csv(ts.to_csv())
+        assert np.allclose(back.values, ts.values, rtol=1e-9, atol=1e-12)
+
+
+class TestStats:
+    def test_mean_std_ignore_nan(self):
+        ts = TimeSeries([0, 1, 2], [1.0, np.nan, 3.0])
+        assert ts.mean() == 2.0
+        assert ts.std() == 1.0

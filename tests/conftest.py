@@ -1,0 +1,52 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+# Property tests exercise real simulations; wall-clock deadlines only make
+# them flaky on loaded machines.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+from repro.globus.auth import AuthService
+from repro.globus.collections import StorageService
+from repro.globus.transfer import TransferService
+from repro.sim import SimulationEnvironment
+
+
+@pytest.fixture
+def env() -> SimulationEnvironment:
+    """A fresh simulation environment."""
+    return SimulationEnvironment()
+
+
+@pytest.fixture
+def auth(env) -> AuthService:
+    """An auth service on the shared environment."""
+    return AuthService(env)
+
+
+@pytest.fixture
+def user(auth):
+    """(identity, token) for a test user with all scopes."""
+    identity = auth.register_identity("tester")
+    token = auth.issue_token(
+        identity,
+        ["transfer", "compute", "flows", "timers", "aero"],
+        lifetime=10_000.0,
+    )
+    return identity, token
+
+
+@pytest.fixture
+def storage(auth, env) -> StorageService:
+    """A storage service."""
+    return StorageService(auth, env)
+
+
+@pytest.fixture
+def transfer(auth, storage, env) -> TransferService:
+    """A transfer service over the shared storage."""
+    return TransferService(auth, storage, env)

@@ -1,0 +1,202 @@
+"""Tests for the EMEWS task database."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.emews.db import TaskDatabase, TaskState
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def db(request):
+    """Every behaviour test runs against both backends: the in-memory store
+    and the EQ-SQL-style SQLite store.  Nothing above the database interface
+    may be able to tell them apart (the 'decoupled architecture' claim)."""
+    if request.param == "memory":
+        return TaskDatabase()
+    from repro.emews.sqlite_db import SqliteTaskDatabase
+
+    return SqliteTaskDatabase()
+
+
+class TestSubmitPop:
+    def test_submit_and_pop(self, db):
+        task_id = db.submit("exp", "model", {"x": 1})
+        task = db.pop_task("model", "w0")
+        assert task.task_id == task_id
+        assert task.state is TaskState.RUNNING
+        assert task.payload_obj() == {"x": 1}
+        assert task.worker_id == "w0"
+
+    def test_pop_empty_returns_none(self, db):
+        assert db.pop_task("model", "w0") is None
+
+    def test_pop_wrong_type_returns_none(self, db):
+        db.submit("exp", "model", {})
+        assert db.pop_task("other", "w0") is None
+
+    def test_priority_order(self, db):
+        low = db.submit("exp", "model", "low", priority=0)
+        high = db.submit("exp", "model", "high", priority=10)
+        assert db.pop_task("model", "w").task_id == high
+        assert db.pop_task("model", "w").task_id == low
+
+    def test_fifo_within_priority(self, db):
+        first = db.submit("exp", "model", "a")
+        second = db.submit("exp", "model", "b")
+        assert db.pop_task("model", "w").task_id == first
+        assert db.pop_task("model", "w").task_id == second
+
+    def test_non_json_payload_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.submit("exp", "model", object())
+
+    def test_blocking_pop_with_timeout(self, db):
+        assert db.pop_task("model", "w", timeout=0.05) is None
+
+    def test_blocking_pop_wakes_on_submit(self, db):
+        got = []
+
+        def popper():
+            got.append(db.pop_task("model", "w", timeout=5.0))
+
+        thread = threading.Thread(target=popper)
+        thread.start()
+        db.submit("exp", "model", {"x": 1})
+        thread.join(timeout=5.0)
+        assert got and got[0] is not None
+
+
+class TestCompletion:
+    def test_complete_roundtrip(self, db):
+        task_id = db.submit("exp", "model", {"x": 2})
+        db.pop_task("model", "w")
+        db.complete_task(task_id, {"y": 4})
+        task = db.get_task(task_id)
+        assert task.state is TaskState.COMPLETE
+        assert task.result_obj() == {"y": 4}
+
+    def test_fail(self, db):
+        task_id = db.submit("exp", "model", {})
+        db.pop_task("model", "w")
+        db.fail_task(task_id, "boom")
+        assert db.get_task(task_id).state is TaskState.FAILED
+
+    def test_complete_requires_running(self, db):
+        task_id = db.submit("exp", "model", {})
+        with pytest.raises(StateError):
+            db.complete_task(task_id, {})
+
+    def test_non_json_result_rejected(self, db):
+        task_id = db.submit("exp", "model", {})
+        db.pop_task("model", "w")
+        with pytest.raises(ValidationError):
+            db.complete_task(task_id, object())
+
+    def test_complete_listener(self, db):
+        seen = []
+        db.add_complete_listener(lambda t: seen.append(t.task_id))
+        task_id = db.submit("exp", "model", {})
+        db.pop_task("model", "w")
+        db.complete_task(task_id, 1)
+        assert seen == [task_id]
+
+
+class TestCancelPriority:
+    def test_cancel_queued(self, db):
+        task_id = db.submit("exp", "model", {})
+        assert db.cancel(task_id)
+        assert db.get_task(task_id).state is TaskState.CANCELLED
+        assert db.pop_task("model", "w") is None
+
+    def test_cancel_running_fails(self, db):
+        task_id = db.submit("exp", "model", {})
+        db.pop_task("model", "w")
+        assert not db.cancel(task_id)
+
+    def test_set_priority_reorders(self, db):
+        a = db.submit("exp", "model", "a", priority=0)
+        b = db.submit("exp", "model", "b", priority=0)
+        db.set_priority(b, 5)
+        assert db.pop_task("model", "w").task_id == b
+
+    def test_set_priority_after_start_fails(self, db):
+        a = db.submit("exp", "model", "a")
+        db.pop_task("model", "w")
+        assert not db.set_priority(a, 5)
+
+
+class TestCloseAndQuery:
+    def test_close_refuses_submissions(self, db):
+        db.close()
+        with pytest.raises(StateError):
+            db.submit("exp", "model", {})
+
+    def test_close_wakes_blocked_pop(self, db):
+        got = ["sentinel"]
+
+        def popper():
+            got[0] = db.pop_task("model", "w", timeout=None)
+
+        thread = threading.Thread(target=popper)
+        thread.start()
+        db.close()
+        thread.join(timeout=5.0)
+        assert got[0] is None
+
+    def test_counts(self, db):
+        db.submit("exp", "model", {})
+        running_id = db.submit("exp", "model", {})
+        db.pop_task("model", "w")  # pops the first (FIFO)
+        counts = db.counts()
+        assert counts["queued"] == 1
+        assert counts["running"] == 1
+
+    def test_queue_length(self, db):
+        db.submit("exp", "model", {})
+        db.submit("exp", "model", {})
+        assert db.queue_length("model") == 2
+        db.pop_task("model", "w")
+        assert db.queue_length("model") == 1
+
+    def test_tasks_for_experiment(self, db):
+        db.submit("e1", "model", 1)
+        db.submit("e2", "model", 2)
+        db.submit("e1", "model", 3)
+        tasks = db.tasks_for_experiment("e1")
+        assert [t.payload_obj() for t in tasks] == [1, 3]
+
+    def test_unknown_task(self, db):
+        with pytest.raises(NotFoundError):
+            db.get_task(999)
+
+    def test_wait_for_timeout(self, db):
+        task_id = db.submit("exp", "model", {})
+        with pytest.raises(StateError):
+            db.wait_for(task_id, timeout=0.05)
+
+    def test_sim_clock_timestamps(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        env.run_until(3.0)
+        task_id = db.submit("exp", "model", {})
+        assert db.get_task(task_id).submitted_at == 3.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=30))
+def test_pop_order_respects_priority_then_fifo(priorities):
+    db = TaskDatabase()
+    ids = [db.submit("e", "t", i, priority=p) for i, p in enumerate(priorities)]
+    popped = []
+    while True:
+        task = db.pop_task("t", "w")
+        if task is None:
+            break
+        popped.append(task)
+    keys = [(-t.priority, t.task_id) for t in popped]
+    assert keys == sorted(keys)
+    assert len(popped) == len(priorities)

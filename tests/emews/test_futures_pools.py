@@ -1,0 +1,256 @@
+"""Tests for EMEWS futures, worker pools, and the service layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.emews import (
+    EmewsService,
+    SimWorkerPool,
+    TaskFuture,
+    ThreadedWorkerPool,
+    as_completed,
+    pop_completed,
+)
+from repro.emews.api import RTaskAPI, TaskQueue
+from repro.emews.db import TaskDatabase, TaskState
+from repro.hpc import BatchScheduler, Cluster, JobState
+
+
+def square(payload):
+    return {"y": payload["x"] ** 2}
+
+
+class TestFuturesThreaded:
+    def test_submit_returns_future_immediately(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        future = queue.submit_task("model", {"x": 3})
+        assert isinstance(future, TaskFuture)
+        assert not future.check()
+        svc.start_local_pool("model", square, n_workers=2)
+        assert future.result(timeout=10) == {"y": 9}
+        svc.finalize(queue)
+
+    def test_batch_and_as_completed(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        svc.start_local_pool("model", square, n_workers=4)
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(12)])
+        results = {f.result(timeout=10)["y"] for f in as_completed(futures, timeout=10)}
+        assert results == {i * i for i in range(12)}
+        svc.finalize(queue)
+
+    def test_failed_task_raises_on_result(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+
+        def broken(payload):
+            raise RuntimeError("model blew up")
+
+        svc.start_local_pool("model", broken, n_workers=1)
+        future = queue.submit_task("model", {"x": 1})
+        with pytest.raises(StateError, match="model blew up"):
+            future.result(timeout=10)
+        svc.finalize(queue)
+
+    def test_pop_completed(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        svc.start_local_pool("model", square, n_workers=2)
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(4)])
+        for future in futures:
+            future.result(timeout=10)
+        drained = []
+        remaining = list(futures)
+        while (done := pop_completed(remaining)) is not None:
+            drained.append(done)
+        assert len(drained) == 4 and remaining == []
+        svc.finalize(queue)
+
+    def test_cancel_queued_future(self):
+        svc = EmewsService()  # no pool started: tasks stay queued
+        queue = svc.make_queue("exp")
+        future = queue.submit_task("model", {"x": 1})
+        assert future.cancel()
+        with pytest.raises(StateError):
+            future.result_nowait()
+        svc.finalize(queue)
+
+    def test_result_nowait(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        future = queue.submit_task("model", {"x": 2})
+        with pytest.raises(StateError):
+            future.result_nowait()
+        svc.start_local_pool("model", square)
+        future.result(timeout=10)
+        assert future.result_nowait() == {"y": 4}
+        svc.finalize(queue)
+
+    def test_pool_counts_tasks(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        handle = svc.start_local_pool("model", square, n_workers=2)
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(7)])
+        for f in futures:
+            f.result(timeout=10)
+        assert handle.tasks_processed == 7
+        svc.finalize(queue)
+
+
+class TestRTaskAPI:
+    def test_r_surface_interoperates_with_python_pool(self):
+        """Two API surfaces over one DB: the multi-language design point."""
+        svc = EmewsService()
+        svc.start_local_pool("model", square, n_workers=2)
+        r_api = RTaskAPI(svc.db, "r-experiment")
+        future = r_api.eq_submit_task("model", {"x": 5})
+        assert r_api.eq_query_result(future, timeout=10) == {"y": 25}
+        assert r_api.eq_check(future)
+        r_api.eq_stop()
+        svc.finalize()
+
+
+class TestSimWorkerPool:
+    def test_tasks_complete_on_sim_clock(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        pool = SimWorkerPool(
+            env, db, "model", fn=square, duration_fn=lambda p: 0.5, n_slots=2
+        ).start()
+        queue = TaskQueue(db, "exp")
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(4)])
+        env.run()
+        assert all(f.check() for f in futures)
+        assert futures[0].result_nowait() == {"y": 0}
+        # 4 tasks, 2 slots, 0.5 days each => makespan 1.0 day
+        assert env.now == pytest.approx(1.0)
+
+    def test_utilization_tracked(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        pool = SimWorkerPool(env, db, "model", duration_fn=lambda p: 1.0, n_slots=4).start()
+        queue = TaskQueue(db, "exp")
+        queue.submit_tasks("model", [{} for _ in range(2)])
+        env.run()
+        # 2 busy slot-days over 4 slots * 1 day
+        assert pool.tracker.utilization() == pytest.approx(0.5)
+
+    def test_stop_prevents_new_claims(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        pool = SimWorkerPool(env, db, "model", duration_fn=lambda p: 0.1, n_slots=1).start()
+        queue = TaskQueue(db, "exp")
+        queue.submit_task("model", {})
+        env.run()
+        pool.stop()
+        late = queue.submit_task("model", {})
+        env.run()
+        assert not late.check()
+
+    def test_evaluator_failure_fails_task(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+
+        def broken(payload):
+            raise ValueError("bad parameters")
+
+        SimWorkerPool(env, db, "model", fn=broken, duration_fn=lambda p: 0.1).start()
+        queue = TaskQueue(db, "exp")
+        future = queue.submit_task("model", {})
+        env.run()
+        assert future.state() is TaskState.FAILED
+
+
+class TestScheduledPool:
+    def test_pool_starts_via_scheduler_job(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        svc = EmewsService(db)
+        scheduler = BatchScheduler(env, Cluster("improv", 2, cores_per_node=4))
+        handle = svc.start_scheduled_pool(
+            scheduler, env, "model", n_nodes=1, walltime=50.0,
+            fn=square, duration_fn=lambda p: 0.01,
+        )
+        queue = svc.make_queue("exp")
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(8)])
+        env.run_until(1.0)
+        assert all(f.check() for f in futures)
+        assert handle.job.state is JobState.RUNNING
+        handle.stop()
+        env.run()
+        assert handle.job.state is JobState.COMPLETED
+
+    def test_pool_waits_for_job_start(self, env):
+        """Tasks submitted before the pool's job starts run only after."""
+        db = TaskDatabase(clock=lambda: env.now)
+        svc = EmewsService(db)
+        scheduler = BatchScheduler(env, Cluster("improv", 1))
+        # Occupy the single node first.
+        from repro.hpc import JobRequest
+
+        blocker = scheduler.submit(
+            JobRequest(name="blocker", n_nodes=1, walltime=10.0, duration=2.0)
+        )
+        handle = svc.start_scheduled_pool(
+            scheduler, env, "model", n_nodes=1, walltime=50.0, duration_fn=lambda p: 0.01
+        )
+        queue = svc.make_queue("exp")
+        future = queue.submit_task("model", {"x": 1})
+        env.run_until(1.0)
+        assert not future.check()  # pool job still queued behind the blocker
+        env.run_until(3.0)
+        assert future.check()
+        handle.stop()
+
+    def test_walltime_stops_pool(self, env):
+        db = TaskDatabase(clock=lambda: env.now)
+        svc = EmewsService(db)
+        scheduler = BatchScheduler(env, Cluster("improv", 1))
+        handle = svc.start_scheduled_pool(
+            scheduler, env, "model", n_nodes=1, walltime=1.0, duration_fn=lambda p: 0.01
+        )
+        queue = svc.make_queue("exp")
+        env.run_until(2.0)
+        assert handle.job.state is JobState.TIMEOUT
+        late = queue.submit_task("model", {})
+        env.run()
+        assert not late.check()  # pool stopped with its job
+
+
+class TestFutureEdgeCases:
+    def test_as_completed_timeout_raises(self):
+        svc = EmewsService()  # no pool: futures never complete
+        queue = svc.make_queue("exp")
+        futures = queue.submit_tasks("t", [{} for _ in range(3)])
+        with pytest.raises(StateError):
+            list(as_completed(futures, timeout=0.05))
+        svc.finalize(queue)
+
+    def test_as_completed_rejects_bad_poll_interval(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            list(as_completed([], poll_interval=0.0))
+
+    def test_set_priority_via_future(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        low = queue.submit_task("t", "low", priority=0)
+        high = queue.submit_task("t", "high", priority=0)
+        assert high.set_priority(10)
+        task = svc.db.pop_task("t", "w")
+        assert task.task_id == high.task_id
+        svc.finalize(queue)
+
+    def test_queue_counts_and_queued_count(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        queue.submit_tasks("t", [{} for _ in range(5)])
+        assert queue.queued_count("t") == 5
+        assert queue.counts()["queued"] == 5
+        svc.finalize(queue)
+
+    def test_repr_smoke(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        future = queue.submit_task("t", {})
+        assert "TaskFuture" in repr(future)
+        svc.finalize(queue)

@@ -1,0 +1,95 @@
+"""Tests for EMEWS experiment reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.emews import EmewsService, SimWorkerPool, as_completed
+from repro.emews.api import TaskQueue
+from repro.emews.db import TaskDatabase
+from repro.emews.reports import experiment_report, render_report
+from repro.emews.sqlite_db import SqliteTaskDatabase
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+class TestExperimentReport:
+    def _db(self, backend, clock=None):
+        if backend == "memory":
+            return TaskDatabase(clock=clock)
+        return SqliteTaskDatabase(clock=clock)
+
+    def test_completed_experiment(self, backend):
+        db = self._db(backend)
+        svc = EmewsService(db)
+        svc.start_local_pool("t", lambda p: {"y": p["x"]}, n_workers=3)
+        queue = svc.make_queue("exp-r")
+        futures = queue.submit_tasks("t", [{"x": i} for i in range(20)])
+        for future in as_completed(futures, timeout=30):
+            pass
+        report = experiment_report(db, "exp-r")
+        assert report.n_tasks == 20
+        assert report.n_complete == 20
+        assert report.success_rate == 1.0
+        assert report.n_outstanding == 0
+        assert report.makespan >= 0
+        assert sum(report.worker_load.values()) == 20
+        assert report.load_imbalance() >= 1.0
+        svc.finalize()
+
+    def test_failures_counted(self, backend):
+        db = self._db(backend)
+        svc = EmewsService(db)
+
+        def flaky(payload):
+            if payload["x"] % 2 == 0:
+                raise RuntimeError("even inputs break")
+            return {"ok": True}
+
+        svc.start_local_pool("t", flaky, n_workers=2)
+        queue = svc.make_queue("exp-f")
+        futures = queue.submit_tasks("t", [{"x": i} for i in range(10)])
+        for future in futures:
+            db.wait_for(future.task_id, timeout=30)
+        report = experiment_report(db, "exp-f")
+        assert report.n_failed == 5
+        assert report.n_complete == 5
+        assert report.success_rate == 0.5
+        svc.finalize()
+
+    def test_outstanding_tasks(self, backend):
+        db = self._db(backend)
+        queue = TaskQueue(db, "exp-o")
+        queue.submit_tasks("t", [{} for _ in range(4)])
+        report = experiment_report(db, "exp-o")
+        assert report.n_outstanding == 4
+        assert report.mean_queue_wait == 0.0
+
+    def test_unknown_experiment(self, backend):
+        db = self._db(backend)
+        with pytest.raises(ValidationError):
+            experiment_report(db, "ghost")
+
+    def test_render(self, backend):
+        db = self._db(backend)
+        queue = TaskQueue(db, "exp-p")
+        queue.submit_task("t", {})
+        text = render_report(experiment_report(db, "exp-p"))
+        assert "success rate" in text
+        assert "exp-p" in text
+
+
+class TestSimClockReport:
+    def test_queue_waits_in_simulated_days(self, env):
+        """With a 1-slot sim pool and 0.5-day tasks, the k-th task waits
+        exactly k * 0.5 days — the report must show it."""
+        db = TaskDatabase(clock=lambda: env.now)
+        SimWorkerPool(env, db, "t", duration_fn=lambda p: 0.5, n_slots=1).start()
+        queue = TaskQueue(db, "exp-sim")
+        queue.submit_tasks("t", [{} for _ in range(4)])
+        env.run()
+        report = experiment_report(db, "exp-sim")
+        assert report.max_queue_wait == pytest.approx(1.5)
+        assert report.mean_queue_wait == pytest.approx(0.75)
+        assert report.mean_service_time == pytest.approx(0.5)
+        assert report.makespan == pytest.approx(2.0)

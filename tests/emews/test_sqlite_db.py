@@ -1,0 +1,91 @@
+"""SQLite-backend-specific tests: persistence, pools, workflow equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emews import EmewsService, SimWorkerPool, ThreadedWorkerPool
+from repro.emews.api import TaskQueue
+from repro.emews.db import TaskState
+from repro.emews.sqlite_db import SqliteTaskDatabase
+
+
+class TestPersistence:
+    def test_history_survives_reopen(self, tmp_path):
+        """An experiment's task history is auditable after the process."""
+        path = str(tmp_path / "eqsql.db")
+        db = SqliteTaskDatabase(path)
+        task_id = db.submit("exp-audit", "model", {"x": 1})
+        db.pop_task("model", "w0")
+        db.complete_task(task_id, {"y": 1})
+
+        reopened = SqliteTaskDatabase(path)
+        task = reopened.get_task(task_id)
+        assert task.state is TaskState.COMPLETE
+        assert task.result_obj() == {"y": 1}
+        assert task.worker_id == "w0"
+        assert reopened.tasks_for_experiment("exp-audit")[0].task_id == task_id
+
+    def test_ids_continue_after_reopen(self, tmp_path):
+        path = str(tmp_path / "eqsql.db")
+        first = SqliteTaskDatabase(path).submit("e", "t", 1)
+        second = SqliteTaskDatabase(path).submit("e", "t", 2)
+        assert second > first
+
+
+class TestPools:
+    def test_threaded_pool_over_sqlite(self):
+        db = SqliteTaskDatabase()
+        svc = EmewsService(db)
+        svc.start_local_pool("square", lambda p: {"y": p["x"] ** 2}, n_workers=3)
+        queue = svc.make_queue("exp")
+        futures = queue.submit_tasks("square", [{"x": i} for i in range(15)])
+        results = sorted(f.result(timeout=10)["y"] for f in futures)
+        assert results == sorted(i * i for i in range(15))
+        svc.finalize(queue)
+
+    def test_sim_pool_over_sqlite(self, env):
+        db = SqliteTaskDatabase(clock=lambda: env.now)
+        pool = SimWorkerPool(
+            env, db, "model", fn=lambda p: p, duration_fn=lambda p: 0.25, n_slots=2
+        ).start()
+        queue = TaskQueue(db, "exp")
+        futures = queue.submit_tasks("model", [{"i": i} for i in range(4)])
+        env.run()
+        assert all(f.check() for f in futures)
+        assert env.now == pytest.approx(0.5)
+        assert db.get_task(futures[0].task_id).submitted_at == 0.0
+
+
+class TestWorkflowEquivalence:
+    def test_music_workflow_identical_across_backends(self):
+        """The Figure 5 workflow produces identical science on either DB."""
+        from repro.gsa.music import MusicConfig, MusicGSA
+        from repro.gsa.interleave import InterleavedDriver
+        from repro.models.metarvm import MetaRVMConfig
+        from repro.models.parameters import GSA_PARAMETER_SPACE
+        from repro.workflows.music_gsa import (
+            TASK_TYPE,
+            metarvm_task_evaluator,
+            music_coroutine,
+        )
+
+        small_model = MetaRVMConfig(
+            n_days=30, population=(10_000, 10_000), initial_infections=(10, 10)
+        )
+        config = MusicConfig(n_initial=10, surrogate_mc=128, n_candidates=32)
+
+        finals = []
+        for backend in ("memory", "sqlite"):
+            db = SqliteTaskDatabase() if backend == "sqlite" else None
+            service = EmewsService(db)
+            queue = service.make_queue("equiv")
+            service.start_local_pool(
+                TASK_TYPE, metarvm_task_evaluator(model_config=small_model), n_workers=2
+            )
+            music = MusicGSA(GSA_PARAMETER_SPACE, config, seed=3)
+            InterleavedDriver([music_coroutine(music, queue, 3, 20)]).run()
+            service.finalize(queue)
+            finals.append(music.first_order())
+        assert np.allclose(finals[0], finals[1])

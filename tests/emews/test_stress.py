@@ -1,0 +1,107 @@
+"""Concurrency stress tests for the EMEWS task database and pools."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.emews import EmewsService, ThreadedWorkerPool, as_completed
+from repro.emews.db import TaskDatabase, TaskState
+from repro.emews.sqlite_db import SqliteTaskDatabase
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+class TestConcurrentSubmitters:
+    def test_many_submitters_many_workers(self, backend):
+        """4 submitter threads × 4 worker threads over one database: every
+        task completes exactly once with the right answer."""
+        db = TaskDatabase() if backend == "memory" else SqliteTaskDatabase()
+        svc = EmewsService(db)
+        svc.start_local_pool("sq", lambda p: {"y": p["x"] * p["x"]}, n_workers=4)
+        per_thread = 40
+        futures_lock = threading.Lock()
+        futures = []
+
+        def submitter(offset):
+            queue = svc.make_queue(f"exp-{offset}")
+            local = queue.submit_tasks(
+                "sq", [{"x": offset * per_thread + i} for i in range(per_thread)]
+            )
+            with futures_lock:
+                futures.extend(local)
+
+        threads = [threading.Thread(target=submitter, args=(k,)) for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(futures) == 4 * per_thread
+        results = sorted(f.result(timeout=30)["y"] for f in futures)
+        assert results == sorted(i * i for i in range(4 * per_thread))
+        counts = db.counts()
+        assert counts["complete"] == 4 * per_thread
+        assert counts["queued"] == counts["running"] == 0
+        svc.finalize()
+
+    def test_no_task_claimed_twice(self, backend):
+        """Workers record their ids; each task has exactly one claimant."""
+        db = TaskDatabase() if backend == "memory" else SqliteTaskDatabase()
+        svc = EmewsService(db)
+        claimed = []
+        lock = threading.Lock()
+
+        def evaluate(payload):
+            with lock:
+                claimed.append(payload["i"])
+            return payload["i"]
+
+        svc.start_local_pool("t", evaluate, n_workers=6)
+        queue = svc.make_queue("exp")
+        futures = queue.submit_tasks("t", [{"i": i} for i in range(100)])
+        for future in as_completed(futures, timeout=30):
+            pass
+        assert sorted(claimed) == list(range(100))  # exactly once each
+        svc.finalize()
+
+
+class TestShutdownSemantics:
+    def test_finalize_drains_nothing_after_close(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        svc.start_local_pool("t", lambda p: p, n_workers=2)
+        futures = queue.submit_tasks("t", [{"i": i} for i in range(10)])
+        for future in as_completed(futures, timeout=30):
+            pass
+        svc.finalize(queue)
+        with pytest.raises(Exception):
+            queue.submit_task("t", {})
+
+    def test_pool_double_start_rejected(self):
+        from repro.common.errors import StateError
+
+        db = TaskDatabase()
+        pool = ThreadedWorkerPool(db, "t", lambda p: p, n_workers=1).start()
+        with pytest.raises(StateError):
+            pool.start()
+        db.close()
+        pool.shutdown()
+
+    def test_shutdown_waits_for_in_flight_task(self):
+        import time
+
+        db = TaskDatabase()
+        started = threading.Event()
+
+        def slow(payload):
+            started.set()
+            time.sleep(0.2)
+            return "done"
+
+        pool = ThreadedWorkerPool(db, "t", slow, n_workers=1).start()
+        task_id = db.submit("exp", "t", {})
+        assert started.wait(timeout=5)
+        db.close()
+        pool.shutdown(timeout=10)
+        assert db.get_task(task_id).state is TaskState.COMPLETE

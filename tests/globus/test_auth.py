@@ -1,0 +1,99 @@
+"""Tests for the simulated Globus Auth service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.globus.auth import AuthService
+
+
+class TestIdentities:
+    def test_register_and_lookup(self, auth):
+        ident = auth.register_identity("alice", "Alice A.")
+        assert auth.get_identity(ident.identity_id) == ident
+        assert auth.find_identity("alice") == ident
+
+    def test_duplicate_username_rejected(self, auth):
+        auth.register_identity("alice")
+        with pytest.raises(ValidationError):
+            auth.register_identity("alice")
+
+    def test_unknown_lookups_raise(self, auth):
+        with pytest.raises(NotFoundError):
+            auth.get_identity("identity-999999")
+        with pytest.raises(NotFoundError):
+            auth.find_identity("nobody")
+
+    def test_empty_username_rejected(self, auth):
+        with pytest.raises(ValidationError):
+            auth.register_identity("")
+
+
+class TestTokens:
+    def test_issue_and_validate(self, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer"])
+        assert auth.validate(token, "transfer") == ident
+
+    def test_scope_enforced(self, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer"])
+        with pytest.raises(AuthorizationError):
+            auth.validate(token, "compute")
+
+    def test_unknown_scope_rejected_at_issue(self, auth):
+        ident = auth.register_identity("alice")
+        with pytest.raises(ValidationError):
+            auth.issue_token(ident, ["root-access"])
+
+    def test_empty_scopes_rejected(self, auth):
+        ident = auth.register_identity("alice")
+        with pytest.raises(ValidationError):
+            auth.issue_token(ident, [])
+
+    def test_expiry_on_simulated_clock(self, env, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer"], lifetime=1.0)
+        auth.validate(token, "transfer")
+        env.run_until(2.0)
+        with pytest.raises(AuthorizationError):
+            auth.validate(token, "transfer")
+
+    def test_refresh_restores_access(self, env, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer"], lifetime=1.0)
+        env.run_until(2.0)
+        fresh = auth.refresh(token)
+        assert auth.validate(fresh, "transfer") == ident
+
+    def test_revoked_token_fails(self, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer"])
+        auth.revoke(token)
+        with pytest.raises(AuthorizationError):
+            auth.validate(token, "transfer")
+
+    def test_forged_token_fails(self, auth):
+        from repro.globus.auth import Token
+
+        forged = Token(
+            secret="deadbeef",
+            identity_id="identity-000001",
+            scopes=frozenset({"transfer"}),
+            issued_at=0.0,
+            expires_at=100.0,
+        )
+        with pytest.raises(AuthorizationError):
+            auth.validate(forged, "transfer")
+
+    def test_nonpositive_lifetime_rejected(self, auth):
+        ident = auth.register_identity("alice")
+        with pytest.raises(ValidationError):
+            auth.issue_token(ident, ["transfer"], lifetime=0.0)
+
+    def test_has_scope(self, auth):
+        ident = auth.register_identity("alice")
+        token = auth.issue_token(ident, ["transfer", "compute"])
+        assert token.has_scope("compute")
+        assert not token.has_scope("flows")

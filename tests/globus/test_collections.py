@@ -1,0 +1,147 @@
+"""Tests for storage collections and permissions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.globus.collections import Permission
+
+
+@pytest.fixture
+def owned_collection(auth, storage, user):
+    identity, token = user
+    return storage.create_collection("eagle", token), token
+
+
+class TestBasicIO:
+    def test_put_get_roundtrip(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "a/b.txt", "hello")
+        assert collection.get_text(token, "a/b.txt") == "hello"
+
+    def test_stat_records_metadata(self, env, owned_collection):
+        collection, token = owned_collection
+        env.run_until(3.0)
+        record = collection.put(token, "x", b"12345")
+        assert record.size == 5
+        assert record.modified_at == 3.0
+        assert record.checksum == collection.stat(token, "x").checksum
+
+    def test_missing_path_raises(self, owned_collection):
+        collection, token = owned_collection
+        with pytest.raises(NotFoundError):
+            collection.get(token, "nope")
+
+    def test_overwrite_replaces(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "x", "one")
+        collection.put(token, "x", "two")
+        assert collection.get_text(token, "x") == "two"
+
+    def test_delete(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "x", "one")
+        collection.delete(token, "x")
+        assert not collection.exists(token, "x")
+        with pytest.raises(NotFoundError):
+            collection.delete(token, "x")
+
+    def test_ls_glob(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "raw/a.csv", "1")
+        collection.put(token, "raw/b.csv", "2")
+        collection.put(token, "out/c.txt", "3")
+        assert [r.path for r in collection.ls(token, "raw/*")] == [
+            "raw/a.csv",
+            "raw/b.csv",
+        ]
+
+    def test_total_bytes(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "a", b"123")
+        collection.put(token, "b", b"4567")
+        assert collection.total_bytes == 7
+
+
+class TestPaths:
+    @pytest.mark.parametrize("bad", ["", "/abs", "a/../b", ".."])
+    def test_invalid_paths_rejected(self, owned_collection, bad):
+        collection, token = owned_collection
+        with pytest.raises(ValidationError):
+            collection.put(token, bad, "x")
+
+    def test_paths_normalized(self, owned_collection):
+        collection, token = owned_collection
+        collection.put(token, "a//b/./c", "x")
+        assert collection.exists(token, "a/b/c")
+
+
+class TestPermissions:
+    def test_stranger_denied(self, auth, owned_collection):
+        collection, _ = owned_collection
+        stranger = auth.register_identity("mallory")
+        stranger_token = auth.issue_token(stranger, ["transfer"])
+        with pytest.raises(AuthorizationError):
+            collection.get(stranger_token, "x")
+
+    def test_read_grant_allows_read_not_write(self, auth, owned_collection):
+        collection, owner_token = owned_collection
+        collection.put(owner_token, "x", "data")
+        reader = auth.register_identity("bob")
+        reader_token = auth.issue_token(reader, ["transfer"])
+        collection.grant(owner_token, reader, Permission.READ)
+        assert collection.get_text(reader_token, "x") == "data"
+        with pytest.raises(AuthorizationError):
+            collection.put(reader_token, "y", "nope")
+
+    def test_write_grant_allows_both(self, auth, owned_collection):
+        collection, owner_token = owned_collection
+        writer = auth.register_identity("carol")
+        writer_token = auth.issue_token(writer, ["transfer"])
+        collection.grant(owner_token, writer, Permission.WRITE)
+        collection.put(writer_token, "y", "yes")
+        assert collection.get_text(writer_token, "y") == "yes"
+
+    def test_only_owner_can_grant(self, auth, owned_collection):
+        collection, owner_token = owned_collection
+        other = auth.register_identity("dave")
+        other_token = auth.issue_token(other, ["transfer"])
+        with pytest.raises(AuthorizationError):
+            collection.grant(other_token, other, Permission.WRITE)
+
+    def test_permissions_for(self, auth, owned_collection):
+        collection, owner_token = owned_collection
+        other = auth.register_identity("erin")
+        assert collection.permissions_for(other) is None
+        collection.grant(owner_token, other, Permission.READ)
+        assert collection.permissions_for(other) is Permission.READ
+
+
+class TestStorageService:
+    def test_duplicate_name_rejected(self, storage, user):
+        _, token = user
+        storage.create_collection("c1", token)
+        with pytest.raises(ValidationError):
+            storage.create_collection("c1", token)
+
+    def test_invalid_name_rejected(self, storage, user):
+        _, token = user
+        with pytest.raises(ValidationError):
+            storage.create_collection("has:colon", token)
+
+    def test_resolve_uri(self, storage, user):
+        _, token = user
+        collection = storage.create_collection("c2", token)
+        resolved, path = storage.resolve_uri("c2:a/b")
+        assert resolved is collection
+        assert path == "a/b"
+        assert storage.make_uri(collection, "a//b") == "c2:a/b"
+
+    def test_malformed_uri(self, storage):
+        with pytest.raises(ValidationError):
+            storage.resolve_uri("no-colon-here")
+
+    def test_unknown_collection(self, storage):
+        with pytest.raises(NotFoundError):
+            storage.get_collection("ghost")

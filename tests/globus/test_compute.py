@@ -1,0 +1,224 @@
+"""Tests for the simulated Globus Compute service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.globus.compute import (
+    ComputeService,
+    GlobusComputeEngine,
+    LoginNodeEngine,
+    TaskStatus,
+    simulated_cost,
+    task_cost,
+)
+from repro.hpc import BatchScheduler, Cluster
+
+
+@pytest.fixture
+def compute(auth, env):
+    return ComputeService(auth, env)
+
+
+@pytest.fixture
+def login_endpoint(compute, env):
+    return compute.create_endpoint("login", LoginNodeEngine(env, max_concurrent=2))
+
+
+@pytest.fixture
+def batch_endpoint(compute, env):
+    cluster = Cluster("bebop", 2)
+    scheduler = BatchScheduler(env, cluster)
+    endpoint = compute.create_endpoint(
+        "batch", GlobusComputeEngine(scheduler, walltime=1.0)
+    )
+    return endpoint, scheduler
+
+
+class TestRegistry:
+    def test_register_and_name(self, compute, user):
+        _, token = user
+
+        def my_fn():
+            return 1
+
+        fid = compute.register_function(token, my_fn)
+        assert compute.get_function_name(fid) == "my_fn"
+
+    def test_unknown_function(self, compute):
+        with pytest.raises(NotFoundError):
+            compute.get_function_name("fn-999999")
+
+    def test_non_callable_rejected(self, compute, user):
+        _, token = user
+        with pytest.raises(ValidationError):
+            compute.register_function(token, 42)  # type: ignore[arg-type]
+
+    def test_duplicate_endpoint_rejected(self, compute, env):
+        compute.create_endpoint("e", LoginNodeEngine(env))
+        with pytest.raises(ValidationError):
+            compute.create_endpoint("e", LoginNodeEngine(env))
+
+    def test_get_endpoint(self, compute, env):
+        endpoint = compute.create_endpoint("e2", LoginNodeEngine(env))
+        assert compute.get_endpoint("e2") is endpoint
+        with pytest.raises(NotFoundError):
+            compute.get_endpoint("ghost")
+
+
+class TestSimulatedCost:
+    def test_fixed_cost(self):
+        @simulated_cost(0.25)
+        def fn():
+            return None
+
+        assert task_cost(fn, (), {}) == 0.25
+
+    def test_callable_cost(self):
+        @simulated_cost(lambda n: n * 0.1)
+        def fn(n):
+            return n
+
+        assert task_cost(fn, (3,), {}) == pytest.approx(0.3)
+
+    def test_default_cost_positive(self):
+        def fn():
+            return None
+
+        assert task_cost(fn, (), {}) > 0
+
+    def test_negative_cost_rejected(self):
+        @simulated_cost(-1.0)
+        def fn():
+            return None
+
+        with pytest.raises(ValidationError):
+            task_cost(fn, (), {})
+
+
+class TestLoginNodeEngine:
+    def test_executes_and_returns(self, compute, login_endpoint, user, env):
+        _, token = user
+        fid = compute.register_function(token, lambda x: x + 1)
+        future = login_endpoint.submit(token, fid, 41)
+        env.run()
+        assert future.status is TaskStatus.SUCCEEDED
+        assert future.result() == 42
+
+    def test_concurrency_bounded(self, compute, login_endpoint, user, env):
+        _, token = user
+
+        @simulated_cost(1.0)
+        def slow():
+            return "done"
+
+        fid = compute.register_function(token, slow)
+        futures = [login_endpoint.submit(token, fid) for _ in range(4)]
+        env.run()
+        # 4 tasks, 2 slots, 1 day each -> finish at t=1 (x2) and t=2 (x2).
+        finish_times = sorted(f.completed_at for f in futures)
+        assert finish_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_failure_captured(self, compute, login_endpoint, user, env):
+        _, token = user
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        fid = compute.register_function(token, boom)
+        future = login_endpoint.submit(token, fid)
+        env.run()
+        assert future.status is TaskStatus.FAILED
+        assert "kaput" in future.error
+        with pytest.raises(StateError):
+            future.result()
+
+    def test_result_before_completion_raises(self, compute, login_endpoint, user):
+        _, token = user
+        fid = compute.register_function(token, lambda: 1)
+        future = login_endpoint.submit(token, fid)
+        with pytest.raises(StateError):
+            future.result()
+
+
+class TestGlobusComputeEngine:
+    def test_task_becomes_scheduler_job(self, compute, batch_endpoint, user, env):
+        endpoint, scheduler = batch_endpoint
+        _, token = user
+        fid = compute.register_function(token, lambda x: x * 2)
+        future = endpoint.submit(token, fid, 5)
+        env.run()
+        assert future.result() == 10
+        jobs = scheduler.all_jobs()
+        assert len(jobs) == 1
+        assert jobs[0].request.name.startswith("globus-compute:")
+
+    def test_tasks_queue_when_cluster_full(self, compute, batch_endpoint, user, env):
+        endpoint, scheduler = batch_endpoint  # 2 nodes
+        _, token = user
+
+        @simulated_cost(0.5)
+        def slow(i):
+            return i
+
+        fid = compute.register_function(token, slow)
+        futures = [endpoint.submit(token, fid, i) for i in range(4)]
+        env.run()
+        finish = sorted(f.completed_at for f in futures)
+        assert finish == [0.5, 0.5, 1.0, 1.0]
+        stats = scheduler.job_stats()
+        assert stats["max_queue_wait"] == pytest.approx(0.5)
+
+    def test_walltime_kills_task(self, compute, user, env):
+        cluster = Cluster("tiny", 1)
+        scheduler = BatchScheduler(env, cluster)
+        service = compute  # reuse
+        endpoint = service.create_endpoint(
+            "strict", GlobusComputeEngine(scheduler, walltime=0.1)
+        )
+        _, token = user
+
+        @simulated_cost(5.0)
+        def too_slow():
+            return "never seen"
+
+        fid = service.register_function(token, too_slow)
+        future = endpoint.submit(token, fid)
+        env.run()
+        assert future.status is TaskStatus.FAILED
+        assert "walltime" in future.error
+
+    def test_function_exception_fails_task(self, compute, batch_endpoint, user, env):
+        endpoint, _ = batch_endpoint
+        _, token = user
+
+        def boom():
+            raise ValueError("nope")
+
+        fid = compute.register_function(token, boom)
+        future = endpoint.submit(token, fid)
+        env.run()
+        assert future.status is TaskStatus.FAILED
+        assert "nope" in future.error
+
+
+class TestCallbacksAndCounts:
+    def test_done_callback(self, compute, login_endpoint, user, env):
+        _, token = user
+        fid = compute.register_function(token, lambda: "x")
+        future = login_endpoint.submit(token, fid)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        env.run()
+        assert seen == ["x"]
+        # registering after completion fires immediately
+        future.add_done_callback(lambda f: seen.append("again"))
+        assert seen == ["x", "again"]
+
+    def test_task_counts(self, compute, login_endpoint, user, env):
+        _, token = user
+        fid = compute.register_function(token, lambda: 1)
+        login_endpoint.submit(token, fid)
+        login_endpoint.submit(token, fid)
+        assert compute.task_counts() == {"login": 2}

@@ -1,0 +1,153 @@
+"""Tests for the timer and flows services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.globus.flows import FlowsService, RunStatus
+from repro.globus.timers import TimerService
+
+
+@pytest.fixture
+def timers(auth, env):
+    return TimerService(auth, env)
+
+
+@pytest.fixture
+def flows(auth, env):
+    return FlowsService(auth, env)
+
+
+class TestTimers:
+    def test_periodic_firing(self, timers, user, env):
+        _, token = user
+        ticks = []
+        timers.create_timer(token, lambda: ticks.append(env.now), interval=1.0, max_firings=4)
+        env.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_start_delay(self, timers, user, env):
+        _, token = user
+        ticks = []
+        timers.create_timer(
+            token, lambda: ticks.append(env.now), interval=2.0, start_delay=1.5, max_firings=2
+        )
+        env.run()
+        assert ticks == [1.5, 3.5]
+
+    def test_cancel_stops_firing(self, timers, user, env):
+        _, token = user
+        ticks = []
+        timer = timers.create_timer(token, lambda: ticks.append(env.now), interval=1.0)
+        env.run_until(2.5)
+        timer.cancel()
+        env.run_until(10.0)
+        assert len(ticks) == 3  # t=0, 1, 2
+        assert not timer.active
+
+    def test_unbounded_timer_keeps_firing(self, timers, user, env):
+        _, token = user
+        ticks = []
+        timers.create_timer(token, lambda: ticks.append(1), interval=1.0)
+        env.run_until(9.5)
+        assert len(ticks) == 10
+
+    def test_fire_now_counts_and_requires_active(self, timers, user, env):
+        _, token = user
+        ticks = []
+        timer = timers.create_timer(token, lambda: ticks.append(1), interval=5.0, max_firings=1)
+        timer.fire_now()
+        assert ticks == [1]
+        env.run()
+        timer.cancel() if timer.active else None
+        with pytest.raises(StateError):
+            timer.fire_now()
+
+    def test_validation(self, timers, user):
+        _, token = user
+        with pytest.raises(ValidationError):
+            timers.create_timer(token, lambda: None, interval=0.0)
+        with pytest.raises(ValidationError):
+            timers.create_timer(token, lambda: None, interval=1.0, start_delay=-1.0)
+        with pytest.raises(ValidationError):
+            timers.create_timer(token, lambda: None, interval=1.0, max_firings=0)
+
+    def test_cancel_all(self, timers, user, env):
+        _, token = user
+        for _ in range(3):
+            timers.create_timer(token, lambda: None, interval=1.0)
+        assert len(timers.active_timers()) == 3
+        timers.cancel_all()
+        assert timers.active_timers() == []
+
+    def test_exception_in_callback_does_not_kill_schedule(self, timers, user, env):
+        _, token = user
+        calls = []
+
+        def flaky():
+            calls.append(env.now)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+
+        timer = timers.create_timer(token, flaky, interval=1.0, max_firings=3)
+        with pytest.raises(RuntimeError):
+            env.run()
+        # The next firing was still scheduled before the exception propagated.
+        env.run()
+        assert len(calls) == 3
+
+
+class TestFlows:
+    def test_steps_run_in_order_and_merge_context(self, flows, user):
+        _, token = user
+        flow = flows.register_flow(
+            token,
+            "demo",
+            [
+                ("one", lambda ctx: {"a": 1}),
+                ("two", lambda ctx: {"b": ctx["a"] + 1}),
+            ],
+        )
+        run = flows.run_flow(token, flow, {"seed": 0})
+        assert run.status is RunStatus.SUCCEEDED
+        assert run.context == {"seed": 0, "a": 1, "b": 2}
+        assert [s.name for s in run.step_log] == ["one", "two"]
+
+    def test_failure_stops_flow(self, flows, user):
+        _, token = user
+
+        def boom(ctx):
+            raise ValueError("bad data")
+
+        flow = flows.register_flow(
+            token, "fails", [("ok", lambda ctx: {}), ("boom", boom), ("never", lambda ctx: {})]
+        )
+        run = flows.run_flow(token, flow)
+        assert run.status is RunStatus.FAILED
+        assert "bad data" in run.error
+        assert [s.name for s in run.step_log] == ["ok", "boom"]
+
+    def test_duplicate_step_names_rejected(self, flows, user):
+        _, token = user
+        with pytest.raises(ValidationError):
+            flows.register_flow(token, "dup", [("a", lambda c: {}), ("a", lambda c: {})])
+
+    def test_empty_flow_rejected(self, flows, user):
+        _, token = user
+        with pytest.raises(ValidationError):
+            flows.register_flow(token, "empty", [])
+
+    def test_run_bookkeeping(self, flows, user):
+        _, token = user
+        flow = flows.register_flow(token, "counted", [("a", lambda c: {})])
+        flows.run_flow(token, flow)
+        flows.run_flow(token, flow)
+        assert len(flows.runs_for(flow)) == 2
+        assert flows.run_counts() == {"counted": 2}
+
+    def test_get_run(self, flows, user):
+        _, token = user
+        flow = flows.register_flow(token, "g", [("a", lambda c: {})])
+        run = flows.run_flow(token, flow)
+        assert flows.get_run(run.run_id) is run

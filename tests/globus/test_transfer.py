@@ -1,0 +1,96 @@
+"""Tests for the asynchronous transfer service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.globus.transfer import TransferService, TransferStatus
+
+
+@pytest.fixture
+def setup(auth, storage, transfer, user, env):
+    _, token = user
+    src = storage.create_collection("src", token)
+    dst = storage.create_collection("dst", token)
+    return src, dst, token
+
+
+class TestTransfers:
+    def test_basic_copy(self, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a.txt", "payload")
+        task = transfer.submit(token, "src:a.txt", "dst:copied.txt")
+        assert not task.done
+        env.run()
+        assert task.status is TransferStatus.SUCCEEDED
+        assert dst.get_text(token, "copied.txt") == "payload"
+        assert transfer.bytes_moved == len("payload")
+
+    def test_copy_is_asynchronous(self, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a.txt", "payload")
+        transfer.submit(token, "src:a.txt", "dst:b.txt")
+        # Before the event loop runs, the destination must not exist yet.
+        assert not dst.exists(token, "b.txt")
+
+    def test_snapshot_semantics(self, setup, transfer, env):
+        """The version at submission time is what arrives."""
+        src, dst, token = setup
+        src.put(token, "a.txt", "version-1")
+        transfer.submit(token, "src:a.txt", "dst:b.txt")
+        src.put(token, "a.txt", "version-2")
+        env.run()
+        assert dst.get_text(token, "b.txt") == "version-1"
+
+    def test_missing_source_fails_task(self, setup, transfer, env):
+        _, _, token = setup
+        task = transfer.submit(token, "src:ghost", "dst:b.txt")
+        assert task.status is TransferStatus.FAILED
+        assert "does not exist" in task.error
+
+    def test_latency_scales_with_size(self, auth, storage, user, env):
+        _, token = user
+        src = storage.create_collection("s2", token)
+        dst = storage.create_collection("d2", token)
+        slow = TransferService(
+            auth, storage, env, bandwidth_bytes_per_day=10.0, base_latency_days=0.0
+        )
+        src.put(token, "big", b"x" * 20)  # 20 bytes at 10 B/day = 2 days
+        done_at = []
+        slow.submit(token, "s2:big", "d2:big", on_complete=lambda t: done_at.append(env.now))
+        env.run()
+        assert done_at == [2.0]
+
+    def test_on_complete_callback(self, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a", "x")
+        seen = []
+        transfer.submit(token, "src:a", "dst:a", on_complete=lambda t: seen.append(t.status))
+        env.run()
+        assert seen == [TransferStatus.SUCCEEDED]
+
+    def test_require_success(self, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a", "x")
+        task = transfer.submit(token, "src:a", "dst:a")
+        with pytest.raises(StateError):
+            transfer.require_success(task)
+        env.run()
+        transfer.require_success(task)  # no raise
+
+    def test_unauthorized_destination_fails(self, auth, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a", "x")
+        other = auth.register_identity("outsider")
+        other_token = auth.issue_token(other, ["transfer"])
+        task = transfer.submit(other_token, "src:a", "dst:stolen")
+        env.run()
+        assert task.status is TransferStatus.FAILED
+
+    def test_task_lookup(self, setup, transfer, env):
+        src, dst, token = setup
+        src.put(token, "a", "x")
+        task = transfer.submit(token, "src:a", "dst:a")
+        assert transfer.get_task(task.task_id) is task
+        assert transfer.tasks() == [task]

@@ -1,0 +1,256 @@
+"""Tests for acquisition functions and the MUSIC algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.rng import generator_from_seed
+from repro.gsa.acquisition import (
+    d1_weights,
+    eigf_scores,
+    expected_improvement,
+    gp_main_effects,
+    music_scores,
+    upper_confidence_bound,
+)
+from repro.gsa.gp import GaussianProcess
+from repro.gsa.music import ACQUISITIONS, HistoryEntry, MusicConfig, MusicGSA
+from repro.gsa.testfunctions import ISHIGAMI_FIRST_ORDER, ishigami, linear_additive, linear_first_order
+from repro.models.parameters import ParameterSpace
+
+
+@pytest.fixture(scope="module")
+def fitted_gp():
+    rng = generator_from_seed(0)
+    x = rng.random((50, 2))
+    y = np.sin(4 * x[:, 0]) + x[:, 1]
+    return GaussianProcess(dim=2).fit(x, y), x, y
+
+
+class TestClassicAcquisitions:
+    def test_ei_zero_when_certain_and_worse(self):
+        ei = expected_improvement(np.array([0.0]), np.array([1e-18]), best=1.0)
+        assert ei[0] < 1e-9
+
+    def test_ei_positive_when_uncertain(self):
+        ei = expected_improvement(np.array([0.0]), np.array([1.0]), best=1.0)
+        assert ei[0] > 0
+
+    def test_ei_minimize_mode(self):
+        ei_min = expected_improvement(
+            np.array([0.0]), np.array([1e-18]), best=1.0, maximize=False
+        )
+        assert ei_min[0] > 0.9
+
+    def test_ucb_orders_by_variance(self):
+        mean = np.zeros(2)
+        var = np.array([0.1, 2.0])
+        scores = upper_confidence_bound(mean, var, kappa=2.0)
+        assert scores[1] > scores[0]
+
+    def test_ucb_kappa_validated(self):
+        with pytest.raises(ValidationError):
+            upper_confidence_bound(np.zeros(2), np.ones(2), kappa=-1.0)
+
+
+class TestEIGFAndMusic:
+    def test_eigf_prefers_uncertain_regions(self, fitted_gp):
+        gp, x, y = fitted_gp
+        near_data = x[:3] + 1e-4
+        empty_corner = np.array([[0.99, 0.01], [0.98, 0.02], [0.97, 0.03]])
+        # which corner is empty depends on data; pick max-distance points
+        rng = generator_from_seed(1)
+        pool = rng.random((200, 2))
+        scores = eigf_scores(gp, np.vstack([near_data, pool]), x, y)
+        assert scores[:3].mean() < scores[3:].max()
+
+    def test_main_effects_recover_linear_structure(self):
+        rng = generator_from_seed(2)
+        x = rng.random((80, 2))
+        y = 3.0 * x[:, 0] + 0.0 * x[:, 1]
+        gp = GaussianProcess(dim=2).fit(x, y)
+        effects = gp_main_effects(gp, 2, rng=generator_from_seed(0))
+        # slope of the active dim's main effect ~ 3, inert dim ~ 0
+        grid = np.linspace(0, 1, effects.shape[1])
+        slope0 = np.polyfit(grid, effects[0], 1)[0]
+        slope1 = np.polyfit(grid, effects[1], 1)[0]
+        assert abs(slope0 - 3.0) < 0.5
+        assert abs(slope1) < 0.3
+
+    def test_d1_weights_highlight_extreme_main_effects(self):
+        rng = generator_from_seed(3)
+        x = rng.random((80, 1))
+        y = 5.0 * x[:, 0]
+        gp = GaussianProcess(dim=1).fit(x, y)
+        candidates = np.array([[0.0], [0.5], [1.0]])
+        weights = d1_weights(gp, candidates, rng=generator_from_seed(0))
+        # the middle of a linear effect is at the mean: lowest D1
+        assert weights[1] < weights[0]
+        assert weights[1] < weights[2]
+
+    def test_music_scores_combine_both(self, fitted_gp):
+        gp, x, y = fitted_gp
+        rng = generator_from_seed(4)
+        candidates = rng.random((50, 2))
+        scores = music_scores(gp, candidates, x, y, rng=generator_from_seed(0))
+        assert scores.shape == (50,)
+        assert np.all(scores >= 0)
+
+
+class TestMusicGSA:
+    def _space(self, dim=3):
+        return ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(dim)])
+
+    def test_full_loop_converges_on_linear_function(self):
+        space = self._space(3)
+        coeffs = (1.0, 2.0, 3.0)
+        music = MusicGSA(space, MusicConfig(n_initial=15, surrogate_mc=512), seed=0)
+        design = music.initial_design()
+        music.tell(design, linear_additive(space.unscale(design), coeffs))
+        for _ in range(15):
+            point = music.propose()
+            music.tell(point, linear_additive(space.unscale(point), coeffs))
+        assert np.allclose(music.first_order(), linear_first_order(coeffs), atol=0.05)
+
+    def test_history_tracks_every_tell(self):
+        space = self._space(2)
+        music = MusicGSA(space, MusicConfig(n_initial=8, surrogate_mc=128), seed=1)
+        design = music.initial_design()
+        music.tell(design, design.sum(axis=1))
+        point = music.propose()
+        music.tell(point, point.sum(axis=1))
+        assert [e.n_evaluations for e in music.history] == [8, 9]
+        assert music.n_evaluations == 9
+
+    def test_initial_design_within_space(self):
+        space = ParameterSpace([("a", (10.0, 20.0)), ("b", (-1.0, 0.0))])
+        music = MusicGSA(space, MusicConfig(n_initial=10), seed=2)
+        design = music.initial_design()
+        assert design[:, 0].min() >= 10.0 and design[:, 0].max() <= 20.0
+        assert design[:, 1].min() >= -1.0 and design[:, 1].max() <= 0.0
+
+    def test_propose_before_tell_raises(self):
+        music = MusicGSA(self._space(2), seed=0)
+        with pytest.raises(StateError):
+            music.propose()
+        with pytest.raises(StateError):
+            music.first_order()
+
+    def test_mismatched_tell_rejected(self):
+        music = MusicGSA(self._space(2), MusicConfig(n_initial=5), seed=0)
+        design = music.initial_design()
+        with pytest.raises(ValidationError):
+            music.tell(design, np.ones(3))
+
+    @pytest.mark.parametrize("acquisition", ACQUISITIONS)
+    def test_every_acquisition_runs(self, acquisition):
+        space = self._space(2)
+        music = MusicGSA(
+            space,
+            MusicConfig(n_initial=8, acquisition=acquisition, surrogate_mc=128, n_candidates=32),
+            seed=3,
+        )
+        design = music.initial_design()
+        music.tell(design, design.sum(axis=1))
+        point = music.propose()
+        assert point.shape == (1, 2)
+
+    def test_unknown_acquisition_rejected(self):
+        with pytest.raises(ValidationError):
+            MusicConfig(acquisition="magic")
+
+    def test_convergence_table_format(self):
+        space = self._space(2)
+        music = MusicGSA(space, MusicConfig(n_initial=6, surrogate_mc=128), seed=4)
+        design = music.initial_design()
+        music.tell(design, design.sum(axis=1))
+        table = music.convergence_table()
+        assert table[0][0] == 6
+        assert set(table[0][1]) == {"x0", "x1"}
+
+    def test_seeds_give_independent_runs(self):
+        space = self._space(2)
+        a = MusicGSA(space, MusicConfig(n_initial=6), seed=1).initial_design()
+        b = MusicGSA(space, MusicConfig(n_initial=6), seed=2).initial_design()
+        assert not np.allclose(a, b)
+
+    def test_ishigami_indices_approach_reference(self):
+        """Integration: 90 evaluations on Ishigami get the ranking right."""
+        space = self._space(3)
+        music = MusicGSA(space, MusicConfig(n_initial=30, surrogate_mc=512, refit_every=10), seed=5)
+        design = music.initial_design()
+        music.tell(design, ishigami(space.unscale(design)))
+        for _ in range(60):
+            point = music.propose()
+            music.tell(point, ishigami(space.unscale(point)))
+        estimate = music.first_order()
+        # correct ordering: S2 > S1 > S3 ~ 0
+        assert estimate[2] < 0.15
+        assert estimate[0] > 0.15
+        assert abs(estimate[0] - ISHIGAMI_FIRST_ORDER[0]) < 0.15
+
+
+class TestTotalOrder:
+    def test_total_matches_first_for_additive(self):
+        space = ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(3)])
+        from repro.gsa.testfunctions import linear_additive
+
+        music = MusicGSA(space, MusicConfig(n_initial=25, surrogate_mc=512), seed=7)
+        design = music.initial_design()
+        music.tell(design, linear_additive(space.unscale(design), (1.0, 2.0, 3.0)))
+        first = music.first_order()
+        total = music.total_order()
+        assert np.allclose(first, total, atol=0.08)
+
+    def test_total_exceeds_first_with_interactions(self):
+        space = ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(3)])
+        music = MusicGSA(space, MusicConfig(n_initial=40, surrogate_mc=512, refit_every=10), seed=8)
+        design = music.initial_design()
+        music.tell(design, ishigami(space.unscale(design)))
+        for _ in range(40):
+            point = music.propose()
+            music.tell(point, ishigami(space.unscale(point)))
+        first = music.first_order()
+        total = music.total_order()
+        # x3 interacts with x1: total-order must exceed first-order there
+        assert total[2] > first[2] + 0.05
+
+    def test_total_requires_data(self):
+        space = ParameterSpace([("a", (0.0, 1.0))])
+        with pytest.raises(StateError):
+            MusicGSA(space, seed=0).total_order()
+
+
+class TestStoppingRule:
+    def test_converges_on_easy_function(self):
+        space = ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(2)])
+        music = MusicGSA(space, MusicConfig(n_initial=15, surrogate_mc=256, refit_every=10), seed=9)
+        fn = lambda x: 2.0 * x[:, 0] + x[:, 1]
+        design = music.initial_design()
+        music.tell(design, fn(space.unscale(design)))
+        assert not music.has_converged(window=10)  # not enough history yet
+        for _ in range(20):
+            point = music.propose()
+            music.tell(point, fn(space.unscale(point)))
+            if music.has_converged(tol=0.01, window=10):
+                break
+        assert music.has_converged(tol=0.01, window=10)
+        assert music.n_evaluations < 36  # converged before exhausting budget
+
+    def test_tight_tolerance_not_met_early(self):
+        space = ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(3)])
+        music = MusicGSA(space, MusicConfig(n_initial=10, surrogate_mc=128), seed=10)
+        design = music.initial_design()
+        music.tell(design, ishigami(space.unscale(design)))
+        music.tell(music.propose(), np.array([0.0]))
+        assert not music.has_converged(tol=1e-9, window=2)
+
+    def test_validation(self):
+        space = ParameterSpace([("a", (0.0, 1.0))])
+        music = MusicGSA(space, seed=0)
+        with pytest.raises(ValidationError):
+            music.has_converged(tol=0.0)
+        with pytest.raises(ValidationError):
+            music.has_converged(window=1)

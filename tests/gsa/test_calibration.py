@@ -1,0 +1,137 @@
+"""Tests for surrogate-accelerated calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.gsa.calibration import (
+    CalibrationConfig,
+    SurrogateCalibrator,
+    admissions_curve_distance,
+    calibrate,
+)
+from repro.models.metarvm import MetaRVM, MetaRVMConfig
+from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams, ParameterSpace
+
+
+def unit_space(dim: int) -> ParameterSpace:
+    return ParameterSpace([(f"x{i}", (0.0, 1.0)) for i in range(dim)])
+
+
+class TestSurrogateCalibrator:
+    def test_finds_quadratic_minimum(self):
+        space = unit_space(2)
+        target = np.array([0.3, 0.7])
+        distance = lambda x: np.sum((np.atleast_2d(x) - target) ** 2, axis=1)
+        result = calibrate(distance, space, budget=60, seed=0)
+        assert np.linalg.norm(result.best_point - target) < 0.12
+        assert result.n_evaluations == 60
+
+    def test_beats_pure_lhs_of_same_budget(self):
+        """EI-guided refinement must beat a same-budget random design."""
+        space = unit_space(3)
+        target = np.array([0.2, 0.5, 0.8])
+        distance = lambda x: np.sum((np.atleast_2d(x) - target) ** 2, axis=1)
+        result = calibrate(distance, space, budget=70, seed=1)
+        rng = np.random.default_rng(1)
+        random_best = min(
+            distance(space.scale(rng.random((70, 3)))).min() for _ in range(1)
+        )
+        assert result.best_distance <= random_best
+
+    def test_history_monotone_nonincreasing(self):
+        space = unit_space(2)
+        distance = lambda x: np.sum(np.atleast_2d(x) ** 2, axis=1)
+        result = calibrate(distance, space, budget=40, seed=2)
+        bests = [b for _, b in result.history]
+        assert all(b1 >= b2 - 1e-12 for b1, b2 in zip(bests, bests[1:]))
+        assert result.improvement_over_initial() >= 1.0
+
+    def test_stepwise_api(self):
+        space = unit_space(2)
+        cal = SurrogateCalibrator(space, CalibrationConfig(n_initial=8), seed=3)
+        with pytest.raises(StateError):
+            cal.propose()
+        with pytest.raises(StateError):
+            cal.best_point()
+        design = cal.initial_design()
+        cal.tell(design, np.sum(design**2, axis=1))
+        point = cal.propose()
+        assert point.shape == (1, 2)
+        assert cal.n_evaluations == 8
+
+    def test_negative_distance_rejected(self):
+        space = unit_space(1)
+        cal = SurrogateCalibrator(space, CalibrationConfig(n_initial=4), seed=0)
+        design = cal.initial_design()
+        with pytest.raises(ValidationError):
+            cal.tell(design, np.array([-1.0, 0.1, 0.2, 0.3]))
+
+    def test_budget_validated(self):
+        space = unit_space(1)
+        with pytest.raises(ValidationError):
+            calibrate(lambda x: np.ones(np.atleast_2d(x).shape[0]), space, budget=10,
+                      config=CalibrationConfig(n_initial=20))
+
+    def test_deterministic_given_seed(self):
+        space = unit_space(2)
+        distance = lambda x: np.sum(np.atleast_2d(x) ** 2, axis=1)
+        a = calibrate(distance, space, budget=30, seed=5)
+        b = calibrate(distance, space, budget=30, seed=5)
+        assert np.allclose(a.best_point, b.best_point)
+
+
+class TestMetaRVMCalibration:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = MetaRVMConfig(
+            n_days=50,
+            population=(30_000, 30_000),
+            initial_infections=(30, 30),
+            initial_vaccinated_fraction=0.3,
+        )
+        model = MetaRVM(config)
+        truth = np.array([0.45, 0.2, 0.55, 0.25, 0.1])  # ts tv pea psh phd
+        observed = (
+            model.run_batch(truth[None, :], seed=99, stochastic=True)
+            .hospital_admissions.sum(axis=2)[0]
+        )
+        return model, truth, observed
+
+    def test_recovers_admission_curve(self, setup):
+        """Calibration to a synthetic truth reproduces its admission curve
+        (parameters may trade off — equifinality — but the fit must)."""
+        model, truth, observed = setup
+        distance_fn = admissions_curve_distance(observed, model)
+        result = calibrate(
+            distance_fn,
+            GSA_PARAMETER_SPACE,
+            budget=70,
+            config=CalibrationConfig(n_initial=30),
+            seed=0,
+        )
+        # normalized RMSE of the fitted curve under 35% of the observed std
+        assert result.best_distance < 0.35
+        # and clearly better than the nominal default parameters
+        nominal = np.array([[0.5, 0.2, 0.6, 0.2, 0.1]])
+        default_distance = float(distance_fn(np.array([
+            MetaRVMParams().ts, MetaRVMParams().tv, MetaRVMParams().pea,
+            MetaRVMParams().psh, MetaRVMParams().phd,
+        ])[None, :].reshape(1, -1))[0])
+        assert result.best_distance <= default_distance
+
+    def test_horizon_mismatch_rejected(self, setup):
+        model, _, observed = setup
+        distance_fn = admissions_curve_distance(observed[:-5], model)
+        with pytest.raises(ValidationError):
+            distance_fn(np.array([[0.5, 0.2, 0.6, 0.2, 0.1]]))
+
+    def test_stochastic_objective_mode(self, setup):
+        model, truth, observed = setup
+        distance_fn = admissions_curve_distance(
+            observed, model, stochastic=True, seed=99
+        )
+        # evaluating at the generating truth with the generating seed is exact
+        assert float(distance_fn(truth[None, :])[0]) < 1e-9

@@ -1,0 +1,229 @@
+"""Tests for the Gaussian-process surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.rng import generator_from_seed
+from repro.gsa.gp import GaussianProcess
+
+
+@pytest.fixture(scope="module")
+def smooth_data():
+    rng = generator_from_seed(0)
+    x = rng.random((60, 2))
+    y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1] ** 2
+    return x, y
+
+
+class TestFitPredict:
+    def test_interpolates_noise_free_data(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.05)
+
+    def test_generalizes(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        rng = generator_from_seed(1)
+        x_test = rng.random((200, 2))
+        y_test = np.sin(3 * x_test[:, 0]) + 0.5 * x_test[:, 1] ** 2
+        mean, _ = gp.predict(x_test)
+        nrmse = np.sqrt(np.mean((mean - y_test) ** 2)) / y_test.std()
+        assert nrmse < 0.1
+
+    def test_variance_small_at_training_points(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        _, var_at_train = gp.predict(x[:5])
+        _, var_far = gp.predict(np.array([[5.0, 5.0]]))
+        assert var_at_train.max() < var_far[0]
+
+    def test_variance_reverts_to_prior_far_away(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        _, var = gp.predict(np.array([[100.0, 100.0]]))
+        prior_var = gp.signal_variance * gp._y_std**2
+        assert np.isclose(var[0], prior_var, rtol=0.01)
+
+    def test_include_noise_increases_variance(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        _, latent = gp.predict(x[:3])
+        _, noisy = gp.predict(x[:3], include_noise=True)
+        assert np.all(noisy >= latent)
+
+    def test_learns_anisotropy(self):
+        """An inactive dimension gets a long lengthscale."""
+        rng = generator_from_seed(2)
+        x = rng.random((80, 2))
+        y = np.sin(6 * x[:, 0])  # dimension 1 is inert
+        gp = GaussianProcess(dim=2).fit(x, y)
+        assert gp.lengthscales[1] > 2.0 * gp.lengthscales[0]
+
+    def test_handles_noisy_data_via_nugget(self):
+        rng = generator_from_seed(3)
+        x = rng.random((120, 1))
+        y = x[:, 0] + rng.normal(0, 0.2, 120)
+        gp = GaussianProcess(dim=1).fit(x, y)
+        assert gp.nugget > 1e-4  # learned substantial noise
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert abs(mean[0] - 0.5) < 0.1
+
+    def test_constant_data(self):
+        x = generator_from_seed(4).random((10, 2))
+        gp = GaussianProcess(dim=2).fit(x, np.full(10, 3.0))
+        mean, _ = gp.predict(x[:2])
+        assert np.allclose(mean, 3.0, atol=1e-6)
+
+
+class TestIncremental:
+    def test_add_points_improves_fit(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x[:20], y[:20])
+        rng = generator_from_seed(5)
+        x_test = rng.random((100, 2))
+        y_test = np.sin(3 * x_test[:, 0]) + 0.5 * x_test[:, 1] ** 2
+        err_before = np.mean((gp.predict_mean(x_test) - y_test) ** 2)
+        gp.add_points(x[20:], y[20:])
+        err_after = np.mean((gp.predict_mean(x_test) - y_test) ** 2)
+        assert err_after < err_before
+        assert gp.n_train == 60
+
+    def test_add_points_requires_fit(self):
+        gp = GaussianProcess(dim=2)
+        with pytest.raises(StateError):
+            gp.add_points(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestValidation:
+    def test_predict_requires_fit(self):
+        with pytest.raises(StateError):
+            GaussianProcess(dim=2).predict(np.zeros((1, 2)))
+
+    def test_shape_checks(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        with pytest.raises(ValidationError):
+            gp.predict(np.zeros((3, 5)))
+        with pytest.raises(ValidationError):
+            GaussianProcess(dim=2).fit(np.zeros((5, 3)), np.zeros(5))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValidationError):
+            GaussianProcess(dim=1).fit(np.zeros((1, 1)), np.zeros(1))
+
+    def test_loo_rmse_small_on_smooth_data(self, smooth_data):
+        x, y = smooth_data
+        gp = GaussianProcess(dim=2).fit(x, y)
+        assert gp.loo_rmse() < 0.3 * y.std()
+
+
+class TestGradient:
+    def test_analytic_gradient_matches_finite_differences(self):
+        rng = generator_from_seed(7)
+        x = rng.random((25, 2))
+        y = np.sin(4 * x[:, 0]) * x[:, 1]
+        gp = GaussianProcess(dim=2)
+        gp._x = x
+        gp._y_raw = y
+        gp._y_mean = float(y.mean())
+        gp._y_std = float(y.std())
+        gp._y_std_vec = (y - gp._y_mean) / gp._y_std
+        theta = np.array([np.log(0.4), np.log(0.7), np.log(1.3), np.log(1e-3)])
+        _, analytic = gp._nll_and_grad(theta)
+        numeric = np.empty_like(theta)
+        for i in range(theta.size):
+            step = np.zeros_like(theta)
+            step[i] = 1e-6
+            hi, _ = gp._nll_and_grad(theta + step)
+            lo, _ = gp._nll_and_grad(theta - step)
+            numeric[i] = (hi - lo) / 2e-6
+        assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-5)
+
+
+class TestHeteroskedastic:
+    """hetGP-style replicate handling (the paper's surrogate package)."""
+
+    def _noisy_replicated(self, reps=6, noise=0.3, n_unique=35, seed=8):
+        from repro.common.rng import generator_from_seed
+
+        rng = generator_from_seed(seed)
+        x_unique = rng.random((n_unique, 2))
+        x = np.repeat(x_unique, reps, axis=0)
+        f = np.sin(3 * x[:, 0]) + x[:, 1]
+        y = f + rng.normal(0, noise, x.shape[0])
+        return x, y
+
+    def test_collapse_replicates_means_and_errors(self):
+        from repro.gsa.gp import collapse_replicates
+
+        x = np.array([[0.1, 0.2], [0.1, 0.2], [0.5, 0.5]])
+        y = np.array([1.0, 3.0, 7.0])
+        xu, ym, nv = collapse_replicates(x, y)
+        assert xu.shape == (2, 2)
+        i_rep = int(np.where((xu == [0.1, 0.2]).all(axis=1))[0][0])
+        i_single = 1 - i_rep
+        assert ym[i_rep] == 2.0
+        # s^2/r = 2.0 / 2 = 1.0 for the replicated point
+        assert nv[i_rep] == pytest.approx(1.0)
+        assert nv[i_single] == 0.0  # singletons carry no noise estimate
+
+    def test_collapse_preserves_total_information(self):
+        from repro.gsa.gp import collapse_replicates
+
+        x, y = self._noisy_replicated()
+        xu, ym, nv = collapse_replicates(x, y)
+        assert xu.shape[0] == 35
+        assert np.all(nv > 0)  # all points replicated
+
+    def test_heteroskedastic_fit_recovers_surface(self):
+        from repro.common.rng import generator_from_seed
+        from repro.gsa.gp import collapse_replicates
+
+        x, y = self._noisy_replicated()
+        xu, ym, nv = collapse_replicates(x, y)
+        gp = GaussianProcess(dim=2).fit(xu, ym, noise_variances=nv)
+        assert gp.heteroskedastic
+        rng = generator_from_seed(9)
+        x_test = rng.random((200, 2))
+        f_test = np.sin(3 * x_test[:, 0]) + x_test[:, 1]
+        mean, _ = gp.predict(x_test)
+        nrmse = np.sqrt(np.mean((mean - f_test) ** 2)) / f_test.std()
+        assert nrmse < 0.25
+
+    def test_variance_calibrated_against_truth(self):
+        """~95% of held-out true values inside the 2-sigma latent band."""
+        from repro.common.rng import generator_from_seed
+        from repro.gsa.gp import collapse_replicates
+
+        x, y = self._noisy_replicated(reps=8)
+        xu, ym, nv = collapse_replicates(x, y)
+        gp = GaussianProcess(dim=2).fit(xu, ym, noise_variances=nv)
+        rng = generator_from_seed(10)
+        x_test = rng.random((300, 2))
+        f_test = np.sin(3 * x_test[:, 0]) + x_test[:, 1]
+        mean, var = gp.predict(x_test)
+        inside = np.abs(mean - f_test) <= 2.0 * np.sqrt(var)
+        assert inside.mean() > 0.7
+
+    def test_noise_vector_validated(self):
+        x, y = self._noisy_replicated()
+        with pytest.raises(ValidationError):
+            GaussianProcess(dim=2).fit(x[:10], y[:10], noise_variances=-np.ones(10))
+        with pytest.raises(ValidationError):
+            GaussianProcess(dim=2).fit(x[:10], y[:10], noise_variances=np.ones(3))
+
+    def test_add_points_extends_noise_vector(self):
+        from repro.gsa.gp import collapse_replicates
+
+        x, y = self._noisy_replicated()
+        xu, ym, nv = collapse_replicates(x, y)
+        gp = GaussianProcess(dim=2).fit(xu, ym, noise_variances=nv)
+        gp.add_points(np.array([[0.9, 0.9]]), np.array([np.sin(2.7) + 0.9]))
+        assert gp.n_train == 36
+        mean, _ = gp.predict(np.array([[0.9, 0.9]]))
+        assert np.isfinite(mean[0])

@@ -1,0 +1,182 @@
+"""Tests for LHS designs and Saltelli Sobol estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.gsa.lhs import latin_hypercube, maximin_latin_hypercube
+from repro.gsa.sobol import (
+    first_order_indices,
+    saltelli_design,
+    sobol_indices,
+    total_order_indices,
+)
+from repro.gsa.testfunctions import (
+    ISHIGAMI_FIRST_ORDER,
+    ishigami,
+    linear_additive,
+    linear_first_order,
+    sobol_g,
+    sobol_g_first_order,
+)
+
+
+class TestLHS:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=6))
+    def test_stratification_property(self, n, dim):
+        """Exactly one point per stratum per dimension — the LHS invariant."""
+        rng = generator_from_seed(n * 100 + dim)
+        sample = latin_hypercube(n, dim, rng)
+        assert sample.shape == (n, dim)
+        assert sample.min() >= 0 and sample.max() <= 1
+        for j in range(dim):
+            strata = np.floor(sample[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_maximin_improves_min_distance(self):
+        rng_a = generator_from_seed(0)
+        rng_b = generator_from_seed(0)
+        plain = latin_hypercube(20, 3, rng_a)
+        maximin = maximin_latin_hypercube(20, 3, rng_b, n_candidates=30)
+
+        def min_dist(pts):
+            diff = pts[:, None, :] - pts[None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            np.fill_diagonal(d2, np.inf)
+            return np.sqrt(d2.min())
+
+        assert min_dist(maximin) >= min_dist(plain)
+
+    def test_maximin_is_still_lhs(self):
+        rng = generator_from_seed(1)
+        sample = maximin_latin_hypercube(15, 4, rng)
+        for j in range(4):
+            strata = np.floor(sample[:, j] * 15).astype(int)
+            assert sorted(strata) == list(range(15))
+
+    def test_validation(self):
+        rng = generator_from_seed(0)
+        with pytest.raises(ValidationError):
+            latin_hypercube(0, 2, rng)
+
+
+class TestSaltelliDesign:
+    def test_shapes(self):
+        design = saltelli_design(16, 3)
+        assert design.a.shape == (16, 3)
+        assert design.ab.shape == (3, 16, 3)
+        assert design.all_points.shape == (16 * 5, 3)
+        assert design.n_evaluations == 80
+
+    def test_ab_structure(self):
+        """AB_i equals A except column i, which comes from B."""
+        design = saltelli_design(8, 4)
+        for i in range(4):
+            other = [j for j in range(4) if j != i]
+            assert np.array_equal(design.ab[i][:, other], design.a[:, other])
+            assert np.array_equal(design.ab[i][:, i], design.b[:, i])
+
+    def test_split_roundtrip(self):
+        design = saltelli_design(8, 2)
+        y = np.arange(design.n_evaluations, dtype=float)
+        y_a, y_b, y_ab = design.split(y)
+        assert np.array_equal(y_a, np.arange(8.0))
+        assert np.array_equal(y_b, np.arange(8.0, 16.0))
+        assert y_ab.shape == (2, 8)
+
+    def test_split_size_checked(self):
+        design = saltelli_design(8, 2)
+        with pytest.raises(ValidationError):
+            design.split(np.ones(10))
+
+    def test_deterministic_given_seed(self):
+        a = saltelli_design(16, 3, seed=5)
+        b = saltelli_design(16, 3, seed=5)
+        assert np.array_equal(a.all_points, b.all_points)
+
+
+class TestIndices:
+    def test_ishigami_reference(self):
+        result = sobol_indices(ishigami, 3, 4096)
+        assert np.allclose(result["first"], ISHIGAMI_FIRST_ORDER, atol=0.02)
+        # x3 has zero first-order but nonzero total (interaction with x1)
+        assert result["total"][2] > 0.15
+
+    def test_g_function_reference(self):
+        result = sobol_indices(sobol_g, 5, 4096)
+        assert np.allclose(result["first"], sobol_g_first_order(), atol=0.03)
+
+    def test_linear_additive_exact_structure(self):
+        coeffs = (1.0, 2.0, 3.0)
+        fn = lambda x: linear_additive(x, coeffs)
+        result = sobol_indices(fn, 3, 4096)
+        assert np.allclose(result["first"], linear_first_order(coeffs), atol=0.02)
+        # additive function: total == first
+        assert np.allclose(result["total"], result["first"], atol=0.02)
+
+    def test_constant_function_zero_indices(self):
+        result = sobol_indices(lambda x: np.ones(x.shape[0]), 3, 256)
+        assert np.allclose(result["first"], 0.0)
+        assert np.allclose(result["total"], 0.0)
+
+    def test_bootstrap_bounds_bracket_estimate(self):
+        result = sobol_indices(ishigami, 3, 1024, bootstrap=100)
+        assert np.all(result["first_lo"] <= result["first"] + 1e-9)
+        assert np.all(result["first"] <= result["first_hi"] + 1e-9)
+        # truth inside the CI for the influential inputs
+        assert result["first_lo"][0] <= ISHIGAMI_FIRST_ORDER[0] <= result["first_hi"][0]
+
+    def test_estimator_input_validation(self):
+        with pytest.raises(ValidationError):
+            first_order_indices(np.ones(4), np.ones(5), np.ones((2, 4)))
+        with pytest.raises(ValidationError):
+            total_order_indices(np.ones(4), np.ones(4), np.ones((2, 5)))
+
+
+class TestSecondOrder:
+    def test_ishigami_x1x3_interaction(self):
+        """Ishigami's only interaction is (x1, x3): S13 ≈ 0.244."""
+        from repro.gsa.sobol import sobol_indices_with_second_order
+
+        result = sobol_indices_with_second_order(ishigami, 3, 8192)
+        second = result["second"]
+        assert second[0, 2] == pytest.approx(0.2437, abs=0.05)
+        assert abs(second[0, 1]) < 0.05
+        assert abs(second[1, 2]) < 0.05
+
+    def test_additive_function_no_interactions(self):
+        from repro.gsa.sobol import sobol_indices_with_second_order
+
+        fn = lambda x: linear_additive(x, (1.0, 2.0, 3.0))
+        result = sobol_indices_with_second_order(fn, 3, 4096)
+        assert np.all(np.abs(result["second"]) < 0.02)
+
+    def test_pure_interaction_function(self):
+        from repro.gsa.sobol import sobol_indices_with_second_order
+
+        fn = lambda x: (x[:, 0] - 0.5) * (x[:, 1] - 0.5)
+        result = sobol_indices_with_second_order(fn, 2, 4096)
+        assert result["second"][0, 1] == pytest.approx(1.0, abs=0.05)
+        assert np.all(np.abs(result["first"]) < 0.05)
+
+    def test_design_structure(self):
+        from repro.gsa.sobol import second_order_design
+
+        design, ba = second_order_design(8, 3)
+        for i in range(3):
+            other = [j for j in range(3) if j != i]
+            assert np.array_equal(ba[i][:, other], design.b[:, other])
+            assert np.array_equal(ba[i][:, i], design.a[:, i])
+
+    def test_block_size_validation(self):
+        from repro.gsa.sobol import second_order_indices
+
+        with pytest.raises(ValidationError):
+            second_order_indices(
+                np.ones(4), np.ones(4), np.ones((2, 4)), np.ones((2, 5))
+            )

@@ -1,0 +1,176 @@
+"""Tests for PCE Sobol analysis and the interleaving drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.rng import generator_from_seed
+from repro.gsa.interleave import InterleavedDriver, SequentialDriver
+from repro.gsa.pce import PCEModel, pce_sobol_indices, total_degree_multi_indices
+from repro.gsa.testfunctions import (
+    ishigami,
+    linear_additive,
+    linear_first_order,
+)
+
+
+class TestMultiIndices:
+    def test_counts(self):
+        # C(d + p, p) terms for total degree p in d dims
+        assert total_degree_multi_indices(5, 3).shape[0] == 56
+        assert total_degree_multi_indices(2, 2).shape[0] == 6
+
+    def test_zero_first(self):
+        indices = total_degree_multi_indices(3, 2)
+        assert tuple(indices[0]) == (0, 0, 0)
+
+    def test_degrees_bounded(self):
+        indices = total_degree_multi_indices(4, 3)
+        assert indices.sum(axis=1).max() == 3
+
+
+class TestPCEModel:
+    def test_exact_on_polynomials(self):
+        rng = generator_from_seed(0)
+        x = rng.random((100, 2))
+        y = 1.0 + 2.0 * x[:, 0] - x[:, 1] ** 2 + 0.5 * x[:, 0] * x[:, 1]
+        model = PCEModel(dim=2, degree=3).fit(x, y)
+        x_test = rng.random((50, 2))
+        y_test = 1.0 + 2.0 * x_test[:, 0] - x_test[:, 1] ** 2 + 0.5 * x_test[:, 0] * x_test[:, 1]
+        assert np.allclose(model.predict(x_test), y_test, atol=1e-8)
+
+    def test_linear_indices_analytic(self):
+        rng = generator_from_seed(1)
+        x = rng.random((200, 3))
+        coeffs = (1.0, 2.0, 3.0)
+        y = linear_additive(x, coeffs)
+        model = PCEModel(dim=3, degree=3).fit(x, y)
+        assert np.allclose(model.first_order(), linear_first_order(coeffs), atol=1e-6)
+        assert np.allclose(model.total_order(), model.first_order(), atol=1e-6)
+
+    def test_variance_matches_sample_variance_for_polynomial(self):
+        rng = generator_from_seed(2)
+        x = rng.random((5000, 2))
+        y = 2.0 * x[:, 0] + x[:, 1]
+        model = PCEModel(dim=2, degree=2).fit(x[:200], y[:200])
+        assert np.isclose(model.variance(), y.var(), rtol=0.05)
+
+    def test_interaction_detected(self):
+        rng = generator_from_seed(3)
+        x = rng.random((300, 2))
+        y = (x[:, 0] - 0.5) * (x[:, 1] - 0.5)  # pure interaction
+        model = PCEModel(dim=2, degree=3).fit(x, y)
+        assert np.allclose(model.first_order(), 0.0, atol=0.02)
+        assert np.all(model.total_order() > 0.5)
+
+    def test_small_sample_instability(self):
+        """The paper's one-shot critique: tiny designs give unstable indices."""
+        coeffs = (1.0, 2.0, 3.0, 0.5, 0.1)
+        errors = []
+        for n in (15, 250):
+            rng = generator_from_seed(n)
+            x = rng.random((n, 5))
+            y = ishigami(x[:, :3]) + 0.0 * x[:, 3]  # nonlinear, 5 inputs
+            model = PCEModel(dim=5, degree=3).fit(x, y)
+            errors.append(np.abs(model.first_order()).max())
+        # tiny-sample fit is wilder than the large-sample one (or at least
+        # the large fit stays in [0, 1])
+        assert errors[1] <= 1.05
+
+    def test_unfitted_raises(self):
+        model = PCEModel(dim=2, degree=2)
+        with pytest.raises(StateError):
+            model.predict(np.zeros((1, 2)))
+        with pytest.raises(StateError):
+            model.first_order()
+
+    def test_inputs_must_be_in_cube(self):
+        model = PCEModel(dim=2, degree=2)
+        with pytest.raises(ValidationError):
+            model.fit(np.array([[1.5, 0.5]]), np.array([1.0]))
+
+    def test_condition_number_reported(self):
+        rng = generator_from_seed(4)
+        x = rng.random((100, 2))
+        model = PCEModel(dim=2, degree=2).fit(x, x.sum(axis=1))
+        assert model.condition_number >= 1.0
+
+    def test_convenience_function(self):
+        rng = generator_from_seed(5)
+        x = rng.random((150, 3))
+        out = pce_sobol_indices(x, linear_additive(x, (1.0, 1.0, 1.0)), degree=2)
+        assert np.allclose(out["first"], 1 / 3, atol=0.01)
+
+
+def make_counter_coroutine(log, name, n_steps, waits_between=0):
+    """A test coroutine: records its steps; optionally 'waits' between them."""
+
+    def coroutine():
+        for step in range(n_steps):
+            log.append((name, step))
+            for _ in range(waits_between):
+                yield False  # pretend to poll a pending future
+            yield True
+
+    return coroutine()
+
+
+class TestInterleavedDriver:
+    def test_round_robin_interleaves(self):
+        log = []
+        driver = InterleavedDriver(
+            [
+                make_counter_coroutine(log, "a", 3),
+                make_counter_coroutine(log, "b", 3),
+            ],
+            idle_sleep=0,
+        )
+        stats = driver.run()
+        # steps alternate a, b, a, b ... rather than a,a,a,b,b,b
+        assert log[:4] == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        assert stats["switches"] > 0
+
+    def test_completes_all_with_waiting(self):
+        log = []
+        driver = InterleavedDriver(
+            [
+                make_counter_coroutine(log, "a", 4, waits_between=2),
+                make_counter_coroutine(log, "b", 2, waits_between=5),
+            ],
+            idle_sleep=0,
+        )
+        driver.run()
+        assert ("a", 3) in log and ("b", 1) in log
+
+    def test_max_cycles_guard(self):
+        def forever():
+            while True:
+                yield False
+
+        driver = InterleavedDriver([forever()], idle_sleep=0)
+        with pytest.raises(ValidationError):
+            driver.run(max_cycles=10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            InterleavedDriver([])
+
+
+class TestSequentialDriver:
+    def test_runs_in_order(self):
+        log = []
+        driver = SequentialDriver(
+            [
+                make_counter_coroutine(log, "a", 2),
+                make_counter_coroutine(log, "b", 2),
+            ],
+            idle_sleep=0,
+        )
+        driver.run()
+        assert log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SequentialDriver([])

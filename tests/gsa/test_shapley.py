@@ -1,0 +1,107 @@
+"""Tests for Shapley effects against closed-form references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.gsa.shapley import (
+    _all_subsets,
+    shapley_effects,
+    shapley_from_subset_variances,
+    subset_variances,
+)
+from repro.gsa.testfunctions import (
+    ISHIGAMI_FIRST_ORDER,
+    ishigami,
+    linear_additive,
+    linear_first_order,
+)
+
+
+class TestSubsets:
+    def test_membership_matrix(self):
+        subsets = _all_subsets(3)
+        assert subsets.shape == (8, 3)
+        assert not subsets[0].any()  # empty set
+        assert subsets[-1].all()  # full set
+        assert subsets[0b101].tolist() == [True, False, True]
+
+
+class TestSubsetVariances:
+    def test_additive_function_decomposes(self):
+        coeffs = (1.0, 2.0)
+        fn = lambda x: linear_additive(x, coeffs)
+        values = subset_variances(fn, 2, 4096, seed=0)
+        # Var(c x) = c^2 / 12 for U(0,1)
+        v1, v2 = 1.0 / 12.0, 4.0 / 12.0
+        assert values[0] == 0.0
+        assert values[0b01] == pytest.approx(v1, rel=0.1)
+        assert values[0b10] == pytest.approx(v2, rel=0.1)
+        assert values[0b11] == pytest.approx(v1 + v2, rel=0.05)
+
+    def test_monotone_in_subsets_for_additive(self):
+        fn = lambda x: linear_additive(x, (1.0, 1.0, 1.0))
+        values = subset_variances(fn, 3, 2048, seed=1)
+        # supersets explain at least as much variance (up to MC noise)
+        assert values[0b111] >= values[0b011] - 0.02
+        assert values[0b011] >= values[0b001] - 0.02
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            subset_variances(lambda x: x.sum(axis=1), 17, 64)
+
+
+class TestShapley:
+    def test_sums_to_one_normalized(self):
+        effects = shapley_effects(ishigami, 3, n=2048, seed=0)
+        assert np.isclose(effects.sum(), 1.0, atol=1e-9)
+
+    def test_additive_matches_first_order(self):
+        """No interactions: Shapley == first-order Sobol."""
+        coeffs = (1.0, 2.0, 3.0)
+        fn = lambda x: linear_additive(x, coeffs)
+        effects = shapley_effects(fn, 3, n=4096, seed=0)
+        assert np.allclose(effects, linear_first_order(coeffs), atol=0.02)
+
+    def test_ishigami_interaction_split(self):
+        """x3 has zero first-order index but interacts with x1; Shapley
+        splits that interaction between them, so Sh_3 > S_3 = 0 and
+        Sh_1 > S_1."""
+        effects = shapley_effects(ishigami, 3, n=4096, seed=0)
+        assert effects[2] > 0.05  # strictly positive for the interacting input
+        assert effects[0] > ISHIGAMI_FIRST_ORDER[0]
+        assert effects[1] == pytest.approx(ISHIGAMI_FIRST_ORDER[1], abs=0.05)
+
+    def test_duplicated_inputs_split_evenly(self):
+        """The hallmark Shapley property: exchangeable inputs share credit."""
+
+        def duplicated(x):
+            return (x[:, 0] + x[:, 1]) ** 2  # x0 and x1 exchangeable
+
+        effects = shapley_effects(duplicated, 2, n=4096, seed=0)
+        assert effects[0] == pytest.approx(effects[1], abs=0.03)
+        assert effects.sum() == pytest.approx(1.0)
+
+    def test_inert_input_near_zero(self):
+        def partial(x):
+            return np.sin(2 * x[:, 0])
+
+        effects = shapley_effects(partial, 2, n=2048, seed=0)
+        assert abs(effects[1]) < 0.05
+        assert effects[0] > 0.9
+
+    def test_unnormalized_sums_to_variance(self):
+        fn = lambda x: linear_additive(x, (2.0, 3.0))
+        values = subset_variances(fn, 2, 4096, seed=2)
+        effects = shapley_from_subset_variances(values, 2)
+        assert effects.sum() == pytest.approx(values[-1], rel=1e-9)
+
+    def test_value_table_size_checked(self):
+        with pytest.raises(ValidationError):
+            shapley_from_subset_variances(np.zeros(7), 3)
+
+    def test_constant_function(self):
+        effects = shapley_effects(lambda x: np.ones(x.shape[0]), 2, n=256)
+        assert np.allclose(effects, 0.0)

@@ -1,0 +1,63 @@
+"""Tests for cluster allocation invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SchedulingError, ValidationError
+from repro.hpc import Cluster
+
+
+class TestCluster:
+    def test_construction(self):
+        cluster = Cluster("c", 4, cores_per_node=16)
+        assert cluster.n_nodes == 4
+        assert cluster.cores_per_node == 16
+        assert cluster.total_cores == 64
+        assert cluster.n_free() == 4
+
+    def test_allocate_release(self):
+        cluster = Cluster("c", 4)
+        nodes = cluster.allocate("job-1", 2)
+        assert len(nodes) == 2
+        assert cluster.n_free() == 2
+        assert cluster.holder_map() == {"job-1": 2}
+        assert cluster.release("job-1") == 2
+        assert cluster.n_free() == 4
+
+    def test_over_allocation_rejected(self):
+        cluster = Cluster("c", 2)
+        cluster.allocate("a", 2)
+        with pytest.raises(SchedulingError):
+            cluster.allocate("b", 1)
+
+    def test_release_without_allocation_rejected(self):
+        cluster = Cluster("c", 2)
+        with pytest.raises(SchedulingError):
+            cluster.release("ghost")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            Cluster("c", 0)
+        cluster = Cluster("c", 1)
+        with pytest.raises(ValidationError):
+            cluster.allocate("a", 0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4), max_size=20))
+    def test_no_double_allocation_under_random_workload(self, requests):
+        """Nodes are never double-allocated, free+held == total always."""
+        cluster = Cluster("c", 8)
+        held = {}
+        for i, n in enumerate(requests):
+            job = f"job-{i}"
+            if cluster.n_free() >= n:
+                cluster.allocate(job, n)
+                held[job] = n
+            elif held:
+                # free the oldest job and retry
+                oldest = next(iter(held))
+                cluster.release(oldest)
+                del held[oldest]
+            assert cluster.n_free() + sum(held.values()) == 8
+            assert cluster.holder_map() == held

@@ -1,0 +1,185 @@
+"""Tests for the batch scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SchedulingError, StateError, ValidationError
+from repro.hpc import BatchScheduler, Cluster, JobRequest, JobState
+from repro.sim import SimulationEnvironment
+
+
+@pytest.fixture
+def sched(env):
+    return BatchScheduler(env, Cluster("test", 4))
+
+
+def request(name="j", nodes=1, walltime=10.0, duration=1.0, payload=None):
+    return JobRequest(
+        name=name, n_nodes=nodes, walltime=walltime, payload=payload, duration=duration
+    )
+
+
+class TestLifecycle:
+    def test_job_runs_and_completes(self, sched, env):
+        ran = []
+        job = sched.submit(request(payload=lambda j: ran.append(env.now) or "out"))
+        assert job.state is JobState.PENDING
+        env.run()
+        assert ran == [0.0]
+        assert job.state is JobState.COMPLETED
+        assert job.result == "out"
+        assert job.completed_at == 1.0
+        assert job.queue_wait == 0.0
+
+    def test_queueing_when_full(self, sched, env):
+        jobs = [sched.submit(request(name=f"j{i}", nodes=2, duration=1.0)) for i in range(4)]
+        env.run()
+        starts = [j.started_at for j in jobs]
+        assert starts == [0.0, 0.0, 1.0, 1.0]
+
+    def test_walltime_timeout(self, sched, env):
+        job = sched.submit(request(walltime=0.5, duration=2.0))
+        env.run()
+        assert job.state is JobState.TIMEOUT
+        assert job.completed_at == 0.5
+
+    def test_payload_exception_fails_job(self, sched, env):
+        def boom(job):
+            raise RuntimeError("crash")
+
+        job = sched.submit(request(payload=boom))
+        env.run()
+        assert job.state is JobState.FAILED
+        assert "crash" in job.error
+        # nodes were released
+        assert sched.cluster.n_free() == 4
+
+    def test_oversized_request_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.submit(request(nodes=5))
+
+    def test_cancel_pending(self, sched, env):
+        blocker = sched.submit(request(nodes=4, duration=5.0))
+        victim = sched.submit(request(nodes=1))
+        env.run_until(1.0)
+        sched.cancel(victim)
+        assert victim.state is JobState.CANCELLED
+        env.run()
+        assert blocker.state is JobState.COMPLETED
+
+    def test_cannot_cancel_running(self, sched, env):
+        job = sched.submit(request(duration=5.0))
+        env.run_until(1.0)
+        with pytest.raises(StateError):
+            sched.cancel(job)
+
+    def test_service_job_runs_until_completed(self, sched, env):
+        job = sched.submit(request(duration=None, walltime=100.0))
+        env.run_until(5.0)
+        assert job.state is JobState.RUNNING
+        job.complete(result="stopped")
+        env.run_until(6.0)
+        assert job.state is JobState.COMPLETED
+        assert job.result == "stopped"
+
+    def test_service_job_hits_walltime(self, sched, env):
+        job = sched.submit(request(duration=None, walltime=2.0))
+        env.run()
+        assert job.state is JobState.TIMEOUT
+
+    def test_on_complete_callbacks(self, sched, env):
+        seen = []
+        job = sched.submit(request())
+        job.on_complete.append(lambda j: seen.append(j.state))
+        env.run()
+        assert seen == [JobState.COMPLETED]
+
+    def test_duration_callable(self, sched, env):
+        job = sched.submit(request(duration=lambda j: 0.25))
+        env.run()
+        assert job.completed_at == 0.25
+
+
+class TestBackfill:
+    def test_backfill_lets_small_job_jump(self, env):
+        sched = BatchScheduler(env, Cluster("c", 4), backfill=True)
+        running = sched.submit(request(nodes=3, duration=2.0))
+        big = sched.submit(request(nodes=4, duration=1.0))  # blocked
+        small = sched.submit(request(nodes=1, duration=0.5))
+        env.run()
+        assert small.started_at == 0.0  # jumped the blocked big job
+        assert big.started_at == 2.0
+
+    def test_strict_fifo_blocks(self, env):
+        sched = BatchScheduler(env, Cluster("c", 4), backfill=False)
+        sched.submit(request(nodes=3, duration=2.0))
+        big = sched.submit(request(nodes=4, duration=1.0))
+        small = sched.submit(request(nodes=1, duration=0.5))
+        env.run()
+        assert big.started_at == 2.0
+        assert small.started_at == 3.0  # waited behind the big job
+
+
+class TestAccounting:
+    def test_utilization_exact(self, env):
+        sched = BatchScheduler(env, Cluster("c", 2))
+        sched.submit(request(nodes=2, duration=1.0))
+        sched.submit(request(nodes=1, duration=2.0))
+        env.run()
+        # busy node-days: 2*1 + 1*2 = 4 over 2 nodes * 3 days = 6
+        assert sched.tracker.busy_unit_time() == pytest.approx(4.0)
+        assert sched.tracker.utilization() == pytest.approx(4.0 / 6.0)
+
+    def test_job_stats(self, sched, env):
+        sched.submit(request(duration=1.0))
+        sched.submit(request(duration=3.0))
+        env.run()
+        stats = sched.job_stats()
+        assert stats["n_jobs"] == 2
+        assert stats["n_finished"] == 2
+        assert stats["mean_runtime"] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            JobRequest(name="x", n_nodes=0, walltime=1.0)
+        with pytest.raises(ValidationError):
+            JobRequest(name="x", n_nodes=1, walltime=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),  # nodes
+            st.floats(min_value=0.01, max_value=3.0),  # duration
+            st.floats(min_value=0.0, max_value=2.0),  # submit delay
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_scheduler_invariants_random_workload(jobs):
+    """All jobs finish; nodes are never oversubscribed; waits non-negative."""
+    env = SimulationEnvironment()
+    cluster = Cluster("c", 4)
+    sched = BatchScheduler(env, cluster)
+    submitted = []
+
+    def submit_one(nodes, duration):
+        submitted.append(
+            sched.submit(JobRequest(name="r", n_nodes=nodes, walltime=100.0, duration=duration))
+        )
+
+    clock = 0.0
+    for nodes, duration, delay in jobs:
+        clock += delay
+        env.schedule_at(clock, lambda n=nodes, d=duration: submit_one(n, d))
+    env.run()
+    assert len(submitted) == len(jobs)
+    for job in submitted:
+        assert job.state is JobState.COMPLETED
+        assert job.queue_wait >= 0
+    assert cluster.n_free() == 4
+    assert sched.tracker.utilization() <= 1.0 + 1e-9

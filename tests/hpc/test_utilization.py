@@ -1,0 +1,77 @@
+"""Tests for utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import StateError, ValidationError
+from repro.hpc import UtilizationTracker
+
+
+class TestTracker:
+    def test_basic_integration(self):
+        tracker = UtilizationTracker(2)
+        tracker.add_interval(0.0, 1.0, 2)
+        tracker.add_interval(1.0, 2.0, 1)
+        assert tracker.busy_unit_time() == pytest.approx(3.0)
+        assert tracker.utilization() == pytest.approx(3.0 / 4.0)
+
+    def test_begin_end(self):
+        tracker = UtilizationTracker(4)
+        tracker.begin("a", 0.0, 2)
+        tracker.end("a", 2.0)
+        assert tracker.busy_unit_time() == pytest.approx(4.0)
+        assert tracker.interval_count == 1
+
+    def test_double_begin_rejected(self):
+        tracker = UtilizationTracker(4)
+        tracker.begin("a", 0.0, 1)
+        with pytest.raises(StateError):
+            tracker.begin("a", 1.0, 1)
+
+    def test_end_without_begin_rejected(self):
+        tracker = UtilizationTracker(4)
+        with pytest.raises(StateError):
+            tracker.end("a", 1.0)
+
+    def test_units_beyond_capacity_rejected(self):
+        tracker = UtilizationTracker(2)
+        with pytest.raises(ValidationError):
+            tracker.begin("a", 0.0, 3)
+
+    def test_windowed_utilization(self):
+        tracker = UtilizationTracker(1)
+        tracker.add_interval(0.0, 4.0, 1)
+        assert tracker.utilization(1.0, 3.0) == pytest.approx(1.0)
+        assert tracker.utilization(3.0, 5.0) == pytest.approx(0.5)
+
+    def test_empty_tracker(self):
+        tracker = UtilizationTracker(2)
+        assert tracker.busy_unit_time() == 0.0
+        assert tracker.utilization() == 0.0
+        with pytest.raises(StateError):
+            tracker.span()
+
+    def test_span(self):
+        tracker = UtilizationTracker(2)
+        tracker.add_interval(1.0, 2.0, 1)
+        tracker.add_interval(3.0, 5.0, 1)
+        assert tracker.span() == (1.0, 5.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_single_unit_utilization_never_exceeds_one(self, intervals):
+        """With capacity == concurrent units, utilization <= 1."""
+        tracker = UtilizationTracker(len(intervals))
+        for i, (start, length) in enumerate(intervals):
+            tracker.add_interval(start, start + length, 1)
+        assert 0.0 <= tracker.utilization() <= 1.0 + 1e-9

@@ -1,0 +1,147 @@
+"""Scientific property tests: the models must behave like epidemiology.
+
+These go beyond bookkeeping invariants (conservation, determinism) to the
+qualitative behaviours an epidemiologist would sanity-check before trusting
+any downstream analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import generator_from_seed
+from repro.models.metarvm import MetaRVM, MetaRVMConfig
+from repro.models.mixing import assortative_mixing
+from repro.models.parameters import MetaRVMParams
+from repro.models.seir import SEIRParams, seir_deterministic
+
+
+class TestEpidemicThreshold:
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=1.3, max_value=4.0))
+    def test_supercritical_seir_always_takes_off(self, r0):
+        params = SEIRParams(beta=r0 / 5.0, di=5.0)
+        out = seir_deterministic(params, 1_000_000, 100, 365)
+        final_fraction = out["R"][-1] / 1_000_000
+        assert final_fraction > 0.2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=0.85))
+    def test_subcritical_seir_always_dies_out(self, r0):
+        params = SEIRParams(beta=r0 / 5.0, di=5.0)
+        out = seir_deterministic(params, 1_000_000, 100, 365)
+        assert out["R"][-1] / 1_000_000 < 0.05
+
+    def test_final_size_increases_with_r0(self):
+        finals = []
+        for r0 in (1.2, 1.6, 2.0, 3.0):
+            out = seir_deterministic(SEIRParams(beta=r0 / 5.0, di=5.0), 100_000, 50, 400)
+            finals.append(out["R"][-1])
+        assert finals == sorted(finals)
+
+
+class TestMetaRVMDoseResponse:
+    """Monotone responses to single-parameter changes (CRN, so exact)."""
+
+    MODEL = MetaRVM(MetaRVMConfig(n_days=60))
+    BASE = np.array([0.5, 0.2, 0.6, 0.2, 0.1])
+
+    def _qoi_at(self, **overrides):
+        names = ["ts", "tv", "pea", "psh", "phd"]
+        point = self.BASE.copy()
+        for key, value in overrides.items():
+            point[names.index(key)] = value
+        return float(self.MODEL.total_hospitalizations(point[None, :], seed=5)[0])
+
+    def test_transmission_increases_hospitalizations(self):
+        values = [self._qoi_at(ts=v) for v in (0.2, 0.4, 0.6, 0.8)]
+        assert values == sorted(values)
+
+    def test_asymptomatic_fraction_decreases_hospitalizations(self):
+        """More asymptomatic cases => fewer people ever reach Is => fewer
+        admissions."""
+        values = [self._qoi_at(pea=v) for v in (0.4, 0.6, 0.8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_hospitalization_fraction_increases_admissions(self):
+        values = [self._qoi_at(psh=v) for v in (0.1, 0.25, 0.4)]
+        assert values == sorted(values)
+
+
+class TestVaccination:
+    def test_more_initial_vaccination_fewer_infections(self):
+        point = np.array([[0.5, 0.1, 0.6, 0.2, 0.1]])
+        totals = []
+        for fraction in (0.0, 0.3, 0.6):
+            model = MetaRVM(MetaRVMConfig(n_days=60, initial_vaccinated_fraction=fraction))
+            result = model.run_batch(point, seed=3)
+            totals.append(float(result.new_infections.sum()))
+        assert totals == sorted(totals, reverse=True)
+
+    def test_vaccine_protection_requires_lower_tv(self):
+        """If tv >= ts, vaccination confers no protection (sanity on the
+        parameterization): infections should not be materially fewer."""
+        model = MetaRVM(MetaRVMConfig(n_days=60, initial_vaccinated_fraction=0.5))
+        protected = model.run_batch(np.array([[0.5, 0.05, 0.6, 0.2, 0.1]]), seed=3)
+        unprotected = model.run_batch(np.array([[0.5, 0.5, 0.6, 0.2, 0.1]]), seed=3)
+        assert protected.new_infections.sum() < unprotected.new_infections.sum()
+
+
+class TestMixingStructure:
+    def test_isolated_groups_do_not_infect_each_other(self):
+        """With identity mixing and seeds only in group 0, groups 1..3 see
+        zero infections."""
+        config = MetaRVMConfig(
+            n_days=60,
+            population=(50_000, 50_000, 50_000, 50_000),
+            initial_infections=(50, 0, 0, 0),
+            mixing=np.eye(4),
+            initial_vaccinated_fraction=0.0,
+        )
+        model = MetaRVM(config)
+        result = model.run(MetaRVMParams(vax_rate=0.0), seed=2)
+        per_group_infections = result.new_infections[0].sum(axis=0)
+        assert per_group_infections[0] > 0
+        assert np.all(per_group_infections[1:] == 0)
+
+    def test_mixing_spreads_epidemic_across_groups(self):
+        config = MetaRVMConfig(
+            n_days=60,
+            population=(50_000, 50_000, 50_000, 50_000),
+            initial_infections=(50, 0, 0, 0),
+            mixing=assortative_mixing(4, 0.5),
+            initial_vaccinated_fraction=0.0,
+        )
+        result = MetaRVM(config).run(MetaRVMParams(), seed=2)
+        per_group_infections = result.new_infections[0].sum(axis=0)
+        assert np.all(per_group_infections > 0)
+
+    def test_seeded_group_peaks_first(self):
+        """With strong assortativity, the seeded group's symptomatic peak
+        precedes the others'."""
+        config = MetaRVMConfig(
+            n_days=90,
+            population=(80_000, 80_000),
+            initial_infections=(80, 0),
+            mixing=assortative_mixing(2, 0.9),
+            initial_vaccinated_fraction=0.0,
+        )
+        result = MetaRVM(config).run(MetaRVMParams(ts=0.6), seed=4, stochastic=False)
+        is_idx = 5  # Is compartment
+        peak_seeded = int(np.argmax(result.trajectories[0, :, is_idx, 0]))
+        peak_other = int(np.argmax(result.trajectories[0, :, is_idx, 1]))
+        assert peak_seeded < peak_other
+
+
+class TestReinfection:
+    def test_fast_waning_immunity_sustains_transmission(self):
+        """Short dr (quick return to S) yields more cumulative infections
+        than near-permanent immunity, all else equal."""
+        point_base = MetaRVMParams(ts=0.6, dr=20.0)
+        point_perm = MetaRVMParams(ts=0.6, dr=100_000.0)
+        model = MetaRVM(MetaRVMConfig(n_days=90))
+        fast = model.run(point_base, seed=6).new_infections.sum()
+        slow = model.run(point_perm, seed=6).new_infections.sum()
+        assert fast > slow

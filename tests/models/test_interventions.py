@@ -1,0 +1,99 @@
+"""Tests for intervention schedules and their effect on MetaRVM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.models.interventions import InterventionSchedule, lockdown_scenario
+from repro.models.metarvm import MetaRVM, MetaRVMConfig
+from repro.models.parameters import MetaRVMParams
+
+
+class TestSchedule:
+    def test_baseline_is_one(self):
+        schedule = InterventionSchedule()
+        assert schedule.multiplier(0) == 1.0
+        assert np.all(schedule.multiplier_array(10) == 1.0)
+
+    def test_phases_apply_in_order(self):
+        schedule = InterventionSchedule(phases=((10, 0.5), (20, 1.2)))
+        assert schedule.multiplier(5) == 1.0
+        assert schedule.multiplier(10) == 0.5
+        assert schedule.multiplier(19.9) == 0.5
+        assert schedule.multiplier(20) == 1.2
+
+    def test_multiplier_array_matches_scalar(self):
+        schedule = InterventionSchedule(phases=((3, 0.7), (7, 0.9)))
+        arr = schedule.multiplier_array(12)
+        assert np.allclose(arr, [schedule.multiplier(d) for d in range(12)])
+
+    def test_unsorted_starts_rejected(self):
+        with pytest.raises(ValidationError):
+            InterventionSchedule(phases=((10, 0.5), (5, 1.0)))
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ValidationError):
+            InterventionSchedule(phases=((10, 0.5), (10, 1.0)))
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValidationError):
+            InterventionSchedule(phases=((10, -0.5),))
+
+    def test_serialization_roundtrip(self):
+        schedule = InterventionSchedule(phases=((10, 0.5), (20, 1.2)))
+        assert InterventionSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_lockdown_scenario(self):
+        schedule = lockdown_scenario(start=30, duration=30, strength=0.7)
+        assert schedule.multiplier(29) == 1.0
+        assert schedule.multiplier(45) == pytest.approx(0.3)
+        assert schedule.multiplier(61) == 1.0
+        with pytest.raises(ValidationError):
+            lockdown_scenario(strength=1.5)
+        with pytest.raises(ValidationError):
+            lockdown_scenario(duration=0.0)
+
+
+class TestMetaRVMWithInterventions:
+    def test_lockdown_reduces_hospitalizations(self):
+        base = MetaRVM(MetaRVMConfig()).run(MetaRVMParams(), seed=1)
+        locked = MetaRVM(
+            MetaRVMConfig(intervention=lockdown_scenario(20, 40, 0.7))
+        ).run(MetaRVMParams(), seed=1)
+        assert (
+            locked.total_hospitalizations()[0] < 0.5 * base.total_hospitalizations()[0]
+        )
+
+    def test_null_intervention_matches_baseline(self):
+        base = MetaRVM(MetaRVMConfig()).run(MetaRVMParams(), seed=2)
+        null = MetaRVM(
+            MetaRVMConfig(intervention=InterventionSchedule())
+        ).run(MetaRVMParams(), seed=2)
+        assert np.array_equal(base.trajectories, null.trajectories)
+
+    def test_stronger_lockdown_fewer_infections(self):
+        results = []
+        for strength in (0.2, 0.5, 0.8):
+            model = MetaRVM(
+                MetaRVMConfig(intervention=lockdown_scenario(15, 60, strength))
+            )
+            results.append(
+                model.run(MetaRVMParams(), seed=3).new_infections.sum()
+            )
+        assert results[0] > results[1] > results[2]
+
+    def test_population_still_conserved(self):
+        model = MetaRVM(MetaRVMConfig(intervention=lockdown_scenario(10, 30, 0.9)))
+        result = model.run(MetaRVMParams(), seed=4)
+        totals = result.trajectories[0].sum(axis=1)
+        assert np.allclose(totals, np.asarray(model.config.population, float))
+
+    def test_batch_evaluation_respects_intervention(self):
+        point = np.array([[0.5, 0.2, 0.6, 0.2, 0.1]])
+        base = MetaRVM(MetaRVMConfig()).total_hospitalizations(point, seed=5)
+        locked = MetaRVM(
+            MetaRVMConfig(intervention=lockdown_scenario(20, 50, 0.8))
+        ).total_hospitalizations(point, seed=5)
+        assert locked[0] < base[0]

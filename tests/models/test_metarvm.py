@@ -1,0 +1,243 @@
+"""Tests for the MetaRVM metapopulation model."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.models.metarvm import (
+    COMPARTMENTS,
+    MetaRVM,
+    MetaRVMConfig,
+    _crn_binomial,
+    transition_graph,
+)
+from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MetaRVM(MetaRVMConfig(n_days=60))
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = MetaRVMConfig()
+        assert config.n_groups == 4
+        assert config.total_population == 250_000
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MetaRVMConfig(population=(0, 100))
+        with pytest.raises(ValidationError):
+            MetaRVMConfig(population=(100,), initial_infections=(200,))
+        with pytest.raises(ValidationError):
+            MetaRVMConfig(initial_vaccinated_fraction=1.5)
+        with pytest.raises(ValidationError):
+            MetaRVMConfig(n_days=0)
+
+    def test_custom_mixing_validated(self):
+        with pytest.raises(ValidationError):
+            MetaRVMConfig(mixing=np.ones((4, 4)))
+
+
+class TestCrnBinomial:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        n = rng.integers(0, 1000, size=500).astype(float)
+        p = rng.random(500)
+        u = rng.random(500)
+        draws = _crn_binomial(n, p, u)
+        assert np.all(draws >= 0) and np.all(draws <= n)
+
+    def test_extreme_probabilities(self):
+        u = np.full(4, 0.5)
+        assert np.all(_crn_binomial(np.array([10.0] * 4), np.zeros(4), u) == 0)
+        assert np.all(_crn_binomial(np.array([10.0] * 4), np.ones(4), u) == 10)
+
+    def test_zero_count(self):
+        assert _crn_binomial(np.zeros(3), np.full(3, 0.5), np.full(3, 0.9)).sum() == 0
+
+    def test_monotone_in_u(self):
+        """Common-random-number property: draws monotone in the uniform."""
+        n = np.full(50, 200.0)
+        p = np.full(50, 0.3)
+        u = np.linspace(0.01, 0.99, 50)
+        draws = _crn_binomial(n, p, u)
+        assert np.all(np.diff(draws) >= 0)
+
+    def test_large_count_matches_binomial_moments(self):
+        rng = np.random.default_rng(1)
+        u = rng.random(20_000)
+        draws = _crn_binomial(np.full(20_000, 5000.0), np.full(20_000, 0.2), u)
+        assert abs(draws.mean() - 1000.0) < 5.0
+        assert abs(draws.std() - np.sqrt(5000 * 0.2 * 0.8)) < 1.0
+
+    def test_small_count_matches_binomial_distribution(self):
+        rng = np.random.default_rng(2)
+        u = rng.random(50_000)
+        draws = _crn_binomial(np.full(50_000, 5.0), np.full(50_000, 0.3), u)
+        # exact-ppf branch: compare full distribution to scipy
+        from scipy import stats
+
+        expected = stats.binom.pmf(np.arange(6), 5, 0.3)
+        observed = np.bincount(draws.astype(int), minlength=6)[:6] / 50_000
+        assert np.allclose(observed, expected, atol=0.01)
+
+
+class TestSingleRun:
+    def test_population_conserved(self, model):
+        result = model.run(MetaRVMParams(), seed=1)
+        totals = result.trajectories[0].sum(axis=1)
+        pop = np.asarray(model.config.population, dtype=float)
+        assert np.allclose(totals, pop)
+
+    def test_deterministic_given_seed(self, model):
+        a = model.run(MetaRVMParams(), seed=5)
+        b = model.run(MetaRVMParams(), seed=5)
+        assert np.array_equal(a.trajectories, b.trajectories)
+
+    def test_different_seeds_differ(self, model):
+        a = model.run(MetaRVMParams(), seed=1)
+        b = model.run(MetaRVMParams(), seed=2)
+        assert not np.array_equal(a.trajectories, b.trajectories)
+
+    def test_counts_non_negative(self, model):
+        result = model.run(MetaRVMParams(), seed=3)
+        assert result.trajectories.min() >= 0
+
+    def test_deaths_monotone(self, model):
+        result = model.run(MetaRVMParams(), seed=4)
+        deaths = result.compartment("D")
+        assert np.all(np.diff(deaths) >= 0)
+
+    def test_flows_consistent_with_stocks(self, model):
+        """Cumulative deaths flow equals the final D compartment."""
+        result = model.run(MetaRVMParams(), seed=6)
+        assert np.isclose(result.total_deaths()[0], result.compartment("D")[-1])
+
+    def test_qoi_positive_for_epidemic(self, model):
+        result = model.run(MetaRVMParams(ts=0.6), seed=1)
+        assert result.total_hospitalizations()[0] > 0
+
+    def test_no_transmission_no_hospitalizations_beyond_seeds(self, model):
+        """With ts=tv=0 only the initial infections can progress."""
+        result = model.run(MetaRVMParams(ts=0.0, tv=0.0), seed=1)
+        initial = sum(model.config.initial_infections)
+        assert result.new_infections.sum() == 0
+        assert result.total_hospitalizations()[0] <= initial
+
+    def test_deterministic_mode_conserves_and_is_smooth(self, model):
+        result = model.run(MetaRVMParams(), seed=0, stochastic=False)
+        totals = result.trajectories[0].sum(axis=1)
+        assert np.allclose(totals, np.asarray(model.config.population, float))
+        # expected-value mode is seed-independent
+        result2 = model.run(MetaRVMParams(), seed=99, stochastic=False)
+        assert np.allclose(result.trajectories, result2.trajectories)
+
+    def test_stochastic_mean_near_deterministic(self):
+        model = MetaRVM(MetaRVMConfig(n_days=40))
+        det = model.run(MetaRVMParams(), stochastic=False).total_hospitalizations()[0]
+        stoch = np.mean(
+            [model.run(MetaRVMParams(), seed=s).total_hospitalizations()[0] for s in range(8)]
+        )
+        assert abs(stoch - det) / max(det, 1.0) < 0.25
+
+    def test_compartment_accessor_validates(self, model):
+        result = model.run(MetaRVMParams(), seed=1)
+        with pytest.raises(ValidationError):
+            result.compartment("X")
+
+    def test_result_summaries(self, model):
+        result = model.run(MetaRVMParams(), seed=1)
+        assert 0.0 <= result.attack_rate()[0] <= 1.5  # reinfections can exceed 1
+        assert result.peak_hospital_occupancy()[0] >= 0
+
+
+class TestBatch:
+    def test_batch_matches_single_run_with_common_noise(self, model):
+        """A batch row equals the single run at the same parameters/seed."""
+        point = np.array([[0.5, 0.2, 0.6, 0.2, 0.1]])
+        params = MetaRVMParams().with_gsa_values(point[0])
+        single = model.run(params, seed=11)
+        batch = model.run_batch(point, seed=11)
+        assert np.allclose(single.trajectories, batch.trajectories)
+
+    def test_common_noise_rows_identical_for_identical_params(self, model):
+        point = np.array([0.5, 0.2, 0.6, 0.2, 0.1])
+        batch = model.run_batch(np.stack([point, point]), seed=3, common_noise=True)
+        assert np.allclose(batch.trajectories[0], batch.trajectories[1])
+
+    def test_independent_noise_rows_differ(self, model):
+        point = np.array([0.5, 0.2, 0.6, 0.2, 0.1])
+        batch = model.run_batch(np.stack([point, point]), seed=3, common_noise=False)
+        assert not np.allclose(batch.trajectories[0], batch.trajectories[1])
+
+    def test_crn_smoothness(self, model):
+        """Nearby parameter points give nearby outputs under common noise."""
+        base = np.array([0.5, 0.2, 0.6, 0.2, 0.1])
+        bumped = base.copy()
+        bumped[0] += 1e-3
+        y = model.total_hospitalizations(np.stack([base, bumped]), seed=7)
+        assert abs(y[1] - y[0]) / max(y[0], 1.0) < 0.05
+
+    def test_batch_population_conserved(self, model):
+        rng = np.random.default_rng(0)
+        x = GSA_PARAMETER_SPACE.sample(16, rng)
+        result = model.run_batch(x, seed=5)
+        pop = np.asarray(model.config.population, dtype=float)
+        totals = result.trajectories.sum(axis=2)  # (batch, days, g)
+        assert np.allclose(totals, pop[None, None, :])
+
+    def test_wrong_column_count_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.run_batch(np.zeros((3, 4)))
+
+    def test_qoi_monotone_in_psh_on_average(self, model):
+        """More hospitalization probability => more hospitalizations (CRN)."""
+        low = np.array([0.5, 0.2, 0.6, 0.12, 0.1])
+        high = np.array([0.5, 0.2, 0.6, 0.38, 0.1])
+        y = model.total_hospitalizations(np.stack([low, high]), seed=9)
+        assert y[1] > y[0]
+
+    def test_phd_does_not_affect_admissions(self, model):
+        """The QoI is admissions; death probability acts after admission."""
+        a = np.array([0.5, 0.2, 0.6, 0.2, 0.0])
+        b = np.array([0.5, 0.2, 0.6, 0.2, 0.3])
+        y = model.total_hospitalizations(np.stack([a, b]), seed=9)
+        assert np.isclose(y[0], y[1], rtol=0.02)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_conserves_population(self, seed):
+        model = MetaRVM(MetaRVMConfig(n_days=20, population=(5000, 5000), initial_infections=(5, 5)))
+        result = model.run(MetaRVMParams(), seed=seed)
+        totals = result.trajectories[0].sum(axis=1)
+        assert np.allclose(totals, 5000.0)
+        assert result.trajectories.min() >= 0
+
+
+class TestTransitionGraph:
+    def test_matches_figure3(self):
+        graph = transition_graph()
+        assert set(graph.nodes) == set(COMPARTMENTS)
+        assert graph.number_of_edges() == 13
+        # the paper's transitions
+        for edge in [
+            ("S", "E"), ("V", "E"), ("S", "V"), ("V", "S"),
+            ("E", "Ia"), ("E", "Ip"), ("Ia", "R"), ("Ip", "Is"),
+            ("Is", "R"), ("Is", "H"), ("H", "R"), ("H", "D"), ("R", "S"),
+        ]:
+            assert graph.has_edge(*edge), edge
+
+    def test_d_is_absorbing(self):
+        graph = transition_graph()
+        assert graph.out_degree("D") == 0
+
+    def test_edges_labeled_with_parameters(self):
+        graph = transition_graph()
+        assert graph.edges["S", "E"]["parameters"] == "ts"
+        assert "psh" in graph.edges["Is", "H"]["parameters"]

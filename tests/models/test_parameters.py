@@ -1,0 +1,135 @@
+"""Tests for parameter spaces and the MetaRVM parameter set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.models.parameters import (
+    GSA_PARAMETER_SPACE,
+    MetaRVMParams,
+    ParameterSpace,
+    table1_rows,
+)
+
+
+class TestParameterSpace:
+    def test_table1_matches_paper(self):
+        rows = table1_rows()
+        assert [r[0] for r in rows] == ["ts", "tv", "pea", "psh", "phd"]
+        bounds = dict(zip(GSA_PARAMETER_SPACE.names, GSA_PARAMETER_SPACE.bounds.tolist()))
+        assert bounds["ts"] == [0.1, 0.9]
+        assert bounds["tv"] == [0.01, 0.5]
+        assert bounds["pea"] == [0.4, 0.9]
+        assert bounds["psh"] == [0.1, 0.4]
+        assert bounds["phd"] == [0.0, 0.3]
+        assert GSA_PARAMETER_SPACE.description("pea") == "Proportion of asymptomatic cases"
+
+    def test_scale_unscale_roundtrip(self):
+        space = GSA_PARAMETER_SPACE
+        rng = np.random.default_rng(0)
+        unit = rng.random((20, space.dim))
+        natural = space.scale(unit)
+        assert np.allclose(space.unscale(natural), unit)
+
+    def test_scale_corners(self):
+        space = ParameterSpace([("a", (2.0, 4.0)), ("b", (-1.0, 1.0))])
+        assert np.allclose(space.scale([[0, 0]]), [[2.0, -1.0]])
+        assert np.allclose(space.scale([[1, 1]]), [[4.0, 1.0]])
+
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(ValidationError):
+            GSA_PARAMETER_SPACE.scale([[1.5, 0, 0, 0, 0]])
+
+    def test_out_of_space_rejected(self):
+        with pytest.raises(ValidationError):
+            GSA_PARAMETER_SPACE.unscale([[0.95, 0.2, 0.5, 0.2, 0.1]])  # ts above 0.9
+
+    def test_sample_within_bounds(self):
+        rng = np.random.default_rng(1)
+        sample = GSA_PARAMETER_SPACE.sample(50, rng)
+        low = GSA_PARAMETER_SPACE.bounds[:, 0]
+        high = GSA_PARAMETER_SPACE.bounds[:, 1]
+        assert np.all(sample >= low) and np.all(sample <= high)
+
+    def test_to_dicts_from_dict_roundtrip(self):
+        rng = np.random.default_rng(2)
+        sample = GSA_PARAMETER_SPACE.sample(3, rng)
+        dicts = GSA_PARAMETER_SPACE.to_dicts(sample)
+        assert len(dicts) == 3
+        back = np.stack([GSA_PARAMETER_SPACE.from_dict(d) for d in dicts])
+        assert np.allclose(back, sample)
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ValidationError):
+            GSA_PARAMETER_SPACE.from_dict({"ts": 0.5})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ParameterSpace([("a", (0, 1)), ("a", (0, 1))])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            ParameterSpace([("a", (1, 0))])
+
+    def test_contains(self):
+        assert "ts" in GSA_PARAMETER_SPACE
+        assert "zz" not in GSA_PARAMETER_SPACE
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_scale_preserves_shape(self, n):
+        rng = np.random.default_rng(n)
+        unit = rng.random((n, 5))
+        assert GSA_PARAMETER_SPACE.scale(unit).shape == (n, 5)
+
+
+class TestMetaRVMParams:
+    def test_defaults_valid(self):
+        params = MetaRVMParams()
+        assert params.psh == 0.2
+
+    def test_probability_validated(self):
+        with pytest.raises(ValidationError):
+            MetaRVMParams(pea=1.5)
+        with pytest.raises(ValidationError):
+            MetaRVMParams(phd=-0.1)
+
+    def test_durations_validated(self):
+        with pytest.raises(ValidationError):
+            MetaRVMParams(de=0.0)
+
+    def test_rates_validated(self):
+        with pytest.raises(ValidationError):
+            MetaRVMParams(ts=-0.5)
+
+    def test_with_updates(self):
+        params = MetaRVMParams().with_updates(ts=0.7)
+        assert params.ts == 0.7
+        with pytest.raises(ValidationError):
+            MetaRVMParams().with_updates(nonsense=1.0)
+        with pytest.raises(ValidationError):
+            MetaRVMParams().with_updates(pea=2.0)
+
+    def test_with_gsa_values_array(self):
+        point = np.array([0.5, 0.3, 0.6, 0.2, 0.1])
+        params = MetaRVMParams().with_gsa_values(point)
+        assert params.ts == 0.5 and params.phd == 0.1
+        # non-GSA parameters keep their nominal values
+        assert params.de == MetaRVMParams().de
+
+    def test_with_gsa_values_mapping(self):
+        params = MetaRVMParams().with_gsa_values(
+            {"ts": 0.2, "tv": 0.1, "pea": 0.5, "psh": 0.3, "phd": 0.05}
+        )
+        assert params.psh == 0.3
+
+    def test_with_gsa_values_wrong_size(self):
+        with pytest.raises(ValidationError):
+            MetaRVMParams().with_gsa_values(np.array([0.5, 0.3]))
+
+    def test_as_dict_roundtrip(self):
+        params = MetaRVMParams(ts=0.33)
+        rebuilt = MetaRVMParams(**params.as_dict())
+        assert rebuilt == params

@@ -1,0 +1,161 @@
+"""Tests for the SEIR substrate and mixing matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.models.mixing import (
+    age_structured_mixing,
+    assortative_mixing,
+    uniform_mixing,
+    validate_mixing,
+)
+from repro.models.seir import (
+    SEIRParams,
+    case_reproduction_number,
+    discretized_gamma,
+    renewal_incidence,
+    seir_deterministic,
+    seir_stochastic,
+)
+
+
+class TestMixing:
+    @pytest.mark.parametrize("maker", [uniform_mixing, assortative_mixing, age_structured_mixing])
+    def test_rows_sum_to_one(self, maker):
+        matrix = maker(4)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        validate_mixing(matrix, 4)
+
+    def test_assortativity_extremes(self):
+        assert np.allclose(assortative_mixing(3, 0.0), uniform_mixing(3))
+        iso = assortative_mixing(3, 1.0)
+        assert np.allclose(iso, np.eye(3))
+
+    def test_age_structure_decays_off_diagonal(self):
+        matrix = age_structured_mixing(4, 0.0)
+        assert matrix[0, 1] > matrix[0, 3]
+
+    def test_validate_rejects_bad(self):
+        with pytest.raises(ValidationError):
+            validate_mixing(np.ones((2, 2)), 2)  # rows sum to 2
+        with pytest.raises(ValidationError):
+            validate_mixing(np.eye(3), 2)  # wrong shape
+        bad = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValidationError):
+            validate_mixing(bad, 2)
+
+
+class TestSEIR:
+    def test_deterministic_conserves_population(self):
+        out = seir_deterministic(SEIRParams(), 10_000, 10, 60)
+        total = out["S"] + out["E"] + out["I"] + out["R"]
+        assert np.allclose(total, 10_000)
+
+    def test_epidemic_grows_when_r0_above_one(self):
+        params = SEIRParams(beta=0.5, di=5.0)  # R0 = 2.5
+        out = seir_deterministic(params, 100_000, 10, 120)
+        assert out["R"][-1] > 100_000 * 0.5  # major epidemic
+
+    def test_no_epidemic_when_r0_below_one(self):
+        params = SEIRParams(beta=0.1, di=5.0)  # R0 = 0.5
+        out = seir_deterministic(params, 100_000, 10, 120)
+        assert out["R"][-1] < 100_000 * 0.01
+
+    def test_stochastic_conserves_population(self):
+        rng = generator_from_seed(0)
+        out = seir_stochastic(SEIRParams(), 10_000, 10, 60, rng)
+        total = out["S"] + out["E"] + out["I"] + out["R"]
+        assert np.all(total == 10_000)
+
+    def test_stochastic_deterministic_given_seed(self):
+        a = seir_stochastic(SEIRParams(), 5000, 5, 30, generator_from_seed(7))
+        b = seir_stochastic(SEIRParams(), 5000, 5, 30, generator_from_seed(7))
+        assert np.array_equal(a["I"], b["I"])
+
+    def test_stochastic_mean_tracks_deterministic(self):
+        params = SEIRParams(beta=0.4)
+        det = seir_deterministic(params, 50_000, 50, 60, steps_per_day=1)
+        finals = [
+            seir_stochastic(params, 50_000, 50, 60, generator_from_seed(s))["R"][-1]
+            for s in range(10)
+        ]
+        assert abs(np.mean(finals) - det["R"][-1]) / det["R"][-1] < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            seir_deterministic(SEIRParams(), 100, 200, 10)
+        with pytest.raises(ValidationError):
+            SEIRParams(de=-1)
+
+
+class TestDiscretizedGamma:
+    def test_pmf_properties(self):
+        pmf = discretized_gamma(6.0, 3.0, 21)
+        assert pmf.shape == (21,)
+        assert np.all(pmf >= 0)
+        assert np.isclose(pmf.sum(), 1.0)
+
+    def test_mean_approximates_target(self):
+        pmf = discretized_gamma(6.0, 3.0, 40)
+        mean = np.sum(np.arange(1, 41) * pmf)
+        assert abs(mean - 6.5) < 0.5  # interval mass centers at mean + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            discretized_gamma(-1.0, 1.0, 10)
+
+
+class TestRenewal:
+    def test_constant_r_one_keeps_incidence_flat(self):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        incidence = renewal_incidence(np.ones(80), gen, seed_incidence=100.0)
+        # After the seeding transient the level is constant (R = 1).
+        assert np.ptp(incidence[40:]) < 0.01 * incidence[-1]
+        assert 80.0 < incidence[-1] <= 100.0
+
+    def test_r_above_one_grows(self):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        incidence = renewal_incidence(np.full(60, 1.5), gen, seed_incidence=100.0)
+        assert incidence[-1] > incidence[20] > 100.0
+
+    def test_r_below_one_decays(self):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        incidence = renewal_incidence(np.full(60, 0.6), gen, seed_incidence=100.0)
+        assert incidence[-1] < 20.0
+
+    def test_inversion_recovers_rt(self):
+        """case_reproduction_number inverts renewal_incidence exactly
+        (deterministic mode)."""
+        gen = discretized_gamma(5.0, 2.0, 15)
+        rt_true = np.concatenate([np.full(30, 1.3), np.full(30, 0.8)])
+        incidence = renewal_incidence(rt_true, gen, seed_incidence=50.0)
+        recovered = case_reproduction_number(incidence, gen)
+        assert np.allclose(recovered[10:], rt_true[10:], rtol=1e-8)
+
+    def test_poisson_mode_reproducible(self):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        rt = np.full(40, 1.2)
+        a = renewal_incidence(rt, gen, rng=generator_from_seed(3))
+        b = renewal_incidence(rt, gen, rng=generator_from_seed(3))
+        assert np.array_equal(a, b)
+
+    def test_negative_rt_rejected(self):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        with pytest.raises(ValidationError):
+            renewal_incidence(np.array([-1.0, 1.0]), gen)
+
+    def test_bad_pmf_rejected(self):
+        with pytest.raises(ValidationError):
+            renewal_incidence(np.ones(10), np.array([0.5, 0.2]))  # sums to 0.7
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.3, max_value=2.0))
+    def test_incidence_never_negative(self, r):
+        gen = discretized_gamma(5.0, 2.0, 15)
+        incidence = renewal_incidence(np.full(50, r), gen)
+        assert np.all(incidence >= 0)

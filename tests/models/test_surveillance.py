@@ -1,0 +1,121 @@
+"""Tests for the surveillance observation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.models.seir import discretized_gamma, renewal_incidence
+from repro.models.surveillance import (
+    MANDATE_ERA,
+    POST_MANDATE,
+    SurveillanceScenario,
+    effective_case_count,
+    observe_cases,
+    observe_hospital_admissions,
+)
+
+INCIDENCE = renewal_incidence(
+    np.full(100, 1.2), discretized_gamma(6.0, 3.0, 21), seed_incidence=500.0
+)
+
+
+class TestScenario:
+    def test_presets_ordered_by_quality(self):
+        assert MANDATE_ERA.reporting_fraction > POST_MANDATE.reporting_fraction
+        assert MANDATE_ERA.weekday_amplitude < POST_MANDATE.weekday_amplitude
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SurveillanceScenario(reporting_fraction=1.5)
+        with pytest.raises(ValidationError):
+            SurveillanceScenario(weekday_amplitude=1.0)
+        with pytest.raises(ValidationError):
+            SurveillanceScenario(delay_mean=0.0)
+        with pytest.raises(ValidationError):
+            SurveillanceScenario(reporting_decay=0.5)
+
+
+class TestObserveCases:
+    def test_expectation_mode_smooth_and_scaled(self):
+        observed = observe_cases(INCIDENCE, MANDATE_ERA)
+        # roughly reporting_fraction of delayed incidence
+        ratio = observed.sum() / INCIDENCE.sum()
+        assert 0.3 < ratio < 0.6
+
+    def test_post_mandate_reports_far_fewer(self):
+        mandate = observe_cases(INCIDENCE, MANDATE_ERA)
+        post = observe_cases(INCIDENCE, POST_MANDATE)
+        assert effective_case_count(post) < 0.5 * effective_case_count(mandate)
+
+    def test_reporting_decay_erodes_tail(self):
+        decaying = SurveillanceScenario(
+            reporting_fraction=0.3, reporting_decay=0.02, weekday_amplitude=0.0
+        )
+        stable = SurveillanceScenario(
+            reporting_fraction=0.3, reporting_decay=0.0, weekday_amplitude=0.0
+        )
+        flat = np.full(100, 1000.0)
+        tail_ratio = observe_cases(flat, decaying)[-1] / observe_cases(flat, stable)[-1]
+        assert tail_ratio < 0.3
+
+    def test_weekday_artifacts_present(self):
+        scenario = SurveillanceScenario(
+            reporting_fraction=0.3, weekday_amplitude=0.35
+        )
+        observed = observe_cases(np.full(70, 1000.0), scenario)
+        steady = observed[30:]
+        # strong within-week modulation
+        assert steady.max() / steady.min() > 1.3
+
+    def test_delay_shifts_peak_later(self):
+        observed = observe_cases(INCIDENCE, MANDATE_ERA)
+        assert int(np.argmax(observed)) >= int(np.argmax(INCIDENCE))
+
+    def test_stochastic_mode_reproducible_and_integer(self):
+        a = observe_cases(INCIDENCE, POST_MANDATE, generator_from_seed(4))
+        b = observe_cases(INCIDENCE, POST_MANDATE, generator_from_seed(4))
+        assert np.array_equal(a, b)
+        assert np.all(a == np.round(a))
+
+    def test_negative_incidence_rejected(self):
+        with pytest.raises(ValidationError):
+            observe_cases(np.array([-1.0, 2.0]), MANDATE_ERA)
+
+
+class TestObserveHospitalAdmissions:
+    def test_scaled_and_delayed(self):
+        admissions = observe_hospital_admissions(INCIDENCE, severity_fraction=0.05)
+        assert 0.03 < admissions.sum() / INCIDENCE.sum() < 0.06
+        assert int(np.argmax(admissions)) >= int(np.argmax(INCIDENCE))
+
+    def test_zero_severity_rejected(self):
+        with pytest.raises(ValidationError):
+            observe_hospital_admissions(INCIDENCE, severity_fraction=0.0)
+
+    def test_stochastic_mode(self):
+        a = observe_hospital_admissions(INCIDENCE, rng=generator_from_seed(1))
+        b = observe_hospital_admissions(INCIDENCE, rng=generator_from_seed(1))
+        assert np.array_equal(a, b)
+
+
+class TestCoriOnDegradedStreams:
+    def test_estimation_degrades_with_surveillance_quality(self):
+        """The paper's motivating gradient: worse surveillance, worse R(t)."""
+        from repro.common.timeseries import TimeSeries
+        from repro.rt import estimate_rt_cori
+
+        gen = discretized_gamma(6.0, 3.0, 21)
+        rt_true = np.concatenate([np.full(60, 1.3), np.full(60, 0.8)])
+        incidence = renewal_incidence(rt_true, gen, seed_incidence=2000.0)
+        truth = TimeSeries(np.arange(120.0), rt_true)
+        rng = generator_from_seed(7)
+
+        maes = []
+        for scenario in (MANDATE_ERA, POST_MANDATE):
+            observed = observe_cases(incidence, scenario, rng)
+            estimate = estimate_rt_cori(observed, gen)
+            maes.append(estimate.mae_against(truth))
+        assert maes[1] > maes[0]

@@ -1,0 +1,130 @@
+"""Tests for the synthetic wastewater surveillance generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.timeseries import TimeSeries
+from repro.models.wastewater import (
+    CHICAGO_PLANTS,
+    SyntheticIWSS,
+    WastewaterPlant,
+    default_rt_scenario,
+    shedding_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def iwss():
+    return SyntheticIWSS(n_days=120, seed=99)
+
+
+class TestPlants:
+    def test_paper_plants_present(self):
+        names = {p.name for p in CHICAGO_PLANTS}
+        assert names == {"obrien", "calumet", "stickney-south", "stickney-north"}
+
+    def test_plant_validation(self):
+        with pytest.raises(ValidationError):
+            WastewaterPlant("", population=100)
+        with pytest.raises(ValidationError):
+            WastewaterPlant("x", population=100, missing_rate=1.0)
+
+
+class TestScenario:
+    def test_rt_scenario_crosses_one(self):
+        rt = default_rt_scenario(150)
+        above = rt > 1.0
+        crossings = np.sum(above[1:] != above[:-1])
+        assert crossings >= 2  # wave, control, rebound
+
+    def test_rt_positive(self):
+        assert default_rt_scenario(100).min() > 0
+
+    def test_shedding_kernel_is_pmf(self):
+        kernel = shedding_kernel()
+        assert np.isclose(kernel.sum(), 1.0)
+        assert np.all(kernel >= 0)
+        # peaks after about a week
+        assert 4 <= np.argmax(kernel) <= 12
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = SyntheticIWSS(n_days=60, seed=1).dataset("obrien")
+        b = SyntheticIWSS(n_days=60, seed=1).dataset("obrien")
+        assert np.array_equal(a.true_incidence, b.true_incidence)
+        assert np.allclose(
+            a.concentrations.values, b.concentrations.values, equal_nan=True
+        )
+
+    def test_seeds_change_data(self):
+        a = SyntheticIWSS(n_days=60, seed=1).dataset("obrien")
+        b = SyntheticIWSS(n_days=60, seed=2).dataset("obrien")
+        assert not np.allclose(
+            a.concentrations.values, b.concentrations.values, equal_nan=True
+        )
+
+    def test_plants_have_distinct_signals(self, iwss):
+        a = iwss.dataset("obrien").concentrations.values
+        b = iwss.dataset("calumet").concentrations.values
+        assert not np.allclose(a, b, equal_nan=True)
+
+    def test_concentrations_positive_where_observed(self, iwss):
+        values = iwss.dataset("obrien").concentrations.values
+        finite = values[np.isfinite(values)]
+        assert np.all(finite > 0)
+
+    def test_some_samples_missing(self, iwss):
+        values = iwss.dataset("stickney-south").concentrations.values
+        assert np.any(~np.isfinite(values))
+
+    def test_concentration_tracks_incidence_shape(self, iwss):
+        """The (noise-free) peak of concentration lags the incidence peak."""
+        ds = iwss.dataset("obrien")
+        incidence_peak = int(np.argmax(ds.true_incidence))
+        smooth = ds.concentrations.dropna().rolling_mean(5)
+        conc_peak = float(smooth.times[np.argmax(smooth.values)])
+        # shedding delays the peak; observation noise jitters it
+        assert -10 <= conc_peak - incidence_peak <= 30
+
+    def test_unknown_plant(self, iwss):
+        with pytest.raises(NotFoundError):
+            iwss.dataset("ghost")
+
+    def test_duplicate_plant_names_rejected(self):
+        plant = WastewaterPlant("dup", population=1000)
+        with pytest.raises(ValidationError):
+            SyntheticIWSS(plants=[plant, plant], n_days=30)
+
+
+class TestFeed:
+    def test_feed_grows_with_time(self, iwss):
+        early = iwss.csv_feed("obrien", 30)
+        late = iwss.csv_feed("obrien", 60)
+        assert len(late) > len(early)
+        assert late.startswith(early[: len(early) - 1])  # prefix property
+
+    def test_feed_is_deterministic_function_of_day(self, iwss):
+        assert iwss.csv_feed("obrien", 45) == iwss.csv_feed("obrien", 45)
+
+    def test_feed_constant_between_samples(self, iwss):
+        """Checksum-based change detection: no new sample, no change."""
+        assert iwss.csv_feed("obrien", 10.0) == iwss.csv_feed("obrien", 10.9)
+
+    def test_feed_parses_as_timeseries(self, iwss):
+        series = TimeSeries.from_csv(iwss.csv_feed("calumet", 50))
+        assert series.end <= 50
+
+    def test_observations_until(self, iwss):
+        series = iwss.observations_until("obrien", 40)
+        assert series.end <= 40
+
+
+class TestWeights:
+    def test_weights_normalized(self, iwss):
+        weights = iwss.population_weights()
+        assert np.isclose(sum(weights.values()), 1.0)
+        assert weights["obrien"] == max(weights.values())  # largest population

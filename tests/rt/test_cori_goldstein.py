@@ -1,0 +1,190 @@
+"""Tests for the Cori and Goldstein R(t) estimators and ensembling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.common.timeseries import TimeSeries
+from repro.models.seir import discretized_gamma, renewal_incidence
+from repro.models.wastewater import SyntheticIWSS
+from repro.rt import (
+    GoldsteinConfig,
+    estimate_rt_cori,
+    estimate_rt_goldstein,
+    population_weighted_ensemble,
+)
+from repro.rt.cori import infection_pressure
+from repro.rt.ensemble import mean_band_width
+
+
+GEN = discretized_gamma(6.0, 3.0, 21)
+
+
+class TestCori:
+    def test_recovers_constant_r(self):
+        rt = np.full(90, 1.3)
+        incidence = renewal_incidence(rt, GEN, seed_incidence=500.0)
+        estimate = estimate_rt_cori(incidence, GEN)
+        # after the burn-in, the median should sit near 1.3
+        assert np.allclose(estimate.median[30:], 1.3, atol=0.05)
+
+    def test_tracks_step_change(self):
+        rt = np.concatenate([np.full(45, 1.4), np.full(45, 0.7)])
+        incidence = renewal_incidence(rt, GEN, seed_incidence=500.0)
+        estimate = estimate_rt_cori(incidence, GEN)
+        late = estimate.median[estimate.times >= 70]
+        assert np.allclose(late, 0.7, atol=0.1)
+
+    def test_band_narrows_with_more_cases(self):
+        rt = np.full(60, 1.2)
+        small = renewal_incidence(rt, GEN, seed_incidence=50.0)
+        large = renewal_incidence(rt, GEN, seed_incidence=5000.0)
+        width_small = np.mean(estimate_rt_cori(small, GEN).band_width())
+        width_large = np.mean(estimate_rt_cori(large, GEN).band_width())
+        assert width_large < width_small
+
+    def test_infection_pressure_zero_at_start(self):
+        pressure = infection_pressure(np.ones(10), GEN)
+        assert pressure[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            estimate_rt_cori(np.array([-1.0, 2.0] * 10), GEN)
+        with pytest.raises(ValidationError):
+            estimate_rt_cori(np.ones(5), GEN, window=7)
+
+    def test_meta_passthrough(self):
+        incidence = renewal_incidence(np.full(40, 1.1), GEN, seed_incidence=100.0)
+        estimate = estimate_rt_cori(incidence, GEN, meta={"plant": "x"})
+        assert estimate.meta["plant"] == "x"
+        assert estimate.meta["method"] == "cori"
+
+
+@pytest.fixture(scope="module")
+def iwss():
+    return SyntheticIWSS(n_days=110, seed=7)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return GoldsteinConfig(n_iterations=1200)
+
+
+class TestGoldstein:
+    def test_tracks_truth_shape(self, iwss, quick_config):
+        ds = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=1)
+        assert estimate.mae_against(ds.true_rt) < 0.2
+        # direction of the wave: early R above late-trough R
+        early = float(np.mean(estimate.median[10:25]))
+        trough = float(np.mean(estimate.median[45:60]))
+        assert early > trough
+
+    def test_estimate_is_deterministic_given_seed(self, iwss, quick_config):
+        ds = iwss.dataset("calumet")
+        a = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=3)
+        b = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=3)
+        assert np.allclose(a.median, b.median)
+
+    def test_posterior_samples_attached(self, iwss, quick_config):
+        ds = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=1)
+        assert estimate.samples is not None
+        assert estimate.samples.shape[1] == estimate.n_days
+
+    def test_acceptance_reasonable(self, iwss, quick_config):
+        ds = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=1)
+        assert 0.05 < estimate.meta["acceptance_rate"] < 0.7
+
+    def test_too_few_samples_rejected(self, quick_config):
+        tiny = TimeSeries(np.arange(5.0), np.ones(5))
+        with pytest.raises(ValidationError):
+            estimate_rt_goldstein(tiny, config=quick_config)
+
+    def test_nonpositive_concentrations_rejected(self, quick_config):
+        bad = TimeSeries(np.arange(20.0), np.concatenate([[0.0], np.ones(19)]))
+        with pytest.raises(ValidationError):
+            estimate_rt_goldstein(bad, config=quick_config)
+
+    def test_missing_samples_tolerated(self, iwss, quick_config):
+        """NaN (missing) samples are dropped, not fatal."""
+        ds = iwss.dataset("stickney-south")  # has missing samples
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=2)
+        assert estimate.n_days > 0
+
+
+class TestEnsemble:
+    def _estimates(self, iwss, config):
+        return {
+            name: estimate_rt_goldstein(
+                iwss.dataset(name).concentrations, config=config, seed=5
+            )
+            for name in iwss.plant_names()
+        }
+
+    def test_ensemble_narrows_band(self, iwss, quick_config):
+        estimates = self._estimates(iwss, quick_config)
+        ensemble = population_weighted_ensemble(estimates, iwss.population_weights())
+        mean_individual = np.mean([mean_band_width(e) for e in estimates.values()])
+        assert mean_band_width(ensemble) < mean_individual
+
+    def test_weights_must_cover_sources(self, iwss, quick_config):
+        ds = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=5)
+        with pytest.raises(ValidationError):
+            population_weighted_ensemble({"obrien": estimate}, {})
+
+    def test_requires_samples(self):
+        flat = np.ones(20)
+        no_samples = __import__("repro.rt.estimate", fromlist=["RtEstimate"]).RtEstimate(
+            times=np.arange(20.0), median=flat, lower=flat - 0.1, upper=flat + 0.1
+        )
+        with pytest.raises(ValidationError):
+            population_weighted_ensemble({"a": no_samples}, {"a": 1.0})
+
+    def test_single_source_ensemble_matches_source(self, iwss, quick_config):
+        ds = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(ds.concentrations, config=quick_config, seed=5)
+        ensemble = population_weighted_ensemble({"obrien": estimate}, {"obrien": 2.0})
+        grid_mask = np.isin(estimate.times, ensemble.times)
+        assert np.allclose(
+            ensemble.median, estimate.median[grid_mask], atol=0.05
+        )
+
+    def test_weight_normalization_recorded(self, iwss, quick_config):
+        estimates = self._estimates(iwss, quick_config)
+        ensemble = population_weighted_ensemble(estimates, iwss.population_weights())
+        assert np.isclose(sum(ensemble.meta["weights"].values()), 1.0)
+
+
+class TestMultiChainGoldstein:
+    def test_r_hat_reported_and_reasonable(self, iwss):
+        config = GoldsteinConfig(n_iterations=1500, n_chains=3)
+        estimate = estimate_rt_goldstein(
+            iwss.dataset("obrien").concentrations, config=config, seed=4
+        )
+        assert estimate.meta["n_chains"] == 3
+        assert "max_r_hat" in estimate.meta
+        # the random-walk posterior is slow-mixing; R-hat should at least be
+        # finite and in a plausible range at this chain length
+        assert 0.9 < estimate.meta["max_r_hat"] < 3.0
+
+    def test_single_chain_omits_r_hat(self, iwss, quick_config):
+        estimate = estimate_rt_goldstein(
+            iwss.dataset("obrien").concentrations, config=quick_config, seed=4
+        )
+        assert "max_r_hat" not in estimate.meta
+
+    def test_multichain_deterministic(self, iwss):
+        config = GoldsteinConfig(n_iterations=800, n_chains=2)
+        a = estimate_rt_goldstein(
+            iwss.dataset("calumet").concentrations, config=config, seed=9
+        )
+        b = estimate_rt_goldstein(
+            iwss.dataset("calumet").concentrations, config=config, seed=9
+        )
+        assert np.allclose(a.median, b.median)

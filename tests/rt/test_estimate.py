@@ -1,0 +1,131 @@
+"""Tests for the RtEstimate container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeseries import TimeSeries
+from repro.rt.estimate import RtEstimate
+
+
+def make_estimate(n=30, level=1.0, width=0.2):
+    times = np.arange(n, dtype=float)
+    median = np.full(n, level)
+    return RtEstimate(
+        times=times,
+        median=median,
+        lower=median - width / 2,
+        upper=median + width / 2,
+        meta={"plant": "test"},
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        estimate = make_estimate()
+        assert estimate.n_days == 30
+        assert np.allclose(estimate.band_width(), 0.2)
+
+    def test_band_order_enforced(self):
+        with pytest.raises(ValidationError):
+            RtEstimate(
+                times=np.arange(3.0),
+                median=np.ones(3),
+                lower=np.full(3, 1.5),  # lower above median
+                upper=np.full(3, 2.0),
+            )
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(ValidationError):
+            RtEstimate(
+                times=np.arange(3.0),
+                median=np.ones(3),
+                lower=np.full(3, -0.1),
+                upper=np.full(3, 2.0),
+            )
+
+    def test_sample_shape_checked(self):
+        with pytest.raises(ValidationError):
+            RtEstimate(
+                times=np.arange(3.0),
+                median=np.ones(3),
+                lower=np.full(3, 0.5),
+                upper=np.full(3, 1.5),
+                samples=np.ones((10, 4)),
+            )
+
+
+class TestFromSamples:
+    def test_quantiles(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(1.0, 0.1, size=(2000, 10)).clip(min=0)
+        estimate = RtEstimate.from_samples(np.arange(10.0), samples)
+        assert np.allclose(estimate.median, 1.0, atol=0.02)
+        assert np.allclose(estimate.upper - estimate.lower, 0.392, atol=0.05)
+
+    def test_sample_thinning(self):
+        samples = np.ones((5000, 4))
+        estimate = RtEstimate.from_samples(
+            np.arange(4.0), samples, max_kept_samples=100
+        )
+        assert estimate.samples.shape[0] <= 100
+
+    def test_keep_samples_false(self):
+        estimate = RtEstimate.from_samples(
+            np.arange(4.0), np.ones((100, 4)), keep_samples=False
+        )
+        assert estimate.samples is None
+
+
+class TestValidationMetrics:
+    def test_coverage_perfect(self):
+        estimate = make_estimate(level=1.0, width=0.5)
+        truth = TimeSeries(np.arange(30.0), np.full(30, 1.1))
+        assert estimate.coverage_of(truth) == 1.0
+
+    def test_coverage_zero(self):
+        estimate = make_estimate(level=1.0, width=0.1)
+        truth = TimeSeries(np.arange(30.0), np.full(30, 2.0))
+        assert estimate.coverage_of(truth) == 0.0
+
+    def test_mae(self):
+        estimate = make_estimate(level=1.0)
+        truth = TimeSeries(np.arange(30.0), np.full(30, 1.25))
+        assert np.isclose(estimate.mae_against(truth), 0.25)
+
+    def test_threshold_crossings(self):
+        times = np.arange(4.0)
+        median = np.array([0.8, 1.2, 0.9, 1.1])
+        estimate = RtEstimate(
+            times=times, median=median, lower=median - 0.1, upper=median + 0.1
+        )
+        assert estimate.threshold_crossings(1.0) == 3
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        estimate = make_estimate()
+        back = RtEstimate.from_json(estimate.to_json())
+        assert np.allclose(back.median, estimate.median)
+        assert back.meta["plant"] == "test"
+        assert back.samples is None
+
+    def test_json_with_samples(self):
+        samples = np.ones((50, 30))
+        estimate = RtEstimate.from_samples(np.arange(30.0), samples)
+        back = RtEstimate.from_json(estimate.to_json(include_samples=True))
+        assert back.samples is not None
+        assert back.samples.shape[1] == 30
+
+    def test_text_plot_renders(self):
+        plot = make_estimate().render_text_plot()
+        assert "R(t)" in plot
+        assert "|" in plot
+        assert len(plot.splitlines()) >= 4
+
+    def test_median_series(self):
+        series = make_estimate().median_series()
+        assert isinstance(series, TimeSeries)
+        assert series.meta["plant"] == "test"

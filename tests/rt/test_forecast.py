@@ -1,0 +1,121 @@
+"""Tests for incidence/hospitalization forecasting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import generator_from_seed
+from repro.models.seir import discretized_gamma, renewal_incidence
+from repro.rt.estimate import RtEstimate
+from repro.rt.forecast import forecast_hospitalizations, forecast_incidence
+
+
+def make_estimate(r_level: float, spread: float = 0.05, n_days: int = 60, n_draws: int = 200):
+    rng = generator_from_seed(1)
+    samples = np.clip(
+        rng.normal(r_level, spread, size=(n_draws, n_days)), 0.05, None
+    )
+    return RtEstimate.from_samples(np.arange(n_days, dtype=float), samples)
+
+
+def make_incidence(r_level: float, n_days: int = 60) -> np.ndarray:
+    gen = discretized_gamma(6.0, 3.0, 21)
+    return renewal_incidence(np.full(n_days, r_level), gen, seed_incidence=200.0)
+
+
+class TestForecastIncidence:
+    def test_growth_when_r_above_one(self):
+        estimate = make_estimate(1.3)
+        incidence = make_incidence(1.3)
+        forecast = forecast_incidence(estimate, incidence, horizon=21)
+        assert forecast.median[-1] > incidence[-1]
+
+    def test_decay_when_r_below_one(self):
+        estimate = make_estimate(0.7)
+        incidence = make_incidence(0.7)
+        forecast = forecast_incidence(estimate, incidence, horizon=21)
+        assert forecast.median[-1] < incidence[-1]
+
+    def test_band_orders(self):
+        forecast = forecast_incidence(make_estimate(1.1), make_incidence(1.1))
+        assert np.all(forecast.lower <= forecast.median)
+        assert np.all(forecast.median <= forecast.upper)
+
+    def test_uncertainty_fans_out(self):
+        forecast = forecast_incidence(make_estimate(1.1, spread=0.15), make_incidence(1.1))
+        width = forecast.upper - forecast.lower
+        assert width[-1] > width[0]
+
+    def test_damping_pulls_toward_steady_state(self):
+        estimate = make_estimate(1.4)
+        incidence = make_incidence(1.4)
+        wild = forecast_incidence(estimate, incidence, horizon=28, damping=0.0)
+        damped = forecast_incidence(estimate, incidence, horizon=28, damping=0.15)
+        assert damped.median[-1] < wild.median[-1]
+
+    def test_poisson_mode_reproducible(self):
+        estimate = make_estimate(1.0)
+        incidence = make_incidence(1.0)
+        a = forecast_incidence(estimate, incidence, rng=generator_from_seed(3))
+        b = forecast_incidence(estimate, incidence, rng=generator_from_seed(3))
+        assert np.array_equal(a.trajectories, b.trajectories)
+
+    def test_exceedance_probability_monotone_in_threshold(self):
+        forecast = forecast_incidence(make_estimate(1.2), make_incidence(1.2))
+        low = forecast.exceeds(10.0)
+        high = forecast.exceeds(1e6)
+        assert np.all(low >= high)
+        assert np.all((low >= 0) & (low <= 1))
+
+    def test_requires_samples(self):
+        flat = np.full(30, 1.0)
+        estimate = RtEstimate(
+            times=np.arange(30.0), median=flat, lower=flat - 0.1, upper=flat + 0.1
+        )
+        with pytest.raises(ValidationError):
+            forecast_incidence(estimate, make_incidence(1.0))
+
+    def test_requires_enough_history(self):
+        with pytest.raises(ValidationError):
+            forecast_incidence(make_estimate(1.0), np.ones(5))
+
+    def test_bad_damping(self):
+        with pytest.raises(ValidationError):
+            forecast_incidence(make_estimate(1.0), make_incidence(1.0), damping=1.0)
+
+
+class TestForecastHospitalizations:
+    def test_scaled_and_delayed(self):
+        forecast = forecast_incidence(make_estimate(1.0), make_incidence(1.0))
+        hosp = forecast_hospitalizations(forecast, hospitalization_fraction=0.05)
+        # admissions are a small, delayed fraction of incidence
+        assert hosp["median"][-1] < 0.2 * forecast.median[-1]
+        assert np.all(hosp["lower"] <= hosp["upper"])
+        # early days see few admissions (delay kernel ramps up)
+        assert hosp["median"][0] < hosp["median"][-1]
+
+    def test_fraction_validated(self):
+        forecast = forecast_incidence(make_estimate(1.0), make_incidence(1.0))
+        with pytest.raises(ValidationError):
+            forecast_hospitalizations(forecast, hospitalization_fraction=0.0)
+
+
+class TestEndToEnd:
+    def test_forecast_from_goldstein_posterior(self):
+        """Full chain: synthetic wastewater -> Goldstein -> forecast."""
+        from repro.models.wastewater import SyntheticIWSS
+        from repro.rt import GoldsteinConfig, estimate_rt_goldstein
+
+        iwss = SyntheticIWSS(n_days=110, seed=5)
+        dataset = iwss.dataset("obrien")
+        estimate = estimate_rt_goldstein(
+            dataset.concentrations, config=GoldsteinConfig(n_iterations=800), seed=2
+        )
+        forecast = forecast_incidence(
+            estimate, dataset.true_incidence, horizon=14, damping=0.05
+        )
+        assert forecast.horizon == 14
+        assert np.all(np.isfinite(forecast.median))
+        assert forecast.median.min() >= 0

@@ -1,0 +1,138 @@
+"""Tests for the adaptive Metropolis sampler against known distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.common.rng import generator_from_seed
+from repro.rt.mcmc import AdaptiveMetropolis, effective_sample_size
+
+
+class TestEffectiveSampleSize:
+    def test_iid_ess_near_n(self):
+        rng = generator_from_seed(0)
+        draws = rng.standard_normal(2000)
+        assert effective_sample_size(draws) > 1200
+
+    def test_correlated_ess_much_smaller(self):
+        rng = generator_from_seed(0)
+        noise = rng.standard_normal(2000)
+        ar1 = np.empty(2000)
+        ar1[0] = noise[0]
+        for i in range(1, 2000):
+            ar1[i] = 0.95 * ar1[i - 1] + noise[i]
+        assert effective_sample_size(ar1) < 300
+
+    def test_constant_series(self):
+        assert effective_sample_size(np.ones(100)) == 100.0
+
+    def test_tiny_series(self):
+        assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
+
+
+class TestSampler:
+    def test_standard_normal_moments(self):
+        sampler = AdaptiveMetropolis(lambda x: -0.5 * float(x @ x), dim=2)
+        result = sampler.run(np.zeros(2), 8000, generator_from_seed(1))
+        assert abs(result.posterior_mean()).max() < 0.15
+        assert abs(result.chain.std(axis=0) - 1.0).max() < 0.15
+
+    def test_correlated_gaussian(self):
+        cov = np.array([[1.0, 0.9], [0.9, 1.0]])
+        prec = np.linalg.inv(cov)
+
+        def log_post(x):
+            return -0.5 * float(x @ prec @ x)
+
+        sampler = AdaptiveMetropolis(log_post, dim=2)
+        result = sampler.run(np.zeros(2), 12000, generator_from_seed(2))
+        sample_corr = np.corrcoef(result.chain.T)[0, 1]
+        assert abs(sample_corr - 0.9) < 0.1
+
+    def test_acceptance_near_target(self):
+        sampler = AdaptiveMetropolis(
+            lambda x: -0.5 * float(x @ x), dim=4, target_accept=0.3
+        )
+        result = sampler.run(np.zeros(4), 6000, generator_from_seed(3))
+        assert 0.1 < result.acceptance_rate < 0.6
+
+    def test_deterministic_given_rng_seed(self):
+        def log_post(x):
+            return -0.5 * float(x @ x)
+
+        a = AdaptiveMetropolis(log_post, dim=2).run(np.zeros(2), 500, generator_from_seed(5))
+        b = AdaptiveMetropolis(log_post, dim=2).run(np.zeros(2), 500, generator_from_seed(5))
+        assert np.array_equal(a.chain, b.chain)
+
+    def test_respects_support_constraints(self):
+        """-inf log posterior acts as a hard constraint."""
+
+        def log_post(x):
+            if x[0] < 0:
+                return -np.inf
+            return -0.5 * float(x @ x)
+
+        result = AdaptiveMetropolis(log_post, dim=1).run(
+            np.array([0.5]), 4000, generator_from_seed(6)
+        )
+        assert result.chain.min() >= 0
+
+    def test_bad_start_raises(self):
+        sampler = AdaptiveMetropolis(lambda x: -np.inf, dim=1)
+        with pytest.raises(ConvergenceError):
+            sampler.run(np.zeros(1), 100, generator_from_seed(0))
+
+    def test_dimension_mismatch(self):
+        sampler = AdaptiveMetropolis(lambda x: 0.0, dim=3)
+        with pytest.raises(ValidationError):
+            sampler.run(np.zeros(2), 100, generator_from_seed(0))
+
+    def test_min_ess_positive(self):
+        sampler = AdaptiveMetropolis(lambda x: -0.5 * float(x @ x), dim=2)
+        result = sampler.run(np.zeros(2), 2000, generator_from_seed(7))
+        assert result.min_ess() > 20
+
+
+class TestGelmanRubin:
+    def test_identical_chains_give_one(self):
+        from repro.rt.mcmc import gelman_rubin
+
+        rng = generator_from_seed(0)
+        base = rng.standard_normal((1000, 3))
+        chains = np.stack([base, base + 0.0])
+        r_hat = gelman_rubin(chains)
+        assert np.allclose(r_hat, 1.0, atol=0.01)
+
+    def test_well_mixed_chains_near_one(self):
+        from repro.rt.mcmc import gelman_rubin
+
+        rng = generator_from_seed(1)
+        chains = rng.standard_normal((4, 2000, 2))
+        r_hat = gelman_rubin(chains)
+        assert np.all(r_hat < 1.02)
+
+    def test_disagreeing_chains_flagged(self):
+        from repro.rt.mcmc import gelman_rubin
+
+        rng = generator_from_seed(2)
+        a = rng.standard_normal((1, 1000, 1))
+        b = rng.standard_normal((1, 1000, 1)) + 5.0  # different location
+        r_hat = gelman_rubin(np.concatenate([a, b]))
+        assert r_hat[0] > 1.5
+
+    def test_shape_validated(self):
+        from repro.common.errors import ValidationError
+        from repro.rt.mcmc import gelman_rubin
+
+        with pytest.raises(ValidationError):
+            gelman_rubin(np.zeros((3, 4)))
+        with pytest.raises(ValidationError):
+            gelman_rubin(np.zeros((2, 2, 1)))
+
+    def test_constant_chains(self):
+        from repro.rt.mcmc import gelman_rubin
+
+        r_hat = gelman_rubin(np.ones((2, 100, 2)))
+        assert np.allclose(r_hat, 1.0)

@@ -1,0 +1,156 @@
+"""Tests for the discrete-event loop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError, ValidationError
+from repro.sim import SimulationEnvironment
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, env):
+        fired = []
+        env.schedule(2.0, lambda: fired.append("b"))
+        env.schedule(1.0, lambda: fired.append("a"))
+        env.schedule(3.0, lambda: fired.append("c"))
+        env.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, env):
+        fired = []
+        for i in range(10):
+            env.schedule(1.0, lambda i=i: fired.append(i))
+        env.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, env):
+        seen = []
+        env.schedule(2.5, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [2.5]
+        assert env.now == 2.5
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, env):
+        env.schedule(1.0, lambda: None)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.schedule_at(0.5, lambda: None)
+
+    def test_non_callable_rejected(self, env):
+        with pytest.raises(ValidationError):
+            env.schedule(1.0, "nope")  # type: ignore[arg-type]
+
+    def test_callback_can_schedule_more_events(self, env):
+        fired = []
+
+        def first():
+            fired.append("first")
+            env.schedule(1.0, lambda: fired.append("second"))
+
+        env.schedule(1.0, first)
+        env.run()
+        assert fired == ["first", "second"]
+
+    def test_zero_delay_event_fires_same_run(self, env):
+        fired = []
+        env.schedule(1.0, lambda: env.schedule(0.0, lambda: fired.append(env.now)))
+        env.run()
+        assert fired == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, env):
+        fired = []
+        event = env.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        env.run()
+        assert fired == []
+        assert event.cancelled and not event.fired
+
+    def test_cancel_after_fire_raises(self, env):
+        event = env.schedule(1.0, lambda: None)
+        env.run()
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    def test_pending_count_skips_cancelled(self, env):
+        keep = env.schedule(1.0, lambda: None)
+        drop = env.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert env.pending_count == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self, env):
+        fired = []
+        env.schedule(1.0, lambda: fired.append(1))
+        env.schedule(5.0, lambda: fired.append(5))
+        env.run_until(2.0)
+        assert fired == [1]
+        assert env.now == 2.0
+        env.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_boundary_event_fires(self, env):
+        fired = []
+        env.schedule(2.0, lambda: fired.append(2))
+        env.run_until(2.0)
+        assert fired == [2]
+
+    def test_run_until_past_raises(self, env):
+        env.run_until(5.0)
+        with pytest.raises(SimulationError):
+            env.run_until(1.0)
+
+    def test_event_budget_guards_runaway(self, env):
+        def reschedule():
+            env.schedule(0.1, reschedule)
+
+        env.schedule(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            env.run(max_events=100)
+
+    def test_not_reentrant(self, env):
+        def nested():
+            env.run()
+
+        env.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestStepAndPeek:
+    def test_step_fires_one(self, env):
+        fired = []
+        env.schedule(1.0, lambda: fired.append(1))
+        env.schedule(2.0, lambda: fired.append(2))
+        assert env.step()
+        assert fired == [1]
+        assert env.peek_time() == 2.0
+
+    def test_step_empty_returns_false(self, env):
+        assert not env.step()
+        assert env.peek_time() is None
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_events_always_fire_in_nondecreasing_time(delays):
+    env = SimulationEnvironment()
+    times = []
+    for delay in delays:
+        env.schedule(delay, lambda: times.append(env.now))
+    env.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)

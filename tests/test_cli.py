@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1"],
+            ["figure3"],
+            ["figure4", "--budget", "80", "--seed", "1"],
+            ["interleaving", "--instances", "4", "--slots", "8"],
+            ["shapley", "--n", "128"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.fn)
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Transmission rate for susceptible" in out
+        assert "(0.1, 0.9)" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ip" in out and "psh" in out
+
+    def test_interleaving(self, capsys):
+        assert main(["interleaving", "--instances", "3", "--n-initial", "5",
+                     "--n-steps", "10", "--slots", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_shapley(self, capsys):
+        assert main(["shapley", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Shapley effect" in out
+        assert "ts" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--budget", "45", "--reference-n", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "MUSIC" in out and "PCE" in out
+
+
+class TestWorkflowCommands:
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--sim-days", "3", "--iterations", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Flow DAG" in out
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--sim-days", "3", "--iterations", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "ENSEMBLE" in out
+
+    def test_figure5_small(self, capsys):
+        assert main(["figure5", "--replicates", "2", "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "replicate-1" in out

@@ -1,0 +1,32 @@
+"""Execute the doctest examples embedded in public docstrings.
+
+Doc examples that don't run are worse than none; this keeps every
+``>>>`` block in the listed modules honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.common.rng
+import repro.gsa.gp
+import repro.models.interventions
+import repro.models.metarvm
+import repro.sim.loop
+
+MODULES = [
+    repro.common.rng,
+    repro.sim.loop,
+    repro.models.metarvm,
+    repro.models.interventions,
+    repro.gsa.gp,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0

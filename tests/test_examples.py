@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs end to end (reduced sizes).
+
+The examples are part of the public deliverable; these tests keep them
+executable as the library evolves.  Each runs in a subprocess exactly as a
+user would invoke it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 600.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_interleaving_utilization(self):
+        out = run_example("interleaving_utilization.py")
+        assert "speedup" in out
+
+    def test_wastewater_monitoring_small(self):
+        out = run_example("wastewater_monitoring.py", "4")
+        assert "Figure 1" in out and "Figure 2" in out
+        assert "ENSEMBLE" in out
+
+    def test_gsa_metarvm_small(self):
+        out = run_example("gsa_metarvm.py", "45", "2")
+        assert "Table 1" in out
+        assert "Stabilization sample size" in out
+        assert "replicate-1" in out
+
+    def test_rt_method_comparison(self):
+        out = run_example("rt_method_comparison.py")
+        assert "Goldstein" in out and "Cori" in out
+
+    def test_intervention_scenarios(self):
+        out = run_example("intervention_scenarios.py")
+        assert "lowest-burden scenario" in out
+
+    def test_forecasting(self):
+        out = run_example("forecasting.py", "7")
+        assert "outlook" in out
+
+    def test_provenance_audit(self):
+        out = run_example("provenance_audit.py")
+        assert "0 mismatches" in out
+
+    def test_calibration(self):
+        out = run_example("calibration.py", "50")
+        assert "fit quality" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "MetaRVM" in out
+        assert "first-order index" in out

@@ -1,0 +1,119 @@
+"""Smoke tests for the figure/table rendering layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workflows.figures import (
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+)
+from repro.workflows.music_gsa import Figure4Data, Figure5Data
+
+
+class TestStaticRenders:
+    def test_table1_contains_all_rows(self):
+        text = render_table1()
+        for name in ("ts", "tv", "pea", "psh", "phd"):
+            assert name in text
+        assert "(0.1, 0.9)" in text
+        assert text.startswith("Table 1")
+
+    def test_figure3_lists_all_transitions(self):
+        text = render_figure3()
+        assert text.count("\n") >= 14  # header + 13 edges
+        for compartment in ("Ia", "Ip", "Is", "H", "D"):
+            assert compartment in text
+
+
+def make_figure4():
+    names = ["ts", "tv", "pea", "psh", "phd"]
+    ref = np.array([0.4, 0.05, 0.2, 0.15, 0.0])
+    music = [(30 + i, ref + 0.1 / (i + 1)) for i in range(5)]
+    pce = [(20 + i, ref + 0.2 / (i + 1)) for i in range(8)]
+    return Figure4Data(
+        parameter_names=names,
+        music_curve=music,
+        pce_curve=pce,
+        reference=ref,
+        seed=0,
+        pce_degree=3,
+    )
+
+
+class TestFigure4Render:
+    def test_contains_all_sections(self):
+        text = render_figure4(make_figure4(), every=2)
+        assert "Reference" in text
+        assert "MUSIC" in text
+        assert "PCE (degree 3" in text
+        assert "Stabilization sample size" in text
+
+    def test_stabilization_methods_consistent(self):
+        data = make_figure4()
+        stab = data.stabilization(tol=0.0501)
+        # music curve enters tolerance at 0.1/(i+1) <= 0.05 => i>=1 => n=31
+        assert stab["music"]["n_stable"] == 31
+
+    def test_final_errors(self):
+        errors = make_figure4().final_errors()
+        assert errors["music"] == pytest.approx(0.1 / 5)
+        assert errors["pce"] == pytest.approx(0.2 / 8)
+
+
+class TestFigure5Render:
+    def test_contains_replicates_and_spread(self):
+        names = ["ts", "tv", "pea", "psh", "phd"]
+        curves = {
+            k: [(20, np.full(5, 0.1 * (k + 1))), (40, np.full(5, 0.2 * (k + 1)))]
+            for k in range(3)
+        }
+        data = Figure5Data(
+            parameter_names=names,
+            replicate_curves=curves,
+            replicate_seeds={k: 100 + k for k in range(3)},
+            driver_stats={"cycles": 10, "switches": 30},
+            tasks_evaluated=120,
+        )
+        text = render_figure5(data)
+        assert "replicate-0" in text and "replicate-2" in text
+        assert "min" in text and "max" in text
+        finals = data.final_indices()
+        assert finals.shape == (3, 5)
+        spread = data.cross_replicate_spread()
+        assert spread["ts"] == (pytest.approx(0.2), pytest.approx(0.6))
+
+
+class TestSvgFigures:
+    def test_figure4_svg_valid(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.workflows.figures import figure4_svg
+
+        svg = figure4_svg(make_figure4())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "MUSIC" in svg and "PCE" in svg
+        assert svg.count("<svg") == 6  # outer + 5 facets
+
+    def test_figure5_svg_valid(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.workflows.figures import figure5_svg
+        from repro.workflows.music_gsa import Figure5Data
+
+        curves = {
+            k: [(20, np.full(5, 0.1 * (k + 1))), (40, np.full(5, 0.2 * (k + 1)))]
+            for k in range(3)
+        }
+        data = Figure5Data(
+            parameter_names=["ts", "tv", "pea", "psh", "phd"],
+            replicate_curves=curves,
+            replicate_seeds={k: k for k in range(3)},
+            driver_stats={},
+            tasks_evaluated=0,
+        )
+        ET.fromstring(figure5_svg(data))

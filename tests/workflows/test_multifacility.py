@@ -1,0 +1,122 @@
+"""Multi-facility execution: flows distributed across multiple clusters.
+
+OSPREY's first goal — "integrated, algorithm-driven multi-facility HPC
+workflows" — is inherited infrastructure here: nothing in AERO binds a
+deployment to a single compute facility.  These tests run one workflow
+whose analysis flows are split across two independent batch clusters and
+check that triggering, provenance, and aggregation are facility-agnostic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aero import AeroClient, AeroPlatform, StaticSource, TriggerPolicy
+from repro.aero.flows import RunStatus
+from repro.globus.compute import simulated_cost
+
+
+@pytest.fixture
+def two_facility_platform():
+    platform = AeroPlatform()
+    identity, token = platform.create_user("researcher")
+    platform.add_storage_collection("eagle", token)
+    platform.add_login_endpoint("login")
+    platform.add_cluster_endpoint("bebop", n_nodes=2, walltime=0.5)
+    platform.add_cluster_endpoint("improv", n_nodes=2, walltime=0.5)
+    return platform, AeroClient(platform, identity, token)
+
+
+def test_analyses_split_across_facilities(two_facility_platform):
+    platform, client = two_facility_platform
+    sources = {name: StaticSource(f"https://feed/{name}", f"{name}-v1") for name in "abcd"}
+    analysis_ids = {}
+
+    @simulated_cost(0.05)
+    def analyze(inputs):
+        return {"out": f"analyzed {sorted(inputs)[0]}"}
+
+    for i, (name, source) in enumerate(sorted(sources.items())):
+        ingest_ids = client.register_ingestion_flow(
+            f"ingest-{name}",
+            source=source,
+            function=lambda raw: {"clean": raw.upper()},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        facility = "bebop" if i % 2 == 0 else "improv"
+        out = client.register_analysis_flow(
+            f"rt-{name}",
+            inputs={"clean": ingest_ids["clean"]},
+            function=analyze,
+            endpoint=facility,
+            storage="eagle",
+            outputs=["out"],
+        )
+        analysis_ids[name] = out["out"]
+
+    agg_ids = client.register_analysis_flow(
+        "aggregate",
+        inputs=analysis_ids,
+        function=lambda inputs: {"combined": "+".join(sorted(inputs))},
+        endpoint="login",
+        storage="eagle",
+        outputs=["combined"],
+        policy=TriggerPolicy.ALL,
+    )
+    platform.env.run_until(2.0)
+
+    # both facilities actually ran jobs
+    bebop = platform.endpoint_bundle("bebop").scheduler
+    improv = platform.endpoint_bundle("improv").scheduler
+    assert len(bebop.all_jobs()) == 2
+    assert len(improv.all_jobs()) == 2
+    # the cross-facility aggregation fired once all four completed
+    assert client.fetch_content(agg_ids["combined"]) == "a+b+c+d"
+    runs = client.runs("aggregate")
+    assert runs[0].status is RunStatus.SUCCEEDED
+
+
+def test_facility_outage_only_stalls_its_flows(two_facility_platform):
+    """A saturated facility delays its own analyses; the other proceeds."""
+    platform, client = two_facility_platform
+
+    # Saturate improv with a long-running blocker on every node.
+    from repro.hpc import JobRequest
+
+    improv = platform.endpoint_bundle("improv").scheduler
+    for _ in range(2):
+        improv.submit(
+            JobRequest(name="blocker", n_nodes=1, walltime=10.0, duration=3.0)
+        )
+
+    @simulated_cost(0.01)
+    def analyze(inputs):
+        return {"out": "done"}
+
+    outs = {}
+    for name, facility in (("fast", "bebop"), ("slow", "improv")):
+        ingest_ids = client.register_ingestion_flow(
+            f"ingest-{name}",
+            source=StaticSource(f"u-{name}", "data"),
+            function=lambda raw: {"clean": raw},
+            endpoint="login",
+            storage="eagle",
+            outputs=["clean"],
+        )
+        outs[name] = client.register_analysis_flow(
+            f"rt-{name}",
+            inputs={"clean": ingest_ids["clean"]},
+            function=analyze,
+            endpoint=facility,
+            storage="eagle",
+            outputs=["out"],
+        )
+
+    platform.env.run_until(1.0)
+    # bebop-side analysis finished; improv-side is still queued behind blockers
+    assert platform.metadata.latest(outs["fast"]["out"]) is not None
+    assert platform.metadata.latest(outs["slow"]["out"]) is None
+    platform.env.run_until(4.0)
+    assert platform.metadata.latest(outs["slow"]["out"]) is not None

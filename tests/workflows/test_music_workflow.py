@@ -1,0 +1,178 @@
+"""Integration tests for the MUSIC GSA workflow (use case 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gsa.music import MusicConfig
+from repro.models.metarvm import MetaRVMConfig
+from repro.workflows.music_gsa import (
+    make_qoi,
+    metarvm_task_evaluator,
+    reference_indices,
+    run_music_vs_pce,
+    run_replicate_gsa,
+    stabilization_sample_size,
+)
+
+SMALL_MODEL = MetaRVMConfig(
+    n_days=40,
+    population=(20_000, 20_000),
+    initial_infections=(20, 20),
+    initial_vaccinated_fraction=0.4,
+)
+SMALL_MUSIC = MusicConfig(n_initial=20, refit_every=10, surrogate_mc=256, n_candidates=64)
+
+
+class TestQoIAndEvaluator:
+    def test_qoi_deterministic_given_seed(self):
+        qoi = make_qoi(seed=3, model_config=SMALL_MODEL)
+        point = np.array([[0.5, 0.2, 0.6, 0.2, 0.1]])
+        assert qoi(point)[0] == qoi(point)[0]
+
+    def test_evaluator_matches_qoi(self):
+        qoi = make_qoi(seed=3, model_config=SMALL_MODEL)
+        evaluate = metarvm_task_evaluator(model_config=SMALL_MODEL)
+        point = [0.5, 0.2, 0.6, 0.2, 0.1]
+        direct = float(qoi(np.array([point]))[0])
+        via_task = evaluate({"point": point, "seed": 3})["hospitalizations"]
+        assert direct == via_task
+
+    def test_evaluator_result_is_json_safe(self):
+        import json
+
+        evaluate = metarvm_task_evaluator(model_config=SMALL_MODEL)
+        out = evaluate({"point": [0.5, 0.2, 0.6, 0.2, 0.1], "seed": 1})
+        json.dumps(out)
+
+    def test_reference_indices_sensible(self):
+        ref = reference_indices(0, n=512, model_config=SMALL_MODEL)
+        assert ref.shape == (5,)
+        # transmission rate dominates; death probability is inert for
+        # an admissions QoI
+        assert ref[0] == ref.max()
+        assert abs(ref[4]) < 0.05
+
+
+class TestStabilization:
+    def test_basic(self):
+        ref = np.array([0.5])
+        curve = [
+            (10, np.array([0.9])),
+            (20, np.array([0.52])),
+            (30, np.array([0.49])),
+        ]
+        assert stabilization_sample_size(curve, ref) == 20
+
+    def test_never_stable(self):
+        curve = [(10, np.array([0.9])), (20, np.array([0.8]))]
+        assert stabilization_sample_size(curve, np.array([0.1])) == np.inf
+
+    def test_relapse_resets(self):
+        ref = np.array([0.5])
+        curve = [
+            (10, np.array([0.51])),
+            (20, np.array([0.9])),  # relapse
+            (30, np.array([0.5])),
+        ]
+        assert stabilization_sample_size(curve, ref) == 30
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_music_vs_pce(
+        seed=1,
+        budget=60,
+        music_config=SMALL_MUSIC,
+        reference_n=512,
+        model_config=SMALL_MODEL,
+        use_emews=True,
+        n_workers=2,
+    )
+
+
+class TestFigure4:
+    def test_curves_cover_budget(self, figure4):
+        assert figure4.music_curve[0][0] == SMALL_MUSIC.n_initial
+        assert figure4.music_curve[-1][0] == 60
+        assert figure4.pce_curve[-1][0] == 60
+
+    def test_music_converges_toward_reference(self, figure4):
+        final_err = np.max(np.abs(figure4.music_curve[-1][1] - figure4.reference))
+        assert final_err < 0.15
+
+    def test_pce_final_also_reasonable(self, figure4):
+        final_err = np.max(np.abs(figure4.pce_curve[-1][1] - figure4.reference))
+        assert final_err < 0.25
+
+    def test_emews_and_direct_paths_agree(self):
+        """The same experiment through EMEWS and in-process must match:
+        the task database is transport, not arithmetic."""
+        direct = run_music_vs_pce(
+            seed=2, budget=45, music_config=SMALL_MUSIC,
+            reference_n=256, model_config=SMALL_MODEL, use_emews=False,
+        )
+        via_emews = run_music_vs_pce(
+            seed=2, budget=45, music_config=SMALL_MUSIC,
+            reference_n=256, model_config=SMALL_MODEL, use_emews=True, n_workers=3,
+        )
+        assert np.allclose(
+            direct.music_curve[-1][1], via_emews.music_curve[-1][1], atol=1e-9
+        )
+        assert np.allclose(direct.reference, via_emews.reference)
+
+    def test_stabilization_readable(self, figure4):
+        stab = figure4.stabilization(tol=0.1)
+        assert "music" in stab and "pce" in stab
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_replicate_gsa(
+        n_replicates=3,
+        budget=40,
+        root_seed=7,
+        music_config=SMALL_MUSIC,
+        model_config=SMALL_MODEL,
+        n_workers=3,
+    )
+
+
+class TestFigure5:
+    def test_each_replicate_has_a_curve(self, figure5):
+        assert set(figure5.replicate_curves) == {0, 1, 2}
+        for curve in figure5.replicate_curves.values():
+            assert curve[-1][0] == 40
+
+    def test_replicates_used_distinct_seeds(self, figure5):
+        assert len(set(figure5.replicate_seeds.values())) == 3
+
+    def test_replicates_differ_but_agree_on_ranking(self, figure5):
+        finals = figure5.final_indices()
+        # aleatoric spread: replicates differ
+        assert not np.allclose(finals[0], finals[1])
+        # ts dominates in every replicate
+        assert np.all(np.argmax(finals, axis=1) == 0)
+
+    def test_all_tasks_accounted(self, figure5):
+        assert figure5.tasks_evaluated == 3 * 40
+
+    def test_spread_table(self, figure5):
+        spread = figure5.cross_replicate_spread()
+        assert set(spread) == {"ts", "tv", "pea", "psh", "phd"}
+        for low, high in spread.values():
+            assert low <= high
+
+    def test_sequential_mode_gives_same_estimates(self):
+        seq = run_replicate_gsa(
+            n_replicates=2, budget=30, root_seed=9,
+            music_config=SMALL_MUSIC, model_config=SMALL_MODEL,
+            n_workers=2, interleaved=False,
+        )
+        inter = run_replicate_gsa(
+            n_replicates=2, budget=30, root_seed=9,
+            music_config=SMALL_MUSIC, model_config=SMALL_MODEL,
+            n_workers=2, interleaved=True,
+        )
+        assert np.allclose(seq.final_indices(), inter.final_indices(), atol=1e-9)

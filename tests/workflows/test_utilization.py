@@ -1,0 +1,99 @@
+"""Tests for the interleaved-vs-sequential utilization study."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.workflows.utilization import (
+    compare_scheduling_modes,
+    run_utilization_study,
+)
+
+
+class TestSingleMode:
+    def test_all_tasks_complete(self):
+        result = run_utilization_study(
+            n_instances=3, n_initial=5, n_steps=4, n_slots=8, interleaved=True
+        )
+        assert result.tasks_evaluated == 3 * (5 + 4)
+        assert result.mode == "interleaved"
+        assert result.makespan > 0
+        assert 0 < result.utilization <= 1
+
+    def test_sequential_mode_serializes_instances(self):
+        """Sequential makespan ~= n_instances * single-instance makespan."""
+        single = run_utilization_study(
+            n_instances=1, n_initial=8, n_steps=10, n_slots=8, interleaved=False
+        )
+        sequential = run_utilization_study(
+            n_instances=4, n_initial=8, n_steps=10, n_slots=8, interleaved=False
+        )
+        assert sequential.makespan == pytest.approx(4 * single.makespan, rel=0.01)
+
+    def test_interleaved_never_slower_than_sequential(self):
+        results = compare_scheduling_modes(
+            n_instances=4, n_initial=6, n_steps=8, n_slots=8
+        )
+        assert results["interleaved"].makespan <= results["sequential"].makespan
+
+    def test_single_slot_removes_the_advantage(self):
+        """With one worker slot there is no parallelism to reclaim."""
+        results = compare_scheduling_modes(
+            n_instances=3, n_initial=4, n_steps=3, n_slots=1
+        )
+        assert results["interleaved"].makespan == pytest.approx(
+            results["sequential"].makespan, rel=1e-6
+        )
+
+    def test_zero_steps_pure_batches(self):
+        result = run_utilization_study(
+            n_instances=2, n_initial=6, n_steps=0, n_slots=4, interleaved=True
+        )
+        assert result.tasks_evaluated == 12
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            run_utilization_study(n_instances=0)
+        with pytest.raises(ValidationError):
+            run_utilization_study(task_duration=0.0)
+
+    def test_slot_days_wasted(self):
+        result = run_utilization_study(
+            n_instances=2, n_initial=4, n_steps=4, n_slots=8, interleaved=False
+        )
+        assert result.slot_days_wasted >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),   # instances
+    st.integers(min_value=1, max_value=10),  # initial batch
+    st.integers(min_value=0, max_value=6),   # sequential steps
+    st.integers(min_value=1, max_value=12),  # slots
+)
+def test_conservation_and_bounds(n_instances, n_initial, n_steps, n_slots):
+    """Both modes evaluate identical work; utilization stays in (0, 1];
+    makespan is bounded below by total-work / slots and by the critical
+    path of one instance."""
+    duration = 0.01
+    results = compare_scheduling_modes(
+        n_instances=n_instances,
+        n_initial=n_initial,
+        n_steps=n_steps,
+        n_slots=n_slots,
+        task_duration=duration,
+    )
+    total_tasks = n_instances * (n_initial + n_steps)
+    lower_work = total_tasks * duration / n_slots
+    # one instance's critical path: ceil(batch/slots) waves + n_steps singles
+    import math
+
+    critical = (math.ceil(n_initial / n_slots) + n_steps) * duration
+    for result in results.values():
+        assert result.tasks_evaluated == total_tasks
+        assert 0.0 < result.utilization <= 1.0 + 1e-9
+        assert result.makespan >= lower_work - 1e-9
+        assert result.makespan >= critical - 1e-9
+    assert results["interleaved"].makespan <= results["sequential"].makespan + 1e-9

@@ -1,0 +1,158 @@
+"""Integration tests for the full wastewater R(t) workflow (use case 1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.aero.provenance import flow_graph, version_graph
+from repro.rt.ensemble import mean_band_width
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One reduced-size end-to-end run shared by the assertions below."""
+    return run_wastewater_workflow(
+        data_start_day=100.0,
+        sim_days=6.0,
+        goldstein_iterations=600,
+        seed=11,
+    )
+
+
+class TestAutomation:
+    def test_every_plant_was_ingested_and_analyzed(self, result):
+        for plant in result.iwss.plant_names():
+            assert result.ingestion_update_counts[plant] >= 1
+            assert result.analysis_run_counts[plant] >= 1
+
+    def test_aggregation_triggered_by_all_policy(self, result):
+        assert result.aggregation_runs >= 1
+        # ALL policy: aggregation cannot outrun the slowest analysis chain
+        assert result.aggregation_runs <= min(result.analysis_run_counts.values())
+
+    def test_analyses_retriggered_on_updates(self, result):
+        """Daily polling over 6 days with 2-day sampling => several runs."""
+        assert max(result.analysis_run_counts.values()) >= 2
+
+    def test_expensive_analyses_ran_as_batch_jobs(self, result):
+        scheduler = result.platform.endpoint_bundle("bebop-compute").scheduler
+        jobs = scheduler.all_jobs()
+        assert len(jobs) == sum(result.analysis_run_counts.values())
+        assert all(job.done for job in jobs)
+
+    def test_transfers_moved_real_bytes(self, result):
+        assert result.platform.transfer.bytes_moved > 0
+
+    def test_metadata_never_holds_data(self, result):
+        """Spot the core AERO property: versions carry URIs, not content."""
+        for obj in result.platform.metadata.all_objects():
+            for version in result.platform.metadata.versions(obj.data_id):
+                assert ":" in version.uri
+                assert version.checksum
+
+
+class TestFigure1Structure:
+    def test_flow_graph_shape(self, result):
+        summary = result.flow_graph_summary()
+        assert summary["flow"] == 9  # 4 ingest + 4 rt + 1 aggregate
+        assert summary["source"] == 4
+
+    def test_aggregation_depends_on_all_four_plants(self, result):
+        flows = [result.client.get_flow(name) for name in result.client.flow_names()]
+        graph = flow_graph(flows)
+        ancestors = nx.ancestors(graph, "flow:aggregate-rt")
+        for plant in result.iwss.plant_names():
+            assert f"flow:rt-{plant}" in ancestors
+            assert f"flow:ingest-{plant}" in ancestors
+
+    def test_version_provenance_acyclic_and_rooted(self, result):
+        graph = version_graph(result.platform.metadata)
+        assert nx.is_directed_acyclic_graph(graph)
+        ensemble_nodes = [
+            node for node, data in graph.nodes(data=True)
+            if data["name"] == "aggregate-rt/ensemble"
+        ]
+        assert ensemble_nodes
+        ancestors = nx.ancestors(graph, ensemble_nodes[-1])
+        raw_names = {
+            graph.nodes[a]["name"] for a in ancestors
+        }
+        for plant in result.iwss.plant_names():
+            assert f"ingest-{plant}/raw" in raw_names
+
+
+class TestFigure2Outputs:
+    def test_four_estimates_plus_ensemble(self, result):
+        assert set(result.plant_estimates) == set(result.iwss.plant_names())
+        assert result.ensemble.n_days > 50
+
+    def test_estimates_track_truth_direction(self, result):
+        """Even at reduced MCMC length the wave shape must be recovered."""
+        for plant, metrics in result.plant_metrics().items():
+            assert metrics["mae"] < 0.35, plant
+
+    def test_ensemble_improves_signal_to_noise(self, result):
+        widths = [
+            float(np.mean(est.band_width()))
+            for est in result.plant_estimates.values()
+        ]
+        assert np.mean(result.ensemble.band_width()) < np.mean(widths)
+
+    def test_artifacts_fetchable_by_stakeholders(self, result):
+        plot = result.client.fetch_content(result.output_ids["aggregate/plot"])
+        assert "R(t)" in plot
+        table = result.client.fetch_content(result.output_ids["obrien/table"])
+        assert table.startswith("day,median,lower,upper")
+
+    def test_ensemble_metrics_finite(self, result):
+        metrics = result.ensemble_metrics()
+        assert 0.0 <= metrics["coverage"] <= 1.0
+        assert metrics["mae"] < 0.5
+
+
+class TestRendering:
+    def test_figure1_and_2_render_from_live_result(self, result):
+        from repro.workflows.figures import render_figure1, render_figure2
+
+        fig1 = render_figure1(result)
+        assert "Flow DAG" in fig1
+        assert "aggregation runs" in fig1
+        fig2 = render_figure2(result)
+        assert "ENSEMBLE" in fig2
+        for plant in result.iwss.plant_names():
+            assert plant in fig2
+
+
+class TestOutlookExtension:
+    def test_outlook_flow_chains_from_ensemble(self):
+        """A fourth workflow stage consumes the ensemble (depth-3 chaining)."""
+        result = run_wastewater_workflow(
+            sim_days=4.0, goldstein_iterations=400, seed=29, include_outlook=True
+        )
+        summary = result.client.fetch_content(result.output_ids["outlook/summary"])
+        assert "R(now)" in summary and "P(R > 1" in summary
+        table = result.client.fetch_content(result.output_ids["outlook/outlook"])
+        header, first = table.splitlines()[:2]
+        assert header == "days_ahead,median,lower,upper,p_above_one"
+        fields = first.split(",")
+        assert fields[0] == "1"
+        assert 0.0 <= float(fields[4]) <= 1.0
+        # the outlook ran at least as part of each aggregation cycle
+        outlook_runs = len(result.client.runs("rt-outlook"))
+        assert 1 <= outlook_runs <= result.aggregation_runs
+        # provenance: the outlook descends from all raw feeds
+        import networkx as nx
+        from repro.aero.provenance import version_graph
+
+        graph = version_graph(result.platform.metadata)
+        outlook_nodes = [
+            node for node, data in graph.nodes(data=True)
+            if data["name"] == "rt-outlook/summary"
+        ]
+        ancestors = nx.ancestors(graph, outlook_nodes[-1])
+        names = {graph.nodes[a]["name"] for a in ancestors}
+        for plant in result.iwss.plant_names():
+            assert f"ingest-{plant}/raw" in names
