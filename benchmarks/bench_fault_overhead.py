@@ -1,0 +1,139 @@
+"""Fault-hook overhead: resilience instrumentation must be ~free when idle.
+
+Every service operation now consults ``env.faults`` (and, with a plan
+armed, polls the injector).  This benchmark verifies the design target that
+a production run with **no** fault plan pays under 5% for carrying the
+hooks, by measuring the hook fast path over long timing windows (stable
+even on noisy machines) and relating it to the measured cost of a real
+service operation.  A head-to-head wall-clock comparison is also reported
+for context, but not asserted on: run-to-run noise on shared hardware
+swamps a single-digit-percent effect.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.globus.auth import AuthService
+from repro.globus.collections import StorageService
+from repro.globus.transfer import TransferService
+from repro.sim import SimulationEnvironment
+
+#: Iterations for the hook micro-timings (one long window beats many short).
+HOOK_ITERS = 200_000
+
+#: Transfers per workload run; each pays up to 3 hook sites
+#: (auth validate, transfer, transfer.corrupt).
+N_TRANSFERS = 2_000
+HOOKS_PER_OP = 3
+
+
+def _hook_cost_no_plan() -> float:
+    """Seconds per hook on the fast path (no plan installed)."""
+    env = SimulationEnvironment()
+    t0 = time.perf_counter()
+    for _ in range(HOOK_ITERS):
+        faults = env.faults
+        if faults is not None:  # pragma: no cover - never taken here
+            faults.poll("transfer")
+    return (time.perf_counter() - t0) / HOOK_ITERS
+
+
+def _poll_cost_empty_plan() -> float:
+    """Seconds per injector poll with an armed-but-empty plan."""
+    env = SimulationEnvironment()
+    faults = env.install_fault_plan(FaultPlan())
+    t0 = time.perf_counter()
+    for _ in range(HOOK_ITERS):
+        faults.poll("transfer", label="bench")
+    return (time.perf_counter() - t0) / HOOK_ITERS
+
+
+def _transfer_workload(plan) -> float:
+    """Wall seconds for N_TRANSFERS 1 KiB transfers through the full stack."""
+    env = SimulationEnvironment()
+    if plan is not None:
+        env.install_fault_plan(plan)
+    auth = AuthService(env)
+    storage = StorageService(auth, env)
+    transfer = TransferService(auth, storage, env)
+    identity = auth.register_identity("bench")
+    token = auth.issue_token(identity, ["transfer"], lifetime=1e6)
+    src = storage.create_collection("src", token)
+    storage.create_collection("dst", token)
+    src.put(token, "a", "x" * 1024)
+    t0 = time.perf_counter()
+    for i in range(N_TRANSFERS):
+        transfer.submit(token, "src:a", f"dst:{i}")
+    env.run()
+    return time.perf_counter() - t0
+
+
+def test_no_fault_overhead_under_5_percent(save_artifact):
+    """The design target: hooks cost <5% of a service operation when idle."""
+    hook = min(_hook_cost_no_plan() for _ in range(3))
+    poll = min(_poll_cost_empty_plan() for _ in range(3))
+    # Conservative per-op cost: the *fastest* observed run (a cheaper op
+    # makes the relative hook cost look larger, never smaller).
+    per_op = min(_transfer_workload(None) for _ in range(3)) / N_TRANSFERS
+
+    overhead_no_plan = HOOKS_PER_OP * hook / per_op
+    overhead_empty_plan = HOOKS_PER_OP * poll / per_op
+
+    # Context only (noisy): armed low-rate plan through the full stack.
+    chaos_plan = FaultPlan(specs=(FaultSpec(site="transfer", rate=0.01),), seed=1)
+    wall_plain = _transfer_workload(None)
+    wall_chaos = _transfer_workload(chaos_plan)
+
+    lines = [
+        "Fault-injection hook overhead",
+        "=============================",
+        f"hook fast path (no plan):      {hook * 1e9:8.1f} ns",
+        f"injector poll (empty plan):    {poll * 1e9:8.1f} ns",
+        f"transfer operation:            {per_op * 1e6:8.2f} us",
+        f"est. overhead, no plan:        {overhead_no_plan:8.2%}  (target < 5%)",
+        f"est. overhead, empty plan:     {overhead_empty_plan:8.2%}",
+        "",
+        "wall-clock context (unasserted; noisy on shared machines):",
+        f"  {N_TRANSFERS} transfers, no plan:      {wall_plain:6.3f} s",
+        f"  {N_TRANSFERS} transfers, 1% faults:    {wall_chaos:6.3f} s",
+    ]
+    save_artifact("fault_overhead", "\n".join(lines))
+
+    assert overhead_no_plan < 0.05
+    assert overhead_empty_plan < 0.10
+
+
+def test_injected_faults_are_absorbed_by_retries(save_artifact):
+    """Ablation row: with retries on, a 1% fault rate changes outcomes, not
+    results — every transfer still succeeds."""
+    from repro.common.retry import RetryPolicy
+    from repro.globus.transfer import TransferStatus
+
+    env = SimulationEnvironment()
+    env.install_fault_plan(
+        FaultPlan(specs=(FaultSpec(site="transfer", rate=0.01),), seed=2)
+    )
+    auth = AuthService(env)
+    storage = StorageService(auth, env)
+    transfer = TransferService(
+        auth, storage, env, retry=RetryPolicy(max_attempts=4, base_delay=0.001)
+    )
+    identity = auth.register_identity("bench")
+    token = auth.issue_token(identity, ["transfer"], lifetime=1e6)
+    src = storage.create_collection("src", token)
+    storage.create_collection("dst", token)
+    src.put(token, "a", "x" * 1024)
+    tasks = [transfer.submit(token, "src:a", f"dst:{i}") for i in range(500)]
+    env.run()
+
+    succeeded = sum(t.status is TransferStatus.SUCCEEDED for t in tasks)
+    save_artifact(
+        "fault_absorption",
+        f"500 transfers @ 1% fault rate: {succeeded} succeeded, "
+        f"{transfer.retries_performed} retries, "
+        f"{env.faults.total_injected} faults injected",
+    )
+    assert succeeded == 500
+    assert env.faults.total_injected > 0

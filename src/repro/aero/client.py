@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.common.errors import NotFoundError, ValidationError
+from repro.common.retry import RetryPolicy
 from repro.globus.auth import Identity, Token
 from repro.aero.flows import AnalysisFlow, FlowRunRecord, IngestionFlow, TriggerPolicy
 from repro.aero.metadata import DataVersion
@@ -54,8 +55,9 @@ class AeroClient:
         storage: str,
         outputs: Sequence[str],
         interval: float = 1.0,
-        max_retries: int = 0,
-        retry_delay: float = 0.01,
+        max_retries: Optional[int] = None,
+        retry_delay: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Dict[str, str]:
         """Register a polling ingestion flow.
 
@@ -77,7 +79,11 @@ class AeroClient:
         max_retries, retry_delay:
             Robustness policy: re-attempt a failed run up to ``max_retries``
             times, ``retry_delay`` days apart (ingestion retries re-poll the
-            source).
+            source).  Leaving either ``None`` inherits the platform's
+            :class:`~repro.common.retry.ResilienceConfig` flow settings
+            (or 0 / 0.01 on a platform without one).
+        retry_policy:
+            Optional backoff schedule replacing the fixed ``retry_delay``.
 
         Returns
         -------
@@ -85,6 +91,7 @@ class AeroClient:
             Mapping output name → data UUID (usable as analysis-flow inputs).
         """
         self._check_name(name)
+        max_retries, retry_delay = self._resolve_retry(max_retries, retry_delay)
         bundle = self.platform.endpoint_bundle(endpoint)
         collection = self.platform.storage.get_collection(storage)
         self.platform.grant_staging_access(endpoint, self.identity)
@@ -104,6 +111,7 @@ class AeroClient:
             interval=interval,
             max_retries=max_retries,
             retry_delay=retry_delay,
+            retry_policy=retry_policy,
         )
         self._flows[name] = flow
         return flow.output_ids()
@@ -118,8 +126,9 @@ class AeroClient:
         storage: str,
         outputs: Sequence[str],
         policy: TriggerPolicy = TriggerPolicy.ANY,
-        max_retries: int = 0,
-        retry_delay: float = 0.01,
+        max_retries: Optional[int] = None,
+        retry_delay: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Dict[str, str]:
         """Register a data-triggered analysis flow.
 
@@ -140,6 +149,7 @@ class AeroClient:
             Mapping output name → data UUID.
         """
         self._check_name(name)
+        max_retries, retry_delay = self._resolve_retry(max_retries, retry_delay)
         bundle = self.platform.endpoint_bundle(endpoint)
         collection = self.platform.storage.get_collection(storage)
         self.platform.grant_staging_access(endpoint, self.identity)
@@ -159,6 +169,7 @@ class AeroClient:
             owner=self.identity.username,
             max_retries=max_retries,
             retry_delay=retry_delay,
+            retry_policy=retry_policy,
         )
         self._flows[name] = flow
         return flow.output_ids()
@@ -168,6 +179,17 @@ class AeroClient:
             raise ValidationError("flow name must be non-empty")
         if name in self._flows:
             raise ValidationError(f"a flow named {name!r} is already registered")
+
+    def _resolve_retry(
+        self, max_retries: Optional[int], retry_delay: Optional[float]
+    ) -> tuple:
+        """Fill unspecified flow-retry settings from the platform's config."""
+        resilience = self.platform.resilience
+        if max_retries is None:
+            max_retries = resilience.flow_max_retries if resilience is not None else 0
+        if retry_delay is None:
+            retry_delay = resilience.flow_retry_delay if resilience is not None else 0.01
+        return max_retries, retry_delay
 
     # ----------------------------------------------------------------- tokens
     def renew_token(self, *, lifetime: float = 365.0) -> None:

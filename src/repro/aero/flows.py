@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ReproError, ValidationError
 from repro.common.hashing import content_checksum
+from repro.common.retry import RetryPolicy
 from repro.globus.auth import Token
 from repro.globus.collections import Collection
 from repro.globus.compute import ComputeFuture
@@ -94,7 +95,9 @@ class _BaseFlow:
     a failed run (staging transfer failure, function exception, endpoint
     walltime) is re-attempted up to ``max_retries`` times, ``retry_delay``
     simulated days apart, before the failure is left standing in the run
-    log.  The counter resets after any successful run.
+    log.  The counter resets after any successful run.  With a
+    ``retry_policy`` the fixed delay is replaced by the policy's exponential
+    backoff schedule (attempt n waits ``policy.delay(n)`` days).
     """
 
     def __init__(
@@ -109,6 +112,7 @@ class _BaseFlow:
         owner: str,
         max_retries: int = 0,
         retry_delay: float = 0.01,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not name:
             raise ValidationError("flow name must be non-empty")
@@ -129,7 +133,10 @@ class _BaseFlow:
             raise ValidationError("retry_delay must be >= 0")
         self.max_retries = int(max_retries)
         self.retry_delay = float(retry_delay)
+        self.retry_policy = retry_policy
         self.retries_used = 0
+        #: Run-level retries ever scheduled (never reset; workflow reports).
+        self.total_retries = 0
         self.runs: List[FlowRunRecord] = []
         self._run_counter = 0
         self._running = False
@@ -173,14 +180,20 @@ class _BaseFlow:
             self.retries_used = 0
         elif status is RunStatus.FAILED and self.retries_used < self.max_retries:
             self.retries_used += 1
+            self.total_retries += 1
+            delay = (
+                self.retry_policy.delay(self.retries_used)
+                if self.retry_policy is not None
+                else self.retry_delay
+            )
             record.log(
                 self.platform.env.now,
                 "schedule-retry",
                 f"attempt {self.retries_used}/{self.max_retries} "
-                f"in {self.retry_delay} days",
+                f"in {delay:g} days",
             )
             self.platform.env.schedule(
-                self.retry_delay, self._retry, label=f"{self.name}:retry"
+                delay, self._retry, label=f"{self.name}:retry"
             )
             return  # the retry owns the follow-up; skip normal after-run
         self._after_run(record)
@@ -297,10 +310,12 @@ class IngestionFlow(_BaseFlow):
         interval: float,
         max_retries: int = 0,
         retry_delay: float = 0.01,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(
             name, platform, token, bundle, storage, function_id, output_names,
             owner, max_retries=max_retries, retry_delay=retry_delay,
+            retry_policy=retry_policy,
         )
         self.source = source
         self.interval = float(interval)
@@ -444,10 +459,12 @@ class AnalysisFlow(_BaseFlow):
         owner: str,
         max_retries: int = 0,
         retry_delay: float = 0.01,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(
             name, platform, token, bundle, storage, function_id, output_names,
             owner, max_retries=max_retries, retry_delay=retry_delay,
+            retry_policy=retry_policy,
         )
         if not inputs:
             raise ValidationError(f"analysis flow {name!r} needs at least one input")

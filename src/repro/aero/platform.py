@@ -11,9 +11,11 @@ resources itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.common.errors import NotFoundError
+from repro.common.retry import ResilienceConfig
+from repro.common.rng import RngRegistry
 from repro.globus.auth import AuthService, Identity, Token
 from repro.globus.collections import Collection, StorageService
 from repro.globus.compute import (
@@ -21,6 +23,7 @@ from repro.globus.compute import (
     ComputeService,
     GlobusComputeEngine,
     LoginNodeEngine,
+    RetryingEngine,
 )
 from repro.globus.flows import FlowsService
 from repro.globus.timers import TimerService
@@ -29,6 +32,9 @@ from repro.hpc.cluster import Cluster
 from repro.hpc.scheduler import BatchScheduler
 from repro.aero.metadata import MetadataDatabase
 from repro.sim import SimulationEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,16 @@ class AeroPlatform:
         Default lifetime (simulated days) for tokens issued via
         :meth:`create_user`.  AERO deployments run for months, so the
         default is one simulated year.
+    resilience:
+        Optional :class:`~repro.common.retry.ResilienceConfig`.  When given,
+        transfers, compute tasks, and flow steps all retry transient
+        failures under the configured policies, and batch schedulers requeue
+        crashed jobs.  Without it the stack behaves exactly as before
+        (fail-fast, no retries).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed on the environment
+        *before* any service is constructed, so scripted node crashes find
+        their scheduler targets.
     """
 
     def __init__(
@@ -60,15 +76,36 @@ class AeroPlatform:
         env: Optional[SimulationEnvironment] = None,
         *,
         token_lifetime: float = 365.0,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.env = env if env is not None else SimulationEnvironment()
+        if fault_plan is not None:
+            self.env.install_fault_plan(fault_plan)
+        self.resilience = resilience
+        rngs = (
+            RngRegistry([resilience.seed, 0x0BACC0FF])
+            if resilience is not None
+            else None
+        )
         self.auth = AuthService(self.env)
         self.storage = StorageService(self.auth, self.env)
-        self.transfer = TransferService(self.auth, self.storage, self.env)
+        self.transfer = TransferService(
+            self.auth,
+            self.storage,
+            self.env,
+            retry=resilience.transfer_retry if resilience is not None else None,
+            rng=rngs.stream("transfer") if rngs is not None else None,
+        )
         self.timers = TimerService(self.auth, self.env)
-        self.flows_service = FlowsService(self.auth, self.env)
+        self.flows_service = FlowsService(
+            self.auth,
+            self.env,
+            step_retry=resilience.flow_step_retry if resilience is not None else None,
+        )
         self.compute = ComputeService(self.auth, self.env)
         self.metadata = MetadataDatabase(self.env)
+        self._compute_rng = rngs.stream("compute") if rngs is not None else None
         self._token_lifetime = float(token_lifetime)
         self._bundles: Dict[str, EndpointBundle] = {}
 
@@ -132,13 +169,28 @@ class AeroPlatform:
         scheduler job on a dedicated cluster.
         """
         cluster = Cluster(name, n_nodes, cores_per_node)
-        scheduler = BatchScheduler(self.env, cluster)
+        scheduler = BatchScheduler(
+            self.env,
+            cluster,
+            max_requeues=(
+                self.resilience.scheduler_max_requeues
+                if self.resilience is not None
+                else 1
+            ),
+        )
         engine = GlobusComputeEngine(
             scheduler, nodes_per_task=nodes_per_task, walltime=walltime
         )
         return self._register_endpoint(name, engine, scheduler=scheduler)
 
     def _register_endpoint(self, name, engine, scheduler) -> EndpointBundle:
+        if self.resilience is not None and self.resilience.compute_retry is not None:
+            engine = RetryingEngine(
+                engine,
+                self.env,
+                self.resilience.compute_retry,
+                rng=self._compute_rng,
+            )
         endpoint = self.compute.create_endpoint(name, engine)
         staging = self.storage.create_collection(
             f"{name}-staging", self._service_token
@@ -164,3 +216,30 @@ class AeroPlatform:
 
         bundle = self.endpoint_bundle(name)
         bundle.staging.grant(self._service_token, identity, Permission.WRITE)
+
+    # ------------------------------------------------------------- resilience
+    def resilience_report(self) -> Dict[str, int]:
+        """Counters summarising recovery activity across the whole stack.
+
+        All zeros on a fault-free run, which is what the chaos tests assert;
+        under an armed fault plan the nonzero entries show *where* the
+        platform absorbed failures.
+        """
+        report = {
+            "transfer_retries": self.transfer.retries_performed,
+            "transfer_corruptions_detected": self.transfer.corruptions_detected,
+            "flow_step_retries": self.flows_service.step_retries_performed,
+            "timer_missed_firings": self.timers.total_missed_firings(),
+            "compute_retries": 0,
+            "scheduler_requeues": 0,
+            "faults_injected": 0,
+        }
+        for bundle in self._bundles.values():
+            report["compute_retries"] += getattr(
+                bundle.endpoint.engine, "retries_performed", 0
+            )
+            if bundle.scheduler is not None:
+                report["scheduler_requeues"] += bundle.scheduler.requeues_performed
+        if self.env.faults is not None:
+            report["faults_injected"] = self.env.faults.total_injected
+        return report

@@ -4,6 +4,8 @@ Nothing in this subpackage knows about epidemiology, Globus, or workflows; it
 provides the deterministic plumbing the rest of the library is built on:
 
 - :mod:`repro.common.errors` — the exception hierarchy.
+- :mod:`repro.common.retry` — retry policies, deterministic backoff, and
+  circuit-breaker state for the resilience layer.
 - :mod:`repro.common.rng` — seed-sequence-based random-stream management.
 - :mod:`repro.common.hashing` — content checksums and stable digests.
 - :mod:`repro.common.timeseries` — a small labelled time-series container.
@@ -17,6 +19,14 @@ from repro.common.errors import (
     ValidationError,
     NotFoundError,
     StateError,
+    TransientServiceError,
+    RetryExhaustedError,
+)
+from repro.common.retry import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    call_with_retries,
 )
 from repro.common.rng import RngRegistry, spawn_generator, generator_from_seed
 from repro.common.hashing import content_checksum, stable_digest
@@ -30,6 +40,12 @@ __all__ = [
     "ValidationError",
     "NotFoundError",
     "StateError",
+    "TransientServiceError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "call_with_retries",
     "RngRegistry",
     "spawn_generator",
     "generator_from_seed",

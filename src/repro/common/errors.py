@@ -44,3 +44,58 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency."""
+
+
+class EventBudgetError(SimulationError):
+    """The event loop hit its ``max_events`` budget with work still pending.
+
+    Raised (never silently swallowed) so a run that was cut short can never
+    be mistaken for one that drained its queue.
+    """
+
+
+class TransientServiceError(ReproError):
+    """A transient infrastructure failure that is safe to retry.
+
+    Retry policies (:class:`repro.common.retry.RetryPolicy`) treat this
+    class — and nothing broader — as retryable by default, so a function bug
+    or a validation failure is never papered over by re-execution.
+    """
+
+
+class InjectedFaultError(TransientServiceError):
+    """A failure injected at a fault site armed by a :class:`~repro.faults.FaultPlan`."""
+
+
+class NodeCrashError(TransientServiceError):
+    """A compute node crashed while allocated (possibly mid-job)."""
+
+
+class TransferCorruptionError(TransientServiceError):
+    """Transferred bytes failed checksum verification at the destination."""
+
+
+class TokenExpiredError(AuthorizationError, TransientServiceError):
+    """A token expired (or the auth service transiently treated it as such).
+
+    Doubly classified: callers branching on authorization failures still
+    catch it, while retry policies recognize it as transient (a retry or a
+    refresh can recover).
+    """
+
+
+class CircuitOpenError(TransientServiceError):
+    """A circuit breaker is open; the operation was rejected without attempt."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retry budget was exhausted without success.
+
+    ``last_error`` holds the failure of the final attempt.  Deliberately
+    *not* transient: once a budget is spent, the caller must surface the
+    failure rather than nest another retry loop around it.
+    """
+
+    def __init__(self, message: str, last_error: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error

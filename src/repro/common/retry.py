@@ -1,0 +1,310 @@
+"""Retry policies, deterministic backoff, and circuit-breaker state.
+
+The paper's central operational claim is that the AERO wastewater workflow
+"runs unattended" for months across Globus Auth/Transfer/Compute/Timers/Flows
+and a PBS cluster — infrastructure that fails transiently all the time.  This
+module is the policy layer those simulated services adopt:
+
+- :class:`RetryPolicy` — max-attempt budgets plus exponential backoff with
+  *deterministic* jitter (a seeded :class:`numpy.random.Generator` from
+  :mod:`repro.common.rng`, never wall-clock entropy), so a chaos run replays
+  identically from its seeds;
+- :func:`call_with_retries` — the synchronous harness for instantaneous
+  operations (flow steps, EMEWS evaluators);
+- :class:`CircuitBreaker` — closed/open/half-open state on the simulated
+  clock, so a persistently failing dependency is rejected fast instead of
+  burning its caller's retry budget;
+- :class:`ResilienceConfig` — the bundle of policies a whole platform (and
+  the end-to-end workflows) is wired with.
+
+Delays are simulated **days**, like everything else on the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.common.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    RetryExhaustedError,
+    TransientServiceError,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "call_with_retries",
+    "CircuitBreaker",
+    "ResilienceConfig",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An attempt budget plus an exponential-backoff schedule.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (so ``max_attempts=1`` means "no
+        retries").
+    base_delay:
+        Backoff before the first retry, in simulated days.
+    multiplier:
+        Geometric growth factor between consecutive backoffs.
+    max_delay:
+        Ceiling on any single backoff (days).
+    jitter:
+        Symmetric jitter fraction: a delay ``d`` becomes ``d * (1 ± jitter)``
+        drawn from the caller-supplied generator.  With no generator the
+        delay is the exact exponential value — always deterministic.
+    retry_on:
+        Exception classes considered transient.  The default retries only
+        :class:`~repro.common.errors.TransientServiceError` so genuine bugs
+        (``ValidationError``, ``TypeError``) fail fast.
+
+    Examples
+    --------
+    >>> p = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0)
+    >>> [round(p.delay(a), 3) for a in (1, 2, 3)]
+    [0.01, 0.02, 0.04]
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (TransientServiceError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ConfigurationError("base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if not self.retry_on:
+            raise ConfigurationError("retry_on must name at least one exception type")
+
+    # ------------------------------------------------------------------ api
+    def retryable(self, exc: BaseException) -> bool:
+        """True if ``exc`` is of a class this policy re-attempts."""
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff (days) before retry number ``attempt`` (1-based).
+
+        ``attempt=1`` is the backoff after the first failure.  With ``rng``
+        the exact delay is jittered deterministically from that stream.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw
+
+    @property
+    def max_retries(self) -> int:
+        """Retries after the first attempt (``max_attempts - 1``)."""
+        return self.max_attempts - 1
+
+
+def call_with_retries(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Invoke ``fn`` under ``policy``, synchronously (no simulated delay).
+
+    For operations that are instantaneous on the simulated clock — flow
+    steps, EMEWS evaluator calls — where backoff *time* is meaningless but
+    the attempt budget and transient/permanent distinction still matter.
+
+    Raises
+    ------
+    RetryExhaustedError
+        When every attempt failed with a retryable error; ``last_error``
+        carries the final failure.
+    BaseException
+        A non-retryable failure propagates unchanged, immediately.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except Exception as exc:
+            if not policy.retryable(exc):
+                raise
+            last = exc
+            if attempt < policy.max_attempts and on_retry is not None:
+                on_retry(attempt, exc)
+    raise RetryExhaustedError(
+        f"gave up after {policy.max_attempts} attempts: "
+        f"{type(last).__name__}: {last}",
+        last_error=last,
+    ) from last
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate on the simulated clock.
+
+    Consecutive failures at or above ``failure_threshold`` open the circuit:
+    further calls are rejected (:class:`CircuitOpenError`) without touching
+    the dependency.  After ``reset_timeout`` simulated days the breaker
+    half-opens and admits a single probe; a probe success closes the circuit,
+    a probe failure re-opens it for another timeout.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulated time
+        (typically ``lambda: env.now``).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 0.25,
+        clock: Callable[[], float],
+        name: str = "breaker",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigurationError("reset_timeout must be positive")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self.rejections = 0
+        self.opens = 0
+
+    # ---------------------------------------------------------------- state
+    @property
+    def state(self) -> str:
+        """Current state, accounting for timeout-driven half-opening."""
+        if self._state == self.OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.reset_timeout:
+                self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """True if a call may proceed now (counts rejections otherwise)."""
+        state = self.state
+        if state == self.OPEN:
+            self.rejections += 1
+            return False
+        return True
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            assert self._opened_at is not None
+            retry_at = self._opened_at + self.reset_timeout
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open after "
+                f"{self._consecutive_failures} consecutive failures "
+                f"(half-opens at t={retry_at:g})"
+            )
+
+    # -------------------------------------------------------------- outcomes
+    def record_success(self) -> None:
+        """Note a successful call: closes a half-open circuit, resets count."""
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the circuit open."""
+        state = self.state
+        self._consecutive_failures += 1
+        if state == self.HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+            if self._state != self.OPEN:
+                self.opens += 1
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The resilience policies one platform deployment is wired with.
+
+    Passed to :class:`repro.aero.platform.AeroPlatform` (and through the
+    end-to-end workflow entry points) to turn on service-level retries
+    everywhere at once.  All backoff jitter derives from ``seed`` through
+    :class:`repro.common.rng.RngRegistry` streams, one per service, so
+    enabling resilience never breaks run-to-run determinism.
+
+    Attributes
+    ----------
+    transfer_retry:
+        Policy for the transfer service's per-task re-attempts.
+    compute_retry:
+        Policy wrapped around every compute endpoint's engine.
+    flow_step_retry:
+        Synchronous per-step policy for the Globus Flows service.
+    flow_max_retries / flow_retry_delay:
+        AERO flow-level run re-attempts (the existing coarse retry layer);
+        when a flow is registered with an explicit ``retry_policy`` its
+        backoff schedule is used instead of the fixed delay.
+    scheduler_max_requeues:
+        How many times a batch job killed by a node crash is requeued.
+    seed:
+        Root seed for all backoff-jitter streams.
+    """
+
+    transfer_retry: Optional[RetryPolicy] = field(
+        default_factory=lambda: RetryPolicy(max_attempts=4, base_delay=0.002)
+    )
+    compute_retry: Optional[RetryPolicy] = field(
+        default_factory=lambda: RetryPolicy(max_attempts=4, base_delay=0.002)
+    )
+    flow_step_retry: Optional[RetryPolicy] = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3)
+    )
+    flow_max_retries: int = 3
+    flow_retry_delay: float = 0.01
+    scheduler_max_requeues: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flow_max_retries < 0:
+            raise ConfigurationError("flow_max_retries must be >= 0")
+        if self.flow_retry_delay < 0:
+            raise ConfigurationError("flow_retry_delay must be >= 0")
+        if self.scheduler_max_requeues < 0:
+            raise ConfigurationError("scheduler_max_requeues must be >= 0")
+
+    def describe(self) -> Dict[str, float]:
+        """Flat numeric summary for run reports."""
+        return {
+            "transfer_max_attempts": float(
+                self.transfer_retry.max_attempts if self.transfer_retry else 1
+            ),
+            "compute_max_attempts": float(
+                self.compute_retry.max_attempts if self.compute_retry else 1
+            ),
+            "flow_step_max_attempts": float(
+                self.flow_step_retry.max_attempts if self.flow_step_retry else 1
+            ),
+            "flow_max_retries": float(self.flow_max_retries),
+            "scheduler_max_requeues": float(self.scheduler_max_requeues),
+        }

@@ -28,6 +28,7 @@ from repro.emews.futures import TaskFuture, as_completed, pop_completed
 from repro.emews.worker_pool import SimWorkerPool, ThreadedWorkerPool
 from repro.emews.api import TaskQueue
 from repro.emews.reports import ExperimentReport, experiment_report, render_report
+from repro.emews.resilience import ResilientEvaluator
 from repro.emews.service import EmewsService, PoolHandle
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "ExperimentReport",
     "experiment_report",
     "render_report",
+    "ResilientEvaluator",
     "EmewsService",
     "PoolHandle",
 ]

@@ -1,0 +1,128 @@
+"""Deterministic fault injection for EMEWS worker-pool evaluators.
+
+The sim-side fault injector (:mod:`repro.faults`) draws from named RNG
+streams in event order — reproducible because the event loop is
+single-threaded.  EMEWS :class:`~repro.emews.worker_pool.ThreadedWorkerPool`
+workers are real OS threads, so stream *order* would depend on thread
+scheduling.  Here the fail/pass decision is instead **payload-keyed**: a
+stable hash of ``(payload, attempt, seed)`` is mapped to a uniform in
+``[0, 1)`` and compared against the fault rate, so a chaos run makes exactly
+the same decisions no matter how many workers there are or how the OS
+interleaves them.
+
+:class:`ResilientEvaluator` wraps any evaluator function with that
+injection plus a synchronous :func:`~repro.common.retry.call_with_retries`
+budget, and keeps thread-safe counters for workflow reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import (
+    InjectedFaultError,
+    RetryExhaustedError,
+    ValidationError,
+)
+from repro.common.hashing import stable_digest
+from repro.common.retry import RetryPolicy, call_with_retries
+
+__all__ = ["ResilientEvaluator"]
+
+#: Hash-fraction denominator: the first 12 hex digits of the digest give a
+#: 48-bit integer, mapped to a uniform in [0, 1).
+_HASH_SPAN = float(1 << 48)
+
+
+class ResilientEvaluator:
+    """An evaluator wrapper: deterministic faults + a retry budget.
+
+    Parameters
+    ----------
+    fn:
+        The inner evaluator (payload in, JSON-serializable result out).
+    fault_rate:
+        Probability in ``[0, 1]`` that any single *attempt* raises
+        :class:`~repro.common.errors.InjectedFaultError`.  The decision is a
+        pure function of ``(payload, attempt, fault_seed)``.
+    fault_seed:
+        Salt for the per-attempt hash, so different chaos runs over the same
+        payloads draw different fault patterns.
+    retry:
+        Attempt budget (synchronous — evaluator calls are instantaneous on
+        the simulated clock).  Defaults to 4 attempts, which recovers every
+        fault pattern at moderate rates; exhaustion surfaces as
+        :class:`~repro.common.errors.RetryExhaustedError`, which the worker
+        pool records as a FAILED task.
+
+    Instances are safe to share across worker threads: counters are guarded
+    by a lock and per-call attempt state lives on the stack.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        fault_rate: float = 0.0,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValidationError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        self._fn = fn
+        self.fault_rate = float(fault_rate)
+        self.fault_seed = int(fault_seed)
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=4)
+        self._lock = threading.Lock()
+        self.faults_injected = 0
+        self.retries_performed = 0
+        self.exhaustions = 0
+        self.calls = 0
+
+    # -------------------------------------------------------------- decisions
+    def _should_fault(self, payload: Any, attempt: int) -> bool:
+        digest = stable_digest(
+            {"payload": payload, "attempt": attempt, "seed": self.fault_seed}
+        )
+        return int(digest[:12], 16) / _HASH_SPAN < self.fault_rate
+
+    # ------------------------------------------------------------------- call
+    def __call__(self, payload: Any) -> Any:
+        with self._lock:
+            self.calls += 1
+        attempt_counter = [0]
+
+        def once() -> Any:
+            attempt_counter[0] += 1
+            if self.fault_rate > 0.0 and self._should_fault(
+                payload, attempt_counter[0]
+            ):
+                with self._lock:
+                    self.faults_injected += 1
+                raise InjectedFaultError(
+                    f"injected evaluator fault (attempt {attempt_counter[0]})"
+                )
+            return self._fn(payload)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            with self._lock:
+                self.retries_performed += 1
+
+        try:
+            return call_with_retries(once, self.retry, on_retry=on_retry)
+        except RetryExhaustedError:
+            with self._lock:
+                self.exhaustions += 1
+            raise
+
+    # ---------------------------------------------------------------- report
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the wrapper's recovery counters."""
+        with self._lock:
+            return {
+                "evaluator_calls": self.calls,
+                "evaluator_faults_injected": self.faults_injected,
+                "evaluator_retries": self.retries_performed,
+                "evaluator_exhaustions": self.exhaustions,
+            }

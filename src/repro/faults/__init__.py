@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the simulated Globus/HPC stack.
+
+The paper's workflows survive real infrastructure — transient service
+errors, queue churn, node failures — because every layer retries.  This
+subpackage supplies the *failure half* of that story for the simulation:
+
+- :class:`FaultSpec` / :class:`FaultPlan` — declarative, seeded
+  descriptions of what fails when (probabilistic rates or scripted
+  at-time-T faults);
+- :class:`FaultInjector` — a plan armed on one
+  :class:`~repro.sim.SimulationEnvironment` (via
+  :meth:`~repro.sim.SimulationEnvironment.install_fault_plan`), consulted
+  by every simulated service at its fault sites.
+
+The recovery half lives in :mod:`repro.common.retry` (policies, backoff,
+circuit breakers) and in the services that adopt it.  Because fault
+decisions derive only from the plan seed and the simulated clock, a chaos
+run is exactly reproducible — the property the chaos test suite is built on.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ACTION_SITES,
+    KNOWN_SITES,
+    OPERATION_SITES,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KNOWN_SITES",
+    "OPERATION_SITES",
+    "ACTION_SITES",
+]

@@ -1,0 +1,163 @@
+"""The fault injector: a plan armed on one simulation environment.
+
+Services never import this module directly; they consult
+``env.faults`` (``None`` on a healthy run — a single attribute check, which
+is what keeps the no-fault overhead negligible) and call
+:meth:`FaultInjector.poll` / :meth:`FaultInjector.check` at their fault
+sites.  Resource owners (the batch scheduler, for node crashes) register
+*action handlers* with :meth:`register_target`.
+
+Determinism: each probabilistic spec draws from its own
+:class:`~repro.common.rng.RngRegistry` stream keyed by ``(plan seed, site,
+spec index)``, and scripted specs arm through ordinary simulation events —
+so the injected fault sequence is a pure function of the plan and the
+workload, never of wall-clock state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import InjectedFaultError, SimulationError
+from repro.common.rng import RngRegistry
+from repro.faults.plan import ACTION_SITES, FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.loop import SimulationEnvironment
+
+#: An action handler: receives the spec, returns True if it delivered the
+#: fault (owned the targeted resource), False to let other handlers try.
+ActionHandler = Callable[[FaultSpec], bool]
+
+
+class FaultInjector:
+    """A :class:`FaultPlan` armed on a :class:`SimulationEnvironment`.
+
+    Create through :meth:`SimulationEnvironment.install_fault_plan`, which
+    wires the scripted specs onto the event heap.
+    """
+
+    def __init__(self, plan: FaultPlan, env: "SimulationEnvironment") -> None:
+        self.plan = plan
+        self._env = env
+        self._rng = RngRegistry([plan.seed, 0xFA11])
+        self._streams: Dict[int, object] = {}
+        self._by_site: Dict[str, List[int]] = {}
+        self._armed: Dict[int, int] = {}
+        self._injected: Dict[int, int] = {}
+        self._counts: Dict[str, int] = {}
+        self._targets: Dict[str, List[ActionHandler]] = {}
+        self._undelivered: List[FaultSpec] = []
+        for index, spec in enumerate(plan.specs):
+            self._by_site.setdefault(spec.site, []).append(index)
+            if spec.scripted:
+                arm_at = max(float(spec.at_time), env.now)
+                env.schedule_at(
+                    arm_at,
+                    lambda i=index: self._fire_scripted(i),
+                    label=f"fault:{spec.site}@{spec.at_time:g}",
+                )
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Mapping site → faults injected so far (copy)."""
+        return dict(self._counts)
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected across all sites."""
+        return sum(self._counts.values())
+
+    def undelivered(self) -> List[FaultSpec]:
+        """Scripted action specs that fired with no owning handler."""
+        return list(self._undelivered)
+
+    def _record(self, spec: FaultSpec, index: int) -> None:
+        self._injected[index] = self._injected.get(index, 0) + 1
+        self._counts[spec.site] = self._counts.get(spec.site, 0) + 1
+
+    def _budget_left(self, spec: FaultSpec, index: int) -> bool:
+        if spec.max_faults is None:
+            return True
+        return self._injected.get(index, 0) < spec.max_faults
+
+    # ---------------------------------------------------------------- pulling
+    def poll(self, site: str, label: str = "") -> Optional[InjectedFaultError]:
+        """Decide whether this operation fails; return the error or ``None``.
+
+        Probabilistic specs draw from their stream on *every* eligible call
+        (hit or miss), so the decision sequence is reproducible.  Scripted
+        armed faults are consumed first, one operation each.
+        """
+        indices = self._by_site.get(site)
+        if not indices:
+            return None
+        for index in indices:
+            spec = self.plan.specs[index]
+            if spec.label_substring is not None and spec.label_substring not in label:
+                continue
+            if self._armed.get(index, 0) > 0:
+                self._armed[index] -= 1
+                self._record(spec, index)
+                return self._make_error(spec, label)
+            if spec.rate > 0.0:
+                draw = float(self._stream(index).random())
+                if draw < spec.rate and self._budget_left(spec, index):
+                    self._record(spec, index)
+                    return self._make_error(spec, label)
+        return None
+
+    def check(self, site: str, label: str = "") -> None:
+        """Like :meth:`poll`, but raises the injected error directly."""
+        error = self.poll(site, label)
+        if error is not None:
+            raise error
+
+    # ---------------------------------------------------------------- pushing
+    def register_target(self, site: str, handler: ActionHandler) -> None:
+        """Register an action handler for ``site`` (e.g. ``node.crash``).
+
+        Multiple handlers may register (one per cluster); a scripted fault is
+        offered to each in registration order until one accepts it.  Install
+        the fault plan *before* constructing services so their registrations
+        land on this injector.
+        """
+        if site not in ACTION_SITES:
+            raise SimulationError(
+                f"{site!r} is not an action site; action sites: {sorted(ACTION_SITES)}"
+            )
+        self._targets.setdefault(site, []).append(handler)
+
+    def _fire_scripted(self, index: int) -> None:
+        spec = self.plan.specs[index]
+        if spec.site in ACTION_SITES:
+            for handler in self._targets.get(spec.site, []):
+                if handler(spec):
+                    self._record(spec, index)
+                    return
+            self._undelivered.append(spec)
+        else:
+            self._armed[index] = self._armed.get(index, 0) + 1
+
+    # --------------------------------------------------------------- internals
+    def _stream(self, index: int):
+        stream = self._streams.get(index)
+        if stream is None:
+            spec = self.plan.specs[index]
+            stream = self._rng.stream(f"fault/{spec.site}/{index}")
+            self._streams[index] = stream
+        return stream
+
+    def _make_error(self, spec: FaultSpec, label: str) -> InjectedFaultError:
+        note = f" ({spec.detail})" if spec.detail else ""
+        where = f" during {label!r}" if label else ""
+        return InjectedFaultError(
+            f"injected {spec.site} fault{where} at t={self._env.now:g}{note}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector({len(self.plan.specs)} specs, "
+            f"{self.total_injected} injected)"
+        )

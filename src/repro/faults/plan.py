@@ -1,0 +1,154 @@
+"""Fault plans: declarative, reproducible descriptions of what fails when.
+
+A :class:`FaultPlan` is pure data — a seed plus a tuple of
+:class:`FaultSpec` entries — describing faults to inject into one simulated
+run.  Two kinds of spec are supported:
+
+- **probabilistic**: ``FaultSpec(site="transfer", rate=0.05)`` fails 5% of
+  transfer attempts, decided by a per-spec random stream derived from the
+  plan seed (so the same plan produces the same faults, always);
+- **scripted**: ``FaultSpec(site="node.crash", at_time=3.0)`` arms exactly
+  one fault at simulated day 3 — the next matching operation after that
+  instant fails (operation sites), or the registered action handler runs at
+  that instant (action sites such as a node crash).
+
+Because every fault decision flows from the plan seed and the simulated
+clock, a chaos run is exactly reproducible: re-running the same workflow
+with the same plan yields the same failures, the same retries, and the same
+final timeline.  That property is what makes the chaos test suite possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Operation sites: services *pull* a fault decision at each operation.
+OPERATION_SITES = frozenset(
+    {
+        "auth",            # token validation (injected token expiry)
+        "transfer",        # a transfer attempt fails outright
+        "transfer.corrupt",  # a transfer attempt delivers corrupted bytes
+        "compute",         # a compute task attempt fails on its endpoint
+        "timer",           # a timer firing is missed (callback skipped)
+        "flows.step",      # a Globus Flows action-provider step fails
+        "job",             # a batch job is killed mid-run (node fault)
+    }
+)
+
+#: Action sites: the injector *pushes* the fault to a registered handler.
+ACTION_SITES = frozenset({"node.crash"})
+
+KNOWN_SITES = OPERATION_SITES | ACTION_SITES
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source within a plan.
+
+    Attributes
+    ----------
+    site:
+        Where the fault strikes; one of :data:`KNOWN_SITES`.
+    rate:
+        Per-operation failure probability (operation sites only).
+    at_time:
+        Simulated day at which one scripted fault is armed/delivered.
+        A spec must have ``rate > 0`` or ``at_time`` set (or both).
+    max_faults:
+        Cap on total injections from this spec (``None`` = unlimited for
+        probabilistic specs; scripted specs always inject at most once).
+    label_substring:
+        Only operations whose label contains this substring are eligible —
+        e.g. target one plant's transfers with ``label_substring="stickney"``.
+    target:
+        For action sites: which resource to hit (a cluster or node name);
+        handlers ignore specs targeting resources they do not own.
+    duration:
+        For action sites: how long the damage lasts (a crashed node is
+        repaired after ``duration`` days; ``None`` = never auto-repaired).
+    detail:
+        Free-text note carried into the injected error message.
+    """
+
+    site: str
+    rate: float = 0.0
+    at_time: Optional[float] = None
+    max_faults: Optional[int] = None
+    label_substring: Optional[str] = None
+    target: Optional[str] = None
+    duration: Optional[float] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: {sorted(KNOWN_SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.rate == 0.0 and self.at_time is None:
+            raise ConfigurationError(
+                f"spec for site {self.site!r} is inert: set rate > 0 or at_time"
+            )
+        if self.site in ACTION_SITES:
+            if self.at_time is None:
+                raise ConfigurationError(
+                    f"action site {self.site!r} requires a scripted at_time"
+                )
+            if self.rate > 0.0:
+                raise ConfigurationError(
+                    f"action site {self.site!r} does not support probabilistic rate"
+                )
+        if self.at_time is not None and self.at_time < 0:
+            raise ConfigurationError("at_time must be >= 0")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ConfigurationError("max_faults must be >= 1 when given")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError("duration must be positive when given")
+
+    @property
+    def scripted(self) -> bool:
+        """True for at-time-T specs (as opposed to rate-based ones)."""
+        return self.at_time is not None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault specs for one chaos run.
+
+    Examples
+    --------
+    >>> plan = FaultPlan(
+    ...     seed=7,
+    ...     specs=(
+    ...         FaultSpec(site="transfer", rate=0.05),
+    ...         FaultSpec(site="node.crash", at_time=3.0, duration=0.5),
+    ...     ),
+    ... )
+    >>> len(plan.specs)
+    2
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"plan specs must be FaultSpec instances, got {type(spec).__name__}"
+                )
+
+    def for_site(self, site: str) -> Tuple[FaultSpec, ...]:
+        """Specs targeting ``site``, in declaration order."""
+        return tuple(s for s in self.specs if s.site == site)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.specs

@@ -35,6 +35,7 @@ from repro.globus.compute import (
     ComputeService,
     GlobusComputeEngine,
     LoginNodeEngine,
+    RetryingEngine,
     simulated_cost,
 )
 
@@ -57,5 +58,6 @@ __all__ = [
     "ComputeService",
     "GlobusComputeEngine",
     "LoginNodeEngine",
+    "RetryingEngine",
     "simulated_cost",
 ]

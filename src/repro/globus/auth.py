@@ -18,7 +18,12 @@ import secrets
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional
 
-from repro.common.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.common.errors import (
+    AuthorizationError,
+    NotFoundError,
+    TokenExpiredError,
+    ValidationError,
+)
 from repro.sim import SimulationEnvironment
 
 #: Scopes understood by the simulated service stack.
@@ -161,11 +166,19 @@ class AuthService:
         AuthorizationError
             If the token is unknown, revoked, expired, or lacks the scope.
         """
+        faults = self._env.faults
+        if faults is not None:
+            fault = faults.poll("auth", label=f"validate:{scope}")
+            if fault is not None:
+                # The service transiently treats the token as expired — the
+                # canonical always-on-deployment failure mode.  Typed so
+                # retry policies know a re-attempt (or refresh) can recover.
+                raise TokenExpiredError(f"token validation failed: {fault}")
         record = self._tokens.get(token.secret)
         if record is None:
             raise AuthorizationError("token is unknown or has been revoked")
         if self._env.now > record.expires_at:
-            raise AuthorizationError(
+            raise TokenExpiredError(
                 f"token expired at t={record.expires_at} (now t={self._env.now})"
             )
         if scope not in record.scopes:

@@ -16,6 +16,13 @@ This module reproduces both execution paths:
 - :class:`GlobusComputeEngine` — one batch job per task, submitted to a
   :class:`repro.hpc.BatchScheduler`, so tasks experience real queue waits.
 
+Resilience: both engines consult the environment's fault injector at the
+``compute`` site before running a task, so a chaos plan can fail task
+executions; :class:`RetryingEngine` wraps either engine with
+attempt-budgeted retries and exponential backoff on the simulated clock,
+recovering transient failures (injected faults, node crashes surfacing
+through the batch path) without the submitting workflow noticing.
+
 Functions are registered with the service (returning a function id, as with
 funcX) and submitted by id.  Each function may declare a *simulated cost*
 (days of compute) via :func:`simulated_cost`; the Python body runs for real
@@ -29,11 +36,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.common.errors import (
     NotFoundError,
     StateError,
     ValidationError,
 )
+from repro.common.retry import RetryPolicy
 from repro.globus.auth import AuthService, Token
 from repro.hpc.scheduler import BatchScheduler, Job, JobRequest, JobState
 from repro.sim import SimulationEnvironment
@@ -95,6 +105,8 @@ class ComputeFuture:
         self.submitted_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        self.attempts = 0
+        self.exception: Optional[BaseException] = None
         self._result: Any = None
         self._error: Optional[str] = None
         self._callbacks: List[Callable[["ComputeFuture"], None]] = []
@@ -103,6 +115,11 @@ class ComputeFuture:
     def done(self) -> bool:
         """True once the task succeeded or failed."""
         return self.status in (TaskStatus.SUCCEEDED, TaskStatus.FAILED)
+
+    @property
+    def retries(self) -> int:
+        """Execution attempts beyond the first (0 on a clean run)."""
+        return max(0, self.attempts - 1)
 
     def result(self) -> Any:
         """The function's return value.
@@ -131,10 +148,19 @@ class ComputeFuture:
             self._callbacks.append(callback)
 
     # internal
-    def _finish(self, status: TaskStatus, result: Any, error: Optional[str], now: float) -> None:
+    def _finish(
+        self,
+        status: TaskStatus,
+        result: Any,
+        error: Optional[str],
+        now: float,
+        *,
+        exception: Optional[BaseException] = None,
+    ) -> None:
         self.status = status
         self._result = result
         self._error = error
+        self.exception = exception
         self.completed_at = now
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
@@ -185,9 +211,14 @@ class LoginNodeEngine(_Engine):
 
     def _run(self, future: ComputeFuture, fn, args, kwargs) -> None:
         self._running += 1
+        future.attempts += 1
         future.status = TaskStatus.RUNNING
         future.started_at = self._env.now
+        exception: Optional[BaseException] = None
+        faults = self._env.faults
         try:
+            if faults is not None:
+                faults.check("compute", label=f"login:{future.task_id}")
             result = fn(*args, **kwargs)
             error = None
             status = TaskStatus.SUCCEEDED
@@ -195,11 +226,12 @@ class LoginNodeEngine(_Engine):
         except Exception as exc:
             result, status = None, TaskStatus.FAILED
             error = f"{type(exc).__name__}: {exc}"
+            exception = exc
             cost = DEFAULT_COST_DAYS
 
         def _complete() -> None:
             self._running -= 1
-            future._finish(status, result, error, self._env.now)
+            future._finish(status, result, error, self._env.now, exception=exception)
             self._drain()
 
         self._env.schedule(cost, _complete, label=f"login-task:{future.task_id}")
@@ -229,8 +261,12 @@ class GlobusComputeEngine(_Engine):
 
     def execute(self, future, fn, args, kwargs) -> None:
         def payload(job: Job) -> Any:
+            future.attempts += 1
             future.status = TaskStatus.RUNNING
             future.started_at = job.started_at
+            faults = self.scheduler.env.faults
+            if faults is not None:
+                faults.check("compute", label=f"batch:{future.task_id}")
             return fn(*args, **kwargs)
 
         def on_job_done(job: Job) -> None:
@@ -240,7 +276,13 @@ class GlobusComputeEngine(_Engine):
             elif job.state is JobState.TIMEOUT:
                 future._finish(TaskStatus.FAILED, None, "walltime exceeded", now)
             else:
-                future._finish(TaskStatus.FAILED, None, job.error or job.state.value, now)
+                future._finish(
+                    TaskStatus.FAILED,
+                    None,
+                    job.error or job.state.value,
+                    now,
+                    exception=job.exception,
+                )
 
         request = JobRequest(
             name=f"globus-compute:{future.task_id}",
@@ -251,6 +293,77 @@ class GlobusComputeEngine(_Engine):
         )
         job = self.scheduler.submit(request)
         job.on_complete.append(on_job_done)
+
+
+class RetryingEngine(_Engine):
+    """Attempt-budgeted retry wrapper around any compute engine.
+
+    Each attempt runs on the wrapped engine against a private *shadow*
+    future; the outer future (the one the workflow holds) completes only
+    when an attempt succeeds or the policy's attempt budget is spent, so
+    completion callbacks fire exactly once.  Backoff delays are scheduled
+    on the simulated clock.  Non-transient failures (an actual bug in the
+    submitted function) propagate on the first attempt — the policy's
+    ``retry_on`` filter decides.
+    """
+
+    def __init__(
+        self,
+        inner: _Engine,
+        env: SimulationEnvironment,
+        policy: RetryPolicy,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._inner = inner
+        self._env = env
+        self._policy = policy
+        self._rng = rng
+        self.retries_performed = 0
+
+    def __getattr__(self, name: str) -> Any:
+        # Introspection (``engine.scheduler``, ``engine.running`` ...)
+        # reaches through to the wrapped engine.
+        return getattr(self._inner, name)
+
+    def execute(self, future, fn, args, kwargs) -> None:
+        self._dispatch(future, fn, args, kwargs)
+
+    def _dispatch(self, future: ComputeFuture, fn, args, kwargs) -> None:
+        shadow = ComputeFuture(future.task_id, future.endpoint_name)
+        shadow.submitted_at = self._env.now
+
+        def on_done(attempt: ComputeFuture) -> None:
+            future.attempts += 1
+            if future.started_at is None:
+                future.started_at = attempt.started_at
+            done_at = (
+                attempt.completed_at if attempt.completed_at is not None else self._env.now
+            )
+            if attempt.status is TaskStatus.SUCCEEDED:
+                future._finish(TaskStatus.SUCCEEDED, attempt._result, None, done_at)
+                return
+            exc = attempt.exception
+            if (
+                exc is not None
+                and self._policy.retryable(exc)
+                and future.attempts < self._policy.max_attempts
+            ):
+                self.retries_performed += 1
+                future.status = TaskStatus.RUNNING
+                delay = self._policy.delay(future.attempts, rng=self._rng)
+                self._env.schedule(
+                    delay,
+                    lambda: self._dispatch(future, fn, args, kwargs),
+                    label=f"retry:{future.task_id}",
+                )
+                return
+            future._finish(
+                TaskStatus.FAILED, None, attempt._error, done_at, exception=exc
+            )
+
+        shadow.add_done_callback(on_done)
+        self._inner.execute(shadow, fn, args, kwargs)
 
 
 @dataclass(frozen=True)

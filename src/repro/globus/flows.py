@@ -14,6 +14,13 @@ taking and returning a context dict; running a flow produces a
 simulated clock.  Steps execute synchronously within the simulated instant in
 which the run is started — asynchrony between flows comes from the services
 the steps call (transfers, compute tasks, timers), exactly as in AERO.
+
+Resilience: each step attempt first consults the fault injector's
+``flows.step`` site (an action-provider failure), then runs the step
+callable.  With a ``step_retry`` policy configured the service re-attempts
+transient step failures immediately — steps are synchronous within one
+simulated instant, so backoff here is a budget, not a delay — and records
+the attempt count on the :class:`StepRecord`.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import NotFoundError, ValidationError
+from repro.common.retry import RetryPolicy
 from repro.globus.auth import AuthService, Token
 from repro.sim import SimulationEnvironment
 
@@ -47,6 +55,12 @@ class StepRecord:
     completed_at: Optional[float] = None
     status: RunStatus = RunStatus.ACTIVE
     error: Optional[str] = None
+    attempts: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first (0 on a clean step)."""
+        return max(0, self.attempts - 1)
 
 
 @dataclass(frozen=True)
@@ -92,15 +106,31 @@ class FlowRun:
 
 
 class FlowsService:
-    """In-process Globus Flows replacement."""
+    """In-process Globus Flows replacement.
 
-    def __init__(self, auth: AuthService, env: SimulationEnvironment) -> None:
+    Parameters
+    ----------
+    step_retry:
+        Optional policy bounding immediate re-attempts of transient step
+        failures (its ``max_attempts`` is the budget; delays do not apply to
+        synchronous steps).
+    """
+
+    def __init__(
+        self,
+        auth: AuthService,
+        env: SimulationEnvironment,
+        *,
+        step_retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self._auth = auth
         self._env = env
+        self._step_retry = step_retry
         self._flows: Dict[str, FlowDefinition] = {}
         self._runs: Dict[str, FlowRun] = {}
         self._flow_counter = 0
         self._run_counter = 0
+        self.step_retries_performed = 0
 
     # -------------------------------------------------------------- register
     def register_flow(
@@ -162,16 +192,30 @@ class FlowsService:
         for name, fn in flow.steps:
             record = StepRecord(name=name, started_at=self._env.now)
             run.step_log.append(record)
-            try:
-                updates = fn(run.context)
-            except Exception as exc:
-                record.status = RunStatus.FAILED
-                record.error = f"{type(exc).__name__}: {exc}"
-                record.completed_at = self._env.now
-                run.status = RunStatus.FAILED
-                run.error = f"step {name!r} failed: {record.error}"
-                run.completed_at = self._env.now
-                return run
+            while True:
+                record.attempts += 1
+                try:
+                    faults = self._env.faults
+                    if faults is not None:
+                        faults.check("flows.step", label=f"{flow.title}:{name}")
+                    updates = fn(run.context)
+                except Exception as exc:
+                    policy = self._step_retry
+                    if (
+                        policy is not None
+                        and policy.retryable(exc)
+                        and record.attempts < policy.max_attempts
+                    ):
+                        self.step_retries_performed += 1
+                        continue
+                    record.status = RunStatus.FAILED
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    record.completed_at = self._env.now
+                    run.status = RunStatus.FAILED
+                    run.error = f"step {name!r} failed: {record.error}"
+                    run.completed_at = self._env.now
+                    return run
+                break
             if updates:
                 run.context.update(updates)
             record.status = RunStatus.SUCCEEDED

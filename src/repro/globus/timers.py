@@ -13,6 +13,13 @@ Semantics (matching Globus Timers where it matters):
   the current callback returns, so a slow callback delays subsequent firings
   rather than stacking them;
 - pausing and resuming preserves the phase of the schedule.
+
+Resilience: each activation consults the fault injector's ``timer`` site; an
+injected fault means the service *missed* that firing (the real backend was
+briefly unavailable) — the callback is skipped, ``missed_firings`` is
+incremented, and the schedule continues in phase, so a daily poll that
+misses a day simply picks up the next day (the workflow sees a data gap,
+not a crash).
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ class Timer:
         self._env = env
         self._callback = callback
         self._firings = 0
+        self.missed_firings = 0
         self._active = True
         self._pending: Optional[Event] = None
         self._schedule(start_delay)
@@ -68,6 +76,17 @@ class Timer:
         if not self._active:
             return
         self._pending = None
+        faults = self._env.faults
+        if faults is not None:
+            fault = faults.poll("timer", label=f"timer:{self.label}")
+            if fault is not None:
+                # Missed firing: skip the callback but stay in phase.
+                self.missed_firings += 1
+                if self.max_firings is None or self._firings < self.max_firings:
+                    self._schedule(self.interval)
+                else:
+                    self._active = False
+                return
         self._firings += 1
         try:
             self._callback()
@@ -151,3 +170,7 @@ class TimerService:
     def active_timers(self) -> List[Timer]:
         """Timers that will still fire."""
         return [t for t in self._timers.values() if t.active]
+
+    def total_missed_firings(self) -> int:
+        """Firings skipped by injected ``timer`` faults, across all timers."""
+        return sum(t.missed_firings for t in self._timers.values())

@@ -10,15 +10,35 @@ The simulation models latency as ``base_latency + size / bandwidth`` on the
 shared simulated clock, which is enough to exercise the asynchrony (a flow
 must not read its input before the staging transfer completes) and to make
 transfer time visible in workflow timing reports.
+
+Resilience: when constructed with a :class:`~repro.common.retry.RetryPolicy`
+the service re-attempts transient attempt failures (injected faults at the
+``transfer`` site, detected corruption) with exponential backoff before
+marking the task FAILED.  Every attempt's payload is checksum-verified
+against the bytes read at submission, so a ``transfer.corrupt`` fault is
+*detected* — a corrupted attempt fails typed
+(:class:`~repro.common.errors.TransferCorruptionError`) and the retry
+re-sends the pristine snapshot, mirroring Globus checksum-verified
+transfers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
-from repro.common.errors import NotFoundError, ReproError, StateError, ValidationError
+import numpy as np
+
+from repro.common.errors import (
+    NotFoundError,
+    ReproError,
+    StateError,
+    TransferCorruptionError,
+    ValidationError,
+)
+from repro.common.hashing import content_checksum
+from repro.common.retry import CircuitBreaker, RetryPolicy
 from repro.globus.auth import AuthService, Token
 from repro.globus.collections import StorageService
 from repro.sim import SimulationEnvironment
@@ -44,11 +64,18 @@ class TransferTask:
     status: TransferStatus = TransferStatus.ACTIVE
     completed_at: Optional[float] = None
     error: Optional[str] = None
+    attempts: int = 0
+    exception: Optional[BaseException] = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
         """True once the transfer succeeded or failed."""
         return self.status is not TransferStatus.ACTIVE
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts beyond the first (0 on a clean transfer)."""
+        return max(0, self.attempts - 1)
 
 
 class TransferService:
@@ -62,6 +89,19 @@ class TransferService:
         keeping latency strictly positive, preserving event ordering.
     base_latency_days:
         Fixed per-transfer setup latency (control-channel overhead).
+    retry:
+        Optional retry policy: transient attempt failures (injected faults,
+        detected corruption) are re-attempted with backoff before the task
+        is marked FAILED.
+    rng:
+        Generator for backoff jitter (``None`` = exact exponential delays).
+    breaker:
+        Optional circuit breaker guarding submission: when open, ``submit``
+        raises :class:`~repro.common.errors.CircuitOpenError` immediately.
+    verify_checksums:
+        When true (default), each attempt's delivered payload is verified
+        against the submission-time checksum, converting in-flight
+        corruption into a typed, retryable failure.
     """
 
     def __init__(
@@ -72,6 +112,10 @@ class TransferService:
         *,
         bandwidth_bytes_per_day: float = 86.4e9,
         base_latency_days: float = 1e-4,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        verify_checksums: bool = True,
     ) -> None:
         if bandwidth_bytes_per_day <= 0 or base_latency_days < 0:
             raise ValidationError("bandwidth must be > 0 and base latency >= 0")
@@ -80,9 +124,15 @@ class TransferService:
         self._env = env
         self._bandwidth = float(bandwidth_bytes_per_day)
         self._base_latency = float(base_latency_days)
+        self._retry = retry
+        self._rng = rng
+        self._breaker = breaker
+        self._verify = bool(verify_checksums)
         self._tasks: Dict[str, TransferTask] = {}
         self._counter = 0
         self._bytes_moved = 0
+        self.retries_performed = 0
+        self.corruptions_detected = 0
 
     # ---------------------------------------------------------------- submit
     def submit(
@@ -101,7 +151,15 @@ class TransferService:
         gets copied, even if the source is later overwritten) and written at
         completion time — matching Globus checkpoint-restart semantics
         closely enough for the workflows here.
+
+        With a retry policy configured, transient attempt failures (injected
+        ``transfer`` faults, detected corruption) re-schedule the attempt
+        after a backoff delay plus the transfer latency; the task only turns
+        FAILED once the attempt budget is exhausted (``task.exception`` then
+        holds the last typed error).
         """
+        if self._breaker is not None:
+            self._breaker.check()
         self._auth.validate(token, "transfer")
         src_collection, src_path = self._storage.resolve_uri(source_uri)
         dst_collection, dst_path = self._storage.resolve_uri(dest_uri)
@@ -127,22 +185,71 @@ class TransferService:
             return task
 
         task.size = len(data)
-        delay = self._base_latency + len(data) / self._bandwidth
+        checksum = content_checksum(data)
+        latency = self._base_latency + len(data) / self._bandwidth
+        label = f"{task.task_id}:{dest_uri}"
 
-        def _complete() -> None:
-            try:
-                dst_collection.put(token, dst_path, data)
-            except Exception as exc:  # authorization or validation failures
-                task.status = TransferStatus.FAILED
-                task.error = str(exc)
-            else:
+        def _finish(error: Optional[BaseException]) -> None:
+            if error is None:
                 task.status = TransferStatus.SUCCEEDED
                 self._bytes_moved += task.size
+                if self._breaker is not None:
+                    self._breaker.record_success()
+            else:
+                task.status = TransferStatus.FAILED
+                task.error = f"{error} (after {task.attempts} attempt(s))"
+                task.exception = error
             task.completed_at = self._env.now
             if on_complete is not None:
                 on_complete(task)
 
-        self._env.schedule(delay, _complete, label=f"{task.task_id}:{dest_uri}")
+        def _attempt_done() -> None:
+            task.attempts += 1
+            error: Optional[BaseException] = None
+            payload = data
+            faults = self._env.faults
+            if faults is not None:
+                fault = faults.poll("transfer", label=label)
+                if fault is not None:
+                    error = fault
+                else:
+                    corrupt = faults.poll("transfer.corrupt", label=label)
+                    if corrupt is not None:
+                        # Flip the first byte (or fabricate one) so the
+                        # delivered payload no longer matches the checksum.
+                        payload = (
+                            bytes([data[0] ^ 0xFF]) + data[1:] if data else b"\x00"
+                        )
+            if error is None and self._verify and content_checksum(payload) != checksum:
+                self.corruptions_detected += 1
+                error = TransferCorruptionError(
+                    f"checksum mismatch on {label} (attempt {task.attempts})"
+                )
+            if error is None:
+                try:
+                    # The pristine submission-time snapshot is written, never
+                    # the (possibly corrupted) wire payload.
+                    dst_collection.put(token, dst_path, data)
+                except Exception as exc:  # authorization or validation failures
+                    _finish(exc)
+                    return
+                _finish(None)
+                return
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            policy = self._retry
+            if (
+                policy is not None
+                and policy.retryable(error)
+                and task.attempts < policy.max_attempts
+            ):
+                self.retries_performed += 1
+                backoff = policy.delay(task.attempts, rng=self._rng)
+                self._env.schedule(backoff + latency, _attempt_done, label=label)
+                return
+            _finish(error)
+
+        self._env.schedule(latency, _attempt_done, label=label)
         return task
 
     # ----------------------------------------------------------------- query

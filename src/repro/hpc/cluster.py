@@ -5,14 +5,23 @@ nodes exist and which are currently allocated.  The :class:`BatchScheduler`
 decides *when* to allocate; the cluster enforces *that allocation is
 consistent* (a node can never be double-allocated — a property the test suite
 checks under hypothesis-generated workloads).
+
+Nodes can also be *down*: :meth:`Cluster.crash_node` (driven by the fault
+injector's ``node.crash`` action, or called directly in tests) marks a node
+unavailable and notifies crash listeners — the scheduler registers one to
+requeue the victim job.  :meth:`Cluster.repair_node` brings it back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.common.errors import SchedulingError, ValidationError
+from repro.common.errors import NotFoundError, SchedulingError, StateError, ValidationError
+
+#: Crash listener signature: receives the downed node and the job id that
+#: held it at crash time (``None`` if the node was idle).
+CrashListener = Callable[["Node", Optional[str]], None]
 
 
 @dataclass
@@ -22,6 +31,7 @@ class Node:
     name: str
     cores: int
     allocated_to: Optional[str] = None  # job_id currently holding the node
+    up: bool = True  # False while crashed/awaiting repair
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -29,8 +39,8 @@ class Node:
 
     @property
     def free(self) -> bool:
-        """True when no job holds this node."""
-        return self.allocated_to is None
+        """True when the node is up and no job holds it."""
+        return self.up and self.allocated_to is None
 
 
 class Cluster:
@@ -58,6 +68,8 @@ class Cluster:
             Node(name=f"{name}-node-{i:04d}", cores=cores_per_node)
             for i in range(n_nodes)
         ]
+        self._by_name: Dict[str, Node] = {n.name: n for n in self._nodes}
+        self._crash_listeners: List[CrashListener] = []
 
     # ----------------------------------------------------------------- views
     @property
@@ -87,6 +99,42 @@ class Cluster:
     def n_free(self) -> int:
         """Count of unallocated nodes."""
         return sum(1 for n in self._nodes if n.free)
+
+    def n_up(self) -> int:
+        """Count of nodes currently up (allocated or not)."""
+        return sum(1 for n in self._nodes if n.up)
+
+    def get_node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NotFoundError(f"cluster {self.name!r} has no node {name!r}") from None
+
+    # ---------------------------------------------------------------- faults
+    def add_crash_listener(self, listener: CrashListener) -> None:
+        """Call ``listener(node, victim_job_id)`` whenever a node crashes."""
+        self._crash_listeners.append(listener)
+
+    def crash_node(self, name: str) -> Optional[str]:
+        """Take node ``name`` down; returns the job id that held it, if any.
+
+        The node keeps its allocation record until the owning job is torn
+        down (the scheduler's crash listener releases it), so accounting
+        stays consistent.  Crashing a node that is already down is an error.
+        """
+        node = self.get_node(name)
+        if not node.up:
+            raise StateError(f"node {name!r} is already down")
+        node.up = False
+        victim = node.allocated_to
+        for listener in list(self._crash_listeners):
+            listener(node, victim)
+        return victim
+
+    def repair_node(self, name: str) -> None:
+        """Bring a downed node back into service (idempotent)."""
+        self.get_node(name).up = True
 
     # ------------------------------------------------------------ allocation
     def allocate(self, job_id: str, n_nodes: int) -> List[Node]:

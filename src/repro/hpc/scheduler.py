@@ -12,6 +12,16 @@ Models the slice of PBS/SLURM the paper's workflows interact with:
   explicitly completed or until walltime.
 
 Exact queue-wait and utilization accounting feeds the interleaving ablation.
+
+Resilience: the scheduler listens for node crashes on its cluster (and
+registers as the ``node.crash`` action target when a fault plan is armed).
+A running job whose node dies — or that draws a mid-run ``job``-site fault —
+is *requeued* up to ``max_requeues`` times: its nodes are released, its
+payload re-runs on restart (payloads here are deterministic and pure, so
+re-execution reproduces the same result), and only when the requeue budget
+is spent does the job turn FAILED with a typed ``exception``.  Stale
+completion/walltime events from before a requeue are neutralised by a
+per-start epoch counter.
 """
 
 from __future__ import annotations
@@ -20,7 +30,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.common.errors import SchedulingError, StateError, ValidationError
+from repro.common.errors import (
+    NodeCrashError,
+    NotFoundError,
+    SchedulingError,
+    StateError,
+    TransientServiceError,
+    ValidationError,
+)
 from repro.hpc.cluster import Cluster, Node
 from repro.hpc.utilization import UtilizationTracker
 from repro.sim import Event, SimulationEnvironment
@@ -88,9 +105,14 @@ class Job:
         self.nodes: List[Node] = []
         self.result: Any = None
         self.error: Optional[str] = None
+        self.exception: Optional[BaseException] = None
+        self.requeues = 0
         self.on_complete: List[Callable[["Job"], None]] = []
         self._scheduler: Optional["BatchScheduler"] = None
         self._kill_event: Optional[Event] = None
+        # Incremented on every requeue; events armed during an earlier run
+        # carry the old epoch and no-op when they fire.
+        self._epoch = 0
 
     @property
     def done(self) -> bool:
@@ -132,6 +154,10 @@ class BatchScheduler:
         When true (default), a queued job that fits may start even if an
         earlier, larger job is still blocked — conservative backfill without
         reservations, adequate for the workload mixes reproduced here.
+    max_requeues:
+        How many times a job interrupted by a node crash (or an injected
+        mid-run ``job`` fault) is put back in the queue before it is marked
+        FAILED.
     """
 
     def __init__(
@@ -140,14 +166,28 @@ class BatchScheduler:
         cluster: Cluster,
         *,
         backfill: bool = True,
+        max_requeues: int = 1,
     ) -> None:
+        if max_requeues < 0:
+            raise ValidationError("max_requeues must be >= 0")
         self._env = env
         self.cluster = cluster
         self.backfill = backfill
+        self.max_requeues = int(max_requeues)
         self.tracker = UtilizationTracker(cluster.n_nodes)
         self._queue: List[Job] = []
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
+        self.requeues_performed = 0
+        cluster.add_crash_listener(self._on_node_crash)
+        faults = env.faults
+        if faults is not None:
+            faults.register_target("node.crash", self._deliver_node_crash)
+
+    @property
+    def env(self) -> SimulationEnvironment:
+        """The shared simulation environment (for engines layered on top)."""
+        return self._env
 
     # ---------------------------------------------------------------- submit
     def submit(self, request: JobRequest) -> Job:
@@ -199,13 +239,14 @@ class BatchScheduler:
         job.nodes = self.cluster.allocate(job.job_id, job.request.n_nodes)
         job.state = JobState.RUNNING
         job.started_at = self._env.now
+        epoch = job._epoch
         self.tracker.begin(job.job_id, self._env.now, job.request.n_nodes)
 
         # Walltime kill, armed before the payload so even a payload that
         # schedules nothing still terminates.
         job._kill_event = self._env.schedule(
             job.request.walltime,
-            lambda: self._finish(job, JobState.TIMEOUT),
+            lambda: self._finish_epoch(job, epoch, JobState.TIMEOUT),
             label=f"{job.job_id}:walltime",
         )
 
@@ -213,7 +254,12 @@ class BatchScheduler:
             try:
                 job.result = job.request.payload(job)
             except Exception as exc:
-                self._finish(job, JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                    exception=exc,
+                )
                 return
 
         duration = job.request.duration
@@ -223,15 +269,124 @@ class BatchScheduler:
             if duration < 0:
                 self._finish(job, JobState.FAILED, error="negative simulated duration")
                 return
+            faults = self._env.faults
+            if faults is not None and duration > 0:
+                fault = faults.poll("job", label=job.request.name)
+                if fault is not None:
+                    # The job dies halfway through its run (a mid-flight
+                    # kill, distinct from a payload error at start).
+                    self._env.schedule(
+                        0.5 * min(duration, job.request.walltime),
+                        lambda: self._interrupt(job, epoch, fault),
+                        label=f"{job.job_id}:injected-kill",
+                    )
+                    return
             if duration < job.request.walltime:
                 self._env.schedule(
                     duration,
-                    lambda: self._finish(job, JobState.COMPLETED, result=job.result),
+                    lambda: self._finish_epoch(
+                        job, epoch, JobState.COMPLETED, result=job.result
+                    ),
                     label=f"{job.job_id}:complete",
                 )
             # else: the walltime kill event already handles it (TIMEOUT).
 
-    def _finish(self, job: Job, state: JobState, *, result: Any = None, error: Optional[str] = None) -> None:
+    # ------------------------------------------------------------- resilience
+    def _on_node_crash(self, node: Node, victim_job_id: Optional[str]) -> None:
+        """Cluster crash listener: requeue or fail the job on the dead node."""
+        if victim_job_id is None:
+            return
+        job = self._jobs.get(victim_job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return
+        self._interrupt(
+            job,
+            job._epoch,
+            NodeCrashError(
+                f"node {node.name} crashed under job {job.job_id} "
+                f"at t={self._env.now:g}"
+            ),
+        )
+
+    def _deliver_node_crash(self, spec) -> bool:
+        """``node.crash`` action handler (registered with the fault injector).
+
+        ``spec.target`` names a specific node; otherwise the first up,
+        allocated node (or any up node) is chosen.  ``spec.duration`` days
+        later the node is repaired and queued work can start again.
+        """
+        if spec.target is not None:
+            try:
+                node = self.cluster.get_node(spec.target)
+            except NotFoundError:
+                return False  # some other cluster's node: let them try
+            if not node.up:
+                return True  # already down: the fault is trivially delivered
+        else:
+            candidates = [n for n in self.cluster.nodes if n.up]
+            if not candidates:
+                return False
+            node = next((n for n in candidates if n.allocated_to is not None), candidates[0])
+        self.cluster.crash_node(node.name)
+        if spec.duration is not None:
+            self._env.schedule(
+                float(spec.duration),
+                lambda: self._repair(node.name),
+                label=f"repair:{node.name}",
+            )
+        return True
+
+    def _repair(self, node_name: str) -> None:
+        self.cluster.repair_node(node_name)
+        self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
+
+    def _interrupt(self, job: Job, epoch: int, error: TransientServiceError) -> None:
+        """A running job lost its resources; requeue within budget else fail."""
+        if job._epoch != epoch or job.state is not JobState.RUNNING:
+            return
+        if job.requeues < self.max_requeues:
+            self._requeue(job)
+        else:
+            self._finish(job, JobState.FAILED, error=str(error), exception=error)
+
+    def _requeue(self, job: Job) -> None:
+        job.requeues += 1
+        self.requeues_performed += 1
+        job._epoch += 1
+        if job._kill_event is not None and job._kill_event.pending:
+            job._kill_event.cancel()
+        job._kill_event = None
+        if self.cluster.holder_map().get(job.job_id):
+            self.cluster.release(job.job_id)
+        self.tracker.end(job.job_id, self._env.now)
+        job.state = JobState.PENDING
+        job.started_at = None
+        job.nodes = []
+        job.result = None
+        self._queue.append(job)
+        self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
+
+    def _finish_epoch(
+        self,
+        job: Job,
+        epoch: int,
+        state: JobState,
+        *,
+        result: Any = None,
+    ) -> None:
+        if job._epoch != epoch:
+            return  # stale event armed before a requeue
+        self._finish(job, state, result=result)
+
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        *,
+        result: Any = None,
+        error: Optional[str] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
         if job.done:
             return  # completion already raced with walltime kill
         if job.state is not JobState.RUNNING:
@@ -241,6 +396,7 @@ class BatchScheduler:
         if result is not None:
             job.result = result
         job.error = error
+        job.exception = exception
         if job._kill_event is not None and job._kill_event.pending:
             job._kill_event.cancel()
         job._kill_event = None

@@ -52,7 +52,12 @@ def population_weighted_ensemble(
     missing = set(estimates) - set(weights)
     if missing:
         raise ValidationError(f"missing weights for: {sorted(missing)}")
-    w = np.array([float(weights[name]) for name in estimates], dtype=float)
+    # Accumulate in sorted-name order: float addition is not associative, so
+    # pooling must not depend on the (timing-sensitive) order in which the
+    # per-plant estimates arrived — chaos runs with retries reorder them.
+    ordered = sorted(estimates.items())
+    names = [name for name, _ in ordered]
+    w = np.array([float(weights[name]) for name in names], dtype=float)
     if np.any(w < 0) or w.sum() <= 0:
         raise ValidationError("weights must be non-negative with positive sum")
     w = w / w.sum()
@@ -65,7 +70,7 @@ def population_weighted_ensemble(
     grid = np.arange(np.ceil(start), np.floor(end) + 1.0)
 
     pooled = np.zeros((n_samples, grid.size))
-    for weight, (name, estimate) in zip(w, estimates.items()):
+    for weight, (name, estimate) in zip(w, ordered):
         if estimate.samples is None or estimate.samples.shape[0] == 0:
             raise ValidationError(
                 f"estimate {name!r} carries no posterior samples; "
@@ -82,8 +87,8 @@ def population_weighted_ensemble(
 
     info: Dict[str, object] = {
         "method": "population-weighted-ensemble",
-        "sources": sorted(estimates),
-        "weights": {name: round(float(x), 6) for name, x in zip(estimates, w)},
+        "sources": names,
+        "weights": {name: round(float(x), 6) for name, x in zip(names, w)},
     }
     info.update(meta or {})
     return RtEstimate.from_samples(grid, pooled, meta=info)

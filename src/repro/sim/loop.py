@@ -21,9 +21,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
-from repro.common.errors import SimulationError, ValidationError
+from repro.common.errors import EventBudgetError, SimulationError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(order=True)
@@ -100,12 +104,40 @@ class SimulationEnvironment:
         self._sequence = itertools.count()
         self._events_fired = 0
         self._running = False
+        self._faults: Optional["FaultInjector"] = None
 
     # ------------------------------------------------------------------ state
     @property
     def now(self) -> float:
         """Current simulated time in days."""
         return self._now
+
+    # ---------------------------------------------------------------- faults
+    @property
+    def faults(self) -> Optional["FaultInjector"]:
+        """The armed fault injector, or ``None`` on a healthy run.
+
+        Simulated services consult this at their fault sites; the ``None``
+        fast path is a single attribute read, so hooks cost essentially
+        nothing when no plan is installed.
+        """
+        return self._faults
+
+    def install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
+        """Arm ``plan`` on this environment and return the injector.
+
+        Scripted specs are scheduled as ordinary events, so install the plan
+        *before* running (and, for action faults such as node crashes,
+        before constructing the services that register their handlers).
+        Only one plan may be installed per environment — chaos runs are
+        described by a single plan to keep them reproducible.
+        """
+        if self._faults is not None:
+            raise SimulationError("a fault plan is already installed")
+        from repro.faults.injector import FaultInjector
+
+        self._faults = FaultInjector(plan, self)
+        return self._faults
 
     @property
     def events_fired(self) -> int:
@@ -208,9 +240,10 @@ class SimulationEnvironment:
                 if next_time is None or (until is not None and next_time > until):
                     break
                 if fired >= max_events:
-                    raise SimulationError(
-                        f"event budget exhausted after {fired} events; "
-                        "likely a runaway periodic event"
+                    raise EventBudgetError(
+                        f"event budget exhausted after {fired} events with work "
+                        f"still pending at t={self._now} (next event at "
+                        f"t={next_time}); likely a runaway periodic event"
                     )
                 self.step()
                 fired += 1

@@ -19,15 +19,16 @@ check-one-future-then-cede protocol (:mod:`repro.gsa.interleave`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.common.retry import RetryPolicy
 from repro.common.rng import replicate_seed
 from repro.common.validation import check_int
-from repro.emews import EmewsService, TaskFuture, pop_completed
+from repro.emews import EmewsService, ResilientEvaluator, TaskFuture, pop_completed
 from repro.emews.api import TaskQueue
 from repro.gsa.interleave import InterleavedDriver, SequentialDriver
 from repro.gsa.music import MusicConfig, MusicGSA
@@ -139,6 +140,30 @@ def reference_indices(
 
 
 # ------------------------------------------------------------- EMEWS plumbing
+def _build_evaluator(
+    model_config: Optional[MetaRVMConfig],
+    fault_rate: float,
+    fault_seed: int,
+    evaluator_retry: Optional[RetryPolicy],
+) -> Tuple[Callable[[Any], Dict[str, float]], Optional[ResilientEvaluator]]:
+    """The worker-pool evaluator, optionally wrapped for chaos runs.
+
+    Returns ``(evaluator, wrapper)`` where ``wrapper`` is the
+    :class:`~repro.emews.ResilientEvaluator` (for its counters) when fault
+    injection or an explicit retry budget is requested, else None.
+    """
+    evaluator = metarvm_task_evaluator(model_config=model_config)
+    if fault_rate == 0.0 and evaluator_retry is None:
+        return evaluator, None
+    wrapper = ResilientEvaluator(
+        evaluator,
+        fault_rate=fault_rate,
+        fault_seed=fault_seed,
+        retry=evaluator_retry,
+    )
+    return wrapper, wrapper
+
+
 def _submit_points(
     queue: TaskQueue, points: np.ndarray, seed: int, *, priority: int = 0
 ) -> List[TaskFuture]:
@@ -203,6 +228,7 @@ class Figure4Data:
     reference: np.ndarray
     seed: int
     pce_degree: int
+    resilience_report: Dict[str, int] = field(default_factory=dict)
 
     def stabilization(self, *, tol: float = 0.05) -> Dict[str, Dict[str, float]]:
         """Per-method stabilization sample sizes (see
@@ -258,6 +284,9 @@ def run_music_vs_pce(
     model_config: Optional[MetaRVMConfig] = None,
     use_emews: bool = True,
     n_workers: int = 4,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    evaluator_retry: Optional[RetryPolicy] = None,
 ) -> Figure4Data:
     """The Figure 4 experiment: MUSIC vs PCE at a fixed random seed.
 
@@ -266,6 +295,11 @@ def run_music_vs_pce(
     design, refit (one-shot) at every sample size.  When ``use_emews`` is
     true the MUSIC evaluations flow through a real EMEWS task database and
     threaded worker pool, as in the paper's workflow.
+
+    Chaos-run knobs (EMEWS path only): ``fault_rate`` injects deterministic
+    payload-keyed evaluator faults, recovered under ``evaluator_retry``
+    (default: 4 attempts); see :class:`~repro.emews.ResilientEvaluator`.
+    The resulting ``resilience_report`` counters land on the returned data.
     """
     check_int("budget", budget, minimum=40)
     cfg = music_config if music_config is not None else MusicConfig()
@@ -273,12 +307,16 @@ def run_music_vs_pce(
     qoi = make_qoi(seed, model_config=model_config)
 
     music = MusicGSA(space, cfg, seed=seed)
+    wrapper: Optional[ResilientEvaluator] = None
     if use_emews:
+        evaluator, wrapper = _build_evaluator(
+            model_config, fault_rate, fault_seed, evaluator_retry
+        )
         service = EmewsService()
         queue = service.make_queue(f"figure4-seed{seed}")
         service.start_local_pool(
             TASK_TYPE,
-            metarvm_task_evaluator(model_config=model_config),
+            evaluator,
             n_workers=n_workers,
             name="figure4-pool",
         )
@@ -316,6 +354,7 @@ def run_music_vs_pce(
         reference=reference,
         seed=seed,
         pce_degree=pce_degree,
+        resilience_report=wrapper.counters() if wrapper is not None else {},
     )
 
 
@@ -329,6 +368,7 @@ class Figure5Data:
     replicate_seeds: Dict[int, int]
     driver_stats: Dict[str, int]
     tasks_evaluated: int
+    resilience_report: Dict[str, int] = field(default_factory=dict)
 
     def final_indices(self) -> np.ndarray:
         """Final per-replicate indices, shape (n_replicates, dim)."""
@@ -355,6 +395,9 @@ def run_replicate_gsa(
     model_config: Optional[MetaRVMConfig] = None,
     n_workers: int = 4,
     interleaved: bool = True,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    evaluator_retry: Optional[RetryPolicy] = None,
 ) -> Figure5Data:
     """The Figure 5 experiment: independent GSAs on N stochastic replicates.
 
@@ -364,16 +407,24 @@ def run_replicate_gsa(
     — here ``replicate_seed(root_seed, k)``.  Instances are interleaved
     through EMEWS futures exactly as in §3.2 (or run sequentially with
     ``interleaved=False`` for the utilization ablation).
+
+    ``fault_rate`` / ``fault_seed`` / ``evaluator_retry`` inject
+    deterministic payload-keyed evaluator faults recovered under a retry
+    budget (see :class:`~repro.emews.ResilientEvaluator`); the counters are
+    returned as ``resilience_report``.
     """
     check_int("n_replicates", n_replicates, minimum=1)
     cfg = music_config if music_config is not None else MusicConfig()
     space = GSA_PARAMETER_SPACE
 
+    evaluator, wrapper = _build_evaluator(
+        model_config, fault_rate, fault_seed, evaluator_retry
+    )
     service = EmewsService()
     queue = service.make_queue(f"figure5-root{root_seed}")
     pool = service.start_local_pool(
         TASK_TYPE,
-        metarvm_task_evaluator(model_config=model_config),
+        evaluator,
         n_workers=n_workers,
         name="figure5-pool",
     )
@@ -400,4 +451,5 @@ def run_replicate_gsa(
         replicate_seeds=seeds,
         driver_stats=stats,
         tasks_evaluated=tasks,
+        resilience_report=wrapper.counters() if wrapper is not None else {},
     )

@@ -27,12 +27,14 @@ the estimates with ground-truth validation metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.common.errors import StateError, ValidationError
+from repro.common.retry import ResilienceConfig
 from repro.common.timeseries import TimeSeries
+from repro.faults.plan import FaultPlan
 from repro.aero import AeroClient, AeroPlatform, CallableSource, TriggerPolicy
 from repro.aero.provenance import flow_graph, summarize, version_graph
 from repro.globus.compute import simulated_cost
@@ -165,6 +167,9 @@ class WastewaterWorkflowResult:
     ingestion_update_counts: Dict[str, int]
     aggregation_runs: int
     output_ids: Dict[str, str] = field(default_factory=dict)
+    #: Recovery counters from :meth:`AeroPlatform.resilience_report` — all
+    #: zeros on a fault-free run, nonzero where chaos was absorbed.
+    resilience_report: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------- validation
     def plant_metrics(self) -> Dict[str, Dict[str, float]]:
@@ -213,6 +218,8 @@ def run_wastewater_workflow(
     poll_interval: float = 1.0,
     n_compute_nodes: int = 4,
     include_outlook: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> WastewaterWorkflowResult:
     """Build, run, and validate the full Figure 1 workflow.
 
@@ -230,13 +237,23 @@ def run_wastewater_workflow(
     n_compute_nodes:
         Nodes of the batch cluster serving the expensive analyses (4 lets
         the four plants' analyses run concurrently, as in Figure 1).
+    resilience:
+        Retry/requeue policies for every layer of the stack (chaos runs use
+        this together with ``fault_plan``; omitting both reproduces the
+        historical fail-fast behaviour exactly).
+    fault_plan:
+        Deterministic fault injection plan armed before any service starts.
     """
     if data_start_day + sim_days > data_horizon:
         raise ValidationError(
             "data_start_day + sim_days must fit within data_horizon"
         )
+    if fault_plan is not None and resilience is None:
+        # Chaos without recovery would just be a crash generator; give the
+        # stack its default policies so faults below budget are absorbed.
+        resilience = ResilienceConfig()
     iwss = SyntheticIWSS(n_days=data_horizon, seed=seed)
-    platform = AeroPlatform()
+    platform = AeroPlatform(resilience=resilience, fault_plan=fault_plan)
     identity, token = platform.create_user("epi-researcher")
     platform.add_storage_collection("eagle", token)
     platform.add_login_endpoint("bebop-login", max_concurrent=4)
@@ -334,4 +351,5 @@ def run_wastewater_workflow(
         },
         aggregation_runs=len(client.runs("aggregate-rt")),
         output_ids=output_ids,
+        resilience_report=platform.resilience_report(),
     )

@@ -1,0 +1,170 @@
+"""Unit tests for fault plans and the injector armed on an environment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    InjectedFaultError,
+    SimulationError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.plan import ACTION_SITES, KNOWN_SITES, OPERATION_SITES
+from repro.sim import SimulationEnvironment
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFaultSpec:
+    def test_sites_partition(self):
+        assert KNOWN_SITES == OPERATION_SITES | ACTION_SITES
+        assert not OPERATION_SITES & ACTION_SITES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"site": "nope", "rate": 0.5},
+            {"site": "transfer"},  # inert: no rate, no at_time
+            {"site": "transfer", "rate": 1.5},
+            {"site": "node.crash"},  # action site without at_time
+            {"site": "node.crash", "rate": 0.5, "at_time": 1.0},
+            {"site": "transfer", "rate": 0.5, "max_faults": 0},
+            {"site": "node.crash", "at_time": 1.0, "duration": 0.0},
+            {"site": "transfer", "at_time": -1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(**kwargs)
+
+    def test_scripted_flag(self):
+        assert FaultSpec(site="timer", at_time=2.0).scripted
+        assert not FaultSpec(site="timer", rate=0.1).scripted
+
+
+class TestFaultPlan:
+    def test_specs_coerced_to_tuple(self):
+        plan = FaultPlan(specs=[FaultSpec(site="transfer", rate=0.1)])
+        assert isinstance(plan.specs, tuple)
+        assert not plan.empty
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(specs=["not a spec"])  # type: ignore[list-item]
+
+    def test_for_site_filters_in_order(self):
+        a = FaultSpec(site="transfer", rate=0.1)
+        b = FaultSpec(site="compute", rate=0.2)
+        c = FaultSpec(site="transfer", rate=0.3)
+        assert FaultPlan(specs=(a, b, c)).for_site("transfer") == (a, c)
+
+
+class TestInjector:
+    def test_no_plan_means_no_injector(self):
+        assert SimulationEnvironment().faults is None
+
+    def test_only_one_plan_per_environment(self):
+        env = SimulationEnvironment()
+        env.install_fault_plan(FaultPlan())
+        with pytest.raises(SimulationError):
+            env.install_fault_plan(FaultPlan())
+
+    def test_certain_rate_always_fires(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(specs=(FaultSpec(site="transfer", rate=1.0),))
+        )
+        for _ in range(5):
+            assert isinstance(faults.poll("transfer"), InjectedFaultError)
+        assert faults.counts == {"transfer": 5}
+        assert faults.total_injected == 5
+
+    def test_check_raises(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(specs=(FaultSpec(site="auth", rate=1.0, detail="outage"),))
+        )
+        with pytest.raises(InjectedFaultError, match="outage"):
+            faults.check("auth", label="validate")
+
+    def test_unlisted_site_never_fires(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(specs=(FaultSpec(site="transfer", rate=1.0),))
+        )
+        assert faults.poll("compute") is None
+
+    def test_max_faults_budget(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(specs=(FaultSpec(site="compute", rate=1.0, max_faults=2),))
+        )
+        hits = [faults.poll("compute") for _ in range(5)]
+        assert [h is not None for h in hits] == [True, True, False, False, False]
+
+    def test_label_substring_targets_one_stream(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(
+                specs=(
+                    FaultSpec(site="transfer", rate=1.0, label_substring="stickney"),
+                )
+            )
+        )
+        assert faults.poll("transfer", label="obrien:day3") is None
+        assert faults.poll("transfer", label="stickney:day3") is not None
+
+    def test_probabilistic_sequence_is_reproducible(self):
+        def decisions(seed):
+            env = SimulationEnvironment()
+            faults = env.install_fault_plan(
+                FaultPlan(specs=(FaultSpec(site="transfer", rate=0.3),), seed=seed)
+            )
+            return [faults.poll("transfer") is not None for _ in range(200)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+        assert any(decisions(7))
+        assert not all(decisions(7))
+
+    def test_scripted_operation_fault_arms_once_at_time(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(
+            FaultPlan(specs=(FaultSpec(site="timer", at_time=3.0),))
+        )
+        outcomes = []
+        for day in (1.0, 2.0, 4.0, 5.0):
+            env.schedule_at(day, lambda: outcomes.append(faults.poll("timer")))
+        env.run()
+        # armed at t=3: the first poll after that instant fails, then clean
+        assert [o is not None for o in outcomes] == [False, False, True, False]
+
+    def test_action_site_requires_registration(self):
+        env = SimulationEnvironment()
+        faults = env.install_fault_plan(FaultPlan())
+        with pytest.raises(SimulationError):
+            faults.register_target("transfer", lambda spec: True)
+
+    def test_action_fault_delivered_to_owning_handler(self):
+        env = SimulationEnvironment()
+        spec = FaultSpec(site="node.crash", at_time=2.0, target="bebop")
+        faults = env.install_fault_plan(FaultPlan(specs=(spec,)))
+        delivered = []
+        faults.register_target("node.crash", lambda s: False)  # not the owner
+        faults.register_target("node.crash", lambda s: delivered.append(s) or True)
+        env.run()
+        assert delivered == [spec]
+        assert faults.counts == {"node.crash": 1}
+        assert faults.undelivered() == []
+
+    def test_action_fault_without_owner_is_recorded(self):
+        env = SimulationEnvironment()
+        spec = FaultSpec(site="node.crash", at_time=2.0)
+        faults = env.install_fault_plan(FaultPlan(specs=(spec,)))
+        env.run()
+        assert faults.undelivered() == [spec]
+        assert faults.total_injected == 0

@@ -1,0 +1,203 @@
+"""Unit tests for retry policies, backoff, and the circuit breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    InjectedFaultError,
+    RetryExhaustedError,
+    TransientServiceError,
+    ValidationError,
+)
+from repro.common.retry import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    call_with_retries,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, multiplier=2.0)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.01, 0.02, 0.04]
+
+    def test_max_delay_caps_backoff(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0, max_delay=0.5)
+        assert policy.delay(4) == 0.5
+
+    def test_jitter_is_deterministic_per_stream(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.5)
+        a = [policy.delay(1, rng=np.random.default_rng(7)) for _ in range(3)]
+        b = [policy.delay(1, rng=np.random.default_rng(7)) for _ in range(3)]
+        assert a[0] == b[0]
+        # jitter stays within the +/- 50% envelope
+        for d in a:
+            assert 0.005 <= d <= 0.015
+
+    def test_no_rng_means_exact_delay(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.9)
+        assert policy.delay(1) == 0.01
+
+    def test_retryable_is_transient_only(self):
+        policy = RetryPolicy()
+        assert policy.retryable(InjectedFaultError("x"))
+        assert policy.retryable(TransientServiceError("x"))
+        assert not policy.retryable(ValidationError("x"))
+        assert not policy.retryable(RetryExhaustedError("x"))
+
+    def test_max_retries_property(self):
+        assert RetryPolicy(max_attempts=4).max_retries == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"base_delay": 0.2, "max_delay": 0.1},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"retry_on": ()},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_invalid_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(0)
+
+
+class TestCallWithRetries:
+    def test_recovers_below_budget(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise InjectedFaultError("transient")
+            return "ok"
+
+        retried = []
+        result = call_with_retries(
+            flaky,
+            RetryPolicy(max_attempts=4),
+            on_retry=lambda attempt, exc: retried.append(attempt),
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert retried == [1, 2]
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        def always_fails():
+            raise InjectedFaultError("still down")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retries(always_fails, RetryPolicy(max_attempts=3))
+        assert "3 attempts" in str(excinfo.value)
+        assert isinstance(excinfo.value.last_error, InjectedFaultError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def bug():
+            calls.append(1)
+            raise ValidationError("a real bug")
+
+        with pytest.raises(ValidationError):
+            call_with_retries(bug, RetryPolicy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_exhaustion_is_not_itself_retryable(self):
+        """No nested retry loops: the budget error is terminal."""
+        assert not RetryPolicy().retryable(RetryExhaustedError("done"))
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        defaults = dict(failure_threshold=3, reset_timeout=1.0)
+        defaults.update(kwargs)
+        return CircuitBreaker(clock=clock, **defaults)
+
+    def test_opens_after_threshold(self):
+        breaker = self.make(lambda: 0.0)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_success_resets_failure_count(self):
+        breaker = self.make(lambda: 0.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        now = [0.0]
+        breaker = self.make(lambda: now[0])
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 1.5  # past the reset timeout
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        now = [0.0]
+        breaker = self.make(lambda: now[0])
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 1.5
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(lambda: 0.0, failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            self.make(lambda: 0.0, reset_timeout=0.0)
+
+
+class TestResilienceConfig:
+    def test_defaults_describe(self):
+        config = ResilienceConfig()
+        summary = config.describe()
+        assert summary["transfer_max_attempts"] == 4.0
+        assert summary["compute_max_attempts"] == 4.0
+        assert summary["flow_step_max_attempts"] == 3.0
+        assert summary["scheduler_max_requeues"] == 2.0
+
+    def test_policies_can_be_disabled(self):
+        config = ResilienceConfig(
+            transfer_retry=None, compute_retry=None, flow_step_retry=None
+        )
+        assert config.describe()["transfer_max_attempts"] == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flow_max_retries": -1},
+            {"flow_retry_delay": -0.1},
+            {"scheduler_max_requeues": -1},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(**kwargs)

@@ -1,0 +1,173 @@
+"""End-to-end chaos: whole workflows under fault plans.
+
+The headline property (satellite of the paper's "runs unattended" claim):
+as long as every injected fault stays below the retry budgets, the
+wastewater workflow's final R(t) product is *bitwise identical* to the
+fault-free run — resilience changes the timeline, never the science.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    InjectedFaultError,
+    RetryExhaustedError,
+    StateError,
+)
+from repro.common.retry import ResilienceConfig, RetryPolicy
+from repro.common.rng import RngRegistry
+from repro.emews import EmewsService, ResilientEvaluator
+from repro.faults import FaultPlan, FaultSpec
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+pytestmark = pytest.mark.chaos
+
+#: Reduced-size wastewater configuration shared by the chaos runs below.
+SMALL = dict(data_start_day=100.0, sim_days=4.0, goldstein_iterations=250, seed=11)
+
+#: Sites safe to randomize below budget: all are absorbed by service retries
+#: (a timer fault would skip a data poll and change what was ingested, and an
+#: auth fault can strike outside any retry scope, so neither belongs here).
+RECOVERABLE_SITES = ("transfer", "transfer.corrupt", "compute", "flows.step")
+
+
+def random_plan(k: int) -> FaultPlan:
+    """The k-th seeded random fault plan (moderate rates, below budgets)."""
+    rng = RngRegistry([4242, k]).stream("plan")
+    specs = tuple(
+        FaultSpec(site=site, rate=0.02 + 0.03 * float(rng.random()))
+        for site in RECOVERABLE_SITES
+    )
+    return FaultPlan(specs=specs, seed=1000 + k)
+
+
+class TestWastewaterUnderChaos:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_wastewater_workflow(**SMALL)
+
+    def test_fault_free_run_reports_all_zero(self, baseline):
+        assert all(v == 0 for v in baseline.resilience_report.values())
+
+    def test_final_rt_identical_under_20_random_plans(self, baseline):
+        """Property: recovered faults never change the scientific output."""
+        base_median = np.asarray(baseline.ensemble.median)
+        total_faults = 0
+        for k in range(20):
+            result = run_wastewater_workflow(**SMALL, fault_plan=random_plan(k))
+            report = result.resilience_report
+            total_faults += report["faults_injected"]
+            assert np.array_equal(
+                np.asarray(result.ensemble.median), base_median
+            ), f"plan {k} changed the final R(t)"
+            # every injected operation fault was absorbed by some retry layer
+            recoveries = (
+                report["transfer_retries"]
+                + report["flow_step_retries"]
+                + report["compute_retries"]
+            )
+            assert recoveries >= report["transfer_corruptions_detected"]
+        # the suite actually exercised chaos, not 20 quiet runs
+        assert total_faults > 0
+
+    def test_chaos_run_is_reproducible(self):
+        """Same plan, same workflow => same fault counts and same output."""
+        a = run_wastewater_workflow(**SMALL, fault_plan=random_plan(3))
+        b = run_wastewater_workflow(**SMALL, fault_plan=random_plan(3))
+        assert a.resilience_report == b.resilience_report
+        assert np.array_equal(
+            np.asarray(a.ensemble.median), np.asarray(b.ensemble.median)
+        )
+
+    def test_fault_plan_without_resilience_enables_defaults(self):
+        result = run_wastewater_workflow(**SMALL, fault_plan=random_plan(0))
+        assert result.resilience_report["faults_injected"] > 0
+
+    def test_above_budget_faults_surface_as_failures(self):
+        """Certain transfer faults exhaust every budget: ingestion can never
+        land data, so the workflow ends with no ensemble to report."""
+        plan = FaultPlan(specs=(FaultSpec(site="transfer", rate=1.0),), seed=5)
+        resilience = ResilienceConfig(
+            transfer_retry=RetryPolicy(max_attempts=2, base_delay=0.001),
+            flow_max_retries=1,
+        )
+        with pytest.raises(StateError):
+            run_wastewater_workflow(**SMALL, fault_plan=plan, resilience=resilience)
+
+
+class TestResilientEvaluator:
+    def payloads(self, n):
+        return [{"point": [float(i)] * 3, "seed": i} for i in range(n)]
+
+    def test_fault_free_passthrough(self):
+        wrapper = ResilientEvaluator(lambda p: p["seed"] * 2)
+        assert wrapper({"seed": 21}) == 42
+        assert wrapper.counters() == {
+            "evaluator_calls": 1,
+            "evaluator_faults_injected": 0,
+            "evaluator_retries": 0,
+            "evaluator_exhaustions": 0,
+        }
+
+    def test_decisions_are_payload_keyed_not_order_keyed(self):
+        """The same payloads in any order draw the same faults — this is
+        what keeps threaded chaos runs reproducible."""
+
+        def run(order):
+            wrapper = ResilientEvaluator(
+                lambda p: 1.0, fault_rate=0.3, fault_seed=9
+            )
+            for payload in order:
+                wrapper(payload)
+            return wrapper.counters()["evaluator_faults_injected"]
+
+        payloads = self.payloads(40)
+        forward = run(payloads)
+        backward = run(list(reversed(payloads)))
+        assert forward == backward
+        assert forward > 0
+
+    def test_recovers_below_budget(self):
+        wrapper = ResilientEvaluator(
+            lambda p: "ok",
+            fault_rate=0.5,
+            fault_seed=1,
+            retry=RetryPolicy(max_attempts=10),
+        )
+        for payload in self.payloads(20):
+            assert wrapper(payload) == "ok"
+        counters = wrapper.counters()
+        assert counters["evaluator_faults_injected"] > 0
+        assert counters["evaluator_retries"] == counters["evaluator_faults_injected"]
+        assert counters["evaluator_exhaustions"] == 0
+
+    def test_certain_faults_exhaust_budget_with_typed_error(self):
+        wrapper = ResilientEvaluator(
+            lambda p: "ok", fault_rate=1.0, retry=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            wrapper({"seed": 0})
+        assert isinstance(excinfo.value.last_error, InjectedFaultError)
+        assert wrapper.counters()["evaluator_exhaustions"] == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(Exception):
+            ResilientEvaluator(lambda p: 1, fault_rate=1.5)
+
+    def test_exhaustion_fails_the_emews_task_cleanly(self):
+        """Through a real threaded pool: a budget-exhausted evaluator turns
+        into a FAILED task the submitter observes as a typed StateError."""
+        service = EmewsService()
+        queue = service.make_queue("chaos-emews")
+        wrapper = ResilientEvaluator(
+            lambda p: {"v": 1}, fault_rate=1.0, retry=RetryPolicy(max_attempts=2)
+        )
+        service.start_local_pool("chaos", wrapper, n_workers=2, name="chaos-pool")
+        futures = queue.submit_tasks("chaos", [{"i": 0}, {"i": 1}])
+        with pytest.raises(StateError, match="failed"):
+            for future in futures:
+                future.result(timeout=10.0)
+        service.finalize(queue)
+        assert wrapper.counters()["evaluator_exhaustions"] == 2

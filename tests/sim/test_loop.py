@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.errors import SimulationError, ValidationError
+from repro.common.errors import EventBudgetError, SimulationError, ValidationError
 from repro.sim import SimulationEnvironment
 
 
@@ -115,6 +115,25 @@ class TestRunUntil:
         env.schedule(0.1, reschedule)
         with pytest.raises(SimulationError):
             env.run(max_events=100)
+
+    def test_event_budget_raises_never_stops_silently(self, env):
+        """Regression: an exhausted budget must raise EventBudgetError (a
+        SimulationError) with work still pending — a truncated run can never
+        masquerade as a drained queue."""
+
+        def reschedule():
+            env.schedule(0.1, reschedule)
+
+        env.schedule(0.1, reschedule)
+        with pytest.raises(EventBudgetError, match="budget exhausted"):
+            env.run(max_events=50)
+        assert issubclass(EventBudgetError, SimulationError)
+        assert env.pending_count > 0  # the unrun work is still visible
+
+    def test_sufficient_budget_returns_events_fired(self, env):
+        for i in range(5):
+            env.schedule(float(i + 1), lambda: None)
+        assert env.run(max_events=100) == 5
 
     def test_not_reentrant(self, env):
         def nested():

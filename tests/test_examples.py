@@ -7,6 +7,7 @@ user would invoke it.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -14,14 +15,22 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: float = 600.0) -> str:
+    # The subprocess does not inherit pytest's `pythonpath` setting, so put
+    # src/ on the child's path explicitly (preserving any caller PYTHONPATH).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(SRC), env.get("PYTHONPATH")) if part
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
