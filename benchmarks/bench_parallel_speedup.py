@@ -1,0 +1,189 @@
+"""Headline perf benchmark: deterministic parallel + memoized evaluation.
+
+Three measurements, written to ``BENCH_perf.json`` at the repo root:
+
+1. **Workflow speedup** — the Figure 5/§3.2 workload: eight interleaved
+   MUSIC-GSA replicate instances sharing one EMEWS task queue.  Serial
+   (one-at-a-time evaluation) vs. the deterministic batch pool with eight
+   workers, whose quiescence coalescing merges the replicates' concurrent
+   submissions into single vectorized MetaRVM calls.  The acceptance bar is
+   a >= 2x wall-clock speedup with *bitwise identical* sensitivity curves.
+2. **Memoization** — a warm rerun of the same workload through a shared
+   :class:`~repro.perf.MemoCache`; every evaluator task is served from
+   cache, again bitwise identical.
+3. **GP incremental update** — ``GaussianProcess.add_points`` (rank-update
+   of the stored Cholesky factor) vs. a full refit at n = 256 training
+   points (acceptance bar >= 3x), with the fixed-hyperparameter full
+   refactorization also reported as the stricter baseline.
+
+Run with ``pytest benchmarks/bench_parallel_speedup.py -s``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.gsa.gp import GaussianProcess
+from repro.gsa.music import MusicConfig
+from repro.perf import MemoCache
+from repro.workflows.music_gsa import run_replicate_gsa
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The Figure 5 workload scaled to benchmark in ~1 minute: 8 replicates x
+#: 48-point budget, vectorizable MetaRVM surrogate evaluations.
+WORKLOAD = dict(
+    n_replicates=8,
+    budget=48,
+    root_seed=7,
+    music_config=MusicConfig(
+        n_initial=16, n_candidates=8, surrogate_mc=64, refit_every=16
+    ),
+)
+
+
+def _curve_bytes(data):
+    return {
+        k: np.stack([v for _, v in curve]).tobytes()
+        for k, curve in data.replicate_curves.items()
+    }
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    data = run_replicate_gsa(**WORKLOAD, **kwargs)
+    return time.perf_counter() - start, data
+
+
+def _gp_update_timings(n: int = 256, dim: int = 4, repeats: int = 30):
+    """Time incorporating one new point into a fitted GP at ``n`` points.
+
+    Three strategies: the incremental O(n²) ``add_points`` rank update;
+    a full O(n³) refactorization at fixed hyperparameters (the internal
+    fallback path); and a full refit (``fit()``, which re-optimizes the
+    hyperparameters — what the MUSIC loop did on every ``tell`` before
+    the incremental update existed).
+    """
+    rng = np.random.default_rng(0)
+    x = rng.uniform(size=(n, dim))
+    y = np.sin(x).sum(axis=1) + 0.01 * rng.standard_normal(n)
+    gp = GaussianProcess(dim).fit(x, y)
+
+    x_new = rng.uniform(size=(1, dim))
+    y_new = np.sin(x_new).sum(axis=1)
+
+    incremental = []
+    for _ in range(repeats):
+        trial = copy.deepcopy(gp)
+        start = time.perf_counter()
+        trial.add_points(x_new, y_new)
+        incremental.append(time.perf_counter() - start)
+        assert trial.update_stats["incremental_updates"] == 1
+
+    refactor = []
+    for _ in range(repeats):
+        trial = copy.deepcopy(gp)
+        trial._x = np.vstack([trial._x, x_new])
+        trial._y_raw = np.concatenate([trial._y_raw, y_new])
+        trial._y_mean = float(trial._y_raw.mean())
+        trial._y_std = float(trial._y_raw.std()) or 1.0
+        trial._y_std_vec = (trial._y_raw - trial._y_mean) / trial._y_std
+        start = time.perf_counter()
+        trial._refactor()
+        refactor.append(time.perf_counter() - start)
+
+    refit = []
+    for _ in range(3):
+        trial = copy.deepcopy(gp)
+        x_all = np.vstack([trial._x, x_new])
+        y_all = np.concatenate([trial._y_raw, y_new])
+        start = time.perf_counter()
+        trial.fit(x_all, y_all)
+        refit.append(time.perf_counter() - start)
+
+    return (
+        float(np.median(incremental)),
+        float(np.median(refactor)),
+        float(np.median(refit)),
+    )
+
+
+def test_parallel_and_memo_speedup(save_artifact):
+    t_serial, serial = _timed(n_workers=1)
+    t_parallel, parallel = _timed(parallel=True, n_workers=8)
+
+    cache = MemoCache()
+    t_cold, cold = _timed(parallel=True, n_workers=8, memo_cache=cache)
+    t_warm, warm = _timed(parallel=True, n_workers=8, memo_cache=cache)
+
+    reference = _curve_bytes(serial)
+    bitwise = dict(
+        parallel=_curve_bytes(parallel) == reference,
+        memo_cold=_curve_bytes(cold) == reference,
+        memo_warm=_curve_bytes(warm) == reference,
+    )
+    assert all(bitwise.values()), f"bitwise identity violated: {bitwise}"
+
+    speedup = t_serial / t_parallel
+    warm_hits = warm.perf_report["memo_hits"]
+    warm_tasks = warm.perf_report["pool_tasks_processed"]
+    hit_rate = warm_hits / max(warm_tasks, 1)
+    assert speedup >= 2.0, f"parallel speedup {speedup:.2f}x below the 2x bar"
+    assert warm_hits >= warm_tasks, "warm run must be fully cache-served"
+
+    t_inc, t_refactor, t_refit = _gp_update_timings()
+    gp_speedup = t_refit / t_inc
+    assert gp_speedup >= 3.0, f"GP add_points {gp_speedup:.2f}x below the 3x bar"
+    assert t_inc < t_refactor, "rank update must beat the full refactorization"
+
+    report = {
+        "benchmark": "figure5_replicate_gsa_8x48",
+        "workload": {
+            "n_replicates": WORKLOAD["n_replicates"],
+            "budget": WORKLOAD["budget"],
+            "root_seed": WORKLOAD["root_seed"],
+            "n_workers": 8,
+        },
+        "serial_seconds": round(t_serial, 3),
+        "parallel_seconds": round(t_parallel, 3),
+        "parallel_speedup": round(speedup, 2),
+        "memo_cold_seconds": round(t_cold, 3),
+        "memo_warm_seconds": round(t_warm, 3),
+        "memo_warm_speedup_vs_serial": round(t_serial / t_warm, 2),
+        "memo_warm_hit_rate": round(hit_rate, 3),
+        "bitwise_identical": bitwise,
+        "pool_batches": parallel.perf_report.get("pool_batches_processed"),
+        "pool_tasks": parallel.perf_report.get("pool_tasks_processed"),
+        "gp_add_points_n256": {
+            "incremental_ms": round(t_inc * 1e3, 3),
+            "full_refactor_ms": round(t_refactor * 1e3, 3),
+            "full_refit_ms": round(t_refit * 1e3, 3),
+            "speedup_vs_full_refit": round(gp_speedup, 2),
+            "speedup_vs_full_refactor": round(t_refactor / t_inc, 2),
+        },
+    }
+    (REPO_ROOT / "BENCH_perf.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        "Parallel evaluation + memoization (Figure 5 workload, 8 replicates)",
+        "-" * 68,
+        f"serial           {t_serial:8.2f} s",
+        f"parallel (8w)    {t_parallel:8.2f} s   {speedup:5.2f}x   "
+        f"bitwise={bitwise['parallel']}",
+        f"memo cold        {t_cold:8.2f} s           bitwise={bitwise['memo_cold']}",
+        f"memo warm        {t_warm:8.2f} s   "
+        f"{t_serial / t_warm:5.2f}x   hit rate {hit_rate:.0%}",
+        f"batches          {report['pool_batches']} for {report['pool_tasks']} tasks",
+        "",
+        "GP add_points @ n=256:"
+        f" incremental {t_inc * 1e3:.3f} ms"
+        f" vs refactor {t_refactor * 1e3:.3f} ms"
+        f" ({t_refactor / t_inc:.2f}x)"
+        f" vs refit {t_refit * 1e3:.1f} ms ({gp_speedup:.0f}x)",
+    ]
+    save_artifact("bench_parallel_speedup", "\n".join(lines))

@@ -23,8 +23,10 @@ from repro.globus.compute import (
     ComputeService,
     GlobusComputeEngine,
     LoginNodeEngine,
+    MemoizingEngine,
     RetryingEngine,
 )
+from repro.perf.memo import MemoCache
 from repro.globus.flows import FlowsService
 from repro.globus.timers import TimerService
 from repro.globus.transfer import TransferService
@@ -69,6 +71,12 @@ class AeroPlatform:
         Optional :class:`~repro.faults.FaultPlan` armed on the environment
         *before* any service is constructed, so scripted node crashes find
         their scheduler targets.
+    compute_cache:
+        Optional :class:`~repro.perf.MemoCache`.  When given, every attached
+        compute endpoint is fronted by a :class:`MemoizingEngine` (stacked
+        *outside* any retry wrapper), so content-identical submissions are
+        served from cache instead of re-executed.  Sharing one cache across
+        platforms carries results between workflow runs.
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class AeroPlatform:
         token_lifetime: float = 365.0,
         resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        compute_cache: Optional[MemoCache] = None,
     ) -> None:
         self.env = env if env is not None else SimulationEnvironment()
         if fault_plan is not None:
@@ -106,6 +115,7 @@ class AeroPlatform:
         self.compute = ComputeService(self.auth, self.env)
         self.metadata = MetadataDatabase(self.env)
         self._compute_rng = rngs.stream("compute") if rngs is not None else None
+        self.compute_cache = compute_cache
         self._token_lifetime = float(token_lifetime)
         self._bundles: Dict[str, EndpointBundle] = {}
 
@@ -191,6 +201,9 @@ class AeroPlatform:
                 self.resilience.compute_retry,
                 rng=self._compute_rng,
             )
+        if self.compute_cache is not None:
+            # Outside the retry wrapper: a cache hit skips retries entirely.
+            engine = MemoizingEngine(engine, self.env, self.compute_cache)
         endpoint = self.compute.create_endpoint(name, engine)
         staging = self.storage.create_collection(
             f"{name}-staging", self._service_token
@@ -242,4 +255,26 @@ class AeroPlatform:
                 report["scheduler_requeues"] += bundle.scheduler.requeues_performed
         if self.env.faults is not None:
             report["faults_injected"] = self.env.faults.total_injected
+        return report
+
+    # ------------------------------------------------------------ performance
+    def perf_report(self) -> Dict[str, int]:
+        """Memoization counters for this platform's compute endpoints.
+
+        All zeros when no ``compute_cache`` was attached; with one, the
+        hit/miss split shows how much re-execution the cache avoided.
+        """
+        report = {
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "memo_entries": 0,
+            "memo_bypasses": 0,
+        }
+        if self.compute_cache is not None:
+            counters = self.compute_cache.counters()
+            report["memo_hits"] = counters["memo_hits"]
+            report["memo_misses"] = counters["memo_misses"]
+            report["memo_entries"] = counters["memo_entries"]
+        for bundle in self._bundles.values():
+            report["memo_bypasses"] += getattr(bundle.endpoint.engine, "bypasses", 0)
         return report

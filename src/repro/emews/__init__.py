@@ -25,7 +25,7 @@ Pieces:
 from repro.emews.db import Task, TaskDatabase, TaskState
 from repro.emews.sqlite_db import SqliteTaskDatabase
 from repro.emews.futures import TaskFuture, as_completed, pop_completed
-from repro.emews.worker_pool import SimWorkerPool, ThreadedWorkerPool
+from repro.emews.worker_pool import BatchWorkerPool, SimWorkerPool, ThreadedWorkerPool
 from repro.emews.api import TaskQueue
 from repro.emews.reports import ExperimentReport, experiment_report, render_report
 from repro.emews.resilience import ResilientEvaluator
@@ -39,6 +39,7 @@ __all__ = [
     "TaskFuture",
     "as_completed",
     "pop_completed",
+    "BatchWorkerPool",
     "SimWorkerPool",
     "ThreadedWorkerPool",
     "TaskQueue",

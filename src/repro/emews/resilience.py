@@ -18,7 +18,7 @@ budget, and keeps thread-safe counters for workflow reports.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import (
     InjectedFaultError,
@@ -27,6 +27,7 @@ from repro.common.errors import (
 )
 from repro.common.hashing import stable_digest
 from repro.common.retry import RetryPolicy, call_with_retries
+from repro.perf.executor import EvaluationFailure
 
 __all__ = ["ResilientEvaluator"]
 
@@ -115,6 +116,65 @@ class ResilientEvaluator:
             with self._lock:
                 self.exhaustions += 1
             raise
+
+    # ------------------------------------------------------------------ batch
+    def wrap_batch(
+        self, batch_fn: Callable[[Sequence[Any]], Sequence[Any]]
+    ) -> Callable[[Sequence[Any]], List[Any]]:
+        """Lift the fault/retry semantics onto a vectorized evaluator.
+
+        Fault decisions are pure functions of ``(payload, attempt, seed)``,
+        so the whole attempt sequence for a payload can be resolved *before*
+        any evaluation happens: faulted attempts increment the fault/retry
+        counters exactly as the per-call path would, payloads whose budget
+        survives are evaluated once through ``batch_fn`` in a single
+        vectorized call, and exhausted payloads come back as
+        :class:`~repro.perf.executor.EvaluationFailure` sentinels (which a
+        :class:`~repro.emews.worker_pool.BatchWorkerPool` records as FAILED
+        tasks, mirroring the threaded pool).  Counters therefore match the
+        threaded path payload-for-payload.
+        """
+
+        def resilient_batch(payloads: Sequence[Any]) -> List[Any]:
+            survivors: List[int] = []
+            results: List[Any] = [None] * len(payloads)
+            max_attempts = self.retry.max_attempts
+            for i, payload in enumerate(payloads):
+                with self._lock:
+                    self.calls += 1
+                exhausted = True
+                for attempt in range(1, max_attempts + 1):
+                    if self.fault_rate > 0.0 and self._should_fault(payload, attempt):
+                        with self._lock:
+                            self.faults_injected += 1
+                            if attempt < max_attempts:
+                                self.retries_performed += 1
+                    else:
+                        exhausted = False
+                        break
+                if exhausted:
+                    with self._lock:
+                        self.exhaustions += 1
+                    results[i] = EvaluationFailure(
+                        payload,
+                        RetryExhaustedError.__name__,
+                        f"injected evaluator fault budget exhausted "
+                        f"after {max_attempts} attempts",
+                    )
+                else:
+                    survivors.append(i)
+            if survivors:
+                outs = list(batch_fn([payloads[i] for i in survivors]))
+                if len(outs) != len(survivors):
+                    raise ValidationError(
+                        f"batch evaluator returned {len(outs)} results "
+                        f"for {len(survivors)} payloads"
+                    )
+                for i, out in zip(survivors, outs):
+                    results[i] = out
+            return results
+
+        return resilient_batch
 
     # ---------------------------------------------------------------- report
     def counters(self) -> Dict[str, int]:

@@ -27,22 +27,29 @@ from typing import Any, Callable, Optional, Union
 from repro.common.errors import ValidationError
 from repro.emews.db import TaskDatabase
 from repro.emews.api import TaskQueue
-from repro.emews.worker_pool import EvalFn, SimWorkerPool, ThreadedWorkerPool
+from repro.emews.worker_pool import (
+    BatchWorkerPool,
+    EvalFn,
+    SimWorkerPool,
+    ThreadedWorkerPool,
+)
 from repro.hpc.scheduler import BatchScheduler, Job, JobRequest
+from repro.perf.executor import ParallelEvaluator
+from repro.perf.memo import MemoCache
 from repro.sim import SimulationEnvironment
 
 
 @dataclass
 class PoolHandle:
-    """Handle for a started worker pool (either mode)."""
+    """Handle for a started worker pool (any mode)."""
 
     name: str
-    pool: Union[ThreadedWorkerPool, SimWorkerPool]
+    pool: Union[ThreadedWorkerPool, BatchWorkerPool, SimWorkerPool]
     job: Optional[Job] = None  # the scheduler job, for scheduled pools
 
     def stop(self) -> None:
         """Stop the pool; for scheduled pools, also complete the batch job."""
-        if isinstance(self.pool, ThreadedWorkerPool):
+        if isinstance(self.pool, (ThreadedWorkerPool, BatchWorkerPool)):
             self.pool.shutdown()
         else:
             self.pool.stop()
@@ -79,6 +86,43 @@ class EmewsService:
         """Start a threaded pool in this process (the testing mode)."""
         pool = ThreadedWorkerPool(
             self.db, task_type, fn, n_workers=n_workers, name=name
+        ).start()
+        handle = PoolHandle(name=name, pool=pool)
+        self._pools.append(handle)
+        return handle
+
+    # ---------------------------------------------------------- parallel pool
+    def start_parallel_pool(
+        self,
+        task_type: str,
+        fn: Optional[EvalFn] = None,
+        *,
+        batch_fn: Optional[Callable[[list], list]] = None,
+        n_workers: int = 4,
+        backend: str = "auto",
+        cache: Optional[MemoCache] = None,
+        coalesce_window: float = 0.025,
+        max_coalesce: float = 0.25,
+        name: str = "parallel-pool",
+    ) -> PoolHandle:
+        """Start a deterministic batch-evaluating pool in this process.
+
+        Tasks are drained from the queue, merged in canonical ``task_id``
+        order, and evaluated through a :class:`ParallelEvaluator` — so the
+        results are bitwise identical to ``start_local_pool`` with one
+        worker, while a vectorized ``batch_fn`` or memoization ``cache``
+        can make them arrive much faster.
+        """
+        evaluator = ParallelEvaluator(
+            fn, batch_fn=batch_fn, n_workers=n_workers, backend=backend, cache=cache
+        )
+        pool = BatchWorkerPool(
+            self.db,
+            task_type,
+            evaluator,
+            coalesce_window=coalesce_window,
+            max_coalesce=max_coalesce,
+            name=name,
         ).start()
         handle = PoolHandle(name=name, pool=pool)
         self._pools.append(handle)

@@ -20,12 +20,14 @@ Two implementations with one contract (pop → evaluate → complete):
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Any, Callable, List, Optional
 
 from repro.common.errors import StateError, ValidationError
 from repro.emews.db import Task, TaskDatabase
 from repro.hpc.utilization import UtilizationTracker
+from repro.perf.executor import EvaluationFailure, ParallelEvaluator
 from repro.sim import SimulationEnvironment
 
 #: A task evaluator: payload object in, JSON-serializable result out.
@@ -122,6 +124,141 @@ class ThreadedWorkerPool:
             self._db.complete_task(task.task_id, result)
         with self._count_lock:
             self.tasks_processed += 1
+
+
+class BatchWorkerPool:
+    """A worker pool that drains the queue and evaluates tasks in batches.
+
+    One dispatcher thread pops every queued task of the served type (one
+    blocking pop, then a non-blocking drain), sorts the claim by
+    ``task_id`` — the canonical submission order — and hands the payload
+    batch to a :class:`~repro.perf.executor.ParallelEvaluator`.  Results are
+    completed per task in that same canonical order, so the task database
+    observes exactly the serial pool's outputs no matter how the evaluator
+    parallelizes, chunks, or caches internally.
+
+    Coalescing is *quiescence-based*: after the first pop, the dispatcher
+    keeps collecting until the queue has stayed empty for a full
+    ``coalesce_window`` (the deadline resets whenever a task arrives),
+    bounded by ``max_coalesce`` so a steady submitter cannot starve the
+    batch.  Interleaved algorithm instances that submit a few milliseconds
+    apart — e.g. eight MUSIC replicates each proposing after a GP
+    acquisition step — therefore land in one vectorized evaluation instead
+    of trickling through as singletons.
+
+    This is the pool behind ``EmewsService.start_parallel_pool`` and is the
+    mechanism that lets a vectorized ``batch_fn`` (e.g. a stacked MetaRVM
+    simulation) serve many submitters' tasks in one model call.
+    """
+
+    def __init__(
+        self,
+        db: TaskDatabase,
+        task_type: str,
+        evaluator: "ParallelEvaluator",
+        *,
+        coalesce_window: float = 0.025,
+        max_coalesce: float = 0.25,
+        name: str = "batch-pool",
+    ) -> None:
+        if coalesce_window < 0:
+            raise ValidationError("coalesce_window must be >= 0")
+        if max_coalesce < coalesce_window:
+            raise ValidationError("max_coalesce must be >= coalesce_window")
+        self._db = db
+        self._task_type = task_type
+        self._evaluator = evaluator
+        self._coalesce_window = coalesce_window
+        self._max_coalesce = max_coalesce
+        self.name = name
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.tasks_processed = 0
+        self.batches_processed = 0
+        self._count_lock = threading.Lock()
+
+    # ---------------------------------------------------------------- control
+    def start(self) -> "BatchWorkerPool":
+        if self._thread is not None:
+            raise StateError(f"pool {self.name!r} is already started")
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name=f"{self.name}-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self, *, timeout: float = 30.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "BatchWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def counters(self) -> dict:
+        """Evaluator counters plus pool-level batch accounting."""
+        report = dict(self._evaluator.counters())
+        with self._count_lock:
+            report["pool_tasks_processed"] = self.tasks_processed
+            report["pool_batches_processed"] = self.batches_processed
+        return report
+
+    # ------------------------------------------------------------------- loop
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            first = self._db.pop_task(self._task_type, self.name, timeout=0.05)
+            if first is None:
+                if self._db.closed:
+                    return
+                continue
+            claim = [first]
+            hard_deadline = time.monotonic() + self._max_coalesce
+            deadline = min(time.monotonic() + self._coalesce_window, hard_deadline)
+            while True:
+                # Drain everything already queued; then keep collecting until
+                # the queue has been quiet for a full coalesce window, so
+                # concurrently-submitting algorithm instances coalesce into
+                # one vectorized evaluation instead of many singletons.  Each
+                # arrival pushes the quiet deadline out (never past
+                # max_coalesce); the claim order (task_id) fixes the result
+                # order, so batch composition never affects outputs.
+                task = self._db.pop_task(self._task_type, self.name, timeout=0.0)
+                if task is not None:
+                    claim.append(task)
+                    deadline = min(
+                        time.monotonic() + self._coalesce_window, hard_deadline
+                    )
+                    continue
+                if time.monotonic() >= deadline or self._stop.is_set():
+                    break
+                time.sleep(0.001)
+            claim.sort(key=lambda task: task.task_id)
+            self._evaluate_batch(claim)
+
+    def _evaluate_batch(self, claim: List[Task]) -> None:
+        payloads = [task.payload_obj() for task in claim]
+        try:
+            results = self._evaluator.map(payloads)
+        except Exception:
+            error = traceback.format_exc(limit=5)
+            for task in claim:
+                self._db.fail_task(task.task_id, error)
+            results = None
+        if results is not None:
+            for task, result in zip(claim, results):
+                if isinstance(result, EvaluationFailure):
+                    self._db.fail_task(
+                        task.task_id, f"{result.error_type}: {result.message}"
+                    )
+                else:
+                    self._db.complete_task(task.task_id, result)
+        with self._count_lock:
+            self.tasks_processed += len(claim)
+            self.batches_processed += 1
 
 
 class SimWorkerPool:

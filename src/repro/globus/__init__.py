@@ -35,6 +35,7 @@ from repro.globus.compute import (
     ComputeService,
     GlobusComputeEngine,
     LoginNodeEngine,
+    MemoizingEngine,
     RetryingEngine,
     simulated_cost,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "ComputeService",
     "GlobusComputeEngine",
     "LoginNodeEngine",
+    "MemoizingEngine",
     "RetryingEngine",
     "simulated_cost",
 ]

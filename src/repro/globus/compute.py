@@ -46,6 +46,7 @@ from repro.common.errors import (
 from repro.common.retry import RetryPolicy
 from repro.globus.auth import AuthService, Token
 from repro.hpc.scheduler import BatchScheduler, Job, JobRequest, JobState
+from repro.perf.memo import MemoCache
 from repro.sim import SimulationEnvironment
 
 _COST_ATTR = "__simulated_cost__"
@@ -364,6 +365,67 @@ class RetryingEngine(_Engine):
 
         shadow.add_done_callback(on_done)
         self._inner.execute(shadow, fn, args, kwargs)
+
+
+class MemoizingEngine(_Engine):
+    """Content-addressed result cache in front of any compute engine.
+
+    The cache key is the registered function's identity plus the full
+    ``(args, kwargs)`` payload (every analysis function in this repo carries
+    its seed in that payload), computed by
+    :meth:`repro.perf.memo.MemoCache.key_for`.  A hit completes the future
+    on the next event-loop tick without touching the wrapped engine — no
+    batch job, no queue wait, no re-execution.  A miss executes normally
+    and stores the result once the task SUCCEEDS, so failed or retried
+    attempts are never cached.
+
+    Functions whose identity or payload cannot be content-addressed (an
+    unstamped closure, un-hashable argument types) bypass the cache rather
+    than failing — memoization is an optimization, never a requirement.
+    Stack this *outside* a :class:`RetryingEngine` so a cache hit also
+    skips the whole retry machinery.
+    """
+
+    def __init__(
+        self,
+        inner: _Engine,
+        env: SimulationEnvironment,
+        cache: "MemoCache",
+    ) -> None:
+        self._inner = inner
+        self._env = env
+        self.cache = cache
+        self.hits_served = 0
+        self.bypasses = 0
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def execute(self, future, fn, args, kwargs) -> None:
+        try:
+            key = self.cache.key_for(fn, {"args": list(args), "kwargs": kwargs})
+        except ValidationError:
+            self.bypasses += 1
+            self._inner.execute(future, fn, args, kwargs)
+            return
+        hit, value = self.cache.lookup(key)
+        if hit:
+            self.hits_served += 1
+
+            def _serve_hit() -> None:
+                future.attempts += 1
+                future.started_at = self._env.now
+                future._finish(TaskStatus.SUCCEEDED, value, None, self._env.now)
+
+            self._env.schedule(0.0, _serve_hit, label=f"memo-hit:{future.task_id}")
+            return
+
+        def on_done(finished: ComputeFuture) -> None:
+            if finished.status is TaskStatus.SUCCEEDED:
+                self.cache.store(key, finished._result)
+
+        future.add_done_callback(on_done)
+        self._inner.execute(future, fn, args, kwargs)
 
 
 @dataclass(frozen=True)

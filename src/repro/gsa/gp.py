@@ -74,6 +74,9 @@ class GaussianProcess:
         self._chol: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._noise_std: Optional[np.ndarray] = None  # standardized units
+        #: How factorizations were obtained: incremental rank updates vs
+        #: full O(n³) refactorizations (perf diagnostics, see benchmarks).
+        self.update_stats = {"incremental_updates": 0, "full_refactors": 0}
 
     # -------------------------------------------------------------- utilities
     @property
@@ -97,8 +100,17 @@ class GaussianProcess:
         return float(np.exp(self._theta[self.dim + 1]))
 
     def _scaled_sq_dists(self, a: np.ndarray, b: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-        diff = a[:, None, :] - b[None, :, :]
-        return np.einsum("ijk,ijk->ij", diff / lengths, diff / lengths)
+        # ‖a−b‖² = ‖a‖² + ‖b‖² − 2ab expansion: one gemm instead of an
+        # (m, n, d) difference tensor — the dominant cost of every kernel
+        # evaluation in the MUSIC loop.  Clamp the cancellation error.
+        a_scaled = a / lengths
+        b_scaled = b / lengths
+        sq = (
+            np.sum(a_scaled**2, axis=1)[:, None]
+            + np.sum(b_scaled**2, axis=1)[None, :]
+            - 2.0 * (a_scaled @ b_scaled.T)
+        )
+        return np.maximum(sq, 0.0)
 
     def _kernel(self, a: np.ndarray, b: np.ndarray, theta: np.ndarray) -> np.ndarray:
         lengths = np.exp(theta[: self.dim])
@@ -225,12 +237,23 @@ class GaussianProcess:
         """Append training data and re-factorize with current hyperparameters.
 
         Used between hyperparameter refits in the active-learning loop.
+        In the homoskedastic case the Cholesky factor is *extended* by a
+        block rank update — O(n² m) instead of the full O(n³) rebuild.  The
+        kernel matrix over the old points is unchanged (it depends only on
+        X and the hyperparameters, which only :meth:`fit` moves), so only
+        the new rows/columns need factoring; the weight vector ``alpha`` is
+        then recomputed against the re-standardized targets in O(n²).
+        Heteroskedastic fits re-standardize the *old* diagonal too, so they
+        (and any numerically failed update) fall back to a full
+        :meth:`_refactor`.
         """
         if self._x is None:
             raise StateError("call fit() before add_points()")
         x_new = np.atleast_2d(check_array("x_new", x_new, finite=True))
         y_new = np.atleast_1d(check_array("y_new", y_new, finite=True))
         old_std = self._y_std
+        old_chol = self._chol
+        n_old = self._x.shape[0]
         self._x = np.vstack([self._x, x_new])
         self._y_raw = np.concatenate([self._y_raw, y_new])
         self._y_mean = float(self._y_raw.mean())
@@ -240,8 +263,49 @@ class GaussianProcess:
             # re-standardize existing noise, assume noise-free new points
             rescaled = self._noise_std * old_std**2 / self._y_std**2
             self._noise_std = np.concatenate([rescaled, np.zeros(y_new.size)])
-        self._refactor()
+            self._refactor()
+            return self
+        if old_chol is None:
+            self._refactor()
+            return self
+        try:
+            self._extend_factor(old_chol, n_old, x_new)
+        except linalg.LinAlgError:
+            self._refactor()
+            return self
+        self._alpha = linalg.cho_solve(
+            (self._chol, True), self._y_std_vec, check_finite=False
+        )
+        self.update_stats["incremental_updates"] += 1
         return self
+
+    def _extend_factor(
+        self, old_chol: np.ndarray, n_old: int, x_new: np.ndarray
+    ) -> None:
+        """Extend the lower Cholesky factor by the new points' block.
+
+        With ``K = [[K11, K12], [K12ᵀ, K22]]`` and ``K11 = L L ᵀ`` already
+        factored: ``L21 = (L⁻¹ K12)ᵀ`` and ``L22 L22ᵀ = K22 − L21 L21ᵀ``
+        (the Schur complement).  Raises ``LinAlgError`` when the Schur
+        complement is not positive definite, signalling the caller to fall
+        back to a full refactorization.
+        """
+        m = x_new.shape[0]
+        x_old = self._x[:n_old]
+        k12 = self._kernel(x_old, x_new, self._theta)  # (n_old, m)
+        k22 = self._kernel(x_new, x_new, self._theta) + (
+            self.nugget + _JITTER
+        ) * np.eye(m)
+        l21 = linalg.solve_triangular(
+            old_chol, k12, lower=True, check_finite=False
+        )  # (n_old, m)
+        schur = k22 - l21.T @ l21
+        l22 = linalg.cholesky(schur, lower=True)
+        chol = np.zeros((n_old + m, n_old + m))
+        chol[:n_old, :n_old] = old_chol
+        chol[n_old:, :n_old] = l21.T
+        chol[n_old:, n_old:] = l22
+        self._chol = chol
 
     def _refactor(self) -> None:
         n = self._x.shape[0]
@@ -252,6 +316,7 @@ class GaussianProcess:
             k = k + np.diag(self._noise_std)
         self._chol = linalg.cholesky(k, lower=True)
         self._alpha = linalg.cho_solve((self._chol, True), self._y_std_vec)
+        self.update_stats["full_refactors"] += 1
 
     # ---------------------------------------------------------------- predict
     def predict(

@@ -221,19 +221,42 @@ class BatchScheduler:
 
     # -------------------------------------------------------------- internal
     def _schedule_pass(self) -> None:
-        """Start every queued job that can start under the policy."""
-        progressed = True
-        while progressed:
-            progressed = False
-            for job in list(self._queue):
-                if job.request.n_nodes <= self.cluster.n_free():
-                    self._queue.remove(job)
+        """Start every queued job that can start under the policy.
+
+        One forward scan in FIFO order: started jobs are None-marked in
+        place and the queue is compacted once at the end, instead of an
+        O(n) copy + ``remove`` + head-restart per start (O(n²) when a burst
+        of queued jobs drains).  Free capacity only shrinks as the scan
+        starts jobs, so a job skipped earlier can become eligible mid-pass
+        only if ``_start`` finished a job *synchronously* (payload error,
+        instant completion) and net-released nodes — exactly that case
+        restarts the scan from the head, preserving FIFO start order.
+        ``len(queue)`` is re-read every step so jobs submitted by payloads
+        running inside ``_start`` join the tail of the same pass.
+        """
+        queue = self._queue
+        restart = True
+        while restart:
+            restart = False
+            i = 0
+            while i < len(queue):
+                job = queue[i]
+                if job is None:
+                    i += 1
+                    continue
+                free_before = self.cluster.n_free()
+                if free_before == 0:
+                    break  # every job needs >= 1 node: nothing below can fit
+                if job.request.n_nodes <= free_before:
+                    queue[i] = None
                     self._start(job)
-                    progressed = True
-                    break  # restart scan: FIFO order among still-queued jobs
-                if not self.backfill:
-                    return  # strict FIFO: blocked head blocks everyone
-        return
+                    if self.cluster.n_free() > free_before - job.request.n_nodes:
+                        restart = True
+                        break
+                elif not self.backfill:
+                    break  # strict FIFO: blocked head blocks everyone
+                i += 1
+        self._queue = [job for job in queue if job is not None]
 
     def _start(self, job: Job) -> None:
         job.nodes = self.cluster.allocate(job.job_id, job.request.n_nodes)
@@ -411,8 +434,12 @@ class BatchScheduler:
 
     # ----------------------------------------------------------------- query
     def pending_jobs(self) -> List[Job]:
-        """Jobs waiting in the queue, FIFO order."""
-        return list(self._queue)
+        """Jobs waiting in the queue, FIFO order.
+
+        Filters the None holes a mid-pass ``_schedule_pass`` leaves in
+        place of started jobs (callbacks fired during a pass may query).
+        """
+        return [job for job in self._queue if job is not None]
 
     def running_jobs(self) -> List[Job]:
         """Jobs currently holding nodes."""

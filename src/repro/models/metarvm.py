@@ -49,7 +49,7 @@ numbers) or takes independent slabs (independent replicates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -316,6 +316,52 @@ class MetaRVM:
             theta, seed=seed, stochastic=stochastic, common_noise=common_noise
         )
 
+    def run_batch_seeded(
+        self,
+        gsa_matrix: np.ndarray,
+        seeds: Sequence[int],
+        *,
+        stochastic: bool = True,
+    ) -> MetaRVMResult:
+        """Simulate a batch where every row carries its own replicate seed.
+
+        Row ``i`` is driven by exactly the common-random-number noise tensor
+        of ``seed=seeds[i]``, so each output row is bitwise identical to a
+        single-row :meth:`run_batch` call at that seed.  This is the batch
+        entry point the :mod:`repro.perf` executor uses to evaluate tasks
+        from *different* GSA replicates (different seeds) in one vectorized
+        pass instead of one simulation per task.
+        """
+        gsa = np.atleast_2d(check_array("gsa_matrix", gsa_matrix, finite=True))
+        if gsa.shape[1] != GSA_PARAMETER_SPACE.dim:
+            raise ValidationError(
+                f"gsa_matrix must have {GSA_PARAMETER_SPACE.dim} columns, got {gsa.shape[1]}"
+            )
+        seeds = [int(s) for s in seeds]
+        if len(seeds) != gsa.shape[0]:
+            raise ValidationError(
+                f"need one seed per row: {gsa.shape[0]} rows, {len(seeds)} seeds"
+            )
+        base = self.base_params.as_dict()
+        batch = gsa.shape[0]
+        theta = {name: np.full(batch, value) for name, value in base.items()}
+        for j, name in enumerate(GSA_PARAMETER_SPACE.names):
+            theta[name] = gsa[:, j].astype(float)
+        if stochastic:
+            # One noise tensor per distinct seed, stacked per row.
+            cfg = self.config
+            cache: Dict[int, np.ndarray] = {}
+            for s in seeds:
+                if s not in cache:
+                    cache[s] = _noise_tensor(s, cfg.n_days, cfg.n_groups, 1)
+            u_tensor = np.concatenate([cache[s] for s in seeds], axis=0)
+        else:
+            u_tensor = None
+        return self._simulate(
+            theta, seed=seeds[0], stochastic=stochastic, common_noise=True,
+            u_tensor=u_tensor,
+        )
+
     def total_hospitalizations(
         self,
         gsa_matrix: np.ndarray,
@@ -330,6 +376,12 @@ class MetaRVM:
         )
         return result.total_hospitalizations()
 
+    def total_hospitalizations_seeded(
+        self, gsa_matrix: np.ndarray, seeds: Sequence[int]
+    ) -> np.ndarray:
+        """The GSA QoI for a per-row-seeded batch (shape (batch,))."""
+        return self.run_batch_seeded(gsa_matrix, seeds).total_hospitalizations()
+
     # ----------------------------------------------------------------- engine
     def _simulate(
         self,
@@ -338,6 +390,7 @@ class MetaRVM:
         seed: int,
         stochastic: bool,
         common_noise: bool,
+        u_tensor: Optional[np.ndarray] = None,
     ) -> MetaRVMResult:
         cfg = self.config
         g = cfg.n_groups
@@ -378,7 +431,8 @@ class MetaRVM:
 
         noise_batch = 1 if common_noise else batch
         if stochastic:
-            u_tensor = _noise_tensor(seed, n_days, g, noise_batch)
+            if u_tensor is None:
+                u_tensor = _noise_tensor(seed, n_days, g, noise_batch)
             draw = _crn_binomial
         else:
             u_tensor = np.full((1, n_days, N_CHANNELS, g), 0.5)

@@ -1,0 +1,27 @@
+"""Deterministic parallel evaluation and content-addressed memoization.
+
+The paper's workflows spend essentially all their compute in repeated model
+evaluations.  This package provides the two primitives that make those
+evaluations fast without changing a single output bit:
+
+- :class:`~repro.perf.executor.ParallelEvaluator` — evaluates a batch of
+  payload-keyed tasks with a configurable backend (serial, threads,
+  processes, or a vectorized batch function) and merges results in
+  canonical submission order, so the output is bitwise identical to the
+  serial path regardless of worker count or completion order.
+- :class:`~repro.perf.memo.MemoCache` — a content-addressed cache keyed by
+  :func:`repro.common.hashing.stable_digest` over (function id, payload,
+  seed) that short-circuits repeated evaluations across GSA replicates,
+  retry re-executions, and convergence sweeps.
+"""
+
+from repro.perf.executor import EvaluationFailure, ParallelEvaluator
+from repro.perf.memo import MemoCache, memo_salt, memoize_evaluator
+
+__all__ = [
+    "EvaluationFailure",
+    "MemoCache",
+    "ParallelEvaluator",
+    "memo_salt",
+    "memoize_evaluator",
+]

@@ -1,0 +1,285 @@
+"""Deterministic parallel evaluation of payload-keyed tasks.
+
+The core contract: ``ParallelEvaluator.map(payloads)`` returns results in
+the *submission order* of ``payloads``, bitwise identical to evaluating the
+same payloads one at a time in a single thread — regardless of backend,
+worker count, chunking, or completion order.  Three properties make this
+hold:
+
+1. Task identity is the payload itself (every payload in this repo carries
+   its own seed), never the worker or arrival order.
+2. Workers compute into slots addressed by submission index; the merge is a
+   canonical index-ordered gather, not an arrival-ordered append.
+3. Duplicate payloads inside one batch are evaluated once and fanned out,
+   which is only observable as *less* work (the evaluation itself is a pure
+   function of the payload).
+
+Backends
+--------
+``serial``   evaluate in the calling thread (the reference path).
+``thread``   a pool of ``n_workers`` threads over contiguous chunks.
+``process``  a ``multiprocessing`` pool; requires picklable ``fn``/payloads.
+``batch``    a vectorized ``batch_fn(payloads) -> [results]`` evaluates the
+             whole claim in one call (e.g. a stacked MetaRVM simulation).
+``auto``     ``batch`` if a ``batch_fn`` was given, else ``thread`` if
+             ``n_workers > 1``, else ``serial``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import stable_digest
+from repro.perf.memo import MemoCache
+
+__all__ = ["EvaluationFailure", "ParallelEvaluator"]
+
+BACKENDS = ("auto", "serial", "thread", "process", "batch")
+
+
+@dataclass(frozen=True)
+class EvaluationFailure:
+    """Sentinel returned for a payload whose evaluation raised.
+
+    Carried as a value (rather than raised) so one bad payload does not
+    discard the rest of the batch; callers that want fail-fast semantics
+    check for it (or pass ``raise_on_error=True`` to ``map``).
+    """
+
+    payload: Any
+    error_type: str
+    message: str
+
+    def raise_(self) -> None:
+        raise RuntimeError(
+            f"evaluation of payload {self.payload!r} failed: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+def _chunk_bounds(n: int, n_chunks: int) -> List[tuple]:
+    """Contiguous, deterministic [start, stop) bounds covering range(n)."""
+    n_chunks = max(1, min(n_chunks, n))
+    base, extra = divmod(n, n_chunks)
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class ParallelEvaluator:
+    """Evaluate payload batches deterministically across backends.
+
+    Parameters
+    ----------
+    fn:
+        Single-payload evaluator ``fn(payload) -> result``.  Required unless
+        ``batch_fn`` is given.
+    batch_fn:
+        Optional vectorized evaluator ``batch_fn(list_of_payloads) ->
+        list_of_results`` (same length/order).  Must be semantically
+        equivalent to ``[fn(p) for p in payloads]`` — the bitwise-identity
+        tests in ``tests/perf/`` hold implementations to that.
+    n_workers:
+        Parallelism degree for the thread and process backends.  The batch
+        backend always evaluates a claim in one vectorized call (stacking is
+        its parallelism), so ``n_workers`` is reported but not used there.
+    backend:
+        One of ``auto | serial | thread | process | batch``.
+    cache:
+        Optional :class:`~repro.perf.memo.MemoCache`; known payloads are
+        served without evaluation and new results are stored.  Cache keys
+        use ``fn``'s identity even when ``batch_fn`` does the computing.
+    """
+
+    def __init__(
+        self,
+        fn: Optional[Callable[[Any], Any]] = None,
+        *,
+        batch_fn: Optional[Callable[[Sequence[Any]], Sequence[Any]]] = None,
+        n_workers: int = 1,
+        backend: str = "auto",
+        cache: Optional[MemoCache] = None,
+    ) -> None:
+        if fn is None and batch_fn is None:
+            raise ValidationError("ParallelEvaluator needs fn and/or batch_fn")
+        if backend not in BACKENDS:
+            raise ValidationError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if backend == "batch" and batch_fn is None:
+            raise ValidationError("backend='batch' requires batch_fn")
+        if backend == "process" and fn is None:
+            raise ValidationError("backend='process' requires fn")
+        if backend == "auto":
+            if batch_fn is not None:
+                backend = "batch"
+            elif n_workers > 1:
+                backend = "thread"
+            else:
+                backend = "serial"
+        self.fn = fn
+        self.batch_fn = batch_fn
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._tasks_evaluated = 0
+        self._tasks_deduplicated = 0
+        self._batches = 0
+        self._failures = 0
+
+    # ----------------------------------------------------------------- public
+    def map(self, payloads: Sequence[Any], *, raise_on_error: bool = False) -> List[Any]:
+        """Evaluate every payload; results align with submission order."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        results: List[Any] = [None] * len(payloads)
+
+        # Canonical task identity: the payload digest.  Duplicates within the
+        # batch collapse onto their first occurrence's slot.
+        first_slot: Dict[str, int] = {}
+        aliases: List[tuple] = []  # (dup_index, first_index)
+        unique_indices: List[int] = []
+        for i, payload in enumerate(payloads):
+            key = stable_digest(payload)
+            if key in first_slot:
+                aliases.append((i, first_slot[key]))
+            else:
+                first_slot[key] = i
+                unique_indices.append(i)
+
+        # Serve cache hits before spending any evaluation work.  Payloads or
+        # functions that cannot be content-addressed simply bypass the cache.
+        pending = unique_indices
+        if self.cache is not None and self.fn is not None:
+            pending = []
+            for i in unique_indices:
+                cache_key = self._cache_key(payloads[i])
+                if cache_key is None:
+                    pending.append(i)
+                    continue
+                hit, value = self.cache.lookup(cache_key)
+                if hit:
+                    results[i] = value
+                else:
+                    pending.append(i)
+        self._evaluate_into(results, payloads, pending)
+
+        if self.cache is not None and self.fn is not None:
+            for i in pending:
+                cache_key = self._cache_key(payloads[i])
+                if cache_key is not None and not isinstance(
+                    results[i], EvaluationFailure
+                ):
+                    self.cache.store(cache_key, results[i])
+        for dup, first in aliases:
+            results[dup] = results[first]
+        with self._lock:
+            self._tasks_evaluated += len(pending)
+            self._tasks_deduplicated += len(aliases)
+            self._batches += 1
+            failures = sum(1 for r in results if isinstance(r, EvaluationFailure))
+            self._failures += failures
+        if raise_on_error:
+            for r in results:
+                if isinstance(r, EvaluationFailure):
+                    r.raise_()
+        return results
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            report = {
+                "executor_backend_" + self.backend: 1,
+                "executor_n_workers": self.n_workers,
+                "executor_batches": self._batches,
+                "executor_tasks_evaluated": self._tasks_evaluated,
+                "executor_tasks_deduplicated": self._tasks_deduplicated,
+                "executor_failures": self._failures,
+            }
+        if self.cache is not None:
+            report.update(self.cache.counters())
+        return report
+
+    def _cache_key(self, payload: Any) -> Optional[str]:
+        try:
+            return self.cache.key_for(self.fn, payload)
+        except ValidationError:
+            return None
+
+    # --------------------------------------------------------------- backends
+    def _evaluate_into(
+        self, results: List[Any], payloads: Sequence[Any], indices: List[int]
+    ) -> None:
+        if not indices:
+            return
+        if self.backend == "serial" or (self.backend == "thread" and self.n_workers == 1):
+            for i in indices:
+                results[i] = self._safe_call(payloads[i])
+        elif self.backend == "thread":
+            bounds = _chunk_bounds(len(indices), self.n_workers)
+            with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+                futures = [
+                    pool.submit(self._run_chunk, results, payloads, indices[lo:hi])
+                    for lo, hi in bounds
+                ]
+                for future in futures:
+                    future.result()
+        elif self.backend == "process":
+            try:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    chunk = max(1, len(indices) // (self.n_workers * 4))
+                    outs = list(
+                        pool.map(self.fn, [payloads[i] for i in indices], chunksize=chunk)
+                    )
+            except Exception:
+                # Unpicklable fn/payload or a worker exception: re-evaluate in
+                # the parent, where failures localize to their payloads.
+                for i in indices:
+                    results[i] = self._safe_call(payloads[i])
+            else:
+                for i, out in zip(indices, outs):
+                    results[i] = out
+        elif self.backend == "batch":
+            # One vectorized call over the whole pending set: the stacked
+            # evaluation is the parallelism here, and its fixed per-call cost
+            # (model setup, per-day sampling machinery) amortizes over every
+            # row — chunking would re-pay that cost per chunk.
+            try:
+                outs = list(self.batch_fn([payloads[i] for i in indices]))
+            except Exception as exc:  # degrade to per-payload evaluation
+                if self.fn is None:
+                    for i in indices:
+                        results[i] = EvaluationFailure(
+                            payloads[i], type(exc).__name__, str(exc)
+                        )
+                    return
+                for i in indices:
+                    results[i] = self._safe_call(payloads[i])
+                return
+            if len(outs) != len(indices):
+                raise ValidationError(
+                    f"batch_fn returned {len(outs)} results for {len(indices)} payloads"
+                )
+            for i, out in zip(indices, outs):
+                results[i] = out
+
+    def _run_chunk(
+        self, results: List[Any], payloads: Sequence[Any], indices: List[int]
+    ) -> None:
+        for i in indices:
+            results[i] = self._safe_call(payloads[i])
+
+    def _safe_call(self, payload: Any) -> Any:
+        try:
+            return self.fn(payload)
+        except Exception as exc:
+            return EvaluationFailure(payload, type(exc).__name__, str(exc))

@@ -1,0 +1,154 @@
+"""Content-addressed memoization for model evaluations.
+
+Keys are :func:`repro.common.hashing.stable_digest` values over a canonical
+``{"fn": <function identity>, "payload": <payload>}`` structure, so a cache
+entry is addressed purely by *what* is being computed — the same payload
+evaluated through a retry re-execution, a different worker, or a later GSA
+replicate hits the same entry.  Because every evaluation in this repo is
+seeded (the seed rides inside the payload), a hit is guaranteed to be
+bitwise identical to a recomputation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import stable_digest
+
+__all__ = ["MemoCache", "memo_salt", "memoize_evaluator"]
+
+#: Attribute consulted for a function's cache identity (see :func:`memo_salt`).
+MEMO_SALT_ATTR = "__memo_salt__"
+
+
+def memo_salt(fn: Callable[..., Any], salt: Any) -> Callable[..., Any]:
+    """Stamp ``fn`` with an explicit cache identity.
+
+    Closures from the same factory share ``__qualname__`` but compute
+    different things (e.g. per-plant R(t) analysis functions differing only
+    in captured config).  A salt — any :func:`stable_digest`-able value built
+    from the captured parameters — disambiguates them.  Functions without a
+    salt fall back to module + qualname, and *closures* without a salt are
+    refused by :meth:`MemoCache.key_for` since their identity is ambiguous.
+    """
+    setattr(fn, MEMO_SALT_ATTR, salt)
+    return fn
+
+
+def _function_identity(fn: Callable[..., Any]) -> Any:
+    while True:
+        salt = getattr(fn, MEMO_SALT_ATTR, None)
+        if salt is not None:
+            return {"salt": salt}
+        wrapped = getattr(fn, "__wrapped__", None)
+        if wrapped is None:
+            break
+        fn = wrapped
+    code = getattr(fn, "__code__", None)
+    if code is not None and code.co_freevars:
+        raise ValidationError(
+            f"cannot derive a cache identity for closure {fn!r}: captured "
+            f"variables {code.co_freevars} are not part of its qualname; "
+            "stamp it with repro.perf.memo_salt(fn, salt)"
+        )
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return {"module": module, "qualname": qualname}
+
+
+class MemoCache:
+    """Thread-safe content-addressed result cache with hit/miss counters.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional LRU bound.  ``None`` (default) keeps every entry — the
+        workflows in this repo evaluate at most a few thousand payloads.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ keys
+    def key_for(self, fn: Callable[..., Any], payload: Any) -> str:
+        """The content address of ``fn(payload)``."""
+        return stable_digest({"fn": _function_identity(fn), "payload": payload})
+
+    # ---------------------------------------------------------------- access
+    def lookup(self, key: str) -> tuple:
+        """Return ``(hit, value)``; counts a hit or miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self._max_entries is not None:
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+
+    def get_or_compute(self, fn: Callable[[Any], Any], payload: Any) -> Any:
+        """Memoized ``fn(payload)`` in one call."""
+        key = self.key_for(fn, payload)
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = fn(payload)
+        self.store(key, value)
+        return value
+
+    # --------------------------------------------------------------- reports
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "memo_hits": self._hits,
+                "memo_misses": self._misses,
+                "memo_entries": len(self._entries),
+                "memo_evictions": self._evictions,
+            }
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+
+def memoize_evaluator(
+    fn: Callable[[Any], Any], cache: MemoCache
+) -> Callable[[Any], Any]:
+    """Wrap a single-payload evaluator so repeats are served from ``cache``.
+
+    The wrapper inherits ``fn``'s cache identity (salt or qualname), so the
+    same underlying work memoizes to the same entries whether it is called
+    through this wrapper, through :class:`~repro.perf.executor.ParallelEvaluator`,
+    or directly via :meth:`MemoCache.get_or_compute`.
+    """
+
+    def memoized(payload: Any) -> Any:
+        return cache.get_or_compute(fn, payload)
+
+    memoized.__wrapped__ = fn  # type: ignore[attr-defined]
+    return memoized

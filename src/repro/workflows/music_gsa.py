@@ -28,8 +28,16 @@ from repro.common.errors import ValidationError
 from repro.common.retry import RetryPolicy
 from repro.common.rng import replicate_seed
 from repro.common.validation import check_int
-from repro.emews import EmewsService, ResilientEvaluator, TaskFuture, pop_completed
+from repro.emews import (
+    BatchWorkerPool,
+    EmewsService,
+    PoolHandle,
+    ResilientEvaluator,
+    TaskFuture,
+    pop_completed,
+)
 from repro.emews.api import TaskQueue
+from repro.perf import MemoCache, memo_salt
 from repro.gsa.interleave import InterleavedDriver, SequentialDriver
 from repro.gsa.music import MusicConfig, MusicGSA
 from repro.gsa.pce import PCEModel
@@ -99,6 +107,29 @@ def make_mean_qoi(
     return qoi
 
 
+def _metarvm_memo_salt(model: MetaRVM) -> Dict[str, Any]:
+    """Content identity of a MetaRVM hospitalizations evaluator.
+
+    Two evaluators with the same salt produce bitwise-identical results for
+    every payload, so their memoized entries are interchangeable.
+    """
+    cfg = model.config
+    return {
+        "evaluator": "metarvm-total-hospitalizations",
+        "population": list(cfg.population),
+        "initial_infections": list(cfg.initial_infections),
+        "mixing": np.asarray(cfg.mixing, dtype=float),
+        "n_days": cfg.n_days,
+        "initial_vaccinated_fraction": cfg.initial_vaccinated_fraction,
+        "intervention": (
+            cfg.intervention.multiplier_array(cfg.n_days)
+            if cfg.intervention is not None
+            else None
+        ),
+        "base_params": model.base_params.as_dict(),
+    }
+
+
 def metarvm_task_evaluator(
     model_config: Optional[MetaRVMConfig] = None,
     base_params: Optional[MetaRVMParams] = None,
@@ -117,7 +148,33 @@ def metarvm_task_evaluator(
         value = model.total_hospitalizations(point, seed=int(payload["seed"]))
         return {"hospitalizations": float(value[0])}
 
-    return evaluate
+    return memo_salt(evaluate, _metarvm_memo_salt(model))
+
+
+def metarvm_batch_evaluator(
+    model_config: Optional[MetaRVMConfig] = None,
+    base_params: Optional[MetaRVMParams] = None,
+) -> Callable[[Sequence[Any]], List[Dict[str, float]]]:
+    """Vectorized worker-pool evaluator: one call = one stacked simulation.
+
+    Semantically identical to mapping :func:`metarvm_task_evaluator` over
+    the payloads — :meth:`MetaRVM.run_batch_seeded` drives row ``i`` with
+    exactly the noise tensor of ``payloads[i]["seed"]``, so each result is
+    bitwise identical to the single-task path.  The win is wall-clock: the
+    day loop and its scipy binomial dispatch run once for the whole batch
+    instead of once per task.
+    """
+    if model_config is None:
+        model_config = GSA_MODEL_CONFIG
+    model = MetaRVM(config=model_config, base_params=base_params)
+
+    def evaluate_batch(payloads: Sequence[Any]) -> List[Dict[str, float]]:
+        points = np.asarray([payload["point"] for payload in payloads], dtype=float)
+        seeds = [int(payload["seed"]) for payload in payloads]
+        values = model.total_hospitalizations_seeded(points, seeds)
+        return [{"hospitalizations": float(value)} for value in values]
+
+    return memo_salt(evaluate_batch, _metarvm_memo_salt(model))
 
 
 def reference_indices(
@@ -145,23 +202,33 @@ def _build_evaluator(
     fault_rate: float,
     fault_seed: int,
     evaluator_retry: Optional[RetryPolicy],
-) -> Tuple[Callable[[Any], Dict[str, float]], Optional[ResilientEvaluator]]:
-    """The worker-pool evaluator, optionally wrapped for chaos runs.
+) -> Tuple[
+    Callable[[Any], Dict[str, float]],
+    Callable[[Sequence[Any]], List[Dict[str, float]]],
+    Optional[ResilientEvaluator],
+]:
+    """The worker-pool evaluators, optionally wrapped for chaos runs.
 
-    Returns ``(evaluator, wrapper)`` where ``wrapper`` is the
-    :class:`~repro.emews.ResilientEvaluator` (for its counters) when fault
-    injection or an explicit retry budget is requested, else None.
+    Returns ``(evaluator, batch_evaluator, wrapper)`` where ``wrapper`` is
+    the :class:`~repro.emews.ResilientEvaluator` (for its counters) when
+    fault injection or an explicit retry budget is requested, else None.
+    The batch evaluator carries the same fault/retry semantics payload-for-
+    payload (see :meth:`ResilientEvaluator.wrap_batch`).
     """
     evaluator = metarvm_task_evaluator(model_config=model_config)
+    batch_evaluator = metarvm_batch_evaluator(model_config=model_config)
     if fault_rate == 0.0 and evaluator_retry is None:
-        return evaluator, None
+        return evaluator, batch_evaluator, None
     wrapper = ResilientEvaluator(
         evaluator,
         fault_rate=fault_rate,
         fault_seed=fault_seed,
         retry=evaluator_retry,
     )
-    return wrapper, wrapper
+    # The wrapper computes exactly what the bare evaluator computes (faults
+    # only retry), so it shares the bare evaluator's cache identity.
+    memo_salt(wrapper, _metarvm_memo_salt(MetaRVM(config=model_config or GSA_MODEL_CONFIG)))
+    return wrapper, wrapper.wrap_batch(batch_evaluator), wrapper
 
 
 def _submit_points(
@@ -229,6 +296,7 @@ class Figure4Data:
     seed: int
     pce_degree: int
     resilience_report: Dict[str, int] = field(default_factory=dict)
+    perf_report: Dict[str, int] = field(default_factory=dict)
 
     def stabilization(self, *, tol: float = 0.05) -> Dict[str, Dict[str, float]]:
         """Per-method stabilization sample sizes (see
@@ -284,6 +352,8 @@ def run_music_vs_pce(
     model_config: Optional[MetaRVMConfig] = None,
     use_emews: bool = True,
     n_workers: int = 4,
+    parallel: bool = False,
+    memo_cache: Optional[MemoCache] = None,
     fault_rate: float = 0.0,
     fault_seed: int = 0,
     evaluator_retry: Optional[RetryPolicy] = None,
@@ -295,6 +365,14 @@ def run_music_vs_pce(
     design, refit (one-shot) at every sample size.  When ``use_emews`` is
     true the MUSIC evaluations flow through a real EMEWS task database and
     threaded worker pool, as in the paper's workflow.
+
+    With ``parallel=True`` the pool is a deterministic
+    :class:`~repro.emews.BatchWorkerPool`: queued tasks are claimed in
+    canonical order and evaluated through one vectorized MetaRVM call per
+    drain, which is bitwise identical to the threaded path at any
+    ``n_workers``.  An optional ``memo_cache`` short-circuits payloads
+    already evaluated (earlier runs, other replicates, retries); its
+    hit/miss counters land in ``perf_report``.
 
     Chaos-run knobs (EMEWS path only): ``fault_rate`` injects deterministic
     payload-keyed evaluator faults, recovered under ``evaluator_retry``
@@ -308,20 +386,32 @@ def run_music_vs_pce(
 
     music = MusicGSA(space, cfg, seed=seed)
     wrapper: Optional[ResilientEvaluator] = None
+    perf_report: Dict[str, int] = {}
     if use_emews:
-        evaluator, wrapper = _build_evaluator(
+        evaluator, batch_evaluator, wrapper = _build_evaluator(
             model_config, fault_rate, fault_seed, evaluator_retry
         )
         service = EmewsService()
         queue = service.make_queue(f"figure4-seed{seed}")
-        service.start_local_pool(
-            TASK_TYPE,
-            evaluator,
-            n_workers=n_workers,
-            name="figure4-pool",
-        )
+        if parallel:
+            handle = service.start_parallel_pool(
+                TASK_TYPE,
+                evaluator,
+                batch_fn=batch_evaluator,
+                n_workers=n_workers,
+                cache=memo_cache,
+                name="figure4-pool",
+            )
+        else:
+            handle = service.start_local_pool(
+                TASK_TYPE,
+                evaluator,
+                n_workers=n_workers,
+                name="figure4-pool",
+            )
         driver = InterleavedDriver([music_coroutine(music, queue, seed, budget)])
         driver.run()
+        perf_report = _pool_perf_report(handle)
         service.finalize(queue)
     else:
         design = music.initial_design()
@@ -355,7 +445,14 @@ def run_music_vs_pce(
         seed=seed,
         pce_degree=pce_degree,
         resilience_report=wrapper.counters() if wrapper is not None else {},
+        perf_report=perf_report,
     )
+
+
+def _pool_perf_report(handle: PoolHandle) -> Dict[str, int]:
+    """Executor/memoization counters when the pool exposes them."""
+    pool = handle.pool
+    return pool.counters() if isinstance(pool, BatchWorkerPool) else {}
 
 
 # ------------------------------------------------------------------ Figure 5
@@ -369,6 +466,7 @@ class Figure5Data:
     driver_stats: Dict[str, int]
     tasks_evaluated: int
     resilience_report: Dict[str, int] = field(default_factory=dict)
+    perf_report: Dict[str, int] = field(default_factory=dict)
 
     def final_indices(self) -> np.ndarray:
         """Final per-replicate indices, shape (n_replicates, dim)."""
@@ -394,6 +492,8 @@ def run_replicate_gsa(
     music_config: Optional[MusicConfig] = None,
     model_config: Optional[MetaRVMConfig] = None,
     n_workers: int = 4,
+    parallel: bool = False,
+    memo_cache: Optional[MemoCache] = None,
     interleaved: bool = True,
     fault_rate: float = 0.0,
     fault_seed: int = 0,
@@ -411,23 +511,37 @@ def run_replicate_gsa(
     ``fault_rate`` / ``fault_seed`` / ``evaluator_retry`` inject
     deterministic payload-keyed evaluator faults recovered under a retry
     budget (see :class:`~repro.emews.ResilientEvaluator`); the counters are
-    returned as ``resilience_report``.
+    returned as ``resilience_report``.  ``parallel`` / ``memo_cache`` select
+    the deterministic batch pool exactly as in :func:`run_music_vs_pce` —
+    with many interleaved instances the batch pool is where the vectorized
+    evaluator pays off most, since concurrent replicates' tasks coalesce
+    into stacked simulations.
     """
     check_int("n_replicates", n_replicates, minimum=1)
     cfg = music_config if music_config is not None else MusicConfig()
     space = GSA_PARAMETER_SPACE
 
-    evaluator, wrapper = _build_evaluator(
+    evaluator, batch_evaluator, wrapper = _build_evaluator(
         model_config, fault_rate, fault_seed, evaluator_retry
     )
     service = EmewsService()
     queue = service.make_queue(f"figure5-root{root_seed}")
-    pool = service.start_local_pool(
-        TASK_TYPE,
-        evaluator,
-        n_workers=n_workers,
-        name="figure5-pool",
-    )
+    if parallel:
+        pool = service.start_parallel_pool(
+            TASK_TYPE,
+            evaluator,
+            batch_fn=batch_evaluator,
+            n_workers=n_workers,
+            cache=memo_cache,
+            name="figure5-pool",
+        )
+    else:
+        pool = service.start_local_pool(
+            TASK_TYPE,
+            evaluator,
+            n_workers=n_workers,
+            name="figure5-pool",
+        )
 
     seeds = {k: replicate_seed(root_seed, k) for k in range(n_replicates)}
     instances = {k: MusicGSA(space, cfg, seed=seeds[k]) for k in range(n_replicates)}
@@ -440,6 +554,7 @@ def run_replicate_gsa(
     else:
         stats = SequentialDriver(coroutines).run()
     tasks = pool.tasks_processed
+    perf_report = _pool_perf_report(pool)
     service.finalize(queue)
 
     return Figure5Data(
@@ -452,4 +567,5 @@ def run_replicate_gsa(
         driver_stats=stats,
         tasks_evaluated=tasks,
         resilience_report=wrapper.counters() if wrapper is not None else {},
+        perf_report=perf_report,
     )

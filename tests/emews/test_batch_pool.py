@@ -1,0 +1,217 @@
+"""Tests for the batch-draining worker pool behind ``start_parallel_pool``."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.emews import EmewsService
+from repro.emews.db import TaskDatabase, TaskState
+from repro.emews.worker_pool import BatchWorkerPool
+from repro.perf import MemoCache, ParallelEvaluator
+
+
+def square(payload):
+    return {"y": payload["x"] ** 2}
+
+
+def square_batch(payloads):
+    return [{"y": p["x"] ** 2} for p in payloads]
+
+
+class TestBatchWorkerPool:
+    def test_validation(self):
+        db = TaskDatabase()
+        evaluator = ParallelEvaluator(square)
+        with pytest.raises(ValidationError):
+            BatchWorkerPool(db, "model", evaluator, coalesce_window=-0.1)
+        with pytest.raises(ValidationError):
+            BatchWorkerPool(
+                db, "model", evaluator, coalesce_window=0.5, max_coalesce=0.1
+            )
+        pool = BatchWorkerPool(db, "model", evaluator).start()
+        with pytest.raises(StateError):
+            pool.start()
+        pool.shutdown()
+        db.close()
+
+    def test_queued_tasks_coalesce_into_one_batch(self):
+        """Tasks already queued when the dispatcher wakes land in one claim."""
+        db = TaskDatabase()
+        queue_ids = [db.submit("exp", "model", {"x": i}) for i in range(16)]
+        evaluator = ParallelEvaluator(batch_fn=square_batch, backend="batch")
+        with BatchWorkerPool(db, "model", evaluator) as pool:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if all(
+                    db.get_task(tid).state is TaskState.COMPLETE
+                    for tid in queue_ids
+                ):
+                    break
+                time.sleep(0.005)
+            counters = pool.counters()
+        assert counters["pool_tasks_processed"] == 16
+        assert counters["pool_batches_processed"] == 1
+        for i, tid in enumerate(queue_ids):
+            assert db.get_task(tid).result_obj() == {"y": i * i}
+        db.close()
+
+    def test_results_follow_task_id_order_not_arrival_order(self):
+        """A shuffled claim is still completed in canonical task_id order."""
+        db = TaskDatabase()
+        ids = [
+            db.submit("exp", "model", {"x": i}, priority=i % 3)
+            for i in range(9)
+        ]
+        seen_batches = []
+
+        def recording_batch(payloads):
+            seen_batches.append([p["x"] for p in payloads])
+            return square_batch(payloads)
+
+        evaluator = ParallelEvaluator(batch_fn=recording_batch, backend="batch")
+        with BatchWorkerPool(db, "model", evaluator):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if all(db.get_task(t).state is TaskState.COMPLETE for t in ids):
+                    break
+                time.sleep(0.005)
+        # Priorities scramble pop order, but the evaluator always sees the
+        # canonical submission (task_id) order within each claim.
+        for batch in seen_batches:
+            assert batch == sorted(batch)
+        db.close()
+
+    def test_quiescence_extends_coalescing_across_slow_submitters(self):
+        """Tasks trickling in faster than the window merge into one batch."""
+        db = TaskDatabase()
+        evaluator = ParallelEvaluator(batch_fn=square_batch, backend="batch")
+        pool = BatchWorkerPool(
+            db, "model", evaluator, coalesce_window=0.1, max_coalesce=1.0
+        )
+
+        def submit_slowly():
+            for i in range(6):
+                db.submit("exp", "model", {"x": i})
+                time.sleep(0.02)  # well inside the 0.1s quiet window
+
+        with pool:
+            submitter = threading.Thread(target=submit_slowly)
+            submitter.start()
+            submitter.join()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if pool.counters()["pool_tasks_processed"] == 6:
+                    break
+                time.sleep(0.005)
+            counters = pool.counters()
+        assert counters["pool_tasks_processed"] == 6
+        assert counters["pool_batches_processed"] == 1
+        db.close()
+
+    def test_max_coalesce_bounds_the_batch(self):
+        """A steady submitter cannot defer evaluation past max_coalesce."""
+        db = TaskDatabase()
+        evaluator = ParallelEvaluator(batch_fn=square_batch, backend="batch")
+        pool = BatchWorkerPool(
+            db, "model", evaluator, coalesce_window=0.05, max_coalesce=0.15
+        )
+        stop = threading.Event()
+
+        def submit_forever():
+            i = 0
+            while not stop.is_set():
+                db.submit("exp", "model", {"x": i})
+                i += 1
+                time.sleep(0.01)
+
+        with pool:
+            submitter = threading.Thread(target=submit_forever)
+            submitter.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if pool.counters()["pool_batches_processed"] >= 2:
+                    break
+                time.sleep(0.005)
+            stop.set()
+            submitter.join()
+            counters = pool.counters()
+        assert counters["pool_batches_processed"] >= 2
+        db.close()
+
+    def test_per_payload_failure_fails_only_that_task(self):
+        def flaky(payload):
+            if payload["x"] == 1:
+                raise RuntimeError("boom")
+            return {"y": payload["x"]}
+
+        db = TaskDatabase()
+        ids = [db.submit("exp", "model", {"x": i}) for i in range(3)]
+        evaluator = ParallelEvaluator(flaky)
+        with BatchWorkerPool(db, "model", evaluator):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                states = {db.get_task(t).state for t in ids}
+                if states <= {TaskState.COMPLETE, TaskState.FAILED}:
+                    break
+                time.sleep(0.005)
+        assert db.get_task(ids[0]).state is TaskState.COMPLETE
+        assert db.get_task(ids[1]).state is TaskState.FAILED
+        assert "RuntimeError" in db.get_task(ids[1]).error
+        assert db.get_task(ids[2]).state is TaskState.COMPLETE
+        db.close()
+
+    def test_counters_include_evaluator_and_cache(self):
+        db = TaskDatabase()
+        cache = MemoCache()
+        evaluator = ParallelEvaluator(square, cache=cache)
+        ids = [db.submit("exp", "model", {"x": 2}) for _ in range(2)]
+        with BatchWorkerPool(db, "model", evaluator) as pool:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if all(db.get_task(t).state is TaskState.COMPLETE for t in ids):
+                    break
+                time.sleep(0.005)
+            counters = pool.counters()
+        assert counters["pool_tasks_processed"] == 2
+        assert counters["executor_tasks_evaluated"] >= 1
+        assert "memo_hits" in counters
+        db.close()
+
+
+class TestServiceParallelPool:
+    def test_parallel_pool_serves_futures(self):
+        svc = EmewsService()
+        queue = svc.make_queue("exp")
+        handle = svc.start_parallel_pool(
+            "model", batch_fn=square_batch, n_workers=4
+        )
+        futures = queue.submit_tasks("model", [{"x": i} for i in range(12)])
+        assert [f.result(timeout=10)["y"] for f in futures] == [
+            i * i for i in range(12)
+        ]
+        assert handle.pool.counters()["pool_tasks_processed"] == 12
+        svc.finalize(queue)
+
+    def test_parallel_pool_matches_serial_pool(self):
+        payloads = [{"x": i} for i in range(10)]
+
+        def run(start):
+            svc = EmewsService()
+            queue = svc.make_queue("exp")
+            start(svc)
+            futures = queue.submit_tasks("model", payloads)
+            out = [f.result(timeout=10) for f in futures]
+            svc.finalize(queue)
+            return out
+
+        serial = run(lambda svc: svc.start_local_pool("model", square, n_workers=1))
+        parallel = run(
+            lambda svc: svc.start_parallel_pool(
+                "model", square, batch_fn=square_batch, n_workers=8
+            )
+        )
+        assert parallel == serial

@@ -1,0 +1,115 @@
+"""Bitwise-identity contract of the parallel/memoized evaluation paths.
+
+The tentpole guarantee: a workflow run through the deterministic batch pool
+— any worker count, any batch composition, cold or warm memo cache, even
+under an injected fault plan — produces *byte-identical* results to the
+single-threaded serial path.  These tests hold the whole stack to that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.retry import RetryPolicy
+from repro.gsa.music import MusicConfig
+from repro.perf import MemoCache
+from repro.workflows.music_gsa import run_music_vs_pce, run_replicate_gsa
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+#: Small-but-real MUSIC configuration (validation minimums apply).
+SMALL_MUSIC = dict(
+    music_config=MusicConfig(
+        n_initial=4, n_candidates=8, surrogate_mc=64, refit_every=4
+    ),
+)
+
+SMALL_WASTEWATER = dict(
+    data_start_day=100.0, sim_days=4.0, goldstein_iterations=250, seed=11
+)
+
+
+def _replicate_bytes(data):
+    return {
+        k: np.stack([v for _, v in curve]).tobytes()
+        for k, curve in data.replicate_curves.items()
+    }
+
+
+def _figure4_bytes(data):
+    return np.stack([v for _, v in data.music_curve]).tobytes()
+
+
+class TestMusicReplicates:
+    KW = dict(n_replicates=3, budget=10, root_seed=19, **SMALL_MUSIC)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_replicate_gsa(**self.KW, n_workers=1)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_parallel_identical_to_serial(self, serial, n_workers):
+        parallel = run_replicate_gsa(**self.KW, parallel=True, n_workers=n_workers)
+        assert _replicate_bytes(parallel) == _replicate_bytes(serial)
+        assert parallel.perf_report["pool_tasks_processed"] > 0
+
+    def test_memoized_identical_cold_and_warm(self, serial):
+        cache = MemoCache()
+        cold = run_replicate_gsa(**self.KW, parallel=True, memo_cache=cache)
+        warm = run_replicate_gsa(**self.KW, parallel=True, memo_cache=cache)
+        assert _replicate_bytes(cold) == _replicate_bytes(serial)
+        assert _replicate_bytes(warm) == _replicate_bytes(serial)
+        # Every task of the warm run is served from cache.
+        assert warm.perf_report["memo_hits"] >= warm.perf_report["pool_tasks_processed"]
+
+    def test_identical_under_fault_plan(self, serial):
+        chaos = dict(
+            fault_rate=0.2,
+            fault_seed=5,
+            evaluator_retry=RetryPolicy(max_attempts=4),
+        )
+        faulty_serial = run_replicate_gsa(**self.KW, n_workers=1, **chaos)
+        faulty_parallel = run_replicate_gsa(
+            **self.KW, parallel=True, n_workers=8, **chaos
+        )
+        # Faults are payload-keyed, so recovery changes nothing downstream...
+        assert _replicate_bytes(faulty_serial) == _replicate_bytes(serial)
+        assert _replicate_bytes(faulty_parallel) == _replicate_bytes(serial)
+        # ...and both paths absorb the *same* fault sequence.
+        assert faulty_serial.resilience_report == faulty_parallel.resilience_report
+        assert faulty_parallel.resilience_report["evaluator_faults_injected"] > 0
+
+
+class TestMusicFigure4:
+    KW = dict(seed=3, budget=40, **SMALL_MUSIC)
+
+    def test_parallel_and_memo_identical(self):
+        serial = run_music_vs_pce(**self.KW)
+        parallel = run_music_vs_pce(**self.KW, parallel=True, n_workers=8)
+        cache = MemoCache()
+        cold = run_music_vs_pce(**self.KW, parallel=True, memo_cache=cache)
+        warm = run_music_vs_pce(**self.KW, parallel=True, memo_cache=cache)
+        reference = _figure4_bytes(serial)
+        assert _figure4_bytes(parallel) == reference
+        assert _figure4_bytes(cold) == reference
+        assert _figure4_bytes(warm) == reference
+        assert cache.hit_rate() > 0.0
+
+
+class TestWastewater:
+    def test_shared_cache_second_run_identical_with_hits(self):
+        base = run_wastewater_workflow(**SMALL_WASTEWATER)
+        cache = MemoCache()
+        cold = run_wastewater_workflow(**SMALL_WASTEWATER, memo_cache=cache)
+        warm = run_wastewater_workflow(**SMALL_WASTEWATER, memo_cache=cache)
+        for run in (cold, warm):
+            assert run.ensemble.to_json(include_samples=True) == base.ensemble.to_json(
+                include_samples=True
+            )
+            for name, estimate in base.plant_estimates.items():
+                assert run.plant_estimates[name].to_json(
+                    include_samples=True
+                ) == estimate.to_json(include_samples=True)
+        assert cold.perf_report["memo_hits"] == 0
+        assert warm.perf_report["memo_hits"] > 0
+        assert cache.hit_rate() > 0.0

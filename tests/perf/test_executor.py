@@ -1,0 +1,181 @@
+"""Tests for the deterministic parallel evaluator."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.perf import EvaluationFailure, MemoCache, ParallelEvaluator, memo_salt
+from repro.perf.executor import _chunk_bounds
+
+
+def square(payload):
+    return payload["x"] ** 2
+
+
+def square_batch(payloads):
+    return [p["x"] ** 2 for p in payloads]
+
+
+def payloads_for(values):
+    return [{"x": v} for v in values]
+
+
+class TestChunkBounds:
+    def test_covers_range_contiguously(self):
+        for n in (1, 5, 16, 17, 100):
+            for k in (1, 2, 7, 16, 200):
+                bounds = _chunk_bounds(n, k)
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(n))
+
+    def test_deterministic(self):
+        assert _chunk_bounds(10, 3) == _chunk_bounds(10, 3)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("serial", dict(fn=square)),
+        ("thread", dict(fn=square, n_workers=4)),
+        ("process", dict(fn=square, n_workers=2)),
+        ("batch", dict(fn=square, batch_fn=square_batch, n_workers=4)),
+    ])
+    def test_results_in_submission_order(self, backend, kwargs):
+        evaluator = ParallelEvaluator(backend=backend, **kwargs)
+        values = list(range(23))
+        assert evaluator.map(payloads_for(values)) == [v * v for v in values]
+
+    def test_auto_resolution(self):
+        assert ParallelEvaluator(square).backend == "serial"
+        assert ParallelEvaluator(square, n_workers=4).backend == "thread"
+        assert ParallelEvaluator(batch_fn=square_batch, n_workers=4).backend == "batch"
+
+    def test_identical_across_backends_and_worker_counts(self):
+        values = [float(v) for v in np.linspace(-3, 7, 31)]
+        reference = ParallelEvaluator(square, backend="serial").map(
+            payloads_for(values)
+        )
+        for backend in ("thread", "batch"):
+            for n_workers in (1, 2, 8):
+                evaluator = ParallelEvaluator(
+                    square, batch_fn=square_batch, backend=backend, n_workers=n_workers
+                )
+                assert evaluator.map(payloads_for(values)) == reference
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParallelEvaluator()
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(square, backend="gpu")
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(square, n_workers=0)
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(square, backend="batch")
+
+    def test_empty_batch(self):
+        assert ParallelEvaluator(square).map([]) == []
+
+
+class TestDeduplication:
+    def test_duplicates_evaluated_once(self):
+        calls = []
+
+        def tracked(payload):
+            calls.append(payload["x"])
+            return payload["x"] * 10
+
+        evaluator = ParallelEvaluator(tracked)
+        out = evaluator.map(payloads_for([1, 2, 1, 3, 2, 1]))
+        assert out == [10, 20, 10, 30, 20, 10]
+        assert sorted(calls) == [1, 2, 3]
+        counters = evaluator.counters()
+        assert counters["executor_tasks_evaluated"] == 3
+        assert counters["executor_tasks_deduplicated"] == 3
+
+
+class TestFailures:
+    def test_failure_localized_to_payload(self):
+        def flaky(payload):
+            if payload["x"] == 2:
+                raise RuntimeError("boom")
+            return payload["x"]
+
+        out = ParallelEvaluator(flaky).map(payloads_for([1, 2, 3]))
+        assert out[0] == 1 and out[2] == 3
+        assert isinstance(out[1], EvaluationFailure)
+        assert out[1].error_type == "RuntimeError"
+
+    def test_raise_on_error(self):
+        def bad(payload):
+            raise ValueError("nope")
+
+        with pytest.raises(RuntimeError):
+            ParallelEvaluator(bad).map(payloads_for([1]), raise_on_error=True)
+
+    def test_batch_fn_exception_degrades_to_per_payload(self):
+        def broken_batch(payloads):
+            raise RuntimeError("vectorized path broken")
+
+        evaluator = ParallelEvaluator(
+            square, batch_fn=broken_batch, backend="batch"
+        )
+        assert evaluator.map(payloads_for([2, 3])) == [4, 9]
+
+    def test_batch_fn_length_mismatch_rejected(self):
+        evaluator = ParallelEvaluator(
+            batch_fn=lambda ps: [1], backend="batch"
+        )
+        with pytest.raises(ValidationError):
+            evaluator.map(payloads_for([1, 2, 3]))
+
+
+class TestCaching:
+    def test_cache_short_circuits_repeat_batches(self):
+        calls = []
+
+        def tracked(payload):
+            calls.append(payload["x"])
+            return payload["x"] + 1
+
+        cache = MemoCache()
+        memo_salt(tracked, "tracked-plus-one")
+        evaluator = ParallelEvaluator(tracked, cache=cache)
+        assert evaluator.map(payloads_for([1, 2])) == [2, 3]
+        assert evaluator.map(payloads_for([1, 2, 3])) == [2, 3, 4]
+        assert sorted(calls) == [1, 2, 3]
+        assert cache.counters()["memo_hits"] == 2
+
+    def test_failures_not_cached(self):
+        attempts = []
+
+        def once_flaky(payload):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first call fails")
+            return payload["x"]
+
+        cache = MemoCache()
+        memo_salt(once_flaky, "once-flaky")
+        evaluator = ParallelEvaluator(once_flaky, cache=cache)
+        first = evaluator.map(payloads_for([5]))
+        assert isinstance(first[0], EvaluationFailure)
+        assert evaluator.map(payloads_for([5])) == [5]
+
+    def test_thread_safety_of_shared_cache(self):
+        cache = MemoCache()
+        evaluator = ParallelEvaluator(square, n_workers=4, cache=cache)
+        results = {}
+
+        def run(tag):
+            results[tag] = evaluator.map(payloads_for(list(range(50))))
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = [v * v for v in range(50)]
+        assert all(results[i] == expected for i in range(4))

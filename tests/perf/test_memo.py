@@ -1,0 +1,128 @@
+"""Tests for content-addressed memoization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.perf import MemoCache, memo_salt, memoize_evaluator
+from repro.perf.memo import _function_identity
+
+
+def plain_fn(payload):
+    return payload
+
+
+def make_closure(factor):
+    def scaled(payload):
+        return payload * factor
+
+    return scaled
+
+
+class TestFunctionIdentity:
+    def test_module_level_function(self):
+        identity = _function_identity(plain_fn)
+        assert identity["qualname"] == "plain_fn"
+
+    def test_unsalted_closure_refused(self):
+        with pytest.raises(ValidationError):
+            _function_identity(make_closure(2))
+
+    def test_salt_overrides(self):
+        fn = memo_salt(make_closure(2), {"factor": 2})
+        assert _function_identity(fn) == {"salt": {"factor": 2}}
+
+    def test_salt_found_through_wrapped_chain(self):
+        inner = memo_salt(make_closure(3), {"factor": 3})
+
+        def outer(payload):
+            return inner(payload)
+
+        outer.__wrapped__ = inner
+        assert _function_identity(outer) == {"salt": {"factor": 3}}
+
+    def test_equal_salts_share_identity(self):
+        a = memo_salt(make_closure(2), {"factor": 2})
+        b = memo_salt(make_closure(2), {"factor": 2})
+        cache = MemoCache()
+        assert cache.key_for(a, {"x": 1}) == cache.key_for(b, {"x": 1})
+        c = memo_salt(make_closure(3), {"factor": 3})
+        assert cache.key_for(a, {"x": 1}) != cache.key_for(c, {"x": 1})
+
+
+class TestMemoCache:
+    def test_lookup_store_roundtrip(self):
+        cache = MemoCache()
+        key = cache.key_for(plain_fn, {"x": 1})
+        hit, _ = cache.lookup(key)
+        assert not hit
+        cache.store(key, 42)
+        hit, value = cache.lookup(key)
+        assert hit and value == 42
+        assert cache.counters() == {
+            "memo_hits": 1,
+            "memo_misses": 1,
+            "memo_entries": 1,
+            "memo_evictions": 0,
+        }
+        assert cache.hit_rate() == 0.5
+
+    def test_get_or_compute(self):
+        calls = []
+
+        def fn(payload):
+            calls.append(payload)
+            return payload * 2
+
+        memo_salt(fn, "double")
+        cache = MemoCache()
+        assert cache.get_or_compute(fn, 3) == 6
+        assert cache.get_or_compute(fn, 3) == 6
+        assert calls == [3]
+
+    def test_lru_eviction(self):
+        cache = MemoCache(max_entries=2)
+        for i in range(4):
+            cache.store(f"k{i}", i)
+        assert len(cache) == 2
+        assert cache.counters()["memo_evictions"] == 2
+        hit, value = cache.lookup("k3")
+        assert hit and value == 3
+        hit, _ = cache.lookup("k0")
+        assert not hit
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MemoCache(max_entries=0)
+
+    def test_ndarray_payloads_addressable(self):
+        cache = MemoCache()
+        a = cache.key_for(plain_fn, {"x": np.arange(3.0)})
+        b = cache.key_for(plain_fn, {"x": np.arange(3.0)})
+        c = cache.key_for(plain_fn, {"x": np.arange(3.0) + 1e-12})
+        assert a == b
+        assert a != c
+
+
+class TestMemoizeEvaluator:
+    def test_shares_entries_with_direct_calls(self):
+        calls = []
+
+        def fn(payload):
+            calls.append(payload)
+            return payload + 1
+
+        memo_salt(fn, "plus-one")
+        cache = MemoCache()
+        memoized = memoize_evaluator(fn, cache)
+        assert memoized(1) == 2
+        # Same cache identity: direct get_or_compute hits the wrapper's entry.
+        assert cache.get_or_compute(fn, 1) == 2
+        assert calls == [1]
+
+    def test_wrapper_identity_matches_inner(self):
+        cache = MemoCache()
+        memoized = memoize_evaluator(plain_fn, cache)
+        assert cache.key_for(memoized, {"x": 1}) == cache.key_for(plain_fn, {"x": 1})

@@ -7,7 +7,31 @@ import pytest
 
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.rng import generator_from_seed
-from repro.rt.mcmc import AdaptiveMetropolis, effective_sample_size
+from repro.rt.mcmc import (
+    AdaptiveMetropolis,
+    effective_sample_size,
+    effective_sample_sizes,
+)
+
+
+def _naive_ess(draws: np.ndarray, max_lag=None) -> float:
+    """The original per-lag dot-product loop, kept as the reference."""
+    n = draws.size
+    if n < 4:
+        return float(n)
+    centered = draws - draws.mean()
+    variance = float(centered @ centered) / n
+    if variance == 0:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n - 2, 1000)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = float(centered[:-lag] @ centered[lag:]) / ((n - lag) * variance)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    return float(n / (1.0 + 2.0 * rho_sum))
 
 
 class TestEffectiveSampleSize:
@@ -30,6 +54,45 @@ class TestEffectiveSampleSize:
 
     def test_tiny_series(self):
         assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
+
+    @pytest.mark.parametrize("phi", [0.0, 0.5, 0.9, 0.99, -0.5])
+    def test_vectorized_matches_naive_loop(self, phi):
+        rng = generator_from_seed(17)
+        noise = rng.standard_normal(3000)
+        draws = np.empty(3000)
+        draws[0] = noise[0]
+        for i in range(1, 3000):
+            draws[i] = phi * draws[i - 1] + noise[i]
+        assert effective_sample_size(draws) == pytest.approx(
+            _naive_ess(draws), rel=1e-9
+        )
+
+    def test_batched_matches_per_column(self):
+        rng = generator_from_seed(23)
+        chain = np.cumsum(rng.standard_normal((1500, 6)), axis=0) * 0.05
+        chain += rng.standard_normal((1500, 6))
+        batched = effective_sample_sizes(chain)
+        reference = np.array([_naive_ess(chain[:, j]) for j in range(6)])
+        np.testing.assert_allclose(batched, reference, rtol=1e-9)
+
+    def test_batched_respects_max_lag(self):
+        rng = generator_from_seed(5)
+        noise = rng.standard_normal(800)
+        ar1 = np.empty(800)
+        ar1[0] = noise[0]
+        for i in range(1, 800):
+            ar1[i] = 0.97 * ar1[i - 1] + noise[i]
+        chain = np.column_stack([ar1, noise])
+        batched = effective_sample_sizes(chain, max_lag=25)
+        reference = np.array([_naive_ess(chain[:, j], max_lag=25) for j in range(2)])
+        np.testing.assert_allclose(batched, reference, rtol=1e-9)
+
+    def test_batched_handles_constant_column(self):
+        rng = generator_from_seed(9)
+        chain = np.column_stack([np.ones(200), rng.standard_normal(200)])
+        ess = effective_sample_sizes(chain)
+        assert ess[0] == 200.0
+        assert ess[1] == pytest.approx(_naive_ess(chain[:, 1]), rel=1e-9)
 
 
 class TestSampler:
