@@ -1,6 +1,7 @@
 """Headline perf benchmark: deterministic parallel + memoized evaluation.
 
-Three measurements, written to ``BENCH_perf.json`` at the repo root:
+Three measurements, written to the ``parallel_memo`` section of
+``BENCH_perf.json`` at the repo root:
 
 1. **Workflow speedup** — the Figure 5/§3.2 workload: eight interleaved
    MUSIC-GSA replicate instances sharing one EMEWS task queue.  Serial
@@ -22,8 +23,6 @@ Run with ``pytest benchmarks/bench_parallel_speedup.py -s``.
 from __future__ import annotations
 
 import copy
-import json
-import pathlib
 import time
 
 import numpy as np
@@ -32,8 +31,6 @@ from repro.gsa.gp import GaussianProcess
 from repro.gsa.music import MusicConfig
 from repro.perf import MemoCache
 from repro.workflows.music_gsa import run_replicate_gsa
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: The Figure 5 workload scaled to benchmark in ~1 minute: 8 replicates x
 #: 48-point budget, vectorizable MetaRVM surrogate evaluations.
@@ -113,7 +110,7 @@ def _gp_update_timings(n: int = 256, dim: int = 4, repeats: int = 30):
     )
 
 
-def test_parallel_and_memo_speedup(save_artifact):
+def test_parallel_and_memo_speedup(save_artifact, update_bench_report):
     t_serial, serial = _timed(n_workers=1)
     t_parallel, parallel = _timed(parallel=True, n_workers=8)
 
@@ -167,7 +164,7 @@ def test_parallel_and_memo_speedup(save_artifact):
             "speedup_vs_full_refactor": round(t_refactor / t_inc, 2),
         },
     }
-    (REPO_ROOT / "BENCH_perf.json").write_text(json.dumps(report, indent=2) + "\n")
+    update_bench_report("parallel_memo", report)
 
     lines = [
         "Parallel evaluation + memoization (Figure 5 workload, 8 replicates)",

@@ -7,11 +7,13 @@ text is printed (visible with ``-s``) and also written to
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -33,6 +35,31 @@ def save_artifact(artifact_dir):
         return text
 
     return save
+
+
+@pytest.fixture(scope="session")
+def update_bench_report():
+    """Merge one benchmark's section into ``BENCH_perf.json``.
+
+    Each perf benchmark owns a top-level section; merging (rather than
+    overwriting the whole file) lets the quick-bench CI job run the
+    benchmarks in any order or subset without clobbering earlier results.
+    """
+
+    def update(section: str, payload: dict) -> None:
+        path = REPO_ROOT / "BENCH_perf.json"
+        try:
+            report = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            report = {}
+        if "benchmark" in report:
+            # Legacy flat layout (the parallel/memo report at top level):
+            # fold it into its section before adding new ones.
+            report = {"parallel_memo": report}
+        report[section] = payload
+        path.write_text(json.dumps(report, indent=2) + "\n")
+
+    return update
 
 
 @pytest.fixture(scope="session")

@@ -498,6 +498,15 @@ class AnalysisFlow(_BaseFlow):
             return
         if self.policy is TriggerPolicy.ALL and len(fresh) != len(self.inputs):
             return
+        if self.policy is TriggerPolicy.ANY and any(
+            self.platform.metadata.latest(data_id) is None
+            for data_id in self.inputs.values()
+        ):
+            # A multi-input ANY flow consumes the latest version of *every*
+            # input; until each has produced at least one version the run
+            # would only fail, so hold the trigger (the missing input's
+            # first version re-triggers via its subscription).
+            return
         self.trigger_count += 1
         self._run()
 

@@ -87,6 +87,41 @@ def task_cost(fn: Callable[..., Any], args: tuple, kwargs: dict) -> float:
     return cost
 
 
+_NODES_ATTR = "__node_requirement__"
+
+
+def node_requirement(n_nodes: int):
+    """Decorator declaring how many cluster nodes a function's job needs.
+
+    Functions without a declaration inherit the endpoint's per-task default.
+    The batched cross-plant R(t) analysis uses this to request a multi-node
+    allocation for its one stacked job, where the per-plant path submitted
+    one single-node job per plant.
+
+    Examples
+    --------
+    >>> @node_requirement(4)
+    ... @simulated_cost(0.05)
+    ... def batched_rt_analysis(data): ...
+    """
+    if int(n_nodes) < 1:
+        raise ValidationError(f"node_requirement must be >= 1, got {n_nodes}")
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        setattr(fn, _NODES_ATTR, int(n_nodes))
+        return fn
+
+    return wrap
+
+
+def task_nodes(fn: Callable[..., Any], default: int = 1) -> int:
+    """Resolve how many nodes ``fn``'s batch job should request."""
+    n_nodes = int(getattr(fn, _NODES_ATTR, default))
+    if n_nodes < 1:
+        raise ValidationError(f"node requirement of {fn!r} resolved to {n_nodes} < 1")
+    return n_nodes
+
+
 class TaskStatus(Enum):
     """Compute task lifecycle."""
 
@@ -287,7 +322,7 @@ class GlobusComputeEngine(_Engine):
 
         request = JobRequest(
             name=f"globus-compute:{future.task_id}",
-            n_nodes=self._nodes_per_task,
+            n_nodes=task_nodes(fn, self._nodes_per_task),
             walltime=self._walltime,
             payload=payload,
             duration=lambda job: task_cost(fn, args, kwargs),

@@ -16,6 +16,7 @@ Three tools the rest of the library builds on:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -133,26 +134,42 @@ def seir_stochastic(
     return {"S": S, "E": E, "I": I, "R": R, "incidence": incidence}
 
 
-def discretized_gamma(mean: float, sd: float, n_days: int) -> np.ndarray:
-    """Discretize a Gamma(mean, sd) density onto days 1..n_days.
+@functools.lru_cache(maxsize=256)
+def _discretized_gamma_cached(shape: float, scale: float, n_days: int) -> np.ndarray:
+    """Shared read-only pmf keyed on the gamma's (shape, scale, length).
 
-    Day ``s`` carries the probability mass of the interval ``[s-1, s]``
-    (shifted so no mass sits at lag zero — an individual cannot infect, or
-    shed, before the day after infection).  The pmf is renormalized to sum
-    to 1 over the window.
+    Every estimator construction in the R(t) hot path (one per MCMC
+    analysis, one per synthetic plant, ...) asks for the same handful of
+    generation-interval and shedding kernels; the ``gamma.cdf`` evaluation
+    dominates, so it is computed once per distinct key.  The cached array is
+    frozen — callers receive copies.
     """
-    mean = check_positive("mean", mean)
-    sd = check_positive("sd", sd)
-    n_days = check_int("n_days", n_days, minimum=1)
-    shape = (mean / sd) ** 2
-    scale = sd**2 / mean
     edges = np.arange(0, n_days + 1, dtype=float)
     cdf = stats.gamma.cdf(edges, a=shape, scale=scale)
     pmf = np.diff(cdf)
     total = pmf.sum()
     if total <= 0:
         raise ValidationError("gamma discretization produced zero mass; widen n_days")
-    return pmf / total
+    pmf /= total
+    pmf.setflags(write=False)
+    return pmf
+
+
+def discretized_gamma(mean: float, sd: float, n_days: int) -> np.ndarray:
+    """Discretize a Gamma(mean, sd) density onto days 1..n_days.
+
+    Day ``s`` carries the probability mass of the interval ``[s-1, s]``
+    (shifted so no mass sits at lag zero — an individual cannot infect, or
+    shed, before the day after infection).  The pmf is renormalized to sum
+    to 1 over the window.  Results are memoized on the distribution's
+    ``(shape, scale, n_days)`` key; each call returns a fresh writable copy.
+    """
+    mean = check_positive("mean", mean)
+    sd = check_positive("sd", sd)
+    n_days = check_int("n_days", n_days, minimum=1)
+    shape = (mean / sd) ** 2
+    scale = sd**2 / mean
+    return _discretized_gamma_cached(float(shape), float(scale), int(n_days)).copy()
 
 
 def renewal_incidence(

@@ -96,7 +96,9 @@ class ParallelEvaluator:
     cache:
         Optional :class:`~repro.perf.memo.MemoCache`; known payloads are
         served without evaluation and new results are stored.  Cache keys
-        use ``fn``'s identity even when ``batch_fn`` does the computing.
+        use ``fn``'s identity even when ``batch_fn`` does the computing
+        (the two are required to be semantically equivalent); evaluators
+        built with only a ``batch_fn`` key on its identity instead.
     """
 
     def __init__(
@@ -160,7 +162,7 @@ class ParallelEvaluator:
         # Serve cache hits before spending any evaluation work.  Payloads or
         # functions that cannot be content-addressed simply bypass the cache.
         pending = unique_indices
-        if self.cache is not None and self.fn is not None:
+        if self.cache is not None:
             pending = []
             for i in unique_indices:
                 cache_key = self._cache_key(payloads[i])
@@ -174,7 +176,7 @@ class ParallelEvaluator:
                     pending.append(i)
         self._evaluate_into(results, payloads, pending)
 
-        if self.cache is not None and self.fn is not None:
+        if self.cache is not None:
             for i in pending:
                 cache_key = self._cache_key(payloads[i])
                 if cache_key is not None and not isinstance(
@@ -210,8 +212,9 @@ class ParallelEvaluator:
         return report
 
     def _cache_key(self, payload: Any) -> Optional[str]:
+        key_fn = self.fn if self.fn is not None else self.batch_fn
         try:
-            return self.cache.key_for(self.fn, payload)
+            return self.cache.key_for(key_fn, payload)
         except ValidationError:
             return None
 

@@ -22,22 +22,47 @@ public health officials throughout an epidemic." (§2.1)
   through the renewal equation into incidence/hospitalization forecasts.
 """
 
-from repro.rt.estimate import RtEstimate
+from repro.rt.estimate import RtEstimate, interleave_chain_draws
 from repro.rt.cori import estimate_rt_cori
-from repro.rt.mcmc import AdaptiveMetropolis, MCMCResult, effective_sample_size, gelman_rubin
-from repro.rt.goldstein import GoldsteinConfig, estimate_rt_goldstein
+from repro.rt.kernels import (
+    CausalConvolution,
+    KnotInterpolator,
+    infection_pressure_batch,
+    renewal_forward_batch,
+)
+from repro.rt.mcmc import (
+    AdaptiveMetropolis,
+    MCMCResult,
+    VectorizedAdaptiveMetropolis,
+    VectorizedMCMCResult,
+    effective_sample_size,
+    gelman_rubin,
+)
+from repro.rt.goldstein import (
+    GoldsteinConfig,
+    estimate_rt_goldstein,
+    estimate_rt_goldstein_batch,
+)
 from repro.rt.ensemble import population_weighted_ensemble
 from repro.rt.forecast import IncidenceForecast, forecast_hospitalizations, forecast_incidence
 
 __all__ = [
     "RtEstimate",
+    "interleave_chain_draws",
     "estimate_rt_cori",
+    "CausalConvolution",
+    "KnotInterpolator",
+    "infection_pressure_batch",
+    "renewal_forward_batch",
     "AdaptiveMetropolis",
     "MCMCResult",
+    "VectorizedAdaptiveMetropolis",
+    "VectorizedMCMCResult",
     "effective_sample_size",
     "gelman_rubin",
     "GoldsteinConfig",
     "estimate_rt_goldstein",
+    "estimate_rt_goldstein_batch",
     "population_weighted_ensemble",
     "IncidenceForecast",
     "forecast_incidence",

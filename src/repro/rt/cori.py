@@ -21,18 +21,18 @@ from scipy import stats
 from repro.common.errors import ValidationError
 from repro.common.validation import check_array, check_int, check_positive
 from repro.rt.estimate import RtEstimate
+from repro.rt.kernels import infection_pressure_batch
 
 
 def infection_pressure(incidence: np.ndarray, generation_interval: np.ndarray) -> np.ndarray:
-    """Daily infection pressure Λ_t = Σ_u w_u I_{t-u} (Λ_0 = 0)."""
+    """Daily infection pressure Λ_t = Σ_u w_u I_{t-u} (Λ_0 = 0).
+
+    Front-end of the shared batched convolution kernel
+    (:func:`repro.rt.kernels.infection_pressure_batch`): the whole series is
+    one FFT round trip instead of an O(T · L) Python loop.
+    """
     incidence = check_array("incidence", incidence, ndim=1, finite=True)
-    w = check_array("generation_interval", generation_interval, ndim=1, finite=True)
-    pressure = np.zeros_like(incidence)
-    max_lag = w.size
-    for t in range(1, incidence.size):
-        lags = min(t, max_lag)
-        pressure[t] = incidence[t - lags : t] @ w[:lags][::-1]
-    return pressure
+    return infection_pressure_batch(incidence, generation_interval)
 
 
 def estimate_rt_cori(

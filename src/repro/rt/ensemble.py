@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.rt.estimate import RtEstimate
+from repro.rt.kernels import KnotInterpolator
 
 
 def population_weighted_ensemble(
@@ -77,13 +78,13 @@ def population_weighted_ensemble(
                 "re-run with sample retention enabled"
             )
         samples = estimate.samples
-        # Interpolate each retained draw onto the common grid, recycling
-        # draws if a source kept fewer than n_samples.
+        # Interpolate every retained draw onto the common grid in one batched
+        # gather (recycling draws if a source kept fewer than n_samples);
+        # the per-row arithmetic is independent of the batch, so pooling
+        # stays bitwise deterministic.
         idx = np.arange(n_samples) % samples.shape[0]
-        for row, source_row in enumerate(idx):
-            pooled[row] += weight * np.interp(
-                grid, estimate.times, samples[source_row]
-            )
+        interp = KnotInterpolator(estimate.times, grid)
+        pooled += weight * interp.apply(samples[idx])
 
     info: Dict[str, object] = {
         "method": "population-weighted-ensemble",

@@ -21,6 +21,24 @@ from repro.common.timeseries import TimeSeries
 from repro.common.validation import check_array
 
 
+def interleave_chain_draws(chains: np.ndarray) -> np.ndarray:
+    """Pool a ``(n_chains, n_draws, dim)`` block in time-major order.
+
+    Draw ``i`` of every chain precedes draw ``i + 1`` of any chain, so a
+    strided thinning of the pooled array (``pooled[::step]``) samples all
+    chains evenly — chain-major concatenation would let a coarse stride land
+    almost entirely inside one chain.  The order is a pure function of the
+    block shape, so pooling is deterministic and independent of how the
+    chains were executed (scalar loop, vectorized block, or a cross-plant
+    stack).
+    """
+    chains = np.asarray(chains, dtype=float)
+    if chains.ndim != 3:
+        raise ValidationError("chains must have shape (n_chains, n_draws, dim)")
+    n_chains, n_draws, dim = chains.shape
+    return chains.transpose(1, 0, 2).reshape(n_draws * n_chains, dim)
+
+
 @dataclass(frozen=True)
 class RtEstimate:
     """Posterior summary of an R(t) trajectory.

@@ -21,27 +21,54 @@ Model
   ``log y_t ~ N(log(ν c_t), σ²)``, with ν and σ estimated.
 
 Parameters (K knots + log ν + log σ) are sampled with
-:class:`~repro.rt.mcmc.AdaptiveMetropolis`; the posterior over daily R(t)
-curves is summarized into an :class:`~repro.rt.estimate.RtEstimate`.
+:class:`~repro.rt.mcmc.AdaptiveMetropolis` (one chain) or
+:class:`~repro.rt.mcmc.VectorizedAdaptiveMetropolis` (a chain block); the
+posterior over daily R(t) curves is summarized into an
+:class:`~repro.rt.estimate.RtEstimate`.
 
 The estimator deliberately costs orders of magnitude more than the Cori
 method — each MCMC iteration runs the full forward model — which is exactly
 why the paper executes it through a batch-scheduled Globus Compute endpoint.
+
+Batched evaluation
+------------------
+The whole forward model is built on the row-identical kernels of
+:mod:`repro.rt.kernels`: knot→daily interpolation is a precomputed
+two-nonzero-per-row sparse operator (:class:`~repro.rt.kernels.KnotInterpolator`),
+the renewal recurrence vectorizes across parameter vectors
+(:func:`~repro.rt.kernels.renewal_forward_batch`), and the shedding-load
+convolution is one FFT round trip per batch
+(:class:`~repro.rt.kernels.CausalConvolution`).  The scalar
+:meth:`_ForwardModel.log_posterior` is literally the batch of one, so a
+chain evaluated inside any batch — more chains, or other plants' chains
+stacked alongside via :class:`_StackedPosterior` — is bitwise identical to
+the same chain evaluated alone.  :func:`estimate_rt_goldstein_batch` exploits
+that to run every plant's chains in **one** sampler invocation, dispatched
+through :class:`repro.perf.ParallelEvaluator` with optional content-addressed
+memoization.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.timeseries import TimeSeries
 from repro.common.validation import check_int, check_positive
 from repro.models.seir import discretized_gamma
-from repro.rt.estimate import RtEstimate
-from repro.rt.mcmc import AdaptiveMetropolis
+from repro.perf.executor import ParallelEvaluator
+from repro.perf.memo import MemoCache
+from repro.rt.estimate import RtEstimate, interleave_chain_draws
+from repro.rt.kernels import CausalConvolution, KnotInterpolator, renewal_forward_batch
+from repro.rt.mcmc import (
+    AdaptiveMetropolis,
+    VectorizedAdaptiveMetropolis,
+    gelman_rubin,
+)
 
 
 @dataclass(frozen=True)
@@ -49,7 +76,12 @@ class GoldsteinConfig:
     """Tunables of the Goldstein-method estimator.
 
     The defaults reproduce the workflow figures; benchmarks shrink
-    ``n_iterations`` for speed.
+    ``n_iterations`` for speed.  ``r_hat_threshold``, when set, turns the
+    split-R̂ convergence diagnostic into a hard gate: a multi-chain run whose
+    worst split-R̂ exceeds the threshold raises
+    :class:`~repro.common.errors.ConvergenceError` instead of returning a
+    silently unconverged estimate (the resilience layer reports it like any
+    other analysis failure).
     """
 
     knot_spacing: int = 7
@@ -68,6 +100,7 @@ class GoldsteinConfig:
     seed_days: int = 7
     n_iterations: int = 4000
     warmup_fraction: float = 0.4
+    r_hat_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_int("knot_spacing", self.knot_spacing, minimum=1)
@@ -76,10 +109,17 @@ class GoldsteinConfig:
         check_int("n_iterations", self.n_iterations, minimum=100)
         if not 0.0 < self.warmup_fraction < 1.0:
             raise ValidationError("warmup_fraction must be in (0, 1)")
+        if self.r_hat_threshold is not None and self.r_hat_threshold <= 1.0:
+            raise ValidationError("r_hat_threshold must exceed 1.0")
 
 
 class _ForwardModel:
-    """Precomputed pieces of the likelihood for one concentration series."""
+    """Precomputed pieces of the likelihood for one concentration series.
+
+    Every numeric path routes through the batched kernels; the scalar
+    methods are batch-of-one views, so batched and standalone evaluations
+    of the same parameter vector are bitwise identical by construction.
+    """
 
     def __init__(self, observations: TimeSeries, config: GoldsteinConfig) -> None:
         clean = observations.dropna()
@@ -108,59 +148,115 @@ class _ForwardModel:
             self.knot_days = np.append(self.knot_days, self.horizon - 1)
         self.n_knots = self.knot_days.size
         self.day_grid = np.arange(self.horizon, dtype=float)
+        self._interp = KnotInterpolator(self.knot_days.astype(float), self.day_grid)
+        self._shed_conv = CausalConvolution(self.shed, out_len=self.horizon)
+
+    @property
+    def dim(self) -> int:
+        """Parameter dimension: K knots + log ν + log σ."""
+        return self.n_knots + 2
+
+    def structure_signature(self) -> Tuple:
+        """Key under which forward passes are interchangeable across series.
+
+        Two models with equal signatures (and equal configs) share horizon,
+        knot grid, and kernels, so their expensive forward computations can
+        be evaluated through one shared kernel invocation; only the
+        observation gather and likelihood differ.
+        """
+        return (self.horizon, tuple(int(k) for k in self.knot_days))
 
     # --------------------------------------------------------------- forward
     def daily_log_r(self, z: np.ndarray) -> np.ndarray:
-        """Interpolate knot values to daily log R."""
-        return np.interp(self.day_grid, self.knot_days.astype(float), z)
+        """Interpolate knot values to daily log R; ``(K,)`` or ``(B, K)``."""
+        return self._interp.apply(z)
 
     def base_incidence(self, rt: np.ndarray) -> np.ndarray:
         """Renewal incidence with unit seeding (overall scale factored out)."""
-        cfg = self.config
-        incidence = np.zeros(self.horizon)
-        upto = min(cfg.seed_days, self.horizon)
-        incidence[:upto] = 1.0
-        max_lag = self.gen.size
-        gen_rev = self.gen_rev
-        for t in range(upto, self.horizon):
-            lags = min(t, max_lag)
-            pressure = incidence[t - lags : t] @ gen_rev[max_lag - lags :]
-            incidence[t] = rt[t] * pressure
-        return incidence
+        return renewal_forward_batch(
+            rt, self.gen, seed_days=self.config.seed_days, seed_incidence=1.0
+        )
+
+    def log_load_batch(self, z: np.ndarray) -> np.ndarray:
+        """Log shedding load over the full horizon for a ``(B, K)`` knot block."""
+        rt = np.exp(self._interp.apply(z))
+        incidence = renewal_forward_batch(
+            rt, self.gen, seed_days=self.config.seed_days, seed_incidence=1.0
+        )
+        load = self._shed_conv.apply(incidence)
+        with np.errstate(divide="ignore"):
+            return np.log(np.maximum(load, 1e-300))
 
     def expected_log_concentration(self, z: np.ndarray) -> np.ndarray:
         """log c_t at the observation days, up to the additive log ν."""
-        rt = np.exp(self.daily_log_r(z))
-        incidence = self.base_incidence(rt)
-        load = np.convolve(incidence, self.shed)[: self.horizon]
-        with np.errstate(divide="ignore"):
-            log_load = np.log(np.maximum(load, 1e-300))
-        return log_load[self.obs_days]
+        z = np.asarray(z, dtype=float)
+        if z.ndim == 1:
+            return self.log_load_batch(z[None, :])[0][self.obs_days]
+        return self.log_load_batch(z)[:, self.obs_days]
 
     # ------------------------------------------------------------- posterior
-    def log_posterior(self, theta: np.ndarray) -> float:
+    def _bounds_mask(self, thetas: np.ndarray) -> np.ndarray:
+        """Rows inside the hard support (finite, |z|≤4, |log ν|≤40, σ bounds)."""
+        z = thetas[:, : self.n_knots]
+        log_nu = thetas[:, self.n_knots]
+        log_sigma = thetas[:, self.n_knots + 1]
+        return (
+            np.all(np.isfinite(thetas), axis=1)
+            & (np.abs(log_nu) <= 40)
+            & (log_sigma > -6)
+            & (log_sigma < 3)
+            & np.all(np.abs(z) <= 4, axis=1)
+        )
+
+    def _prior_batch(
+        self, z: np.ndarray, log_nu: np.ndarray, log_sigma: np.ndarray
+    ) -> np.ndarray:
         cfg = self.config
-        z = theta[: self.n_knots]
-        log_nu = theta[self.n_knots]
-        log_sigma = theta[self.n_knots + 1]
-        if not np.all(np.isfinite(theta)):
-            return -np.inf
-        if abs(log_nu) > 40 or not -6 < log_sigma < 3 or np.any(np.abs(z) > 4):
-            return -np.inf
+        lp = -0.5 * ((z[:, 0] - cfg.initial_log_r_mean) / cfg.initial_log_r_sd) ** 2
+        increments = np.diff(z, axis=1)
+        lp = lp + -0.5 * np.einsum("bk,bk->b", increments, increments) / cfg.random_walk_sd**2
+        lp = lp + -0.5 * ((log_sigma - cfg.log_sigma_prior_mean) / cfg.log_sigma_prior_sd) ** 2
+        lp = lp + -0.5 * (log_nu / 10.0) ** 2  # diffuse scale prior
+        return lp
+
+    def _likelihood_batch(
+        self, log_load: np.ndarray, log_nu: np.ndarray, log_sigma: np.ndarray
+    ) -> np.ndarray:
         sigma = np.exp(log_sigma)
+        mu = log_load[:, self.obs_days] + log_nu[:, None]
+        resid = self.log_obs[None, :] - mu
+        return -self.n_obs * log_sigma - 0.5 * np.einsum("bn,bn->b", resid, resid) / sigma**2
 
-        # Priors.
-        lp = -0.5 * ((z[0] - cfg.initial_log_r_mean) / cfg.initial_log_r_sd) ** 2
-        increments = np.diff(z)
-        lp += -0.5 * float(increments @ increments) / cfg.random_walk_sd**2
-        lp += -0.5 * ((log_sigma - cfg.log_sigma_prior_mean) / cfg.log_sigma_prior_sd) ** 2
-        lp += -0.5 * (log_nu / 10.0) ** 2  # diffuse scale prior
+    def log_posterior_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Log posterior of B parameter vectors in one forward pass.
 
-        # Likelihood.
-        mu = self.expected_log_concentration(z) + log_nu
-        resid = self.log_obs - mu
-        lp += -self.n_obs * log_sigma - 0.5 * float(resid @ resid) / sigma**2
-        return float(lp)
+        Rows outside the hard support are ``-inf`` and skipped (the valid
+        subset is compressed before the expensive forward model runs, which
+        is safe because every kernel's per-row result is independent of the
+        batch composition).
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2 or thetas.shape[1] != self.dim:
+            raise ValidationError(
+                f"log_posterior_batch expects (B, {self.dim}) parameters"
+            )
+        out = np.full(thetas.shape[0], -np.inf)
+        valid = self._bounds_mask(thetas)
+        idx = np.flatnonzero(valid)
+        if idx.size == 0:
+            return out
+        z = thetas[idx, : self.n_knots]
+        log_nu = thetas[idx, self.n_knots]
+        log_sigma = thetas[idx, self.n_knots + 1]
+        lp = self._prior_batch(z, log_nu, log_sigma)
+        log_load = self.log_load_batch(z)
+        lp = lp + self._likelihood_batch(log_load, log_nu, log_sigma)
+        out[idx] = lp
+        return out
+
+    def log_posterior(self, theta: np.ndarray) -> float:
+        """Scalar log posterior — exactly the batch of one."""
+        return float(self.log_posterior_batch(np.asarray(theta, dtype=float)[None, :])[0])
 
     def initial_point(self) -> np.ndarray:
         """A reasonable starting point: flat R = 1, ν matched to the data."""
@@ -170,12 +266,137 @@ class _ForwardModel:
         return np.concatenate([z0, [log_nu, self.config.log_sigma_prior_mean]])
 
 
+class _StackedPosterior:
+    """Row-blocked posterior over several plants' chain blocks.
+
+    Row layout: plant ``p``'s chains occupy rows ``[p·C, (p+1)·C)``.  All
+    models must share a structure signature and config, so the expensive
+    forward pass (interpolation → renewal recurrence → shedding FFT) runs
+    **once** for the whole stack; only each plant's observation gather and
+    likelihood run per plant.  Because every kernel is row-identical, each
+    row's value is bitwise equal to the same row evaluated through its own
+    plant's :meth:`_ForwardModel.log_posterior_batch` — stacking plants is an
+    execution strategy, not a model change.
+    """
+
+    def __init__(self, models: Sequence[_ForwardModel], n_chains: int) -> None:
+        if not models:
+            raise ValidationError("need at least one forward model")
+        ref = models[0]
+        for model in models[1:]:
+            if model.structure_signature() != ref.structure_signature():
+                raise ValidationError(
+                    "stacked models must share a structure signature; "
+                    "group by _ForwardModel.structure_signature() first"
+                )
+            if model.config != ref.config:
+                raise ValidationError("stacked models must share a config")
+        self._models = list(models)
+        self._n_chains = check_int("n_chains", n_chains, minimum=1)
+        self.dim = ref.dim
+        self.n_rows = len(models) * n_chains
+
+    def __call__(self, thetas: np.ndarray) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.shape != (self.n_rows, self.dim):
+            raise ValidationError(
+                f"expected a ({self.n_rows}, {self.dim}) block, got {thetas.shape}"
+            )
+        ref = self._models[0]
+        out = np.full(self.n_rows, -np.inf)
+        valid = ref._bounds_mask(thetas)
+        idx = np.flatnonzero(valid)
+        if idx.size == 0:
+            return out
+        z = thetas[idx, : ref.n_knots]
+        log_nu = thetas[idx, ref.n_knots]
+        log_sigma = thetas[idx, ref.n_knots + 1]
+        lp = ref._prior_batch(z, log_nu, log_sigma)  # config-shared priors
+        log_load = ref.log_load_batch(z)  # ONE forward pass for every plant
+        plant_of_row = idx // self._n_chains
+        for p, model in enumerate(self._models):
+            sel = np.flatnonzero(plant_of_row == p)
+            if sel.size:
+                lp[sel] = lp[sel] + model._likelihood_batch(
+                    log_load[sel], log_nu[sel], log_sigma[sel]
+                )
+        out[idx] = lp
+        return out
+
+
+def _chain_inputs(
+    model: _ForwardModel, config: GoldsteinConfig, seed: int
+) -> Tuple[np.ndarray, List[np.random.Generator]]:
+    """Starting points and per-chain RNG streams spawned from the root seed.
+
+    Chain ``k > 0`` starts at the model's initial point jittered by one
+    ``standard_normal`` draw from its own stream — consumed *before* the
+    sampler touches the stream, exactly as the per-chain scalar loop does,
+    so the stream state entering the sampler is identical either way.
+    """
+    seq = np.random.SeedSequence(seed)
+    chain_seeds = seq.spawn(config.n_chains)
+    start = model.initial_point()
+    rngs = [np.random.Generator(np.random.PCG64(s)) for s in chain_seeds]
+    x0 = np.empty((config.n_chains, start.size))
+    x0[0] = start
+    for k in range(1, config.n_chains):
+        x0[k] = start + 0.05 * rngs[k].standard_normal(start.size)
+    return x0, rngs
+
+
+def _assemble_estimate(
+    model: _ForwardModel,
+    stacked: np.ndarray,
+    accept_rates: np.ndarray,
+    meta: Optional[Mapping],
+) -> RtEstimate:
+    """Chains → RtEstimate: diagnostics, deterministic pooling, curves.
+
+    Shared by the per-series and cross-plant-batched paths so both produce
+    identical artifacts from identical chains (the meta records *what* was
+    estimated, never which execution strategy ran it).
+    """
+    cfg = model.config
+    info = {
+        "method": "goldstein",
+        "n_iterations": cfg.n_iterations,
+        "n_chains": cfg.n_chains,
+        "acceptance_rate": round(float(np.mean(accept_rates)), 4),
+        "n_knots": model.n_knots,
+    }
+    if cfg.n_chains > 1 or cfg.r_hat_threshold is not None:
+        r_hat = gelman_rubin(stacked)
+        max_r_hat = float(np.max(r_hat))
+        if cfg.n_chains > 1:
+            info["max_r_hat"] = round(max_r_hat, 4)
+        if cfg.r_hat_threshold is not None and max_r_hat > cfg.r_hat_threshold:
+            raise ConvergenceError(
+                f"split-R̂ {max_r_hat:.4f} exceeds threshold "
+                f"{cfg.r_hat_threshold:g}; chains have not converged "
+                f"(n_chains={cfg.n_chains}, n_iterations={cfg.n_iterations})"
+            )
+
+    # Pool chains in deterministic time-major interleave order, then thin to
+    # a manageable number of posterior curves.  Interleaving (rather than
+    # chain-major concatenation) makes the thinned subset sample every chain
+    # evenly, so multi-chain requests actually contribute all chains' draws.
+    pooled = interleave_chain_draws(stacked)
+    n_curves = min(400, pooled.shape[0])
+    step = max(1, pooled.shape[0] // n_curves)
+    z_draws = pooled[::step, : model.n_knots]
+    curves = np.exp(model.daily_log_r(z_draws))  # batched interpolation
+    info.update(meta or {})
+    return RtEstimate.from_samples(model.day_grid, curves, meta=info)
+
+
 def estimate_rt_goldstein(
     observations: TimeSeries,
     *,
     config: Optional[GoldsteinConfig] = None,
     seed: int = 0,
     meta: Optional[dict] = None,
+    vectorized: Optional[bool] = None,
 ) -> RtEstimate:
     """Estimate R(t) from a wastewater concentration series.
 
@@ -188,6 +409,11 @@ def estimate_rt_goldstein(
         Estimator settings; defaults to :class:`GoldsteinConfig`.
     seed:
         MCMC random seed (estimates are deterministic given data + seed).
+    vectorized:
+        Force the chain-block sampler on (``True``) or off (``False``).
+        Default (``None``) vectorizes whenever ``config.n_chains > 1``.
+        Either way the chains — and hence the estimate — are bitwise
+        identical; the flag only selects the execution strategy.
 
     Returns
     -------
@@ -197,46 +423,166 @@ def estimate_rt_goldstein(
     """
     cfg = config if config is not None else GoldsteinConfig()
     model = _ForwardModel(observations, cfg)
-    sampler = AdaptiveMetropolis(model.log_posterior, dim=model.n_knots + 2)
+    use_vectorized = vectorized if vectorized is not None else cfg.n_chains > 1
+    x0, rngs = _chain_inputs(model, cfg, seed)
 
-    # Run n_chains independent chains from jittered starts (for the split-R̂
-    # convergence diagnostic); chains derive from `seed` deterministically.
-    seq = np.random.SeedSequence(seed)
-    chain_seeds = seq.spawn(cfg.n_chains)
-    start = model.initial_point()
-    chains = []
-    accept_rates = []
-    for k, chain_seed in enumerate(chain_seeds):
-        rng = np.random.Generator(np.random.PCG64(chain_seed))
-        x0 = start + (0.05 * rng.standard_normal(start.size) if k > 0 else 0.0)
-        result = sampler.run(
-            x0, cfg.n_iterations, rng, warmup_fraction=cfg.warmup_fraction
+    if use_vectorized:
+        sampler = VectorizedAdaptiveMetropolis(model.log_posterior_batch, dim=model.dim)
+        block = sampler.run(
+            x0, cfg.n_iterations, rngs, warmup_fraction=cfg.warmup_fraction
         )
-        chains.append(result.chain)
-        accept_rates.append(result.acceptance_rate)
-    min_len = min(chain.shape[0] for chain in chains)
-    stacked = np.stack([chain[:min_len] for chain in chains])
+        stacked = block.chains
+        accept_rates = block.acceptance_rates
+    else:
+        sampler = AdaptiveMetropolis(model.log_posterior, dim=model.dim)
+        chains = []
+        rates = []
+        for k in range(cfg.n_chains):
+            result = sampler.run(
+                x0[k], cfg.n_iterations, rngs[k], warmup_fraction=cfg.warmup_fraction
+            )
+            chains.append(result.chain)
+            rates.append(result.acceptance_rate)
+        stacked = np.stack(chains)
+        accept_rates = np.asarray(rates)
 
-    info = {
-        "method": "goldstein",
-        "n_iterations": cfg.n_iterations,
-        "n_chains": cfg.n_chains,
-        "acceptance_rate": round(float(np.mean(accept_rates)), 4),
-        "n_knots": model.n_knots,
-    }
-    if cfg.n_chains > 1:
-        from repro.rt.mcmc import gelman_rubin
+    estimate = _assemble_estimate(model, stacked, accept_rates, meta)
+    return estimate
 
-        r_hat = gelman_rubin(stacked)
-        info["max_r_hat"] = round(float(np.max(r_hat)), 4)
 
-    # Thin the pooled chains to a manageable number of posterior curves.
-    pooled = stacked.reshape(-1, start.size)
-    n_curves = min(400, pooled.shape[0])
-    step = max(1, pooled.shape[0] // n_curves)
-    z_draws = pooled[::step, : model.n_knots]
-    curves = np.exp(
-        np.stack([model.daily_log_r(z) for z in z_draws])
-    )  # (n_curves, horizon)
-    info.update(meta or {})
-    return RtEstimate.from_samples(model.day_grid, curves, meta=info)
+# --------------------------------------------------------------- cross-plant
+def _payload_estimate(payload: Mapping) -> RtEstimate:
+    """Single-series evaluator for the perf machinery (the reference path)."""
+    series = TimeSeries.from_csv(payload["series_csv"], name=str(payload["name"]))
+    cfg = GoldsteinConfig(**payload["config"])
+    return estimate_rt_goldstein(
+        series, config=cfg, seed=payload["seed"], meta=payload["meta"]
+    )
+
+
+def _payload_estimate_batch(payloads: Sequence[Mapping]) -> List[RtEstimate]:
+    """Vectorized evaluator: every series' chains in stacked sampler runs.
+
+    Series are grouped by forward-model structure signature; each group runs
+    as **one** :class:`~repro.rt.mcmc.VectorizedAdaptiveMetropolis`
+    invocation over a ``(n_series · n_chains, dim)`` block through a
+    :class:`_StackedPosterior` (shared renewal/convolution kernels).  Because
+    every row is bitwise identical to the standalone evaluation, this is
+    observably equivalent to ``[_payload_estimate(p) for p in payloads]`` —
+    the contract :class:`~repro.perf.executor.ParallelEvaluator` requires of
+    a ``batch_fn`` — just much faster.
+    """
+    entries = []
+    for payload in payloads:
+        series = TimeSeries.from_csv(payload["series_csv"], name=str(payload["name"]))
+        cfg = GoldsteinConfig(**payload["config"])
+        entries.append((payload, cfg, _ForwardModel(series, cfg)))
+
+    # Group by (config, structure) — only structurally identical forward
+    # models can share kernels inside one stacked block.
+    groups: Dict[Tuple, List[int]] = {}
+    for i, (payload, cfg, model) in enumerate(entries):
+        key = (tuple(sorted(payload["config"].items())), model.structure_signature())
+        groups.setdefault(key, []).append(i)
+
+    results: List[Optional[RtEstimate]] = [None] * len(payloads)
+    for indices in groups.values():
+        group = [entries[i] for i in indices]
+        cfg = group[0][1]
+        models = [model for _, _, model in group]
+        n_chains = cfg.n_chains
+        dim = models[0].dim
+        x0 = np.empty((len(group) * n_chains, dim))
+        rngs: List[np.random.Generator] = []
+        for p, (payload, _, model) in enumerate(group):
+            block_x0, block_rngs = _chain_inputs(model, cfg, payload["seed"])
+            x0[p * n_chains : (p + 1) * n_chains] = block_x0
+            rngs.extend(block_rngs)
+        sampler = VectorizedAdaptiveMetropolis(
+            _StackedPosterior(models, n_chains), dim=dim
+        )
+        block = sampler.run(
+            x0, cfg.n_iterations, rngs, warmup_fraction=cfg.warmup_fraction
+        )
+        for p, i in enumerate(indices):
+            payload, _, model = entries[i]
+            rows = slice(p * n_chains, (p + 1) * n_chains)
+            results[i] = _assemble_estimate(
+                model,
+                block.chains[rows],
+                block.acceptance_rates[rows],
+                payload["meta"],
+            )
+    return results  # type: ignore[return-value]
+
+
+def estimate_rt_goldstein_batch(
+    observations: Mapping[str, TimeSeries],
+    *,
+    config: Optional[GoldsteinConfig] = None,
+    seed: int = 0,
+    seeds: Optional[Mapping[str, int]] = None,
+    metas: Optional[Mapping[str, Mapping]] = None,
+    cache: Optional[MemoCache] = None,
+    evaluator: Optional[ParallelEvaluator] = None,
+) -> Dict[str, RtEstimate]:
+    """Estimate R(t) for many series through one stacked sampler invocation.
+
+    The cross-plant hot path of the wastewater workflow: all plants' chains
+    are stacked into a single chain block and advanced together (see
+    :func:`_payload_estimate_batch`), dispatched through
+    :class:`~repro.perf.executor.ParallelEvaluator`'s batch backend.  Each
+    plant's estimate is **bitwise identical** to calling
+    :func:`estimate_rt_goldstein` on that plant alone with the same seed.
+
+    Parameters
+    ----------
+    observations:
+        Mapping plant name → concentration series.
+    seed:
+        Root seed applied to every plant (matching per-plant workflow runs
+        that share one workflow seed); override per plant with ``seeds``.
+    seeds:
+        Optional per-plant seed overrides.
+    metas:
+        Optional per-plant metadata merged into each estimate's meta.
+    cache:
+        Optional :class:`~repro.perf.memo.MemoCache`; plants whose
+        (series, config, seed) payload was estimated before are served
+        without sampling, and only the remaining plants enter the stacked
+        block (row identity makes the partial stack safe).
+    evaluator:
+        Bring-your-own evaluator (must wrap :func:`_payload_estimate` /
+        :func:`_payload_estimate_batch` semantics); defaults to a
+        batch-backend :class:`~repro.perf.executor.ParallelEvaluator`.
+
+    Returns
+    -------
+    dict
+        Plant name → :class:`~repro.rt.estimate.RtEstimate`.
+    """
+    if not observations:
+        raise ValidationError("estimate_rt_goldstein_batch needs at least one series")
+    cfg = config if config is not None else GoldsteinConfig()
+    names = sorted(observations)
+    config_dict = dataclasses.asdict(cfg)
+    payloads = []
+    for name in names:
+        payloads.append(
+            {
+                "name": name,
+                "series_csv": observations[name].to_csv(),
+                "config": config_dict,
+                "seed": int(seeds[name]) if seeds is not None else int(seed),
+                "meta": dict(metas[name]) if metas is not None and name in metas else {},
+            }
+        )
+    if evaluator is None:
+        evaluator = ParallelEvaluator(
+            fn=_payload_estimate,
+            batch_fn=_payload_estimate_batch,
+            backend="batch",
+            cache=cache,
+        )
+    results = evaluator.map(payloads, raise_on_error=True)
+    return dict(zip(names, results))

@@ -1,0 +1,193 @@
+"""Batched numeric kernels shared by the R(t) estimators.
+
+The vectorized R(t) hot path (PR 3) stacks many MCMC chains — across both
+chains and wastewater plants — into one ``(B, ...)`` block per iteration.
+For the stacking to be *safe* the kernels here obey one contract:
+
+**Row identity.**  Row ``b`` of a batched call is bitwise identical to the
+same computation run alone (batch of one).  Every kernel is therefore built
+from operations whose per-row arithmetic does not depend on the batch
+composition:
+
+- elementwise arithmetic and gathers (trivially row-independent);
+- ``(a * w).sum(axis=-1)`` / ``np.einsum`` reductions over the *last* axis,
+  whose pairwise-summation order is a function of the reduction length only;
+- row-wise FFTs (pocketfft applies the same plan to each row);
+- batched Cholesky (LAPACK ``dpotrf`` per slice).
+
+BLAS matrix products (``A @ x``) and ``np.interp`` are deliberately avoided:
+their reduction order (and, for ``interp``, the association of the linear
+blend) differs between the batched and single-vector call, breaking bitwise
+identity between a chain run in a batch and the same chain run alone.  The
+bitwise tests in ``tests/rt/test_vectorized_mcmc.py`` and
+``tests/perf/test_bitwise_identity.py`` hold every kernel to the contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_array, check_int
+
+__all__ = [
+    "KnotInterpolator",
+    "CausalConvolution",
+    "renewal_forward_batch",
+    "infection_pressure_batch",
+]
+
+
+def _as_batch(x: np.ndarray) -> tuple:
+    """View ``x`` as a 2-D batch; return (batch, was_1d)."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        return x[None, :], True
+    if x.ndim == 2:
+        return x, False
+    raise ValidationError(f"expected a 1-D or 2-D array, got ndim={x.ndim}")
+
+
+class KnotInterpolator:
+    """Knot → daily linear interpolation as a precomputed sparse operator.
+
+    The interpolation matrix has at most two non-zeros per row (the two
+    bracketing knots), so the "sparse matrix multiply" is materialized as a
+    gather plus a fused linear blend::
+
+        daily[..., d] = z[..., lo[d]] + frac[d] * (z[..., hi[d]] - z[..., lo[d]])
+
+    which is elementwise per output entry and hence row-identical for any
+    batch shape.  Grid points are clamped to the knot span (no
+    extrapolation), matching ``np.interp``'s boundary behaviour.
+    """
+
+    def __init__(self, knot_positions: np.ndarray, grid: np.ndarray) -> None:
+        knots = check_array("knot_positions", np.asarray(knot_positions, dtype=float), ndim=1, finite=True)
+        grid = check_array("grid", np.asarray(grid, dtype=float), ndim=1, finite=True)
+        if knots.size < 2:
+            raise ValidationError("need at least two knots to interpolate")
+        if np.any(np.diff(knots) <= 0):
+            raise ValidationError("knot positions must be strictly increasing")
+        self.n_knots = int(knots.size)
+        self.n_grid = int(grid.size)
+        clamped = np.clip(grid, knots[0], knots[-1])
+        lo = np.clip(np.searchsorted(knots, clamped, side="right") - 1, 0, knots.size - 2)
+        self._lo = lo
+        self._hi = lo + 1
+        self._frac = (clamped - knots[lo]) / (knots[lo + 1] - knots[lo])
+
+    def apply(self, z: np.ndarray) -> np.ndarray:
+        """Interpolate knot values: ``(K,) -> (G,)`` or ``(B, K) -> (B, G)``."""
+        batch, was_1d = _as_batch(z)
+        if batch.shape[-1] != self.n_knots:
+            raise ValidationError(
+                f"expected {self.n_knots} knot values, got {batch.shape[-1]}"
+            )
+        low = batch[:, self._lo]
+        out = low + self._frac[None, :] * (batch[:, self._hi] - low)
+        return out[0] if was_1d else out
+
+
+class CausalConvolution:
+    """FFT convolution with a fixed causal kernel, truncated to ``out_len``.
+
+    ``apply(x)[..., t] == sum_s kernel[s] * x[..., t - s]`` (``np.convolve``
+    semantics, first ``out_len`` entries).  The FFT length is a pure function
+    of ``(out_len, kernel size)`` — never of the batch — so row ``b`` of a
+    batched call is bitwise identical to the same row convolved alone.  The
+    kernel spectrum is computed once at construction; per call the work is
+    one batched ``rfft``/``irfft`` round trip instead of B direct
+    convolutions.
+    """
+
+    def __init__(self, kernel: np.ndarray, out_len: int) -> None:
+        kernel = check_array("kernel", np.asarray(kernel, dtype=float), ndim=1, finite=True)
+        self.out_len = check_int("out_len", out_len, minimum=1)
+        self.kernel = kernel
+        full = self.out_len + kernel.size - 1
+        self._nfft = 1 << int(full - 1).bit_length()
+        self._kernel_rfft = np.fft.rfft(kernel, n=self._nfft)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Convolve: ``(T,) -> (out_len,)`` or ``(B, T) -> (B, out_len)``."""
+        batch, was_1d = _as_batch(x)
+        spectrum = np.fft.rfft(batch, n=self._nfft, axis=-1)
+        out = np.fft.irfft(spectrum * self._kernel_rfft[None, :], n=self._nfft, axis=-1)
+        out = out[:, : self.out_len]
+        return out[0] if was_1d else out
+
+
+def renewal_forward_batch(
+    rt: np.ndarray,
+    generation_interval: np.ndarray,
+    *,
+    seed_days: int = 7,
+    seed_incidence: float = 1.0,
+) -> np.ndarray:
+    """Renewal incidence ``I[:, t] = R[:, t] * (I[:, t-L:t] @ w)`` per row.
+
+    The recurrence is inherently sequential in ``t`` but vectorizes across
+    the batch: one Python-level pass over the horizon advances every chain
+    (and every plant) at once, which is where the vectorized R(t) pipeline
+    earns its speedup — the scalar path pays the interpreter loop once per
+    chain per iteration.
+
+    The inner product is computed as ``(window * w).sum(axis=-1)`` rather
+    than a BLAS matvec so each row's reduction is bitwise identical to the
+    batch-of-one evaluation (numpy's pairwise summation order depends only
+    on the reduction length).
+
+    Parameters
+    ----------
+    rt:
+        Reproduction numbers, shape ``(T,)`` or ``(B, T)``.
+    generation_interval:
+        Pmf over lags ``1..L`` (see :func:`repro.models.seir.discretized_gamma`).
+    seed_days, seed_incidence:
+        The first ``seed_days`` days are pinned at ``seed_incidence``.
+
+    Returns
+    -------
+    ndarray
+        Incidence with the same shape as ``rt``.
+    """
+    batch, was_1d = _as_batch(rt)
+    w = check_array(
+        "generation_interval", np.asarray(generation_interval, dtype=float), ndim=1, finite=True
+    )
+    seed_days = check_int("seed_days", seed_days, minimum=1)
+    n_rows, horizon = batch.shape
+    max_lag = w.size
+    w_rev = w[::-1].copy()
+    incidence = np.zeros((n_rows, horizon))
+    upto = min(seed_days, horizon)
+    incidence[:, :upto] = seed_incidence
+    for t in range(upto, horizon):
+        lags = min(t, max_lag)
+        window = incidence[:, t - lags : t]
+        pressure = (window * w_rev[max_lag - lags :][None, :]).sum(axis=1)
+        incidence[:, t] = batch[:, t] * pressure
+    return incidence[0] if was_1d else incidence
+
+
+def infection_pressure_batch(
+    incidence: np.ndarray, generation_interval: np.ndarray
+) -> np.ndarray:
+    """Daily infection pressure ``Λ_t = Σ_u w_u I_{t-u}`` (``Λ_0 = 0``), batched.
+
+    ``Λ_t`` is the causal convolution of incidence with the generation
+    interval shifted by one day (lags start at 1), so the whole series — and
+    the whole batch — is one FFT round trip instead of an O(T · L) Python
+    loop per series.  Shared by the Cori estimator and diagnostics.
+    """
+    batch, was_1d = _as_batch(incidence)
+    w = check_array(
+        "generation_interval", np.asarray(generation_interval, dtype=float), ndim=1, finite=True
+    )
+    horizon = batch.shape[1]
+    pressure = np.zeros_like(batch)
+    if horizon > 1:
+        conv = CausalConvolution(w, out_len=horizon - 1).apply(batch[:, :-1])
+        pressure[:, 1:] = conv
+    return pressure[0] if was_1d else pressure

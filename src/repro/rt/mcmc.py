@@ -12,7 +12,7 @@ the epidemiological model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,11 @@ from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import check_array, check_int, check_positive
 
 LogPosterior = Callable[[np.ndarray], float]
+
+#: Maps an (n_chains, dim) block of parameter vectors to (n_chains,) log
+#: densities.  Row ``c`` must be bitwise identical to evaluating row ``c``
+#: alone (see :mod:`repro.rt.kernels` for the kernel contract).
+LogPosteriorBatch = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -255,5 +260,231 @@ class AdaptiveMetropolis:
             chain=kept,
             log_posteriors=log_posts[warmup:],
             acceptance_rate=accepted_post_warmup / max(1, n_iterations - warmup),
+            warmup=warmup,
+        )
+
+
+@dataclass
+class VectorizedMCMCResult:
+    """Output of one vectorized multi-chain MCMC run.
+
+    ``chains`` excludes warmup iterations.  Chain ``c`` is bitwise identical
+    to the scalar :class:`AdaptiveMetropolis` run with the same starting
+    point and RNG — the block is just evaluated together.
+    """
+
+    chains: np.ndarray  # (n_chains, n_kept, dim)
+    log_posteriors: np.ndarray  # (n_chains, n_kept)
+    acceptance_rates: np.ndarray  # (n_chains,)
+    warmup: int
+
+    @property
+    def n_chains(self) -> int:
+        """Number of chains in the block."""
+        return self.chains.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Retained draws per chain."""
+        return self.chains.shape[1]
+
+    def result_for(self, chain: int) -> MCMCResult:
+        """The scalar-result view of one chain of the block."""
+        return MCMCResult(
+            chain=self.chains[chain],
+            log_posteriors=self.log_posteriors[chain],
+            acceptance_rate=float(self.acceptance_rates[chain]),
+            warmup=self.warmup,
+        )
+
+    def split_r_hat(self) -> np.ndarray:
+        """Rank-one split-R̂ per dimension over the chain block."""
+        return gelman_rubin(self.chains)
+
+    def max_split_r_hat(self) -> float:
+        """Worst split-R̂ across dimensions (< 1.05 signals convergence)."""
+        return float(np.max(self.split_r_hat()))
+
+    def pooled_interleaved(self) -> np.ndarray:
+        """Post-warmup draws pooled in deterministic interleave order.
+
+        Draw ``i`` of every chain precedes draw ``i + 1`` of any chain
+        (time-major round robin), so thinning the pooled array samples all
+        chains evenly regardless of the thinning step — the fix for the
+        chain-major concatenation that let a coarse thinning stride land
+        almost entirely inside one chain.
+        """
+        c, n, dim = self.chains.shape
+        return self.chains.transpose(1, 0, 2).reshape(n * c, dim)
+
+
+class VectorizedAdaptiveMetropolis:
+    """Adaptive Metropolis over an ``(n_chains, dim)`` state block.
+
+    One iteration advances every chain at once: proposals for the whole
+    block are evaluated through a single *batched* log-posterior call (the
+    expensive forward model amortizes its Python-level overhead across the
+    block), while per-chain Haario covariance adaptation and Robbins–Monro
+    step scaling run as batched elementwise/einsum updates with a batched
+    Cholesky refresh.
+
+    **Determinism contract.**  Each chain draws from its own
+    ``numpy.random.Generator`` in exactly the scalar sampler's order (one
+    ``standard_normal(dim)``, one ``random()`` per iteration), the per-chain
+    proposal uses the identical ``exp(log_scale) * base * (chol @ z)``
+    expression, and the batched posterior must satisfy the row-identity
+    contract of :mod:`repro.rt.kernels`.  Chain ``c`` of a block is then
+    *bitwise identical* to the scalar :class:`AdaptiveMetropolis` run with
+    the same seed — batching is purely an execution strategy, never a
+    statistical change.  ``tests/rt/test_vectorized_mcmc.py`` enforces this
+    for 1/2/8-chain blocks.
+
+    Parameters
+    ----------
+    log_posterior_batch:
+        Batched log density: ``(n_chains, dim) -> (n_chains,)``; ``-inf``
+        rejects a row outright.
+    dim:
+        Parameter dimension.
+    initial_scale, target_accept:
+        As for :class:`AdaptiveMetropolis`.
+    """
+
+    def __init__(
+        self,
+        log_posterior_batch: LogPosteriorBatch,
+        dim: int,
+        *,
+        initial_scale: float = 1.0,
+        target_accept: float = 0.234,
+    ) -> None:
+        self._log_post_batch = log_posterior_batch
+        self._dim = check_int("dim", dim, minimum=1)
+        check_positive("initial_scale", initial_scale)
+        if not 0.05 <= target_accept <= 0.9:
+            raise ValidationError("target_accept must be in [0.05, 0.9]")
+        self._initial_scale = float(initial_scale)
+        self._target = float(target_accept)
+
+    def run(
+        self,
+        x0: np.ndarray,
+        n_iterations: int,
+        rngs: Sequence[np.random.Generator],
+        *,
+        warmup_fraction: float = 0.3,
+    ) -> VectorizedMCMCResult:
+        """Advance the block from starting points ``x0`` (one row per chain).
+
+        Raises
+        ------
+        ConvergenceError
+            If any chain starts at zero posterior density, or if any chain
+            never accepts a proposal.
+        """
+        x0 = check_array("x0", x0, ndim=2, finite=True)
+        n_chains = x0.shape[0]
+        if x0.shape[1] != self._dim:
+            raise ValidationError(
+                f"x0 must have {self._dim} columns, got {x0.shape[1]}"
+            )
+        if len(rngs) != n_chains:
+            raise ValidationError(
+                f"need one rng per chain: {n_chains} chains, {len(rngs)} rngs"
+            )
+        n_iterations = check_int("n_iterations", n_iterations, minimum=10)
+        if not 0.0 < warmup_fraction < 1.0:
+            raise ValidationError("warmup_fraction must be in (0, 1)")
+        warmup = max(1, int(n_iterations * warmup_fraction))
+        dim = self._dim
+
+        current = x0.copy()
+        current_lp = np.asarray(self._log_post_batch(current), dtype=float)
+        if current_lp.shape != (n_chains,):
+            raise ValidationError(
+                "log_posterior_batch must return one value per chain"
+            )
+        bad = np.flatnonzero(~np.isfinite(current_lp))
+        if bad.size:
+            raise ConvergenceError(
+                f"log posterior is not finite at the starting point of "
+                f"chain(s) {bad.tolist()}"
+            )
+
+        base = 2.38 / np.sqrt(dim)
+        log_scale = np.full(n_chains, np.log(self._initial_scale))
+        chol = np.broadcast_to(np.eye(dim), (n_chains, dim, dim)).copy()
+        jitter = 1e-8 * np.eye(dim)
+
+        chains = np.empty((n_chains, n_iterations, dim))
+        log_posts = np.empty((n_chains, n_iterations))
+        accepted_post_warmup = np.zeros(n_chains, dtype=int)
+        accepted_total = np.zeros(n_chains, dtype=int)
+
+        # Running moments for the per-chain covariance adaptation.
+        mean = current.copy()
+        m2 = np.zeros((n_chains, dim, dim))
+
+        proposals = np.empty((n_chains, dim))
+        accepted = np.empty(n_chains)
+        for i in range(n_iterations):
+            # Per-chain draws and proposal steps: each chain's generator is
+            # consumed in the scalar sampler's exact order, and the matvec
+            # is per-chain so its BLAS call matches the scalar one bitwise.
+            for c in range(n_chains):
+                z = rngs[c].standard_normal(dim)
+                step = np.exp(log_scale[c]) * base * (chol[c] @ z)
+                proposals[c] = current[c] + step
+
+            # One batched posterior call for the whole block — the hot path.
+            proposal_lps = np.asarray(self._log_post_batch(proposals), dtype=float)
+
+            for c in range(n_chains):
+                if np.log(rngs[c].random()) < proposal_lps[c] - current_lp[c]:
+                    current[c] = proposals[c]
+                    current_lp[c] = proposal_lps[c]
+                    accepted_total[c] += 1
+                    if i >= warmup:
+                        accepted_post_warmup[c] += 1
+                    accepted[c] = 1.0
+                else:
+                    accepted[c] = 0.0
+
+            chains[:, i, :] = current
+            log_posts[:, i] = current_lp
+
+            # Batched running-covariance update (outer products via
+            # broadcasting — elementwise, hence bitwise per chain).
+            delta = current - mean
+            mean = mean + delta / (i + 2)
+            m2 = m2 + delta[:, :, None] * (current - mean)[:, None, :]
+
+            if i < warmup:
+                # Robbins–Monro on every chain's global scale at once.
+                log_scale = log_scale + (accepted - self._target) / np.sqrt(i + 1.0)
+                if i >= 19 and (i + 1) % 20 == 0:
+                    sample_cov = m2 / (i + 1)
+                    try:
+                        chol = np.linalg.cholesky(sample_cov + jitter[None, :, :])
+                    except np.linalg.LinAlgError:
+                        # Some chain's sample covariance is not (yet) PD:
+                        # refresh chain-by-chain, keeping that chain's
+                        # previous factor — the scalar sampler's behaviour.
+                        for c in range(n_chains):
+                            try:
+                                chol[c] = np.linalg.cholesky(sample_cov[c] + jitter)
+                            except np.linalg.LinAlgError:
+                                pass
+
+        stuck = np.flatnonzero(accepted_total == 0)
+        if stuck.size:
+            raise ConvergenceError(
+                f"no proposals were ever accepted on chain(s) {stuck.tolist()}; "
+                "check the posterior and scale"
+            )
+        return VectorizedMCMCResult(
+            chains=chains[:, warmup:, :],
+            log_posteriors=log_posts[:, warmup:],
+            acceptance_rates=accepted_post_warmup / max(1, n_iterations - warmup),
             warmup=warmup,
         )

@@ -38,10 +38,15 @@ from repro.common.timeseries import TimeSeries
 from repro.faults.plan import FaultPlan
 from repro.aero import AeroClient, AeroPlatform, CallableSource, TriggerPolicy
 from repro.aero.provenance import flow_graph, summarize, version_graph
-from repro.globus.compute import simulated_cost
+from repro.globus.compute import node_requirement, simulated_cost
 from repro.models.wastewater import SyntheticIWSS
 from repro.perf import MemoCache, memo_salt
-from repro.rt import GoldsteinConfig, RtEstimate, estimate_rt_goldstein
+from repro.rt import (
+    GoldsteinConfig,
+    RtEstimate,
+    estimate_rt_goldstein,
+    estimate_rt_goldstein_batch,
+)
 from repro.rt.ensemble import population_weighted_ensemble
 
 
@@ -108,6 +113,74 @@ def make_rt_analysis_function(plant_name: str, population: int, config: Goldstei
             "fn": "wastewater-rt-analysis",
             "plant": plant_name,
             "population": int(population),
+            "config": dataclasses.asdict(config),
+            "seed": int(seed),
+        },
+    )
+
+
+def make_rt_batch_analysis_function(
+    plants: Mapping[str, int],
+    config: GoldsteinConfig,
+    seed: int,
+    *,
+    n_nodes: int = 1,
+    cache: Optional[MemoCache] = None,
+):
+    """The cross-plant R(t) analysis harness: every plant in one batch job.
+
+    Where :func:`make_rt_analysis_function` submits one single-node job per
+    plant, this harness submits **one** multi-node job whose payload stacks
+    all plants' chains into a single
+    :class:`~repro.rt.mcmc.VectorizedAdaptiveMetropolis` invocation (via
+    :func:`~repro.rt.goldstein.estimate_rt_goldstein_batch`).  Each plant's
+    three artifacts are bitwise identical to the per-plant path — only the
+    job structure and wall time change.
+    """
+    names = sorted(plants)
+    # One stacked job covering every plant: ~n_plants times the per-plant
+    # work, amortized ~5x by the batched kernels (benchmarked in
+    # benchmarks/bench_rt_vectorized.py), never cheaper than one plant alone.
+    per_plant = 0.05 * config.n_iterations / 4000.0
+    cost = max(per_plant, per_plant * len(names) / 5.0)
+
+    @node_requirement(n_nodes)
+    @simulated_cost(cost)
+    def analyze(inputs: Mapping[str, str]) -> Dict[str, str]:
+        observations = {
+            name: TimeSeries.from_csv(
+                inputs[f"clean-{name}"], name=f"{name}-concentration"
+            )
+            for name in names
+        }
+        estimates = estimate_rt_goldstein_batch(
+            observations,
+            config=config,
+            seed=seed,
+            metas={
+                name: {"plant": name, "population": plants[name]} for name in names
+            },
+            cache=cache,
+        )
+        outputs: Dict[str, str] = {}
+        for name in names:
+            estimate = estimates[name]
+            table_rows = ["day,median,lower,upper"]
+            for i in range(estimate.n_days):
+                table_rows.append(
+                    f"{estimate.times[i]:g},{estimate.median[i]:.4f},"
+                    f"{estimate.lower[i]:.4f},{estimate.upper[i]:.4f}"
+                )
+            outputs[f"datatable-{name}"] = estimate.to_json(include_samples=True)
+            outputs[f"table-{name}"] = "\n".join(table_rows) + "\n"
+            outputs[f"plot-{name}"] = estimate.render_text_plot()
+        return outputs
+
+    return memo_salt(
+        analyze,
+        {
+            "fn": "wastewater-rt-batch-analysis",
+            "plants": {name: int(plants[name]) for name in names},
             "config": dataclasses.asdict(config),
             "seed": int(seed),
         },
@@ -241,6 +314,7 @@ def run_wastewater_workflow(
     poll_interval: float = 1.0,
     n_compute_nodes: int = 4,
     include_outlook: bool = False,
+    vectorized_rt: bool = False,
     resilience: Optional[ResilienceConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     memo_cache: Optional[MemoCache] = None,
@@ -261,6 +335,13 @@ def run_wastewater_workflow(
     n_compute_nodes:
         Nodes of the batch cluster serving the expensive analyses (4 lets
         the four plants' analyses run concurrently, as in Figure 1).
+    vectorized_rt:
+        Replace the four per-plant R(t) flows with **one** cross-plant
+        ``rt-batch`` flow that stacks every plant's chains into a single
+        multi-node vectorized sampler job
+        (:func:`make_rt_batch_analysis_function`).  Artifacts are bitwise
+        identical to the per-plant path; only job structure and wall time
+        change.
     resilience:
         Retry/requeue policies for every layer of the stack (chaos runs use
         this together with ``fault_plan``; omitting both reproduces the
@@ -297,6 +378,7 @@ def run_wastewater_workflow(
     weights = iwss.population_weights()
     output_ids: Dict[str, str] = {}
     datatable_ids: Dict[str, str] = {}
+    clean_ids: Dict[str, str] = {}
 
     for plant in iwss.plants:
         feed = CallableSource(
@@ -313,20 +395,55 @@ def run_wastewater_workflow(
             outputs=["clean"],
             interval=poll_interval,
         )
-        analysis_ids = client.register_analysis_flow(
-            f"rt-{plant.name}",
-            inputs={"clean": ingest_ids["clean"]},
-            function=make_rt_analysis_function(
-                plant.name, plant.population, config, seed=seed
+        clean_ids[plant.name] = ingest_ids["clean"]
+        output_ids.update({f"{plant.name}/{k}": v for k, v in ingest_ids.items()})
+        if not vectorized_rt:
+            analysis_ids = client.register_analysis_flow(
+                f"rt-{plant.name}",
+                inputs={"clean": ingest_ids["clean"]},
+                function=make_rt_analysis_function(
+                    plant.name, plant.population, config, seed=seed
+                ),
+                endpoint="bebop-compute",
+                storage="eagle",
+                outputs=["datatable", "table", "plot"],
+            )
+            datatable_ids[plant.name] = analysis_ids["datatable"]
+            output_ids.update(
+                {f"{plant.name}/{k}": v for k, v in analysis_ids.items()}
+            )
+
+    if vectorized_rt:
+        # One cross-plant flow: ANY trigger (held by the platform until every
+        # plant has ingested at least once) re-analyzes all plants' latest
+        # cleaned series in a single stacked multi-node sampler job.
+        populations = {plant.name: plant.population for plant in iwss.plants}
+        batch_ids = client.register_analysis_flow(
+            "rt-batch",
+            inputs={f"clean-{name}": clean_ids[name] for name in sorted(clean_ids)},
+            function=make_rt_batch_analysis_function(
+                populations,
+                config,
+                seed=seed,
+                n_nodes=min(len(populations), n_compute_nodes),
+                cache=memo_cache,
             ),
             endpoint="bebop-compute",
             storage="eagle",
-            outputs=["datatable", "table", "plot"],
+            outputs=[
+                f"{kind}-{name}"
+                for name in sorted(populations)
+                for kind in ("datatable", "table", "plot")
+            ],
         )
-        datatable_ids[plant.name] = analysis_ids["datatable"]
-        output_ids.update(
-            {f"{plant.name}/{k}": v for k, v in {**ingest_ids, **analysis_ids}.items()}
-        )
+        for plant in iwss.plants:
+            datatable_ids[plant.name] = batch_ids[f"datatable-{plant.name}"]
+            output_ids.update(
+                {
+                    f"{plant.name}/{kind}": batch_ids[f"{kind}-{plant.name}"]
+                    for kind in ("datatable", "table", "plot")
+                }
+            )
 
     aggregate_ids = client.register_analysis_flow(
         "aggregate-rt",
@@ -373,9 +490,14 @@ def run_wastewater_workflow(
         iwss=iwss,
         plant_estimates=plant_estimates,
         ensemble=ensemble,
-        analysis_run_counts={
-            plant.name: len(client.runs(f"rt-{plant.name}")) for plant in iwss.plants
-        },
+        analysis_run_counts=(
+            {"rt-batch": len(client.runs("rt-batch"))}
+            if vectorized_rt
+            else {
+                plant.name: len(client.runs(f"rt-{plant.name}"))
+                for plant in iwss.plants
+            }
+        ),
         ingestion_update_counts={
             plant.name: client.get_flow(f"ingest-{plant.name}").update_count
             for plant in iwss.plants

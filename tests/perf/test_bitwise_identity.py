@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.common.retry import RetryPolicy
+from repro.faults import FaultPlan, FaultSpec
 from repro.gsa.music import MusicConfig
 from repro.perf import MemoCache
 from repro.workflows.music_gsa import run_music_vs_pce, run_replicate_gsa
@@ -96,9 +97,22 @@ class TestMusicFigure4:
         assert cache.hit_rate() > 0.0
 
 
+def _estimate_bytes(result):
+    """Every scientific artifact of a wastewater run, as comparable JSON."""
+    out = {
+        name: estimate.to_json(include_samples=True)
+        for name, estimate in result.plant_estimates.items()
+    }
+    out["ensemble"] = result.ensemble.to_json(include_samples=True)
+    return out
+
+
 class TestWastewater:
-    def test_shared_cache_second_run_identical_with_hits(self):
-        base = run_wastewater_workflow(**SMALL_WASTEWATER)
+    @pytest.fixture(scope="class")
+    def base(self):
+        return run_wastewater_workflow(**SMALL_WASTEWATER)
+
+    def test_shared_cache_second_run_identical_with_hits(self, base):
         cache = MemoCache()
         cold = run_wastewater_workflow(**SMALL_WASTEWATER, memo_cache=cache)
         warm = run_wastewater_workflow(**SMALL_WASTEWATER, memo_cache=cache)
@@ -113,3 +127,43 @@ class TestWastewater:
         assert cold.perf_report["memo_hits"] == 0
         assert warm.perf_report["memo_hits"] > 0
         assert cache.hit_rate() > 0.0
+
+    def test_vectorized_rt_identical_in_single_chain_mode(self, base):
+        """The cross-plant batched flow reproduces every artifact bytewise.
+
+        ``goldstein_iterations`` defaults ``n_chains`` to 1, so this is the
+        headline single-chain-mode equivalence: one stacked multi-node
+        sampler job versus four independent per-plant jobs.
+        """
+        vectorized = run_wastewater_workflow(**SMALL_WASTEWATER, vectorized_rt=True)
+        assert _estimate_bytes(vectorized) == _estimate_bytes(base)
+        # The four per-plant flows really did collapse into one batch flow.
+        assert set(vectorized.analysis_run_counts) == {"rt-batch"}
+        assert vectorized.analysis_run_counts["rt-batch"] > 0
+
+    def test_vectorized_rt_identical_under_fault_plan(self, base):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="compute", rate=0.05),
+                FaultSpec(site="transfer", rate=0.04),
+            ),
+            seed=77,
+        )
+        chaotic = run_wastewater_workflow(
+            **SMALL_WASTEWATER, vectorized_rt=True, fault_plan=plan
+        )
+        assert chaotic.resilience_report["faults_injected"] > 0
+        assert _estimate_bytes(chaotic) == _estimate_bytes(base)
+
+    def test_vectorized_rt_memoizes_per_plant(self, base):
+        """A shared cache serves unchanged plants inside the stacked job."""
+        cache = MemoCache()
+        cold = run_wastewater_workflow(
+            **SMALL_WASTEWATER, vectorized_rt=True, memo_cache=cache
+        )
+        warm = run_wastewater_workflow(
+            **SMALL_WASTEWATER, vectorized_rt=True, memo_cache=cache
+        )
+        assert _estimate_bytes(cold) == _estimate_bytes(base)
+        assert _estimate_bytes(warm) == _estimate_bytes(base)
+        assert warm.perf_report["memo_hits"] > 0
