@@ -32,6 +32,7 @@ Functions may declare a simulated execution cost with
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -140,6 +141,8 @@ class _BaseFlow:
         self.runs: List[FlowRunRecord] = []
         self._run_counter = 0
         self._running = False
+        #: Span of the in-flight run (at most one; guarded by ``_running``).
+        self._run_span = None
         #: Logical output objects, registered at flow registration time so
         #: that "the registration returns one or more UUIDs that uniquely
         #: identify the output data" (§2.2).
@@ -159,6 +162,18 @@ class _BaseFlow:
         return self._running
 
     # ------------------------------------------------------------- internals
+    def _activate_run_span(self):
+        """Context manager re-establishing the run span as ambient parent.
+
+        Flow runs span many simulated events; service operations started
+        from a poll/transfer/compute callback would otherwise parent onto
+        that event's span instead of the logical run that owns them.
+        """
+        obs = self.platform.env.obs
+        if obs is None:
+            return nullcontext()
+        return obs.activate(self._run_span)
+
     def _new_run(self) -> FlowRunRecord:
         self._run_counter += 1
         record = FlowRunRecord(
@@ -168,6 +183,12 @@ class _BaseFlow:
         )
         self.runs.append(record)
         self._running = True
+        obs = self.platform.env.obs
+        if obs is not None:
+            obs.inc("aero.runs_started")
+            self._run_span = obs.begin(
+                record.run_id, "aero.run", attrs={"flow": self.name}
+            )
         return record
 
     def _finish(self, record: FlowRunRecord, status: RunStatus, error: Optional[str] = None) -> None:
@@ -176,6 +197,23 @@ class _BaseFlow:
         record.completed_at = self.platform.env.now
         record.log(self.platform.env.now, "finish", status.value)
         self._running = False
+        obs = self.platform.env.obs
+        if obs is not None:
+            obs.inc(
+                "aero.runs_succeeded"
+                if status is RunStatus.SUCCEEDED
+                else "aero.runs_failed"
+            )
+            obs.observe(
+                "aero.run_duration_days", record.completed_at - record.started_at
+            )
+            if self._run_span is not None:
+                obs.end(
+                    self._run_span,
+                    status="ok" if status is RunStatus.SUCCEEDED else "error",
+                    outcome=status.value,
+                )
+                self._run_span = None
         if status is RunStatus.SUCCEEDED:
             self.retries_used = 0
         elif status is RunStatus.FAILED and self.retries_used < self.max_retries:
@@ -192,6 +230,13 @@ class _BaseFlow:
                 f"attempt {self.retries_used}/{self.max_retries} "
                 f"in {delay:g} days",
             )
+            if obs is not None:
+                obs.inc("aero.run_retries")
+                obs.instant(
+                    f"retry:{record.run_id}",
+                    "aero.retry",
+                    attrs={"attempt": self.retries_used, "flow": self.name},
+                )
             self.platform.env.schedule(
                 delay, self._retry, label=f"{self.name}:retry"
             )
@@ -282,12 +327,13 @@ class _BaseFlow:
             dest_path = f"aero/{self.name}/{out_name}/v{next_version:05d}"
             self.bundle.staging.put(self.token, staging_path, content)
             record.log(self.platform.env.now, "upload-output", f"{out_name} -> staging")
-            self.platform.transfer.submit(
-                self.token,
-                f"{self.bundle.staging.name}:{staging_path}",
-                f"{self.storage.name}:{dest_path}",
-                on_complete=make_on_done(out_name, dest_path),
-            )
+            with self._activate_run_span():
+                self.platform.transfer.submit(
+                    self.token,
+                    f"{self.bundle.staging.name}:{staging_path}",
+                    f"{self.storage.name}:{dest_path}",
+                    on_complete=make_on_done(out_name, dest_path),
+                )
 
 
 class IngestionFlow(_BaseFlow):
@@ -392,18 +438,20 @@ class IngestionFlow(_BaseFlow):
             # 3) Run the user transformation function on the endpoint, with
             #    the staged data as input.
             staged_text = self.bundle.staging.get_text(self.token, staging_path)
-            future = self.bundle.endpoint.submit(
-                self.token, self.function_id, staged_text
-            )
+            with self._activate_run_span():
+                future = self.bundle.endpoint.submit(
+                    self.token, self.function_id, staged_text
+                )
             record.log(env.now, "submit-transform", future.task_id)
             future.add_done_callback(lambda fut: self._on_transformed(record, raw_version, fut))
 
-        self.platform.transfer.submit(
-            self.token,
-            f"{self.storage.name}:{raw_path}",
-            f"{self.bundle.staging.name}:{staging_path}",
-            on_complete=on_staged,
-        )
+        with self._activate_run_span():
+            self.platform.transfer.submit(
+                self.token,
+                f"{self.storage.name}:{raw_path}",
+                f"{self.bundle.staging.name}:{staging_path}",
+                on_complete=on_staged,
+            )
 
     def _on_transformed(self, record: FlowRunRecord, raw_version: DataVersion, future: ComputeFuture) -> None:
         if future.error is not None:
@@ -564,12 +612,13 @@ class AnalysisFlow(_BaseFlow):
         try:
             for label, version in snapshot.items():
                 staging_path = f"stage/{self.name}/{label}"
-                self.platform.transfer.submit(
-                    self.token,
-                    version.uri,
-                    f"{self.bundle.staging.name}:{staging_path}",
-                    on_complete=make_on_staged(label, staging_path),
-                )
+                with self._activate_run_span():
+                    self.platform.transfer.submit(
+                        self.token,
+                        version.uri,
+                        f"{self.bundle.staging.name}:{staging_path}",
+                        on_complete=make_on_staged(label, staging_path),
+                    )
         except ReproError as exc:
             if not record.done:
                 self._finish(record, RunStatus.FAILED, f"{type(exc).__name__}: {exc}")
@@ -580,7 +629,8 @@ class AnalysisFlow(_BaseFlow):
         snapshot: Mapping[str, DataVersion],
         staged: Dict[str, str],
     ) -> None:
-        future = self.bundle.endpoint.submit(self.token, self.function_id, staged)
+        with self._activate_run_span():
+            future = self.bundle.endpoint.submit(self.token, self.function_id, staged)
         record.log(self.platform.env.now, "submit-analysis", future.task_id)
 
         def on_done(fut: ComputeFuture) -> None:

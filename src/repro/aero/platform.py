@@ -33,10 +33,12 @@ from repro.globus.transfer import TransferService
 from repro.hpc.cluster import Cluster
 from repro.hpc.scheduler import BatchScheduler
 from repro.aero.metadata import MetadataDatabase
+from repro.obs import PERF_KEYS, RESILIENCE_KEYS
 from repro.sim import SimulationEnvironment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,14 @@ class AeroPlatform:
         *outside* any retry wrapper), so content-identical submissions are
         served from cache instead of re-executed.  Sharing one cache across
         platforms carries results between workflow runs.
+    observability:
+        Optional :class:`~repro.obs.Observability`, installed on the
+        environment *before* any service is constructed so even the
+        platform's own bootstrap tokens are counted.  With it installed,
+        :meth:`resilience_report` and :meth:`perf_report` become derived
+        views over its :class:`~repro.obs.MetricsRegistry`.  An
+        observability already installed on a shared ``env`` is picked up
+        automatically; passing one here *and* pre-installing is an error.
     """
 
     def __init__(
@@ -87,10 +97,15 @@ class AeroPlatform:
         resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional["FaultPlan"] = None,
         compute_cache: Optional[MemoCache] = None,
+        observability: Optional["Observability"] = None,
     ) -> None:
         self.env = env if env is not None else SimulationEnvironment()
         if fault_plan is not None:
             self.env.install_fault_plan(fault_plan)
+        if observability is not None:
+            self.env.install_observability(observability)
+        if compute_cache is not None and self.env.obs is not None:
+            compute_cache.bind_observability(self.env.obs)
         self.resilience = resilience
         rngs = (
             RngRegistry([resilience.seed, 0x0BACC0FF])
@@ -230,6 +245,12 @@ class AeroPlatform:
         bundle = self.endpoint_bundle(name)
         bundle.staging.grant(self._service_token, identity, Permission.WRITE)
 
+    # ---------------------------------------------------------- observability
+    @property
+    def obs(self) -> Optional["Observability"]:
+        """The observability bundle installed on this platform's environment."""
+        return self.env.obs
+
     # ------------------------------------------------------------- resilience
     def resilience_report(self) -> Dict[str, int]:
         """Counters summarising recovery activity across the whole stack.
@@ -237,7 +258,15 @@ class AeroPlatform:
         All zeros on a fault-free run, which is what the chaos tests assert;
         under an armed fault plan the nonzero entries show *where* the
         platform absorbed failures.
+
+        With an observability installed this is a derived view over the
+        metrics registry (the services increment ``resilience.<key>``
+        counters live); the regression tests in ``tests/obs/`` hold the view
+        bit-for-bit equal to the legacy attribute tallies.
         """
+        obs = self.env.obs
+        if obs is not None:
+            return obs.resilience_view(RESILIENCE_KEYS)
         report = {
             "transfer_retries": self.transfer.retries_performed,
             "transfer_corruptions_detected": self.transfer.corruptions_detected,
@@ -263,6 +292,11 @@ class AeroPlatform:
 
         All zeros when no ``compute_cache`` was attached; with one, the
         hit/miss split shows how much re-execution the cache avoided.
+
+        With an observability installed, the cache's cumulative counters
+        (which may span several platforms sharing one cache) are absorbed
+        into the registry as absolute ``perf.<key>`` values and the report
+        is the registry view.
         """
         report = {
             "memo_hits": 0,
@@ -277,4 +311,8 @@ class AeroPlatform:
             report["memo_entries"] = counters["memo_entries"]
         for bundle in self._bundles.values():
             report["memo_bypasses"] += getattr(bundle.endpoint.engine, "bypasses", 0)
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.absorb_counters(report, prefix="perf.")
+            return obs.perf_view(PERF_KEYS)
         return report

@@ -10,10 +10,17 @@ Usage::
     python -m repro.cli figure5 --replicates 10 --budget 120
     python -m repro.cli interleaving --instances 10 --slots 32
     python -m repro.cli shapley --n 512
+    python -m repro.cli trace run --workflow wastewater --out trace.json --svg gantt.svg
+    python -m repro.cli metrics --workflow music-gsa
 
 Each subcommand prints the same rendering the benchmark harness writes to
 ``benchmarks/output/``; sizes default to quick-turnaround settings and can
 be raised to paper scale with the flags.
+
+``trace run`` executes a workflow with an installed
+:class:`~repro.obs.Observability` and writes the Chrome ``trace_event``
+JSON (loadable in chrome://tracing or Perfetto) plus an optional Gantt SVG;
+``metrics`` prints the unified metrics-registry snapshot as tables.
 """
 
 from __future__ import annotations
@@ -133,6 +140,73 @@ def _cmd_shapley(args: argparse.Namespace) -> str:
     )
 
 
+def _run_observed_workflow(args: argparse.Namespace):
+    """Run the selected workflow with an Observability installed."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    if args.workflow == "wastewater":
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        run_wastewater_workflow(
+            sim_days=args.sim_days,
+            goldstein_iterations=args.iterations,
+            seed=args.seed,
+            observability=obs,
+        )
+    else:  # music-gsa
+        from repro.workflows.music_gsa import run_music_vs_pce
+
+        run_music_vs_pce(
+            seed=args.seed,
+            budget=args.budget,
+            parallel=True,
+            observability=obs,
+        )
+    return obs
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs import chrome_trace_json, profile_summary, trace_gantt_svg
+
+    obs = _run_observed_workflow(args)
+    lines = []
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(obs.tracer, zero_wall=args.zero_wall))
+    lines.append(f"wrote Chrome trace to {args.out} (open in chrome://tracing)")
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(
+                trace_gantt_svg(
+                    obs.tracer, title=f"{args.workflow} workflow timeline"
+                )
+            )
+        lines.append(f"wrote Gantt SVG to {args.svg}")
+    lines.append("")
+    lines.append(profile_summary(obs.tracer))
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    from repro.obs import metrics_table
+
+    obs = _run_observed_workflow(args)
+    return metrics_table(obs.metrics)
+
+
+def _add_workflow_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workflow",
+        choices=["wastewater", "music-gsa"],
+        default="wastewater",
+        help="which workflow to run under observation",
+    )
+    p.add_argument("--sim-days", type=float, default=8.0, help="(wastewater)")
+    p.add_argument("--iterations", type=int, default=600, help="(wastewater)")
+    p.add_argument("--budget", type=int, default=60, help="(music-gsa)")
+    p.add_argument("--seed", type=int, default=2024)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -182,6 +256,23 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--n", type=int, default=256)
     ps.add_argument("--seed", type=int, default=0)
     ps.set_defaults(fn=_cmd_shapley)
+
+    pt = sub.add_parser("trace", help="trace a workflow run (Chrome JSON / SVG)")
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+    ptr = tsub.add_parser("run", help="run a workflow and export its trace")
+    _add_workflow_options(ptr)
+    ptr.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    ptr.add_argument("--svg", default=None, help="optional Gantt SVG output path")
+    ptr.add_argument(
+        "--zero-wall",
+        action="store_true",
+        help="zero segregated wall-clock fields (byte-reproducible output)",
+    )
+    ptr.set_defaults(fn=_cmd_trace)
+
+    pm = sub.add_parser("metrics", help="print the unified metrics snapshot")
+    _add_workflow_options(pm)
+    pm.set_defaults(fn=_cmd_metrics)
 
     return parser
 

@@ -23,9 +23,12 @@ Delays are simulated **days**, like everything else on the event loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Type
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 from repro.common.errors import (
     CircuitOpenError,
@@ -123,12 +126,19 @@ def call_with_retries(
     policy: RetryPolicy,
     *,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    tracer: Optional["Tracer"] = None,
+    label: str = "call",
 ) -> Any:
     """Invoke ``fn`` under ``policy``, synchronously (no simulated delay).
 
     For operations that are instantaneous on the simulated clock — flow
     steps, EMEWS evaluator calls — where backoff *time* is meaningless but
     the attempt budget and transient/permanent distinction still matter.
+
+    With a :class:`~repro.obs.tracer.Tracer`, every attempt is recorded as
+    a ``retry.attempt`` span tagged with its outcome: ``success``,
+    ``retried`` (transient failure, budget remains), ``exhausted`` (final
+    transient failure), or ``fatal`` (non-retryable, propagated as-is).
 
     Raises
     ------
@@ -140,14 +150,37 @@ def call_with_retries(
     """
     last: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
+        span = (
+            tracer.begin(
+                f"{label}#attempt-{attempt}",
+                "retry.attempt",
+                attrs={"attempt": attempt},
+            )
+            if tracer is not None
+            else None
+        )
         try:
-            return fn()
+            result = fn()
         except Exception as exc:
-            if not policy.retryable(exc):
+            retryable = policy.retryable(exc)
+            if span is not None:
+                outcome = (
+                    "fatal"
+                    if not retryable
+                    else "retried" if attempt < policy.max_attempts else "exhausted"
+                )
+                tracer.end(
+                    span, status="error", outcome=outcome, error=type(exc).__name__
+                )
+            if not retryable:
                 raise
             last = exc
             if attempt < policy.max_attempts and on_retry is not None:
                 on_retry(attempt, exc)
+        else:
+            if span is not None:
+                tracer.end(span, status="ok", outcome="success")
+            return result
     raise RetryExhaustedError(
         f"gave up after {policy.max_attempts} attempts: "
         f"{type(last).__name__}: {last}",

@@ -352,6 +352,104 @@ def small_multiples(
     return "\n".join(parts)
 
 
+def gantt_svg(
+    lanes: Sequence[Tuple[str, Sequence[Tuple[float, float, str, Optional[str]]]]],
+    *,
+    title: str = "",
+    x_label: str = "simulated days",
+    width: int = 960,
+    bar_height: int = 14,
+    lane_gap: int = 8,
+) -> str:
+    """Render horizontal lanes of timed bars (a Gantt / flame view).
+
+    ``lanes`` is a sequence of ``(lane_label, bars)`` rows where each bar is
+    ``(start, end, color, label)`` in the caller's time unit.  Built for the
+    :mod:`repro.obs` trace exporter — one lane per span category, one bar
+    per span — but generic over any interval data.  Zero-width bars are
+    drawn with a minimum visible width so instantaneous spans still show.
+    """
+    if not lanes:
+        raise ValidationError("gantt needs at least one lane")
+    all_bars = [bar for _, bars in lanes for bar in bars]
+    if not all_bars:
+        raise ValidationError("gantt needs at least one bar")
+    if any(end < start for start, end, _, _ in all_bars):
+        raise ValidationError("gantt bar end must be >= start")
+
+    margin_left, margin_right, margin_top, margin_bottom = 130, 16, 34 if title else 16, 44
+    x_min = min(start for start, _, _, _ in all_bars)
+    x_max = max(end for _, end, _, _ in all_bars)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    plot_w = width - margin_left - margin_right
+    lane_h = bar_height + lane_gap
+    plot_h = len(lanes) * lane_h
+    height = margin_top + plot_h + margin_bottom
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_min) / (x_max - x_min) * plot_w
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14" font-weight="bold">'
+            f"{title}</text>"
+        )
+    for tick in _nice_ticks(x_min, x_max):
+        if tick < x_min or tick > x_max:
+            continue
+        x_px = sx(tick)
+        parts.append(
+            f'<line x1="{x_px:.1f}" y1="{margin_top}" x2="{x_px:.1f}" '
+            f'y2="{margin_top + plot_h}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x_px:.1f}" y="{margin_top + plot_h + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+            f"{_fmt(tick)}</text>"
+        )
+    for row, (lane_label, bars) in enumerate(lanes):
+        y = margin_top + row * lane_h
+        if row % 2:
+            parts.append(
+                f'<rect x="{margin_left}" y="{y - lane_gap / 2:.1f}" '
+                f'width="{plot_w}" height="{lane_h}" fill="#f7f7f7"/>'
+            )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + bar_height - 3:.1f}" '
+            f'text-anchor="end" font-family="sans-serif" font-size="11">'
+            f"{lane_label}</text>"
+        )
+        for start, end, color, label in bars:
+            x_px = sx(start)
+            w_px = max(sx(end) - x_px, 1.5)
+            tooltip = f"<title>{label}</title>" if label else ""
+            parts.append(
+                f'<rect x="{x_px:.1f}" y="{y:.1f}" width="{w_px:.1f}" '
+                f'height="{bar_height}" rx="2" fill="{color}" opacity="0.85">'
+                f"{tooltip}</rect>"
+            )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" '
+        'stroke="#333333" stroke-width="1.5"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.1f}" y="{height - 10}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+            f"{x_label}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def dag_svg(
     graph,
     *,

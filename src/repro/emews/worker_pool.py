@@ -26,6 +26,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.common.errors import StateError, ValidationError
 from repro.emews.db import Task, TaskDatabase
+from repro.obs.metrics import DEFAULT_SIZE_BOUNDS
 from repro.hpc.utilization import UtilizationTracker
 from repro.perf.executor import EvaluationFailure, ParallelEvaluator
 from repro.sim import SimulationEnvironment
@@ -73,6 +74,16 @@ class ThreadedWorkerPool:
         self._stop = threading.Event()
         self.tasks_processed = 0
         self._count_lock = threading.Lock()
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Mirror task tallies into an :class:`repro.obs.Observability`.
+
+        Counters only: worker threads complete in nondeterministic order, so
+        this pool records no spans (the registry is thread-safe; trace
+        determinism is a property of the single-threaded simulated path).
+        """
+        self._obs = obs
 
     # ---------------------------------------------------------------- control
     def start(self) -> "ThreadedWorkerPool":
@@ -120,10 +131,17 @@ class ThreadedWorkerPool:
             result = self._fn(task.payload_obj())
         except Exception:
             self._db.fail_task(task.task_id, traceback.format_exc(limit=5))
+            failed = True
         else:
             self._db.complete_task(task.task_id, result)
+            failed = False
         with self._count_lock:
             self.tasks_processed += 1
+        obs = self._obs
+        if obs is not None:
+            obs.inc("pool.tasks_processed")
+            if failed:
+                obs.inc("pool.task_failures")
 
 
 class BatchWorkerPool:
@@ -176,6 +194,17 @@ class BatchWorkerPool:
         self.tasks_processed = 0
         self.batches_processed = 0
         self._count_lock = threading.Lock()
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Mirror claim/batch tallies into an :class:`repro.obs.Observability`.
+
+        Also binds the underlying evaluator so its batch-size histograms
+        land in the same registry.  Counters and histograms only — the
+        dispatcher thread runs on wall time, so no spans are recorded.
+        """
+        self._obs = obs
+        self._evaluator.bind_observability(obs)
 
     # ---------------------------------------------------------------- control
     def start(self) -> "BatchWorkerPool":
@@ -259,6 +288,11 @@ class BatchWorkerPool:
         with self._count_lock:
             self.tasks_processed += len(claim)
             self.batches_processed += 1
+        obs = self._obs
+        if obs is not None:
+            obs.inc("pool.tasks_processed", len(claim))
+            obs.inc("pool.batches_processed")
+            obs.observe("pool.claim_size", len(claim), DEFAULT_SIZE_BOUNDS)
 
 
 class SimWorkerPool:
@@ -345,6 +379,16 @@ class SimWorkerPool:
         duration = float(self._duration_fn(payload))
         if duration < 0:
             raise ValidationError(f"duration_fn returned {duration} < 0")
+        obs = self._env.obs
+        span = (
+            obs.begin(
+                f"{self.name}:{key}",
+                "pool.task",
+                attrs={"pool": self.name, "task_id": task.task_id},
+            )
+            if obs is not None
+            else None
+        )
 
         if self._fn is None:
             result: Any = payload
@@ -361,6 +405,14 @@ class SimWorkerPool:
             self._busy -= 1
             self.tracker.end(key, self._env.now)
             self.tasks_processed += 1
+            if span is not None:
+                obs.inc("pool.tasks_processed")
+                obs.observe("pool.task_duration_days", duration)
+                obs.end(
+                    span,
+                    status="ok" if error is None else "error",
+                    outcome="completed" if error is None else "failed",
+                )
             if error is None:
                 self._db.complete_task(task.task_id, result)
             else:

@@ -76,6 +76,15 @@ class FaultInjector:
     def _record(self, spec: FaultSpec, index: int) -> None:
         self._injected[index] = self._injected.get(index, 0) + 1
         self._counts[spec.site] = self._counts.get(spec.site, 0) + 1
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("resilience.faults_injected")
+            obs.inc(f"faults.injected.{spec.site}")
+            obs.instant(
+                f"fault:{spec.site}",
+                "fault",
+                attrs={"site": spec.site, "scripted": spec.scripted},
+            )
 
     def _budget_left(self, spec: FaultSpec, index: int) -> bool:
         if spec.max_faults is None:

@@ -147,6 +147,9 @@ class AuthService:
             expires_at=self._env.now + lifetime,
         )
         self._tokens[token.secret] = token
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("auth.tokens_issued")
         return token
 
     def refresh(self, token: Token, *, lifetime: Optional[float] = None) -> Token:
@@ -166,6 +169,9 @@ class AuthService:
         AuthorizationError
             If the token is unknown, revoked, expired, or lacks the scope.
         """
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("auth.validations")
         faults = self._env.faults
         if faults is not None:
             fault = faults.poll("auth", label=f"validate:{scope}")
@@ -173,6 +179,8 @@ class AuthService:
                 # The service transiently treats the token as expired — the
                 # canonical always-on-deployment failure mode.  Typed so
                 # retry policies know a re-attempt (or refresh) can recover.
+                if obs is not None:
+                    obs.inc("auth.validation_faults")
                 raise TokenExpiredError(f"token validation failed: {fault}")
         record = self._tokens.get(token.secret)
         if record is None:

@@ -252,6 +252,12 @@ class LoginNodeEngine(_Engine):
         future.started_at = self._env.now
         exception: Optional[BaseException] = None
         faults = self._env.faults
+        obs = self._env.obs
+        span = (
+            obs.begin(f"login:{future.task_id}", "compute.run")
+            if obs is not None
+            else None
+        )
         try:
             if faults is not None:
                 faults.check("compute", label=f"login:{future.task_id}")
@@ -264,6 +270,12 @@ class LoginNodeEngine(_Engine):
             error = f"{type(exc).__name__}: {exc}"
             exception = exc
             cost = DEFAULT_COST_DAYS
+        if obs is not None:
+            obs.end(
+                span,
+                status="ok" if status is TaskStatus.SUCCEEDED else "error",
+                cost_days=cost,
+            )
 
         def _complete() -> None:
             self._running -= 1
@@ -300,10 +312,15 @@ class GlobusComputeEngine(_Engine):
             future.attempts += 1
             future.status = TaskStatus.RUNNING
             future.started_at = job.started_at
-            faults = self.scheduler.env.faults
+            env = self.scheduler.env
+            faults = env.faults
             if faults is not None:
                 faults.check("compute", label=f"batch:{future.task_id}")
-            return fn(*args, **kwargs)
+            obs = env.obs
+            if obs is None:
+                return fn(*args, **kwargs)
+            with obs.span(f"batch:{future.task_id}", "compute.run"):
+                return fn(*args, **kwargs)
 
         def on_job_done(job: Job) -> None:
             now = job.completed_at if job.completed_at is not None else 0.0
@@ -386,6 +403,14 @@ class RetryingEngine(_Engine):
                 and future.attempts < self._policy.max_attempts
             ):
                 self.retries_performed += 1
+                obs = self._env.obs
+                if obs is not None:
+                    obs.inc("resilience.compute_retries")
+                    obs.instant(
+                        f"retry:{future.task_id}",
+                        "compute.retry",
+                        attrs={"attempt": future.attempts},
+                    )
                 future.status = TaskStatus.RUNNING
                 delay = self._policy.delay(future.attempts, rng=self._rng)
                 self._env.schedule(
@@ -437,15 +462,25 @@ class MemoizingEngine(_Engine):
         return getattr(self._inner, name)
 
     def execute(self, future, fn, args, kwargs) -> None:
+        obs = self._env.obs
         try:
             key = self.cache.key_for(fn, {"args": list(args), "kwargs": kwargs})
         except ValidationError:
             self.bypasses += 1
+            if obs is not None:
+                obs.inc("memo.bypasses")
             self._inner.execute(future, fn, args, kwargs)
             return
         hit, value = self.cache.lookup(key)
         if hit:
             self.hits_served += 1
+            if obs is not None:
+                obs.inc("memo.hits_served")
+                obs.instant(
+                    f"memo-hit:{future.task_id}",
+                    "memo.hit",
+                    attrs={"task_id": future.task_id},
+                )
 
             def _serve_hit() -> None:
                 future.attempts += 1
@@ -566,6 +601,23 @@ class ComputeService:
         )
         future.submitted_at = self._env.now
         self._tasks[future.task_id] = future
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("compute.tasks_submitted")
+            span = obs.begin(
+                f"{registered.name}:{future.task_id}",
+                "compute",
+                attrs={"endpoint": endpoint.name, "function": registered.name},
+            )
+
+            def _close_span(finished: ComputeFuture) -> None:
+                obs.end(
+                    span,
+                    status="ok" if finished.status is TaskStatus.SUCCEEDED else "error",
+                    attempts=finished.attempts,
+                )
+
+            future.add_done_callback(_close_span)
         endpoint._engine.execute(future, registered.fn, args, kwargs)
         return future
 

@@ -189,11 +189,31 @@ class FlowsService:
             context=dict(initial_context or {}),
         )
         self._runs[run.run_id] = run
+        obs = self._env.obs
+        if obs is None:
+            return self._execute_steps(run, flow, None)
+        with obs.span(
+            f"{flow.title}#{run.run_id}", "flows.run", attrs={"flow_id": flow.flow_id}
+        ) as span:
+            self._execute_steps(run, flow, obs)
+            span.annotate(run_status=run.status.value, steps=len(run.step_log))
+        return run
+
+    def _execute_steps(self, run: FlowRun, flow: FlowDefinition, obs) -> FlowRun:
         for name, fn in flow.steps:
             record = StepRecord(name=name, started_at=self._env.now)
             run.step_log.append(record)
             while True:
                 record.attempts += 1
+                step_span = (
+                    obs.begin(
+                        f"{name}#attempt-{record.attempts}",
+                        "flows.step",
+                        attrs={"attempt": record.attempts, "step": name},
+                    )
+                    if obs is not None
+                    else None
+                )
                 try:
                     faults = self._env.faults
                     if faults is not None:
@@ -207,7 +227,22 @@ class FlowsService:
                         and record.attempts < policy.max_attempts
                     ):
                         self.step_retries_performed += 1
+                        if obs is not None:
+                            obs.inc("resilience.flow_step_retries")
+                            obs.end(
+                                step_span,
+                                status="error",
+                                outcome="retried",
+                                error=type(exc).__name__,
+                            )
                         continue
+                    if obs is not None:
+                        obs.end(
+                            step_span,
+                            status="error",
+                            outcome="fatal",
+                            error=type(exc).__name__,
+                        )
                     record.status = RunStatus.FAILED
                     record.error = f"{type(exc).__name__}: {exc}"
                     record.completed_at = self._env.now
@@ -215,6 +250,8 @@ class FlowsService:
                     run.error = f"step {name!r} failed: {record.error}"
                     run.completed_at = self._env.now
                     return run
+                if obs is not None:
+                    obs.end(step_span, status="ok", outcome="success")
                 break
             if updates:
                 run.context.update(updates)

@@ -76,20 +76,43 @@ class Timer:
         if not self._active:
             return
         self._pending = None
+        obs = self._env.obs
         faults = self._env.faults
         if faults is not None:
             fault = faults.poll("timer", label=f"timer:{self.label}")
             if fault is not None:
                 # Missed firing: skip the callback but stay in phase.
                 self.missed_firings += 1
+                if obs is not None:
+                    obs.inc("resilience.timer_missed_firings")
+                    obs.instant(
+                        f"timer:{self.label} missed",
+                        "timer.missed",
+                        attrs={"timer_id": self.timer_id},
+                    )
                 if self.max_firings is None or self._firings < self.max_firings:
                     self._schedule(self.interval)
                 else:
                     self._active = False
                 return
         self._firings += 1
+        span = (
+            obs.begin(
+                f"timer:{self.label}#{self._firings}",
+                "timer.fire",
+                attrs={"timer_id": self.timer_id},
+            )
+            if obs is not None
+            else None
+        )
         try:
-            self._callback()
+            if obs is None:
+                self._callback()
+            else:
+                obs.inc("timer.firings")
+                with obs.activate(span):
+                    self._callback()
+                obs.end(span)
         finally:
             if self._active and (
                 self.max_firings is None or self._firings < self.max_firings

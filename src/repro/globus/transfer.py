@@ -173,6 +173,14 @@ class TransferService:
             submitted_at=self._env.now,
         )
         self._tasks[task.task_id] = task
+        obs = self._env.obs
+        span = (
+            obs.begin(
+                task.task_id, "transfer", attrs={"dest": dest_uri, "src": source_uri}
+            )
+            if obs is not None
+            else None
+        )
 
         try:
             data = src_collection.get(token, src_path)
@@ -182,6 +190,8 @@ class TransferService:
             task.status = TransferStatus.FAILED
             task.error = str(exc)
             task.completed_at = self._env.now
+            if obs is not None:
+                obs.end(span, status="error", error=type(exc).__name__)
             return task
 
         task.size = len(data)
@@ -200,11 +210,27 @@ class TransferService:
                 task.error = f"{error} (after {task.attempts} attempt(s))"
                 task.exception = error
             task.completed_at = self._env.now
+            if obs is not None:
+                obs.metrics.inc("transfer.bytes_moved", task.size if error is None else 0)
+                obs.observe("transfer.latency_days", task.completed_at - task.submitted_at)
+                obs.end(
+                    span,
+                    status="ok" if error is None else "error",
+                    attempts=task.attempts,
+                    size=task.size,
+                )
             if on_complete is not None:
                 on_complete(task)
 
         def _attempt_done() -> None:
             task.attempts += 1
+            if obs is not None:
+                attempt_span = obs.begin(
+                    f"{task.task_id}#attempt-{task.attempts}",
+                    "transfer.attempt",
+                    parent=span,
+                    attrs={"attempt": task.attempts},
+                )
             error: Optional[BaseException] = None
             payload = data
             faults = self._env.faults
@@ -222,6 +248,8 @@ class TransferService:
                         )
             if error is None and self._verify and content_checksum(payload) != checksum:
                 self.corruptions_detected += 1
+                if obs is not None:
+                    obs.inc("resilience.transfer_corruptions_detected")
                 error = TransferCorruptionError(
                     f"checksum mismatch on {label} (attempt {task.attempts})"
                 )
@@ -231,8 +259,12 @@ class TransferService:
                     # the (possibly corrupted) wire payload.
                     dst_collection.put(token, dst_path, data)
                 except Exception as exc:  # authorization or validation failures
+                    if obs is not None:
+                        obs.end(attempt_span, status="error", outcome="fatal")
                     _finish(exc)
                     return
+                if obs is not None:
+                    obs.end(attempt_span, status="ok", outcome="success")
                 _finish(None)
                 return
             if self._breaker is not None:
@@ -244,9 +276,24 @@ class TransferService:
                 and task.attempts < policy.max_attempts
             ):
                 self.retries_performed += 1
+                if obs is not None:
+                    obs.inc("resilience.transfer_retries")
+                    obs.end(
+                        attempt_span,
+                        status="error",
+                        outcome="retried",
+                        error=type(error).__name__,
+                    )
                 backoff = policy.delay(task.attempts, rng=self._rng)
                 self._env.schedule(backoff + latency, _attempt_done, label=label)
                 return
+            if obs is not None:
+                obs.end(
+                    attempt_span,
+                    status="error",
+                    outcome="exhausted",
+                    error=type(error).__name__,
+                )
             _finish(error)
 
         self._env.schedule(latency, _attempt_done, label=label)

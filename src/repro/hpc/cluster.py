@@ -70,6 +70,16 @@ class Cluster:
         ]
         self._by_name: Dict[str, Node] = {n.name: n for n in self._nodes}
         self._crash_listeners: List[CrashListener] = []
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` for crash/repair marks.
+
+        The cluster deliberately holds no environment reference, so the
+        scheduler (which has one) binds the bundle when it adopts the
+        cluster.
+        """
+        self._obs = obs
 
     # ----------------------------------------------------------------- views
     @property
@@ -128,6 +138,13 @@ class Cluster:
             raise StateError(f"node {name!r} is already down")
         node.up = False
         victim = node.allocated_to
+        if self._obs is not None:
+            self._obs.inc("cluster.node_crashes")
+            self._obs.instant(
+                f"crash:{name}",
+                "cluster.crash",
+                attrs={"node": name, "victim": victim or ""},
+            )
         for listener in list(self._crash_listeners):
             listener(node, victim)
         return victim
@@ -135,6 +152,8 @@ class Cluster:
     def repair_node(self, name: str) -> None:
         """Bring a downed node back into service (idempotent)."""
         self.get_node(name).up = True
+        if self._obs is not None:
+            self._obs.instant(f"repair:{name}", "cluster.repair", attrs={"node": name})
 
     # ------------------------------------------------------------ allocation
     def allocate(self, job_id: str, n_nodes: int) -> List[Node]:

@@ -110,6 +110,9 @@ class Job:
         self.on_complete: List[Callable[["Job"], None]] = []
         self._scheduler: Optional["BatchScheduler"] = None
         self._kill_event: Optional[Event] = None
+        # Observability handles (None when tracing is off).
+        self._queue_span = None
+        self._run_span = None
         # Incremented on every requeue; events armed during an earlier run
         # carry the old epoch and no-op when they fire.
         self._epoch = 0
@@ -183,6 +186,9 @@ class BatchScheduler:
         faults = env.faults
         if faults is not None:
             faults.register_target("node.crash", self._deliver_node_crash)
+        obs = env.obs
+        if obs is not None:
+            cluster.bind_observability(obs)
 
     @property
     def env(self) -> SimulationEnvironment:
@@ -205,6 +211,14 @@ class BatchScheduler:
         )
         job._scheduler = self
         self._jobs[job.job_id] = job
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("scheduler.jobs_submitted")
+            job._queue_span = obs.begin(
+                f"{job.job_id}:queue",
+                "scheduler.queue",
+                attrs={"job": request.name, "nodes": request.n_nodes},
+            )
         self._queue.append(job)
         # Start eligible jobs in this same simulated instant.
         self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
@@ -217,6 +231,10 @@ class BatchScheduler:
         self._queue.remove(job)
         job.state = JobState.CANCELLED
         job.completed_at = self._env.now
+        obs = self._env.obs
+        if obs is not None and job._queue_span is not None:
+            obs.end(job._queue_span, status="error", outcome="cancelled")
+            job._queue_span = None
         self._notify(job)
 
     # -------------------------------------------------------------- internal
@@ -248,8 +266,11 @@ class BatchScheduler:
                 if free_before == 0:
                     break  # every job needs >= 1 node: nothing below can fit
                 if job.request.n_nodes <= free_before:
+                    # Starting while an earlier job is still queued means
+                    # this job jumped the FIFO line: a backfill start.
+                    backfilled = any(queue[j] is not None for j in range(i))
                     queue[i] = None
-                    self._start(job)
+                    self._start(job, backfilled=backfilled)
                     if self.cluster.n_free() > free_before - job.request.n_nodes:
                         restart = True
                         break
@@ -258,12 +279,33 @@ class BatchScheduler:
                 i += 1
         self._queue = [job for job in queue if job is not None]
 
-    def _start(self, job: Job) -> None:
+    def _start(self, job: Job, *, backfilled: bool = False) -> None:
         job.nodes = self.cluster.allocate(job.job_id, job.request.n_nodes)
         job.state = JobState.RUNNING
         job.started_at = self._env.now
         epoch = job._epoch
         self.tracker.begin(job.job_id, self._env.now, job.request.n_nodes)
+        obs = self._env.obs
+        if obs is not None:
+            wait = job.started_at - job.submitted_at
+            obs.observe("scheduler.queue_wait_days", wait)
+            if backfilled:
+                obs.inc("scheduler.backfills")
+            if job._queue_span is not None:
+                obs.end(
+                    job._queue_span, backfilled=backfilled, wait_days=round(wait, 9)
+                )
+                job._queue_span = None
+            job._run_span = obs.begin(
+                f"{job.job_id}:run",
+                "scheduler.backfill" if backfilled else "scheduler.run",
+                attrs={
+                    "backfilled": backfilled,
+                    "epoch": epoch,
+                    "job": job.request.name,
+                    "nodes": job.request.n_nodes,
+                },
+            )
 
         # Walltime kill, armed before the payload so even a payload that
         # schedules nothing still terminates.
@@ -376,6 +418,17 @@ class BatchScheduler:
         job.requeues += 1
         self.requeues_performed += 1
         job._epoch += 1
+        obs = self._env.obs
+        if obs is not None:
+            obs.inc("resilience.scheduler_requeues")
+            if job._run_span is not None:
+                obs.end(job._run_span, status="error", outcome="requeued")
+                job._run_span = None
+            job._queue_span = obs.begin(
+                f"{job.job_id}:requeue-{job.requeues}",
+                "scheduler.queue",
+                attrs={"job": job.request.name, "requeue": job.requeues},
+            )
         if job._kill_event is not None and job._kill_event.pending:
             job._kill_event.cancel()
         job._kill_event = None
@@ -425,6 +478,19 @@ class BatchScheduler:
         job._kill_event = None
         self.cluster.release(job.job_id)
         self.tracker.end(job.job_id, self._env.now)
+        obs = self._env.obs
+        if obs is not None:
+            if job.started_at is not None:
+                obs.observe(
+                    "scheduler.run_days", job.completed_at - job.started_at
+                )
+            if job._run_span is not None:
+                obs.end(
+                    job._run_span,
+                    status="ok" if state is JobState.COMPLETED else "error",
+                    outcome=state.value,
+                )
+                job._run_span = None
         self._notify(job)
         self._env.schedule(0.0, self._schedule_pass, label="scheduler-pass")
 

@@ -1,0 +1,235 @@
+"""Trace and metrics exporters: Chrome ``trace_event`` JSON, Gantt SVG, tables.
+
+Three consumers, three formats:
+
+- :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  ``trace_event`` format (async ``b``/``e`` pairs matched by span id, plus
+  ``i`` instants and ``M`` metadata), loadable in ``chrome://tracing`` and
+  Perfetto.  Timestamps are **simulated** microseconds (days x 86 400e6) so
+  the trace timeline is deterministic; wall-clock measurements are
+  segregated under each event's ``args["wall"]`` and can be zeroed with
+  ``zero_wall=True``, which is exactly what the byte-identity tests do.
+- :func:`trace_gantt_svg` — one lane per span category rendered through
+  :func:`repro.common.svgplot.gantt_svg` for a no-tooling-needed picture of
+  where simulated time goes.
+- :func:`metrics_table` / :func:`profile_summary` — human-readable registry
+  and per-category time summaries for the CLI.
+
+Determinism contract: with ``zero_wall=True`` the JSON text is a pure
+function of the span/instant lists, which on the single-threaded event loop
+are a pure function of the seed.  Events are sorted by
+``(ts, span_id, phase)`` — a total, run-independent order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.svgplot import PALETTE, gantt_svg
+from repro.common.tabulate import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "trace_gantt_svg",
+    "metrics_table",
+    "profile_summary",
+]
+
+#: Simulated microseconds per simulated day (trace ``ts`` unit).
+US_PER_DAY = 86_400_000_000
+
+
+def _ts(days: float) -> int:
+    return int(round(days * US_PER_DAY))
+
+
+def _wall_args(span: Span, zero_wall: bool) -> Dict[str, float]:
+    if zero_wall:
+        return {"dur_s": 0.0, "start_s": 0.0}
+    return {
+        "dur_s": round(span.wall_duration, 9),
+        "start_s": round(span.wall_start, 9),
+    }
+
+
+def chrome_trace(tracer: Tracer, *, zero_wall: bool = False) -> Dict[str, Any]:
+    """Build the Chrome ``trace_event`` document as a plain dict.
+
+    Spans become async ``b``/``e`` event pairs matched by ``id`` (async
+    events need no stack nesting, which suits a discrete-event timeline
+    where many operations share one simulated instant).  ``zero_wall``
+    zeroes the segregated wall-clock fields for byte-identity comparisons.
+    """
+    spans = tracer.finished_spans()
+    categories = sorted(
+        {s.category for s in spans} | {m.category for m in tracer.instants}
+    )
+    tids = {category: i + 1 for i, category in enumerate(categories)}
+
+    events: List[Tuple[Tuple[int, int, int], Dict[str, Any]]] = []
+    for span in spans:
+        args: Dict[str, Any] = {
+            "span_id": span.span_id,
+            "status": span.status,
+            "wall": _wall_args(span, zero_wall),
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key in sorted(span.attrs):
+            args[key] = span.attrs[key]
+        common = {
+            "cat": span.category,
+            "id": span.span_id,
+            "name": span.name,
+            "pid": 0,
+            "tid": tids[span.category],
+        }
+        begin = dict(common, ph="b", ts=_ts(span.start), args=args)
+        end = dict(common, ph="e", ts=_ts(span.end), args={})
+        events.append(((begin["ts"], span.span_id, 0), begin))
+        events.append(((end["ts"], span.span_id, 1), end))
+    for mark in sorted(tracer.instants, key=lambda m: m.span_id):
+        args = {"span_id": mark.span_id, "wall": _wall_args(mark, zero_wall)}
+        if mark.parent_id is not None:
+            args["parent_id"] = mark.parent_id
+        for key in sorted(mark.attrs):
+            args[key] = mark.attrs[key]
+        events.append(
+            (
+                (_ts(mark.start), mark.span_id, 0),
+                {
+                    "cat": mark.category,
+                    "name": mark.name,
+                    "ph": "i",
+                    "pid": 0,
+                    "s": "g",
+                    "tid": tids[mark.category],
+                    "ts": _ts(mark.start),
+                    "args": args,
+                },
+            )
+        )
+
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "args": {"name": "repro-sim"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+        }
+    ]
+    for category in categories:
+        trace_events.append(
+            {
+                "args": {"name": category},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tids[category],
+                "ts": 0,
+            }
+        )
+    trace_events.extend(event for _, event in sorted(events, key=lambda e: e[0]))
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": {"clock": "simulated-days", "us_per_day": US_PER_DAY},
+        "traceEvents": trace_events,
+    }
+
+
+def chrome_trace_json(tracer: Tracer, *, zero_wall: bool = False) -> str:
+    """Serialize :func:`chrome_trace` deterministically (sorted keys)."""
+    return json.dumps(
+        chrome_trace(tracer, zero_wall=zero_wall),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def trace_gantt_svg(
+    tracer: Tracer,
+    *,
+    title: str = "simulated-time trace",
+    max_bars_per_lane: int = 400,
+) -> str:
+    """Render the trace as a per-category Gantt SVG (simulated-days axis)."""
+    spans = tracer.finished_spans()
+    by_category: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_category.setdefault(span.category, []).append(span)
+    lanes = []
+    for i, category in enumerate(sorted(by_category)):
+        color = PALETTE[i % len(PALETTE)]
+        rows = sorted(by_category[category], key=lambda s: (s.start, s.span_id))
+        label = category
+        if len(rows) > max_bars_per_lane:
+            label = f"{category} (first {max_bars_per_lane}/{len(rows)})"
+            rows = rows[:max_bars_per_lane]
+        bars = [
+            (
+                span.start,
+                span.end if span.end is not None else span.start,
+                color if span.status != "error" else "#d62728",
+                f"{span.name} [{span.status}] {span.duration:.4g}d",
+            )
+            for span in rows
+        ]
+        lanes.append((label, bars))
+    return gantt_svg(lanes, title=title)
+
+
+def profile_summary(tracer: Tracer) -> str:
+    """Per-category simulated-vs-wall time table (the A13 experiment view)."""
+    sim = tracer.sim_days_by_category()
+    wall = tracer.wall_seconds_by_category()
+    counts: Dict[str, int] = {}
+    for span in tracer.finished_spans():
+        counts[span.category] = counts.get(span.category, 0) + 1
+    rows = [
+        [category, counts.get(category, 0), sim.get(category, 0.0), wall.get(category, 0.0)]
+        for category in sorted(set(sim) | set(wall))
+    ]
+    return format_table(
+        ["category", "spans", "sim days", "wall s"],
+        rows,
+        title="Time by span category",
+        digits=4,
+    )
+
+
+def metrics_table(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot as aligned text tables."""
+    snap = registry.snapshot()
+    parts: List[str] = []
+    scalar_rows = [["counter", name, value] for name, value in snap["counters"].items()]
+    scalar_rows += [["gauge", name, value] for name, value in snap["gauges"].items()]
+    if scalar_rows:
+        parts.append(
+            format_table(["kind", "name", "value"], scalar_rows, title="Metrics", digits=4)
+        )
+    hist_rows = [
+        [
+            name,
+            data["count"],
+            data["min"],
+            data["sum"] / data["count"] if data["count"] else 0.0,
+            data["max"],
+        ]
+        for name, data in snap["histograms"].items()
+    ]
+    if hist_rows:
+        parts.append(
+            format_table(
+                ["histogram", "count", "min", "mean", "max"],
+                hist_rows,
+                title="Histograms",
+                digits=4,
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics registered)"

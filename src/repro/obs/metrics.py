@@ -1,0 +1,297 @@
+"""Unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+Before this module existed every layer kept private tallies —
+``TransferService.retries_performed``, ``MemoCache.counters()``,
+``BatchWorkerPool.counters()`` — and the two workflow entry points each
+assembled their ``resilience_report`` / ``perf_report`` dicts by hand from a
+different subset of them.  :class:`MetricsRegistry` is the one sink those
+layers now also write into (live increments at each site, or absolute
+absorption for component-owned snapshots), and the legacy report dicts become
+*derived views* over it (:func:`resilience_view`, :func:`perf_view`).
+
+Design constraints:
+
+- **Zero dependencies** — plain dicts, lists and a lock; no numpy.
+- **Deterministic snapshots** — :meth:`MetricsRegistry.snapshot` sorts every
+  key so two identical runs serialize byte-identically.
+- **Fixed bucket bounds** — histograms take their upper edges at creation and
+  never mutate them, so bucket counts from different runs are comparable.
+- **Thread-safe** — the EMEWS worker pools increment from worker threads.
+
+Bucket semantics are Prometheus-style ``le`` (less-or-equal): a value lands
+in the first bucket whose upper bound is >= the value; values above the last
+bound land in the implicit overflow bucket.
+
+Examples
+--------
+>>> reg = MetricsRegistry()
+>>> reg.inc("transfer_retries")
+>>> reg.inc("transfer_retries", 2)
+>>> reg.counter("transfer_retries").value
+3
+>>> h = reg.histogram("queue_wait_days", bounds=(0.1, 1.0, 10.0))
+>>> for v in (0.05, 0.1, 5.0, 99.0):
+...     h.observe(v)
+>>> h.bucket_counts
+[2, 0, 1, 1]
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_DAY_BOUNDS",
+    "DEFAULT_SIZE_BOUNDS",
+]
+
+#: Default bucket edges for durations measured in simulated days (covers a
+#: minute-scale flow step up to a multi-month campaign).
+DEFAULT_DAY_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 120.0,
+)
+
+#: Default bucket edges for batch/claim sizes (counts of tasks).
+DEFAULT_SIZE_BOUNDS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+
+class Counter:
+    """A monotonically increasing integer-or-float tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValidationError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move both directions."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bound histogram with ``le`` (less-or-equal) bucket semantics.
+
+    ``bounds`` are the upper edges, strictly increasing; an implicit
+    overflow bucket catches values above the last edge, so
+    ``bucket_counts`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "total", "count", "_min", "_max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.bounds = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample. ``value == bounds[i]`` lands in bucket ``i``."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by snapshots and exporters."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "max": self._max if self._max is not None else 0.0,
+            "min": self._min if self._min is not None else 0.0,
+            "sum": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry for :class:`Counter` / :class:`Gauge` /
+    :class:`Histogram`, shared by every instrumented layer of one run.
+
+    A name owns exactly one metric kind; re-registering with a different
+    kind (or different histogram bounds) raises
+    :class:`~repro.common.errors.ConfigurationError` — silent divergence
+    between layers is how the old scattered dicts drifted apart.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # --------------------------------------------------------- registration
+    def _check_free(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_free(name, "counter")
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_free(name, "gauge")
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_DAY_BOUNDS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_free(name, "histogram")
+                metric = self._histograms[name] = Histogram(name, bounds)
+            elif tuple(float(b) for b in bounds) != metric.bounds:
+                raise ConfigurationError(
+                    f"histogram {name!r} re-registered with different bounds"
+                )
+            return metric
+
+    # --------------------------------------------------------- convenience
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` (creating it on first use)."""
+        with self._lock:
+            self.counter(name).inc(amount)
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set counter ``name`` to an absolute value (absorption path).
+
+        Used when a component owns a cumulative tally (``MemoCache`` shared
+        across runs, a worker pool's thread-side counts) and the registry
+        mirrors the snapshot rather than each individual increment.
+        """
+        if value < 0:
+            raise ValidationError(f"counter {name!r} cannot be negative")
+        with self._lock:
+            self.counter(name).value = value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = DEFAULT_DAY_BOUNDS
+    ) -> None:
+        with self._lock:
+            self.histogram(name, bounds).observe(value)
+
+    def absorb_counters(
+        self, counts: Mapping[str, float], *, prefix: str = ""
+    ) -> None:
+        """Mirror a component's counter dict as absolute values.
+
+        ``prefix`` namespaces the component (e.g. ``"pool."``) so unrelated
+        layers cannot collide on generic names like ``tasks_processed``.
+        """
+        with self._lock:
+            for key in sorted(counts):
+                self.set_counter(prefix + key, counts[key])
+
+    # -------------------------------------------------------------- reading
+    def counter_value(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            metric = self._counters.get(name)
+            return metric.value if metric is not None else default
+
+    def counter_values(self, *, prefix: str = "") -> Dict[str, float]:
+        """Flat ``{name: value}`` for counters, optionally filtered by prefix.
+
+        Prefixed reads strip the prefix, so a view over ``pool.*`` returns
+        the component's original key names.
+        """
+        with self._lock:
+            return {
+                name[len(prefix):]: metric.value
+                for name, metric in sorted(self._counters.items())
+                if name.startswith(prefix)
+            }
+
+    def names(self) -> Iterable[str]:
+        """All registered metric names, sorted."""
+        with self._lock:
+            return sorted(
+                list(self._counters) + list(self._gauges) + list(self._histograms)
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic plain-dict snapshot of every registered metric."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.as_dict() for n, h in sorted(self._histograms.items())
+                },
+            }

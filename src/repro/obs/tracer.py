@@ -1,0 +1,314 @@
+"""Deterministic span tracer keyed to the simulated clock *and* wall time.
+
+Every span carries two timelines:
+
+- **Simulated time** (``start`` / ``end``, float days from
+  :attr:`repro.sim.SimulationEnvironment.now`) — the primary axis.  It is a
+  pure function of the seed, so two same-seed runs produce identical span
+  timestamps.
+- **Wall time** (``wall_start`` / ``wall_end``, ``time.perf_counter``
+  seconds) — segregated into their own fields precisely so exporters can
+  zero them: the determinism contract is "byte-identical trace JSON with
+  wall-clock fields zeroed".
+
+Span ids come from a plain ``itertools.count`` — never wall-clock entropy —
+so ids are deterministic whenever span *creation order* is (always true on
+the single-threaded event loop; thread-pool spans are recorded safely but
+their interleaving is the OS's business).
+
+Context propagation uses a thread-local stack of active spans:
+:meth:`Tracer.span` opens a child of the current span for a synchronous
+scope, :meth:`Tracer.begin` / :meth:`Tracer.end` bracket asynchronous
+operations (a transfer in flight, a queued batch job) that outlive the call
+stack, and :meth:`Tracer.activate` re-establishes a stored span as the
+ambient parent inside event-loop callbacks — this is how a flow run adopts
+the transfers and compute tasks it spawns three callbacks later.
+
+The disabled fast path mirrors ``env.faults``: services read ``env.obs``
+(one attribute) and skip instrumentation entirely when it is ``None``; a
+constructed-but-disabled tracer additionally no-ops every method behind a
+single boolean check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+_UNSET = object()
+
+
+class Span:
+    """One traced operation: a name, a category lane, two timelines, attrs.
+
+    ``attrs`` hold deterministic annotations only (labels, counts, outcome
+    tags); anything wall-clock-derived belongs in ``wall_start``/``wall_end``
+    so exporters can zero it.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "start",
+        "end",
+        "wall_start",
+        "wall_end",
+        "status",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        start: float,
+        wall_start: float,
+        attrs: Optional[Dict[str, Any]],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+        self.status = "open"
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration in days (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall-clock duration in seconds (0.0 while still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach deterministic key/value annotations; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"t=[{self.start:g}..{self.end:g}]" if self.finished else "open"
+        return f"Span(#{self.span_id} {self.category}:{self.name} {state})"
+
+
+#: Shared inert span handed out by a disabled tracer; accepts annotations
+#: into the void so call sites need no enabled-checks of their own.
+_DISABLED_SPAN = Span(0, None, "disabled", "disabled", 0.0, 0.0, None)
+
+
+class Tracer:
+    """Collects :class:`Span` and instant events on a simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning simulated time in days (typically
+        ``lambda: env.now``); bound later via :meth:`bind_clock` when the
+        tracer is constructed before its environment.
+    enabled:
+        When False every method is a no-op behind one boolean check.
+    wall_clock:
+        Monotonic wall-time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        enabled: bool = True,
+        wall_clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._wall = wall_clock
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+
+    # ---------------------------------------------------------------- clock
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a (new) simulated clock."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------- context
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost active span on this thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @property
+    def current_id(self) -> Optional[int]:
+        span = self.current
+        return span.span_id if span is not None else None
+
+    # ----------------------------------------------------------- span API
+    def begin(
+        self,
+        name: str,
+        category: str = "task",
+        *,
+        parent: Any = _UNSET,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span *without* making it the ambient parent.
+
+        For asynchronous operations that outlive the current call stack.
+        ``parent`` defaults to the current span; pass ``None`` to force a
+        root span or an explicit :class:`Span` to re-parent.
+        """
+        if not self.enabled:
+            return _DISABLED_SPAN
+        if parent is _UNSET:
+            parent_id = self.current_id
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = parent
+        with self._lock:
+            span = Span(
+                next(self._ids), parent_id, name, category,
+                self._clock(), self._wall(), attrs,
+            )
+            self.spans.append(span)
+        return span
+
+    def end(self, span: Span, *, status: str = "ok", **attrs: Any) -> None:
+        """Close ``span`` at the current simulated + wall instants."""
+        if not self.enabled or span is _DISABLED_SPAN:
+            return
+        span.end = self._clock()
+        span.wall_end = self._wall()
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "task",
+        *,
+        parent: Any = _UNSET,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Span]:
+        """Open a span for a synchronous scope and make it the parent.
+
+        The span closes on exit with status ``"ok"``, or ``"error"`` (tagged
+        with the exception class) when the scope raises.
+        """
+        if not self.enabled:
+            yield _DISABLED_SPAN
+            return
+        span = self.begin(name, category, parent=parent, attrs=attrs)
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end(span, status="error", error=type(exc).__name__)
+            raise
+        finally:
+            stack.pop()
+            if not span.finished:
+                self.end(span)
+
+    @contextmanager
+    def activate(self, span: Optional[Span]) -> Iterator[Optional[Span]]:
+        """Re-establish ``span`` as the ambient parent for a callback scope.
+
+        Does not open or close anything — this is how async owners (a flow
+        run, a batch job) adopt the child spans created inside callbacks
+        that fire long after the owner's original call stack unwound.
+        ``span=None`` is a no-op scope, so call sites need no conditionals.
+        """
+        if not self.enabled or span is None or span is _DISABLED_SPAN:
+            yield span
+            return
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
+    def instant(
+        self,
+        name: str,
+        category: str = "mark",
+        *,
+        parent: Any = _UNSET,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration annotation (fault fired, cache hit...)."""
+        if not self.enabled:
+            return
+        if parent is _UNSET:
+            parent_id = self.current_id
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = parent
+        with self._lock:
+            mark = Span(
+                next(self._ids), parent_id, name, category,
+                self._clock(), self._wall(), attrs,
+            )
+            mark.end = mark.start
+            mark.wall_end = mark.wall_start
+            mark.status = "instant"
+            self.instants.append(mark)
+
+    # ------------------------------------------------------------- reading
+    def finished_spans(self) -> List[Span]:
+        """Spans with both endpoints, in deterministic id order."""
+        with self._lock:
+            return sorted(
+                (s for s in self.spans if s.finished), key=lambda s: s.span_id
+            )
+
+    def wall_seconds_by_category(self) -> Dict[str, float]:
+        """Total wall seconds per category lane (profiling summary)."""
+        totals: Dict[str, float] = {}
+        for span in self.finished_spans():
+            totals[span.category] = totals.get(span.category, 0.0) + span.wall_duration
+        return dict(sorted(totals.items()))
+
+    def sim_days_by_category(self) -> Dict[str, float]:
+        """Total simulated days per category lane."""
+        totals: Dict[str, float] = {}
+        for span in self.finished_spans():
+            totals[span.category] = totals.get(span.category, 0.0) + span.duration
+        return dict(sorted(totals.items()))

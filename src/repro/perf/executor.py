@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import ValidationError
 from repro.common.hashing import stable_digest
+from repro.obs.metrics import DEFAULT_SIZE_BOUNDS
 from repro.perf.memo import MemoCache
 
 __all__ = ["EvaluationFailure", "ParallelEvaluator"]
@@ -137,6 +138,15 @@ class ParallelEvaluator:
         self._tasks_deduplicated = 0
         self._batches = 0
         self._failures = 0
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Record per-``map`` batch spans and size histograms on ``obs``.
+
+        Unbound (the default — the raw benchmark path) ``map`` pays a single
+        attribute compare; cumulative totals stay in :meth:`counters`.
+        """
+        self._obs = obs
 
     # ----------------------------------------------------------------- public
     def map(self, payloads: Sequence[Any], *, raise_on_error: bool = False) -> List[Any]:
@@ -174,7 +184,31 @@ class ParallelEvaluator:
                     results[i] = value
                 else:
                     pending.append(i)
-        self._evaluate_into(results, payloads, pending)
+        obs = self._obs
+        if obs is None:
+            self._evaluate_into(results, payloads, pending)
+        else:
+            with self._lock:
+                batch_n = self._batches + 1
+            with obs.span(
+                f"map#{batch_n}",
+                "executor.batch",
+                attrs={
+                    "backend": self.backend,
+                    "evaluated": len(pending),
+                    "payloads": len(payloads),
+                },
+            ):
+                self._evaluate_into(results, payloads, pending)
+            obs.observe(
+                "executor.batch_size_payloads", len(payloads), DEFAULT_SIZE_BOUNDS
+            )
+            obs.observe(
+                "executor.batch_size_evaluated", len(pending), DEFAULT_SIZE_BOUNDS
+            )
+            obs.inc("executor.batches")
+            obs.inc("executor.tasks_evaluated", len(pending))
+            obs.inc("executor.tasks_deduplicated", len(aliases))
 
         if self.cache is not None:
             for i in pending:

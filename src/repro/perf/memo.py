@@ -78,6 +78,16 @@ class MemoCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._obs = None
+
+    def bind_observability(self, obs) -> None:
+        """Mirror hit/miss tallies live into an :class:`repro.obs.Observability`.
+
+        Unbound (the default) the lookup path pays one attribute compare;
+        the authoritative cumulative totals remain :meth:`counters`, which
+        the platform absorbs into the registry at report time.
+        """
+        self._obs = obs
 
     # ------------------------------------------------------------------ keys
     def key_for(self, fn: Callable[..., Any], payload: Any) -> str:
@@ -92,10 +102,15 @@ class MemoCache:
                 value = self._entries[key]
             except KeyError:
                 self._misses += 1
-                return False, None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return True, value
+                hit = False
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        if self._obs is not None:
+            self._obs.inc("memo.hits" if hit else "memo.misses")
+        return hit, value
 
     def store(self, key: str, value: Any) -> None:
         with self._lock:

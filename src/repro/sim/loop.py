@@ -28,6 +28,7 @@ from repro.common.errors import EventBudgetError, SimulationError, ValidationErr
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
+    from repro.obs import Observability
 
 
 @dataclass(order=True)
@@ -105,6 +106,7 @@ class SimulationEnvironment:
         self._events_fired = 0
         self._running = False
         self._faults: Optional["FaultInjector"] = None
+        self._obs: Optional["Observability"] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -138,6 +140,31 @@ class SimulationEnvironment:
 
         self._faults = FaultInjector(plan, self)
         return self._faults
+
+    # ------------------------------------------------------------------- obs
+    @property
+    def obs(self) -> Optional["Observability"]:
+        """The installed observability bundle, or ``None``.
+
+        Same contract as :attr:`faults`: services read one attribute and
+        skip instrumentation entirely when it is ``None``, so an
+        uninstrumented run pays a pointer compare per hook site.
+        """
+        return self._obs
+
+    def install_observability(self, obs: "Observability") -> "Observability":
+        """Attach ``obs`` to this environment and bind it to the sim clock.
+
+        Every event fired after installation runs inside a ``sim.event``
+        span, which becomes the ambient parent for spans the callback
+        opens — that is how async operations (transfers, jobs, flow runs)
+        get their provenance chain.
+        """
+        if self._obs is not None:
+            raise SimulationError("observability is already installed")
+        obs.bind_clock(lambda: self._now)
+        self._obs = obs
+        return obs
 
     @property
     def events_fired(self) -> int:
@@ -205,7 +232,12 @@ class SimulationEnvironment:
         self._now = event.time
         event._fired = True
         self._events_fired += 1
-        event.callback()
+        obs = self._obs
+        if obs is None or not obs.tracer.enabled:
+            event.callback()
+        else:
+            with obs.tracer.span(event.label, "sim.event"):
+                event.callback()
         return True
 
     def run(self, *, max_events: int = 10_000_000) -> int:

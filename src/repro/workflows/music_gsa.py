@@ -37,6 +37,7 @@ from repro.emews import (
     pop_completed,
 )
 from repro.emews.api import TaskQueue
+from repro.obs import Observability
 from repro.perf import MemoCache, memo_salt
 from repro.gsa.interleave import InterleavedDriver, SequentialDriver
 from repro.gsa.music import MusicConfig, MusicGSA
@@ -357,6 +358,7 @@ def run_music_vs_pce(
     fault_rate: float = 0.0,
     fault_seed: int = 0,
     evaluator_retry: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> Figure4Data:
     """The Figure 4 experiment: MUSIC vs PCE at a fixed random seed.
 
@@ -378,6 +380,10 @@ def run_music_vs_pce(
     payload-keyed evaluator faults, recovered under ``evaluator_retry``
     (default: 4 attempts); see :class:`~repro.emews.ResilientEvaluator`.
     The resulting ``resilience_report`` counters land on the returned data.
+
+    An ``observability`` bundle, when given, receives the pool's live
+    counters and the absorbed report totals in its metrics registry (the
+    returned report dicts are its derived views either way).
     """
     check_int("budget", budget, minimum=40)
     cfg = music_config if music_config is not None else MusicConfig()
@@ -386,6 +392,7 @@ def run_music_vs_pce(
 
     music = MusicGSA(space, cfg, seed=seed)
     wrapper: Optional[ResilientEvaluator] = None
+    resilience_report: Dict[str, int] = {}
     perf_report: Dict[str, int] = {}
     if use_emews:
         evaluator, batch_evaluator, wrapper = _build_evaluator(
@@ -409,9 +416,13 @@ def run_music_vs_pce(
                 n_workers=n_workers,
                 name="figure4-pool",
             )
+        if observability is not None:
+            handle.pool.bind_observability(observability)
         driver = InterleavedDriver([music_coroutine(music, queue, seed, budget)])
         driver.run()
-        perf_report = _pool_perf_report(handle)
+        resilience_report, perf_report = _assemble_reports(
+            handle, wrapper, observability
+        )
         service.finalize(queue)
     else:
         design = music.initial_design()
@@ -444,15 +455,34 @@ def run_music_vs_pce(
         reference=reference,
         seed=seed,
         pce_degree=pce_degree,
-        resilience_report=wrapper.counters() if wrapper is not None else {},
+        resilience_report=resilience_report,
         perf_report=perf_report,
     )
 
 
-def _pool_perf_report(handle: PoolHandle) -> Dict[str, int]:
-    """Executor/memoization counters when the pool exposes them."""
+def _assemble_reports(
+    handle: PoolHandle,
+    wrapper: Optional[ResilientEvaluator],
+    observability: Optional[Observability] = None,
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Both workflow report dicts, routed through one metrics registry.
+
+    This replaces three formerly separate assembly paths — the
+    ``BatchWorkerPool.counters()`` passthrough, the
+    ``ResilientEvaluator.counters()`` passthrough, and the bare ``{}``
+    fallbacks — with a single absorption into a
+    :class:`~repro.obs.MetricsRegistry` followed by the derived
+    ``resilience_view`` / ``perf_view`` reads.  The views are verbatim the
+    absorbed counters (empty when nothing was absorbed), so the returned
+    dicts are bit-for-bit what the old paths produced.
+    """
+    obs = observability if observability is not None else Observability(enabled=False)
     pool = handle.pool
-    return pool.counters() if isinstance(pool, BatchWorkerPool) else {}
+    if isinstance(pool, BatchWorkerPool):
+        obs.metrics.absorb_counters(pool.counters(), prefix="perf.")
+    if wrapper is not None:
+        obs.metrics.absorb_counters(wrapper.counters(), prefix="resilience.")
+    return obs.resilience_view(), obs.perf_view()
 
 
 # ------------------------------------------------------------------ Figure 5
@@ -498,6 +528,7 @@ def run_replicate_gsa(
     fault_rate: float = 0.0,
     fault_seed: int = 0,
     evaluator_retry: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> Figure5Data:
     """The Figure 5 experiment: independent GSAs on N stochastic replicates.
 
@@ -549,12 +580,14 @@ def run_replicate_gsa(
         music_coroutine(instances[k], queue, seeds[k], budget)
         for k in range(n_replicates)
     ]
+    if observability is not None:
+        pool.pool.bind_observability(observability)
     if interleaved:
         stats = InterleavedDriver(coroutines).run()
     else:
         stats = SequentialDriver(coroutines).run()
     tasks = pool.tasks_processed
-    perf_report = _pool_perf_report(pool)
+    resilience_report, perf_report = _assemble_reports(pool, wrapper, observability)
     service.finalize(queue)
 
     return Figure5Data(
@@ -566,6 +599,6 @@ def run_replicate_gsa(
         replicate_seeds=seeds,
         driver_stats=stats,
         tasks_evaluated=tasks,
-        resilience_report=wrapper.counters() if wrapper is not None else {},
+        resilience_report=resilience_report,
         perf_report=perf_report,
     )

@@ -40,6 +40,7 @@ from repro.aero import AeroClient, AeroPlatform, CallableSource, TriggerPolicy
 from repro.aero.provenance import flow_graph, summarize, version_graph
 from repro.globus.compute import node_requirement, simulated_cost
 from repro.models.wastewater import SyntheticIWSS
+from repro.obs import Observability
 from repro.perf import MemoCache, memo_salt
 from repro.rt import (
     GoldsteinConfig,
@@ -318,6 +319,7 @@ def run_wastewater_workflow(
     resilience: Optional[ResilienceConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     memo_cache: Optional[MemoCache] = None,
+    observability: Optional[Observability] = None,
 ) -> WastewaterWorkflowResult:
     """Build, run, and validate the full Figure 1 workflow.
 
@@ -353,6 +355,14 @@ def run_wastewater_workflow(
         Re-triggered analyses of unchanged inputs (and repeated runs handed
         the same cache) are served without re-execution — bitwise identical
         by construction, with hit/miss counters in ``perf_report``.
+    observability:
+        Optional :class:`~repro.obs.Observability` installed on the
+        environment before any service starts.  Every simulated event,
+        transfer, flow run, compute task, and scheduler job is then traced
+        on the simulated clock (export via
+        :func:`repro.obs.chrome_trace_json`), and the result's
+        ``resilience_report`` / ``perf_report`` become registry-derived
+        views.  Same-seed runs export byte-identical traces.
     """
     if data_start_day + sim_days > data_horizon:
         raise ValidationError(
@@ -364,7 +374,10 @@ def run_wastewater_workflow(
         resilience = ResilienceConfig()
     iwss = SyntheticIWSS(n_days=data_horizon, seed=seed)
     platform = AeroPlatform(
-        resilience=resilience, fault_plan=fault_plan, compute_cache=memo_cache
+        resilience=resilience,
+        fault_plan=fault_plan,
+        compute_cache=memo_cache,
+        observability=observability,
     )
     identity, token = platform.create_user("epi-researcher")
     platform.add_storage_collection("eagle", token)

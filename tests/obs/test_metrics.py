@@ -1,0 +1,134 @@
+"""MetricsRegistry semantics: counters, gauges, histogram bucket edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("retries")
+        reg.inc("retries", 3)
+        assert reg.counter_value("retries") == 4
+
+    def test_counters_reject_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            reg.inc("x", -1)
+
+    def test_set_counter_is_absolute(self):
+        reg = MetricsRegistry()
+        reg.inc("perf.memo_hits", 2)
+        reg.set_counter("perf.memo_hits", 10)
+        assert reg.counter_value("perf.memo_hits") == 10
+
+    def test_absorb_counters_prefixes_and_overwrites(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters({"hits": 1, "misses": 2}, prefix="perf.")
+        reg.absorb_counters({"hits": 5, "misses": 7}, prefix="perf.")
+        assert reg.counter_values(prefix="perf.") == {"hits": 5, "misses": 7}
+
+    def test_counter_values_strips_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("resilience.transfer_retries", 2)
+        reg.inc("unrelated")
+        assert reg.counter_values(prefix="resilience.") == {"transfer_retries": 2}
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("name")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("name")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("name")
+
+
+class TestGauges:
+    def test_gauge_moves_both_directions(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("busy_slots")
+        g.inc(3)
+        g.dec(1)
+        assert g.value == 2
+        reg.set_gauge("busy_slots", 0.5)
+        assert reg.gauge("busy_slots").value == 0.5
+
+
+class TestHistogramBucketEdges:
+    """The ``le`` edge semantics the exporters and tests depend on."""
+
+    def test_value_on_edge_lands_in_that_bucket(self):
+        h = Histogram("h", bounds=(0.1, 1.0, 10.0))
+        for v in (0.1, 1.0, 10.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 0]
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        h = Histogram("h", bounds=(0.1, 1.0))
+        h.observe(0.0)
+        h.observe(0.0999)
+        assert h.bucket_counts == [2, 0, 0]
+
+    def test_above_last_edge_lands_in_overflow(self):
+        h = Histogram("h", bounds=(0.1, 1.0))
+        h.observe(1.0000001)
+        h.observe(99.0)
+        assert h.bucket_counts == [0, 0, 2]
+
+    def test_mixed_observations(self):
+        h = Histogram("h", bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 5.0, 99.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 0, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.05 + 0.1 + 5.0 + 99.0) / 4)
+
+    def test_as_dict_shape(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(0.5)
+        d = h.as_dict()
+        assert d == {
+            "bounds": [1.0],
+            "buckets": [1, 0],
+            "count": 1,
+            "max": 0.5,
+            "min": 0.5,
+            "sum": 0.5,
+        }
+
+    def test_bounds_must_increase_strictly(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=())
+
+    def test_reregistration_with_different_bounds_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("wait", bounds=(1.0, 2.0))
+        reg.histogram("wait", bounds=(1.0, 2.0))  # identical is fine
+        with pytest.raises(ConfigurationError):
+            reg.histogram("wait", bounds=(1.0, 3.0))
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.2, bounds=(1.0,))
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_names_covers_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 0)
+        reg.observe("h", 1, bounds=(1.0,))
+        assert list(reg.names()) == ["c", "g", "h"]

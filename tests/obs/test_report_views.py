@@ -1,0 +1,112 @@
+"""Regression: legacy report dicts are reproduced exactly by registry views.
+
+The ``resilience_report`` / ``perf_report`` dicts predate ``repro.obs``;
+with an Observability installed they become derived views over the
+metrics registry.  These tests pin the contract that the views are
+bit-for-bit the legacy output, for both workflows, under fault injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.gsa.music import MusicConfig
+from repro.obs import PERF_KEYS, RESILIENCE_KEYS, Observability
+from repro.perf import MemoCache
+from repro.workflows.music_gsa import run_music_vs_pce
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+
+def chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=99,
+        specs=[
+            FaultSpec(site="transfer", rate=0.08),
+            FaultSpec(site="flows.step", rate=0.05),
+        ],
+    )
+
+
+class TestWastewaterReportParity:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kwargs = dict(sim_days=4.0, goldstein_iterations=120, seed=11)
+        legacy = run_wastewater_workflow(
+            fault_plan=chaos_plan(), memo_cache=MemoCache(), **kwargs
+        )
+        obs = Observability()
+        observed = run_wastewater_workflow(
+            fault_plan=chaos_plan(),
+            memo_cache=MemoCache(),
+            observability=obs,
+            **kwargs,
+        )
+        return legacy, observed, obs
+
+    def test_resilience_report_matches_legacy(self, runs):
+        legacy, observed, _ = runs
+        assert observed.resilience_report == legacy.resilience_report
+        assert tuple(observed.resilience_report) == RESILIENCE_KEYS
+        # Chaos must actually have been absorbed for this to mean anything.
+        assert sum(legacy.resilience_report.values()) > 0
+
+    def test_perf_report_matches_legacy(self, runs):
+        legacy, observed, _ = runs
+        assert observed.perf_report == legacy.perf_report
+        assert tuple(observed.perf_report) == PERF_KEYS
+        assert legacy.perf_report["memo_hits"] + legacy.perf_report["memo_misses"] > 0
+
+    def test_reports_are_registry_views(self, runs):
+        _, observed, obs = runs
+        assert observed.resilience_report == obs.resilience_view(RESILIENCE_KEYS)
+        assert observed.perf_report == obs.perf_view(PERF_KEYS)
+
+    def test_estimates_unchanged_by_instrumentation(self, runs):
+        legacy, observed, _ = runs
+        assert set(observed.plant_estimates) == set(legacy.plant_estimates)
+        for plant, est in observed.plant_estimates.items():
+            assert est.median == pytest.approx(
+                legacy.plant_estimates[plant].median, abs=0.0
+            )
+
+
+class TestMusicReportParity:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kwargs = dict(
+            seed=5,
+            budget=40,
+            music_config=MusicConfig(
+                n_initial=12, refit_every=10, surrogate_mc=64, n_candidates=16
+            ),
+            reference_n=64,
+            parallel=True,
+            fault_rate=0.2,
+            fault_seed=3,
+        )
+        legacy = run_music_vs_pce(memo_cache=MemoCache(), **kwargs)
+        obs = Observability()
+        observed = run_music_vs_pce(
+            memo_cache=MemoCache(), observability=obs, **kwargs
+        )
+        return legacy, observed, obs
+
+    def test_reports_match_legacy(self, runs):
+        legacy, observed, _ = runs
+        assert observed.resilience_report == legacy.resilience_report
+        assert observed.perf_report == legacy.perf_report
+        assert legacy.resilience_report["evaluator_retries"] > 0
+
+    def test_reports_are_registry_views(self, runs):
+        _, observed, obs = runs
+        # EMEWS path: views are the absorbed counters verbatim (keys=None).
+        assert observed.resilience_report == obs.resilience_view()
+        assert observed.perf_report == obs.perf_view()
+
+    def test_curves_unchanged_by_instrumentation(self, runs):
+        legacy, observed, _ = runs
+        assert len(observed.music_curve) == len(legacy.music_curve)
+        for (n_a, s_a), (n_b, s_b) in zip(observed.music_curve, legacy.music_curve):
+            assert n_a == n_b
+            assert s_a == pytest.approx(s_b, abs=0.0)

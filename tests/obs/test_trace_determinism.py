@@ -1,0 +1,101 @@
+"""Trace determinism and Chrome trace_event schema sanity.
+
+The acceptance bar for the tracer: two workflow runs with the same seed
+must export *byte-identical* Chrome trace JSON once the segregated
+wall-clock fields are zeroed, and the exported event stream must be a
+well-formed trace_event document (sorted timestamps, every async begin
+matched by an end with the same id).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Observability, chrome_trace, chrome_trace_json
+from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+# Small but non-trivial: several polls, staged transfers, batch jobs,
+# triggered analyses, and the ALL-policy aggregation all fire.
+RUN_KWARGS = dict(sim_days=4.0, goldstein_iterations=120, seed=7)
+
+
+def observed_run() -> Observability:
+    obs = Observability()
+    run_wastewater_workflow(observability=obs, **RUN_KWARGS)
+    return obs
+
+
+@pytest.fixture(scope="module")
+def trace_pair():
+    return observed_run(), observed_run()
+
+
+class TestDeterminism:
+    def test_same_seed_runs_export_identical_zero_wall_json(self, trace_pair):
+        first, second = trace_pair
+        a = chrome_trace_json(first.tracer, zero_wall=True)
+        b = chrome_trace_json(second.tracer, zero_wall=True)
+        assert a == b  # byte-for-byte
+
+    def test_metrics_snapshots_identical(self, trace_pair):
+        first, second = trace_pair
+        assert first.snapshot() == second.snapshot()
+
+    def test_zero_wall_actually_zeroes_wall_fields(self, trace_pair):
+        obs, _ = trace_pair
+        events = chrome_trace(obs.tracer, zero_wall=True)["traceEvents"]
+        walls = [
+            ev["args"]["wall"]
+            for ev in events
+            if isinstance(ev.get("args"), dict) and "wall" in ev["args"]
+        ]
+        assert walls, "expected wall fields on duration events"
+        assert all(w == {"dur_s": 0.0, "start_s": 0.0} for w in walls)
+
+
+class TestChromeSchema:
+    @pytest.fixture(scope="class")
+    def events(self, trace_pair):
+        return chrome_trace(trace_pair[0].tracer)["traceEvents"]
+
+    def test_json_round_trips(self, trace_pair):
+        doc = json.loads(chrome_trace_json(trace_pair[0].tracer))
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+
+    def test_required_fields_present(self, events):
+        for ev in events:
+            assert ev["ph"] in {"b", "e", "i", "M"}
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], int)
+                assert ev["ts"] >= 0
+
+    def test_timestamps_sorted(self, events):
+        ts = [ev["ts"] for ev in events if ev["ph"] in {"b", "e", "i"}]
+        assert ts == sorted(ts)
+
+    def test_async_begins_matched_by_ends(self, events):
+        begins = {}
+        for ev in events:
+            if ev["ph"] == "b":
+                assert ev["id"] not in begins, "duplicate begin id"
+                begins[ev["id"]] = ev
+            elif ev["ph"] == "e":
+                start = begins.pop(ev["id"], None)
+                assert start is not None, f"end without begin: {ev}"
+                assert ev["ts"] >= start["ts"]
+                assert ev["cat"] == start["cat"]
+        assert not begins, f"unmatched begins: {sorted(begins)}"
+
+    def test_categories_have_thread_metadata(self, events):
+        named = {
+            ev["tid"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        used = {ev["tid"] for ev in events if ev["ph"] in {"b", "e"}}
+        assert used <= named

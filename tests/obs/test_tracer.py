@@ -1,0 +1,137 @@
+"""Span nesting, parent/child propagation, and the disabled fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.tracer import _DISABLED_SPAN, Tracer
+from repro.sim import SimulationEnvironment
+
+
+def make_tracer(clock=None) -> Tracer:
+    # Frozen wall clock keeps wall fields deterministic in assertions.
+    return Tracer(clock, wall_clock=lambda: 0.0)
+
+
+class TestSpanBasics:
+    def test_ids_are_sequential_from_one(self):
+        tracer = make_tracer()
+        spans = [tracer.begin(f"op-{i}") for i in range(5)]
+        assert [s.span_id for s in spans] == [1, 2, 3, 4, 5]
+
+    def test_span_records_sim_interval(self):
+        now = [3.5]
+        tracer = make_tracer(lambda: now[0])
+        span = tracer.begin("transfer", "transfer")
+        now[0] = 4.25
+        tracer.end(span)
+        assert span.start == 3.5
+        assert span.end == 4.25
+        assert span.duration == pytest.approx(0.75)
+        assert span.status == "ok"
+
+    def test_end_attaches_outcome_attrs(self):
+        tracer = make_tracer()
+        span = tracer.begin("job")
+        tracer.end(span, status="error", outcome="requeued")
+        assert span.status == "error"
+        assert span.attrs["outcome"] == "requeued"
+
+    def test_unfinished_spans_excluded_from_finished(self):
+        tracer = make_tracer()
+        done = tracer.begin("a")
+        tracer.begin("still-open")
+        tracer.end(done)
+        assert [s.name for s in tracer.finished_spans()] == ["a"]
+
+
+class TestNestingAndPropagation:
+    def test_span_context_nests_parent_ids(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tracer.current is outer
+        assert outer.parent_id is None
+        assert tracer.current is None
+
+    def test_begin_defaults_parent_to_current(self):
+        tracer = make_tracer()
+        with tracer.span("event") as event:
+            child = tracer.begin("async-op")
+        assert child.parent_id == event.span_id
+
+    def test_begin_parent_none_forces_root(self):
+        tracer = make_tracer()
+        with tracer.span("event"):
+            root = tracer.begin("detached", parent=None)
+        assert root.parent_id is None
+
+    def test_activate_reestablishes_stored_parent(self):
+        tracer = make_tracer()
+        owner = tracer.begin("flow-run")
+        # Later, inside an unrelated callback scope:
+        with tracer.span("sim.event"):
+            with tracer.activate(owner):
+                child = tracer.begin("transfer")
+            sibling = tracer.begin("other")
+        assert child.parent_id == owner.span_id
+        assert sibling.parent_id != owner.span_id
+
+    def test_activate_none_is_noop(self):
+        tracer = make_tracer()
+        with tracer.activate(None):
+            span = tracer.begin("op")
+        assert span.parent_id is None
+
+    def test_span_error_status_on_raise(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error"
+        assert span.attrs["error"] == "ValueError"
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.begin("op")
+        assert span is _DISABLED_SPAN
+        tracer.end(span)
+        with tracer.span("scope"):
+            tracer.instant("mark")
+        assert tracer.spans == []
+        assert tracer.instants == []
+
+    def test_disabled_span_swallows_annotations(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.begin("op")
+        span.annotate(anything="goes")
+        # Shared inert object: must not leak state between uses.
+        tracer.end(span, outcome="ignored")
+
+
+class TestEnvironmentInstall:
+    def test_install_binds_clock_and_traces_events(self):
+        env = SimulationEnvironment()
+        obs = env.install_observability(Observability())
+        env.schedule(2.0, lambda: None, label="tick")
+        env.run_until(5.0)
+        (span,) = obs.tracer.finished_spans()
+        assert span.name == "tick"
+        assert span.category == "sim.event"
+        assert span.start == 2.0
+
+    def test_double_install_rejected(self):
+        from repro.common.errors import SimulationError
+
+        env = SimulationEnvironment()
+        env.install_observability(Observability())
+        with pytest.raises(SimulationError):
+            env.install_observability(Observability())
+
+    def test_uninstrumented_env_has_no_obs(self):
+        assert SimulationEnvironment().obs is None
