@@ -1,0 +1,118 @@
+"""Checkpointing overhead: journaling a run must cost <5% of the workload.
+
+The ``repro.state`` runtime journals every completed compute task, timer
+firing, and flow step as the run executes.  The acceptance target is that a
+fully journaled run of the vectorized R(t) workflow — the repo's benchmark
+workload since the multi-chain MCMC PR — pays **under 5%** wall-clock over
+an unjournaled run, for either store backend.
+
+Method: ``REPS`` alternating runs of the wastewater workflow with no store,
+an in-memory store, and a fresh on-disk JSONL store (fresh per rep, so no
+run ever replays a journal hit — this measures pure record overhead, the
+worst case).  The minimum wall per mode is compared; minima are the
+standard noise-robust statistic for this suite (see bench_obs_overhead).
+
+Results land in the ``checkpoint_overhead`` section of ``BENCH_perf.json``;
+a sample journal from the on-disk run is copied to ``benchmarks/output/``
+for the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.state import InMemoryRunStore, JsonlRunStore
+from repro.workflows.wastewater_rt import WastewaterRunConfig, run_wastewater_workflow
+
+#: Alternating repetitions per mode (min-of-REPS is the statistic).
+REPS = 3
+
+#: The vectorized R(t) benchmark workload, journaled end to end.
+CONFIG = WastewaterRunConfig(
+    sim_days=6.0, goldstein_iterations=400, seed=7, vectorized_rt=True
+)
+
+
+def _run_once(run_store) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    result = run_wastewater_workflow(CONFIG, run_store=run_store)
+    return time.perf_counter() - t0, result
+
+
+def test_checkpoint_overhead_under_5_percent(save_artifact, update_bench_report):
+    walls: dict[str, list[float]] = {"none": [], "memory": [], "jsonl": []}
+    records = 0
+    sample_journal: Path | None = None
+    jsonl_roots: list[Path] = []
+
+    for _ in range(REPS):
+        wall, _ = _run_once(None)
+        walls["none"].append(wall)
+
+        wall, result = _run_once(InMemoryRunStore())
+        walls["memory"].append(wall)
+        records = result.state_report["state_journal_records"]
+
+        root = Path(tempfile.mkdtemp(prefix="bench-ckpt-"))
+        jsonl_roots.append(root)
+        store = JsonlRunStore(root)
+        wall, result = _run_once(store)
+        walls["jsonl"].append(wall)
+        sample_journal = (
+            root / result.run_id / JsonlRunStore.JOURNAL_NAME
+        )
+
+    base = min(walls["none"])
+    overhead_memory = min(walls["memory"]) / base - 1.0
+    overhead_jsonl = min(walls["jsonl"]) / base - 1.0
+
+    # CI artifact: one complete journal from a journaled benchmark run.
+    out_dir = Path(__file__).parent / "output"
+    out_dir.mkdir(exist_ok=True)
+    assert sample_journal is not None and sample_journal.exists()
+    shutil.copyfile(sample_journal, out_dir / "sample_run_journal.jsonl")
+    for root in jsonl_roots:
+        shutil.rmtree(root, ignore_errors=True)
+
+    lines = [
+        "Checkpointing overhead (vectorized R(t) workload)",
+        "=================================================",
+        f"journal records per run:     {records}",
+        f"no store       (min of {REPS}): {base:6.3f} s",
+        f"in-memory store (min of {REPS}): {min(walls['memory']):6.3f} s"
+        f"  ({overhead_memory:+.2%})",
+        f"JSONL store     (min of {REPS}): {min(walls['jsonl']):6.3f} s"
+        f"  ({overhead_jsonl:+.2%})",
+        "",
+        "target: < 5% for either backend",
+    ]
+    save_artifact("checkpoint_overhead", "\n".join(lines))
+
+    update_bench_report(
+        "checkpoint_overhead",
+        {
+            "benchmark": "run-journal overhead on the vectorized R(t) workflow",
+            "workload": {
+                "sim_days": CONFIG.sim_days,
+                "goldstein_iterations": CONFIG.goldstein_iterations,
+                "vectorized_rt": True,
+            },
+            "journal_records_per_run": records,
+            "wall_s_min": {
+                "no_store": round(base, 4),
+                "memory_store": round(min(walls["memory"]), 4),
+                "jsonl_store": round(min(walls["jsonl"]), 4),
+            },
+            "overhead": {
+                "memory_store": round(overhead_memory, 6),
+                "jsonl_store": round(overhead_jsonl, 6),
+            },
+            "target": "< 5% overhead, either backend",
+        },
+    )
+
+    assert overhead_memory < 0.05
+    assert overhead_jsonl < 0.05

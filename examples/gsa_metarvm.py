@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import (
+    MusicGsaRunConfig,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    run_music_gsa,
+    run_replicate_gsa,
+)
 from repro.gsa.music import MusicConfig
-from repro.workflows.figures import render_figure4, render_figure5, render_table1
-from repro.workflows.music_gsa import run_music_vs_pce, run_replicate_gsa
 
 
 def main(budget: int = 120, n_replicates: int = 5) -> None:
@@ -33,8 +39,10 @@ def main(budget: int = 120, n_replicates: int = 5) -> None:
         f"Figure 4 experiment: MUSIC vs PCE, budget {budget} evaluations, "
         "fixed seed, evaluations through an EMEWS task database...\n"
     )
-    figure4 = run_music_vs_pce(
-        seed=0, budget=budget, music_config=music_config, reference_n=1024
+    figure4 = run_music_gsa(
+        MusicGsaRunConfig(
+            seed=0, budget=budget, music_config=music_config, reference_n=1024
+        )
     )
     print(render_figure4(figure4))
     print()

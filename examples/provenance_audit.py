@@ -21,12 +21,14 @@ from repro.aero import MetadataCatalog
 from repro.aero.provenance import lineage
 from repro.common.hashing import content_checksum
 from repro.common.tabulate import format_table
-from repro.workflows.wastewater_rt import run_wastewater_workflow
+from repro.api import WastewaterRunConfig, run_wastewater_workflow
 
 
 def main() -> None:
     print("Running the wastewater workflow (6 simulated days)...\n")
-    result = run_wastewater_workflow(sim_days=6.0, goldstein_iterations=600, seed=13)
+    result = run_wastewater_workflow(
+        WastewaterRunConfig(sim_days=6.0, goldstein_iterations=600, seed=13)
+    )
     platform, client = result.platform, result.client
     catalog = MetadataCatalog(platform.metadata)
 

@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import sys
 
-from repro.workflows.figures import render_figure1, render_figure2
-from repro.workflows.wastewater_rt import run_wastewater_workflow
+from repro.api import (
+    WastewaterRunConfig,
+    render_figure1,
+    render_figure2,
+    run_wastewater_workflow,
+)
 
 
 def main(sim_days: float = 12.0) -> None:
@@ -25,10 +29,12 @@ def main(sim_days: float = 12.0) -> None:
         "days of live operation (plus 100 days of onboarded history)...\n"
     )
     result = run_wastewater_workflow(
-        data_start_day=100.0,
-        sim_days=sim_days,
-        goldstein_iterations=1500,
-        seed=2024,
+        WastewaterRunConfig(
+            data_start_day=100.0,
+            sim_days=sim_days,
+            goldstein_iterations=1500,
+            seed=2024,
+        )
     )
 
     print(render_figure1(result))

@@ -197,6 +197,13 @@ class _BaseFlow:
         record.completed_at = self.platform.env.now
         record.log(self.platform.env.now, "finish", status.value)
         self._running = False
+        state = self.platform.env.state
+        if state is not None:
+            # Diagnostic record for `repro runs show` / crash forensics;
+            # idempotent on replay (same flow name + deterministic run id).
+            state.record_flow_run(
+                self.name, record.run_id, status.value, t=self.platform.env.now
+            )
         obs = self.platform.env.obs
         if obs is not None:
             obs.inc(

@@ -22,6 +22,7 @@ from repro.globus.compute import (
     ComputeEndpoint,
     ComputeService,
     GlobusComputeEngine,
+    JournalingEngine,
     LoginNodeEngine,
     MemoizingEngine,
     RetryingEngine,
@@ -34,11 +35,12 @@ from repro.hpc.cluster import Cluster
 from repro.hpc.scheduler import BatchScheduler
 from repro.aero.metadata import MetadataDatabase
 from repro.obs import PERF_KEYS, RESILIENCE_KEYS
-from repro.sim import SimulationEnvironment
+from repro.sim import RuntimeConfig, SimulationEnvironment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.obs import Observability
+    from repro.state import RunCheckpointer
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,19 @@ class AeroPlatform:
         views over its :class:`~repro.obs.MetricsRegistry`.  An
         observability already installed on a shared ``env`` is picked up
         automatically; passing one here *and* pre-installing is an error.
+    state:
+        Optional :class:`~repro.state.RunCheckpointer`, installed on the
+        environment before any service is constructed.  With it installed,
+        every attached compute endpoint is fronted by a
+        :class:`JournalingEngine` (stacked outside the memo cache: only the
+        journal survives a crash), timer firings and flow steps are
+        journaled, and :meth:`state_report` summarises replay activity.
+    runtime:
+        Optional :class:`~repro.sim.RuntimeConfig` bundling the three
+        capabilities above; its non-``None`` fields are installed exactly
+        as the individual parameters.  Mixing ``runtime=`` with the
+        corresponding individual parameter installs both, which the
+        environment rejects as a duplicate.
     """
 
     def __init__(
@@ -98,12 +113,13 @@ class AeroPlatform:
         fault_plan: Optional["FaultPlan"] = None,
         compute_cache: Optional[MemoCache] = None,
         observability: Optional["Observability"] = None,
+        state: Optional["RunCheckpointer"] = None,
+        runtime: Optional[RuntimeConfig] = None,
     ) -> None:
         self.env = env if env is not None else SimulationEnvironment()
-        if fault_plan is not None:
-            self.env.install_fault_plan(fault_plan)
-        if observability is not None:
-            self.env.install_observability(observability)
+        self.env.install(fault_plan, observability, state)
+        if runtime is not None:
+            self.env.install(runtime)
         if compute_cache is not None and self.env.obs is not None:
             compute_cache.bind_observability(self.env.obs)
         self.resilience = resilience
@@ -112,6 +128,7 @@ class AeroPlatform:
             if resilience is not None
             else None
         )
+        self._rngs = rngs
         self.auth = AuthService(self.env)
         self.storage = StorageService(self.auth, self.env)
         self.transfer = TransferService(
@@ -219,6 +236,10 @@ class AeroPlatform:
         if self.compute_cache is not None:
             # Outside the retry wrapper: a cache hit skips retries entirely.
             engine = MemoizingEngine(engine, self.env, self.compute_cache)
+        if self.env.state is not None:
+            # Outermost: a journal hit must short-circuit even a cold memo
+            # cache, because only the journal survives a crash.
+            engine = JournalingEngine(engine, self.env, self.env.state)
         endpoint = self.compute.create_endpoint(name, engine)
         staging = self.storage.create_collection(
             f"{name}-staging", self._service_token
@@ -250,6 +271,34 @@ class AeroPlatform:
     def obs(self) -> Optional["Observability"]:
         """The observability bundle installed on this platform's environment."""
         return self.env.obs
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> Optional["RunCheckpointer"]:
+        """The run checkpointer installed on this platform's environment."""
+        return self.env.state
+
+    def rng_state_digest(self) -> Dict[str, str]:
+        """Digests of the platform's named RNG stream positions.
+
+        Empty when no resilience config (hence no registry) exists.  Used
+        by the workflows to journal an ``rng.mark`` at run completion.
+        """
+        return self._rngs.state_digest() if self._rngs is not None else {}
+
+    def state_report(self) -> Dict[str, int]:
+        """Checkpointing counters, all zeros when no checkpointer is installed."""
+        state = self.env.state
+        if state is None:
+            return {
+                "state_records_appended": 0,
+                "state_replay_hits": 0,
+                "state_replay_misses": 0,
+                "state_journal_skipped": 0,
+                "state_killed": 0,
+                "state_journal_records": 0,
+            }
+        return state.counters()
 
     # ------------------------------------------------------------- resilience
     def resilience_report(self) -> Dict[str, int]:

@@ -1,0 +1,113 @@
+"""Stable public facade for the OSPREY reproduction.
+
+``repro.api`` re-exports the supported surface of the package in one flat
+namespace, so scripts and notebooks can write::
+
+    from repro.api import (
+        MusicGsaRunConfig,
+        WastewaterRunConfig,
+        run_music_gsa,
+        run_wastewater_workflow,
+    )
+
+and stay insulated from internal module moves.  Everything here follows the
+deprecation policy in DESIGN.md: names are only removed one release after a
+``DeprecationWarning`` starts firing from the old location.
+
+The surface groups into five layers:
+
+- **Workflows** — the paper's two end-to-end use cases, their keyword-only
+  run configs, and their result dataclasses.
+- **Runtime capabilities** — fault plans, resilience/retry policies,
+  observability, memoization, and the :mod:`repro.state` checkpoint/resume
+  runtime, all installable through
+  :meth:`~repro.sim.SimulationEnvironment.install` or a single
+  :class:`~repro.sim.RuntimeConfig`.
+- **Run stores** — durable (or in-memory) journals behind ``run_store=`` /
+  ``resume_from=``.
+- **Simulation** — the discrete-event environment everything runs on.
+- **Rendering** — the tables/figures and trace/metrics exports.
+"""
+
+from __future__ import annotations
+
+from repro.common import (
+    ResilienceConfig,
+    RetryPolicy,
+    WorkflowKilledError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import (
+    Observability,
+    chrome_trace_json,
+    metrics_table,
+    profile_summary,
+    trace_gantt_svg,
+)
+from repro.perf import MemoCache
+from repro.sim import RuntimeConfig, SimulationEnvironment
+from repro.state import (
+    InMemoryRunStore,
+    JsonlRunStore,
+    KillSwitch,
+    RunCheckpointer,
+    RunStore,
+)
+from repro.workflows import (
+    Figure4Data,
+    Figure5Data,
+    MusicGsaRunConfig,
+    WastewaterRunConfig,
+    WastewaterWorkflowResult,
+    run_music_gsa,
+    run_replicate_gsa,
+    run_wastewater_workflow,
+)
+from repro.workflows.figures import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+)
+
+__all__ = [
+    # workflows
+    "run_wastewater_workflow",
+    "WastewaterRunConfig",
+    "WastewaterWorkflowResult",
+    "run_music_gsa",
+    "MusicGsaRunConfig",
+    "Figure4Data",
+    "run_replicate_gsa",
+    "Figure5Data",
+    # runtime capabilities
+    "RuntimeConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "Observability",
+    "MemoCache",
+    "RunCheckpointer",
+    "KillSwitch",
+    "WorkflowKilledError",
+    # run stores
+    "RunStore",
+    "InMemoryRunStore",
+    "JsonlRunStore",
+    # simulation
+    "SimulationEnvironment",
+    # rendering
+    "render_table1",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "chrome_trace_json",
+    "trace_gantt_svg",
+    "metrics_table",
+    "profile_summary",
+]

@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli shapley --n 512
     python -m repro.cli trace run --workflow wastewater --out trace.json --svg gantt.svg
     python -m repro.cli metrics --workflow music-gsa
+    python -m repro.cli runs list --store runs/
+    python -m repro.cli runs show wastewater-34ef0b0223-001 --store runs/
+    python -m repro.cli runs resume wastewater-34ef0b0223-001 --store runs/
 
 Each subcommand prints the same rendering the benchmark harness writes to
 ``benchmarks/output/``; sizes default to quick-turnaround settings and can
@@ -21,6 +24,11 @@ be raised to paper scale with the flags.
 :class:`~repro.obs.Observability` and writes the Chrome ``trace_event``
 JSON (loadable in chrome://tracing or Perfetto) plus an optional Gantt SVG;
 ``metrics`` prints the unified metrics-registry snapshot as tables.
+
+``runs`` operates on a :class:`~repro.state.JsonlRunStore` directory:
+``runs list`` tabulates the journaled runs, ``runs show`` breaks one run's
+journal down by record kind, and ``runs resume`` replays a killed run to
+completion (bitwise identical to the uninterrupted run).
 """
 
 from __future__ import annotations
@@ -37,21 +45,29 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> str:
+    from repro.api import WastewaterRunConfig, run_wastewater_workflow
     from repro.workflows.figures import render_figure1
-    from repro.workflows.wastewater_rt import run_wastewater_workflow
 
     result = run_wastewater_workflow(
-        sim_days=args.sim_days, goldstein_iterations=args.iterations, seed=args.seed
+        WastewaterRunConfig(
+            sim_days=args.sim_days,
+            goldstein_iterations=args.iterations,
+            seed=args.seed,
+        )
     )
     return render_figure1(result)
 
 
 def _cmd_figure2(args: argparse.Namespace) -> str:
+    from repro.api import WastewaterRunConfig, run_wastewater_workflow
     from repro.workflows.figures import render_figure2
-    from repro.workflows.wastewater_rt import run_wastewater_workflow
 
     result = run_wastewater_workflow(
-        sim_days=args.sim_days, goldstein_iterations=args.iterations, seed=args.seed
+        WastewaterRunConfig(
+            sim_days=args.sim_days,
+            goldstein_iterations=args.iterations,
+            seed=args.seed,
+        )
     )
     return render_figure2(result)
 
@@ -63,17 +79,19 @@ def _cmd_figure3(args: argparse.Namespace) -> str:
 
 
 def _cmd_figure4(args: argparse.Namespace) -> str:
+    from repro.api import MusicGsaRunConfig, run_music_gsa
     from repro.gsa.music import MusicConfig
     from repro.workflows.figures import render_figure4
-    from repro.workflows.music_gsa import run_music_vs_pce
 
-    data = run_music_vs_pce(
-        seed=args.seed,
-        budget=args.budget,
-        music_config=MusicConfig(
-            n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
-        ),
-        reference_n=args.reference_n,
+    data = run_music_gsa(
+        MusicGsaRunConfig(
+            seed=args.seed,
+            budget=args.budget,
+            music_config=MusicConfig(
+                n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
+            ),
+            reference_n=args.reference_n,
+        )
     )
     return render_figure4(data)
 
@@ -146,21 +164,21 @@ def _run_observed_workflow(args: argparse.Namespace):
 
     obs = Observability()
     if args.workflow == "wastewater":
-        from repro.workflows.wastewater_rt import run_wastewater_workflow
+        from repro.api import WastewaterRunConfig, run_wastewater_workflow
 
         run_wastewater_workflow(
-            sim_days=args.sim_days,
-            goldstein_iterations=args.iterations,
-            seed=args.seed,
+            WastewaterRunConfig(
+                sim_days=args.sim_days,
+                goldstein_iterations=args.iterations,
+                seed=args.seed,
+            ),
             observability=obs,
         )
     else:  # music-gsa
-        from repro.workflows.music_gsa import run_music_vs_pce
+        from repro.api import MusicGsaRunConfig, run_music_gsa
 
-        run_music_vs_pce(
-            seed=args.seed,
-            budget=args.budget,
-            parallel=True,
+        run_music_gsa(
+            MusicGsaRunConfig(seed=args.seed, budget=args.budget, parallel=True),
             observability=obs,
         )
     return obs
@@ -192,6 +210,70 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
 
     obs = _run_observed_workflow(args)
     return metrics_table(obs.metrics)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> str:
+    from repro.common.tabulate import format_table
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    summaries = store.list_runs()
+    if not summaries:
+        return f"no runs in {args.store}"
+    rows = [
+        [s.run_id, s.workflow, s.status, s.n_records, s.config_digest[:10]]
+        for s in summaries
+    ]
+    return format_table(
+        ["run id", "workflow", "status", "records", "config"], rows
+    )
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> str:
+    from repro.common.tabulate import format_table
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    handle = store.open_run(args.run_id)
+    lines = [
+        f"run:      {handle.run_id}",
+        f"workflow: {handle.workflow}",
+        f"status:   {handle.status}",
+        f"records:  {len(handle.journal)}",
+        "",
+    ]
+    counts = handle.journal.counts_by_kind()
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    lines.append(format_table(["record kind", "count"], rows))
+    return "\n".join(lines)
+
+
+def _cmd_runs_resume(args: argparse.Namespace) -> str:
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    handle = store.open_run(args.run_id)
+    if handle.workflow == "wastewater":
+        from repro.api import run_wastewater_workflow
+
+        result = run_wastewater_workflow(
+            run_store=store, resume_from=args.run_id
+        )
+        report = result.state_report
+    elif handle.workflow == "music-gsa":
+        from repro.api import run_music_gsa
+
+        data = run_music_gsa(run_store=store, resume_from=args.run_id)
+        report = data.state_report
+    else:
+        raise SystemExit(
+            f"run {args.run_id} belongs to unknown workflow "
+            f"{handle.workflow!r}; cannot resume"
+        )
+    lines = [f"resumed {args.run_id}: status {store.open_run(args.run_id).status}"]
+    for key in sorted(report):
+        lines.append(f"  {key}: {report[key]}")
+    return "\n".join(lines)
 
 
 def _add_workflow_options(p: argparse.ArgumentParser) -> None:
@@ -273,6 +355,20 @@ def build_parser() -> argparse.ArgumentParser:
     pm = sub.add_parser("metrics", help="print the unified metrics snapshot")
     _add_workflow_options(pm)
     pm.set_defaults(fn=_cmd_metrics)
+
+    pr = sub.add_parser("runs", help="inspect/resume journaled runs in a store")
+    rsub = pr.add_subparsers(dest="runs_command", required=True)
+    prl = rsub.add_parser("list", help="tabulate the runs in a store directory")
+    prl.add_argument("--store", required=True, help="JsonlRunStore directory")
+    prl.set_defaults(fn=_cmd_runs_list)
+    prs = rsub.add_parser("show", help="journal breakdown for one run")
+    prs.add_argument("run_id")
+    prs.add_argument("--store", required=True, help="JsonlRunStore directory")
+    prs.set_defaults(fn=_cmd_runs_show)
+    prr = rsub.add_parser("resume", help="resume a killed run to completion")
+    prr.add_argument("run_id")
+    prr.add_argument("--store", required=True, help="JsonlRunStore directory")
+    prr.set_defaults(fn=_cmd_runs_resume)
 
     return parser
 

@@ -21,6 +21,7 @@ from repro.common.errors import (
     StateError,
     TransientServiceError,
     RetryExhaustedError,
+    WorkflowKilledError,
 )
 from repro.common.retry import (
     CircuitBreaker,
@@ -42,6 +43,7 @@ __all__ = [
     "StateError",
     "TransientServiceError",
     "RetryExhaustedError",
+    "WorkflowKilledError",
     "RetryPolicy",
     "CircuitBreaker",
     "ResilienceConfig",

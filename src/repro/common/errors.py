@@ -88,6 +88,20 @@ class CircuitOpenError(TransientServiceError):
     """A circuit breaker is open; the operation was rejected without attempt."""
 
 
+class WorkflowKilledError(Exception):
+    """A run was deliberately crashed by the checkpoint/resume chaos harness.
+
+    Deliberately **not** a :class:`ReproError`: the stack's recovery
+    machinery (``except ReproError`` in flow polling, retry engines) must
+    never absorb a crash that is supposed to take the whole run down.
+    ``run_id`` names the journaled run so the caller can resume it.
+    """
+
+    def __init__(self, message: str, run_id: "str | None" = None) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+
+
 class RetryExhaustedError(ReproError):
     """A retry budget was exhausted without success.
 

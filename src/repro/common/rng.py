@@ -138,6 +138,20 @@ class RngRegistry:
         """Names of all streams created so far (for diagnostics)."""
         return sorted(self._streams)
 
+    def state_digest(self) -> Dict[str, str]:
+        """Short digest of each stream's bit-generator state.
+
+        Journaled at run completion (``rng.mark`` records) so a resumed
+        run can be audited against its uninterrupted twin: identical
+        digests mean every stream was advanced identically.
+        """
+        from repro.common.hashing import short_id, stable_digest
+
+        return {
+            name: short_id(stable_digest(self._streams[name].bit_generator.state))
+            for name in sorted(self._streams)
+        }
+
 
 def replicate_seed(root_seed: int, replicate: int) -> int:
     """Stable scalar seed for replicate ``replicate`` of an experiment.

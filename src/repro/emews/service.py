@@ -22,7 +22,7 @@ modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from repro.common.errors import ValidationError
 from repro.emews.db import TaskDatabase
@@ -37,6 +37,9 @@ from repro.hpc.scheduler import BatchScheduler, Job, JobRequest
 from repro.perf.executor import ParallelEvaluator
 from repro.perf.memo import MemoCache
 from repro.sim import SimulationEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.state import RunCheckpointer
 
 
 @dataclass
@@ -63,10 +66,24 @@ class PoolHandle:
 
 
 class EmewsService:
-    """Queue creation plus worker-pool lifecycle management."""
+    """Queue creation plus worker-pool lifecycle management.
 
-    def __init__(self, db: Optional[TaskDatabase] = None) -> None:
+    With a :class:`~repro.state.RunCheckpointer` attached (``state=``),
+    every evaluator handed to a local or parallel pool is wrapped so that
+    completed task results land in the run journal, and journaled results
+    are served without re-evaluation on resume.  The EMEWS path has no
+    simulated clock, so the checkpointer runs clock-free here (its
+    count-based :class:`~repro.state.KillSwitch` is the crash mechanism).
+    """
+
+    def __init__(
+        self,
+        db: Optional[TaskDatabase] = None,
+        *,
+        state: Optional["RunCheckpointer"] = None,
+    ) -> None:
         self.db = db if db is not None else TaskDatabase()
+        self.state = state
         self._pools: list[PoolHandle] = []
 
     # ------------------------------------------------------------------ queue
@@ -84,6 +101,8 @@ class EmewsService:
         name: str = "local-pool",
     ) -> PoolHandle:
         """Start a threaded pool in this process (the testing mode)."""
+        if self.state is not None:
+            fn = self.state.wrap_evaluator(fn)
         pool = ThreadedWorkerPool(
             self.db, task_type, fn, n_workers=n_workers, name=name
         ).start()
@@ -113,6 +132,11 @@ class EmewsService:
         worker, while a vectorized ``batch_fn`` or memoization ``cache``
         can make them arrive much faster.
         """
+        if self.state is not None:
+            if fn is not None:
+                fn = self.state.wrap_evaluator(fn)
+            if batch_fn is not None:
+                batch_fn = self.state.wrap_batch_evaluator(batch_fn)
         evaluator = ParallelEvaluator(
             fn, batch_fn=batch_fn, n_workers=n_workers, backend=backend, cache=cache
         )

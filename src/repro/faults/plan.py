@@ -35,6 +35,7 @@ OPERATION_SITES = frozenset(
         "timer",           # a timer firing is missed (callback skipped)
         "flows.step",      # a Globus Flows action-provider step fails
         "job",             # a batch job is killed mid-run (node fault)
+        "state.journal",   # the process dies writing a checkpoint record
     }
 )
 

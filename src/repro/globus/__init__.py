@@ -34,6 +34,7 @@ from repro.globus.compute import (
     ComputeFuture,
     ComputeService,
     GlobusComputeEngine,
+    JournalingEngine,
     LoginNodeEngine,
     MemoizingEngine,
     RetryingEngine,
@@ -58,6 +59,7 @@ __all__ = [
     "ComputeFuture",
     "ComputeService",
     "GlobusComputeEngine",
+    "JournalingEngine",
     "LoginNodeEngine",
     "MemoizingEngine",
     "RetryingEngine",

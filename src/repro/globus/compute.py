@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from repro.globus.auth import AuthService, Token
 from repro.hpc.scheduler import BatchScheduler, Job, JobRequest, JobState
 from repro.perf.memo import MemoCache
 from repro.sim import SimulationEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.state import RunCheckpointer
 
 _COST_ATTR = "__simulated_cost__"
 
@@ -493,6 +496,73 @@ class MemoizingEngine(_Engine):
         def on_done(finished: ComputeFuture) -> None:
             if finished.status is TaskStatus.SUCCEEDED:
                 self.cache.store(key, finished._result)
+
+        future.add_done_callback(on_done)
+        self._inner.execute(future, fn, args, kwargs)
+
+
+class JournalingEngine(_Engine):
+    """Run-journal replay/record wrapper around any compute engine.
+
+    The checkpoint analogue of :class:`MemoizingEngine`, sharing its key
+    scheme (function identity + full payload): a result already in the run
+    journal is served on the next event-loop tick without touching the
+    wrapped engine, and a fresh SUCCEEDED result is journaled through the
+    installed :class:`~repro.state.RunCheckpointer`.  On resume this is
+    what lets the replayed workflow skip every compute task the killed run
+    had finished, while producing bitwise-identical values (journal
+    payloads are canonical JSON; float64 survives the round trip exactly).
+
+    Stack this *outside* a :class:`MemoizingEngine`: a journal hit must
+    short-circuit even a cold memo cache, since only the journal survives
+    the crash.  Unaddressable functions bypass, same as memoization.
+    """
+
+    def __init__(
+        self,
+        inner: _Engine,
+        env: SimulationEnvironment,
+        state: "RunCheckpointer",
+    ) -> None:
+        self._inner = inner
+        self._env = env
+        self.state = state
+        self.hits_served = 0
+        self.bypasses = 0
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def execute(self, future, fn, args, kwargs) -> None:
+        obs = self._env.obs
+        key = self.state.task_key(fn, {"args": list(args), "kwargs": kwargs})
+        if key is None:
+            self.bypasses += 1
+            if obs is not None:
+                obs.inc("state.bypasses")
+            self._inner.execute(future, fn, args, kwargs)
+            return
+        hit, value = self.state.lookup_task(key)
+        if hit:
+            self.hits_served += 1
+            if obs is not None:
+                obs.instant(
+                    f"journal-hit:{future.task_id}",
+                    "state.hit",
+                    attrs={"task_id": future.task_id},
+                )
+
+            def _serve_hit() -> None:
+                future.attempts += 1
+                future.started_at = self._env.now
+                future._finish(TaskStatus.SUCCEEDED, value, None, self._env.now)
+
+            self._env.schedule(0.0, _serve_hit, label=f"journal-hit:{future.task_id}")
+            return
+
+        def on_done(finished: ComputeFuture) -> None:
+            if finished.status is TaskStatus.SUCCEEDED:
+                self.state.record_task(key, finished._result, t=self._env.now)
 
         future.add_done_callback(on_done)
         self._inner.execute(future, fn, args, kwargs)

@@ -29,10 +29,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import NotFoundError, ValidationError, WorkflowKilledError
 from repro.common.retry import RetryPolicy
 from repro.globus.auth import AuthService, Token
 from repro.sim import SimulationEnvironment
+from repro.state.checkpoint import REPLAY_SAFE_ATTR
 
 #: A flow step: takes the mutable run context, returns updates to merge in.
 StepFn = Callable[[Dict[str, Any]], Optional[Dict[str, Any]]]
@@ -199,10 +200,34 @@ class FlowsService:
             span.annotate(run_status=run.status.value, steps=len(run.step_log))
         return run
 
+    def _step_key(self, flow: FlowDefinition, run: FlowRun, name: str) -> str:
+        return f"{flow.flow_id}:{run.run_id}:{name}"
+
     def _execute_steps(self, run: FlowRun, flow: FlowDefinition, obs) -> FlowRun:
+        state = self._env.state
         for name, fn in flow.steps:
             record = StepRecord(name=name, started_at=self._env.now)
             run.step_log.append(record)
+            if state is not None and getattr(fn, REPLAY_SAFE_ATTR, False):
+                # A replay-safe step's only effect is the context updates it
+                # returns, so a journaled completion can stand in for
+                # re-execution on resume.  Side-effectful steps always
+                # re-run — re-executing them is how replay reconstructs
+                # downstream service state.
+                journaled = state.lookup_flow_step(self._step_key(flow, run, name))
+                if journaled is not None:
+                    if obs is not None:
+                        obs.instant(
+                            f"{name}#replayed",
+                            "flows.step.replayed",
+                            attrs={"step": name, "run_id": run.run_id},
+                        )
+                    updates = journaled.get("updates")
+                    if updates:
+                        run.context.update(updates)
+                    record.status = RunStatus.SUCCEEDED
+                    record.completed_at = self._env.now
+                    continue
             while True:
                 record.attempts += 1
                 step_span = (
@@ -219,6 +244,10 @@ class FlowsService:
                     if faults is not None:
                         faults.check("flows.step", label=f"{flow.title}:{name}")
                     updates = fn(run.context)
+                except WorkflowKilledError:
+                    # A deliberate crash is never a step failure; let it
+                    # take the run (and the process) down.
+                    raise
                 except Exception as exc:
                     policy = self._step_retry
                     if (
@@ -257,6 +286,17 @@ class FlowsService:
                 run.context.update(updates)
             record.status = RunStatus.SUCCEEDED
             record.completed_at = self._env.now
+            if state is not None:
+                replayable = bool(getattr(fn, REPLAY_SAFE_ATTR, False))
+                state.record_flow_step(
+                    self._step_key(flow, run, name),
+                    {
+                        "step": name,
+                        "updates": updates if replayable else None,
+                        "replayable": replayable,
+                    },
+                    t=self._env.now,
+                )
         run.status = RunStatus.SUCCEEDED
         run.completed_at = self._env.now
         return run

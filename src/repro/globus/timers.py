@@ -96,6 +96,13 @@ class Timer:
                     self._active = False
                 return
         self._firings += 1
+        state = self._env.state
+        if state is not None:
+            # Write-ahead: the firing is journaled before its callback runs,
+            # so a crash mid-callback replays the same firing on resume
+            # (idempotent append; the callback itself always re-runs, since
+            # re-firing is how replay rebuilds downstream service state).
+            state.record_timer_firing(self.label, self._firings, t=self._env.now)
         span = (
             obs.begin(
                 f"timer:{self.label}#{self._firings}",

@@ -13,8 +13,10 @@ Public API:
 - :class:`SimulationEnvironment` — clock + event loop bundle shared by all
   simulated services.
 - :class:`Event` — a scheduled callback handle (cancelable).
+- :class:`RuntimeConfig` — one bag of environment capabilities (fault plan,
+  observability, run checkpointer) for ``env.install(...)``.
 """
 
-from repro.sim.loop import Event, SimulationEnvironment
+from repro.sim.loop import Event, RuntimeConfig, SimulationEnvironment
 
-__all__ = ["Event", "SimulationEnvironment"]
+__all__ = ["Event", "RuntimeConfig", "SimulationEnvironment"]

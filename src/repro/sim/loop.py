@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
@@ -29,6 +30,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
     from repro.obs import Observability
+    from repro.state import RunCheckpointer
+
+
+@dataclass
+class RuntimeConfig:
+    """One bag for every environment capability.
+
+    The unified way to configure a simulated stack: pass a single
+    ``RuntimeConfig`` to :meth:`SimulationEnvironment.install` (or to the
+    ``runtime=`` parameter of :class:`~repro.aero.AeroPlatform`) instead of
+    threading ``fault_plan`` / ``observability`` / ``state`` through each
+    constructor separately.  ``None`` fields are simply not installed.
+    """
+
+    fault_plan: Optional["FaultPlan"] = None
+    observability: Optional["Observability"] = None
+    state: Optional["RunCheckpointer"] = None
+
+    def capabilities(self) -> List[Any]:
+        """The non-``None`` capabilities, in installation order."""
+        return [
+            cap
+            for cap in (self.fault_plan, self.observability, self.state)
+            if cap is not None
+        ]
 
 
 @dataclass(order=True)
@@ -107,6 +133,7 @@ class SimulationEnvironment:
         self._running = False
         self._faults: Optional["FaultInjector"] = None
         self._obs: Optional["Observability"] = None
+        self._state: Optional["RunCheckpointer"] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -114,7 +141,7 @@ class SimulationEnvironment:
         """Current simulated time in days."""
         return self._now
 
-    # ---------------------------------------------------------------- faults
+    # ----------------------------------------------------------- capabilities
     @property
     def faults(self) -> Optional["FaultInjector"]:
         """The armed fault injector, or ``None`` on a healthy run.
@@ -125,23 +152,6 @@ class SimulationEnvironment:
         """
         return self._faults
 
-    def install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
-        """Arm ``plan`` on this environment and return the injector.
-
-        Scripted specs are scheduled as ordinary events, so install the plan
-        *before* running (and, for action faults such as node crashes,
-        before constructing the services that register their handlers).
-        Only one plan may be installed per environment — chaos runs are
-        described by a single plan to keep them reproducible.
-        """
-        if self._faults is not None:
-            raise SimulationError("a fault plan is already installed")
-        from repro.faults.injector import FaultInjector
-
-        self._faults = FaultInjector(plan, self)
-        return self._faults
-
-    # ------------------------------------------------------------------- obs
     @property
     def obs(self) -> Optional["Observability"]:
         """The installed observability bundle, or ``None``.
@@ -152,19 +162,112 @@ class SimulationEnvironment:
         """
         return self._obs
 
-    def install_observability(self, obs: "Observability") -> "Observability":
-        """Attach ``obs`` to this environment and bind it to the sim clock.
+    @property
+    def state(self) -> Optional["RunCheckpointer"]:
+        """The installed run checkpointer, or ``None``.
 
-        Every event fired after installation runs inside a ``sim.event``
-        span, which becomes the ambient parent for spans the callback
-        opens — that is how async operations (transfers, jobs, flow runs)
-        get their provenance chain.
+        Same contract as :attr:`faults` and :attr:`obs`: one attribute read
+        per hook site, and an un-journaled run pays nothing.
         """
+        return self._state
+
+    def install(self, *capabilities: Any) -> "SimulationEnvironment":
+        """Install capabilities on this environment; returns ``self``.
+
+        The single entry point for configuring a stack.  Accepts, in any
+        order and any combination:
+
+        - a :class:`~repro.faults.FaultPlan` — armed as the run's fault
+          injector (readable at :attr:`faults`);
+        - an :class:`~repro.obs.Observability` bundle — bound to the sim
+          clock (readable at :attr:`obs`);
+        - a :class:`~repro.state.RunCheckpointer` — bound to this
+          environment (readable at :attr:`state`);
+        - a :class:`RuntimeConfig` — its non-``None`` fields installed as
+          above.
+
+        Each capability kind installs at most once per environment; a second
+        install of the same kind raises :class:`SimulationError`.  Install
+        everything *before* running: scripted faults schedule events at
+        install time, and spans only wrap events fired after installation.
+        """
+        from repro.faults.plan import FaultPlan
+        from repro.obs import Observability
+        from repro.state import RunCheckpointer
+
+        for cap in capabilities:
+            if cap is None:
+                continue
+            if isinstance(cap, RuntimeConfig):
+                self.install(*cap.capabilities())
+            elif isinstance(cap, FaultPlan):
+                self._install_fault_plan(cap)
+            elif isinstance(cap, Observability):
+                self._install_observability(cap)
+            elif isinstance(cap, RunCheckpointer):
+                self._install_state(cap)
+            else:
+                raise ValidationError(
+                    f"cannot install {type(cap).__name__!r}: expected a "
+                    "FaultPlan, Observability, RunCheckpointer, or "
+                    "RuntimeConfig"
+                )
+        return self
+
+    def _install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
+        if self._faults is not None:
+            raise SimulationError("a fault plan is already installed")
+        from repro.faults.injector import FaultInjector
+
+        self._faults = FaultInjector(plan, self)
+        return self._faults
+
+    def _install_observability(self, obs: "Observability") -> "Observability":
         if self._obs is not None:
             raise SimulationError("observability is already installed")
         obs.bind_clock(lambda: self._now)
         self._obs = obs
         return obs
+
+    def _install_state(self, state: "RunCheckpointer") -> "RunCheckpointer":
+        if self._state is not None:
+            raise SimulationError("a run checkpointer is already installed")
+        state.bind_env(self)
+        self._state = state
+        return state
+
+    # ------------------------------------------------------ deprecated aliases
+    def install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
+        """Deprecated alias for ``install(plan)``; returns the injector.
+
+        .. deprecated::
+            Use :meth:`install` — one entry point for every capability.
+            This alias will be removed one release after the ``repro.state``
+            introduction.
+        """
+        warnings.warn(
+            "SimulationEnvironment.install_fault_plan() is deprecated; "
+            "use env.install(plan)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._install_fault_plan(plan)
+
+    def install_observability(self, obs: "Observability") -> "Observability":
+        """Deprecated alias for ``install(obs)``; returns the bundle.
+
+        .. deprecated::
+            Use :meth:`install` — one entry point for every capability.
+            This alias will be removed one release after the ``repro.state``
+            introduction.
+        """
+        warnings.warn(
+            "SimulationEnvironment.install_observability() is deprecated; "
+            "use env.install(obs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._install_observability(obs)
 
     @property
     def events_fired(self) -> int:

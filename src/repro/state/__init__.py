@@ -1,0 +1,63 @@
+"""Durable checkpoint/resume runtime: write-ahead run journals.
+
+OSPREY's automation story depends on long-running periodic workflows
+surviving interruption: the paper's wastewater R(t) pipeline polls daily
+for months, and AERO is explicitly built around flows that can stop and
+pick up where they left off.  This package makes both of the repo's
+workflows crash-recoverable:
+
+- :class:`~repro.state.journal.RunJournal` — an idempotent, append-only
+  journal of ``(kind, key, payload)`` records with canonical-JSON payloads,
+  backed either in memory or by an on-disk JSON-lines file;
+- :class:`~repro.state.store.RunStore` — the run directory: creates runs
+  with deterministic ids, persists their config snapshot and status, and
+  reopens them for resume (:class:`InMemoryRunStore` /
+  :class:`JsonlRunStore`);
+- :class:`~repro.state.checkpoint.RunCheckpointer` — the capability object
+  installed on a :class:`~repro.sim.SimulationEnvironment` (via
+  ``env.install``) and threaded through services; it content-addresses
+  compute results, journals timer firings / flow steps / flow runs, and
+  serves journal hits on resume;
+- :class:`~repro.state.checkpoint.KillSwitch` — a count-based crash
+  trigger for paths without a simulated clock (the EMEWS worker pools);
+  sim-clock crashes come from :class:`~repro.faults.FaultPlan` specs at
+  the ``state.journal`` site.
+
+The resume model is *deterministic replay*: a resumed run re-executes the
+whole workflow from t=0 with the same seeds, but expensive results already
+in the journal are served without re-execution (exactly like a warm
+:class:`~repro.perf.MemoCache`, whose bitwise-identity property the perf
+test suite already establishes).  The guarantee, enforced by
+``tests/state/test_resume_matrix.py``: for any fault plan that kills a run
+mid-flight, the resumed run's final outputs are bitwise identical to an
+uninterrupted run.
+"""
+
+from repro.state.journal import JournalRecord, RunJournal
+from repro.state.store import (
+    InMemoryRunStore,
+    JsonlRunStore,
+    RunHandle,
+    RunStore,
+    RunSummary,
+)
+from repro.state.checkpoint import (
+    KillSwitch,
+    RunCheckpointer,
+    open_run_state,
+    replay_safe,
+)
+
+__all__ = [
+    "JournalRecord",
+    "RunJournal",
+    "RunStore",
+    "RunHandle",
+    "RunSummary",
+    "InMemoryRunStore",
+    "JsonlRunStore",
+    "RunCheckpointer",
+    "KillSwitch",
+    "open_run_state",
+    "replay_safe",
+]

@@ -1,0 +1,467 @@
+"""The run checkpointer: the capability services journal through.
+
+A :class:`RunCheckpointer` wraps one open :class:`~repro.state.store.RunHandle`
+and is installed on the simulation environment with ``env.install(state)``
+(or carried directly by clock-free components such as the EMEWS service).
+Services then call its ``record_*`` hooks at completion points and its
+``lookup_*`` hooks before starting expensive work.
+
+Crash semantics
+---------------
+Two deliberate crash mechanisms target the journal:
+
+- a :class:`~repro.faults.FaultPlan` spec at the ``state.journal``
+  operation site (e.g. ``FaultSpec(site="state.journal", at_time=2.0)``)
+  kills the **next new append** after the scripted instant, *before* the
+  record is written — simulating a torn write.  Polled only on fresh runs:
+  a resumed run suppresses journal-site faults, the way a real crash is
+  transient for the operator who restarts the job;
+- a :class:`KillSwitch` kills after N successful appends — count-based, so
+  it also works on the EMEWS path, which has no simulated clock.
+
+Both raise :class:`~repro.common.errors.WorkflowKilledError`, which is
+**not** a ``ReproError`` subclass precisely so the stack's recovery
+machinery (``except ReproError`` in flow polling, retry engines) cannot
+absorb a crash that is supposed to take the run down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import (
+    StateError,
+    ValidationError,
+    WorkflowKilledError,
+)
+from repro.common.hashing import _canonicalize, stable_digest
+from repro.perf.memo import _function_identity
+from repro.state.store import RunHandle, RunStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import SimulationEnvironment
+
+#: Attribute marking a Globus Flows step callable as replay-servable: its
+#: only effect is the context updates it returns, so a journaled completion
+#: can stand in for re-execution.  See :func:`replay_safe`.
+REPLAY_SAFE_ATTR = "__replay_safe__"
+
+
+def replay_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark a flow step as pure-by-contract (side-effect free).
+
+    Only marked steps are *served* from the journal by
+    :class:`~repro.globus.flows.FlowsService` on replay; unmarked steps
+    re-execute (their side effects are how replay reconstructs state) and
+    merely have their completion recorded.
+    """
+    setattr(fn, REPLAY_SAFE_ATTR, True)
+    return fn
+
+
+class KillSwitch:
+    """Crash the run after ``after_records`` successful journal appends.
+
+    Count-based rather than clock-based, so it can kill the EMEWS GSA
+    workflow (whose evaluators run on wall-clock worker threads) at a
+    reproducible point.  Fires at most once.
+    """
+
+    def __init__(self, after_records: int) -> None:
+        if int(after_records) < 1:
+            raise ValidationError("after_records must be >= 1")
+        self.after_records = int(after_records)
+        self.fired = False
+
+    def should_fire(self, appended_total: int) -> bool:
+        """Decide (and latch) whether the crash triggers now."""
+        if self.fired or appended_total < self.after_records:
+            return False
+        self.fired = True
+        return True
+
+
+class RunCheckpointer:
+    """Journal hooks plus replay lookups for one run.
+
+    Parameters
+    ----------
+    handle:
+        The open run (store + journal + status).
+    kill_switch:
+        Optional count-based crash trigger (chaos tests).
+    resumed:
+        True when this checkpointer was opened via ``resume_from``;
+        suppresses ``state.journal`` fault-site polls so the scripted crash
+        that killed the original run does not re-fire on every resume.
+    """
+
+    KIND_TASK = "task.result"
+    KIND_ARRAY = "array.result"
+    KIND_TIMER = "timer.fire"
+    KIND_FLOW_STEP = "flow.step"
+    KIND_AERO_RUN = "aero.run"
+    KIND_RNG = "rng.mark"
+    KIND_BEGIN = "run.begin"
+    KIND_END = "run.end"
+
+    def __init__(
+        self,
+        handle: RunHandle,
+        *,
+        kill_switch: Optional[KillSwitch] = None,
+        resumed: bool = False,
+    ) -> None:
+        self.handle = handle
+        self.resumed = bool(resumed)
+        self._kill = kill_switch
+        self._env: Optional["SimulationEnvironment"] = None
+        self._obs = None
+        self._lock = threading.Lock()
+        self.killed = False
+        self.records_appended = 0
+        self.replay_hits = 0
+        self.replay_misses = 0
+        self.journal_skipped = 0
+
+    # -------------------------------------------------------------- identity
+    @property
+    def run_id(self) -> str:
+        """Id of the journaled run."""
+        return self.handle.run_id
+
+    @property
+    def journal(self):
+        """The underlying :class:`~repro.state.journal.RunJournal`."""
+        return self.handle.journal
+
+    # --------------------------------------------------------------- binding
+    def bind_env(self, env: "SimulationEnvironment") -> None:
+        """Attach the simulated environment (clock + fault injector + obs)."""
+        self._env = env
+
+    def bind_observability(self, obs) -> None:
+        """Attach an observability bundle directly (clock-free components)."""
+        self._obs = obs
+
+    def _observability(self):
+        if self._obs is not None:
+            return self._obs
+        if self._env is not None:
+            return self._env.obs
+        return None
+
+    def _now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    # ------------------------------------------------------------------ core
+    def record(self, kind: str, key: str, payload: Any, *, t: Optional[float] = None) -> bool:
+        """Append ``(kind, key, payload)``; the single choke point.
+
+        Returns True when the journal grew, False on an idempotent replay
+        (the record already existed) or an unserializable payload (counted,
+        never fatal — journaling is an add-on, not a correctness gate).
+
+        Raises
+        ------
+        WorkflowKilledError
+            When an armed ``state.journal`` fault or the kill switch fires.
+        """
+        if self.journal.lookup(kind, key) is not None:
+            return False
+        obs = self._observability()
+        if not self.resumed and self._env is not None:
+            faults = self._env.faults
+            if faults is not None:
+                fault = faults.poll("state.journal", label=f"{kind}:{key}")
+                if fault is not None:
+                    # Torn write: the run dies before the record lands.
+                    self._mark_killed(obs, reason=str(fault))
+                    raise WorkflowKilledError(
+                        f"run {self.run_id} killed writing journal record "
+                        f"({kind}:{key}): {fault}",
+                        run_id=self.run_id,
+                    )
+        try:
+            appended = self.journal.append(
+                kind, key, payload, t=self._now() if t is None else t
+            )
+        except (TypeError, ValueError):
+            with self._lock:
+                self.journal_skipped += 1
+            if obs is not None:
+                obs.inc("state.journal_skipped")
+            return False
+        if not appended:
+            return False
+        with self._lock:
+            self.records_appended += 1
+            total = self.records_appended
+        if obs is not None:
+            obs.inc("state.records_appended")
+        if self._kill is not None and self._kill.should_fire(total):
+            self._mark_killed(obs, reason=f"kill switch after {total} records")
+            raise WorkflowKilledError(
+                f"run {self.run_id} killed by kill switch after {total} "
+                f"journal records",
+                run_id=self.run_id,
+            )
+        return True
+
+    def _mark_killed(self, obs, *, reason: str) -> None:
+        self.killed = True
+        if self.handle.status == "active":
+            self.handle.set_status("killed")
+        if obs is not None:
+            obs.inc("state.kills")
+            obs.instant(f"kill:{self.run_id}", "state.kill", attrs={"reason": reason})
+
+    def _count_replay(self, hit: bool) -> None:
+        obs = self._observability()
+        with self._lock:
+            if hit:
+                self.replay_hits += 1
+            else:
+                self.replay_misses += 1
+        if obs is not None:
+            obs.inc("state.replay_hits" if hit else "state.replay_misses")
+
+    # ------------------------------------------------------------ run records
+    def begin_run(self) -> None:
+        """Journal the run's identity (workflow + config digest); idempotent."""
+        self.record(
+            self.KIND_BEGIN,
+            "begin",
+            {
+                "workflow": self.handle.workflow,
+                "config_digest": self.handle.config_digest,
+            },
+        )
+
+    def end_run(self, *, summary: Optional[Dict[str, Any]] = None) -> None:
+        """Journal completion and persist the terminal status."""
+        self.record(self.KIND_END, "end", {"summary": summary or {}})
+        if not self.killed:
+            self.handle.set_status("completed")
+
+    # ---------------------------------------------------------- compute tasks
+    def task_key(self, fn: Callable[..., Any], payload: Any) -> Optional[str]:
+        """Content address of ``fn(payload)``, or ``None`` if unaddressable.
+
+        Uses the same ``{"fn": identity, "payload": payload}`` scheme as
+        :meth:`repro.perf.memo.MemoCache.key_for`, so anything the memo
+        cache can address, the journal can too (and with the same salt an
+        evaluator and its vectorized batch twin share keys).
+        """
+        try:
+            return stable_digest(
+                {"fn": _function_identity(fn), "payload": payload}
+            )
+        except ValidationError:
+            return None
+
+    def lookup_task(self, key: Optional[str]) -> Tuple[bool, Any]:
+        """``(hit, result)`` for a journaled compute result."""
+        if key is None:
+            return False, None
+        record = self.journal.lookup(self.KIND_TASK, key)
+        if record is None:
+            self._count_replay(False)
+            return False, None
+        self._count_replay(True)
+        return True, record.payload["result"]
+
+    def record_task(self, key: Optional[str], result: Any, *, t: Optional[float] = None) -> bool:
+        """Journal a completed compute result under its content address."""
+        if key is None:
+            return False
+        return self.record(self.KIND_TASK, key, {"result": result}, t=t)
+
+    # ----------------------------------------------------------------- arrays
+    def cached_array(
+        self,
+        name: str,
+        identity: Any,
+        compute: Callable[[], np.ndarray],
+        *,
+        t: Optional[float] = None,
+    ) -> np.ndarray:
+        """Serve a float array from the journal, or compute and journal it.
+
+        ``identity`` is any digestable value pinning what the array *is*
+        (seeds, sizes, model digest); JSON float round-trips are exact for
+        float64, so a served array is bitwise identical to a recomputation.
+        """
+        key = stable_digest({"array": name, "identity": _canonicalize(identity)})
+        record = self.journal.lookup(self.KIND_ARRAY, key)
+        if record is not None:
+            self._count_replay(True)
+            return np.asarray(record.payload["values"], dtype=float)
+        self._count_replay(False)
+        values = np.asarray(compute(), dtype=float)
+        self.record(
+            self.KIND_ARRAY,
+            key,
+            {"name": name, "values": values.tolist(), "shape": list(values.shape)},
+            t=t,
+        )
+        return values
+
+    # ----------------------------------------------------------------- timers
+    def record_timer_firing(self, label: str, firing: int, *, t: Optional[float] = None) -> bool:
+        """Write-ahead record of a timer firing (before its callback runs)."""
+        return self.record(
+            self.KIND_TIMER, f"{label}:{firing}", {"label": label, "firing": firing}, t=t
+        )
+
+    # ------------------------------------------------------------- flow steps
+    def lookup_flow_step(self, step_key: str) -> Optional[Dict[str, Any]]:
+        """The journaled completion payload of a flow step, if any."""
+        record = self.journal.lookup(self.KIND_FLOW_STEP, step_key)
+        return None if record is None else record.payload
+
+    def record_flow_step(
+        self, step_key: str, payload: Dict[str, Any], *, t: Optional[float] = None
+    ) -> bool:
+        """Journal a completed Globus Flows step."""
+        return self.record(self.KIND_FLOW_STEP, step_key, payload, t=t)
+
+    def record_flow_run(
+        self, flow_name: str, run_id: str, status: str, *, t: Optional[float] = None
+    ) -> bool:
+        """Journal a finished AERO flow run (crash forensics / `runs show`)."""
+        return self.record(
+            self.KIND_AERO_RUN,
+            f"{flow_name}:{run_id}",
+            {"flow": flow_name, "run": run_id, "status": status},
+            t=t,
+        )
+
+    # -------------------------------------------------------------------- rng
+    def record_rng_mark(self, name: str, digests: Dict[str, str], *, t: Optional[float] = None) -> bool:
+        """Journal named RNG stream position digests (a replay diagnostic)."""
+        return self.record(self.KIND_RNG, name, {"streams": dict(digests)}, t=t)
+
+    # ------------------------------------------------------- EMEWS evaluators
+    def wrap_evaluator(self, fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        """Journal-aware wrapper for a single-payload EMEWS evaluator.
+
+        Hits skip evaluation entirely; misses evaluate and journal the
+        result.  ``__wrapped__`` forwards the evaluator's memo identity so
+        an outer :class:`~repro.perf.MemoCache` keys exactly as before.
+        """
+
+        def journaled(payload: Any) -> Any:
+            key = self.task_key(fn, payload)
+            if key is not None:
+                hit, value = self.lookup_task(key)
+                if hit:
+                    return value
+            result = fn(payload)
+            self.record_task(key, result)
+            return result
+
+        journaled.__wrapped__ = fn
+        journaled.__name__ = getattr(fn, "__name__", "journaled")
+        return journaled
+
+    def wrap_batch_evaluator(
+        self, batch_fn: Callable[[Sequence[Any]], Sequence[Any]]
+    ) -> Callable[[Sequence[Any]], List[Any]]:
+        """Journal-aware wrapper for a vectorized evaluator.
+
+        Keys per payload with ``batch_fn``'s identity — stamped with the
+        same salt as the single-task evaluator, so the threaded and batch
+        pools share journal entries payload-for-payload.  Only journal
+        misses reach the wrapped vectorized call.
+        """
+
+        def journaled_batch(payloads: Sequence[Any]) -> List[Any]:
+            keys = [self.task_key(batch_fn, payload) for payload in payloads]
+            results: List[Any] = [None] * len(payloads)
+            missing: List[int] = []
+            for i, key in enumerate(keys):
+                hit, value = self.lookup_task(key)
+                if hit:
+                    results[i] = value
+                else:
+                    missing.append(i)
+            if missing:
+                computed = batch_fn([payloads[i] for i in missing])
+                for i, value in zip(missing, computed):
+                    results[i] = value
+                    self.record_task(keys[i], value)
+            return results
+
+        journaled_batch.__wrapped__ = batch_fn
+        journaled_batch.__name__ = getattr(batch_fn, "__name__", "journaled_batch")
+        return journaled_batch
+
+    # --------------------------------------------------------------- counters
+    def counters(self) -> Dict[str, int]:
+        """Checkpointing activity for reports (`state_report` fields)."""
+        with self._lock:
+            return {
+                "state_records_appended": self.records_appended,
+                "state_replay_hits": self.replay_hits,
+                "state_replay_misses": self.replay_misses,
+                "state_journal_skipped": self.journal_skipped,
+                "state_killed": int(self.killed),
+                "state_journal_records": len(self.journal),
+            }
+
+
+def open_run_state(
+    run_store: Optional[RunStore],
+    resume_from: Optional[str],
+    *,
+    workflow: str,
+    config: Optional[Any],
+    config_from_jsonable: Callable[[Dict[str, Any]], Any],
+    config_to_jsonable: Callable[[Any], Dict[str, Any]],
+    default_config: Callable[[], Any],
+    kill_switch: Optional[KillSwitch] = None,
+) -> Tuple[Any, Optional[RunCheckpointer]]:
+    """Shared workflow entry logic: create, reopen, or skip run state.
+
+    Returns ``(config, checkpointer)`` where the checkpointer is ``None``
+    when no store is involved.  On resume the stored config snapshot is
+    authoritative: passing an explicit ``config`` that digests differently
+    from the journaled one raises :class:`StateError` (resuming under
+    different parameters could never reproduce the original outputs).
+    """
+    if resume_from is not None:
+        if run_store is None:
+            raise ValidationError("resume_from requires a run_store")
+        handle = run_store.open_run(resume_from)
+        if handle.workflow != workflow:
+            raise StateError(
+                f"run {resume_from!r} belongs to workflow "
+                f"{handle.workflow!r}, not {workflow!r}"
+            )
+        if config is None:
+            config = config_from_jsonable(handle.config)
+        else:
+            from repro.state.store import config_digest as _digest
+
+            if _digest(workflow, config_to_jsonable(config)) != handle.config_digest:
+                raise StateError(
+                    f"config passed to resume_from={resume_from!r} does not "
+                    "match the journaled run's config snapshot"
+                )
+        state = RunCheckpointer(handle, kill_switch=kill_switch, resumed=True)
+        state.begin_run()
+        return config, state
+    if config is None:
+        config = default_config()
+    if run_store is None:
+        if kill_switch is not None:
+            raise ValidationError("a kill_switch requires a run_store")
+        return config, None
+    handle = run_store.create_run(workflow, config_to_jsonable(config))
+    state = RunCheckpointer(handle, kill_switch=kill_switch)
+    state.begin_run()
+    return config, state

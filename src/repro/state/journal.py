@@ -1,0 +1,219 @@
+"""The write-ahead run journal.
+
+A journal is an append-only sequence of :class:`JournalRecord` entries,
+each identified by ``(kind, key)``.  Appending an identical ``(kind, key)``
+a second time is a no-op returning ``False`` — that idempotency is what
+makes replay safe: a resumed run re-executes the workflow from t=0 and
+re-announces every completion, but only genuinely new work extends the
+journal.
+
+Payload canonicalization
+------------------------
+Every payload is round-tripped through JSON *at append time*, for both
+backends.  This guarantees the in-memory and on-disk stores return exactly
+the same values on lookup (Python's float repr is shortest-round-trip, so
+float64 values survive the trip bitwise), and that an unserializable
+payload fails loudly at the append site rather than at some later flush.
+
+Crash tolerance
+---------------
+A process killed mid-append can leave a torn final line in a JSON-lines
+file.  :meth:`RunJournal.load_backend` tolerates exactly that: a decode
+error on the *last* non-empty line is treated as an interrupted write and
+dropped; a decode error anywhere else is corruption and raises
+:class:`~repro.common.errors.StateError`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+from repro.common.errors import StateError, ValidationError
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry.
+
+    Attributes
+    ----------
+    seq:
+        Position in the journal (0-based, assigned at append).
+    kind:
+        Record namespace (``task.result``, ``timer.fire``, ``flow.step``,
+        ``aero.run``, ``array.result``, ``rng.mark``, ``run.begin``,
+        ``run.end``).
+    key:
+        Identity within the kind; ``(kind, key)`` is unique per journal.
+    t:
+        Simulated time of the append (0.0 where no clock applies).
+    payload:
+        Canonical-JSON data (already round-tripped; treat as read-only).
+    """
+
+    seq: int
+    kind: str
+    key: str
+    t: float
+    payload: Any
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The serialized line form (stable field order)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "key": self.key,
+            "t": self.t,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict[str, Any]) -> "JournalRecord":
+        """Rebuild a record from its serialized line form."""
+        try:
+            return cls(
+                seq=int(doc["seq"]),
+                kind=str(doc["kind"]),
+                key=str(doc["key"]),
+                t=float(doc["t"]),
+                payload=doc["payload"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(f"malformed journal record: {doc!r}") from exc
+
+
+class JournalBackend:
+    """Persistence interface for a journal (lines of serialized records)."""
+
+    def load(self) -> Iterator[Dict[str, Any]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def append_line(self, doc: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MemoryJournalBackend(JournalBackend):
+    """No-op persistence: the journal's own record list is the store."""
+
+    def load(self) -> Iterator[Dict[str, Any]]:
+        return iter(())
+
+    def append_line(self, doc: Dict[str, Any]) -> None:
+        pass
+
+
+class JsonlJournalBackend(JournalBackend):
+    """One JSON document per line, appended and flushed per record."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Iterator[Dict[str, Any]]:
+        if not self.path.exists():
+            return
+        lines = [
+            line
+            for line in self.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        for i, line in enumerate(lines):
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    # Torn final line: the process died mid-append.  The
+                    # record was never acknowledged, so dropping it is the
+                    # correct (and only consistent) recovery.
+                    return
+                raise StateError(
+                    f"corrupt journal line {i + 1} in {self.path}"
+                ) from None
+
+    def append_line(self, doc: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            fh.flush()
+
+
+class RunJournal:
+    """Idempotent append-only journal over a :class:`JournalBackend`.
+
+    Thread-safe: EMEWS worker threads append task results concurrently
+    with the driving thread.
+    """
+
+    def __init__(self, backend: Optional[JournalBackend] = None) -> None:
+        self._backend = backend if backend is not None else MemoryJournalBackend()
+        self._records: List[JournalRecord] = []
+        self._index: Dict[Tuple[str, str], JournalRecord] = {}
+        self._lock = threading.Lock()
+        for doc in self._backend.load():
+            record = JournalRecord.from_jsonable(doc)
+            self._records.append(record)
+            self._index[(record.kind, record.key)] = record
+
+    # ---------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, kind_key: Tuple[str, str]) -> bool:
+        return kind_key in self._index
+
+    def append(self, kind: str, key: str, payload: Any, *, t: float = 0.0) -> bool:
+        """Record ``payload`` under ``(kind, key)``; return True if new.
+
+        Idempotent: a ``(kind, key)`` already present leaves the journal
+        unchanged and returns ``False`` (the existing payload wins — replay
+        re-announces completions, it never rewrites history).
+
+        Raises
+        ------
+        ValidationError
+            If ``kind``/``key`` are empty.
+        TypeError / ValueError
+            If the payload is not JSON-serializable (callers that journal
+            opportunistically catch these and count a skip).
+        """
+        if not kind or not key:
+            raise ValidationError("journal records need non-empty kind and key")
+        # Canonicalize outside the lock (serialization is the slow part).
+        canonical = json.loads(json.dumps(payload))
+        with self._lock:
+            if (kind, key) in self._index:
+                return False
+            record = JournalRecord(
+                seq=len(self._records),
+                kind=kind,
+                key=key,
+                t=float(t),
+                payload=canonical,
+            )
+            self._records.append(record)
+            self._index[(kind, key)] = record
+        self._backend.append_line(record.to_jsonable())
+        return True
+
+    def lookup(self, kind: str, key: str) -> Optional[JournalRecord]:
+        """The record under ``(kind, key)``, or ``None``."""
+        with self._lock:
+            return self._index.get((kind, key))
+
+    def records(self, kind: Optional[str] = None) -> List[JournalRecord]:
+        """All records (optionally of one kind), in append order."""
+        with self._lock:
+            if kind is None:
+                return list(self._records)
+            return [r for r in self._records if r.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Mapping kind → number of records (diagnostics, ``runs show``)."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for record in self._records:
+                counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts

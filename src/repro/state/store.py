@@ -1,0 +1,245 @@
+"""Run stores: the durable directory of journaled runs.
+
+A :class:`RunStore` creates runs (persisting a config snapshot plus a
+:class:`~repro.state.journal.RunJournal`), reopens them by id for resume,
+and lists them for the ``repro runs`` CLI.  Two backends:
+
+- :class:`InMemoryRunStore` — journals live in process memory; exercised
+  by the resume matrix to prove the runtime is backend-agnostic, and handy
+  for tests that kill and resume within one process;
+- :class:`JsonlRunStore` — one directory per run under a root path, with
+  ``meta.json`` (workflow, config, status) and ``journal.jsonl``.
+
+Run ids are **deterministic**: ``{workflow}-{config_digest[:10]}-{n:03d}``
+where ``n`` counts prior runs of the same workflow+config in this store.
+No wall clock, no process entropy — creating the same run twice in a fresh
+store always yields ``...-001`` then ``...-002``, which keeps store-backed
+test fixtures and CI artifacts reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.hashing import _canonicalize, short_id, stable_digest
+from repro.state.journal import (
+    JsonlJournalBackend,
+    MemoryJournalBackend,
+    RunJournal,
+)
+
+#: Run lifecycle states persisted in store metadata.
+RUN_STATUSES = ("active", "killed", "completed")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One row of :meth:`RunStore.list_runs`."""
+
+    run_id: str
+    workflow: str
+    status: str
+    n_records: int
+    config_digest: str
+
+
+class RunHandle:
+    """An open run: identity, config snapshot, status, and journal."""
+
+    def __init__(
+        self,
+        store: "RunStore",
+        run_id: str,
+        workflow: str,
+        config: Dict[str, Any],
+        config_digest: str,
+        journal: RunJournal,
+        status: str = "active",
+    ) -> None:
+        self._store = store
+        self.run_id = run_id
+        self.workflow = workflow
+        self.config = config
+        self.config_digest = config_digest
+        self.journal = journal
+        self._status = status
+
+    @property
+    def status(self) -> str:
+        """Current lifecycle state: active / killed / completed."""
+        return self._status
+
+    def set_status(self, status: str) -> None:
+        """Persist a new lifecycle state through the owning store."""
+        if status not in RUN_STATUSES:
+            raise ValidationError(
+                f"unknown run status {status!r}; expected one of {RUN_STATUSES}"
+            )
+        self._status = status
+        self._store._persist_status(self, status)
+
+    def summary(self) -> RunSummary:
+        """This run as a listing row."""
+        return RunSummary(
+            run_id=self.run_id,
+            workflow=self.workflow,
+            status=self._status,
+            n_records=len(self.journal),
+            config_digest=self.config_digest,
+        )
+
+
+def config_digest(workflow: str, config: Mapping[str, Any]) -> str:
+    """Stable digest of a run's identity (workflow name + config snapshot)."""
+    return stable_digest({"workflow": workflow, "config": _canonicalize(dict(config))})
+
+
+class RunStore:
+    """Directory of runs (abstract; see the two backends below)."""
+
+    def create_run(self, workflow: str, config: Mapping[str, Any]) -> RunHandle:
+        """Create a fresh run with a deterministic id and empty journal."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def open_run(self, run_id: str) -> RunHandle:
+        """Reopen an existing run (its journal loaded) for resume."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def has_run(self, run_id: str) -> bool:
+        """True if ``run_id`` exists in this store."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def list_runs(self) -> List[RunSummary]:
+        """Summaries of every run, sorted by run id."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _persist_status(self, handle: RunHandle, status: str) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # ------------------------------------------------------------- shared id
+    def _next_run_id(self, workflow: str, digest: str, existing: List[str]) -> str:
+        if not workflow:
+            raise ValidationError("workflow name must be non-empty")
+        prefix = f"{workflow}-{short_id(digest, 10)}-"
+        n = sum(1 for run_id in existing if run_id.startswith(prefix)) + 1
+        return f"{prefix}{n:03d}"
+
+
+class InMemoryRunStore(RunStore):
+    """Runs held in process memory (no persistence across processes)."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[str, RunHandle] = {}
+
+    def create_run(self, workflow: str, config: Mapping[str, Any]) -> RunHandle:
+        snapshot = _canonicalize(dict(config))
+        digest = config_digest(workflow, snapshot)
+        run_id = self._next_run_id(workflow, digest, list(self._runs))
+        handle = RunHandle(
+            self, run_id, workflow, snapshot, digest,
+            RunJournal(MemoryJournalBackend()),
+        )
+        self._runs[run_id] = handle
+        return handle
+
+    def open_run(self, run_id: str) -> RunHandle:
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise NotFoundError(f"no run {run_id!r} in this store") from None
+
+    def has_run(self, run_id: str) -> bool:
+        return run_id in self._runs
+
+    def list_runs(self) -> List[RunSummary]:
+        return [self._runs[rid].summary() for rid in sorted(self._runs)]
+
+    def _persist_status(self, handle: RunHandle, status: str) -> None:
+        pass  # the handle itself is the store's record
+
+
+class JsonlRunStore(RunStore):
+    """One directory per run under ``root``: ``meta.json`` + ``journal.jsonl``."""
+
+    META_NAME = "meta.json"
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Reopened handles are cached so that concurrent holders of one run
+        # (a checkpointer and a CLI listing, say) share a journal index.
+        self._open: Dict[str, RunHandle] = {}
+
+    def _run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def create_run(self, workflow: str, config: Mapping[str, Any]) -> RunHandle:
+        snapshot = _canonicalize(dict(config))
+        digest = config_digest(workflow, snapshot)
+        existing = [p.name for p in self.root.iterdir() if p.is_dir()]
+        run_id = self._next_run_id(workflow, digest, existing)
+        run_dir = self._run_dir(run_id)
+        run_dir.mkdir(parents=True)
+        handle = RunHandle(
+            self, run_id, workflow, snapshot, digest,
+            RunJournal(JsonlJournalBackend(run_dir / self.JOURNAL_NAME)),
+        )
+        self._write_meta(handle)
+        self._open[run_id] = handle
+        return handle
+
+    def open_run(self, run_id: str) -> RunHandle:
+        if run_id in self._open:
+            return self._open[run_id]
+        meta_path = self._run_dir(run_id) / self.META_NAME
+        if not meta_path.exists():
+            raise NotFoundError(f"no run {run_id!r} under {self.root}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StateError(f"corrupt metadata for run {run_id!r}") from exc
+        handle = RunHandle(
+            self,
+            run_id,
+            str(meta["workflow"]),
+            dict(meta["config"]),
+            str(meta["config_digest"]),
+            RunJournal(
+                JsonlJournalBackend(self._run_dir(run_id) / self.JOURNAL_NAME)
+            ),
+            status=str(meta.get("status", "active")),
+        )
+        self._open[run_id] = handle
+        return handle
+
+    def has_run(self, run_id: str) -> bool:
+        return (self._run_dir(run_id) / self.META_NAME).exists()
+
+    def list_runs(self) -> List[RunSummary]:
+        run_ids = sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and (p / self.META_NAME).exists()
+        )
+        return [self.open_run(run_id).summary() for run_id in run_ids]
+
+    def _write_meta(self, handle: RunHandle) -> None:
+        meta = {
+            "run_id": handle.run_id,
+            "workflow": handle.workflow,
+            "config": handle.config,
+            "config_digest": handle.config_digest,
+            "status": handle.status,
+        }
+        path = self._run_dir(handle.run_id) / self.META_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+    def _persist_status(self, handle: RunHandle, status: str) -> None:
+        self._write_meta(handle)

@@ -12,24 +12,30 @@
 """
 
 from repro.workflows.wastewater_rt import (
+    WastewaterRunConfig,
     WastewaterWorkflowResult,
     run_wastewater_workflow,
 )
 from repro.workflows.music_gsa import (
     Figure4Data,
     Figure5Data,
+    MusicGsaRunConfig,
     make_qoi,
+    run_music_gsa,
     run_music_vs_pce,
     run_replicate_gsa,
     stabilization_sample_size,
 )
 
 __all__ = [
+    "WastewaterRunConfig",
     "WastewaterWorkflowResult",
     "run_wastewater_workflow",
     "Figure4Data",
     "Figure5Data",
+    "MusicGsaRunConfig",
     "make_qoi",
+    "run_music_gsa",
     "run_music_vs_pce",
     "run_replicate_gsa",
     "stabilization_sample_size",

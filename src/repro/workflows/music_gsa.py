@@ -19,12 +19,15 @@ check-one-future-then-cede protocol (:mod:`repro.gsa.interleave`).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import StateError, ValidationError, WorkflowKilledError
+from repro.common.hashing import stable_digest
 from repro.common.retry import RetryPolicy
 from repro.common.rng import replicate_seed
 from repro.common.validation import check_int
@@ -45,6 +48,7 @@ from repro.gsa.pce import PCEModel
 from repro.gsa.sobol import first_order_indices, saltelli_design
 from repro.models.metarvm import MetaRVM, MetaRVMConfig
 from repro.models.parameters import GSA_PARAMETER_SPACE, MetaRVMParams
+from repro.state import KillSwitch, RunCheckpointer, RunStore, open_run_state
 
 #: Task type used for MetaRVM evaluations in the EMEWS database.
 TASK_TYPE = "metarvm"
@@ -227,9 +231,13 @@ def _build_evaluator(
         retry=evaluator_retry,
     )
     # The wrapper computes exactly what the bare evaluator computes (faults
-    # only retry), so it shares the bare evaluator's cache identity.
-    memo_salt(wrapper, _metarvm_memo_salt(MetaRVM(config=model_config or GSA_MODEL_CONFIG)))
-    return wrapper, wrapper.wrap_batch(batch_evaluator), wrapper
+    # only retry), so it shares the bare evaluator's cache identity.  The
+    # same salt goes on the batch twin: memoization and run-journaling key
+    # through function identity, and an unsalted closure is unaddressable.
+    salt = _metarvm_memo_salt(MetaRVM(config=model_config or GSA_MODEL_CONFIG))
+    memo_salt(wrapper, salt)
+    resilient_batch = memo_salt(wrapper.wrap_batch(batch_evaluator), salt)
+    return wrapper, resilient_batch, wrapper
 
 
 def _submit_points(
@@ -281,6 +289,55 @@ def music_coroutine(
 
 
 # ------------------------------------------------------------------ Figure 4
+@dataclass(frozen=True)
+class MusicGsaRunConfig:
+    """Everything JSON-serializable that determines a Figure 4 run.
+
+    The canonical way to parameterize :func:`run_music_gsa`.  A
+    :class:`~repro.state.RunStore` snapshots it at run creation and
+    rebuilds it verbatim on ``resume_from=``.  The model structure
+    (``model_config``) is deliberately *not* a field — it carries numpy
+    arrays — and is instead digest-checked against the journal on resume.
+    """
+
+    seed: int = 0
+    budget: int = 220
+    pce_degree: int = 3
+    pce_start: Optional[int] = None
+    reference_n: int = 2048
+    use_emews: bool = True
+    n_workers: int = 4
+    parallel: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    music_config: Optional[MusicConfig] = None
+
+    def __post_init__(self) -> None:
+        check_int("budget", self.budget, minimum=40)
+        check_int("reference_n", self.reference_n, minimum=8)
+        check_int("n_workers", self.n_workers, minimum=1)
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValidationError("fault_rate must be in [0, 1)")
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot (what the run store persists)."""
+        doc = dataclasses.asdict(self)
+        doc["music_config"] = (
+            dataclasses.asdict(self.music_config)
+            if self.music_config is not None
+            else None
+        )
+        return doc
+
+    @classmethod
+    def from_jsonable(cls, doc: Mapping[str, Any]) -> "MusicGsaRunConfig":
+        """Rebuild a config from a stored snapshot."""
+        doc = dict(doc)
+        if doc.get("music_config") is not None:
+            doc["music_config"] = MusicConfig(**doc["music_config"])
+        return cls(**doc)
+
+
 @dataclass
 class Figure4Data:
     """Convergence series for the MUSIC-vs-PCE comparison.
@@ -298,6 +355,10 @@ class Figure4Data:
     pce_degree: int
     resilience_report: Dict[str, int] = field(default_factory=dict)
     perf_report: Dict[str, int] = field(default_factory=dict)
+    #: Id of the journaled run (``None`` when no ``run_store`` was used).
+    run_id: Optional[str] = None
+    #: Checkpointing counters — all zeros unless a ``run_store`` was used.
+    state_report: Dict[str, int] = field(default_factory=dict)
 
     def stabilization(self, *, tol: float = 0.05) -> Dict[str, Dict[str, float]]:
         """Per-method stabilization sample sizes (see
@@ -342,33 +403,34 @@ def stabilization_sample_size(
     return stable_from
 
 
-def run_music_vs_pce(
+def _model_digest(model_config: Optional[MetaRVMConfig]) -> str:
+    """Content digest of the model structure a GSA run evaluates."""
+    return stable_digest(
+        _metarvm_memo_salt(MetaRVM(config=model_config or GSA_MODEL_CONFIG))
+    )
+
+
+def run_music_gsa(
+    config: Optional[MusicGsaRunConfig] = None,
     *,
-    seed: int = 0,
-    budget: int = 220,
-    music_config: Optional[MusicConfig] = None,
-    pce_degree: int = 3,
-    pce_start: Optional[int] = None,
-    reference_n: int = 2048,
     model_config: Optional[MetaRVMConfig] = None,
-    use_emews: bool = True,
-    n_workers: int = 4,
-    parallel: bool = False,
     memo_cache: Optional[MemoCache] = None,
-    fault_rate: float = 0.0,
-    fault_seed: int = 0,
     evaluator_retry: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
+    run_store: Optional[RunStore] = None,
+    resume_from: Optional[str] = None,
+    kill_switch: Optional[KillSwitch] = None,
 ) -> Figure4Data:
     """The Figure 4 experiment: MUSIC vs PCE at a fixed random seed.
 
     Both methods consume evaluations of the *same* CRN QoI surface.  MUSIC
     adds points by acquisition; PCE consumes a growing scrambled-Sobol
-    design, refit (one-shot) at every sample size.  When ``use_emews`` is
-    true the MUSIC evaluations flow through a real EMEWS task database and
-    threaded worker pool, as in the paper's workflow.
+    design, refit (one-shot) at every sample size.  With
+    ``config.use_emews`` true the MUSIC evaluations flow through a real
+    EMEWS task database and threaded worker pool, as in the paper's
+    workflow.
 
-    With ``parallel=True`` the pool is a deterministic
+    With ``config.parallel`` true the pool is a deterministic
     :class:`~repro.emews.BatchWorkerPool`: queued tasks are claimed in
     canonical order and evaluated through one vectorized MetaRVM call per
     drain, which is bitwise identical to the threaded path at any
@@ -376,17 +438,44 @@ def run_music_vs_pce(
     already evaluated (earlier runs, other replicates, retries); its
     hit/miss counters land in ``perf_report``.
 
-    Chaos-run knobs (EMEWS path only): ``fault_rate`` injects deterministic
-    payload-keyed evaluator faults, recovered under ``evaluator_retry``
-    (default: 4 attempts); see :class:`~repro.emews.ResilientEvaluator`.
-    The resulting ``resilience_report`` counters land on the returned data.
+    Chaos-run knobs (EMEWS path only): ``config.fault_rate`` injects
+    deterministic payload-keyed evaluator faults, recovered under
+    ``evaluator_retry`` (default: 4 attempts); see
+    :class:`~repro.emews.ResilientEvaluator`.  The resulting
+    ``resilience_report`` counters land on the returned data.
 
-    An ``observability`` bundle, when given, receives the pool's live
-    counters and the absorbed report totals in its metrics registry (the
-    returned report dicts are its derived views either way).
+    With a ``run_store``, every completed MetaRVM evaluation and both
+    expensive arrays (the PCE design responses and the Saltelli reference)
+    are journaled.  The EMEWS path has no simulated clock, so the
+    deliberate-crash mechanism here is a count-based ``kill_switch``; a
+    killed run resumed with ``resume_from=`` replays journal hits and
+    produces bitwise-identical curves.  ``model_config`` is digest-checked
+    against the journal on resume (it is not part of the stored config).
     """
-    check_int("budget", budget, minimum=40)
-    cfg = music_config if music_config is not None else MusicConfig()
+    run_cfg, state = open_run_state(
+        run_store,
+        resume_from,
+        workflow="music-gsa",
+        config=config,
+        config_from_jsonable=MusicGsaRunConfig.from_jsonable,
+        config_to_jsonable=MusicGsaRunConfig.to_jsonable,
+        default_config=MusicGsaRunConfig,
+        kill_switch=kill_switch,
+    )
+    seed = run_cfg.seed
+    budget = run_cfg.budget
+    if state is not None:
+        if observability is not None:
+            state.bind_observability(observability)
+        digest = _model_digest(model_config)
+        prior = state.journal.records("run.model")
+        if prior and prior[0].key != digest:
+            raise StateError(
+                f"model_config passed to resume_from={resume_from!r} does "
+                "not match the journaled run's model digest"
+            )
+        state.record("run.model", digest, {"digest": digest})
+    cfg = run_cfg.music_config if run_cfg.music_config is not None else MusicConfig()
     space = GSA_PARAMETER_SPACE
     qoi = make_qoi(seed, model_config=model_config)
 
@@ -394,18 +483,18 @@ def run_music_vs_pce(
     wrapper: Optional[ResilientEvaluator] = None
     resilience_report: Dict[str, int] = {}
     perf_report: Dict[str, int] = {}
-    if use_emews:
+    if run_cfg.use_emews:
         evaluator, batch_evaluator, wrapper = _build_evaluator(
-            model_config, fault_rate, fault_seed, evaluator_retry
+            model_config, run_cfg.fault_rate, run_cfg.fault_seed, evaluator_retry
         )
-        service = EmewsService()
+        service = EmewsService(state=state)
         queue = service.make_queue(f"figure4-seed{seed}")
-        if parallel:
+        if run_cfg.parallel:
             handle = service.start_parallel_pool(
                 TASK_TYPE,
                 evaluator,
                 batch_fn=batch_evaluator,
-                n_workers=n_workers,
+                n_workers=run_cfg.n_workers,
                 cache=memo_cache,
                 name="figure4-pool",
             )
@@ -413,13 +502,25 @@ def run_music_vs_pce(
             handle = service.start_local_pool(
                 TASK_TYPE,
                 evaluator,
-                n_workers=n_workers,
+                n_workers=run_cfg.n_workers,
                 name="figure4-pool",
             )
         if observability is not None:
             handle.pool.bind_observability(observability)
         driver = InterleavedDriver([music_coroutine(music, queue, seed, budget)])
-        driver.run()
+        try:
+            driver.run()
+        except Exception:
+            if state is not None and state.killed:
+                # The kill fired in a worker thread, where the pool absorbs
+                # it as a task failure; re-raise it as the deliberate crash
+                # it is so recovery machinery cannot paper over it.
+                service.finalize(queue)
+                raise WorkflowKilledError(
+                    f"run {state.run_id} killed during EMEWS evaluation",
+                    run_id=state.run_id,
+                ) from None
+            raise
         resilience_report, perf_report = _assemble_reports(
             handle, wrapper, observability
         )
@@ -439,24 +540,118 @@ def run_music_vs_pce(
     # Draw a power-of-two block (Sobol balance property) and slice.
     n_pow2 = 1 << (budget - 1).bit_length()
     unit_design = sampler.random(n_pow2)[:budget]
-    y_all = qoi(space.scale(unit_design))
-    n_terms = PCEModel(space.dim, pce_degree).n_terms
-    start = pce_start if pce_start is not None else max(space.dim + 2, n_terms // 4)
+
+    def _pce_responses() -> np.ndarray:
+        return qoi(space.scale(unit_design))
+
+    if state is not None:
+        y_all = state.cached_array(
+            "figure4-pce-responses",
+            {"seed": seed, "budget": budget, "model": _model_digest(model_config)},
+            _pce_responses,
+        )
+    else:
+        y_all = _pce_responses()
+    n_terms = PCEModel(space.dim, run_cfg.pce_degree).n_terms
+    start = (
+        run_cfg.pce_start
+        if run_cfg.pce_start is not None
+        else max(space.dim + 2, n_terms // 4)
+    )
     pce_curve: List[Tuple[int, np.ndarray]] = []
     for n in range(start, budget + 1):
-        model = PCEModel(space.dim, pce_degree).fit(unit_design[:n], y_all[:n])
+        model = PCEModel(space.dim, run_cfg.pce_degree).fit(
+            unit_design[:n], y_all[:n]
+        )
         pce_curve.append((n, np.clip(model.first_order(), -0.2, 1.2)))
 
-    reference = reference_indices(seed, n=reference_n, model_config=model_config)
+    def _reference() -> np.ndarray:
+        return reference_indices(
+            seed, n=run_cfg.reference_n, model_config=model_config
+        )
+
+    if state is not None:
+        reference = state.cached_array(
+            "figure4-reference",
+            {
+                "seed": seed,
+                "n": run_cfg.reference_n,
+                "model": _model_digest(model_config),
+            },
+            _reference,
+        )
+    else:
+        reference = _reference()
+    if state is not None:
+        state.end_run(
+            summary={"budget": budget, "music_evaluations": music.n_evaluations}
+        )
     return Figure4Data(
         parameter_names=space.names,
         music_curve=music_curve,
         pce_curve=pce_curve,
         reference=reference,
         seed=seed,
-        pce_degree=pce_degree,
+        pce_degree=run_cfg.pce_degree,
         resilience_report=resilience_report,
         perf_report=perf_report,
+        run_id=state.run_id if state is not None else None,
+        state_report=state.counters() if state is not None else {},
+    )
+
+
+def run_music_vs_pce(
+    *,
+    seed: int = 0,
+    budget: int = 220,
+    music_config: Optional[MusicConfig] = None,
+    pce_degree: int = 3,
+    pce_start: Optional[int] = None,
+    reference_n: int = 2048,
+    model_config: Optional[MetaRVMConfig] = None,
+    use_emews: bool = True,
+    n_workers: int = 4,
+    parallel: bool = False,
+    memo_cache: Optional[MemoCache] = None,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    evaluator_retry: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
+) -> Figure4Data:
+    """Deprecated scalar-keyword entry point for the Figure 4 experiment.
+
+    .. deprecated::
+        Use :func:`run_music_gsa` with a :class:`MusicGsaRunConfig` — the
+        config form is what the run store snapshots for ``resume_from=``.
+        This shim will be removed one release after the ``repro.state``
+        introduction.  Behaviour is identical: the arguments are collapsed
+        into a config and delegated.
+    """
+    warnings.warn(
+        "run_music_vs_pce() is deprecated; use "
+        "run_music_gsa(MusicGsaRunConfig(...)) (removal one release after "
+        "the repro.state introduction)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_music_gsa(
+        MusicGsaRunConfig(
+            seed=seed,
+            budget=budget,
+            pce_degree=pce_degree,
+            pce_start=pce_start,
+            reference_n=reference_n,
+            use_emews=use_emews,
+            n_workers=n_workers,
+            parallel=parallel,
+            fault_rate=fault_rate,
+            fault_seed=fault_seed,
+            music_config=music_config,
+        ),
+        model_config=model_config,
+        memo_cache=memo_cache,
+        evaluator_retry=evaluator_retry,
+        observability=observability,
     )
 
 

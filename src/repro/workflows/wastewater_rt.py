@@ -27,8 +27,9 @@ the estimates with ground-truth validation metrics.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -49,6 +50,8 @@ from repro.rt import (
     estimate_rt_goldstein_batch,
 )
 from repro.rt.ensemble import population_weighted_ensemble
+from repro.sim import RuntimeConfig
+from repro.state import KillSwitch, RunCheckpointer, RunStore, open_run_state
 
 
 def make_transform_function():
@@ -248,6 +251,53 @@ def make_outlook_function(horizon: int = 14):
     return memo_salt(outlook, {"fn": "wastewater-outlook", "horizon": int(horizon)})
 
 
+@dataclass(frozen=True)
+class WastewaterRunConfig:
+    """Everything that determines a wastewater run's outputs.
+
+    The canonical way to parameterize :func:`run_wastewater_workflow`.
+    JSON-serializable by construction, so a :class:`~repro.state.RunStore`
+    can snapshot it at run creation and rebuild it verbatim on
+    ``resume_from=`` — the config digest is the run's identity.
+
+    Attributes mirror the legacy keyword arguments one-for-one; see
+    :func:`run_wastewater_workflow` for their semantics.
+    """
+
+    data_start_day: float = 100.0
+    sim_days: float = 20.0
+    data_horizon: int = 150
+    goldstein_iterations: int = 1500
+    seed: int = 2024
+    poll_interval: float = 1.0
+    n_compute_nodes: int = 4
+    include_outlook: bool = False
+    vectorized_rt: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sim_days <= 0:
+            raise ValidationError("sim_days must be positive")
+        if self.poll_interval <= 0:
+            raise ValidationError("poll_interval must be positive")
+        if self.goldstein_iterations < 1:
+            raise ValidationError("goldstein_iterations must be >= 1")
+        if self.n_compute_nodes < 1:
+            raise ValidationError("n_compute_nodes must be >= 1")
+        if self.data_start_day + self.sim_days > self.data_horizon:
+            raise ValidationError(
+                "data_start_day + sim_days must fit within data_horizon"
+            )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot (what the run store persists)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, doc: Mapping[str, Any]) -> "WastewaterRunConfig":
+        """Rebuild a config from a stored snapshot."""
+        return cls(**dict(doc))
+
+
 @dataclass
 class WastewaterWorkflowResult:
     """Everything the workflow produced, plus validation against truth."""
@@ -267,6 +317,11 @@ class WastewaterWorkflowResult:
     #: Memoization counters from :meth:`AeroPlatform.perf_report` — empty
     #: unless the workflow ran with a ``memo_cache``.
     perf_report: Dict[str, int] = field(default_factory=dict)
+    #: Id of the journaled run (``None`` when no ``run_store`` was used).
+    run_id: Optional[str] = None
+    #: Checkpointing counters from :meth:`AeroPlatform.state_report` — all
+    #: zeros unless the workflow ran with a ``run_store``.
+    state_report: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------- validation
     def plant_metrics(self) -> Dict[str, Dict[str, float]]:
@@ -305,51 +360,71 @@ class WastewaterWorkflowResult:
         return summarize(flow_graph(flows))
 
 
+_WASTEWATER_CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(WastewaterRunConfig)
+)
+
+
+def _coerce_run_config(config, config_cls, fields, legacy, fn_name):
+    """Shared legacy-kwargs shim for the workflow entry points.
+
+    Scalar keyword arguments that predate the config dataclasses still
+    work, with a one-release :class:`DeprecationWarning`; mixing them with
+    an explicit config is an error (ambiguous precedence).
+    """
+    if not legacy:
+        return config
+    unknown = sorted(set(legacy) - set(fields))
+    if unknown:
+        raise TypeError(
+            f"{fn_name}() got unexpected keyword arguments {unknown}"
+        )
+    warnings.warn(
+        f"passing scalar keyword arguments to {fn_name}() is deprecated; "
+        f"pass {config_cls.__name__}(...) instead (removal one release "
+        "after the repro.state introduction)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if config is not None:
+        raise ValidationError(
+            f"pass either a {config_cls.__name__} or legacy keyword "
+            "arguments, not both"
+        )
+    return config_cls(**legacy)
+
+
 def run_wastewater_workflow(
+    config: Optional[WastewaterRunConfig] = None,
     *,
-    data_start_day: float = 100.0,
-    sim_days: float = 20.0,
-    data_horizon: int = 150,
-    goldstein_iterations: int = 1500,
-    seed: int = 2024,
-    poll_interval: float = 1.0,
-    n_compute_nodes: int = 4,
-    include_outlook: bool = False,
-    vectorized_rt: bool = False,
     resilience: Optional[ResilienceConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     memo_cache: Optional[MemoCache] = None,
     observability: Optional[Observability] = None,
+    run_store: Optional[RunStore] = None,
+    resume_from: Optional[str] = None,
+    kill_switch: Optional[KillSwitch] = None,
+    **legacy: Any,
 ) -> WastewaterWorkflowResult:
     """Build, run, and validate the full Figure 1 workflow.
 
     Parameters
     ----------
-    data_start_day:
-        Surveillance history already available when the workflow starts
-        (the first poll ingests it all, as with a real onboarding).
-    sim_days:
-        Simulated days of live operation after registration — daily polls,
-        new samples every ~2 days, triggered re-analyses.
-    goldstein_iterations:
-        MCMC length for each R(t) analysis (scaled down from the
-        production default for turnaround; raise for tighter posteriors).
-    n_compute_nodes:
-        Nodes of the batch cluster serving the expensive analyses (4 lets
-        the four plants' analyses run concurrently, as in Figure 1).
-    vectorized_rt:
-        Replace the four per-plant R(t) flows with **one** cross-plant
-        ``rt-batch`` flow that stacks every plant's chains into a single
-        multi-node vectorized sampler job
-        (:func:`make_rt_batch_analysis_function`).  Artifacts are bitwise
-        identical to the per-plant path; only job structure and wall time
-        change.
+    config:
+        A :class:`WastewaterRunConfig` with every run-determining
+        parameter (data window, MCMC length, seed, topology flags).  The
+        legacy scalar keyword arguments (``sim_days=...``,
+        ``goldstein_iterations=...``, ...) are still accepted with a
+        :class:`DeprecationWarning` and collapse into a config internally.
     resilience:
         Retry/requeue policies for every layer of the stack (chaos runs use
         this together with ``fault_plan``; omitting both reproduces the
         historical fail-fast behaviour exactly).
     fault_plan:
         Deterministic fault injection plan armed before any service starts.
+        A plan with a ``state.journal`` spec deliberately kills the run
+        mid-checkpoint (:class:`~repro.common.errors.WorkflowKilledError`);
+        resume it with ``resume_from=``.
     memo_cache:
         Content-addressed result cache shared by every compute endpoint.
         Re-triggered analyses of unchanged inputs (and repeated runs handed
@@ -363,11 +438,47 @@ def run_wastewater_workflow(
         :func:`repro.obs.chrome_trace_json`), and the result's
         ``resilience_report`` / ``perf_report`` become registry-derived
         views.  Same-seed runs export byte-identical traces.
+    run_store:
+        Optional :class:`~repro.state.RunStore`.  When given, the run is
+        journaled: completed compute tasks (content-addressed), timer
+        firings, flow steps, and flow runs all land in a write-ahead
+        journal as the run progresses, and the result carries ``run_id``
+        and ``state_report``.
+    resume_from:
+        Id of a journaled run to resume (requires ``run_store``).  The
+        stored config snapshot is replayed from t=0 with the same seeds;
+        journaled compute results are served without re-execution, so the
+        final outputs are bitwise identical to an uninterrupted run.
+    kill_switch:
+        Chaos-test hook: crash the run after N journal appends
+        (requires ``run_store``).
     """
-    if data_start_day + sim_days > data_horizon:
-        raise ValidationError(
-            "data_start_day + sim_days must fit within data_horizon"
-        )
+    cfg = _coerce_run_config(
+        config,
+        WastewaterRunConfig,
+        _WASTEWATER_CONFIG_FIELDS,
+        legacy,
+        "run_wastewater_workflow",
+    )
+    cfg, state = open_run_state(
+        run_store,
+        resume_from,
+        workflow="wastewater",
+        config=cfg,
+        config_from_jsonable=WastewaterRunConfig.from_jsonable,
+        config_to_jsonable=WastewaterRunConfig.to_jsonable,
+        default_config=WastewaterRunConfig,
+        kill_switch=kill_switch,
+    )
+    data_start_day = cfg.data_start_day
+    sim_days = cfg.sim_days
+    data_horizon = cfg.data_horizon
+    goldstein_iterations = cfg.goldstein_iterations
+    seed = cfg.seed
+    poll_interval = cfg.poll_interval
+    n_compute_nodes = cfg.n_compute_nodes
+    include_outlook = cfg.include_outlook
+    vectorized_rt = cfg.vectorized_rt
     if fault_plan is not None and resilience is None:
         # Chaos without recovery would just be a crash generator; give the
         # stack its default policies so faults below budget are absorbed.
@@ -375,9 +486,12 @@ def run_wastewater_workflow(
     iwss = SyntheticIWSS(n_days=data_horizon, seed=seed)
     platform = AeroPlatform(
         resilience=resilience,
-        fault_plan=fault_plan,
         compute_cache=memo_cache,
-        observability=observability,
+        runtime=RuntimeConfig(
+            fault_plan=fault_plan,
+            observability=observability,
+            state=state,
+        ),
     )
     identity, token = platform.create_user("epi-researcher")
     platform.add_storage_collection("eagle", token)
@@ -497,6 +611,17 @@ def run_wastewater_workflow(
         raise StateError("the aggregation flow never completed")
     ensemble = RtEstimate.from_json(client.fetch_content(aggregate_ids["ensemble"]))
 
+    if state is not None:
+        state.record_rng_mark(
+            "wastewater/final", platform.rng_state_digest(), t=platform.env.now
+        )
+        state.end_run(
+            summary={
+                "aggregation_runs": len(client.runs("aggregate-rt")),
+                "events_fired": platform.env.events_fired,
+            }
+        )
+
     return WastewaterWorkflowResult(
         platform=platform,
         client=client,
@@ -519,4 +644,6 @@ def run_wastewater_workflow(
         output_ids=output_ids,
         resilience_report=platform.resilience_report(),
         perf_report=platform.perf_report(),
+        run_id=state.run_id if state is not None else None,
+        state_report=platform.state_report(),
     )

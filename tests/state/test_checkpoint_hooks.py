@@ -1,0 +1,199 @@
+"""Checkpoint hooks in each layer: engine, timers, evaluators, arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkflowKilledError
+from repro.globus.compute import (
+    ComputeService,
+    JournalingEngine,
+    LoginNodeEngine,
+)
+from repro.globus.timers import TimerService
+from repro.perf import memo_salt
+from repro.sim import SimulationEnvironment
+from repro.state import (
+    InMemoryRunStore,
+    KillSwitch,
+    RunCheckpointer,
+    replay_safe,
+)
+
+
+def square(x: float) -> float:
+    return x * x
+
+
+@pytest.fixture
+def checkpointer() -> RunCheckpointer:
+    return RunCheckpointer(InMemoryRunStore().create_run("test", {"seed": 1}))
+
+
+class TestJournalingEngine:
+    _users = iter(range(1000))
+
+    def run_square(self, auth, checkpointer, arg):
+        """One fresh env/service executing square(arg) behind the journal."""
+        env = SimulationEnvironment()
+        compute = ComputeService(auth, env)
+        inner = LoginNodeEngine(env)
+        engine = JournalingEngine(inner, env, checkpointer)
+        endpoint = compute.create_endpoint("ep", engine)
+        identity = auth.register_identity(f"state-tester-{next(self._users)}")
+        token = auth.issue_token(identity, ["compute"], lifetime=10_000.0)
+        fid = compute.register_function(token, square)
+        future = endpoint.submit(token, fid, arg)
+        env.run()
+        return future, engine
+
+    def test_miss_records_then_hit_serves(self, auth, checkpointer):
+        future1, engine1 = self.run_square(auth, checkpointer, 3.0)
+        assert future1.result() == 9.0
+        assert engine1.hits_served == 0
+        assert checkpointer.counters()["state_journal_records"] >= 1
+
+        # A second run over the same journal serves the result without the
+        # wrapped engine executing anything.
+        future2, engine2 = self.run_square(auth, checkpointer, 3.0)
+        assert future2.result() == 9.0
+        assert engine2.hits_served == 1
+        assert engine2._inner.running == 0
+
+    def test_distinct_payloads_distinct_keys(self, auth, checkpointer):
+        f1, _ = self.run_square(auth, checkpointer, 2.0)
+        f2, engine = self.run_square(auth, checkpointer, 4.0)
+        assert (f1.result(), f2.result()) == (4.0, 16.0)
+        assert engine.hits_served == 0
+
+
+@pytest.fixture
+def token(auth):
+    identity = auth.register_identity("timer-tester")
+    return auth.issue_token(identity, ["timers"], lifetime=10_000.0)
+
+
+class TestTimerHooks:
+    def test_firings_journaled_write_ahead(self, auth, token, checkpointer):
+        env = SimulationEnvironment()
+        env.install(checkpointer)
+        timers = TimerService(auth, env)
+        ticks = []
+        timers.create_timer(
+            token,
+            lambda: ticks.append(env.now),
+            interval=1.0,
+            max_firings=3,
+            label="daily",
+        )
+        env.run()
+        assert len(ticks) == 3
+        journal = checkpointer.handle.journal
+        assert journal.counts_by_kind()[RunCheckpointer.KIND_TIMER] == 3
+
+    def test_replay_reappends_idempotently(self, auth, token, checkpointer):
+        env = SimulationEnvironment()
+        env.install(checkpointer)
+        timers = TimerService(auth, env)
+        timers.create_timer(
+            token, lambda: None, interval=1.0, max_firings=2, label="t"
+        )
+        env.run()
+        n = len(checkpointer.handle.journal)
+
+        env2 = SimulationEnvironment()
+        env2.install(RunCheckpointer(checkpointer.handle, resumed=True))
+        timers2 = TimerService(auth, env2)
+        timers2.create_timer(
+            token, lambda: None, interval=1.0, max_firings=2, label="t"
+        )
+        env2.run()
+        assert len(checkpointer.handle.journal) == n
+
+
+class TestCachedArray:
+    def test_serves_bitwise_identical_floats(self, checkpointer):
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(64)
+        calls = []
+
+        def compute() -> np.ndarray:
+            calls.append(1)
+            return values
+
+        first = checkpointer.cached_array("ref", {"n": 64}, compute)
+        again = checkpointer.cached_array("ref", {"n": 64}, compute)
+        assert len(calls) == 1
+        assert first.tobytes() == values.tobytes()
+        assert again.tobytes() == values.tobytes()
+
+    def test_identity_distinguishes(self, checkpointer):
+        a = checkpointer.cached_array("ref", {"n": 1}, lambda: np.ones(1))
+        b = checkpointer.cached_array("ref", {"n": 2}, lambda: np.zeros(2))
+        assert a.tolist() == [1.0] and b.tolist() == [0.0, 0.0]
+
+
+class TestEvaluatorWrappers:
+    def test_wrap_evaluator_records_and_serves(self, checkpointer):
+        calls = []
+
+        def evaluate(payload):
+            calls.append(payload)
+            return payload["x"] * 2
+
+        # Closures need an explicit memo identity, same as for MemoCache.
+        memo_salt(evaluate, "hook-test-eval")
+        wrapped = checkpointer.wrap_evaluator(evaluate)
+        assert wrapped({"x": 3}) == 6
+        assert wrapped({"x": 3}) == 6
+        assert len(calls) == 1
+        assert checkpointer.counters()["state_replay_hits"] == 1
+
+    def test_wrap_batch_evaluator_partial_hits(self, checkpointer):
+        def evaluate(p):
+            return p["x"] * 2
+
+        batch_calls = []
+
+        def batch(payloads):
+            batch_calls.append(list(payloads))
+            return [p["x"] * 2 for p in payloads]
+
+        # The shared salt makes single and batch journal keys match
+        # payload-for-payload (the production evaluators do the same).
+        memo_salt(evaluate, "hook-test-shared")
+        memo_salt(batch, "hook-test-shared")
+        single = checkpointer.wrap_evaluator(evaluate)
+        single({"x": 1})
+
+        wrapped = checkpointer.wrap_batch_evaluator(batch)
+        results = wrapped([{"x": 1}, {"x": 2}, {"x": 3}])
+        assert results == [2, 4, 6]
+        # Only the two misses reached the inner batch evaluator.
+        assert batch_calls == [[{"x": 2}, {"x": 3}]]
+
+    def test_kill_switch_fires_in_wrapper(self):
+        handle = InMemoryRunStore().create_run("test", {})
+        state = RunCheckpointer(handle, kill_switch=KillSwitch(after_records=1))
+        wrapped = state.wrap_evaluator(lambda p: p)
+        with pytest.raises(WorkflowKilledError):
+            wrapped({"x": 1})
+        assert handle.status == "killed"
+        assert state.killed
+
+
+class TestReplaySafe:
+    def test_marker_attribute(self):
+        @replay_safe
+        def step(run):
+            return {}
+
+        from repro.state.checkpoint import REPLAY_SAFE_ATTR
+
+        assert getattr(step, REPLAY_SAFE_ATTR)
+
+    def test_unserializable_payload_counted_not_fatal(self, checkpointer):
+        ok = checkpointer.record("task.result", "bad", {"fn": lambda: None})
+        assert not ok
+        assert checkpointer.counters()["state_journal_skipped"] == 1

@@ -1,0 +1,167 @@
+"""The unified capability-install API and the stable ``repro.api`` facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError, ValidationError
+from repro.faults import FaultPlan
+from repro.obs import Observability
+from repro.sim import RuntimeConfig, SimulationEnvironment
+from repro.state import InMemoryRunStore, RunCheckpointer
+
+
+def make_checkpointer() -> RunCheckpointer:
+    return RunCheckpointer(InMemoryRunStore().create_run("test", {}))
+
+
+class TestEnvInstall:
+    def test_install_each_capability(self):
+        env = SimulationEnvironment()
+        state = make_checkpointer()
+        env.install(FaultPlan(), Observability(), state)
+        assert env.faults is not None
+        assert env.obs is not None
+        assert env.state is state
+
+    def test_install_returns_self_for_chaining(self):
+        env = SimulationEnvironment()
+        assert env.install(FaultPlan()) is env
+
+    def test_none_capabilities_skipped(self):
+        env = SimulationEnvironment()
+        env.install(None, FaultPlan(), None)
+        assert env.faults is not None
+        assert env.obs is None
+        assert env.state is None
+
+    def test_runtime_config_bundle(self):
+        env = SimulationEnvironment()
+        runtime = RuntimeConfig(
+            fault_plan=FaultPlan(),
+            observability=Observability(),
+            state=make_checkpointer(),
+        )
+        env.install(runtime)
+        assert env.faults is not None
+        assert env.obs is not None
+        assert env.state is not None
+
+    def test_runtime_config_capabilities_drops_nones(self):
+        runtime = RuntimeConfig(fault_plan=FaultPlan())
+        caps = runtime.capabilities()
+        assert len(caps) == 1 and isinstance(caps[0], FaultPlan)
+
+    def test_duplicate_install_raises(self):
+        env = SimulationEnvironment()
+        env.install(FaultPlan())
+        with pytest.raises(SimulationError):
+            env.install(FaultPlan())
+        env2 = SimulationEnvironment()
+        env2.install(make_checkpointer())
+        with pytest.raises(SimulationError):
+            env2.install(make_checkpointer())
+
+    def test_unknown_capability_rejected(self):
+        env = SimulationEnvironment()
+        with pytest.raises(ValidationError):
+            env.install(object())
+
+    def test_install_binds_state_to_env(self):
+        env = SimulationEnvironment()
+        state = make_checkpointer()
+        env.install(state)
+        assert state._env is env
+
+
+class TestDeprecatedAliases:
+    def test_install_fault_plan_warns_and_works(self):
+        env = SimulationEnvironment()
+        with pytest.warns(DeprecationWarning, match="install_fault_plan"):
+            injector = env.install_fault_plan(FaultPlan())
+        assert injector is env.faults
+
+    def test_install_observability_warns_and_works(self):
+        env = SimulationEnvironment()
+        with pytest.warns(DeprecationWarning, match="install_observability"):
+            obs = env.install_observability(Observability())
+        assert obs is env.obs
+
+
+class TestApiFacade:
+    def test_all_names_resolve(self):
+        import repro.api as api
+
+        missing = [n for n in api.__all__ if not hasattr(api, n)]
+        assert not missing
+
+    def test_facade_objects_are_canonical(self):
+        import repro.api as api
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        assert api.run_wastewater_workflow is run_wastewater_workflow
+
+
+class TestRunConfigs:
+    def test_wastewater_config_validates(self):
+        from repro.api import WastewaterRunConfig
+
+        with pytest.raises(ValidationError):
+            WastewaterRunConfig(sim_days=0.0)
+        with pytest.raises(ValidationError):
+            WastewaterRunConfig(goldstein_iterations=0)
+
+    def test_music_config_validates(self):
+        from repro.api import MusicGsaRunConfig
+
+        with pytest.raises(ValidationError):
+            MusicGsaRunConfig(budget=10)
+        with pytest.raises(ValidationError):
+            MusicGsaRunConfig(fault_rate=1.5)
+
+    def test_wastewater_config_round_trips(self):
+        from repro.api import WastewaterRunConfig
+
+        cfg = WastewaterRunConfig(sim_days=4.0, seed=7, include_outlook=True)
+        assert WastewaterRunConfig.from_jsonable(cfg.to_jsonable()) == cfg
+
+    def test_music_config_round_trips(self):
+        from repro.api import MusicGsaRunConfig
+        from repro.gsa.music import MusicConfig
+
+        cfg = MusicGsaRunConfig(
+            seed=3, budget=60, music_config=MusicConfig(n_initial=20)
+        )
+        assert MusicGsaRunConfig.from_jsonable(cfg.to_jsonable()) == cfg
+
+    def test_legacy_wastewater_kwargs_warn(self):
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        with pytest.warns(DeprecationWarning, match="WastewaterRunConfig"):
+            result = run_wastewater_workflow(sim_days=2.0, goldstein_iterations=150)
+        assert result.ensemble is not None
+
+    def test_legacy_music_entry_point_warns(self):
+        from repro.workflows.music_gsa import run_music_vs_pce
+
+        with pytest.warns(DeprecationWarning, match="run_music_gsa"):
+            data = run_music_vs_pce(
+                seed=1, budget=40, reference_n=64, use_emews=False
+            )
+        assert data.music_curve
+
+    def test_config_plus_legacy_kwargs_rejected(self):
+        from repro.api import WastewaterRunConfig
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        with pytest.raises(ValidationError):
+            with pytest.warns(DeprecationWarning):
+                run_wastewater_workflow(
+                    WastewaterRunConfig(sim_days=2.0), sim_days=3.0
+                )
+
+    def test_unknown_kwarg_rejected(self):
+        from repro.workflows.wastewater_rt import run_wastewater_workflow
+
+        with pytest.raises(TypeError):
+            run_wastewater_workflow(simdays=2.0)

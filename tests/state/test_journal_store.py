@@ -1,0 +1,167 @@
+"""Unit tests for the write-ahead journal and the run stores."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import NotFoundError, StateError
+from repro.state import (
+    InMemoryRunStore,
+    JournalRecord,
+    JsonlRunStore,
+    RunJournal,
+)
+from repro.state.journal import JsonlJournalBackend, MemoryJournalBackend
+
+
+class TestRunJournal:
+    def test_append_and_lookup(self):
+        journal = RunJournal(MemoryJournalBackend())
+        assert journal.append("task.result", "k1", {"value": 1.5})
+        assert journal.lookup("task.result", "k1").payload == {"value": 1.5}
+        assert journal.lookup("task.result", "nope") is None
+        assert ("task.result", "k1") in journal
+        assert len(journal) == 1
+
+    def test_append_is_idempotent(self):
+        journal = RunJournal(MemoryJournalBackend())
+        assert journal.append("timer.fire", "daily:1", {"firing": 1})
+        # Re-appending the same (kind, key) is a no-op, even with a
+        # different payload: the first write wins (write-ahead semantics).
+        assert not journal.append("timer.fire", "daily:1", {"firing": 99})
+        assert journal.lookup("timer.fire", "daily:1").payload == {"firing": 1}
+        assert len(journal) == 1
+
+    def test_payload_canonicalized_to_json_types(self):
+        journal = RunJournal(MemoryJournalBackend())
+        journal.append("task.result", "k", {"t": (1, 2), "x": 0.1 + 0.2})
+        payload = journal.lookup("task.result", "k").payload
+        assert payload == {"t": [1, 2], "x": 0.1 + 0.2}
+        assert isinstance(payload["t"], list)
+
+    def test_non_jsonable_payload_raises(self):
+        journal = RunJournal(MemoryJournalBackend())
+        with pytest.raises(TypeError):
+            journal.append("task.result", "k", {"fn": lambda: None})
+
+    def test_counts_by_kind(self):
+        journal = RunJournal(MemoryJournalBackend())
+        journal.append("a", "1", {})
+        journal.append("a", "2", {})
+        journal.append("b", "1", {})
+        assert journal.counts_by_kind() == {"a": 2, "b": 1}
+
+    def test_records_in_sequence_order(self):
+        journal = RunJournal(MemoryJournalBackend())
+        for i in range(5):
+            journal.append("k", str(i), {"i": i})
+        seqs = [r.seq for r in journal.records("k")]
+        assert seqs == sorted(seqs)
+
+
+class TestJsonlBackend:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        backend = JsonlJournalBackend(path)
+        journal = RunJournal(backend)
+        journal.append("task.result", "k", {"value": [1.0, 2.5]}, t=3.0)
+
+        reloaded = RunJournal(JsonlJournalBackend(path))
+        assert reloaded.lookup("task.result", "k").payload == {"value": [1.0, 2.5]}
+        record = reloaded.records("task.result")[0]
+        assert isinstance(record, JournalRecord)
+        assert record.t == 3.0
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(JsonlJournalBackend(path))
+        journal.append("a", "1", {"x": 1})
+        journal.append("a", "2", {"x": 2})
+        # Simulate a crash mid-write: truncate the last line.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 7])
+
+        reloaded = RunJournal(JsonlJournalBackend(path))
+        assert len(reloaded) == 1
+        assert reloaded.lookup("a", "1").payload == {"x": 1}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(JsonlJournalBackend(path))
+        journal.append("a", "1", {"x": 1})
+        journal.append("a", "2", {"x": 2})
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-5]
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.raises(StateError, match="corrupt journal line 1"):
+            RunJournal(JsonlJournalBackend(path))
+
+
+@pytest.fixture(params=["memory", "jsonl"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryRunStore()
+    return JsonlRunStore(tmp_path / "runs")
+
+
+class TestRunStore:
+    def test_deterministic_run_ids(self, store):
+        h1 = store.create_run("wastewater", {"seed": 1})
+        h2 = store.create_run("wastewater", {"seed": 1})
+        h3 = store.create_run("wastewater", {"seed": 2})
+        assert h1.run_id.endswith("-001")
+        assert h2.run_id.endswith("-002")
+        # Same workflow+config prefix counts up; a new config restarts.
+        assert h1.run_id.rsplit("-", 1)[0] == h2.run_id.rsplit("-", 1)[0]
+        assert h3.run_id.endswith("-001")
+        assert h3.run_id != h1.run_id
+
+    def test_open_and_status_transitions(self, store):
+        handle = store.create_run("music-gsa", {"seed": 0})
+        assert handle.status == "active"
+        handle.set_status("killed")
+        reopened = store.open_run(handle.run_id)
+        assert reopened.status == "killed"
+        reopened.set_status("completed")
+        assert store.open_run(handle.run_id).status == "completed"
+
+    def test_open_unknown_run_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.open_run("wastewater-ffffffffff-001")
+
+    def test_list_runs(self, store):
+        a = store.create_run("wastewater", {"seed": 1})
+        b = store.create_run("music-gsa", {"seed": 2})
+        a.journal.append("task.result", "k", {"v": 1})
+        rows = {s.run_id: s for s in store.list_runs()}
+        assert set(rows) == {a.run_id, b.run_id}
+        assert rows[a.run_id].workflow == "wastewater"
+        assert rows[a.run_id].n_records >= 1
+        assert rows[b.run_id].status == "active"
+
+    def test_config_snapshot_round_trips(self, store):
+        config = {"seed": 11, "sim_days": 4.0, "nested": {"a": [1, 2]}}
+        handle = store.create_run("wastewater", config)
+        reopened = store.open_run(handle.run_id)
+        assert reopened.config == config
+
+
+class TestBackendEquivalence:
+    def test_same_appends_same_payloads(self, tmp_path):
+        mem = RunJournal(MemoryJournalBackend())
+        disk = RunJournal(JsonlJournalBackend(tmp_path / "j.jsonl"))
+        entries = [
+            ("task.result", "a", {"value": 1.0 / 3.0}),
+            ("timer.fire", "daily:1", {"firing": 1}),
+            ("array.result", "arr", {"values": [0.1, 0.2, 0.30000000000000004]}),
+        ]
+        for kind, key, payload in entries:
+            mem.append(kind, key, payload)
+            disk.append(kind, key, payload)
+        for kind, key, _ in entries:
+            assert json.dumps(mem.lookup(kind, key).payload, sort_keys=True) == json.dumps(
+                disk.lookup(kind, key).payload, sort_keys=True
+            )

@@ -1,0 +1,228 @@
+"""The headline guarantee, as a matrix: kill anywhere, resume bitwise-identically.
+
+Every cell runs a workflow under a fault plan (or kill switch) that crashes
+it mid-flight, resumes from the journal, and asserts the final outputs are
+*bitwise identical* to an uninterrupted run of the same configuration —
+including runs where additional service faults (transfer corruption, node
+crashes, flow-step failures) fire alongside the crash, exactly the PR-1
+chaos plans.
+
+Marked ``chaos``: in tier 1, deselect with ``-m 'not chaos'``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkflowKilledError
+from repro.faults import FaultPlan, FaultSpec
+from repro.state import InMemoryRunStore, JsonlRunStore, KillSwitch
+from repro.workflows.music_gsa import MusicGsaRunConfig, run_music_gsa
+from repro.workflows.wastewater_rt import (
+    WastewaterRunConfig,
+    run_wastewater_workflow,
+)
+
+pytestmark = pytest.mark.chaos
+
+WASTEWATER_CONFIG = WastewaterRunConfig(
+    sim_days=4.0, goldstein_iterations=250, seed=11
+)
+
+#: Fault plans from the PR-1 chaos repertoire, each augmented with the
+#: scripted journal-write crash.  Site noise must not break resume identity.
+WASTEWATER_PLANS = {
+    "clean-kill-early": [
+        FaultSpec(site="state.journal", at_time=1.0),
+    ],
+    "clean-kill-late": [
+        FaultSpec(site="state.journal", at_time=3.0),
+    ],
+    "kill-with-transfer-noise": [
+        FaultSpec(site="transfer", at_time=1.5),
+        FaultSpec(site="state.journal", at_time=2.0),
+    ],
+    "kill-with-compute-noise": [
+        FaultSpec(site="compute", at_time=1.25),
+        FaultSpec(site="state.journal", at_time=2.5),
+    ],
+    "kill-with-flow-noise": [
+        FaultSpec(site="flows.step", at_time=1.5),
+        FaultSpec(site="state.journal", at_time=2.5),
+    ],
+}
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return InMemoryRunStore()
+    return JsonlRunStore(tmp_path / "runs")
+
+
+def wastewater_output(result) -> str:
+    return result.ensemble.to_json(include_samples=True)
+
+
+@pytest.fixture(scope="module")
+def wastewater_baselines():
+    """Uninterrupted output per fault plan (noise faults still fire)."""
+    baselines = {}
+    for name, specs in WASTEWATER_PLANS.items():
+        noise = [s for s in specs if s.site != "state.journal"]
+        result = run_wastewater_workflow(
+            WASTEWATER_CONFIG, fault_plan=FaultPlan(noise)
+        )
+        baselines[name] = wastewater_output(result)
+    return baselines
+
+
+class TestWastewaterResumeMatrix:
+    @pytest.mark.parametrize("backend", ["memory", "jsonl"])
+    @pytest.mark.parametrize("plan_name", sorted(WASTEWATER_PLANS))
+    def test_killed_then_resumed_is_bitwise_identical(
+        self, plan_name, backend, tmp_path, wastewater_baselines
+    ):
+        store = make_store(backend, tmp_path)
+        plan = FaultPlan(WASTEWATER_PLANS[plan_name])
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_wastewater_workflow(
+                WASTEWATER_CONFIG, run_store=store, fault_plan=plan
+            )
+        run_id = excinfo.value.run_id
+        assert store.open_run(run_id).status == "killed"
+        killed_records = len(store.open_run(run_id).journal)
+        assert killed_records > 0
+
+        # Resume: config comes from the journal snapshot; the noise faults
+        # re-fire deterministically, the scripted kill does not.
+        resumed = run_wastewater_workflow(
+            run_store=store, resume_from=run_id, fault_plan=plan
+        )
+        assert wastewater_output(resumed) == wastewater_baselines[plan_name]
+        assert store.open_run(run_id).status == "completed"
+        assert resumed.state_report["state_replay_hits"] > 0
+
+    def test_double_resume_is_idempotent(self, tmp_path, wastewater_baselines):
+        store = make_store("jsonl", tmp_path)
+        plan = FaultPlan(WASTEWATER_PLANS["clean-kill-early"])
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_wastewater_workflow(
+                WASTEWATER_CONFIG, run_store=store, fault_plan=plan
+            )
+        run_id = excinfo.value.run_id
+        first = run_wastewater_workflow(run_store=store, resume_from=run_id)
+        n_after_first = len(store.open_run(run_id).journal)
+        second = run_wastewater_workflow(run_store=store, resume_from=run_id)
+        n_after_second = len(store.open_run(run_id).journal)
+        assert wastewater_output(first) == wastewater_output(second)
+        assert n_after_first == n_after_second
+
+    def test_explicit_config_must_match_journal(self, tmp_path):
+        from repro.common.errors import StateError
+
+        store = make_store("memory", tmp_path)
+        plan = FaultPlan(WASTEWATER_PLANS["clean-kill-early"])
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_wastewater_workflow(
+                WASTEWATER_CONFIG, run_store=store, fault_plan=plan
+            )
+        with pytest.raises(StateError):
+            run_wastewater_workflow(
+                WastewaterRunConfig(sim_days=5.0, goldstein_iterations=250),
+                run_store=store,
+                resume_from=excinfo.value.run_id,
+            )
+
+
+MUSIC_CONFIG = MusicGsaRunConfig(seed=3, budget=60, reference_n=256)
+
+
+def music_output(data):
+    return (
+        [(n, arr.tobytes()) for n, arr in data.music_curve],
+        [(n, arr.tobytes()) for n, arr in data.pce_curve],
+        data.reference.tobytes(),
+    )
+
+
+@pytest.fixture(scope="module")
+def music_baseline():
+    return music_output(run_music_gsa(MUSIC_CONFIG))
+
+
+class TestMusicResumeMatrix:
+    @pytest.mark.parametrize("backend", ["memory", "jsonl"])
+    @pytest.mark.parametrize("kill_after", [10, 30])
+    def test_killed_then_resumed_is_bitwise_identical(
+        self, kill_after, backend, tmp_path, music_baseline
+    ):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                MUSIC_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=kill_after),
+            )
+        run_id = excinfo.value.run_id
+        assert store.open_run(run_id).status == "killed"
+
+        resumed = run_music_gsa(run_store=store, resume_from=run_id)
+        assert music_output(resumed) == music_baseline
+        assert store.open_run(run_id).status == "completed"
+        assert resumed.state_report["state_replay_hits"] > 0
+
+    def test_double_resume_is_idempotent(self, tmp_path, music_baseline):
+        store = make_store("jsonl", tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                MUSIC_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=20),
+            )
+        run_id = excinfo.value.run_id
+        first = run_music_gsa(run_store=store, resume_from=run_id)
+        n1 = len(store.open_run(run_id).journal)
+        second = run_music_gsa(run_store=store, resume_from=run_id)
+        n2 = len(store.open_run(run_id).journal)
+        assert music_output(first) == music_output(second) == music_baseline
+        assert n1 == n2
+
+    def test_workflow_mismatch_rejected(self, tmp_path):
+        from repro.common.errors import StateError
+
+        store = make_store("jsonl", tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                MUSIC_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=10),
+            )
+        with pytest.raises(StateError):
+            run_wastewater_workflow(
+                run_store=store, resume_from=excinfo.value.run_id
+            )
+
+
+class TestCliResume:
+    def test_runs_resume_completes_killed_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = tmp_path / "runs"
+        store = JsonlRunStore(store_dir)
+        plan = FaultPlan([FaultSpec(site="state.journal", at_time=1.5)])
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_wastewater_workflow(
+                WASTEWATER_CONFIG, run_store=store, fault_plan=plan
+            )
+        run_id = excinfo.value.run_id
+
+        assert main(["runs", "list", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out and "killed" in out
+
+        assert main(["runs", "resume", run_id, "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+        # A fresh store sees the persisted completion.
+        assert JsonlRunStore(store_dir).open_run(run_id).status == "completed"

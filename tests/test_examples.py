@@ -68,6 +68,10 @@ class TestExamples:
         out = run_example("provenance_audit.py")
         assert "0 mismatches" in out
 
+    def test_resumable_runs(self):
+        out = run_example("resumable_runs.py")
+        assert "bitwise identical to uninterrupted run: True" in out
+
     def test_calibration(self):
         out = run_example("calibration.py", "50")
         assert "fit quality" in out
