@@ -25,6 +25,9 @@ The surface groups into five layers:
   :class:`~repro.sim.RuntimeConfig`.
 - **Run stores** — durable (or in-memory) journals behind ``run_store=`` /
   ``resume_from=``.
+- **Run service** — the deterministic multi-tenant gateway
+  (:class:`~repro.service.RunGateway`) that multiplexes submissions over
+  shared shards with fair-share scheduling, quotas, and crash recovery.
 - **Simulation** — the discrete-event environment everything runs on.
 - **Rendering** — the tables/figures and trace/metrics exports.
 """
@@ -32,8 +35,11 @@ The surface groups into five layers:
 from __future__ import annotations
 
 from repro.common import (
+    AdmissionError,
+    QueueFullError,
     ResilienceConfig,
     RetryPolicy,
+    ServiceError,
     WorkflowKilledError,
 )
 from repro.faults import FaultPlan, FaultSpec
@@ -45,8 +51,19 @@ from repro.obs import (
     trace_gantt_svg,
 )
 from repro.perf import MemoCache
+from repro.service import (
+    CancelResponse,
+    ResultResponse,
+    RunGateway,
+    RunScheduler,
+    StatusResponse,
+    SubmitReceipt,
+    SubmitRequest,
+    TenantConfig,
+)
 from repro.sim import RuntimeConfig, SimulationEnvironment
 from repro.state import (
+    CancellationToken,
     InMemoryRunStore,
     JsonlRunStore,
     KillSwitch,
@@ -57,8 +74,10 @@ from repro.workflows import (
     Figure4Data,
     Figure5Data,
     MusicGsaRunConfig,
+    PreparedWastewaterRun,
     WastewaterRunConfig,
     WastewaterWorkflowResult,
+    prepare_wastewater_run,
     run_music_gsa,
     run_replicate_gsa,
     run_wastewater_workflow,
@@ -97,6 +116,21 @@ __all__ = [
     "RunStore",
     "InMemoryRunStore",
     "JsonlRunStore",
+    # run service
+    "RunGateway",
+    "RunScheduler",
+    "TenantConfig",
+    "SubmitRequest",
+    "SubmitReceipt",
+    "StatusResponse",
+    "ResultResponse",
+    "CancelResponse",
+    "ServiceError",
+    "AdmissionError",
+    "QueueFullError",
+    "CancellationToken",
+    "PreparedWastewaterRun",
+    "prepare_wastewater_run",
     # simulation
     "SimulationEnvironment",
     # rendering

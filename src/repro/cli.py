@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli runs list --store runs/
     python -m repro.cli runs show wastewater-34ef0b0223-001 --store runs/
     python -m repro.cli runs resume wastewater-34ef0b0223-001 --store runs/
+    python -m repro.cli serve-sim --store runs/ --tenants acme:2,beta:1
+    python -m repro.cli submit --store runs/ --tenant acme --sim-days 2
 
 Each subcommand prints the same rendering the benchmark harness writes to
 ``benchmarks/output/``; sizes default to quick-turnaround settings and can
@@ -29,6 +31,14 @@ JSON (loadable in chrome://tracing or Perfetto) plus an optional Gantt SVG;
 ``runs list`` tabulates the journaled runs, ``runs show`` breaks one run's
 journal down by record kind, and ``runs resume`` replays a killed run to
 completion (bitwise identical to the uninterrupted run).
+
+``serve-sim`` and ``submit`` drive the multi-tenant run gateway
+(:class:`~repro.service.RunGateway`) against a store directory:
+``serve-sim`` creates the gateway's journaled service run on first use
+(``--tenants name[:weight[:max_queued[:max_running]]],...``) and otherwise
+recovers the latest one and drains every pending submission; ``submit``
+journals a submission durably and exits, leaving execution to the next
+``serve-sim`` — the CLI shape of the paper's hosted-automation story.
 """
 
 from __future__ import annotations
@@ -276,6 +286,102 @@ def _cmd_runs_resume(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _latest_service_run_id(store) -> Optional[str]:
+    from repro.service import SERVICE_WORKFLOW
+
+    ids = [s.run_id for s in store.list_runs() if s.workflow == SERVICE_WORKFLOW]
+    return ids[-1] if ids else None
+
+
+def _parse_tenant_specs(spec: str):
+    """Parse ``name[:weight[:max_queued[:max_running]]],...`` specs."""
+    from repro.service import TenantConfig
+
+    tenants = []
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        if not fields or not fields[0]:
+            raise SystemExit(f"bad tenant spec {part!r}")
+        tenants.append(
+            TenantConfig(
+                name=fields[0],
+                weight=float(fields[1]) if len(fields) > 1 else 1.0,
+                max_queued=int(fields[2]) if len(fields) > 2 else 64,
+                max_running=int(fields[3]) if len(fields) > 3 else 4,
+            )
+        )
+    return tenants
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> str:
+    from repro.common.tabulate import format_table
+    from repro.service import RunGateway
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    service_id = args.service_run or _latest_service_run_id(store)
+    if service_id is None:
+        gateway = RunGateway(
+            _parse_tenant_specs(args.tenants), shards=args.shards, run_store=store
+        )
+        lines = [f"created service run {gateway.service_run_id}"]
+    else:
+        gateway = RunGateway.recover(store, service_id)
+        lines = [f"recovered service run {service_id}"]
+    ticks = gateway.drain(max_ticks=args.max_ticks)
+    statuses = gateway.list_runs()
+    if statuses:
+        rows = [
+            [s.ticket, s.tenant, s.workflow, s.state, s.run_id or "-"]
+            for s in statuses
+        ]
+        lines.append(
+            format_table(["ticket", "tenant", "workflow", "state", "run id"], rows)
+        )
+    report = gateway.service_report()
+    lines.append(f"drained in {ticks} ticks; counts: {report['counts']}")
+    return "\n".join(lines)
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    from repro.service import RunGateway, SubmitRequest
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    service_id = args.service_run or _latest_service_run_id(store)
+    if service_id is None:
+        raise SystemExit(
+            f"no service run in {args.store}; initialize the gateway first "
+            "with `repro serve-sim --store ... --tenants ...`"
+        )
+    gateway = RunGateway.recover(store, service_id)
+    if args.workflow == "wastewater":
+        from repro.api import WastewaterRunConfig
+
+        config = WastewaterRunConfig(
+            sim_days=args.sim_days,
+            goldstein_iterations=args.iterations,
+            seed=args.seed,
+        )
+    else:  # music-gsa
+        from repro.api import MusicGsaRunConfig
+
+        config = MusicGsaRunConfig(budget=args.budget, seed=args.seed)
+    receipt = gateway.submit(
+        SubmitRequest(
+            tenant=args.tenant,
+            workflow=args.workflow,
+            config=config,
+            priority=args.priority,
+        )
+    )
+    return (
+        f"accepted {receipt.ticket} (seq {receipt.seq}, priority "
+        f"{receipt.priority}) on service run {service_id}\n"
+        f"process it with: repro serve-sim --store {args.store}"
+    )
+
+
 def _add_workflow_options(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--workflow",
@@ -369,6 +475,40 @@ def build_parser() -> argparse.ArgumentParser:
     prr.add_argument("run_id")
     prr.add_argument("--store", required=True, help="JsonlRunStore directory")
     prr.set_defaults(fn=_cmd_runs_resume)
+
+    pss = sub.add_parser(
+        "serve-sim", help="run the multi-tenant gateway over a store until idle"
+    )
+    pss.add_argument("--store", required=True, help="JsonlRunStore directory")
+    pss.add_argument(
+        "--tenants",
+        default="default",
+        help="name[:weight[:max_queued[:max_running]]],... (first serve only)",
+    )
+    pss.add_argument("--shards", type=int, default=8, help="live-run pool size")
+    pss.add_argument(
+        "--service-run", default=None, help="service run id (default: latest)"
+    )
+    pss.add_argument("--max-ticks", type=int, default=100000)
+    pss.set_defaults(fn=_cmd_serve_sim)
+
+    pq = sub.add_parser(
+        "submit", help="journal a run submission for the gateway to execute"
+    )
+    pq.add_argument("--store", required=True, help="JsonlRunStore directory")
+    pq.add_argument("--tenant", required=True, help="tenant namespace")
+    pq.add_argument(
+        "--workflow", choices=["wastewater", "music-gsa"], default="wastewater"
+    )
+    pq.add_argument("--priority", type=int, default=0, help="higher runs first")
+    pq.add_argument("--sim-days", type=float, default=2.0, help="(wastewater)")
+    pq.add_argument("--iterations", type=int, default=200, help="(wastewater)")
+    pq.add_argument("--budget", type=int, default=60, help="(music-gsa)")
+    pq.add_argument("--seed", type=int, default=2024)
+    pq.add_argument(
+        "--service-run", default=None, help="service run id (default: latest)"
+    )
+    pq.set_defaults(fn=_cmd_submit)
 
     return parser
 

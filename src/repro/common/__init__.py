@@ -19,6 +19,9 @@ from repro.common.errors import (
     ValidationError,
     NotFoundError,
     StateError,
+    ServiceError,
+    AdmissionError,
+    QueueFullError,
     TransientServiceError,
     RetryExhaustedError,
     WorkflowKilledError,
@@ -41,6 +44,9 @@ __all__ = [
     "ValidationError",
     "NotFoundError",
     "StateError",
+    "ServiceError",
+    "AdmissionError",
+    "QueueFullError",
     "TransientServiceError",
     "RetryExhaustedError",
     "WorkflowKilledError",

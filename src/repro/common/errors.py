@@ -42,6 +42,28 @@ class ConvergenceError(ReproError):
     """An iterative numerical procedure failed to converge."""
 
 
+class ServiceError(ReproError):
+    """The run-gateway service layer rejected or failed an operation."""
+
+
+class AdmissionError(ServiceError):
+    """A run submission was refused by admission control.
+
+    Raised for unknown tenants, unknown workflows, and per-tenant quota
+    violations.  The submission was never accepted: nothing was journaled
+    and there is nothing to cancel or resume.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """A tenant's bounded submission queue is full (backpressure).
+
+    A distinct subclass of :class:`AdmissionError` so clients can branch:
+    a quota rejection is a policy decision (resubmitting won't help), a
+    full queue is transient backpressure (drain and retry).
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency."""
 

@@ -63,6 +63,8 @@ __all__ = [
     "profile_summary",
     "RESILIENCE_KEYS",
     "PERF_KEYS",
+    "SERVICE_KEYS",
+    "SERVICE_TICK_BOUNDS",
     "DEFAULT_DAY_BOUNDS",
     "DEFAULT_SIZE_BOUNDS",
 ]
@@ -82,6 +84,29 @@ RESILIENCE_KEYS = (
 #: Key order of the legacy ``AeroPlatform.perf_report()`` dict; stored under
 #: ``perf.<key>``.
 PERF_KEYS = ("memo_hits", "memo_misses", "memo_entries", "memo_bypasses")
+
+#: Counter keys of the run-gateway ``service_view``; stored under
+#: ``service.<key>``.  The view additionally carries the ``queue_depth``
+#: gauge and the ``time_in_queue`` histogram summary.
+SERVICE_KEYS = (
+    "submitted",
+    "admitted",
+    "admission_rejects",
+    "queue_rejects",
+    "started",
+    "quanta",
+    "completed",
+    "cancelled",
+    "failed",
+)
+
+#: Bucket edges (service ticks) for the submit→start time-in-queue
+#: histogram.  A tick is one scheduler decision, so the edges span a single
+#: quantum of queueing up to multi-thousand-run bursts.
+SERVICE_TICK_BOUNDS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
 
 
 class Observability:
@@ -174,6 +199,26 @@ class Observability:
                 for name, value in self.metrics.counter_values(prefix="perf.").items()
             }
         return {key: int(self.metrics.counter_value(f"perf.{key}")) for key in keys}
+
+    def service_view(self) -> Dict[str, object]:
+        """The run-gateway health view derived from the registry.
+
+        Everything an operator polls a gateway for: admission/queue reject
+        totals, submission lifecycle counts (:data:`SERVICE_KEYS`), the
+        current ``queue_depth`` gauge, and the ``time_in_queue`` histogram
+        (submit→start latency in service ticks, as the histogram's
+        ``as_dict`` summary).  All values read as zero/empty on a registry
+        no gateway has written to.
+        """
+        view: Dict[str, object] = {
+            key: int(self.metrics.counter_value(f"service.{key}"))
+            for key in SERVICE_KEYS
+        }
+        view["queue_depth"] = int(self.metrics.gauge("service.queue_depth").value)
+        view["time_in_queue"] = self.metrics.histogram(
+            "service.time_in_queue", SERVICE_TICK_BOUNDS
+        ).as_dict()
+        return view
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Deterministic plain-dict snapshot of the registry."""

@@ -1,0 +1,76 @@
+"""OSPREY-as-a-service: the deterministic multi-tenant run gateway.
+
+The paper's deployment story is a *hosted* one — epidemiological modeling
+teams submitting wastewater R(t) refreshes and GSA campaigns to shared
+automation infrastructure rather than each running their own stack.  This
+package reproduces that shape in process, and deterministically:
+
+- :class:`~repro.service.gateway.RunGateway` — the REST-shaped front
+  door: ``submit`` / ``status`` / ``result`` / ``cancel`` /
+  ``list_runs`` over typed request/response dataclasses, with per-tenant
+  namespaces, journaled durability, and crash recovery
+  (:meth:`~repro.service.gateway.RunGateway.recover`);
+- :class:`~repro.service.scheduler.RunScheduler` — stride fair-share
+  dispatch with strict priority lanes and per-tenant quotas,
+  multiplexing thousands of runs over a bounded pool of shards by
+  cooperative stepping on each run's simulated clock;
+- :mod:`repro.service.drivers` — adapters from the two workflow entry
+  points to the scheduler's quantum-stepping model.
+
+Everything is driven by a virtual clock (one tick per ``pump``), so a
+schedule — admission order, dispatch order, completion order, every
+journal record — replays identically, and every run's outputs are
+bitwise identical to the standalone workflow entry point.
+"""
+
+from repro.service.drivers import (
+    MusicGsaDriver,
+    PreparedRun,
+    RunDriver,
+    WastewaterDriver,
+    default_drivers,
+)
+from repro.service.scheduler import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    RunScheduler,
+    Submission,
+    TenantConfig,
+)
+from repro.service.gateway import (
+    SERVICE_WORKFLOW,
+    CancelResponse,
+    ResultResponse,
+    RunGateway,
+    StatusResponse,
+    SubmitReceipt,
+    SubmitRequest,
+)
+
+__all__ = [
+    "RunGateway",
+    "RunScheduler",
+    "Submission",
+    "TenantConfig",
+    "SubmitRequest",
+    "SubmitReceipt",
+    "StatusResponse",
+    "ResultResponse",
+    "CancelResponse",
+    "RunDriver",
+    "PreparedRun",
+    "WastewaterDriver",
+    "MusicGsaDriver",
+    "default_drivers",
+    "SERVICE_WORKFLOW",
+    "QUEUED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+]

@@ -1,0 +1,268 @@
+"""Run drivers: how the gateway executes each workflow kind.
+
+A :class:`RunDriver` adapts one workflow entry point to the scheduler's
+cooperative execution model: it canonicalizes a submission's config into
+the plain-JSON snapshot that is journaled and digested, and it *prepares*
+a run — building the workflow's stack against the shared run store and
+memo cache — returning a :class:`PreparedRun` the scheduler then steps.
+
+Two execution shapes exist:
+
+- **sliceable** (:class:`WastewaterDriver`) — the run owns a private
+  simulated clock and each :meth:`PreparedRun.step` advances it one
+  quantum (``quantum_days``), so thousands of runs interleave over a
+  handful of shards;
+- **atomic** (:class:`MusicGsaDriver`) — the workflow drives wall-clock
+  worker pools with no steppable clock, so its single ``step`` executes
+  the run to completion.  Atomic runs still queue, count against quotas,
+  and journal like everything else; they simply occupy their shard for
+  one long quantum.
+
+Every driver's output is a plain-JSON dict whose values are **bitwise
+identical** to the artifacts the standalone workflow entry point returns
+for the same config — that identity is the service conformance contract,
+enforced by ``tests/service/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.retry import ResilienceConfig
+from repro.faults.plan import FaultPlan
+from repro.perf import MemoCache
+from repro.state import CancellationToken, RunStore
+from repro.workflows.music_gsa import MusicGsaRunConfig, run_music_gsa
+from repro.workflows.wastewater_rt import (
+    PreparedWastewaterRun,
+    WastewaterRunConfig,
+    prepare_wastewater_run,
+)
+
+
+class PreparedRun:
+    """One admitted run, ready to be stepped by a shard (interface)."""
+
+    #: Id of the journaled run, once known (``None`` without a run store,
+    #: and for atomic drivers until their single step has executed).
+    run_id: Optional[str] = None
+
+    def step(self) -> bool:
+        """Execute one cooperative quantum; True once the run is finished."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def collect(self) -> Dict[str, Any]:
+        """The run's canonical plain-JSON output (after ``step`` → True)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def cancel(self) -> bool:
+        """Kill the run durably if possible; True when it stays resumable."""
+        return False
+
+
+class RunDriver:
+    """Adapter from one workflow entry point to the scheduler (interface)."""
+
+    #: The workflow name submissions select this driver with.
+    workflow: str = ""
+
+    def canonical_config(self, config: Any) -> Dict[str, Any]:
+        """Validate ``config`` and return its plain-JSON snapshot.
+
+        Accepts ``None`` (driver defaults), the workflow's config
+        dataclass, or a mapping in snapshot form; always round-trips
+        through the dataclass so invalid configs fail at submit time, not
+        at execution time.
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def prepare(
+        self,
+        config_doc: Mapping[str, Any],
+        *,
+        run_store: Optional[RunStore],
+        resume_from: Optional[str],
+        memo_cache: Optional[MemoCache],
+        fault_plan: Optional[FaultPlan],
+        resilience: Optional[ResilienceConfig],
+    ) -> PreparedRun:
+        """Build the run's stack (journaled when ``run_store`` is given)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+# --------------------------------------------------------------- wastewater
+class _SlicedWastewaterRun(PreparedRun):
+    """Cooperative wrapper over :class:`PreparedWastewaterRun`."""
+
+    def __init__(self, prepared: PreparedWastewaterRun, quantum_days: float) -> None:
+        self._prepared = prepared
+        self._quantum = float(quantum_days)
+
+    @property
+    def run_id(self) -> Optional[str]:
+        return self._prepared.run_id
+
+    def step(self) -> bool:
+        return self._prepared.advance(self._prepared.env.now + self._quantum)
+
+    def collect(self) -> Dict[str, Any]:
+        result = self._prepared.collect()
+        return {
+            "ensemble": result.ensemble.to_json(include_samples=True),
+            "aggregation_runs": result.aggregation_runs,
+            "run_id": result.run_id,
+        }
+
+    def cancel(self) -> bool:
+        return self._prepared.cancel()
+
+
+class WastewaterDriver(RunDriver):
+    """Sliceable driver for :func:`run_wastewater_workflow`.
+
+    ``quantum_days`` is the slice width on the run's *own* simulated
+    clock.  It affects only how finely runs interleave; per-run events —
+    and therefore outputs — are identical at any quantum, because each
+    run's environment is private and deterministic.
+    """
+
+    workflow = "wastewater"
+
+    def __init__(self, *, quantum_days: float = 0.5) -> None:
+        if quantum_days <= 0:
+            raise ValidationError("quantum_days must be positive")
+        self.quantum_days = float(quantum_days)
+
+    def canonical_config(self, config: Any) -> Dict[str, Any]:
+        if config is None:
+            cfg = WastewaterRunConfig()
+        elif isinstance(config, WastewaterRunConfig):
+            cfg = config
+        elif isinstance(config, Mapping):
+            cfg = WastewaterRunConfig.from_jsonable(config)
+        else:
+            raise ValidationError(
+                "wastewater config must be a WastewaterRunConfig, a snapshot "
+                f"mapping, or None; got {type(config).__name__}"
+            )
+        return cfg.to_jsonable()
+
+    def prepare(
+        self,
+        config_doc: Mapping[str, Any],
+        *,
+        run_store: Optional[RunStore],
+        resume_from: Optional[str],
+        memo_cache: Optional[MemoCache],
+        fault_plan: Optional[FaultPlan],
+        resilience: Optional[ResilienceConfig],
+    ) -> PreparedRun:
+        token = CancellationToken() if run_store is not None else None
+        prepared = prepare_wastewater_run(
+            WastewaterRunConfig.from_jsonable(config_doc)
+            if resume_from is None
+            else None,
+            resilience=resilience,
+            fault_plan=fault_plan,
+            memo_cache=memo_cache,
+            run_store=run_store,
+            resume_from=resume_from,
+            kill_switch=token,
+        )
+        return _SlicedWastewaterRun(prepared, self.quantum_days)
+
+
+# ---------------------------------------------------------------- music-gsa
+class _AtomicMusicGsaRun(PreparedRun):
+    """Atomic wrapper over :func:`run_music_gsa` (no steppable clock)."""
+
+    def __init__(
+        self,
+        config_doc: Mapping[str, Any],
+        *,
+        run_store: Optional[RunStore],
+        resume_from: Optional[str],
+        memo_cache: Optional[MemoCache],
+    ) -> None:
+        self._config_doc = dict(config_doc)
+        self._run_store = run_store
+        self._resume_from = resume_from
+        self._memo_cache = memo_cache
+        self.run_id: Optional[str] = resume_from
+        self._output: Optional[Dict[str, Any]] = None
+
+    def step(self) -> bool:
+        data = run_music_gsa(
+            MusicGsaRunConfig.from_jsonable(self._config_doc)
+            if self._resume_from is None
+            else None,
+            memo_cache=self._memo_cache,
+            run_store=self._run_store,
+            resume_from=self._resume_from,
+        )
+        self.run_id = data.run_id
+        self._output = {
+            "parameter_names": list(data.parameter_names),
+            "music_curve": [
+                [int(n), [float(v) for v in values]]
+                for n, values in data.music_curve
+            ],
+            "pce_curve": [
+                [int(n), [float(v) for v in values]]
+                for n, values in data.pce_curve
+            ],
+            "reference": [float(v) for v in data.reference],
+            "run_id": data.run_id,
+        }
+        return True
+
+    def collect(self) -> Dict[str, Any]:
+        assert self._output is not None, "collect() before step() completed"
+        return self._output
+
+
+class MusicGsaDriver(RunDriver):
+    """Atomic driver for :func:`run_music_gsa`."""
+
+    workflow = "music-gsa"
+
+    def canonical_config(self, config: Any) -> Dict[str, Any]:
+        if config is None:
+            cfg = MusicGsaRunConfig()
+        elif isinstance(config, MusicGsaRunConfig):
+            cfg = config
+        elif isinstance(config, Mapping):
+            cfg = MusicGsaRunConfig.from_jsonable(config)
+        else:
+            raise ValidationError(
+                "music-gsa config must be a MusicGsaRunConfig, a snapshot "
+                f"mapping, or None; got {type(config).__name__}"
+            )
+        return cfg.to_jsonable()
+
+    def prepare(
+        self,
+        config_doc: Mapping[str, Any],
+        *,
+        run_store: Optional[RunStore],
+        resume_from: Optional[str],
+        memo_cache: Optional[MemoCache],
+        fault_plan: Optional[FaultPlan],
+        resilience: Optional[ResilienceConfig],
+    ) -> PreparedRun:
+        # The EMEWS path has no simulated clock, so per-run fault plans and
+        # stack resilience configs do not apply; chaos for this workflow is
+        # configured through MusicGsaRunConfig.fault_rate instead.
+        return _AtomicMusicGsaRun(
+            config_doc,
+            run_store=run_store,
+            resume_from=resume_from,
+            memo_cache=memo_cache,
+        )
+
+
+def default_drivers() -> Dict[str, RunDriver]:
+    """The built-in driver registry (one instance per gateway)."""
+    drivers = [WastewaterDriver(), MusicGsaDriver()]
+    return {driver.workflow: driver for driver in drivers}

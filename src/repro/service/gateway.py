@@ -1,0 +1,522 @@
+"""The run gateway: OSPREY-as-a-service, in process.
+
+:class:`RunGateway` is a deterministic, REST-shaped front door over the
+:class:`~repro.service.scheduler.RunScheduler`: typed request/response
+dataclasses instead of HTTP, but the same verbs a hosted deployment would
+expose — ``submit`` / ``status`` / ``result`` / ``cancel`` /
+``list_runs`` — plus ``pump``/``drain`` because execution is cooperative
+rather than threaded.
+
+Durability
+----------
+With a :class:`~repro.state.RunStore`, the gateway journals itself as a
+run of the ``service`` workflow (config snapshot = tenants + shards), so
+the store's directory holds the control plane next to the data plane:
+
+- ``service.submit`` — appended at admission, keyed by ticket, carrying
+  the canonical config snapshot (the durability point: once this record
+  lands, the submission survives any crash);
+- ``service.start`` — the submission's workflow run id, once known;
+- ``service.done`` — the terminal state.
+
+:meth:`RunGateway.recover` replays that journal: tenants come back from
+the config snapshot, every submitted-but-not-done ticket is re-enqueued
+(started ones with ``resume_from`` pointing at their journaled run, so
+deterministic replay finishes them bitwise-identically), and because
+every append is idempotent, recovering twice — or recovering a gateway
+that never crashed — adds zero records anywhere.
+
+Observability
+-------------
+With an :class:`~repro.obs.Observability`, the gateway binds the tracer
+to the scheduler's virtual clock and maintains one span tree per tenant:
+a root ``tenant:<name>`` span with a child span per submission, opened at
+admission and closed at the terminal transition.  Counters feed
+:meth:`~repro.obs.Observability.service_view`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.errors import (
+    AdmissionError,
+    QueueFullError,
+    StateError,
+    ValidationError,
+)
+from repro.common.retry import ResilienceConfig
+from repro.faults.plan import FaultPlan
+from repro.obs import Observability, Span
+from repro.perf import MemoCache
+from repro.service.drivers import RunDriver, default_drivers
+from repro.service.scheduler import (
+    CANCELLED,
+    COMPLETED,
+    RUNNING,
+    TERMINAL_STATES,
+    RunScheduler,
+    Submission,
+    TenantConfig,
+)
+from repro.state import KillSwitch, RunCheckpointer, RunStore
+
+#: Workflow name of the gateway's own journaled run.
+SERVICE_WORKFLOW = "service"
+
+KIND_SUBMIT = "service.submit"
+KIND_START = "service.start"
+KIND_DONE = "service.done"
+
+
+# ------------------------------------------------------------ request/response
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A run submission: tenant namespace, workflow, config, priority."""
+
+    tenant: str
+    workflow: str = "wastewater"
+    config: Any = None
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """Acknowledgement of an accepted submission."""
+
+    ticket: str
+    tenant: str
+    workflow: str
+    priority: int
+    seq: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    """One submission's lifecycle snapshot."""
+
+    ticket: str
+    tenant: str
+    workflow: str
+    state: str
+    priority: int
+    run_id: Optional[str]
+    submitted_tick: int
+    started_tick: Optional[int]
+    finished_tick: Optional[int]
+    error: Optional[str]
+
+
+@dataclass(frozen=True)
+class ResultResponse:
+    """A terminal submission's outcome (output only when completed)."""
+
+    ticket: str
+    state: str
+    run_id: Optional[str]
+    output: Optional[Dict[str, Any]]
+    error: Optional[str]
+
+
+@dataclass(frozen=True)
+class CancelResponse:
+    """Outcome of a cancel call (idempotent: ``changed=False`` on repeats)."""
+
+    ticket: str
+    state: str
+    changed: bool
+    run_id: Optional[str]
+
+
+def _status_of(sub: Submission) -> StatusResponse:
+    return StatusResponse(
+        ticket=sub.ticket,
+        tenant=sub.tenant,
+        workflow=sub.workflow,
+        state=sub.state,
+        priority=sub.priority,
+        run_id=sub.run_id,
+        submitted_tick=sub.submitted_tick,
+        started_tick=sub.started_tick,
+        finished_tick=sub.finished_tick,
+        error=sub.error,
+    )
+
+
+class RunGateway:
+    """Deterministic multi-tenant front door over a :class:`RunScheduler`."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantConfig],
+        *,
+        drivers: Optional[Mapping[str, RunDriver]] = None,
+        shards: int = 8,
+        run_store: Optional[RunStore] = None,
+        memo_cache: Optional[MemoCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[Observability] = None,
+        kill_switch: Optional[KillSwitch] = None,
+        service_resume_from: Optional[str] = None,
+    ) -> None:
+        if not tenants:
+            raise ValidationError("a gateway needs at least one tenant")
+        if kill_switch is not None and run_store is None:
+            raise ValidationError("a kill_switch requires a run_store")
+        if service_resume_from is not None and run_store is None:
+            raise ValidationError("service_resume_from requires a run_store")
+        self.obs = observability
+        self.scheduler = RunScheduler(
+            drivers if drivers is not None else default_drivers(),
+            shards=shards,
+            run_store=run_store,
+            memo_cache=memo_cache,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            observability=observability,
+        )
+        for tenant in tenants:
+            self.scheduler.add_tenant(tenant)
+        self._seq = 0
+        self._closed = False
+        self._tenant_spans: Dict[str, Span] = {}
+        self._sub_spans: Dict[str, Span] = {}
+        if observability is not None:
+            observability.bind_clock(lambda: float(self.scheduler.tick))
+            for tenant in tenants:
+                self._tenant_spans[tenant.name] = observability.begin(
+                    f"tenant:{tenant.name}", "service.tenant", parent=None
+                )
+        self._service_state: Optional[RunCheckpointer] = None
+        if run_store is not None:
+            config_doc = {
+                "shards": int(shards),
+                "tenants": [tenant.to_jsonable() for tenant in tenants],
+            }
+            if service_resume_from is not None:
+                handle = run_store.open_run(service_resume_from)
+                if handle.workflow != SERVICE_WORKFLOW:
+                    raise StateError(
+                        f"run {service_resume_from!r} belongs to workflow "
+                        f"{handle.workflow!r}, not {SERVICE_WORKFLOW!r}"
+                    )
+                state = RunCheckpointer(handle, kill_switch=kill_switch, resumed=True)
+            else:
+                handle = run_store.create_run(SERVICE_WORKFLOW, config_doc)
+                state = RunCheckpointer(handle, kill_switch=kill_switch)
+            if observability is not None:
+                state.bind_observability(observability)
+            state.begin_run()
+            self._service_state = state
+
+    # --------------------------------------------------------------- identity
+    @property
+    def service_run_id(self) -> Optional[str]:
+        """Id of the gateway's own journaled run (``None`` without a store)."""
+        return None if self._service_state is None else self._service_state.run_id
+
+    @property
+    def tick(self) -> int:
+        """The service's virtual clock (one tick per pump)."""
+        return self.scheduler.tick
+
+    # -------------------------------------------------------------- endpoints
+    def submit(self, request: SubmitRequest) -> SubmitReceipt:
+        """Admit a run submission; the durability point of the service.
+
+        Raises
+        ------
+        AdmissionError
+            Unknown tenant/workflow, invalid config, or a closed gateway.
+        QueueFullError
+            The tenant's bounded queue is full (an ``AdmissionError``
+            subclass — callers that just want backpressure can catch the
+            narrower type).
+        WorkflowKilledError
+            The gateway's own kill switch / fault plan fired journaling
+            the submission.  The record lands *before* the kill fires, so
+            a submission whose submit raised this way is still recovered.
+        """
+        self._inc("submitted")
+        if self._closed:
+            self._inc("admission_rejects")
+            raise AdmissionError("gateway is closed to new submissions")
+        driver = self.scheduler.drivers.get(request.workflow)
+        if driver is None:
+            self._inc("admission_rejects")
+            raise AdmissionError(
+                f"unknown workflow {request.workflow!r}; available: "
+                f"{sorted(self.scheduler.drivers)}"
+            )
+        try:
+            config_doc = driver.canonical_config(request.config)
+        except (ValidationError, KeyError, TypeError, ValueError) as exc:
+            self._inc("admission_rejects")
+            raise AdmissionError(
+                f"invalid {request.workflow!r} config: {exc}"
+            ) from exc
+        seq = self._seq
+        ticket = f"{request.tenant}-{seq:05d}"
+        sub = Submission(
+            ticket=ticket,
+            tenant=request.tenant,
+            workflow=request.workflow,
+            config_doc=config_doc,
+            priority=int(request.priority),
+            seq=seq,
+        )
+        try:
+            self.scheduler.enqueue(sub)
+        except AdmissionError as exc:
+            self._inc(
+                "queue_rejects"
+                if isinstance(exc, QueueFullError)
+                else "admission_rejects"
+            )
+            raise
+        self._seq = seq + 1
+        self._journal(
+            KIND_SUBMIT,
+            ticket,
+            {
+                "ticket": ticket,
+                "tenant": sub.tenant,
+                "workflow": sub.workflow,
+                "config": config_doc,
+                "priority": sub.priority,
+                "seq": seq,
+            },
+        )
+        self._inc("admitted")
+        self._begin_sub_span(sub)
+        return SubmitReceipt(
+            ticket=ticket,
+            tenant=sub.tenant,
+            workflow=sub.workflow,
+            priority=sub.priority,
+            seq=seq,
+            tick=self.scheduler.tick,
+        )
+
+    def status(self, ticket: str) -> StatusResponse:
+        """Lifecycle snapshot of one submission (:class:`NotFoundError`)."""
+        return _status_of(self.scheduler.get(ticket))
+
+    def result(self, ticket: str) -> ResultResponse:
+        """Terminal outcome of a submission.
+
+        Raises :class:`StateError` while the submission is still queued or
+        running — poll :meth:`status`, or :meth:`drain` first.
+        """
+        sub = self.scheduler.get(ticket)
+        if sub.state not in TERMINAL_STATES:
+            raise StateError(
+                f"submission {ticket!r} is still {sub.state!r}; "
+                "result() is only available after a terminal transition"
+            )
+        return ResultResponse(
+            ticket=sub.ticket,
+            state=sub.state,
+            run_id=sub.run_id,
+            output=sub.output if sub.state == COMPLETED else None,
+            error=sub.error,
+        )
+
+    def cancel(self, ticket: str) -> CancelResponse:
+        """Cancel a submission (idempotent; :class:`NotFoundError` if unknown).
+
+        A queued submission simply leaves the queue; a running one is
+        killed durably through its cancellation token, leaving a ``killed``
+        run in the store that ``repro runs resume`` can finish.
+        """
+        changed, sub = self.scheduler.cancel(ticket)
+        if changed:
+            self._journal_done(sub)
+            self._end_sub_span(sub)
+        return CancelResponse(
+            ticket=sub.ticket, state=sub.state, changed=changed, run_id=sub.run_id
+        )
+
+    def list_runs(self, tenant: Optional[str] = None) -> List[StatusResponse]:
+        """Every submission (optionally one tenant's), in admission order."""
+        return [
+            _status_of(sub)
+            for sub in self.scheduler.submissions()
+            if tenant is None or sub.tenant == tenant
+        ]
+
+    # -------------------------------------------------------------- execution
+    def pump(self) -> int:
+        """One scheduling tick; journals transitions the tick produced."""
+        stepped = self.scheduler.pump()
+        self._sync_transitions()
+        return stepped
+
+    def drain(self, *, max_ticks: Optional[int] = None) -> int:
+        """Pump until no submission is queued or running; returns ticks."""
+        ticks = 0
+        while self.scheduler.has_work():
+            if max_ticks is not None and ticks >= max_ticks:
+                raise StateError(f"gateway not idle after {max_ticks} ticks")
+            self.pump()
+            ticks += 1
+        return ticks
+
+    def close(self) -> None:
+        """Stop admitting, close span trees, journal the terminal summary."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.obs is not None:
+            for span in self._sub_spans.values():
+                self.obs.end(span)
+            self._sub_spans.clear()
+            for span in self._tenant_spans.values():
+                self.obs.end(span)
+        if self._service_state is not None:
+            self._service_state.end_run(
+                summary={"counts": self.scheduler.counts_by_state()}
+            )
+
+    # -------------------------------------------------------------- reporting
+    def service_report(self) -> Dict[str, Any]:
+        """Operator view: clock, queue/shard occupancy, lifecycle counts."""
+        report: Dict[str, Any] = {
+            "tick": self.scheduler.tick,
+            "service_run_id": self.service_run_id,
+            "queue_depth": self.scheduler.queue_depth(),
+            "counts": self.scheduler.counts_by_state(),
+            "completion_order": list(self.scheduler.completion_order),
+        }
+        if self.obs is not None:
+            report["service_view"] = self.obs.service_view()
+        return report
+
+    # --------------------------------------------------------------- recovery
+    @classmethod
+    def recover(
+        cls,
+        run_store: RunStore,
+        service_run_id: str,
+        *,
+        drivers: Optional[Mapping[str, RunDriver]] = None,
+        memo_cache: Optional[MemoCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[Observability] = None,
+        kill_switch: Optional[KillSwitch] = None,
+    ) -> "RunGateway":
+        """Rebuild a gateway from its journaled service run after a crash.
+
+        Tenants and shard count come from the service run's config
+        snapshot.  Every ticket with a ``service.submit`` record but no
+        ``service.done`` is re-enqueued in its original admission order
+        (priorities preserved); tickets that had already started resume
+        their journaled workflow run, so deterministic replay completes
+        them with outputs bitwise identical to an uninterrupted gateway.
+        """
+        handle = run_store.open_run(service_run_id)
+        if handle.workflow != SERVICE_WORKFLOW:
+            raise StateError(
+                f"run {service_run_id!r} belongs to workflow "
+                f"{handle.workflow!r}, not {SERVICE_WORKFLOW!r}"
+            )
+        tenants = [
+            TenantConfig.from_jsonable(doc) for doc in handle.config["tenants"]
+        ]
+        gateway = cls(
+            tenants,
+            drivers=drivers,
+            shards=int(handle.config["shards"]),
+            run_store=run_store,
+            memo_cache=memo_cache,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            observability=observability,
+            kill_switch=kill_switch,
+            service_resume_from=service_run_id,
+        )
+        journal = handle.journal
+        starts = {
+            record.key: record.payload["run_id"]
+            for record in journal.records(KIND_START)
+        }
+        done = {record.key for record in journal.records(KIND_DONE)}
+        max_seq = -1
+        for record in journal.records(KIND_SUBMIT):
+            payload = record.payload
+            max_seq = max(max_seq, int(payload["seq"]))
+            if record.key in done:
+                continue
+            sub = Submission(
+                ticket=str(payload["ticket"]),
+                tenant=str(payload["tenant"]),
+                workflow=str(payload["workflow"]),
+                config_doc=dict(payload["config"]),
+                priority=int(payload["priority"]),
+                seq=int(payload["seq"]),
+                resume_from=starts.get(record.key),
+            )
+            # The quota was enforced at original admission; a crashed
+            # gateway's running submissions re-enter as queued and may
+            # transiently exceed max_queued, which is correct — dropping
+            # an accepted submission would be the real quota violation.
+            gateway.scheduler.enqueue(sub, enforce_queue_bound=False)
+            gateway._begin_sub_span(sub)
+        gateway._seq = max_seq + 1
+        return gateway
+
+    # -------------------------------------------------------------- internals
+    def _inc(self, key: str) -> None:
+        if self.obs is not None:
+            self.obs.inc(f"service.{key}")
+
+    def _journal(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        if self._service_state is not None:
+            self._service_state.record(
+                kind, key, payload, t=float(self.scheduler.tick)
+            )
+
+    def _journal_done(self, sub: Submission) -> None:
+        self._journal(
+            KIND_DONE,
+            sub.ticket,
+            {"ticket": sub.ticket, "state": sub.state, "run_id": sub.run_id},
+        )
+
+    def _sync_transitions(self) -> None:
+        """Journal starts/terminals the last pump produced; close spans."""
+        for sub in self.scheduler.submissions():
+            if sub.state == RUNNING and sub.run_id is not None:
+                self._journal(
+                    KIND_START,
+                    sub.ticket,
+                    {"ticket": sub.ticket, "run_id": sub.run_id},
+                )
+            elif sub.state in TERMINAL_STATES:
+                if sub.state != CANCELLED and sub.run_id is not None:
+                    self._journal(
+                        KIND_START,
+                        sub.ticket,
+                        {"ticket": sub.ticket, "run_id": sub.run_id},
+                    )
+                self._journal_done(sub)
+                self._end_sub_span(sub)
+
+    def _begin_sub_span(self, sub: Submission) -> None:
+        if self.obs is None:
+            return
+        self._sub_spans[sub.ticket] = self.obs.begin(
+            f"run:{sub.ticket}",
+            "service.run",
+            parent=self._tenant_spans.get(sub.tenant),
+            attrs={"workflow": sub.workflow, "priority": sub.priority},
+        )
+
+    def _end_sub_span(self, sub: Submission) -> None:
+        span = self._sub_spans.pop(sub.ticket, None)
+        if span is not None and self.obs is not None:
+            self.obs.end(span, state=sub.state, run_id=sub.run_id)

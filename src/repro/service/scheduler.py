@@ -1,0 +1,461 @@
+"""The run scheduler: fair-share multiplexing over shared shards.
+
+:class:`RunScheduler` is the gateway's execution engine.  It holds every
+accepted :class:`Submission`, a bounded queue per tenant, and a pool of
+``shards`` slots — the bound on how many prepared workflow stacks are live
+at once (each shard is one run's private :class:`SimulationEnvironment`
+plus its service graph, the expensive thing worth pooling).
+
+Scheduling is **stride fair-share with strict priority lanes**, driven
+entirely by the service's virtual clock (``tick``, one unit per
+:meth:`pump`) — no wall clock touches any decision, which is what makes a
+schedule replayable record-for-record:
+
+- each tenant carries a ``pass`` value advanced by ``stride = K / weight``
+  every time one of its submissions is dispatched, so over time tenants
+  receive shard grants proportional to their weights;
+- dispatch picks the queued submission minimizing
+  ``(-priority, tenant_pass, seq)``: higher priority lanes always go
+  first, fair share arbitrates within a lane, and the global admission
+  sequence number breaks every remaining tie deterministically;
+- each pump then steps every live run one cooperative quantum, in
+  dispatch order, so thousands of runs interleave over a handful of
+  shards.
+
+Quota enforcement (``max_queued`` / ``max_running`` per tenant) lives
+here, next to the structures it bounds; :meth:`check_invariants` proves
+the bounds hold mid-flight and is called by the conformance suite after
+every pump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import (
+    AdmissionError,
+    NotFoundError,
+    QueueFullError,
+    ReproError,
+    StateError,
+    ValidationError,
+    WorkflowKilledError,
+)
+from repro.common.retry import ResilienceConfig
+from repro.faults.plan import FaultPlan
+from repro.obs import SERVICE_TICK_BOUNDS, Observability
+from repro.perf import MemoCache
+from repro.service.drivers import PreparedRun, RunDriver
+from repro.state import RunStore
+
+# Submission lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a submission never leaves.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+#: Stride numerator: a tenant of weight w pays K/w pass per grant, so the
+#: constant only sets resolution, not policy.
+STRIDE_K = 1 << 16
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant namespace: identity, fair-share weight, and quotas."""
+
+    name: str
+    weight: float = 1.0
+    max_queued: int = 64
+    max_running: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("tenant name must be non-empty")
+        if not self.weight > 0:
+            raise ValidationError(
+                f"tenant {self.name!r} weight must be positive, got {self.weight}"
+            )
+        if int(self.max_queued) < 1 or int(self.max_running) < 1:
+            raise ValidationError(
+                f"tenant {self.name!r} quotas must be >= 1 "
+                f"(max_queued={self.max_queued}, max_running={self.max_running})"
+            )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form journaled in the service run's config snapshot."""
+        return {
+            "name": self.name,
+            "weight": float(self.weight),
+            "max_queued": int(self.max_queued),
+            "max_running": int(self.max_running),
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: Mapping[str, Any]) -> "TenantConfig":
+        """Rebuild from the journaled snapshot form."""
+        return cls(
+            name=str(doc["name"]),
+            weight=float(doc["weight"]),
+            max_queued=int(doc["max_queued"]),
+            max_running=int(doc["max_running"]),
+        )
+
+
+@dataclass
+class Submission:
+    """One accepted run request, through its whole lifecycle."""
+
+    ticket: str
+    tenant: str
+    workflow: str
+    config_doc: Dict[str, Any]
+    priority: int = 0
+    seq: int = 0
+    state: str = QUEUED
+    submitted_tick: int = 0
+    started_tick: Optional[int] = None
+    finished_tick: Optional[int] = None
+    run_id: Optional[str] = None
+    #: Set on gateway recovery: resume this journaled run instead of
+    #: creating a fresh one.
+    resume_from: Optional[str] = None
+    output: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class _TenantState:
+    """Scheduler-private bookkeeping for one tenant."""
+
+    config: TenantConfig
+    pass_value: float = 0.0
+    queued: List[Submission] = field(default_factory=list)
+    running: int = 0
+
+    @property
+    def stride(self) -> float:
+        return STRIDE_K / self.config.weight
+
+
+class RunScheduler:
+    """Deterministic multiplexer of submissions over shared shards."""
+
+    def __init__(
+        self,
+        drivers: Mapping[str, RunDriver],
+        *,
+        shards: int = 8,
+        run_store: Optional[RunStore] = None,
+        memo_cache: Optional[MemoCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        if int(shards) < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self.drivers = dict(drivers)
+        self.shards = int(shards)
+        self.run_store = run_store
+        self.memo_cache = memo_cache
+        self.fault_plan = fault_plan
+        self.resilience = resilience
+        self._obs = observability
+        #: The service's virtual clock: one tick per :meth:`pump`.
+        self.tick = 0
+        self._tenants: Dict[str, _TenantState] = {}
+        self._subs: Dict[str, Submission] = {}
+        self._running: List[Tuple[Submission, PreparedRun]] = []
+        #: Tickets in the order their runs completed (conformance replay
+        #: compares this list across re-executions of a schedule).
+        self.completion_order: List[str] = []
+
+    # ---------------------------------------------------------------- tenants
+    def add_tenant(self, config: TenantConfig) -> None:
+        """Register a tenant namespace (before or between pumps)."""
+        if config.name in self._tenants:
+            raise ValidationError(f"tenant {config.name!r} already registered")
+        self._tenants[config.name] = _TenantState(config=config)
+
+    def tenant_configs(self) -> List[TenantConfig]:
+        """Registered tenants, in registration order."""
+        return [state.config for state in self._tenants.values()]
+
+    # -------------------------------------------------------------- admission
+    def enqueue(self, sub: Submission, *, enforce_queue_bound: bool = True) -> None:
+        """Accept ``sub`` into its tenant's queue.
+
+        The gateway performs request validation; this enforces the queue
+        quota (the structure lives here).  ``enforce_queue_bound=False`` is
+        the recovery path: a crashed gateway's in-flight set can transiently
+        exceed ``max_queued`` because previously *running* submissions
+        re-enter as queued.
+
+        Raises
+        ------
+        AdmissionError
+            Unknown tenant or workflow.
+        QueueFullError
+            The tenant's bounded queue is at ``max_queued``.
+        """
+        tenant = self._tenants.get(sub.tenant)
+        if tenant is None:
+            raise AdmissionError(
+                f"unknown tenant {sub.tenant!r}; registered: "
+                f"{sorted(self._tenants)}"
+            )
+        if sub.workflow not in self.drivers:
+            raise AdmissionError(
+                f"unknown workflow {sub.workflow!r}; available: "
+                f"{sorted(self.drivers)}"
+            )
+        if enforce_queue_bound and len(tenant.queued) >= tenant.config.max_queued:
+            raise QueueFullError(
+                f"tenant {sub.tenant!r} queue is full "
+                f"({tenant.config.max_queued} submissions); retry after a pump"
+            )
+        sub.state = QUEUED
+        sub.submitted_tick = self.tick
+        tenant.queued.append(sub)
+        self._subs[sub.ticket] = sub
+        self._set_queue_gauge()
+
+    # ------------------------------------------------------------- scheduling
+    def pump(self) -> int:
+        """One service tick: dispatch to free shards, step every live run.
+
+        Returns the number of quanta executed (0 means the service is
+        idle).
+        """
+        self.tick += 1
+        self._dispatch()
+        stepped = self._step_running()
+        self._set_queue_gauge()
+        return stepped
+
+    def has_work(self) -> bool:
+        """True while any submission is queued or running."""
+        return bool(self._running) or any(
+            state.queued for state in self._tenants.values()
+        )
+
+    def drain(self, *, max_ticks: Optional[int] = None) -> int:
+        """Pump until idle; returns the number of ticks consumed."""
+        ticks = 0
+        while self.has_work():
+            if max_ticks is not None and ticks >= max_ticks:
+                raise StateError(
+                    f"scheduler not idle after {max_ticks} ticks "
+                    f"({self.queue_depth()} queued, {len(self._running)} running)"
+                )
+            self.pump()
+            ticks += 1
+        return ticks
+
+    def _dispatch(self) -> None:
+        while len(self._running) < self.shards:
+            best: Optional[Submission] = None
+            best_key: Optional[Tuple[float, float, int]] = None
+            for tenant in self._tenants.values():
+                if tenant.running >= tenant.config.max_running:
+                    continue
+                for sub in tenant.queued:
+                    key = (-float(sub.priority), tenant.pass_value, sub.seq)
+                    if best_key is None or key < best_key:
+                        best, best_key = sub, key
+            if best is None:
+                return
+            tenant = self._tenants[best.tenant]
+            tenant.queued.remove(best)
+            tenant.pass_value += tenant.stride
+            self._start(best, tenant)
+
+    def _start(self, sub: Submission, tenant: _TenantState) -> None:
+        driver = self.drivers[sub.workflow]
+        try:
+            prepared = driver.prepare(
+                sub.config_doc,
+                run_store=self.run_store,
+                resume_from=sub.resume_from,
+                memo_cache=self.memo_cache,
+                fault_plan=self.fault_plan,
+                resilience=self.resilience,
+            )
+        except ReproError as exc:
+            # A submission whose stack cannot even be built must not wedge
+            # a shard; it fails in place and the slot stays free.
+            self._finish(sub, FAILED, error=f"{type(exc).__name__}: {exc}")
+            return
+        sub.state = RUNNING
+        sub.started_tick = self.tick
+        sub.run_id = prepared.run_id
+        tenant.running += 1
+        self._running.append((sub, prepared))
+        if self._obs is not None:
+            self._obs.inc("service.started")
+            self._obs.observe(
+                "service.time_in_queue",
+                float(self.tick - sub.submitted_tick),
+                SERVICE_TICK_BOUNDS,
+            )
+
+    def _step_running(self) -> int:
+        stepped = 0
+        for sub, prepared in list(self._running):
+            stepped += 1
+            if self._obs is not None:
+                self._obs.inc("service.quanta")
+            try:
+                finished = prepared.step()
+                output = prepared.collect() if finished else None
+            except WorkflowKilledError as exc:
+                # A per-run fault (or kill switch) took the run down; its
+                # own journal makes it resumable, the slot is reclaimed.
+                self._retire(sub, prepared)
+                self._finish(
+                    sub, FAILED,
+                    run_id=exc.run_id or prepared.run_id,
+                    error=f"killed: {exc}",
+                )
+                continue
+            except ReproError as exc:
+                self._retire(sub, prepared)
+                self._finish(
+                    sub, FAILED,
+                    run_id=prepared.run_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            sub.run_id = prepared.run_id
+            if finished:
+                self._retire(sub, prepared)
+                sub.output = output
+                self._finish(sub, COMPLETED, run_id=prepared.run_id)
+        return stepped
+
+    def _retire(self, sub: Submission, prepared: PreparedRun) -> None:
+        self._running.remove((sub, prepared))
+        self._tenants[sub.tenant].running -= 1
+
+    def _finish(
+        self,
+        sub: Submission,
+        state: str,
+        *,
+        run_id: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        sub.state = state
+        sub.finished_tick = self.tick
+        if run_id is not None:
+            sub.run_id = run_id
+        if error is not None:
+            sub.error = error
+        if state == COMPLETED:
+            self.completion_order.append(sub.ticket)
+        if self._obs is not None:
+            self._obs.inc(f"service.{state}")
+
+    # ------------------------------------------------------------ cancellation
+    def cancel(self, ticket: str) -> Tuple[bool, Submission]:
+        """Cancel a submission; returns ``(changed, submission)``.
+
+        Queued submissions leave the queue without ever owning a run;
+        running ones are killed durably through their
+        :class:`~repro.state.CancellationToken` (store status ``killed``,
+        resumable with ``runs resume``).  Cancelling a terminal submission
+        is an idempotent no-op (``changed=False``).
+        """
+        sub = self._subs.get(ticket)
+        if sub is None:
+            raise NotFoundError(f"no submission {ticket!r} at this gateway")
+        if sub.state in TERMINAL_STATES:
+            return False, sub
+        if sub.state == QUEUED:
+            self._tenants[sub.tenant].queued.remove(sub)
+            self._finish(sub, CANCELLED)
+            self._set_queue_gauge()
+            return True, sub
+        for running_sub, prepared in self._running:
+            if running_sub is sub:
+                prepared.cancel()
+                self._retire(sub, prepared)
+                self._finish(sub, CANCELLED, run_id=prepared.run_id)
+                return True, sub
+        raise StateError(
+            f"submission {ticket!r} is {sub.state!r} but not on a shard"
+        )  # pragma: no cover - bookkeeping invariant
+
+    # -------------------------------------------------------------- inspection
+    def get(self, ticket: str) -> Submission:
+        """The submission under ``ticket`` (raises :class:`NotFoundError`)."""
+        sub = self._subs.get(ticket)
+        if sub is None:
+            raise NotFoundError(f"no submission {ticket!r} at this gateway")
+        return sub
+
+    def submissions(self) -> List[Submission]:
+        """Every submission, in admission (seq) order."""
+        return sorted(self._subs.values(), key=lambda sub: sub.seq)
+
+    def queue_depth(self) -> int:
+        """Total queued submissions across tenants."""
+        return sum(len(state.queued) for state in self._tenants.values())
+
+    def counts_by_state(self) -> Dict[str, int]:
+        """Mapping lifecycle state → number of submissions in it."""
+        counts: Dict[str, int] = {}
+        for sub in self._subs.values():
+            counts[sub.state] = counts.get(sub.state, 0) + 1
+        return counts
+
+    def check_invariants(self) -> Dict[str, int]:
+        """Verify every structural invariant; returns summary counts.
+
+        Raises :class:`StateError` on any violation: a tenant over its
+        ``max_running`` quota, more live runs than shards, queue/running
+        bookkeeping out of sync with submission states, or a terminal
+        submission still holding resources.  The conformance suite calls
+        this after every pump of a randomized schedule.
+        """
+        live = len(self._running)
+        if live > self.shards:
+            raise StateError(f"{live} live runs exceed {self.shards} shards")
+        running_tickets = {sub.ticket for sub, _ in self._running}
+        for name, tenant in self._tenants.items():
+            if tenant.running > tenant.config.max_running:
+                raise StateError(
+                    f"tenant {name!r} has {tenant.running} running runs, "
+                    f"quota {tenant.config.max_running}"
+                )
+            actual = sum(1 for t in running_tickets if self._subs[t].tenant == name)
+            if actual != tenant.running:
+                raise StateError(
+                    f"tenant {name!r} running count {tenant.running} != "
+                    f"{actual} shard-resident submissions"
+                )
+            for sub in tenant.queued:
+                if sub.state != QUEUED:
+                    raise StateError(
+                        f"{sub.ticket!r} is {sub.state!r} but sits in "
+                        f"{name!r}'s queue"
+                    )
+        for sub in self._subs.values():
+            on_shard = sub.ticket in running_tickets
+            if (sub.state == RUNNING) != on_shard:
+                raise StateError(
+                    f"{sub.ticket!r} state {sub.state!r} inconsistent with "
+                    f"shard residency {on_shard}"
+                )
+        counts = self.counts_by_state()
+        counts["live"] = live
+        counts["queue_depth"] = self.queue_depth()
+        return counts
+
+    def _set_queue_gauge(self) -> None:
+        if self._obs is not None:
+            self._obs.set_gauge("service.queue_depth", float(self.queue_depth()))

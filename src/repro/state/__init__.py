@@ -42,6 +42,7 @@ from repro.state.store import (
     RunSummary,
 )
 from repro.state.checkpoint import (
+    CancellationToken,
     KillSwitch,
     RunCheckpointer,
     open_run_state,
@@ -58,6 +59,7 @@ __all__ = [
     "JsonlRunStore",
     "RunCheckpointer",
     "KillSwitch",
+    "CancellationToken",
     "open_run_state",
     "replay_safe",
 ]

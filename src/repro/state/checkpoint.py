@@ -84,6 +84,35 @@ class KillSwitch:
         return True
 
 
+class CancellationToken(KillSwitch):
+    """A :class:`KillSwitch` armed on demand rather than at a fixed count.
+
+    The run-gateway cancellation path: the service hands each prepared run
+    one of these as its ``kill_switch``, and a mid-run ``cancel`` arms it —
+    the **next** journal append then takes the run down through exactly the
+    PR-5 kill machinery (status ``killed``, :class:`WorkflowKilledError`
+    carrying the run id), which is what makes a cancelled run resumable
+    with ``runs resume``.  Until armed it is inert, so an uncancelled run
+    pays nothing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(after_records=1)
+        self.fired = False
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Arm the token: the next successful journal append kills the run."""
+        self.cancelled = True
+
+    def should_fire(self, appended_total: int) -> bool:
+        """Fire (once) iff :meth:`cancel` has armed the token."""
+        if self.fired or not self.cancelled:
+            return False
+        self.fired = True
+        return True
+
+
 class RunCheckpointer:
     """Journal hooks plus replay lookups for one run.
 
@@ -107,6 +136,7 @@ class RunCheckpointer:
     KIND_RNG = "rng.mark"
     KIND_BEGIN = "run.begin"
     KIND_END = "run.end"
+    KIND_CANCEL = "run.cancel"
 
     def __init__(
         self,

@@ -15,11 +15,19 @@ where ``n`` counts prior runs of the same workflow+config in this store.
 No wall clock, no process entropy — creating the same run twice in a fresh
 store always yields ``...-001`` then ``...-002``, which keeps store-backed
 test fixtures and CI artifacts reproducible.
+
+Allocation is **race-free**: the counter scan plus reservation happen under
+a per-store lock, and the JSONL backend additionally claims each id with an
+exclusive ``mkdir`` (retrying on collision), so many scheduler threads —
+or several gateway processes sharing one store directory — can hammer
+``create_run`` with identical configs and every caller still gets a
+distinct id.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional
@@ -121,10 +129,13 @@ class RunStore:
         raise NotImplementedError  # pragma: no cover - interface
 
     # ------------------------------------------------------------- shared id
-    def _next_run_id(self, workflow: str, digest: str, existing: List[str]) -> str:
+    def _id_prefix(self, workflow: str, digest: str) -> str:
         if not workflow:
             raise ValidationError("workflow name must be non-empty")
-        prefix = f"{workflow}-{short_id(digest, 10)}-"
+        return f"{workflow}-{short_id(digest, 10)}-"
+
+    def _next_run_id(self, workflow: str, digest: str, existing: List[str]) -> str:
+        prefix = self._id_prefix(workflow, digest)
         n = sum(1 for run_id in existing if run_id.startswith(prefix)) + 1
         return f"{prefix}{n:03d}"
 
@@ -134,16 +145,21 @@ class InMemoryRunStore(RunStore):
 
     def __init__(self) -> None:
         self._runs: Dict[str, RunHandle] = {}
+        self._create_lock = threading.Lock()
 
     def create_run(self, workflow: str, config: Mapping[str, Any]) -> RunHandle:
         snapshot = _canonicalize(dict(config))
         digest = config_digest(workflow, snapshot)
-        run_id = self._next_run_id(workflow, digest, list(self._runs))
-        handle = RunHandle(
-            self, run_id, workflow, snapshot, digest,
-            RunJournal(MemoryJournalBackend()),
-        )
-        self._runs[run_id] = handle
+        # The count-scan and the insertion must be one atomic step, or two
+        # threads submitting the same config both read count N and collide
+        # on id N+1 (the second silently shadowing the first's journal).
+        with self._create_lock:
+            run_id = self._next_run_id(workflow, digest, list(self._runs))
+            handle = RunHandle(
+                self, run_id, workflow, snapshot, digest,
+                RunJournal(MemoryJournalBackend()),
+            )
+            self._runs[run_id] = handle
         return handle
 
     def open_run(self, run_id: str) -> RunHandle:
@@ -174,6 +190,7 @@ class JsonlRunStore(RunStore):
         # Reopened handles are cached so that concurrent holders of one run
         # (a checkpointer and a CLI listing, say) share a journal index.
         self._open: Dict[str, RunHandle] = {}
+        self._create_lock = threading.Lock()
 
     def _run_dir(self, run_id: str) -> Path:
         return self.root / run_id
@@ -181,41 +198,58 @@ class JsonlRunStore(RunStore):
     def create_run(self, workflow: str, config: Mapping[str, Any]) -> RunHandle:
         snapshot = _canonicalize(dict(config))
         digest = config_digest(workflow, snapshot)
-        existing = [p.name for p in self.root.iterdir() if p.is_dir()]
-        run_id = self._next_run_id(workflow, digest, existing)
-        run_dir = self._run_dir(run_id)
-        run_dir.mkdir(parents=True)
-        handle = RunHandle(
-            self, run_id, workflow, snapshot, digest,
-            RunJournal(JsonlJournalBackend(run_dir / self.JOURNAL_NAME)),
-        )
-        self._write_meta(handle)
-        self._open[run_id] = handle
+        # In-process racers serialize on the lock; racers in *other*
+        # processes sharing this directory are handled by the exclusive
+        # mkdir below — a collision on the candidate id bumps the counter
+        # and retries, so the directory claim is the atomic reservation.
+        with self._create_lock:
+            prefix = self._id_prefix(workflow, digest)
+            existing = [p.name for p in self.root.iterdir() if p.is_dir()]
+            n = sum(1 for run_id in existing if run_id.startswith(prefix)) + 1
+            while True:
+                run_id = f"{prefix}{n:03d}"
+                run_dir = self._run_dir(run_id)
+                try:
+                    run_dir.mkdir(parents=True)
+                except FileExistsError:
+                    n += 1
+                    continue
+                break
+            handle = RunHandle(
+                self, run_id, workflow, snapshot, digest,
+                RunJournal(JsonlJournalBackend(run_dir / self.JOURNAL_NAME)),
+            )
+            self._write_meta(handle)
+            self._open[run_id] = handle
         return handle
 
     def open_run(self, run_id: str) -> RunHandle:
-        if run_id in self._open:
-            return self._open[run_id]
-        meta_path = self._run_dir(run_id) / self.META_NAME
-        if not meta_path.exists():
-            raise NotFoundError(f"no run {run_id!r} under {self.root}")
-        try:
-            meta = json.loads(meta_path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as exc:
-            raise StateError(f"corrupt metadata for run {run_id!r}") from exc
-        handle = RunHandle(
-            self,
-            run_id,
-            str(meta["workflow"]),
-            dict(meta["config"]),
-            str(meta["config_digest"]),
-            RunJournal(
-                JsonlJournalBackend(self._run_dir(run_id) / self.JOURNAL_NAME)
-            ),
-            status=str(meta.get("status", "active")),
-        )
-        self._open[run_id] = handle
-        return handle
+        # Same lock as create_run: two threads reopening one run must share
+        # a handle (and thus a journal index), or concurrent appends through
+        # separate indices could write duplicate (kind, key) records.
+        with self._create_lock:
+            if run_id in self._open:
+                return self._open[run_id]
+            meta_path = self._run_dir(run_id) / self.META_NAME
+            if not meta_path.exists():
+                raise NotFoundError(f"no run {run_id!r} under {self.root}")
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise StateError(f"corrupt metadata for run {run_id!r}") from exc
+            handle = RunHandle(
+                self,
+                run_id,
+                str(meta["workflow"]),
+                dict(meta["config"]),
+                str(meta["config_digest"]),
+                RunJournal(
+                    JsonlJournalBackend(self._run_dir(run_id) / self.JOURNAL_NAME)
+                ),
+                status=str(meta.get("status", "active")),
+            )
+            self._open[run_id] = handle
+            return handle
 
     def has_run(self, run_id: str) -> bool:
         return (self._run_dir(run_id) / self.META_NAME).exists()

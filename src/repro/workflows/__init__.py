@@ -12,8 +12,10 @@
 """
 
 from repro.workflows.wastewater_rt import (
+    PreparedWastewaterRun,
     WastewaterRunConfig,
     WastewaterWorkflowResult,
+    prepare_wastewater_run,
     run_wastewater_workflow,
 )
 from repro.workflows.music_gsa import (
@@ -28,8 +30,10 @@ from repro.workflows.music_gsa import (
 )
 
 __all__ = [
+    "PreparedWastewaterRun",
     "WastewaterRunConfig",
     "WastewaterWorkflowResult",
+    "prepare_wastewater_run",
     "run_wastewater_workflow",
     "Figure4Data",
     "Figure5Data",

@@ -33,7 +33,7 @@ from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.common.errors import StateError, ValidationError
+from repro.common.errors import StateError, ValidationError, WorkflowKilledError
 from repro.common.retry import ResilienceConfig
 from repro.common.timeseries import TimeSeries
 from repro.faults.plan import FaultPlan
@@ -51,7 +51,13 @@ from repro.rt import (
 )
 from repro.rt.ensemble import population_weighted_ensemble
 from repro.sim import RuntimeConfig
-from repro.state import KillSwitch, RunCheckpointer, RunStore, open_run_state
+from repro.state import (
+    CancellationToken,
+    KillSwitch,
+    RunCheckpointer,
+    RunStore,
+    open_run_state,
+)
 
 
 def make_transform_function():
@@ -460,11 +466,49 @@ def run_wastewater_workflow(
         legacy,
         "run_wastewater_workflow",
     )
+    prepared = prepare_wastewater_run(
+        cfg,
+        resilience=resilience,
+        fault_plan=fault_plan,
+        memo_cache=memo_cache,
+        observability=observability,
+        run_store=run_store,
+        resume_from=resume_from,
+        kill_switch=kill_switch,
+    )
+    prepared.advance()
+    return prepared.collect()
+
+
+def prepare_wastewater_run(
+    config: Optional[WastewaterRunConfig] = None,
+    *,
+    resilience: Optional[ResilienceConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    memo_cache: Optional[MemoCache] = None,
+    observability: Optional[Observability] = None,
+    run_store: Optional[RunStore] = None,
+    resume_from: Optional[str] = None,
+    kill_switch: Optional[KillSwitch] = None,
+) -> "PreparedWastewaterRun":
+    """Build the full Figure 1 stack without running it.
+
+    The cooperative half of :func:`run_wastewater_workflow`: every service,
+    flow, and journal hook is constructed and registered exactly as the
+    monolithic entry point does it, but the simulated clock has not moved.
+    The returned :class:`PreparedWastewaterRun` is then driven with
+    :meth:`~PreparedWastewaterRun.advance` — either straight to the horizon
+    (what :func:`run_wastewater_workflow` does) or one quantum at a time,
+    which is how the :class:`~repro.service.RunScheduler` multiplexes many
+    concurrent runs.  Because both paths execute the same events on the
+    same per-run clock, a run stepped in quanta produces outputs bitwise
+    identical to the same run executed standalone.
+    """
     cfg, state = open_run_state(
         run_store,
         resume_from,
         workflow="wastewater",
-        config=cfg,
+        config=config,
         config_from_jsonable=WastewaterRunConfig.from_jsonable,
         config_to_jsonable=WastewaterRunConfig.to_jsonable,
         default_config=WastewaterRunConfig,
@@ -594,56 +638,177 @@ def run_wastewater_workflow(
         )
         output_ids.update({f"outlook/{k}": v for k, v in outlook_ids.items()})
 
-    # Let the automation play out.
-    platform.env.run_until(sim_days)
-
-    # Collect the latest artifacts.
-    plant_estimates = {}
-    for plant in iwss.plants:
-        latest = platform.metadata.latest(datatable_ids[plant.name])
-        if latest is None:
-            raise StateError(f"no R(t) analysis completed for {plant.name}")
-        plant_estimates[plant.name] = RtEstimate.from_json(
-            client.fetch_content(datatable_ids[plant.name])
-        )
-    ensemble_version = platform.metadata.latest(aggregate_ids["ensemble"])
-    if ensemble_version is None:
-        raise StateError("the aggregation flow never completed")
-    ensemble = RtEstimate.from_json(client.fetch_content(aggregate_ids["ensemble"]))
-
-    if state is not None:
-        state.record_rng_mark(
-            "wastewater/final", platform.rng_state_digest(), t=platform.env.now
-        )
-        state.end_run(
-            summary={
-                "aggregation_runs": len(client.runs("aggregate-rt")),
-                "events_fired": platform.env.events_fired,
-            }
-        )
-
-    return WastewaterWorkflowResult(
+    return PreparedWastewaterRun(
+        config=cfg,
         platform=platform,
         client=client,
         iwss=iwss,
-        plant_estimates=plant_estimates,
-        ensemble=ensemble,
-        analysis_run_counts=(
-            {"rt-batch": len(client.runs("rt-batch"))}
-            if vectorized_rt
-            else {
-                plant.name: len(client.runs(f"rt-{plant.name}"))
-                for plant in iwss.plants
-            }
-        ),
-        ingestion_update_counts={
-            plant.name: client.get_flow(f"ingest-{plant.name}").update_count
-            for plant in iwss.plants
-        },
-        aggregation_runs=len(client.runs("aggregate-rt")),
+        state=state,
+        kill_switch=kill_switch,
         output_ids=output_ids,
-        resilience_report=platform.resilience_report(),
-        perf_report=platform.perf_report(),
-        run_id=state.run_id if state is not None else None,
-        state_report=platform.state_report(),
+        datatable_ids=datatable_ids,
+        aggregate_ids=aggregate_ids,
     )
+
+
+class PreparedWastewaterRun:
+    """A built wastewater stack, ready to be driven on its simulated clock.
+
+    Produced by :func:`prepare_wastewater_run`.  Call :meth:`advance` to
+    move the run forward (to the horizon, or in quanta) and :meth:`collect`
+    once :attr:`finished` to gather artifacts and validation metrics —
+    together they are exactly the execution half of
+    :func:`run_wastewater_workflow`.
+
+    When the run is journaled (prepared with a ``run_store``) and its
+    ``kill_switch`` is a :class:`~repro.state.CancellationToken`,
+    :meth:`cancel` kills it through the PR-5 journal path: the run's store
+    status flips to ``killed`` and it can later be completed with
+    ``runs resume`` (or ``resume_from=``), bitwise identical to an
+    uncancelled run.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: WastewaterRunConfig,
+        platform: AeroPlatform,
+        client: AeroClient,
+        iwss: SyntheticIWSS,
+        state: Optional[RunCheckpointer],
+        kill_switch: Optional[KillSwitch],
+        output_ids: Dict[str, str],
+        datatable_ids: Dict[str, str],
+        aggregate_ids: Dict[str, str],
+    ) -> None:
+        self.config = config
+        self.platform = platform
+        self.client = client
+        self.iwss = iwss
+        self.state = state
+        self._kill = kill_switch
+        self.output_ids = output_ids
+        self._datatable_ids = datatable_ids
+        self._aggregate_ids = aggregate_ids
+        self.cancelled = False
+
+    # -------------------------------------------------------------- identity
+    @property
+    def env(self):
+        """The run's private simulation environment."""
+        return self.platform.env
+
+    @property
+    def run_id(self) -> Optional[str]:
+        """Id of the journaled run (``None`` without a run store)."""
+        return self.state.run_id if self.state is not None else None
+
+    @property
+    def horizon(self) -> float:
+        """Simulated day the run is complete at (``config.sim_days``)."""
+        return self.config.sim_days
+
+    @property
+    def finished(self) -> bool:
+        """True once the clock has reached the horizon."""
+        return self.platform.env.now >= self.horizon
+
+    # ------------------------------------------------------------- execution
+    def advance(self, until: Optional[float] = None) -> bool:
+        """Run the automation forward to ``min(until, horizon)``.
+
+        With ``until=None`` runs straight to the horizon (the monolithic
+        path).  Returns :attr:`finished`, so a scheduler loop can call
+        ``advance(now + quantum)`` until it reads ``True``.
+        """
+        target = self.horizon if until is None else min(float(until), self.horizon)
+        if target > self.platform.env.now:
+            self.platform.env.run_until(target)
+        return self.finished
+
+    def cancel(self, *, reason: str = "cancelled by gateway") -> bool:
+        """Kill the run through the journal so it stays resumable.
+
+        Arms the run's :class:`~repro.state.CancellationToken` and forces
+        one journal append (a ``run.cancel`` record), which fires the
+        kill-switch path: status ``killed``, resumable via ``runs resume``.
+        Returns True when the run was durably killed; False when the run
+        has no journal or no token (nothing durable to cancel — the caller
+        just stops stepping it).
+        """
+        self.cancelled = True
+        if self.state is None or not isinstance(self._kill, CancellationToken):
+            return False
+        self._kill.cancel()
+        try:
+            self.state.record(
+                RunCheckpointer.KIND_CANCEL,
+                "cancel",
+                {"reason": reason, "t": self.platform.env.now},
+            )
+        except WorkflowKilledError:
+            return True
+        # The token was already fired (double cancel): the run is killed.
+        return self.state.killed
+
+    # ------------------------------------------------------------ collection
+    def collect(self) -> WastewaterWorkflowResult:
+        """Gather artifacts, journal completion, and build the result."""
+        platform, client, iwss, state = (
+            self.platform, self.client, self.iwss, self.state,
+        )
+        datatable_ids = self._datatable_ids
+        aggregate_ids = self._aggregate_ids
+        vectorized_rt = self.config.vectorized_rt
+
+        plant_estimates = {}
+        for plant in iwss.plants:
+            latest = platform.metadata.latest(datatable_ids[plant.name])
+            if latest is None:
+                raise StateError(f"no R(t) analysis completed for {plant.name}")
+            plant_estimates[plant.name] = RtEstimate.from_json(
+                client.fetch_content(datatable_ids[plant.name])
+            )
+        ensemble_version = platform.metadata.latest(aggregate_ids["ensemble"])
+        if ensemble_version is None:
+            raise StateError("the aggregation flow never completed")
+        ensemble = RtEstimate.from_json(
+            client.fetch_content(aggregate_ids["ensemble"])
+        )
+
+        if state is not None:
+            state.record_rng_mark(
+                "wastewater/final", platform.rng_state_digest(), t=platform.env.now
+            )
+            state.end_run(
+                summary={
+                    "aggregation_runs": len(client.runs("aggregate-rt")),
+                    "events_fired": platform.env.events_fired,
+                }
+            )
+
+        return WastewaterWorkflowResult(
+            platform=platform,
+            client=client,
+            iwss=iwss,
+            plant_estimates=plant_estimates,
+            ensemble=ensemble,
+            analysis_run_counts=(
+                {"rt-batch": len(client.runs("rt-batch"))}
+                if vectorized_rt
+                else {
+                    plant.name: len(client.runs(f"rt-{plant.name}"))
+                    for plant in iwss.plants
+                }
+            ),
+            ingestion_update_counts={
+                plant.name: client.get_flow(f"ingest-{plant.name}").update_count
+                for plant in iwss.plants
+            },
+            aggregation_runs=len(client.runs("aggregate-rt")),
+            output_ids=self.output_ids,
+            resilience_report=platform.resilience_report(),
+            perf_report=platform.perf_report(),
+            run_id=state.run_id if state is not None else None,
+            state_report=platform.state_report(),
+        )

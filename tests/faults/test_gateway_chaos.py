@@ -1,0 +1,239 @@
+"""Gateway chaos: kill the service mid-burst, recover every submission.
+
+The service-level analogue of the resume matrix.  A scripted
+:class:`~repro.state.KillSwitch` takes the *gateway itself* down partway
+through a submission burst (the kill fires on a service-journal append, so
+the record that admitted the submission is already durable).  Recovery
+must then complete every accepted submission with outputs bitwise
+identical to standalone runs, appending zero duplicate journal records —
+and per-run fault plans must compose: a run killed by a ``state.journal``
+fault inside the gateway surfaces as a failed submission whose journaled
+run ``repro runs resume`` finishes bitwise-identically.
+
+Marked ``chaos``: in tier 1, deselect with ``-m 'not chaos'``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import WorkflowKilledError
+from repro.faults import FaultPlan, FaultSpec
+from repro.perf import MemoCache
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
+from repro.state import JsonlRunStore, KillSwitch
+from repro.workflows import WastewaterRunConfig, run_wastewater_workflow
+
+pytestmark = pytest.mark.chaos
+
+BURST_SEEDS = tuple(range(9100, 9108))
+
+
+def small_config(seed: int) -> WastewaterRunConfig:
+    return WastewaterRunConfig(sim_days=1.1, goldstein_iterations=100, seed=seed)
+
+
+def ensemble_json(result) -> str:
+    return json.dumps(result.ensemble.to_json(include_samples=True), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def memo() -> MemoCache:
+    return MemoCache()
+
+
+@pytest.fixture(scope="module")
+def baselines(memo):
+    """Standalone per-seed outputs (warming the module's memo cache)."""
+    return {
+        seed: ensemble_json(run_wastewater_workflow(small_config(seed), memo_cache=memo))
+        for seed in BURST_SEEDS
+    }
+
+
+def burst_tenants():
+    return [
+        TenantConfig("acme", weight=2.0, max_queued=32, max_running=2),
+        TenantConfig("beta", weight=1.0, max_queued=32, max_running=2),
+    ]
+
+
+def journal_census(store):
+    """(run_id -> record count, total) across every run in the store."""
+    counts = {
+        s.run_id: len(store.open_run(s.run_id).journal) for s in store.list_runs()
+    }
+    return counts, sum(counts.values())
+
+
+class TestMidBurstGatewayKill:
+    def test_recovery_completes_every_accepted_submission(
+        self, tmp_path, memo, baselines
+    ):
+        store = JsonlRunStore(tmp_path / "runs")
+        gateway = RunGateway(
+            burst_tenants(),
+            shards=2,
+            run_store=store,
+            memo_cache=memo,
+            kill_switch=KillSwitch(after_records=7),
+        )
+        service_id = gateway.service_run_id
+        seed_of = {}
+        with pytest.raises(WorkflowKilledError):
+            for i, seed in enumerate(BURST_SEEDS):
+                tenant = ("acme", "beta")[i % 2]
+                receipt = gateway.submit(
+                    SubmitRequest(tenant=tenant, config=small_config(seed))
+                )
+                seed_of[receipt.ticket] = seed
+                gateway.pump()
+
+        # The accepted set is what the journal says, not what the dead
+        # gateway's memory said: the kill can fire on the very append that
+        # admitted a submission, after the record landed.
+        service_journal = store.open_run(service_id).journal
+        accepted = [r.key for r in service_journal.records("service.submit")]
+        assert 0 < len(accepted) < len(BURST_SEEDS)
+        assert store.open_run(service_id).status == "killed"
+        # Submissions that went terminal before the kill carry a done
+        # record; recovery resurrects exactly the rest.
+        done = {
+            r.key: r.payload for r in service_journal.records("service.done")
+        }
+        pending = [t for t in accepted if t not in done]
+        assert pending, "the kill should strand at least one submission"
+
+        recovered = RunGateway.recover(store, service_id, memo_cache=memo)
+        statuses = {s.ticket: s for s in recovered.list_runs()}
+        assert sorted(statuses) == sorted(pending)
+        recovered.drain(max_ticks=5000)
+        for ticket in pending:
+            result = recovered.result(ticket)
+            assert result.state == COMPLETED
+            seed = seed_of[ticket]
+            assert (
+                json.dumps(result.output["ensemble"], sort_keys=True)
+                == baselines[seed]
+            )
+        for payload in done.values():
+            assert payload["state"] == COMPLETED
+            assert store.open_run(payload["run_id"]).status == "completed"
+
+        # Zero duplicated journal records: every (kind, key) is unique per
+        # journal by construction; prove nothing re-appended by recovering
+        # (and re-draining) a second time with no growth anywhere.
+        census_one, total_one = journal_census(store)
+        again = RunGateway.recover(store, service_id, memo_cache=memo)
+        # Everything is terminal now: nothing to resurrect, nothing to run,
+        # and — the idempotency claim — nothing appended anywhere.
+        assert again.list_runs() == []
+        assert again.drain(max_ticks=10) == 0
+        census_two, total_two = journal_census(store)
+        assert census_two == census_one
+        assert total_two == total_one
+
+    def test_submissions_done_before_the_kill_are_not_rerun(self, tmp_path, memo):
+        store = JsonlRunStore(tmp_path / "runs")
+        gateway = RunGateway(
+            burst_tenants(),
+            shards=2,
+            run_store=store,
+            memo_cache=memo,
+            kill_switch=KillSwitch(after_records=30),
+        )
+        service_id = gateway.service_run_id
+        first = gateway.submit(
+            SubmitRequest(tenant="acme", config=small_config(9100))
+        ).ticket
+        gateway.drain(max_ticks=100)
+        assert gateway.result(first).state == COMPLETED
+        done_records = len(
+            store.open_run(service_id).journal.records("service.done")
+        )
+        assert done_records == 1
+
+        recovered = RunGateway.recover(store, service_id, memo_cache=memo)
+        # The completed ticket is terminal in the journal, so recovery has
+        # nothing to re-enqueue and the drain is a no-op.
+        assert recovered.list_runs() == []
+        assert recovered.drain(max_ticks=10) == 0
+
+
+NOISY_KILL_CONFIG = WastewaterRunConfig(
+    sim_days=4.0, goldstein_iterations=250, seed=17
+)
+NOISE_SPECS = [FaultSpec(site="transfer", at_time=1.5)]
+KILL_SPECS = NOISE_SPECS + [FaultSpec(site="state.journal", at_time=2.0)]
+
+
+class TestPerRunFaultsInsideGateway:
+    def test_journal_fault_fails_submission_resumable_standalone(self, tmp_path):
+        baseline = ensemble_json(
+            run_wastewater_workflow(
+                NOISY_KILL_CONFIG, fault_plan=FaultPlan(list(NOISE_SPECS))
+            )
+        )
+        store = JsonlRunStore(tmp_path / "runs")
+        gateway = RunGateway(
+            [TenantConfig("acme", max_queued=8, max_running=1)],
+            shards=1,
+            run_store=store,
+            fault_plan=FaultPlan(list(KILL_SPECS)),
+        )
+        ticket = gateway.submit(
+            SubmitRequest(tenant="acme", config=NOISY_KILL_CONFIG)
+        ).ticket
+        gateway.drain(max_ticks=100)
+        status = gateway.status(ticket)
+        assert status.state == FAILED
+        assert "killed" in status.error
+        assert status.run_id is not None
+        assert store.open_run(status.run_id).status == "killed"
+
+        # Outside the gateway, the journaled run resumes to the noisy
+        # baseline bitwise (the scripted kill is suppressed on resume, the
+        # noise re-fires deterministically).
+        resumed = run_wastewater_workflow(
+            run_store=store,
+            resume_from=status.run_id,
+            fault_plan=FaultPlan(list(KILL_SPECS)),
+        )
+        assert ensemble_json(resumed) == baseline
+        assert store.open_run(status.run_id).status == "completed"
+
+
+class TestCliResumeOfGatewayRuns:
+    def test_runs_resume_finishes_a_gateway_cancelled_run(
+        self, tmp_path, memo, baselines, capsys
+    ):
+        from repro.cli import main
+
+        store_dir = tmp_path / "runs"
+        store = JsonlRunStore(store_dir)
+        gateway = RunGateway(
+            [TenantConfig("acme", max_queued=8, max_running=1)],
+            shards=1,
+            run_store=store,
+            memo_cache=memo,
+        )
+        ticket = gateway.submit(
+            SubmitRequest(tenant="acme", config=small_config(9101))
+        ).ticket
+        gateway.pump()
+        resp = gateway.cancel(ticket)
+        assert resp.state == CANCELLED and resp.run_id is not None
+        assert store.open_run(resp.run_id).status == "killed"
+
+        assert main(["runs", "resume", resp.run_id, "--store", str(store_dir)]) == 0
+        assert "completed" in capsys.readouterr().out
+        assert JsonlRunStore(store_dir).open_run(resp.run_id).status == "completed"

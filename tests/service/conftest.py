@@ -1,0 +1,50 @@
+"""Shared fixtures for the run-gateway (repro.service) test suite.
+
+The conformance tests execute *real* wastewater runs by the hundreds, which
+is only tractable because of the PR-2 warm-memo property: a run against a
+warm :class:`~repro.perf.MemoCache` is bitwise identical to a cold run and
+~10x faster.  One session-scoped cache is warmed by the standalone baseline
+runs below; every gateway execution of a palette config then replays at
+memo speed while still exercising the full scheduling machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import MemoCache
+from repro.workflows import WastewaterRunConfig, run_wastewater_workflow
+
+#: Seeds of the config palette service tests draw submissions from.
+PALETTE_SEEDS = (9000, 9001, 9002, 9003, 9004, 9005)
+
+
+def palette_config(seed: int) -> WastewaterRunConfig:
+    """The minimal-but-real wastewater config used for service runs."""
+    return WastewaterRunConfig(sim_days=1.1, goldstein_iterations=100, seed=seed)
+
+
+def ensemble_json(output) -> str:
+    """Canonical string form of a driver output's ensemble (for bitwise
+    comparison)."""
+    return json.dumps(output["ensemble"], sort_keys=True)
+
+
+@pytest.fixture(scope="session")
+def warm_memo() -> MemoCache:
+    """The shared memo cache every service test executes against."""
+    return MemoCache()
+
+
+@pytest.fixture(scope="session")
+def standalone_baselines(warm_memo):
+    """Per-seed standalone outputs; warming the shared cache as they run."""
+    baselines = {}
+    for seed in PALETTE_SEEDS:
+        result = run_wastewater_workflow(palette_config(seed), memo_cache=warm_memo)
+        baselines[seed] = json.dumps(
+            result.ensemble.to_json(include_samples=True), sort_keys=True
+        )
+    return baselines

@@ -1,0 +1,320 @@
+"""Endpoint semantics of the run gateway: typed errors, lifecycle, cancel.
+
+Covers the REST-shaped surface (submit / status / result / cancel /
+list_runs) and every cancellation edge: before admission (unknown ticket),
+while queued, mid-run (durably killed, resumable), double-cancel, and
+cancel-after-completion — plus the ``serve-sim`` / ``submit`` CLI flow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import (
+    AdmissionError,
+    NotFoundError,
+    QueueFullError,
+    StateError,
+)
+from repro.obs import Observability
+from repro.perf import MemoCache
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    QUEUED,
+    RUNNING,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
+from repro.state import InMemoryRunStore, JsonlRunStore
+from repro.workflows import run_wastewater_workflow
+
+from tests.service.conftest import PALETTE_SEEDS, ensemble_json, palette_config
+
+
+def make_gateway(warm_memo, *, store=None, obs=None, shards=2, max_running=1,
+                 max_queued=8):
+    return RunGateway(
+        [
+            TenantConfig("acme", weight=2.0, max_queued=max_queued,
+                         max_running=max_running),
+            TenantConfig("beta", weight=1.0, max_queued=max_queued,
+                         max_running=max_running),
+        ],
+        shards=shards,
+        run_store=store,
+        memo_cache=warm_memo,
+        observability=obs,
+    )
+
+
+class TestSubmitAndAdmission:
+    def test_submit_returns_typed_receipt(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        receipt = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000), priority=1)
+        )
+        assert receipt.ticket == "acme-00000"
+        assert (receipt.tenant, receipt.workflow) == ("acme", "wastewater")
+        assert (receipt.priority, receipt.seq) == (1, 0)
+        assert gw.status(receipt.ticket).state == QUEUED
+
+    def test_unknown_tenant_rejected(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="nobody", config=palette_config(9000)))
+
+    def test_unknown_workflow_rejected(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", workflow="quantum"))
+
+    def test_invalid_config_rejected_at_submit_time(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", config={"sim_days": -5}))
+        # Nothing was accepted.
+        assert gw.list_runs() == []
+
+    def test_bounded_queue_backpressure(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs=obs, max_queued=2)
+        for seed in PALETTE_SEEDS[:2]:
+            gw.submit(SubmitRequest(tenant="acme", config=palette_config(seed)))
+        with pytest.raises(QueueFullError):
+            gw.submit(
+                SubmitRequest(tenant="acme", config=palette_config(9002))
+            )
+        # QueueFullError is an AdmissionError, but counted separately.
+        view = obs.service_view()
+        assert view["queue_rejects"] == 1
+        assert view["admission_rejects"] == 0
+        assert view["queue_depth"] == 2
+        # A pump frees queue room; the retry is then admitted.
+        gw.pump()
+        gw.submit(SubmitRequest(tenant="acme", config=palette_config(9002)))
+
+    def test_queue_full_is_admission_error_subclass(self):
+        assert issubclass(QueueFullError, AdmissionError)
+
+
+class TestStatusAndResult:
+    def test_unknown_ticket_raises_not_found(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        with pytest.raises(NotFoundError):
+            gw.status("acme-99999")
+        with pytest.raises(NotFoundError):
+            gw.result("acme-99999")
+
+    def test_result_before_terminal_raises_state_error(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        with pytest.raises(StateError):
+            gw.result(ticket)
+        gw.pump()
+        assert gw.status(ticket).state == RUNNING
+        with pytest.raises(StateError):
+            gw.result(ticket)
+
+    def test_completed_result_is_bitwise_standalone(
+        self, warm_memo, standalone_baselines
+    ):
+        gw = make_gateway(warm_memo)
+        ticket = gw.submit(
+            SubmitRequest(tenant="beta", config=palette_config(9001))
+        ).ticket
+        gw.drain(max_ticks=100)
+        result = gw.result(ticket)
+        assert result.state == COMPLETED
+        assert ensemble_json(result.output) == standalone_baselines[9001]
+
+    def test_list_runs_reflects_states_and_filters_by_tenant(self, warm_memo):
+        gw = make_gateway(warm_memo, shards=1)
+        t_run = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        t_queued = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9001))
+        ).ticket
+        t_other = gw.submit(
+            SubmitRequest(tenant="beta", config=palette_config(9002))
+        ).ticket
+        gw.pump()
+        gw.cancel(t_other)
+        states = {s.ticket: s.state for s in gw.list_runs()}
+        assert states == {t_run: RUNNING, t_queued: QUEUED, t_other: CANCELLED}
+        assert [s.ticket for s in gw.list_runs(tenant="acme")] == [t_run, t_queued]
+        gw.drain(max_ticks=100)
+        states = {s.ticket: s.state for s in gw.list_runs()}
+        assert states == {
+            t_run: COMPLETED,
+            t_queued: COMPLETED,
+            t_other: CANCELLED,
+        }
+
+
+class TestCancellation:
+    def test_cancel_before_admission_is_not_found(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        with pytest.raises(NotFoundError):
+            gw.cancel("acme-00000")
+
+    def test_cancel_while_queued_never_creates_a_run(self, warm_memo):
+        store = InMemoryRunStore()
+        gw = make_gateway(warm_memo, store=store)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        resp = gw.cancel(ticket)
+        assert (resp.state, resp.changed, resp.run_id) == (CANCELLED, True, None)
+        gw.drain(max_ticks=10)
+        assert gw.status(ticket).state == CANCELLED
+        # Only the gateway's own service run exists in the store.
+        assert [s.workflow for s in store.list_runs()] == ["service"]
+
+    def test_cancel_mid_run_kills_durably_and_resumes_bitwise(
+        self, warm_memo, standalone_baselines
+    ):
+        store = InMemoryRunStore()
+        gw = make_gateway(warm_memo, store=store)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9003))
+        ).ticket
+        gw.pump()
+        assert gw.status(ticket).state == RUNNING
+        resp = gw.cancel(ticket)
+        assert resp.changed and resp.state == CANCELLED
+        assert resp.run_id is not None
+        assert store.open_run(resp.run_id).status == "killed"
+        # The killed run is resumable outside the gateway, bitwise.
+        resumed = run_wastewater_workflow(
+            run_store=store, resume_from=resp.run_id, memo_cache=warm_memo
+        )
+        out = json.dumps(
+            resumed.ensemble.to_json(include_samples=True), sort_keys=True
+        )
+        assert out == standalone_baselines[9003]
+        assert store.open_run(resp.run_id).status == "completed"
+
+    def test_double_cancel_is_idempotent(self, warm_memo):
+        gw = make_gateway(warm_memo, store=InMemoryRunStore())
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        gw.pump()
+        first = gw.cancel(ticket)
+        second = gw.cancel(ticket)
+        assert first.changed is True
+        assert second.changed is False
+        assert second.state == CANCELLED
+        assert second.run_id == first.run_id
+
+    def test_cancel_after_completion_is_a_no_op(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        gw.drain(max_ticks=100)
+        resp = gw.cancel(ticket)
+        assert (resp.state, resp.changed) == (COMPLETED, False)
+        # The completed output is still retrievable.
+        assert gw.result(ticket).state == COMPLETED
+
+    def test_cancelled_counts_in_service_view(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, store=InMemoryRunStore(), obs=obs)
+        first = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        second = gw.submit(
+            SubmitRequest(tenant="beta", config=palette_config(9001))
+        ).ticket
+        gw.pump()
+        gw.cancel(first)
+        gw.cancel(second)
+        view = obs.service_view()
+        assert view["cancelled"] == 2
+        assert view["submitted"] == view["admitted"] == 2
+
+
+class TestObservability:
+    def test_service_view_and_per_tenant_span_trees(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs=obs)
+        for tenant, seed in (("acme", 9000), ("acme", 9001), ("beta", 9002)):
+            gw.submit(SubmitRequest(tenant=tenant, config=palette_config(seed)))
+        gw.drain(max_ticks=100)
+        gw.close()
+        view = obs.service_view()
+        assert view["submitted"] == view["admitted"] == view["completed"] == 3
+        assert view["started"] == 3
+        assert view["quanta"] >= 3
+        assert view["queue_depth"] == 0
+        assert view["time_in_queue"]["count"] == 3
+        spans = obs.tracer.finished_spans()
+        tenant_spans = {
+            s.name: s for s in spans if s.category == "service.tenant"
+        }
+        run_spans = [s for s in spans if s.category == "service.run"]
+        assert set(tenant_spans) == {"tenant:acme", "tenant:beta"}
+        assert len(run_spans) == 3
+        # Each submission span is parented under its tenant's root span.
+        by_parent = {}
+        for span in run_spans:
+            by_parent.setdefault(span.parent_id, []).append(span.name)
+        assert sorted(by_parent[tenant_spans["tenant:acme"].span_id]) == [
+            "run:acme-00000",
+            "run:acme-00001",
+        ]
+        assert by_parent[tenant_spans["tenant:beta"].span_id] == [
+            "run:beta-00002"
+        ]
+
+    def test_closed_gateway_rejects_submissions(self, warm_memo):
+        gw = make_gateway(warm_memo)
+        gw.close()
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", config=palette_config(9000)))
+
+
+class TestCli:
+    def test_serve_sim_and_submit_flow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "svc")
+        assert main([
+            "serve-sim", "--store", store_dir,
+            "--tenants", "acme:2:16:2,beta:1:16:2", "--shards", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "created service run service-" in out
+
+        assert main([
+            "submit", "--store", store_dir, "--tenant", "acme",
+            "--sim-days", "1.1", "--iterations", "100", "--seed", "9000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accepted acme-00000" in out
+
+        assert main(["serve-sim", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered service run" in out
+        assert "completed" in out
+
+        # The workflow run is a first-class journaled run in the same store.
+        store = JsonlRunStore(store_dir)
+        workflows = sorted(s.workflow for s in store.list_runs())
+        assert workflows == ["service", "wastewater"]
+
+    def test_submit_without_service_run_fails_helpfully(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="serve-sim"):
+            main([
+                "submit", "--store", str(tmp_path / "empty"), "--tenant", "a",
+            ])

@@ -1,0 +1,111 @@
+"""Race-freedom of deterministic run-id allocation.
+
+Run ids are ``{workflow}-{config_digest[:10]}-{nnn}`` with ``nnn`` counting
+prior same-config runs — a read-modify-write that used to be a race: two
+threads submitting identical configs could both read count N and collide
+on id N+1, the second silently shadowing the first's journal.  These tests
+hammer ``create_run`` from a thread pool on both backends (and through the
+gateway's scheduler path) and require every caller to get a distinct,
+densely-numbered id.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.state import InMemoryRunStore, JsonlRunStore
+
+CONFIG = {"sim_days": 2.0, "seed": 7}
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return InMemoryRunStore()
+    return JsonlRunStore(tmp_path / "runs")
+
+
+@pytest.mark.parametrize("backend", ["memory", "jsonl"])
+def test_concurrent_same_config_allocation_is_collision_free(backend, tmp_path):
+    store = make_store(backend, tmp_path)
+    n_threads, per_thread = 16, 25
+
+    def create_many(_worker):
+        return [
+            store.create_run("wastewater", CONFIG).run_id
+            for _ in range(per_thread)
+        ]
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        batches = list(pool.map(create_many, range(n_threads)))
+    ids = [run_id for batch in batches for run_id in batch]
+    assert len(ids) == n_threads * per_thread
+    # Every caller got a distinct id...
+    assert len(set(ids)) == len(ids)
+    # ...and numbering is dense 001..400 under one shared prefix.
+    prefixes = {run_id.rsplit("-", 1)[0] for run_id in ids}
+    assert len(prefixes) == 1
+    suffixes = sorted(int(run_id.rsplit("-", 1)[1]) for run_id in ids)
+    assert suffixes == list(range(1, len(ids) + 1))
+
+
+@pytest.mark.parametrize("backend", ["memory", "jsonl"])
+def test_mixed_configs_keep_independent_counters(backend, tmp_path):
+    store = make_store(backend, tmp_path)
+    configs = [{"seed": s} for s in (1, 2, 3)]
+
+    def create(i):
+        return store.create_run("wastewater", configs[i % 3]).run_id
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        ids = list(pool.map(create, range(60)))
+    assert len(set(ids)) == 60
+    by_prefix = {}
+    for run_id in ids:
+        prefix, n = run_id.rsplit("-", 1)
+        by_prefix.setdefault(prefix, []).append(int(n))
+    assert len(by_prefix) == 3
+    for numbers in by_prefix.values():
+        assert sorted(numbers) == list(range(1, 21))
+
+
+def test_jsonl_allocation_is_race_free_across_store_instances(tmp_path):
+    """Two store objects over one directory model two gateway processes:
+    the exclusive-mkdir reservation, not the in-process lock, must
+    arbitrate."""
+    root = tmp_path / "runs"
+    stores = [JsonlRunStore(root), JsonlRunStore(root)]
+
+    def create(i):
+        return stores[i % 2].create_run("wastewater", CONFIG).run_id
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        ids = list(pool.map(create, range(80)))
+    assert len(set(ids)) == 80
+    suffixes = sorted(int(run_id.rsplit("-", 1)[1]) for run_id in ids)
+    assert suffixes == list(range(1, 81))
+
+
+def test_same_config_submissions_through_gateway_get_distinct_runs(warm_memo):
+    """The scheduler path: identical configs from one tenant must land in
+    distinct journaled runs, numbered in dispatch order."""
+    from repro.service import RunGateway, SubmitRequest, TenantConfig
+
+    from tests.service.conftest import palette_config
+
+    store = InMemoryRunStore()
+    gw = RunGateway(
+        [TenantConfig("a", max_queued=16, max_running=4)],
+        shards=4,
+        run_store=store,
+        memo_cache=warm_memo,
+    )
+    tickets = [
+        gw.submit(SubmitRequest(tenant="a", config=palette_config(9000))).ticket
+        for _ in range(5)
+    ]
+    gw.drain(max_ticks=100)
+    run_ids = [gw.result(t).run_id for t in tickets]
+    assert len(set(run_ids)) == 5
+    assert sorted(int(r.rsplit("-", 1)[1]) for r in run_ids) == [1, 2, 3, 4, 5]

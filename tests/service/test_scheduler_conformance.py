@@ -1,0 +1,380 @@
+"""Scheduler conformance: quotas, determinism, fairness, bitwise outputs.
+
+Three layers, cheapest first:
+
+1. **Policy properties** (hypothesis + a stub driver, thousands of
+   scheduling decisions per second): for randomized seeded schedules over
+   2-8 tenants, every structural invariant holds after every pump, quotas
+   are never exceeded, and re-executing the same schedule reproduces the
+   identical event log and completion order.
+2. **Bitwise properties** (hypothesis + real wastewater runs against the
+   shared warm memo cache): gateway outputs are bitwise identical to
+   standalone ``run_wastewater_workflow`` and completion order replays.
+3. **The 1k-run acceptance replay**: 1000 submissions across 4 weighted
+   tenants, executed twice — identical completion order, all completed,
+   sampled outputs bitwise identical to the standalone baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import NotFoundError, QueueFullError
+from repro.service import (
+    COMPLETED,
+    TERMINAL_STATES,
+    PreparedRun,
+    RunDriver,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
+
+from tests.service.conftest import PALETTE_SEEDS, ensemble_json, palette_config
+
+
+# ------------------------------------------------------------- stub driver
+class _StubRun(PreparedRun):
+    def __init__(self, steps: int) -> None:
+        self._left = steps
+        self._steps = steps
+        self.run_id = None
+
+    def step(self) -> bool:
+        self._left -= 1
+        return self._left <= 0
+
+    def collect(self):
+        return {"steps": self._steps}
+
+    def cancel(self) -> bool:
+        return True
+
+
+class StubDriver(RunDriver):
+    """Instant-execution driver: pure scheduling policy, no workflow."""
+
+    workflow = "stub"
+
+    def canonical_config(self, config):
+        doc = dict(config or {})
+        return {"steps": int(doc.get("steps", 2))}
+
+    def prepare(self, config_doc, **_kwargs) -> PreparedRun:
+        return _StubRun(int(config_doc["steps"]))
+
+
+def stub_gateway(tenants, shards):
+    return RunGateway(tenants, drivers={"stub": StubDriver()}, shards=shards)
+
+
+# ---------------------------------------------------------------- schedules
+@st.composite
+def schedules(draw):
+    """A randomized seeded schedule over 2-8 tenants."""
+    n_tenants = draw(st.integers(min_value=2, max_value=8))
+    tenants = [
+        TenantConfig(
+            name=f"t{i}",
+            weight=float(draw(st.integers(min_value=1, max_value=4))),
+            max_queued=draw(st.integers(min_value=2, max_value=8)),
+            max_running=draw(st.integers(min_value=1, max_value=3)),
+        )
+        for i in range(n_tenants)
+    ]
+    shards = draw(st.integers(min_value=1, max_value=4))
+    events = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("submit"),
+                    st.integers(min_value=0, max_value=n_tenants - 1),
+                    st.integers(min_value=1, max_value=4),  # steps
+                    st.integers(min_value=0, max_value=2),  # priority
+                ),
+                st.tuples(st.just("pump")),
+                st.tuples(
+                    st.just("cancel"), st.integers(min_value=0, max_value=30)
+                ),
+            ),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    return tenants, shards, events
+
+
+def run_schedule(tenants, shards, events):
+    """Execute one schedule; returns its full observable event log."""
+    gw = stub_gateway(tenants, shards)
+    log = []
+    tickets = []
+    for event in events:
+        if event[0] == "submit":
+            _, tenant_idx, steps, priority = event
+            try:
+                receipt = gw.submit(
+                    SubmitRequest(
+                        tenant=tenants[tenant_idx].name,
+                        workflow="stub",
+                        config={"steps": steps},
+                        priority=priority,
+                    )
+                )
+                tickets.append(receipt.ticket)
+                log.append(("accepted", receipt.ticket))
+            except QueueFullError:
+                log.append(("queue_full", tenants[tenant_idx].name))
+        elif event[0] == "cancel":
+            index = event[1]
+            if index < len(tickets):
+                resp = gw.cancel(tickets[index])
+                log.append(("cancel", resp.ticket, resp.state, resp.changed))
+        else:
+            gw.pump()
+            counts = gw.scheduler.check_invariants()
+            log.append(("pump", gw.tick, tuple(sorted(counts.items()))))
+    gw.drain(max_ticks=10_000)
+    gw.scheduler.check_invariants()
+    log.append(("final", tuple(gw.scheduler.completion_order)))
+    states = {s.ticket: s.state for s in gw.list_runs()}
+    return log, states, gw
+
+
+class TestPolicyProperties:
+    @settings(max_examples=120)
+    @given(schedules())
+    def test_invariants_and_replay_determinism(self, schedule):
+        tenants, shards, events = schedule
+        log1, states1, gw1 = run_schedule(tenants, shards, events)
+        log2, states2, _ = run_schedule(tenants, shards, events)
+        # Same seeded schedule -> identical event log, completion order,
+        # and terminal states, decision for decision.
+        assert log1 == log2
+        assert states1 == states2
+        # After the drain, every accepted submission is terminal.
+        assert all(state in TERMINAL_STATES for state in states1.values())
+
+    @settings(max_examples=60)
+    @given(schedules())
+    def test_quota_invariants_under_load(self, schedule):
+        tenants, shards, events = schedule
+        by_name = {t.name: t for t in tenants}
+        gw = stub_gateway(tenants, shards)
+        for event in events:
+            if event[0] == "submit":
+                _, tenant_idx, steps, priority = event
+                tenant = tenants[tenant_idx]
+                depth_before = sum(
+                    1
+                    for s in gw.list_runs(tenant=tenant.name)
+                    if s.state == "queued"
+                )
+                try:
+                    gw.submit(
+                        SubmitRequest(
+                            tenant=tenant.name,
+                            workflow="stub",
+                            config={"steps": steps},
+                            priority=priority,
+                        )
+                    )
+                    assert depth_before < tenant.max_queued
+                except QueueFullError:
+                    assert depth_before == tenant.max_queued
+            else:
+                gw.pump()
+            # Running-quota and shard bounds hold at every point.
+            counts = gw.scheduler.check_invariants()
+            assert counts["live"] <= shards
+            running = [s for s in gw.list_runs() if s.state == "running"]
+            per_tenant = {}
+            for s in running:
+                per_tenant[s.tenant] = per_tenant.get(s.tenant, 0) + 1
+            for name, n in per_tenant.items():
+                assert n <= by_name[name].max_running
+
+
+class TestPolicyDeterminism:
+    def test_priority_lanes_dispatch_first(self):
+        gw = stub_gateway(
+            [TenantConfig("a", max_queued=16, max_running=8)], shards=1
+        )
+        low = gw.submit(
+            SubmitRequest(tenant="a", workflow="stub", config={"steps": 1})
+        ).ticket
+        high = gw.submit(
+            SubmitRequest(
+                tenant="a", workflow="stub", config={"steps": 1}, priority=5
+            )
+        ).ticket
+        gw.drain(max_ticks=100)
+        assert gw.scheduler.completion_order == [high, low]
+
+    def test_weighted_fair_share_across_tenants(self):
+        heavy = TenantConfig("heavy", weight=3.0, max_queued=64, max_running=8)
+        light = TenantConfig("light", weight=1.0, max_queued=64, max_running=8)
+        gw = stub_gateway([heavy, light], shards=1)
+        for _ in range(24):
+            gw.submit(
+                SubmitRequest(tenant="heavy", workflow="stub", config={"steps": 1})
+            )
+            gw.submit(
+                SubmitRequest(tenant="light", workflow="stub", config={"steps": 1})
+            )
+        gw.drain(max_ticks=1000)
+        # In the first 16 completions, grants split ~3:1 by weight.
+        first = gw.scheduler.completion_order[:16]
+        heavy_share = sum(1 for t in first if t.startswith("heavy"))
+        assert heavy_share == 12
+
+    def test_equal_everything_ties_break_by_admission_seq(self):
+        gw = stub_gateway(
+            [TenantConfig("a", max_queued=64, max_running=8)], shards=1
+        )
+        tickets = [
+            gw.submit(
+                SubmitRequest(tenant="a", workflow="stub", config={"steps": 1})
+            ).ticket
+            for _ in range(6)
+        ]
+        gw.drain(max_ticks=100)
+        assert gw.scheduler.completion_order == tickets
+
+    def test_cancel_unknown_ticket_raises(self):
+        gw = stub_gateway([TenantConfig("a")], shards=1)
+        with pytest.raises(NotFoundError):
+            gw.cancel("a-00042")
+
+
+# ----------------------------------------------------------- real workflows
+def real_gateway(tenants, shards, warm_memo):
+    return RunGateway(tenants, shards=shards, memo_cache=warm_memo)
+
+
+@st.composite
+def real_schedules(draw):
+    n_tenants = draw(st.integers(min_value=2, max_value=4))
+    tenants = [
+        TenantConfig(
+            name=f"t{i}",
+            weight=float(draw(st.integers(min_value=1, max_value=3))),
+            max_queued=16,
+            max_running=draw(st.integers(min_value=1, max_value=2)),
+        )
+        for i in range(n_tenants)
+    ]
+    shards = draw(st.integers(min_value=1, max_value=3))
+    submissions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_tenants - 1),
+                st.sampled_from(PALETTE_SEEDS),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=3,
+            max_size=8,
+        )
+    )
+    return tenants, shards, submissions
+
+
+class TestBitwiseConformance:
+    @settings(max_examples=6)
+    @given(real_schedules())
+    def test_outputs_bitwise_and_order_replays(
+        self, warm_memo, standalone_baselines, schedule
+    ):
+        tenants, shards, submissions = schedule
+
+        def execute():
+            gw = real_gateway(tenants, shards, warm_memo)
+            seeds = {}
+            for i, (tenant_idx, seed, priority) in enumerate(submissions):
+                ticket = gw.submit(
+                    SubmitRequest(
+                        tenant=tenants[tenant_idx].name,
+                        config=palette_config(seed),
+                        priority=priority,
+                    )
+                ).ticket
+                seeds[ticket] = seed
+                if i % 2:
+                    gw.pump()
+                    gw.scheduler.check_invariants()
+            gw.drain(max_ticks=1000)
+            gw.scheduler.check_invariants()
+            return gw, seeds
+
+        gw1, seeds1 = execute()
+        gw2, seeds2 = execute()
+        assert gw1.scheduler.completion_order == gw2.scheduler.completion_order
+        for ticket, seed in seeds1.items():
+            result = gw1.result(ticket)
+            assert result.state == COMPLETED
+            assert ensemble_json(result.output) == standalone_baselines[seed]
+
+
+TENANTS_1K = (
+    TenantConfig("epi", weight=4.0, max_queued=300, max_running=6),
+    TenantConfig("gsa", weight=2.0, max_queued=300, max_running=6),
+    TenantConfig("ops", weight=1.0, max_queued=300, max_running=4),
+    TenantConfig("edu", weight=1.0, max_queued=300, max_running=4),
+)
+
+
+class TestThousandRunReplay:
+    """The acceptance gate: a 1k-run 4-tenant conformance replay."""
+
+    N_RUNS = 1000
+
+    def execute(self, warm_memo):
+        gw = RunGateway(list(TENANTS_1K), shards=12, memo_cache=warm_memo)
+        tickets = []
+        for i in range(self.N_RUNS):
+            tenant = TENANTS_1K[i % len(TENANTS_1K)]
+            seed = PALETTE_SEEDS[i % len(PALETTE_SEEDS)]
+            tickets.append(
+                (
+                    gw.submit(
+                        SubmitRequest(
+                            tenant=tenant.name,
+                            config=palette_config(seed),
+                            priority=i % 3,
+                        )
+                    ).ticket,
+                    seed,
+                )
+            )
+            if i % 25 == 24:
+                gw.pump()
+                gw.scheduler.check_invariants()
+        gw.drain(max_ticks=50_000)
+        gw.scheduler.check_invariants()
+        return gw, tickets
+
+    def test_1k_runs_4_tenants_replay_identically(
+        self, warm_memo, standalone_baselines
+    ):
+        gw1, tickets1 = self.execute(warm_memo)
+        gw2, tickets2 = self.execute(warm_memo)
+        assert len(tickets1) == self.N_RUNS
+        assert tickets1 == tickets2
+        order1 = gw1.scheduler.completion_order
+        order2 = gw2.scheduler.completion_order
+        assert len(order1) == self.N_RUNS
+        assert order1 == order2
+        counts = gw1.scheduler.counts_by_state()
+        assert counts == {COMPLETED: self.N_RUNS}
+        # Bitwise identity vs the standalone workflow, sampled across the
+        # burst (every run re-executed the full stack; comparing ~1 in 40
+        # keeps the serialization cost of the check itself bounded).
+        for ticket, seed in tickets1[:: 41]:
+            assert (
+                ensemble_json(gw1.result(ticket).output)
+                == standalone_baselines[seed]
+            )
+        view = gw1.service_report()
+        assert view["counts"] == {COMPLETED: self.N_RUNS}
