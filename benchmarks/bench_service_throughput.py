@@ -3,8 +3,9 @@
 The ``repro.service`` gateway multiplexes many simultaneous runs over a
 fixed pool of simulated-hardware shards via cooperative quantum stepping.
 This benchmark saturates a four-tenant gateway with ``N_RUNS`` wastewater
-submissions (warm shared memo cache, so per-run compute is the ~70 ms
-warm-path cost rather than the cold half-second) and measures:
+submissions (warm shared memo cache, so per-run compute is the warm-path
+cost rather than the cold half-second) and measures, for a gang-batching
+**off** arm and a gang-batching **on** arm over the same workload:
 
 * **sustained runs/sec** — completions divided by the wall-clock window
   from first submit to last completion, and
@@ -13,6 +14,13 @@ warm-path cost rather than the cold half-second) and measures:
   submission is observed terminal.  All submissions are enqueued up
   front, so tail latency here *is* the queueing delay at saturation —
   the multi-tenant worst case, not the unloaded RTT.
+
+Correctness is asserted alongside speed: sampled run outputs must be
+bitwise identical to the standalone workflow entry point in both arms,
+and the completion order must be identical between arms (gang batching
+may not perturb the schedule).  A separate cold mini-burst exercises the
+fusion path itself — cold estimates parked and flushed as one stacked
+MCMC block — and exports the gang-size histogram as a CI artifact.
 
 Wall-clock timestamps appear only in this benchmark; nothing inside
 ``repro.service`` reads a wall clock (scheduling runs on the virtual
@@ -25,11 +33,18 @@ is exported as a Chrome trace to ``benchmarks/output/`` for CI upload.
 
 from __future__ import annotations
 
+import json
 import time
 
 from repro.obs import Observability, chrome_trace_json
 from repro.perf import MemoCache
-from repro.service import COMPLETED, RunGateway, SubmitRequest, TenantConfig
+from repro.service import (
+    COMPLETED,
+    GangPolicy,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
 from repro.workflows.wastewater_rt import WastewaterRunConfig, run_wastewater_workflow
 
 #: Total submissions — the acceptance floor is 1k+ concurrent runs.
@@ -40,6 +55,10 @@ SHARDS = 12
 
 #: Distinct warm-path configs cycled across the burst.
 SEEDS = tuple(range(9300, 9308))
+
+#: PR-6 sustained throughput on this workload (gang batching did not
+#: exist yet); the gang-on arm must sustain at least 3x this.
+PR6_BASELINE_RUNS_PER_SEC = 10.9
 
 #: Four tenants with 4:2:1:1 fair-share weights, queues sized so the
 #: whole burst is admitted up front (true saturation, no backpressure).
@@ -60,30 +79,30 @@ def _percentile(sorted_values, q: float) -> float:
     return sorted_values[idx]
 
 
-def test_service_throughput_1k_runs(save_artifact, artifact_dir, update_bench_report):
-    memo = MemoCache()
-    for seed in SEEDS:  # warm the shared cache once, outside the window
-        run_wastewater_workflow(bench_config(seed), memo_cache=memo)
-
+def _run_burst(memo, gang, baselines):
+    """One saturation burst; returns the stats dict for its arm."""
     obs = Observability()
     gateway = RunGateway(
-        TENANTS, shards=SHARDS, memo_cache=memo, observability=obs
+        TENANTS, shards=SHARDS, memo_cache=memo, observability=obs, gang=gang
     )
 
     tenant_names = [t.name for t in TENANTS]
     submit_wall: dict[str, float] = {}
     finish_wall: dict[str, float] = {}
+    ticket_seed: dict[str, int] = {}
 
     t_first_submit = time.perf_counter()
     for i in range(N_RUNS):
+        seed = SEEDS[i % len(SEEDS)]
         receipt = gateway.submit(
             SubmitRequest(
                 tenant=tenant_names[i % len(tenant_names)],
-                config=bench_config(SEEDS[i % len(SEEDS)]),
+                config=bench_config(seed),
                 priority=i % 3,
             )
         )
         submit_wall[receipt.ticket] = time.perf_counter()
+        ticket_seed[receipt.ticket] = seed
     t_submitted = time.perf_counter()
 
     # Pump to completion, stamping each submission the first time it shows
@@ -99,37 +118,128 @@ def test_service_throughput_1k_runs(save_artifact, artifact_dir, update_bench_re
             finish_wall[order[seen]] = now
             seen += 1
     t_done = time.perf_counter()
-    gateway.close()
 
     counts = gateway.scheduler.counts_by_state()
     assert counts == {COMPLETED: N_RUNS}
     assert len(finish_wall) == N_RUNS
 
+    # Sampled bitwise identity: every 97th completion vs its standalone
+    # baseline (same bytes as run_wastewater_workflow's ensemble JSON).
+    for ticket in list(order)[::97]:
+        output = gateway.result(ticket).output
+        assert output["ensemble"] == baselines[ticket_seed[ticket]], (
+            f"{ticket} output diverged from standalone baseline"
+        )
+    gateway.close()
+
     window = t_done - t_first_submit
-    runs_per_sec = N_RUNS / window
     latencies = sorted(
         finish_wall[ticket] - submit_wall[ticket] for ticket in finish_wall
     )
-    p50 = _percentile(latencies, 0.50)
-    p99 = _percentile(latencies, 0.99)
+    return {
+        "obs": obs,
+        "completion_order": list(order),
+        "submit_s": t_submitted - t_first_submit,
+        "window_wall_s": window,
+        "runs_per_sec": N_RUNS / window,
+        "p50": _percentile(latencies, 0.50),
+        "p99": _percentile(latencies, 0.99),
+        "max": latencies[-1],
+        "pumps": pumps,
+        "quanta": obs.service_view()["quanta"],
+    }
 
-    view = obs.service_view()
+
+def _cold_fusion_burst(artifact_dir):
+    """Small cold burst that actually parks+flushes fused MCMC blocks.
+
+    The 1k-run arms execute against a warm memo (analyze-level hits), so
+    gang *formation* happens every tick but no estimator payloads park.
+    This burst runs cold, where fusion pays: concurrent runs' estimates
+    flush as one stacked block.  Exports the gang-size histogram.
+    """
+    obs = Observability()
+    gateway = RunGateway(
+        [TenantConfig("epi", weight=2.0, max_queued=16, max_running=8)],
+        shards=8,
+        observability=obs,
+        gang=GangPolicy(max_gang=8),
+    )
+    for seed in range(9400, 9406):
+        gateway.submit(
+            SubmitRequest(tenant="epi", config=bench_config(seed))
+        )
+    t0 = time.perf_counter()
+    gateway.drain(max_ticks=100000)
+    cold_window = time.perf_counter() - t0
+    assert gateway.scheduler.counts_by_state() == {COMPLETED: 6}
+    gateway.close()
+
+    gang_view = obs.service_view()["gang"]
+    assert gang_view["gangs"] > 0
+    assert gang_view["fused_payloads"] > 0, "cold burst never fused a flush"
+    histogram_path = artifact_dir / "gang_size_histogram.json"
+    histogram_path.write_text(json.dumps(gang_view, indent=2) + "\n")
+    return gang_view, cold_window, histogram_path
+
+
+def test_service_throughput_1k_runs(save_artifact, artifact_dir, update_bench_report):
+    memo = MemoCache()
+    baselines = {}
+    for seed in SEEDS:  # warm the shared cache once, outside the window
+        result = run_wastewater_workflow(bench_config(seed), memo_cache=memo)
+        baselines[seed] = result.ensemble.to_json(include_samples=True)
+
+    off = _run_burst(memo, gang=None, baselines=baselines)
+    on = _run_burst(memo, gang=GangPolicy(max_gang=8), baselines=baselines)
+
+    # Gang batching must not perturb the schedule: identical completion
+    # order, submission for submission, with gangs on and off.
+    assert on["completion_order"] == off["completion_order"]
+
+    gang_view, cold_window, histogram_path = _cold_fusion_burst(artifact_dir)
+
     trace_path = artifact_dir / "service_tenant_trace.json"
-    trace_path.write_text(chrome_trace_json(obs.tracer, zero_wall=True) + "\n")
+    trace_path.write_text(chrome_trace_json(on["obs"].tracer, zero_wall=True) + "\n")
 
+    speedup_vs_pr6 = on["runs_per_sec"] / PR6_BASELINE_RUNS_PER_SEC
     lines = [
         "Run-gateway throughput (warm memo, saturation burst)",
         "====================================================",
         f"submissions:             {N_RUNS} across {len(TENANTS)} tenants",
-        f"shards / pumps:          {SHARDS} / {pumps}",
-        f"submit phase:            {t_submitted - t_first_submit:6.2f} s",
-        f"total window:            {window:6.2f} s",
-        f"sustained throughput:    {runs_per_sec:6.1f} runs/s",
-        f"latency p50 / p99 / max: {p50:5.2f} / {p99:5.2f} / {latencies[-1]:5.2f} s",
-        f"quanta stepped:          {view['quanta']}",
+        f"shards:                  {SHARDS}",
+        "",
+        f"gang off:                {off['runs_per_sec']:6.1f} runs/s "
+        f"(window {off['window_wall_s']:.2f} s, pumps {off['pumps']})",
+        f"gang on (max_gang=8):    {on['runs_per_sec']:6.1f} runs/s "
+        f"(window {on['window_wall_s']:.2f} s, pumps {on['pumps']})",
+        f"vs PR-6 baseline:        {speedup_vs_pr6:6.2f}x "
+        f"({PR6_BASELINE_RUNS_PER_SEC} runs/s)",
+        f"latency p50/p99/max:     {on['p50']:5.2f} / {on['p99']:5.2f} / "
+        f"{on['max']:5.2f} s (gang on)",
+        f"completion order:        identical across arms ({N_RUNS} runs)",
+        "",
+        f"cold fusion burst:       6 runs in {cold_window:.2f} s, "
+        f"{gang_view['gangs']} gangs, fill ratio {gang_view['fill_ratio']}",
+        f"fused/solo payloads:     {gang_view['fused_payloads']} / "
+        f"{gang_view['solo_payloads']}",
+        f"gang-size histogram:     {histogram_path.name}",
         f"per-tenant trace:        {trace_path.name}",
     ]
     save_artifact("service_throughput", "\n".join(lines))
+
+    def arm_payload(arm):
+        return {
+            "window_wall_s": round(arm["window_wall_s"], 3),
+            "sustained_runs_per_sec": round(arm["runs_per_sec"], 2),
+            "submit_to_first_result_s": {
+                "p50": round(arm["p50"], 4),
+                "p99": round(arm["p99"], 4),
+                "max": round(arm["max"], 4),
+            },
+            "pumps": arm["pumps"],
+            "quanta": arm["quanta"],
+        }
 
     update_bench_report(
         "service_throughput",
@@ -143,25 +253,24 @@ def test_service_throughput_1k_runs(save_artifact, artifact_dir, update_bench_re
                 "goldstein_iterations": 100,
                 "memo": "warm shared cache",
             },
-            "window_wall_s": round(window, 3),
-            "sustained_runs_per_sec": round(runs_per_sec, 2),
-            "submit_to_first_result_s": {
-                "p50": round(p50, 4),
-                "p99": round(p99, 4),
-                "max": round(latencies[-1], 4),
-            },
-            "scheduler": {
-                "pumps": pumps,
-                "quanta": view["quanta"],
-                "completed": view["completed"],
+            "gang_off": arm_payload(off),
+            "gang_on": arm_payload(on),
+            "pr6_baseline_runs_per_sec": PR6_BASELINE_RUNS_PER_SEC,
+            "speedup_vs_pr6": round(speedup_vs_pr6, 2),
+            "completion_order_identical": True,
+            "cold_fusion_burst": {
+                "runs": 6,
+                "window_wall_s": round(cold_window, 3),
+                "gang": gang_view,
             },
             "note": (
                 "all submissions enqueued up front; p99 latency is the "
-                "queueing delay at saturation"
+                "queueing delay at saturation; sampled outputs asserted "
+                "bitwise identical to standalone in both arms"
             ),
         },
     )
 
-    # Floor, not a target: warm runs are ~70 ms, so even serial execution
-    # over the shard pool clears a few runs per second.
-    assert runs_per_sec > 2.0
+    # Acceptance: the gang-on arm must sustain at least 3x the PR-6
+    # baseline on the same 1k-run four-tenant burst.
+    assert on["runs_per_sec"] >= 3.0 * PR6_BASELINE_RUNS_PER_SEC

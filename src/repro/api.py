@@ -53,6 +53,7 @@ from repro.obs import (
 from repro.perf import MemoCache
 from repro.service import (
     CancelResponse,
+    GangPolicy,
     ResultResponse,
     RunGateway,
     RunScheduler,
@@ -119,6 +120,7 @@ __all__ = [
     # run service
     "RunGateway",
     "RunScheduler",
+    "GangPolicy",
     "TenantConfig",
     "SubmitRequest",
     "SubmitReceipt",

@@ -315,18 +315,27 @@ def _parse_tenant_specs(spec: str):
 
 def _cmd_serve_sim(args: argparse.Namespace) -> str:
     from repro.common.tabulate import format_table
-    from repro.service import RunGateway
+    from repro.service import GangPolicy, RunGateway
     from repro.state import JsonlRunStore
 
+    if args.kernel_backend == "process":
+        from repro.perf import get_shared_pool
+        from repro.rt.kernels import install_kernel_pool
+
+        install_kernel_pool(get_shared_pool(args.kernel_workers))
+    gang = GangPolicy(max_gang=args.max_gang) if args.gang else None
     store = JsonlRunStore(args.store)
     service_id = args.service_run or _latest_service_run_id(store)
     if service_id is None:
         gateway = RunGateway(
-            _parse_tenant_specs(args.tenants), shards=args.shards, run_store=store
+            _parse_tenant_specs(args.tenants),
+            shards=args.shards,
+            run_store=store,
+            gang=gang,
         )
         lines = [f"created service run {gateway.service_run_id}"]
     else:
-        gateway = RunGateway.recover(store, service_id)
+        gateway = RunGateway.recover(store, service_id, gang=gang)
         lines = [f"recovered service run {service_id}"]
     ticks = gateway.drain(max_ticks=args.max_ticks)
     statuses = gateway.list_runs()
@@ -490,6 +499,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-run", default=None, help="service run id (default: latest)"
     )
     pss.add_argument("--max-ticks", type=int, default=100000)
+    pss.add_argument(
+        "--gang",
+        action="store_true",
+        help="fuse compatible concurrent runs into one vectorized MCMC block",
+    )
+    pss.add_argument(
+        "--max-gang", type=int, default=8, help="fairness window: max runs per gang"
+    )
+    pss.add_argument(
+        "--kernel-backend",
+        choices=["serial", "process"],
+        default="serial",
+        help="batched-kernel backend (process = shared-memory worker pool)",
+    )
+    pss.add_argument(
+        "--kernel-workers", type=int, default=2, help="process-backend pool width"
+    )
     pss.set_defaults(fn=_cmd_serve_sim)
 
     pq = sub.add_parser(

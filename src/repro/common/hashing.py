@@ -12,6 +12,8 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import threading
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
@@ -20,20 +22,52 @@ from repro.common.errors import ValidationError
 
 CHECKSUM_ALGORITHM = "sha256"
 
+#: Bounds for the string-keyed checksum cache: service workloads hash the
+#: same artifact text many times (ingest, version lookup, provenance), so
+#: repeats are common — but keys are whole payloads, so both entry count
+#: and total retained bytes are capped.
+_CHECKSUM_CACHE_ENTRIES = 512
+_CHECKSUM_CACHE_BYTES = 32 * 1024 * 1024
+
+_checksum_cache: "OrderedDict[str, str]" = OrderedDict()
+_checksum_cache_bytes = 0
+_checksum_lock = threading.Lock()
+
 
 def content_checksum(data: bytes | str) -> str:
     """SHA-256 hex digest of raw content.
 
     Strings are encoded as UTF-8.  This is the checksum recorded in AERO
-    ``DataVersion`` records.
+    ``DataVersion`` records.  String inputs are memoized in a bounded
+    FIFO cache keyed on the exact text — ingestion and provenance paths
+    checksum the same artifact content repeatedly, and the cache turns
+    those repeats into a dict hit instead of a fresh SHA-256 pass.
     """
-    if isinstance(data, str):
-        data = data.encode("utf-8")
+    global _checksum_cache_bytes
+    text_key = data if isinstance(data, str) else None
+    if text_key is not None:
+        with _checksum_lock:
+            cached = _checksum_cache.get(text_key)
+        if cached is not None:
+            return cached
+        data = text_key.encode("utf-8")
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise ValidationError(
             f"content_checksum expects bytes or str, got {type(data).__name__}"
         )
-    return hashlib.sha256(bytes(data)).hexdigest()
+    digest = hashlib.sha256(bytes(data)).hexdigest()
+    if text_key is not None and len(text_key) <= _CHECKSUM_CACHE_BYTES:
+        with _checksum_lock:
+            if text_key not in _checksum_cache:
+                _checksum_cache[text_key] = digest
+                _checksum_cache_bytes += len(text_key)
+                while (
+                    len(_checksum_cache) > _CHECKSUM_CACHE_ENTRIES
+                    or _checksum_cache_bytes > _CHECKSUM_CACHE_BYTES
+                ):
+                    evicted, _ = _checksum_cache.popitem(last=False)
+                    _checksum_cache_bytes -= len(evicted)
+    return digest
 
 
 def _canonicalize(value: Any) -> Any:

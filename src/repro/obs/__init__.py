@@ -65,6 +65,8 @@ __all__ = [
     "PERF_KEYS",
     "SERVICE_KEYS",
     "SERVICE_TICK_BOUNDS",
+    "GANG_KEYS",
+    "GANG_SIZE_BOUNDS",
     "DEFAULT_DAY_BOUNDS",
     "DEFAULT_SIZE_BOUNDS",
 ]
@@ -107,6 +109,13 @@ SERVICE_TICK_BOUNDS = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
     200.0, 500.0, 1000.0, 2000.0, 5000.0,
 )
+
+#: Integer counter keys of the gang-batching section of ``service_view``;
+#: stored under ``service.gang.<key>``.
+GANG_KEYS = ("gangs", "members", "flushes", "fused_payloads", "solo_payloads")
+
+#: Bucket edges (members per gang) for the gang-size histogram.
+GANG_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 
 class Observability:
@@ -218,6 +227,25 @@ class Observability:
         view["time_in_queue"] = self.metrics.histogram(
             "service.time_in_queue", SERVICE_TICK_BOUNDS
         ).as_dict()
+        gang: Dict[str, object] = {
+            key: int(self.metrics.counter_value(f"service.gang.{key}"))
+            for key in GANG_KEYS
+        }
+        capacity = self.metrics.counter_value("service.gang.capacity")
+        members = gang["members"]
+        gang["fill_ratio"] = (
+            round(float(members) / float(capacity), 4) if capacity else 0.0
+        )
+        gang["batched_wall_s"] = round(
+            float(self.metrics.counter_value("service.gang.batched_wall_s")), 6
+        )
+        gang["solo_wall_s"] = round(
+            float(self.metrics.counter_value("service.gang.solo_wall_s")), 6
+        )
+        gang["size"] = self.metrics.histogram(
+            "service.gang.size", GANG_SIZE_BOUNDS
+        ).as_dict()
+        view["gang"] = gang
         return view
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

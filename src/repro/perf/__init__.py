@@ -1,7 +1,7 @@
 """Deterministic parallel evaluation and content-addressed memoization.
 
 The paper's workflows spend essentially all their compute in repeated model
-evaluations.  This package provides the two primitives that make those
+evaluations.  This package provides the primitives that make those
 evaluations fast without changing a single output bit:
 
 - :class:`~repro.perf.executor.ParallelEvaluator` — evaluates a batch of
@@ -13,15 +13,30 @@ evaluations fast without changing a single output bit:
   :func:`repro.common.hashing.stable_digest` over (function id, payload,
   seed) that short-circuits repeated evaluations across GSA replicates,
   retry re-executions, and convergence sweeps.
+- :class:`~repro.perf.fusion.FusionContext` — the cross-run fusion seam
+  behind service gang batching: co-advancing runs park estimator payloads
+  and flush them as one stacked, bitwise-identical batch.
+- :class:`~repro.perf.shm.SharedKernelPool` — a shared-memory process
+  pool for row-chunked kernel evaluation (deterministic chunk→worker
+  assignment, serial fallback), installable via
+  ``RuntimeConfig(kernel_backend="process")``.
 """
 
 from repro.perf.executor import EvaluationFailure, ParallelEvaluator
+from repro.perf.fusion import FusionContext, current_fusion, fusion_scope
 from repro.perf.memo import MemoCache, memo_salt, memoize_evaluator
+from repro.perf.shm import SharedKernelPool, get_shared_pool, shared_memory_available
 
 __all__ = [
     "EvaluationFailure",
+    "FusionContext",
     "MemoCache",
     "ParallelEvaluator",
+    "SharedKernelPool",
+    "current_fusion",
+    "fusion_scope",
+    "get_shared_pool",
     "memo_salt",
     "memoize_evaluator",
+    "shared_memory_available",
 ]

@@ -1,0 +1,205 @@
+"""Cross-run fusion contexts: the mechanism behind service gang batching.
+
+The run gateway steps many concurrent runs, each on its own private
+simulated clock.  Compatible runs (same kernel shape) could share one
+stacked sampler invocation — but each run discovers its estimator calls
+*while* its event loop is advancing, and an event callback cannot yield
+mid-computation.  A :class:`FusionContext` resolves this with a uniform
+harvest/flush protocol over a gang of member runs:
+
+1. A member's estimator call computes content keys for its payloads.  If
+   every key is already in the gang store, the call returns immediately.
+2. Otherwise the member parks its payloads in the context's pending list
+   and *advances every gang-mate that has not run yet* — giving each the
+   chance to park its own payloads.  Member advancement is re-entrancy
+   guarded, so the peer cascade visits every member exactly once no
+   matter which frame triggers it.
+3. After the cascade, whichever frame still misses one of its keys
+   flushes **all** still-missing pending payloads as one settled batch
+   and stores each payload's result (or captured exception) under its
+   key.  The flush runs with the fusion scope suspended, so the batch
+   evaluator's internal fallbacks cannot re-enter the context.
+4. The member reads its own results out of the store, re-raising its own
+   stored exception if evaluation failed.
+
+Because the batch evaluator honors the row-identity contract (row *b* of
+a stacked evaluation is bitwise identical to evaluating payload *b*
+alone — see ``repro.rt.kernels``), fused results are bitwise identical
+to solo execution; the context only changes *when* compute happens, not
+what it produces.
+
+The active context is module state rather than a parameter because the
+fusion seam sits several layers below the scheduler (inside estimator
+functions that must keep their public signatures); the simulation stack
+is single-threaded, so a scoped global is unambiguous.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import stable_digest
+
+__all__ = [
+    "FusionContext",
+    "GangMember",
+    "current_fusion",
+    "fusion_scope",
+]
+
+#: Outcome tags used in the gang store and settled-batch protocols: a
+#: settled evaluator returns one ``(OUTCOME_OK, value)`` or
+#: ``(OUTCOME_ERROR, exception)`` pair per payload, never raising for a
+#: single payload's failure.
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "err"
+
+
+class GangMember:
+    """One run's advance thunk inside a fusion gang.
+
+    ``run()`` is idempotent: a member that is already advancing (its
+    frame is live on the stack) or has finished is skipped, which is
+    what lets any member trigger the peer cascade safely.
+    """
+
+    IDLE = "idle"
+    ACTIVE = "active"
+    DONE = "done"
+
+    __slots__ = ("name", "_advance", "state", "outcome")
+
+    def __init__(self, name: str, advance: Callable[[], Any]) -> None:
+        self.name = name
+        self._advance = advance
+        self.state = self.IDLE
+        #: ``(OUTCOME_OK, return_value)`` or ``(OUTCOME_ERROR, exception)``
+        #: once the member has run.  Exceptions are captured here rather
+        #: than propagated so one member's failure (including a kill
+        #: switch firing) never unwinds through a gang-mate's frame.
+        self.outcome: Optional[Tuple[str, Any]] = None
+
+    def run(self) -> None:
+        if self.state != self.IDLE:
+            return
+        self.state = self.ACTIVE
+        try:
+            self.outcome = (OUTCOME_OK, self._advance())
+        except Exception as exc:
+            self.outcome = (OUTCOME_ERROR, exc)
+        finally:
+            self.state = self.DONE
+
+
+class FusionContext:
+    """Shared store + pending list for one gang of co-advancing runs."""
+
+    def __init__(self) -> None:
+        self._members: List[GangMember] = []
+        self._store: Dict[str, Tuple[str, Any]] = {}
+        self._pending: List[Tuple[str, Any]] = []
+        self._pending_keys: set = set()
+        #: Size of every flushed batch, in flush order — the gang's
+        #: fusion quality signal (sizes ≥ 2 were actually batched).
+        self.flush_sizes: List[int] = []
+
+    # ------------------------------------------------------------- membership
+    def add_member(self, name: str, advance: Callable[[], Any]) -> GangMember:
+        """Register a member run's advance thunk; returns its record."""
+        member = GangMember(name, advance)
+        self._members.append(member)
+        return member
+
+    def run_members(self) -> None:
+        """Advance every member that has not advanced yet (idempotent)."""
+        for member in self._members:
+            member.run()
+
+    # ------------------------------------------------------------- evaluation
+    @staticmethod
+    def payload_key(payload: Any) -> str:
+        """Content key a payload's result is stored under."""
+        return stable_digest(payload)
+
+    def evaluate(
+        self,
+        payloads: Sequence[Any],
+        settled_batch: Callable[[Sequence[Any]], Sequence[Tuple[str, Any]]],
+    ) -> List[Any]:
+        """Evaluate ``payloads`` through the gang, fusing with peers.
+
+        ``settled_batch`` evaluates a batch of payloads and returns one
+        ``(OUTCOME_OK, result) | (OUTCOME_ERROR, exception)`` pair per
+        payload.  Whichever member flushes evaluates *everything* pending
+        at that moment with its own ``settled_batch`` — all members of a
+        gang must therefore share one payload protocol (they do: gangs
+        are formed from same-workflow runs only).
+
+        Returns results in payload order; raises the stored exception of
+        the first failed payload.
+        """
+        keys = [self.payload_key(payload) for payload in payloads]
+        if any(key not in self._store for key in keys):
+            for key, payload in zip(keys, payloads):
+                if key not in self._store and key not in self._pending_keys:
+                    self._pending.append((key, payload))
+                    self._pending_keys.add(key)
+            # Give every gang-mate the chance to park its payloads before
+            # anything is computed.
+            self.run_members()
+            if any(key not in self._store for key in keys):
+                self._flush(settled_batch)
+        results = []
+        for key in keys:
+            status, value = self._store[key]
+            if status == OUTCOME_ERROR:
+                raise value
+            results.append(value)
+        return results
+
+    def _flush(
+        self,
+        settled_batch: Callable[[Sequence[Any]], Sequence[Tuple[str, Any]]],
+    ) -> None:
+        missing = [(key, p) for key, p in self._pending if key not in self._store]
+        self._pending = []
+        self._pending_keys.clear()
+        if not missing:
+            return
+        # Suspend the fusion scope: the settled evaluator (and any
+        # per-payload fallback inside it) must compute, not re-enter.
+        with fusion_scope(None):
+            outcomes = list(settled_batch([payload for _, payload in missing]))
+        if len(outcomes) != len(missing):
+            raise ValidationError(
+                f"settled batch returned {len(outcomes)} outcomes "
+                f"for {len(missing)} payloads"
+            )
+        for (key, _), outcome in zip(missing, outcomes):
+            self._store[key] = outcome
+        self.flush_sizes.append(len(missing))
+
+
+#: The active fusion context (None outside a gang).  Scoped module state:
+#: the simulation stack is single-threaded and the seam is several call
+#: layers below the scheduler.
+_ACTIVE: Optional[FusionContext] = None
+
+
+def current_fusion() -> Optional[FusionContext]:
+    """The fusion context the current call runs under, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def fusion_scope(ctx: Optional[FusionContext]):
+    """Activate ``ctx`` (or suspend fusion with ``None``) for a block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,307 @@
+"""Shared-memory process-pool backend for row-chunked kernel evaluation.
+
+The batched renewal/FFT kernels in :mod:`repro.rt.kernels` obey the
+row-identity contract: row ``b`` of a batched call is bitwise identical
+to the same row evaluated alone.  That makes the batch dimension safe to
+*partition* — contiguous row chunks evaluated in separate worker
+processes produce exactly the bytes the single-process call would — so a
+process pool can be offered as a drop-in kernel backend with zero
+numerical risk.
+
+:class:`SharedKernelPool` implements that backend on
+``multiprocessing.shared_memory``: input and output blocks live in named
+shared-memory segments (no pickling of array payloads), each worker owns
+a private task queue, and chunk ``i`` always goes to worker
+``i % workers`` — a deterministic assignment, so scheduling never
+depends on worker timing.  When shared memory is unavailable (platform,
+sandbox, or a worker death), callers fall back to the serial in-process
+kernel path; the pool never raises into kernel code.
+
+Select it per run with ``RuntimeConfig(kernel_backend="process")`` (see
+:mod:`repro.sim.loop`) or install it directly with
+:func:`repro.rt.kernels.install_kernel_pool`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedKernelPool",
+    "get_shared_pool",
+    "shared_memory_available",
+]
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can allocate here."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - py<3.8 or trimmed stdlib
+        return False
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed /dev/shm
+        return False
+    segment.close()
+    segment.unlink()
+    return True
+
+
+def _apply_op(op: str, block: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+    """Evaluate one kernel op on a row block (used by workers and tests).
+
+    Kernels are imported lazily so this module (imported by
+    ``repro.perf``) never creates an import cycle with ``repro.rt``.
+    """
+    if op == "renewal":
+        from repro.rt.kernels import renewal_forward_batch
+
+        return renewal_forward_batch(
+            block,
+            np.asarray(params["generation_interval"], dtype=float),
+            seed_days=int(params["seed_days"]),
+            seed_incidence=float(params["seed_incidence"]),
+        )
+    if op == "convolve":
+        from repro.rt.kernels import CausalConvolution
+
+        conv = CausalConvolution(
+            np.asarray(params["kernel"], dtype=float), int(params["out_len"])
+        )
+        return conv.apply(block)
+    raise ValueError(f"unknown kernel op {op!r}")
+
+
+def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - subprocess
+    """Worker loop: evaluate row chunks out of shared memory."""
+    from multiprocessing import shared_memory
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        task_id, op, names, in_shape, out_shape, lo, hi, params_blob = task
+        try:
+            params = pickle.loads(params_blob)
+            shm_in = shared_memory.SharedMemory(name=names[0])
+            shm_out = shared_memory.SharedMemory(name=names[1])
+            try:
+                block_in = np.ndarray(in_shape, dtype=np.float64, buffer=shm_in.buf)
+                block_out = np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
+                chunk = np.array(block_in[lo:hi])  # private copy: no false sharing
+                block_out[lo:hi] = _apply_op(op, chunk, params)
+            finally:
+                shm_in.close()
+                shm_out.close()
+            result_queue.put((task_id, lo, None))
+        except Exception as exc:
+            result_queue.put((task_id, lo, f"{type(exc).__name__}: {exc}"))
+
+
+class SharedKernelPool:
+    """Process pool evaluating kernel row-chunks through shared memory.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (and the modulus of the deterministic
+        chunk→worker assignment).
+    min_rows:
+        Batches smaller than this stay on the serial in-process path —
+        below it the shared-memory round trip costs more than the rows.
+    timeout_s:
+        Per-chunk result timeout; a worker missing it marks the pool
+        broken and the call falls back to serial evaluation.
+    """
+
+    def __init__(
+        self, workers: int = 2, *, min_rows: int = 64, timeout_s: float = 30.0
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.min_rows = max(1, int(min_rows))
+        self.timeout_s = float(timeout_s)
+        self._procs: List[Any] = []
+        self._task_queues: List[Any] = []
+        self._result_queue: Optional[Any] = None
+        self._started = False
+        self._broken = False
+        self._task_counter = 0
+        self._segment_counter = 0
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def running(self) -> bool:
+        """True while the pool has live workers and no failures."""
+        return self._started and not self._broken
+
+    def start(self) -> bool:
+        """Spawn the workers (idempotent); False when unavailable."""
+        if self._started:
+            return not self._broken
+        if not shared_memory_available():
+            self._broken = True
+            self._started = True
+            return False
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context()
+            self._result_queue = ctx.Queue()
+            for _ in range(self.workers):
+                queue = ctx.Queue()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(queue, self._result_queue),
+                    daemon=True,
+                )
+                proc.start()
+                self._task_queues.append(queue)
+                self._procs.append(proc)
+        except (OSError, ValueError):  # pragma: no cover - fork refused
+            self._broken = True
+            self._started = True
+            return False
+        self._started = True
+        return True
+
+    def close(self) -> None:
+        """Stop the workers; the pool cannot be restarted."""
+        for queue in self._task_queues:
+            try:
+                queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._procs = []
+        self._task_queues = []
+        self._broken = True
+
+    # ---------------------------------------------------------------- dispatch
+    def _chunks(self, n_rows: int) -> List[Tuple[int, int]]:
+        """Contiguous row ranges, one per worker (empty ranges dropped)."""
+        bounds = np.linspace(0, n_rows, self.workers + 1).astype(int)
+        return [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(self.workers)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    def run(
+        self,
+        op: str,
+        batch: np.ndarray,
+        params: Dict[str, Any],
+        *,
+        out_cols: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Evaluate ``op`` over ``batch`` rows in the pool.
+
+        Returns the assembled ``(B, out_cols or T)`` result, or ``None``
+        when the caller should evaluate serially instead (small batch,
+        pool unavailable, or a worker failure — never an exception).
+        """
+        batch = np.ascontiguousarray(batch, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[0] < self.min_rows:
+            return None
+        if not self.start():
+            return None
+        n_rows, n_cols = batch.shape
+        out_shape = (n_rows, int(out_cols) if out_cols is not None else n_cols)
+
+        from multiprocessing import shared_memory
+
+        self._segment_counter += 1
+        tag = f"repro-{os.getpid()}-{self._segment_counter}"
+        try:
+            shm_in = shared_memory.SharedMemory(
+                create=True, size=batch.nbytes, name=f"{tag}-in"
+            )
+            shm_out = shared_memory.SharedMemory(
+                create=True,
+                size=int(np.prod(out_shape)) * 8,
+                name=f"{tag}-out",
+            )
+        except (OSError, PermissionError):  # pragma: no cover - shm exhausted
+            self._broken = True
+            return None
+        try:
+            np.ndarray(batch.shape, dtype=np.float64, buffer=shm_in.buf)[:] = batch
+            out_view = np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
+
+            params_blob = pickle.dumps(params)
+            chunks = self._chunks(n_rows)
+            pending = set()
+            for i, (lo, hi) in enumerate(chunks):
+                self._task_counter += 1
+                task_id = self._task_counter
+                pending.add(task_id)
+                # Deterministic assignment: chunk i → worker i % workers.
+                self._task_queues[i % self.workers].put(
+                    (
+                        task_id,
+                        op,
+                        (shm_in.name, shm_out.name),
+                        batch.shape,
+                        out_shape,
+                        lo,
+                        hi,
+                        params_blob,
+                    )
+                )
+            import queue as queue_mod
+
+            while pending:
+                try:
+                    task_id, _, error = self._result_queue.get(
+                        timeout=self.timeout_s
+                    )
+                except queue_mod.Empty:  # pragma: no cover - worker hang
+                    self._broken = True
+                    return None
+                if error is not None:
+                    self._broken = True
+                    return None
+                pending.discard(task_id)
+            return np.array(out_view)  # private copy before unlinking
+        finally:
+            shm_in.close()
+            shm_out.close()
+            try:
+                shm_in.unlink()
+                shm_out.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+
+#: Process-wide pool singletons, one per worker count — workers are the
+#: expensive resource, so every run configured for the same width shares
+#: one pool.
+_POOLS: Dict[int, SharedKernelPool] = {}
+
+
+def get_shared_pool(workers: int = 2) -> SharedKernelPool:
+    """The process-wide :class:`SharedKernelPool` for ``workers`` workers."""
+    workers = max(1, int(workers))
+    pool = _POOLS.get(workers)
+    if pool is None or (pool._started and pool._broken):
+        pool = SharedKernelPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _close_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _POOLS.values():
+        try:
+            pool.close()
+        except Exception:
+            pass

@@ -61,6 +61,7 @@ from repro.common.timeseries import TimeSeries
 from repro.common.validation import check_int, check_positive
 from repro.models.seir import discretized_gamma
 from repro.perf.executor import ParallelEvaluator
+from repro.perf.fusion import OUTCOME_ERROR, OUTCOME_OK, current_fusion
 from repro.perf.memo import MemoCache
 from repro.rt.estimate import RtEstimate, interleave_chain_draws
 from repro.rt.kernels import CausalConvolution, KnotInterpolator, renewal_forward_batch
@@ -422,6 +423,11 @@ def estimate_rt_goldstein(
         posterior R(t) draws attached for ensemble pooling.
     """
     cfg = config if config is not None else GoldsteinConfig()
+    fusion = current_fusion()
+    if fusion is not None:
+        payload = _fusion_payload(observations, cfg, seed, meta)
+        if payload is not None:
+            return fusion.evaluate([payload], _payload_estimate_settled)[0]
     model = _ForwardModel(observations, cfg)
     use_vectorized = vectorized if vectorized is not None else cfg.n_chains > 1
     x0, rngs = _chain_inputs(model, cfg, seed)
@@ -460,60 +466,153 @@ def _payload_estimate(payload: Mapping) -> RtEstimate:
     )
 
 
-def _payload_estimate_batch(payloads: Sequence[Mapping]) -> List[RtEstimate]:
-    """Vectorized evaluator: every series' chains in stacked sampler runs.
+def _fusion_payload(
+    observations: TimeSeries,
+    cfg: "GoldsteinConfig",
+    seed: int,
+    meta: Optional[dict],
+) -> Optional[dict]:
+    """The serialized-payload form of one estimate call, for gang fusion.
 
-    Series are grouped by forward-model structure signature; each group runs
-    as **one** :class:`~repro.rt.mcmc.VectorizedAdaptiveMetropolis`
-    invocation over a ``(n_series · n_chains, dim)`` block through a
-    :class:`_StackedPosterior` (shared renewal/convolution kernels).  Because
-    every row is bitwise identical to the standalone evaluation, this is
-    observably equivalent to ``[_payload_estimate(p) for p in payloads]`` —
-    the contract :class:`~repro.perf.executor.ParallelEvaluator` requires of
-    a ``batch_fn`` — just much faster.
+    Returns ``None`` — caller falls back to solo evaluation — when the
+    series does not round-trip CSV serialization bit-for-bit (fused
+    evaluation parses payloads back from CSV, so a lossy round trip
+    would break the bitwise-identity contract).  Workflow series always
+    round-trip: they were themselves parsed from CSV artifacts, and
+    decimal→double→``.10g`` is the identity on such values.
     """
-    entries = []
-    for payload in payloads:
-        series = TimeSeries.from_csv(payload["series_csv"], name=str(payload["name"]))
-        cfg = GoldsteinConfig(**payload["config"])
-        entries.append((payload, cfg, _ForwardModel(series, cfg)))
+    if not isinstance(observations.name, str):
+        return None
+    csv_text = observations.to_csv()
+    round_trip = TimeSeries.from_csv(csv_text, name=observations.name)
+    if round_trip.times.tobytes() != observations.times.tobytes():
+        return None
+    a, b = round_trip.values, observations.values
+    if a.dtype != np.float64 or b.dtype != np.float64 or a.shape != b.shape:
+        return None
+    # Bitwise equal, except NaN payload bits (non-finite samples all
+    # serialize as missing, and the model drops them either way).
+    same = (a.view(np.uint64) == b.view(np.uint64)) | (np.isnan(a) & np.isnan(b))
+    if not bool(same.all()):
+        return None
+    return {
+        "name": observations.name,
+        "series_csv": csv_text,
+        "config": dataclasses.asdict(cfg),
+        "seed": int(seed),
+        "meta": dict(meta) if meta else {},
+    }
 
-    # Group by (config, structure) — only structurally identical forward
-    # models can share kernels inside one stacked block.
+
+def _payload_estimate_settled(
+    payloads: Sequence[Mapping],
+) -> List[Tuple[str, object]]:
+    """Stacked evaluation with per-payload settled outcomes.
+
+    The core of both :func:`_payload_estimate_batch` and gang fusion:
+    series are grouped by (config, forward-model structure signature) —
+    only structurally identical models can share kernels inside one
+    stacked block — and each group runs as **one**
+    :class:`~repro.rt.mcmc.VectorizedAdaptiveMetropolis` invocation over
+    a ``(n_series · n_chains, dim)`` block through a
+    :class:`_StackedPosterior`.  Row identity makes every row bitwise
+    identical to standalone evaluation.
+
+    Returns one ``(OUTCOME_OK, estimate) | (OUTCOME_ERROR, exception)``
+    pair per payload: a malformed payload, a failed group, or a
+    convergence-gated assembly poisons only its own payloads, which is
+    what lets one gang member's failure leave its gang-mates' results
+    intact.
+    """
+    outcomes: List[Optional[Tuple[str, object]]] = [None] * len(payloads)
+    entries: Dict[int, Tuple[Mapping, GoldsteinConfig, _ForwardModel]] = {}
+    for i, payload in enumerate(payloads):
+        try:
+            series = TimeSeries.from_csv(
+                payload["series_csv"], name=str(payload["name"])
+            )
+            cfg = GoldsteinConfig(**payload["config"])
+            entries[i] = (payload, cfg, _ForwardModel(series, cfg))
+        except Exception as exc:
+            outcomes[i] = (OUTCOME_ERROR, exc)
+
     groups: Dict[Tuple, List[int]] = {}
-    for i, (payload, cfg, model) in enumerate(entries):
+    for i, (payload, cfg, model) in entries.items():
         key = (tuple(sorted(payload["config"].items())), model.structure_signature())
         groups.setdefault(key, []).append(i)
 
-    results: List[Optional[RtEstimate]] = [None] * len(payloads)
     for indices in groups.values():
         group = [entries[i] for i in indices]
         cfg = group[0][1]
         models = [model for _, _, model in group]
         n_chains = cfg.n_chains
         dim = models[0].dim
-        x0 = np.empty((len(group) * n_chains, dim))
-        rngs: List[np.random.Generator] = []
-        for p, (payload, _, model) in enumerate(group):
-            block_x0, block_rngs = _chain_inputs(model, cfg, payload["seed"])
-            x0[p * n_chains : (p + 1) * n_chains] = block_x0
-            rngs.extend(block_rngs)
-        sampler = VectorizedAdaptiveMetropolis(
-            _StackedPosterior(models, n_chains), dim=dim
-        )
-        block = sampler.run(
-            x0, cfg.n_iterations, rngs, warmup_fraction=cfg.warmup_fraction
-        )
+        try:
+            x0 = np.empty((len(group) * n_chains, dim))
+            rngs: List[np.random.Generator] = []
+            for p, (payload, _, model) in enumerate(group):
+                block_x0, block_rngs = _chain_inputs(model, cfg, payload["seed"])
+                x0[p * n_chains : (p + 1) * n_chains] = block_x0
+                rngs.extend(block_rngs)
+            sampler = VectorizedAdaptiveMetropolis(
+                _StackedPosterior(models, n_chains), dim=dim
+            )
+            block = sampler.run(
+                x0, cfg.n_iterations, rngs, warmup_fraction=cfg.warmup_fraction
+            )
+        except Exception as exc:
+            for i in indices:
+                outcomes[i] = (OUTCOME_ERROR, exc)
+            continue
         for p, i in enumerate(indices):
             payload, _, model = entries[i]
             rows = slice(p * n_chains, (p + 1) * n_chains)
-            results[i] = _assemble_estimate(
-                model,
-                block.chains[rows],
-                block.acceptance_rates[rows],
-                payload["meta"],
-            )
-    return results  # type: ignore[return-value]
+            try:
+                outcomes[i] = (
+                    OUTCOME_OK,
+                    _assemble_estimate(
+                        model,
+                        block.chains[rows],
+                        block.acceptance_rates[rows],
+                        payload["meta"],
+                    ),
+                )
+            except Exception as exc:
+                outcomes[i] = (OUTCOME_ERROR, exc)
+    return outcomes  # type: ignore[return-value]
+
+
+def _payload_estimate_batch(payloads: Sequence[Mapping]) -> List[RtEstimate]:
+    """Vectorized evaluator: every series' chains in stacked sampler runs.
+
+    Observably equivalent to ``[_payload_estimate(p) for p in payloads]``
+    — the contract :class:`~repro.perf.executor.ParallelEvaluator`
+    requires of a ``batch_fn`` — just much faster; see
+    :func:`_payload_estimate_settled` for the stacking.  Raises the first
+    failed payload's exception (in payload order), which triggers the
+    evaluator's per-payload fallback.
+    """
+    results: List[RtEstimate] = []
+    for status, value in _payload_estimate_settled(payloads):
+        if status == OUTCOME_ERROR:
+            raise value  # type: ignore[misc]
+        results.append(value)  # type: ignore[arg-type]
+    return results
+
+
+def _fused_estimate_batch(payloads: Sequence[Mapping]) -> List[RtEstimate]:
+    """Gang-fusing ``batch_fn``: park payloads with the active gang.
+
+    Substituted for :func:`_payload_estimate_batch` when an estimate-batch
+    call runs under a fusion context, so one run's cross-plant stack and
+    its gang-mates' stacks merge into a single sampler invocation.  If
+    the context is gone (the gang already flushed and dissolved), falls
+    through to the plain stacked evaluator.
+    """
+    fusion = current_fusion()
+    if fusion is None:
+        return _payload_estimate_batch(payloads)
+    return fusion.evaluate(list(payloads), _payload_estimate_settled)
 
 
 def estimate_rt_goldstein_batch(
@@ -580,7 +679,14 @@ def estimate_rt_goldstein_batch(
     if evaluator is None:
         evaluator = ParallelEvaluator(
             fn=_payload_estimate,
-            batch_fn=_payload_estimate_batch,
+            # Under an active gang, park uncached payloads with the
+            # fusion context instead of sampling immediately; memo keys
+            # are unchanged because the evaluator keys on ``fn``.
+            batch_fn=(
+                _fused_estimate_batch
+                if current_fusion() is not None
+                else _payload_estimate_batch
+            ),
             backend="batch",
             cache=cache,
         )

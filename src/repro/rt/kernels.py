@@ -25,6 +25,9 @@ bitwise tests in ``tests/rt/test_vectorized_mcmc.py`` and
 
 from __future__ import annotations
 
+import contextlib
+from typing import Optional
+
 import numpy as np
 
 from repro.common.errors import ValidationError
@@ -35,7 +38,44 @@ __all__ = [
     "CausalConvolution",
     "renewal_forward_batch",
     "infection_pressure_batch",
+    "install_kernel_pool",
+    "installed_kernel_pool",
+    "kernel_pool",
 ]
+
+
+#: Optional row-chunking backend for the batched kernels (duck-typed to
+#: :class:`repro.perf.shm.SharedKernelPool`): ``run(op, batch, params,
+#: out_cols=...)`` returns the assembled result or ``None`` to decline
+#: (small batch, pool unavailable) — in which case the serial in-process
+#: path runs.  Row identity makes the two paths bitwise identical.
+_KERNEL_POOL = None
+
+
+def install_kernel_pool(pool) -> Optional[object]:
+    """Install ``pool`` as the batched kernels' backend; returns the old one.
+
+    Pass ``None`` to restore the serial in-process path.
+    """
+    global _KERNEL_POOL
+    previous = _KERNEL_POOL
+    _KERNEL_POOL = pool
+    return previous
+
+
+def installed_kernel_pool():
+    """The currently installed kernel pool, if any."""
+    return _KERNEL_POOL
+
+
+@contextlib.contextmanager
+def kernel_pool(pool):
+    """Scoped :func:`install_kernel_pool` (restores the previous backend)."""
+    previous = install_kernel_pool(pool)
+    try:
+        yield pool
+    finally:
+        install_kernel_pool(previous)
 
 
 def _as_batch(x: np.ndarray) -> tuple:
@@ -112,6 +152,15 @@ class CausalConvolution:
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Convolve: ``(T,) -> (out_len,)`` or ``(B, T) -> (B, out_len)``."""
         batch, was_1d = _as_batch(x)
+        if _KERNEL_POOL is not None and not was_1d:
+            pooled = _KERNEL_POOL.run(
+                "convolve",
+                batch,
+                {"kernel": self.kernel.tolist(), "out_len": self.out_len},
+                out_cols=self.out_len,
+            )
+            if pooled is not None:
+                return pooled
         spectrum = np.fft.rfft(batch, n=self._nfft, axis=-1)
         out = np.fft.irfft(spectrum * self._kernel_rfft[None, :], n=self._nfft, axis=-1)
         out = out[:, : self.out_len]
@@ -157,6 +206,18 @@ def renewal_forward_batch(
         "generation_interval", np.asarray(generation_interval, dtype=float), ndim=1, finite=True
     )
     seed_days = check_int("seed_days", seed_days, minimum=1)
+    if _KERNEL_POOL is not None and not was_1d:
+        pooled = _KERNEL_POOL.run(
+            "renewal",
+            batch,
+            {
+                "generation_interval": w.tolist(),
+                "seed_days": seed_days,
+                "seed_incidence": float(seed_incidence),
+            },
+        )
+        if pooled is not None:
+            return pooled
     n_rows, horizon = batch.shape
     max_lag = w.size
     w_rev = w[::-1].copy()

@@ -30,6 +30,7 @@ from repro.service.drivers import (
     WastewaterDriver,
     default_drivers,
 )
+from repro.service.gang import GangBatcher, GangPolicy
 from repro.service.scheduler import (
     CANCELLED,
     COMPLETED,
@@ -54,6 +55,8 @@ from repro.service.gateway import (
 __all__ = [
     "RunGateway",
     "RunScheduler",
+    "GangPolicy",
+    "GangBatcher",
     "Submission",
     "TenantConfig",
     "SubmitRequest",

@@ -1,0 +1,156 @@
+"""Gang batching: step compatible concurrent runs as one fused block.
+
+The scheduler dispatches runs onto shards one at a time (stride fair
+share, priority lanes, quotas — unchanged), but *steps* them together:
+at each tick the :class:`GangBatcher` partitions the running set by
+compatibility key (:meth:`~repro.service.drivers.PreparedRun.gang_key`),
+windows each partition to ``max_gang`` members in dispatch order, and
+advances every gang under one :class:`~repro.perf.fusion.FusionContext`.
+Estimator calls inside the members' event loops then park their payloads
+with the context and flush as a single stacked sampler invocation (see
+:mod:`repro.perf.fusion`), so *n* compatible runs' MCMC blocks execute
+as one ``(runs × plants × chains, dim)`` block.
+
+Fairness is preserved by construction: gangs are formed *after* dispatch
+from runs that already hold shards, so admission order, stride passes,
+priority lanes and quotas are untouched — the fairness window is the
+running set itself, bounded per gang by ``max_gang``.  Outcomes are
+applied by the scheduler in original dispatch order, which keeps the
+completion order identical to ungrouped stepping.
+
+Each member's advance runs under a re-entrancy-guarded
+:class:`~repro.perf.fusion.GangMember`, and exceptions (including a
+:class:`~repro.state.KillSwitch` firing mid-gang) are captured as that
+member's outcome rather than unwinding through a gang-mate's frame — a
+cancelled or faulted member fails alone, bitwise identical to how it
+would fail solo.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.obs import GANG_SIZE_BOUNDS, Observability
+from repro.perf.fusion import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    FusionContext,
+    fusion_scope,
+)
+
+__all__ = ["GangPolicy", "GangBatcher"]
+
+
+@dataclass(frozen=True)
+class GangPolicy:
+    """How the scheduler fuses compatible running submissions.
+
+    Attributes
+    ----------
+    max_gang:
+        Fairness-window bound: at most this many compatible runs fuse
+        into one gang per tick.  Larger gangs amortize sampler overhead
+        further but make one tick's fused step proportionally longer.
+    """
+
+    max_gang: int = 8
+
+    def __post_init__(self) -> None:
+        if int(self.max_gang) < 2:
+            raise ValidationError(
+                f"max_gang must be >= 2 (got {self.max_gang}); "
+                "disable gang batching by passing gang=None instead"
+            )
+
+
+class GangBatcher:
+    """Steps a scheduler tick's running set with cross-run fusion."""
+
+    def __init__(
+        self,
+        policy: GangPolicy,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        self.policy = policy
+        self._obs = observability
+
+    def step_all(
+        self, entries: Sequence[Tuple[Any, Any]]
+    ) -> List[Tuple[str, Any]]:
+        """Step every ``(submission, prepared)`` entry exactly once.
+
+        Returns one ``(OUTCOME_OK, finished) | (OUTCOME_ERROR, exception)``
+        outcome per entry, aligned with ``entries`` — the scheduler
+        applies them in dispatch order so retirement and completion
+        bookkeeping match ungrouped stepping exactly.
+        """
+        max_gang = int(self.policy.max_gang)
+        outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(entries)
+
+        by_key: Dict[Any, List[int]] = {}
+        for i, (_, prepared) in enumerate(entries):
+            key = prepared.gang_key()
+            if key is not None:
+                by_key.setdefault(key, []).append(i)
+        gang_of: Dict[int, Tuple[int, ...]] = {}
+        for indices in by_key.values():
+            for start in range(0, len(indices), max_gang):
+                chunk = tuple(indices[start : start + max_gang])
+                if len(chunk) >= 2:
+                    for i in chunk:
+                        gang_of[i] = chunk
+
+        solo_wall = 0.0
+        ran: set = set()
+        for i, (_, prepared) in enumerate(entries):
+            if i in ran:
+                continue
+            chunk = gang_of.get(i)
+            if chunk is None:
+                t0 = time.perf_counter()
+                try:
+                    outcomes[i] = (OUTCOME_OK, prepared.step())
+                except Exception as exc:
+                    outcomes[i] = (OUTCOME_ERROR, exc)
+                solo_wall += time.perf_counter() - t0
+                ran.add(i)
+            else:
+                self._run_gang(chunk, entries, outcomes)
+                ran.update(chunk)
+        if self._obs is not None and solo_wall:
+            self._obs.inc("service.gang.solo_wall_s", solo_wall)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_gang(
+        self,
+        chunk: Tuple[int, ...],
+        entries: Sequence[Tuple[Any, Any]],
+        outcomes: List[Optional[Tuple[str, Any]]],
+    ) -> None:
+        ctx = FusionContext()
+        members = []
+        for i in chunk:
+            sub, prepared = entries[i]
+            members.append(ctx.add_member(sub.ticket, prepared.step))
+        t0 = time.perf_counter()
+        with fusion_scope(ctx):
+            ctx.run_members()
+        elapsed = time.perf_counter() - t0
+        for member, i in zip(members, chunk):
+            outcomes[i] = member.outcome
+        if self._obs is not None:
+            obs = self._obs
+            obs.inc("service.gang.gangs")
+            obs.inc("service.gang.members", len(chunk))
+            obs.inc("service.gang.capacity", int(self.policy.max_gang))
+            obs.observe("service.gang.size", float(len(chunk)), GANG_SIZE_BOUNDS)
+            obs.inc("service.gang.batched_wall_s", elapsed)
+            for size in ctx.flush_sizes:
+                obs.inc("service.gang.flushes")
+                if size >= 2:
+                    obs.inc("service.gang.fused_payloads", size)
+                else:
+                    obs.inc("service.gang.solo_payloads", size)

@@ -51,6 +51,7 @@ from repro.faults.plan import FaultPlan
 from repro.obs import Observability, Span
 from repro.perf import MemoCache
 from repro.service.drivers import RunDriver, default_drivers
+from repro.service.gang import GangPolicy
 from repro.service.scheduler import (
     CANCELLED,
     COMPLETED,
@@ -161,6 +162,7 @@ class RunGateway:
         observability: Optional[Observability] = None,
         kill_switch: Optional[KillSwitch] = None,
         service_resume_from: Optional[str] = None,
+        gang: Optional[GangPolicy] = None,
     ) -> None:
         if not tenants:
             raise ValidationError("a gateway needs at least one tenant")
@@ -177,11 +179,13 @@ class RunGateway:
             fault_plan=fault_plan,
             resilience=resilience,
             observability=observability,
+            gang=gang,
         )
         for tenant in tenants:
             self.scheduler.add_tenant(tenant)
         self._seq = 0
         self._closed = False
+        self._awaiting_run_id: List[Submission] = []
         self._tenant_spans: Dict[str, Span] = {}
         self._sub_spans: Dict[str, Span] = {}
         if observability is not None:
@@ -408,6 +412,7 @@ class RunGateway:
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[Observability] = None,
         kill_switch: Optional[KillSwitch] = None,
+        gang: Optional[GangPolicy] = None,
     ) -> "RunGateway":
         """Rebuild a gateway from its journaled service run after a crash.
 
@@ -438,6 +443,7 @@ class RunGateway:
             observability=observability,
             kill_switch=kill_switch,
             service_resume_from=service_run_id,
+            gang=gang,
         )
         journal = handle.journal
         starts = {
@@ -488,14 +494,27 @@ class RunGateway:
         )
 
     def _sync_transitions(self) -> None:
-        """Journal starts/terminals the last pump produced; close spans."""
-        for sub in self.scheduler.submissions():
-            if sub.state == RUNNING and sub.run_id is not None:
-                self._journal(
-                    KIND_START,
-                    sub.ticket,
-                    {"ticket": sub.ticket, "run_id": sub.run_id},
-                )
+        """Journal starts/terminals the last pump produced; close spans.
+
+        Incremental: the scheduler reports only submissions that changed
+        state, so a pump's cost no longer scales with the total number of
+        submissions ever accepted.  A running submission whose driver has
+        not allocated a run id yet (atomic drivers) is parked until the
+        id exists — or until it goes terminal, whichever comes first.
+        """
+        pending = self._awaiting_run_id
+        self._awaiting_run_id = []
+        pending.extend(self.scheduler.drain_transitions())
+        for sub in pending:
+            if sub.state == RUNNING:
+                if sub.run_id is not None:
+                    self._journal(
+                        KIND_START,
+                        sub.ticket,
+                        {"ticket": sub.ticket, "run_id": sub.run_id},
+                    )
+                elif self._service_state is not None:
+                    self._awaiting_run_id.append(sub)
             elif sub.state in TERMINAL_STATES:
                 if sub.state != CANCELLED and sub.run_id is not None:
                     self._journal(

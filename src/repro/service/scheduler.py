@@ -46,7 +46,9 @@ from repro.common.retry import ResilienceConfig
 from repro.faults.plan import FaultPlan
 from repro.obs import SERVICE_TICK_BOUNDS, Observability
 from repro.perf import MemoCache
+from repro.perf.fusion import OUTCOME_ERROR
 from repro.service.drivers import PreparedRun, RunDriver
+from repro.service.gang import GangBatcher, GangPolicy
 from repro.state import RunStore
 
 # Submission lifecycle states.
@@ -155,6 +157,7 @@ class RunScheduler:
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[Observability] = None,
+        gang: Optional[GangPolicy] = None,
     ) -> None:
         if int(shards) < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
@@ -170,6 +173,14 @@ class RunScheduler:
         self._tenants: Dict[str, _TenantState] = {}
         self._subs: Dict[str, Submission] = {}
         self._running: List[Tuple[Submission, PreparedRun]] = []
+        self.gang = gang
+        self._gang_batcher = (
+            GangBatcher(gang, observability) if gang is not None else None
+        )
+        #: Submissions that changed state since the last
+        #: :meth:`drain_transitions` — the gateway journals from this
+        #: instead of rescanning every submission each pump.
+        self._transitions: List[Submission] = []
         #: Tickets in the order their runs completed (conformance replay
         #: compares this list across re-executions of a schedule).
         self.completion_order: List[str] = []
@@ -295,6 +306,7 @@ class RunScheduler:
         sub.run_id = prepared.run_id
         tenant.running += 1
         self._running.append((sub, prepared))
+        self._transitions.append(sub)
         if self._obs is not None:
             self._obs.inc("service.started")
             self._obs.observe(
@@ -304,6 +316,8 @@ class RunScheduler:
             )
 
     def _step_running(self) -> int:
+        if self._gang_batcher is not None and len(self._running) > 1:
+            return self._step_running_gang()
         stepped = 0
         for sub, prepared in list(self._running):
             stepped += 1
@@ -315,6 +329,54 @@ class RunScheduler:
             except WorkflowKilledError as exc:
                 # A per-run fault (or kill switch) took the run down; its
                 # own journal makes it resumable, the slot is reclaimed.
+                self._retire(sub, prepared)
+                self._finish(
+                    sub, FAILED,
+                    run_id=exc.run_id or prepared.run_id,
+                    error=f"killed: {exc}",
+                )
+                continue
+            except ReproError as exc:
+                self._retire(sub, prepared)
+                self._finish(
+                    sub, FAILED,
+                    run_id=prepared.run_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            sub.run_id = prepared.run_id
+            if finished:
+                self._retire(sub, prepared)
+                sub.output = output
+                self._finish(sub, COMPLETED, run_id=prepared.run_id)
+        return stepped
+
+    def _step_running_gang(self) -> int:
+        """One tick of gang-batched stepping.
+
+        The batcher advances every live run once — fusing compatible
+        runs' estimator calls — and returns per-run settled outcomes;
+        this applies them in dispatch order with exactly the bookkeeping
+        (and failure envelope) of ungrouped stepping, so the completion
+        order is identical to running with gangs disabled.
+        """
+        entries = list(self._running)
+        outcomes = self._gang_batcher.step_all(entries)
+        stepped = 0
+        for (sub, prepared), (status, value) in zip(entries, outcomes):
+            stepped += 1
+            if self._obs is not None:
+                self._obs.inc("service.quanta")
+            if status == OUTCOME_ERROR and not isinstance(
+                value, (WorkflowKilledError, ReproError)
+            ):
+                raise value  # non-domain failure: surface it, as solo would
+            try:
+                if status == OUTCOME_ERROR:
+                    raise value
+                finished = bool(value)
+                output = prepared.collect() if finished else None
+            except WorkflowKilledError as exc:
                 self._retire(sub, prepared)
                 self._finish(
                     sub, FAILED,
@@ -357,6 +419,7 @@ class RunScheduler:
             sub.error = error
         if state == COMPLETED:
             self.completion_order.append(sub.ticket)
+        self._transitions.append(sub)
         if self._obs is not None:
             self._obs.inc(f"service.{state}")
 
@@ -397,6 +460,17 @@ class RunScheduler:
         if sub is None:
             raise NotFoundError(f"no submission {ticket!r} at this gateway")
         return sub
+
+    def drain_transitions(self) -> List[Submission]:
+        """Submissions that changed state since the last drain.
+
+        A submission appears once per transition (start, finish), in
+        transition order; the list is cleared on read.  Replaces the
+        gateway's former every-pump scan over all submissions.
+        """
+        transitions = self._transitions
+        self._transitions = []
+        return transitions
 
     def submissions(self) -> List[Submission]:
         """Every submission, in admission (seq) order."""

@@ -42,11 +42,27 @@ class RuntimeConfig:
     ``runtime=`` parameter of :class:`~repro.aero.AeroPlatform`) instead of
     threading ``fault_plan`` / ``observability`` / ``state`` through each
     constructor separately.  ``None`` fields are simply not installed.
+
+    ``kernel_backend`` selects how the batched R(t) kernels evaluate:
+    ``"serial"`` (default) runs in process; ``"process"`` installs the
+    shared-memory worker pool from :mod:`repro.perf.shm` (``kernel_workers``
+    wide) as the process-global kernel backend.  Both backends are bitwise
+    identical — the pool partitions rows, and the kernels' row-identity
+    contract makes partitioning invisible.
     """
 
     fault_plan: Optional["FaultPlan"] = None
     observability: Optional["Observability"] = None
     state: Optional["RunCheckpointer"] = None
+    kernel_backend: str = "serial"
+    kernel_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kernel_backend not in ("serial", "process"):
+            raise ValidationError(
+                f"unknown kernel_backend {self.kernel_backend!r}: "
+                "expected 'serial' or 'process'"
+            )
 
     def capabilities(self) -> List[Any]:
         """The non-``None`` capabilities, in installation order."""
@@ -72,7 +88,7 @@ class Event:
     heap but are skipped when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "callback", "label", "_cancelled", "_fired")
+    __slots__ = ("time", "callback", "label", "_cancelled", "_fired", "_env")
 
     def __init__(self, time: float, callback: Callable[[], Any], label: str) -> None:
         self.time = time
@@ -80,6 +96,7 @@ class Event:
         self.label = label
         self._cancelled = False
         self._fired = False
+        self._env: Optional["SimulationEnvironment"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -100,7 +117,10 @@ class Event:
         """Prevent the event from firing.  Cancelling a fired event is an error."""
         if self._fired:
             raise SimulationError(f"cannot cancel already-fired event {self.label!r}")
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._env is not None:
+                self._env._pending -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self._fired else "cancelled" if self._cancelled else "pending"
@@ -130,6 +150,7 @@ class SimulationEnvironment:
         self._heap: List[_HeapEntry] = []
         self._sequence = itertools.count()
         self._events_fired = 0
+        self._pending = 0
         self._running = False
         self._faults: Optional["FaultInjector"] = None
         self._obs: Optional["Observability"] = None
@@ -200,6 +221,11 @@ class SimulationEnvironment:
                 continue
             if isinstance(cap, RuntimeConfig):
                 self.install(*cap.capabilities())
+                if cap.kernel_backend == "process":
+                    from repro.perf.shm import get_shared_pool
+                    from repro.rt.kernels import install_kernel_pool
+
+                    install_kernel_pool(get_shared_pool(cap.kernel_workers))
             elif isinstance(cap, FaultPlan):
                 self._install_fault_plan(cap)
             elif isinstance(cap, Observability):
@@ -276,8 +302,13 @@ class SimulationEnvironment:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for entry in self._heap if entry.event.pending)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        Maintained as a counter (incremented on schedule, decremented on
+        fire or cancel) so the read is O(1) — schedulers poll this on
+        every quantum, and the old heap scan was O(events) per read.
+        """
+        return self._pending
 
     # -------------------------------------------------------------- schedule
     def schedule(
@@ -310,6 +341,8 @@ class SimulationEnvironment:
                 f"cannot schedule {label!r} at t={time} (now is t={self._now})"
             )
         event = Event(float(time), callback, label)
+        event._env = self
+        self._pending += 1
         heapq.heappush(self._heap, _HeapEntry(event.time, next(self._sequence), event))
         return event
 
@@ -334,6 +367,7 @@ class SimulationEnvironment:
             return False
         self._now = event.time
         event._fired = True
+        self._pending -= 1
         self._events_fired += 1
         obs = self._obs
         if obs is None or not obs.tracer.enabled:

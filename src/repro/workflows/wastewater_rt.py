@@ -752,6 +752,42 @@ class PreparedWastewaterRun:
         return self.state.killed
 
     # ------------------------------------------------------------ collection
+    def collect_service_output(self) -> Dict[str, Any]:
+        """The run's canonical service output, without parsing artifacts.
+
+        The gateway's conformance contract is on artifact *bytes*: the
+        stored aggregate ensemble is already the canonical
+        ``RtEstimate.to_json(include_samples=True)`` text, so the service
+        path fetches it verbatim rather than round-tripping five
+        estimates through ``from_json``/``to_json`` like
+        :meth:`collect` does to build a rich in-memory result.
+        Performs the same completion checks and writes the same final
+        journal records (RNG mark + run summary) as :meth:`collect`.
+        """
+        platform, client, state = self.platform, self.client, self.state
+        for plant in self.iwss.plants:
+            if platform.metadata.latest(self._datatable_ids[plant.name]) is None:
+                raise StateError(f"no R(t) analysis completed for {plant.name}")
+        if platform.metadata.latest(self._aggregate_ids["ensemble"]) is None:
+            raise StateError("the aggregation flow never completed")
+        ensemble_text = client.fetch_content(self._aggregate_ids["ensemble"])
+        aggregation_runs = len(client.runs("aggregate-rt"))
+        if state is not None:
+            state.record_rng_mark(
+                "wastewater/final", platform.rng_state_digest(), t=platform.env.now
+            )
+            state.end_run(
+                summary={
+                    "aggregation_runs": aggregation_runs,
+                    "events_fired": platform.env.events_fired,
+                }
+            )
+        return {
+            "ensemble": ensemble_text,
+            "aggregation_runs": aggregation_runs,
+            "run_id": self.run_id,
+        }
+
     def collect(self) -> WastewaterWorkflowResult:
         """Gather artifacts, journal completion, and build the result."""
         platform, client, iwss, state = (

@@ -95,3 +95,30 @@ class TestShortId:
     def test_rejects_tiny_length(self):
         with pytest.raises(ValidationError):
             short_id("abcdef", 2)
+
+
+class TestChecksumCache:
+    """The string-keyed repeat cache must be invisible except in speed."""
+
+    def test_cached_and_fresh_digests_agree(self):
+        import hashlib
+
+        text = "plant,flow\nstickney,1.25\n"
+        expected = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        assert content_checksum(text) == expected
+        assert content_checksum(text) == expected  # served from the cache
+
+    def test_str_and_bytes_stay_consistent_across_cache_hits(self):
+        text = "repeated artifact body"
+        content_checksum(text)
+        assert content_checksum(text) == content_checksum(text.encode("utf-8"))
+
+    def test_eviction_keeps_the_cache_bounded(self):
+        from repro.common import hashing
+
+        for i in range(hashing._CHECKSUM_CACHE_ENTRIES + 64):
+            content_checksum(f"bulk-{i}")
+        assert len(hashing._checksum_cache) <= hashing._CHECKSUM_CACHE_ENTRIES
+        assert hashing._checksum_cache_bytes <= hashing._CHECKSUM_CACHE_BYTES
+        # Entries evicted FIFO still recompute correctly.
+        assert content_checksum("bulk-0") == content_checksum("bulk-0".encode())

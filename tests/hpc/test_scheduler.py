@@ -183,3 +183,25 @@ def test_scheduler_invariants_random_workload(jobs):
         assert job.queue_wait >= 0
     assert cluster.n_free() == 4
     assert sched.tracker.utilization() <= 1.0 + 1e-9
+
+
+class TestJobListing:
+    def test_all_jobs_submission_order_without_resort(self, sched, env):
+        """``all_jobs`` relies on zero-padded ids making insertion order
+        the sorted order — pin both halves of that claim."""
+        jobs = [
+            sched.submit(request(name=f"j{i}", duration=0.5)) for i in range(25)
+        ]
+        listed = sched.all_jobs()
+        assert listed == jobs
+        assert [j.job_id for j in listed] == sorted(j.job_id for j in listed)
+        env.run()
+        # Listing is stable across state transitions: completion must not
+        # reorder (the index is append-only).
+        assert sched.all_jobs() == jobs
+
+    def test_all_jobs_interleaved_with_completions(self, sched, env):
+        first = [sched.submit(request(name=f"a{i}", duration=0.1)) for i in range(4)]
+        env.run()
+        second = [sched.submit(request(name=f"b{i}", duration=0.1)) for i in range(4)]
+        assert sched.all_jobs() == first + second

@@ -1,0 +1,142 @@
+"""FusionContext: the harvest/flush protocol behind gang batching.
+
+Unit-level contract checks on the protocol itself, away from the real
+wastewater stack (the service tests cover that end to end):
+
+- payloads with identical content share one store entry (keyed by
+  ``stable_digest``), so duplicate work inside a gang collapses;
+- a member's exception is captured as its own outcome, poisons nobody
+  else, and re-raises when that member's result is read;
+- the settled-batch callable sees each pending payload exactly once per
+  flush, and flush sizes are recorded for the gang metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.perf.fusion import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    FusionContext,
+    GangMember,
+    current_fusion,
+    fusion_scope,
+)
+
+
+def settled_doubler(payloads):
+    return [(OUTCOME_OK, payload["x"] * 2) for payload in payloads]
+
+
+class TestScope:
+    def test_scope_installs_and_restores(self):
+        assert current_fusion() is None
+        ctx = FusionContext()
+        with fusion_scope(ctx):
+            assert current_fusion() is ctx
+            with fusion_scope(None):  # flush recursion guard uses this
+                assert current_fusion() is None
+            assert current_fusion() is ctx
+        assert current_fusion() is None
+
+
+class TestEvaluate:
+    def test_single_frame_evaluates_through_the_batch(self):
+        ctx = FusionContext()
+        assert ctx.evaluate([{"x": 3}, {"x": 5}], settled_doubler) == [6, 10]
+        assert ctx.flush_sizes == [2]
+
+    def test_identical_payloads_share_one_store_entry(self):
+        calls = []
+
+        def counting(payloads):
+            calls.append(len(payloads))
+            return settled_doubler(payloads)
+
+        ctx = FusionContext()
+        first = ctx.evaluate([{"x": 4}], counting)
+        second = ctx.evaluate([{"x": 4}], counting)
+        assert first == second == [8]
+        assert calls == [1]  # second evaluate served from the store
+
+    def test_members_park_then_flush_as_one_batch(self):
+        ctx = FusionContext()
+        sizes = []
+        results = {}
+
+        def member(name, x):
+            def advance():
+                results[name] = ctx.evaluate([{"x": x}], recording)[0]
+
+            return advance
+
+        def recording(payloads):
+            sizes.append(len(payloads))
+            return settled_doubler(payloads)
+
+        ctx.add_member("a", member("a", 1))
+        ctx.add_member("b", member("b", 2))
+        with fusion_scope(ctx):
+            ctx.run_members()
+        assert results == {"a": 2, "b": 4}
+        # Member a parked its payload, cascaded b (which parked too), and
+        # flushed both as one settled batch.
+        assert sizes == [2]
+        assert ctx.flush_sizes == [2]
+
+    def test_member_error_is_isolated_and_replayed(self):
+        def settled_mixed(payloads):
+            outcomes = []
+            for payload in payloads:
+                if payload["x"] < 0:
+                    outcomes.append((OUTCOME_ERROR, ValueError("negative")))
+                else:
+                    outcomes.append((OUTCOME_OK, payload["x"] * 2))
+            return outcomes
+
+        ctx = FusionContext()
+        outputs = {}
+
+        def make(name, x):
+            def advance():
+                outputs[name] = ctx.evaluate([{"x": x}], settled_mixed)[0]
+
+            return advance
+
+        ctx.add_member("good", make("good", 7))
+        ctx.add_member("bad", make("bad", -1))
+        with fusion_scope(ctx):
+            ctx.run_members()
+        members = {m.name: m for m in ctx._members}
+        assert members["good"].outcome == (OUTCOME_OK, None)
+        status, error = members["bad"].outcome
+        assert status == OUTCOME_ERROR
+        assert isinstance(error, ValueError)
+        assert outputs == {"good": 14}
+
+    def test_settled_batch_length_mismatch_is_an_error(self):
+        ctx = FusionContext()
+        with pytest.raises(ValidationError):
+            ctx.evaluate([{"x": 1}, {"x": 2}], lambda payloads: [(OUTCOME_OK, 0)])
+
+
+class TestGangMember:
+    def test_run_is_idempotent(self):
+        calls = []
+        member = GangMember("m", lambda: calls.append(1))
+        member.run()
+        member.run()
+        assert calls == [1]
+        assert member.outcome == (OUTCOME_OK, None)
+
+    def test_exception_captured_not_raised(self):
+        def boom():
+            raise RuntimeError("mid-gang failure")
+
+        member = GangMember("m", boom)
+        member.run()
+        status, error = member.outcome
+        assert status == OUTCOME_ERROR
+        assert isinstance(error, RuntimeError)

@@ -1,0 +1,205 @@
+"""Shared-memory kernel pool: bitwise identity, fallback, determinism.
+
+The process backend may only ever be a *transport* — row chunks
+evaluated in workers must reassemble to exactly the bytes the serial
+in-process call produces (the kernels' row-identity contract makes the
+partition invisible), and every failure mode must decline back to the
+serial path rather than raise into kernel code.
+
+The pool-backed arm is skipped where ``multiprocessing.shared_memory``
+cannot allocate (sandboxes without /dev/shm); the fallback arm runs
+everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf.shm import (
+    SharedKernelPool,
+    _apply_op,
+    get_shared_pool,
+    shared_memory_available,
+)
+from repro.rt.kernels import (
+    CausalConvolution,
+    install_kernel_pool,
+    installed_kernel_pool,
+    kernel_pool,
+    renewal_forward_batch,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="shared memory unavailable"
+)
+
+GEN_INTERVAL = [0.2, 0.5, 0.3]
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.5, 2.0, size=(96, 80))
+
+
+@pytest.fixture
+def pool():
+    p = SharedKernelPool(workers=2, min_rows=8)
+    yield p
+    p.close()
+
+
+class TestApplyOp:
+    def test_renewal_matches_direct_call(self, batch):
+        via_op = _apply_op(
+            "renewal",
+            batch,
+            {"generation_interval": GEN_INTERVAL, "seed_days": 7, "seed_incidence": 1.0},
+        )
+        direct = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        assert via_op.tobytes() == direct.tobytes()
+
+    def test_unknown_op_raises(self, batch):
+        with pytest.raises(ValueError):
+            _apply_op("spectral", batch, {})
+
+
+class TestChunking:
+    def test_chunks_are_contiguous_and_cover(self):
+        pool = SharedKernelPool(workers=3)
+        chunks = pool._chunks(100)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        for (_, hi), (lo, _) in zip(chunks, chunks[1:]):
+            assert hi == lo
+
+    def test_chunking_is_deterministic(self):
+        a = SharedKernelPool(workers=4)._chunks(1000)
+        b = SharedKernelPool(workers=4)._chunks(1000)
+        assert a == b
+
+    def test_fewer_rows_than_workers_drops_empty_chunks(self):
+        chunks = SharedKernelPool(workers=8)._chunks(3)
+        assert sum(hi - lo for lo, hi in chunks) == 3
+        assert all(hi > lo for lo, hi in chunks)
+
+
+@needs_shm
+class TestPoolBitwiseIdentity:
+    def test_renewal_rows_identical_to_serial(self, pool, batch):
+        serial = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        pooled = pool.run(
+            "renewal",
+            batch,
+            {"generation_interval": GEN_INTERVAL, "seed_days": 7, "seed_incidence": 1.0},
+        )
+        assert pooled is not None
+        assert pooled.tobytes() == serial.tobytes()
+
+    def test_convolution_rows_identical_to_serial(self, pool, batch):
+        conv = CausalConvolution(np.asarray(GEN_INTERVAL), out_len=80)
+        serial = conv.apply(batch)
+        pooled = pool.run(
+            "convolve", batch, {"kernel": GEN_INTERVAL, "out_len": 80}, out_cols=80
+        )
+        assert pooled is not None
+        assert pooled.tobytes() == serial.tobytes()
+
+    def test_repeated_runs_are_deterministic(self, pool, batch):
+        params = {
+            "generation_interval": GEN_INTERVAL,
+            "seed_days": 7,
+            "seed_incidence": 1.0,
+        }
+        first = pool.run("renewal", batch, params)
+        second = pool.run("renewal", batch, params)
+        assert first.tobytes() == second.tobytes()
+
+    def test_installed_pool_drives_kernel_hot_path(self, pool, batch):
+        serial = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        with kernel_pool(pool):
+            hooked = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        assert hooked.tobytes() == serial.tobytes()
+        assert installed_kernel_pool() is None
+
+    def test_worker_error_declines_and_marks_broken(self, pool, batch):
+        assert pool.run("no-such-op", batch, {}) is None
+        assert not pool.running
+
+
+class TestSerialFallback:
+    def test_small_batch_declines(self, batch):
+        pool = SharedKernelPool(workers=2, min_rows=1000)
+        assert pool.run("renewal", batch[:4], {}) is None
+
+    def test_one_dimensional_input_declines(self):
+        pool = SharedKernelPool(workers=2)
+        assert pool.run("renewal", np.ones(32), {}) is None
+
+    def test_declining_pool_falls_back_to_serial_kernels(self, batch):
+        class AlwaysDecline:
+            calls = 0
+
+            def run(self, op, rows, params, *, out_cols=None):
+                self.calls += 1
+                return None
+
+        decliner = AlwaysDecline()
+        serial = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        with kernel_pool(decliner):
+            out = renewal_forward_batch(batch, np.asarray(GEN_INTERVAL))
+        assert decliner.calls == 1
+        assert out.tobytes() == serial.tobytes()
+
+    def test_scalar_path_never_consults_the_pool(self):
+        class Exploder:
+            def run(self, *args, **kwargs):  # pragma: no cover - must not run
+                raise AssertionError("1-D input must stay serial")
+
+        with kernel_pool(Exploder()):
+            out = renewal_forward_batch(np.ones(40), np.asarray(GEN_INTERVAL))
+        assert out.shape == (40,)
+
+
+class TestPoolRegistry:
+    def test_get_shared_pool_is_a_singleton_per_width(self):
+        assert get_shared_pool(3) is get_shared_pool(3)
+        assert get_shared_pool(3) is not get_shared_pool(4)
+
+    def test_broken_pool_is_replaced(self):
+        pool = get_shared_pool(5)
+        pool._started = True
+        pool._broken = True
+        assert get_shared_pool(5) is not pool
+
+
+class TestRuntimeConfigWiring:
+    def test_process_backend_installs_pool(self):
+        from repro.sim.loop import RuntimeConfig, SimulationEnvironment
+
+        previous = install_kernel_pool(None)
+        try:
+            env = SimulationEnvironment()
+            env.install(RuntimeConfig(kernel_backend="process", kernel_workers=2))
+            installed = installed_kernel_pool()
+            assert isinstance(installed, SharedKernelPool)
+            assert installed.workers == 2
+        finally:
+            install_kernel_pool(previous)
+
+    def test_serial_backend_installs_nothing(self):
+        from repro.sim.loop import RuntimeConfig, SimulationEnvironment
+
+        previous = install_kernel_pool(None)
+        try:
+            SimulationEnvironment().install(RuntimeConfig())
+            assert installed_kernel_pool() is None
+        finally:
+            install_kernel_pool(previous)
+
+    def test_unknown_backend_rejected(self):
+        from repro.common.errors import ValidationError
+        from repro.sim.loop import RuntimeConfig
+
+        with pytest.raises(ValidationError):
+            RuntimeConfig(kernel_backend="gpu")

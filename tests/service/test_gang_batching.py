@@ -1,0 +1,341 @@
+"""Cross-run gang batching: bitwise identity, fairness, faults, cancels.
+
+The gang batcher fuses compatible concurrent runs into one vectorized
+MCMC block per scheduler quantum.  Its contract is absolute: enabling
+gangs may change *nothing observable* — not one output byte, not one
+scheduling decision.  Three layers:
+
+1. **Partition invariance** (hypothesis): for randomized schedules over
+   shards / quotas / ``max_gang`` — each combination realizing a
+   different partition of the compatible running set into gangs — every
+   output is bitwise identical to the gang-off gateway and to standalone
+   ``run_wastewater_workflow``, and the completion order is identical.
+2. **Cold fusion identity**: gangs formed over *cold* runs (no warm
+   memo) actually park and flush fused payload blocks; outputs must
+   still match cold standalone baselines bitwise, including under a
+   PR-1 fault plan and with ``vectorized_rt`` (the full
+   runs x plants x chains stack).
+3. **Policy conformance**: fair-share weights, priority lanes, quota
+   invariants, and mid-gang cancel/kill behave identically with gangs
+   enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Observability
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    GangPolicy,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
+from repro.state import JsonlRunStore
+from repro.workflows import WastewaterRunConfig, run_wastewater_workflow
+
+from tests.service.conftest import PALETTE_SEEDS, ensemble_json, palette_config
+from tests.service.test_scheduler_conformance import StubDriver, stub_gateway
+
+
+def gang_gateway(tenants, shards, memo, *, max_gang=8, **kwargs):
+    return RunGateway(
+        tenants,
+        shards=shards,
+        memo_cache=memo,
+        gang=GangPolicy(max_gang=max_gang),
+        **kwargs,
+    )
+
+
+class TestGangPolicy:
+    def test_rejects_degenerate_window(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            GangPolicy(max_gang=1)
+
+    def test_exported_from_package(self):
+        import repro.service as service
+
+        assert "GangPolicy" in service.__all__
+        assert "GangBatcher" in service.__all__
+
+
+# ------------------------------------------------------ partition invariance
+@st.composite
+def gang_schedules(draw):
+    n_tenants = draw(st.integers(min_value=1, max_value=3))
+    tenants = [
+        TenantConfig(
+            name=f"t{i}",
+            weight=float(draw(st.integers(min_value=1, max_value=3))),
+            max_queued=16,
+            max_running=draw(st.integers(min_value=1, max_value=4)),
+        )
+        for i in range(n_tenants)
+    ]
+    shards = draw(st.integers(min_value=2, max_value=6))
+    max_gang = draw(st.integers(min_value=2, max_value=8))
+    submissions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_tenants - 1),
+                st.sampled_from(PALETTE_SEEDS),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=3,
+            max_size=8,
+        )
+    )
+    return tenants, shards, max_gang, submissions
+
+
+def _execute(gw, tenants, submissions):
+    seeds = {}
+    for i, (tenant_idx, seed, priority) in enumerate(submissions):
+        ticket = gw.submit(
+            SubmitRequest(
+                tenant=tenants[tenant_idx].name,
+                config=palette_config(seed),
+                priority=priority,
+            )
+        ).ticket
+        seeds[ticket] = seed
+        if i % 2:
+            gw.pump()
+            gw.scheduler.check_invariants()
+    gw.drain(max_ticks=2000)
+    gw.scheduler.check_invariants()
+    return seeds
+
+
+class TestPartitionInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(gang_schedules())
+    def test_any_gang_partition_matches_gang_off_and_standalone(
+        self, warm_memo, standalone_baselines, schedule
+    ):
+        tenants, shards, max_gang, submissions = schedule
+
+        gw_off = RunGateway(tenants, shards=shards, memo_cache=warm_memo)
+        seeds_off = _execute(gw_off, tenants, submissions)
+
+        gw_on = gang_gateway(tenants, shards, warm_memo, max_gang=max_gang)
+        seeds_on = _execute(gw_on, tenants, submissions)
+
+        # Identical schedule, decision for decision.
+        assert seeds_on == seeds_off
+        assert (
+            gw_on.scheduler.completion_order == gw_off.scheduler.completion_order
+        )
+        # Identical bytes, run for run — and identical to standalone.
+        for ticket, seed in seeds_on.items():
+            on = gw_on.result(ticket)
+            assert on.state == COMPLETED
+            assert ensemble_json(on.output) == ensemble_json(
+                gw_off.result(ticket).output
+            )
+            assert ensemble_json(on.output) == standalone_baselines[seed]
+
+
+# --------------------------------------------------------- cold fusion paths
+COLD_BASE = dict(sim_days=1.1, goldstein_iterations=100)
+
+
+def _cold_run_gateway(seeds, *, max_gang, fault_plan=None, vectorized=False):
+    """Drain one cold gang-enabled gateway over ``seeds``; return outputs."""
+    obs = Observability()
+    gw = RunGateway(
+        [TenantConfig("epi", weight=2.0, max_queued=16, max_running=8)],
+        shards=8,
+        gang=GangPolicy(max_gang=max_gang),
+        fault_plan=fault_plan,
+        observability=obs,
+    )
+    tickets = {}
+    for seed in seeds:
+        config = WastewaterRunConfig(seed=seed, vectorized_rt=vectorized, **COLD_BASE)
+        tickets[seed] = gw.submit(
+            SubmitRequest(tenant="epi", config=config)
+        ).ticket
+    gw.drain(max_ticks=5000)
+    outputs = {}
+    for seed, ticket in tickets.items():
+        result = gw.result(ticket)
+        assert result.state == COMPLETED
+        outputs[seed] = result.output["ensemble"]
+    return outputs, obs.service_view()["gang"]
+
+
+class TestColdFusionIdentity:
+    @pytest.mark.parametrize("max_gang", [2, 3, 8])
+    def test_cold_gangs_fuse_and_match_standalone(self, max_gang):
+        # Distinct seed block per partition width so every arm runs cold
+        # (a warm memo would serve the estimates before fusion engages).
+        seeds = tuple(range(9500 + 10 * max_gang, 9504 + 10 * max_gang))
+        outputs, gang_view = _cold_run_gateway(seeds, max_gang=max_gang)
+        assert gang_view["fused_payloads"] > 0, "cold gangs must fuse flushes"
+        for seed in seeds:
+            baseline = run_wastewater_workflow(
+                WastewaterRunConfig(seed=seed, **COLD_BASE)
+            )
+            assert outputs[seed] == baseline.ensemble.to_json(include_samples=True)
+
+    def test_cold_fusion_under_fault_plan(self):
+        # PR-1 fault decisions are payload-keyed, so retries re-fire
+        # identically whether the estimates flush fused or solo.
+        plan = lambda: FaultPlan([FaultSpec(site="transfer", rate=0.2)], seed=5)
+        seeds = (9601, 9602, 9603)
+        outputs, gang_view = _cold_run_gateway(
+            seeds, max_gang=8, fault_plan=plan()
+        )
+        assert gang_view["fused_payloads"] > 0
+        for seed in seeds:
+            baseline = run_wastewater_workflow(
+                WastewaterRunConfig(seed=seed, **COLD_BASE), fault_plan=plan()
+            )
+            assert outputs[seed] == baseline.ensemble.to_json(include_samples=True)
+
+    def test_cold_fusion_vectorized_rt_stacks_runs_and_plants(self):
+        # vectorized_rt batches all plants per run; ganging stacks the
+        # runs too — the full (runs x plants x chains, dim) block.
+        seeds = (9701, 9702, 9703)
+        outputs, gang_view = _cold_run_gateway(
+            seeds, max_gang=8, vectorized=True
+        )
+        assert gang_view["fused_payloads"] > 0
+        for seed in seeds:
+            baseline = run_wastewater_workflow(
+                WastewaterRunConfig(seed=seed, vectorized_rt=True, **COLD_BASE)
+            )
+            assert outputs[seed] == baseline.ensemble.to_json(include_samples=True)
+
+
+# ------------------------------------------------------------- policy checks
+class TestPolicyConformanceWithGangs:
+    def test_stub_schedules_identical_with_gangs_enabled(self):
+        """Runs without a gang key (the stub driver) are untouched."""
+        tenants = [TenantConfig("a", max_queued=64, max_running=8)]
+        logs = []
+        for gang in (None, GangPolicy(max_gang=4)):
+            gw = RunGateway(
+                tenants, drivers={"stub": StubDriver()}, shards=2, gang=gang
+            )
+            tickets = [
+                gw.submit(
+                    SubmitRequest(
+                        tenant="a",
+                        workflow="stub",
+                        config={"steps": 1 + i % 3},
+                        priority=i % 2,
+                    )
+                ).ticket
+                for i in range(12)
+            ]
+            gw.drain(max_ticks=200)
+            gw.scheduler.check_invariants()
+            logs.append((tickets, list(gw.scheduler.completion_order)))
+        assert logs[0] == logs[1]
+
+    def test_priority_lanes_still_dispatch_first(self, warm_memo):
+        gw = gang_gateway(
+            [TenantConfig("a", max_queued=16, max_running=8)], 1, warm_memo
+        )
+        low = gw.submit(
+            SubmitRequest(tenant="a", config=palette_config(PALETTE_SEEDS[0]))
+        ).ticket
+        high = gw.submit(
+            SubmitRequest(
+                tenant="a", config=palette_config(PALETTE_SEEDS[1]), priority=5
+            )
+        ).ticket
+        gw.drain(max_ticks=2000)
+        assert gw.scheduler.completion_order == [high, low]
+
+    def test_weighted_fair_share_holds_with_gangs(self, warm_memo):
+        heavy = TenantConfig("heavy", weight=3.0, max_queued=64, max_running=8)
+        light = TenantConfig("light", weight=1.0, max_queued=64, max_running=8)
+        gw = gang_gateway([heavy, light], 1, warm_memo)
+        for i in range(8):
+            gw.submit(
+                SubmitRequest(
+                    tenant="heavy", config=palette_config(PALETTE_SEEDS[i % 6])
+                )
+            )
+            gw.submit(
+                SubmitRequest(
+                    tenant="light", config=palette_config(PALETTE_SEEDS[i % 6])
+                )
+            )
+        gw.drain(max_ticks=5000)
+        first = gw.scheduler.completion_order[:8]
+        heavy_share = sum(1 for t in first if t.startswith("heavy"))
+        assert heavy_share == 6  # 3:1 weights over the first two rounds
+
+    def test_mid_gang_cancel_kills_one_member_only(
+        self, tmp_path, warm_memo, standalone_baselines
+    ):
+        """Cancel one running gang member; peers finish bitwise identical."""
+        store = JsonlRunStore(tmp_path / "runs")
+        gw = gang_gateway(
+            [TenantConfig("epi", max_queued=16, max_running=8)],
+            4,
+            warm_memo,
+            run_store=store,
+        )
+        seeds = PALETTE_SEEDS[:3]
+        tickets = {
+            seed: gw.submit(
+                SubmitRequest(tenant="epi", config=palette_config(seed))
+            ).ticket
+            for seed in seeds
+        }
+        gw.pump()  # all three dispatched and stepped once, as one gang
+        victim = tickets[seeds[0]]
+        assert gw.status(victim).state == "running"
+        resp = gw.cancel(victim)
+        assert resp.changed and resp.state == CANCELLED
+        assert resp.run_id is not None
+        assert store.open_run(resp.run_id).status == "killed"
+
+        gw.drain(max_ticks=2000)
+        for seed in seeds[1:]:
+            result = gw.result(tickets[seed])
+            assert result.state == COMPLETED
+            assert ensemble_json(result.output) == standalone_baselines[seed]
+
+    def test_scripted_kill_fires_inside_the_gang(self, tmp_path):
+        """A state.journal kill mid-run fails members as killed, durably."""
+        store = JsonlRunStore(tmp_path / "runs")
+        plan = FaultPlan([FaultSpec(site="state.journal", at_time=0.5)])
+        gw = RunGateway(
+            [TenantConfig("epi", max_queued=16, max_running=8)],
+            shards=4,
+            gang=GangPolicy(max_gang=8),
+            run_store=store,
+            fault_plan=plan,
+        )
+        tickets = [
+            gw.submit(
+                SubmitRequest(
+                    tenant="epi",
+                    config=WastewaterRunConfig(seed=9800 + i, **COLD_BASE),
+                )
+            ).ticket
+            for i in range(3)
+        ]
+        gw.drain(max_ticks=2000)
+        for ticket in tickets:
+            status = gw.status(ticket)
+            assert status.state == FAILED
+            assert "killed" in status.error
+            assert store.open_run(status.run_id).status == "killed"

@@ -173,3 +173,43 @@ def test_events_always_fire_in_nondecreasing_time(delays):
     env.run()
     assert times == sorted(times)
     assert len(times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("schedule"),
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            ),
+            st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=60)),
+            st.tuples(st.just("step")),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pending_count_matches_brute_force_scan(ops):
+    """The maintained counter agrees with a full heap scan at every point.
+
+    ``pending_count`` was an O(n) scan per read and is now a counter
+    maintained on schedule/fire/cancel; this property pins the two to
+    each other under randomized interleavings of all three transitions
+    (including double cancels, which must not double-decrement).
+    """
+    env = SimulationEnvironment()
+    events = []
+    for op in ops:
+        if op[0] == "schedule":
+            events.append(env.schedule(op[1], lambda: None))
+        elif op[0] == "cancel":
+            if events and not events[op[1] % len(events)].fired:
+                target = events[op[1] % len(events)]
+                target.cancel()
+                target.cancel()  # idempotent: one decrement only
+        else:
+            env.step()
+        brute_force = sum(1 for entry in env._heap if entry.event.pending)
+        assert env.pending_count == brute_force
+    env.run()
+    assert env.pending_count == 0
