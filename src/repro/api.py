@@ -50,6 +50,7 @@ from repro.obs import (
     profile_summary,
     trace_gantt_svg,
 )
+from repro.gsa.steering import SteeringConfig, SteeringPolicy, SteeringReport
 from repro.perf import MemoCache
 from repro.service import (
     CancelResponse,
@@ -102,6 +103,9 @@ __all__ = [
     "Figure4Data",
     "run_replicate_gsa",
     "Figure5Data",
+    "SteeringConfig",
+    "SteeringPolicy",
+    "SteeringReport",
     # runtime capabilities
     "RuntimeConfig",
     "FaultPlan",

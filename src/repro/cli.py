@@ -88,6 +88,20 @@ def _cmd_figure3(args: argparse.Namespace) -> str:
     return render_figure3()
 
 
+def _steering_from_args(args: argparse.Namespace):
+    """A :class:`~repro.api.SteeringConfig` from ``--steer*`` flags (or None)."""
+    if not getattr(args, "steer", False):
+        return None
+    from repro.api import SteeringConfig
+
+    return SteeringConfig(
+        steer_every=args.steer_every,
+        lookahead=args.lookahead,
+        cancel_fraction=args.cancel_fraction,
+        mode=args.steer_mode,
+    )
+
+
 def _cmd_figure4(args: argparse.Namespace) -> str:
     from repro.api import MusicGsaRunConfig, run_music_gsa
     from repro.gsa.music import MusicConfig
@@ -101,9 +115,17 @@ def _cmd_figure4(args: argparse.Namespace) -> str:
                 n_initial=30, refit_every=10, surrogate_mc=512, n_candidates=128
             ),
             reference_n=args.reference_n,
+            steering=_steering_from_args(args),
         )
     )
-    return render_figure4(data)
+    text = render_figure4(data)
+    if data.steering_report:
+        counters = ", ".join(
+            f"{key.removeprefix('steering_')}={value}"
+            for key, value in data.steering_report.items()
+        )
+        text += f"\n\nsteering: {counters}"
+    return text
 
 
 def _cmd_figure5(args: argparse.Namespace) -> str:
@@ -375,7 +397,11 @@ def _cmd_submit(args: argparse.Namespace) -> str:
     else:  # music-gsa
         from repro.api import MusicGsaRunConfig
 
-        config = MusicGsaRunConfig(budget=args.budget, seed=args.seed)
+        config = MusicGsaRunConfig(
+            budget=args.budget,
+            seed=args.seed,
+            steering=_steering_from_args(args),
+        )
     receipt = gateway.submit(
         SubmitRequest(
             tenant=args.tenant,
@@ -388,6 +414,26 @@ def _cmd_submit(args: argparse.Namespace) -> str:
         f"accepted {receipt.ticket} (seq {receipt.seq}, priority "
         f"{receipt.priority}) on service run {service_id}\n"
         f"process it with: repro serve-sim --store {args.store}"
+    )
+
+
+def _add_steering_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--steer",
+        action="store_true",
+        help="steer in-flight work: re-rank/cancel queued points by "
+        "acquisition value as results arrive",
+    )
+    p.add_argument("--steer-every", type=int, default=1, help="results per decision")
+    p.add_argument("--lookahead", type=int, default=24, help="in-flight window depth")
+    p.add_argument(
+        "--cancel-fraction", type=float, default=0.5, help="window fraction to drop"
+    )
+    p.add_argument(
+        "--steer-mode",
+        choices=["cancel", "park"],
+        default="cancel",
+        help="drop mode: cancel reclaims budget, park keeps a low-priority lane",
     )
 
 
@@ -434,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--budget", type=int, default=120)
     p4.add_argument("--seed", type=int, default=0)
     p4.add_argument("--reference-n", type=int, default=1024)
+    _add_steering_options(p4)
     p4.set_defaults(fn=_cmd_figure4)
 
     p5 = sub.add_parser("figure5", help="Figure 5: replicate GSA spread")
@@ -534,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument(
         "--service-run", default=None, help="service run id (default: latest)"
     )
+    _add_steering_options(pq)
     pq.set_defaults(fn=_cmd_submit)
 
     return parser

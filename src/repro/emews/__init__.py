@@ -24,8 +24,18 @@ Pieces:
 
 from repro.emews.db import Task, TaskDatabase, TaskState
 from repro.emews.sqlite_db import SqliteTaskDatabase
-from repro.emews.futures import TaskFuture, as_completed, pop_completed
-from repro.emews.worker_pool import BatchWorkerPool, SimWorkerPool, ThreadedWorkerPool
+from repro.emews.futures import (
+    CancelledByPolicy,
+    TaskFuture,
+    as_completed,
+    pop_completed,
+)
+from repro.emews.worker_pool import (
+    BatchWorkerPool,
+    SimWorkerPool,
+    SteppedWorkerPool,
+    ThreadedWorkerPool,
+)
 from repro.emews.api import TaskQueue
 from repro.emews.reports import ExperimentReport, experiment_report, render_report
 from repro.emews.resilience import ResilientEvaluator
@@ -36,11 +46,13 @@ __all__ = [
     "TaskDatabase",
     "SqliteTaskDatabase",
     "TaskState",
+    "CancelledByPolicy",
     "TaskFuture",
     "as_completed",
     "pop_completed",
     "BatchWorkerPool",
     "SimWorkerPool",
+    "SteppedWorkerPool",
     "ThreadedWorkerPool",
     "TaskQueue",
     "ExperimentReport",

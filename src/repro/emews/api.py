@@ -13,11 +13,15 @@ from R).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.common.errors import ValidationError
 from repro.emews.db import TaskDatabase
 from repro.emews.futures import TaskFuture
+
+
+def _task_id_of(ref: Union[int, TaskFuture]) -> int:
+    return ref.task_id if isinstance(ref, TaskFuture) else int(ref)
 
 
 class TaskQueue:
@@ -58,6 +62,37 @@ class TaskQueue:
             self.submit_task(task_type, payload, priority=priority)
             for payload in payloads
         ]
+
+    # ---------------------------------------------------------------- control
+    def update_priorities(
+        self, priorities: Mapping[Union[int, TaskFuture], int]
+    ) -> Dict[int, bool]:
+        """Atomically re-prioritize a batch of queued tasks.
+
+        The OSPREY ``update_priorities`` primitive: one bulk operation,
+        so a worker popping concurrently sees either the old ranking or
+        the new one, never a partial mix.  Keys may be task ids or the
+        futures returned at submission.  Returns ``{task_id: updated}``;
+        False marks tasks a worker had already claimed.
+        """
+        return self._db.update_priorities(
+            {_task_id_of(ref): int(p) for ref, p in priorities.items()}
+        )
+
+    def cancel_tasks(
+        self,
+        refs: Iterable[Union[int, TaskFuture]],
+        *,
+        reason: Optional[str] = None,
+    ) -> Dict[int, bool]:
+        """Cancel a batch of queued tasks under one lock acquisition.
+
+        With ``reason`` set, the corresponding futures resolve with a
+        typed :class:`~repro.emews.futures.CancelledByPolicy` result.
+        """
+        return self._db.cancel_queued(
+            (_task_id_of(ref) for ref in refs), reason=reason
+        )
 
     # ------------------------------------------------------------------ query
     def queued_count(self, task_type: str) -> int:

@@ -23,15 +23,20 @@ processes decoupled (nothing object-shaped sneaks through).
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import json
 import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import NotFoundError, StateError, ValidationError
+
+#: Tombstone compaction threshold: a queue's heap is rebuilt once it carries
+#: more than this many stale entries *and* more stale than live entries.
+_COMPACT_MIN_STALE = 64
 
 
 class TaskState(Enum):
@@ -60,6 +65,7 @@ class Task:
     worker_id: Optional[str] = None
     result: Optional[str] = None  # JSON text
     error: Optional[str] = None
+    cancel_reason: Optional[str] = None
 
     def payload_obj(self) -> Any:
         """Deserialize the payload."""
@@ -86,8 +92,14 @@ class TaskDatabase:
         self._lock = threading.RLock()
         self._cv = threading.Condition(self._lock)
         self._tasks: Dict[int, Task] = {}
+        # Lazy-deletion heaps, one per task type.  Each entry is
+        # (-priority, seq, task_id); an entry is *live* iff the task is
+        # still QUEUED and its seq matches _entry_seq[task_id] (re-priority
+        # pushes a fresh entry and bumps the seq, tombstoning the old one).
         self._queues: Dict[str, List[Tuple[int, int, int]]] = {}
-        # each queue entry: (-priority, sequence, task_id) kept sorted
+        self._entry_seq: Dict[int, int] = {}
+        self._stale: Dict[str, int] = {}
+        self._queued_counts: Dict[str, int] = {}
         self._sequence = itertools.count()
         self._ids = itertools.count(1)
         self._submit_listeners: List[Callable[[Task], None]] = []
@@ -135,20 +147,49 @@ class TaskDatabase:
                 submitted_at=self._clock(),
             )
             self._tasks[task.task_id] = task
-            queue = self._queues.setdefault(task.task_type, [])
-            self._insert_sorted(queue, task)
+            self._push(task)
+            self._queued_counts[task.task_type] = (
+                self._queued_counts.get(task.task_type, 0) + 1
+            )
             listeners = list(self._submit_listeners)
             self._cv.notify_all()
         for callback in listeners:
             callback(task)
         return task.task_id
 
-    @staticmethod
-    def _insert_sorted(queue: List[Tuple[int, int, int]], task: Task) -> None:
-        import bisect
+    def _push(self, task: Task) -> None:
+        """Push a fresh heap entry for ``task`` (callers hold the lock).
 
-        entry = (-task.priority, task.task_id, task.task_id)
-        bisect.insort(queue, entry)
+        The sequence counter is monotonic across *all* pushes, so FIFO
+        within a priority level is by insertion order — a re-prioritized
+        task joins the back of its new level, never the front.
+        """
+        seq = next(self._sequence)
+        self._entry_seq[task.task_id] = seq
+        queue = self._queues.setdefault(task.task_type, [])
+        heapq.heappush(queue, (-task.priority, seq, task.task_id))
+
+    def _entry_live(self, entry: Tuple[int, int, int]) -> bool:
+        _, seq, task_id = entry
+        if self._entry_seq.get(task_id) != seq:
+            return False
+        task = self._tasks.get(task_id)
+        return task is not None and task.state is TaskState.QUEUED
+
+    def _tombstone(self, task_type: str, count: int = 1) -> None:
+        """Account ``count`` newly-stale entries and compact if worthwhile."""
+        stale = self._stale.get(task_type, 0) + count
+        self._stale[task_type] = stale
+        queue = self._queues.get(task_type)
+        if (
+            queue is not None
+            and stale > _COMPACT_MIN_STALE
+            and stale > len(queue) - stale
+        ):
+            live = [entry for entry in queue if self._entry_live(entry)]
+            heapq.heapify(live)
+            self._queues[task_type] = live
+            self._stale[task_type] = 0
 
     # -------------------------------------------------------------------- pop
     def pop_task(
@@ -171,13 +212,19 @@ class TaskDatabase:
             while True:
                 queue = self._queues.get(task_type)
                 while queue:
-                    _, _, task_id = queue.pop(0)
-                    task = self._tasks[task_id]
-                    if task.state is TaskState.QUEUED:
-                        task.state = TaskState.RUNNING
-                        task.started_at = self._clock()
-                        task.worker_id = worker_id
-                        return task
+                    entry = heapq.heappop(queue)
+                    if not self._entry_live(entry):
+                        stale = self._stale.get(task_type, 0)
+                        if stale:
+                            self._stale[task_type] = stale - 1
+                        continue
+                    task = self._tasks[entry[2]]
+                    del self._entry_seq[task.task_id]
+                    self._queued_counts[task_type] -= 1
+                    task.state = TaskState.RUNNING
+                    task.started_at = self._clock()
+                    task.worker_id = worker_id
+                    return task
                 if self._closed:
                     return None
                 if deadline is None:
@@ -224,31 +271,87 @@ class TaskDatabase:
         for callback in listeners:
             callback(task)
 
-    def cancel(self, task_id: int) -> bool:
-        """Cancel a QUEUED task.  Returns False if it already started."""
+    def cancel(self, task_id: int, *, reason: Optional[str] = None) -> bool:
+        """Cancel a QUEUED task.  Returns False if it already started.
+
+        ``reason`` is recorded on the task row (e.g. ``"steering"``) so
+        futures can surface a typed cancellation result.
+        """
         with self._cv:
-            task = self._get(task_id)
-            if task.state is not TaskState.QUEUED:
-                return False
-            task.state = TaskState.CANCELLED
-            task.completed_at = self._clock()
-            self._cv.notify_all()
-            return True
+            done = self._cancel_locked(task_id, reason)
+            if done:
+                self._cv.notify_all()
+            return done
+
+    def _cancel_locked(self, task_id: int, reason: Optional[str]) -> bool:
+        task = self._get(task_id)
+        if task.state is not TaskState.QUEUED:
+            return False
+        task.state = TaskState.CANCELLED
+        task.cancel_reason = reason
+        task.completed_at = self._clock()
+        self._entry_seq.pop(task.task_id, None)
+        self._queued_counts[task.task_type] -= 1
+        self._tombstone(task.task_type)
+        return True
+
+    def cancel_queued(
+        self, task_ids: Iterable[int], *, reason: Optional[str] = None
+    ) -> Dict[int, bool]:
+        """Cancel many QUEUED tasks under one lock acquisition.
+
+        Returns ``{task_id: cancelled}`` — False where the task had
+        already been claimed (or finished) when the cancel landed.
+        """
+        with self._cv:
+            out = {
+                task_id: self._cancel_locked(int(task_id), reason)
+                for task_id in sorted(int(t) for t in task_ids)
+            }
+            if any(out.values()):
+                self._cv.notify_all()
+            return out
 
     def set_priority(self, task_id: int, priority: int) -> bool:
-        """Re-prioritize a QUEUED task.  Returns False once it has started."""
+        """Re-prioritize a QUEUED task.  Returns False once it has started.
+
+        O(log n): the old heap entry is tombstoned in place and a fresh
+        entry (new sequence number) is pushed, so the task moves to the
+        *back* of its new priority level.
+        """
         with self._cv:
-            task = self._get(task_id)
-            if task.state is not TaskState.QUEUED:
-                return False
-            queue = self._queues.get(task.task_type, [])
-            old = (-task.priority, task.task_id, task.task_id)
-            if old in queue:
-                queue.remove(old)
-            task.priority = int(priority)
-            self._insert_sorted(queue, task)
-            self._cv.notify_all()
-            return True
+            done = self._set_priority_locked(task_id, priority)
+            if done:
+                self._cv.notify_all()
+            return done
+
+    def _set_priority_locked(self, task_id: int, priority: int) -> bool:
+        task = self._get(task_id)
+        if task.state is not TaskState.QUEUED:
+            return False
+        task.priority = int(priority)
+        self._tombstone(task.task_type)
+        self._push(task)
+        return True
+
+    def update_priorities(self, priorities: Mapping[int, int]) -> Dict[int, bool]:
+        """Atomically re-prioritize many QUEUED tasks.
+
+        The EQ-SQL ``update_priorities`` bulk op: all updates land under a
+        single lock acquisition (workers observe either the old ranking or
+        the new one, never a mix) with one wake-up at the end.  Returns
+        ``{task_id: updated}`` — False for tasks already claimed.
+        """
+        with self._cv:
+            out = {
+                task_id: self._set_priority_locked(int(task_id), int(priority))
+                for task_id, priority in sorted(
+                    (int(k), int(v)) for k, v in priorities.items()
+                )
+            }
+            if any(out.values()):
+                self._cv.notify_all()
+            return out
 
     # ------------------------------------------------------------------ close
     def close(self) -> None:
@@ -306,12 +409,17 @@ class TaskDatabase:
             return out
 
     def queue_length(self, task_type: str) -> int:
-        """Number of queued tasks of ``task_type``."""
+        """Number of queued tasks of ``task_type`` (O(1))."""
         with self._lock:
-            return sum(
-                1
-                for _, _, task_id in self._queues.get(task_type, [])
-                if self._tasks[task_id].state is TaskState.QUEUED
+            return self._queued_counts.get(task_type, 0)
+
+    def queued_ids(self, task_type: str) -> List[int]:
+        """Task ids currently QUEUED for ``task_type``, in submission order."""
+        with self._lock:
+            return sorted(
+                task_id
+                for task_id, task in self._tasks.items()
+                if task.task_type == task_type and task.state is TaskState.QUEUED
             )
 
     def tasks_for_experiment(self, exp_id: str) -> List[Task]:

@@ -14,6 +14,7 @@ That is :meth:`TaskFuture.check` here.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.common.errors import StateError, ValidationError
@@ -21,6 +22,22 @@ from repro.emews.db import Task, TaskDatabase, TaskState
 
 #: States from which a task can no longer progress.
 _TERMINAL = (TaskState.COMPLETE, TaskState.FAILED, TaskState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class CancelledByPolicy:
+    """Typed result of a task cancelled while queued by a steering policy.
+
+    A *reasoned* cancellation (``cancel(reason=...)``) is an expected
+    outcome of adaptive steering, not an error: the future resolves with
+    this value instead of raising, so algorithm loops can distinguish
+    "the policy reclaimed this evaluation" from a genuine failure.
+    Reason-less cancellations keep the historical behaviour (a
+    :class:`StateError` from ``result()``).
+    """
+
+    task_id: int
+    reason: str
 
 
 class TaskFuture:
@@ -70,13 +87,19 @@ class TaskFuture:
         if task.state is TaskState.FAILED:
             raise StateError(f"task {task.task_id} failed: {task.error}")
         if task.state is TaskState.CANCELLED:
+            if task.cancel_reason is not None:
+                return CancelledByPolicy(task.task_id, task.cancel_reason)
             raise StateError(f"task {task.task_id} was cancelled")
         return task.result_obj()
 
     # ---------------------------------------------------------------- control
-    def cancel(self) -> bool:
-        """Cancel if still queued; returns False if already started."""
-        return self._db.cancel(self.task_id)
+    def cancel(self, *, reason: Optional[str] = None) -> bool:
+        """Cancel if still queued; returns False if already started.
+
+        Pass ``reason`` (e.g. ``"steering"``) to resolve the future with a
+        typed :class:`CancelledByPolicy` result instead of an error.
+        """
+        return self._db.cancel(self.task_id, reason=reason)
 
     def set_priority(self, priority: int) -> bool:
         """Raise/lower queue priority while still queued."""

@@ -122,6 +122,7 @@ class EmewsService:
         cache: Optional[MemoCache] = None,
         coalesce_window: float = 0.025,
         max_coalesce: float = 0.25,
+        max_batch: Optional[int] = None,
         name: str = "parallel-pool",
     ) -> PoolHandle:
         """Start a deterministic batch-evaluating pool in this process.
@@ -146,6 +147,7 @@ class EmewsService:
             evaluator,
             coalesce_window=coalesce_window,
             max_coalesce=max_coalesce,
+            max_batch=max_batch,
             name=name,
         ).start()
         handle = PoolHandle(name=name, pool=pool)

@@ -23,34 +23,44 @@ above the database interface can tell which one it is talking to.
 
 from __future__ import annotations
 
+import itertools
 import json
 import sqlite3
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.common.errors import NotFoundError, StateError, ValidationError
 from repro.emews.db import Task, TaskState
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS tasks (
-    task_id      INTEGER PRIMARY KEY AUTOINCREMENT,
-    exp_id       TEXT NOT NULL,
-    task_type    TEXT NOT NULL,
-    payload      TEXT NOT NULL,
-    priority     INTEGER NOT NULL DEFAULT 0,
-    state        TEXT NOT NULL DEFAULT 'queued',
-    submitted_at REAL NOT NULL,
-    started_at   REAL,
-    completed_at REAL,
-    worker_id    TEXT,
-    result       TEXT,
-    error        TEXT
+    task_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    exp_id        TEXT NOT NULL,
+    task_type     TEXT NOT NULL,
+    payload       TEXT NOT NULL,
+    priority      INTEGER NOT NULL DEFAULT 0,
+    seq           INTEGER NOT NULL DEFAULT 0,
+    state         TEXT NOT NULL DEFAULT 'queued',
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    completed_at  REAL,
+    worker_id     TEXT,
+    result        TEXT,
+    error         TEXT,
+    cancel_reason TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_tasks_pop
-    ON tasks (task_type, state, priority DESC, task_id ASC);
+    ON tasks (task_type, state, priority DESC, seq ASC);
 CREATE INDEX IF NOT EXISTS idx_tasks_exp ON tasks (exp_id);
 """
+
+# Columns added after the first release; applied best-effort so old
+# database files keep working (ALTER TABLE ADD COLUMN is cheap in SQLite).
+_MIGRATIONS = (
+    ("seq", "ALTER TABLE tasks ADD COLUMN seq INTEGER NOT NULL DEFAULT 0"),
+    ("cancel_reason", "ALTER TABLE tasks ADD COLUMN cancel_reason TEXT"),
+)
 
 
 class SqliteTaskDatabase:
@@ -77,7 +87,20 @@ class SqliteTaskDatabase:
         self._conn.row_factory = sqlite3.Row
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            existing = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(tasks)")
+            }
+            for column, ddl in _MIGRATIONS:
+                if column not in existing:
+                    self._conn.execute(ddl)
             self._conn.commit()
+            # FIFO tie-break counter, monotonic across submits *and*
+            # re-prioritizations (mirrors TaskDatabase._sequence); resume
+            # past any sequence already in an existing database file.
+            row = self._conn.execute("SELECT MAX(seq) AS m FROM tasks").fetchone()
+            start = (row["m"] or 0) + 1 if row is not None else 1
+            self._sequence = itertools.count(start)
         self._submit_listeners: List[Callable[[Task], None]] = []
         self._complete_listeners: List[Callable[[Task], None]] = []
         self._closed = False
@@ -111,9 +134,16 @@ class SqliteTaskDatabase:
             if self._closed:
                 raise StateError("task database is closed to new submissions")
             cursor = self._conn.execute(
-                "INSERT INTO tasks (exp_id, task_type, payload, priority, state,"
-                " submitted_at) VALUES (?, ?, ?, ?, 'queued', ?)",
-                (str(exp_id), str(task_type), payload_text, int(priority), self._clock()),
+                "INSERT INTO tasks (exp_id, task_type, payload, priority, seq,"
+                " state, submitted_at) VALUES (?, ?, ?, ?, ?, 'queued', ?)",
+                (
+                    str(exp_id),
+                    str(task_type),
+                    payload_text,
+                    int(priority),
+                    next(self._sequence),
+                    self._clock(),
+                ),
             )
             self._conn.commit()
             task_id = int(cursor.lastrowid)
@@ -138,7 +168,7 @@ class SqliteTaskDatabase:
             while True:
                 row = self._conn.execute(
                     "SELECT task_id FROM tasks WHERE task_type = ? AND state = 'queued'"
-                    " ORDER BY priority DESC, task_id ASC LIMIT 1",
+                    " ORDER BY priority DESC, seq ASC LIMIT 1",
                     (task_type,),
                 ).fetchone()
                 if row is not None:
@@ -197,33 +227,76 @@ class SqliteTaskDatabase:
         for callback in listeners:
             callback(task)
 
-    def cancel(self, task_id: int) -> bool:
+    def cancel(self, task_id: int, *, reason: Optional[str] = None) -> bool:
         """Cancel a QUEUED task.  Returns False if it already started."""
         with self._cv:
-            row = self._fetch_row(task_id)
-            if row["state"] != "queued":
-                return False
-            self._conn.execute(
-                "UPDATE tasks SET state = 'cancelled', completed_at = ? WHERE task_id = ?",
-                (self._clock(), task_id),
-            )
-            self._conn.commit()
-            self._cv.notify_all()
-            return True
+            done = self._cancel_locked(task_id, reason)
+            if done:
+                self._conn.commit()
+                self._cv.notify_all()
+            return done
+
+    def _cancel_locked(self, task_id: int, reason: Optional[str]) -> bool:
+        row = self._fetch_row(task_id)
+        if row["state"] != "queued":
+            return False
+        self._conn.execute(
+            "UPDATE tasks SET state = 'cancelled', cancel_reason = ?,"
+            " completed_at = ? WHERE task_id = ?",
+            (reason, self._clock(), task_id),
+        )
+        return True
+
+    def cancel_queued(
+        self, task_ids: Iterable[int], *, reason: Optional[str] = None
+    ) -> Dict[int, bool]:
+        """Cancel many QUEUED tasks in one transaction."""
+        with self._cv:
+            out = {
+                task_id: self._cancel_locked(task_id, reason)
+                for task_id in sorted(int(t) for t in task_ids)
+            }
+            if any(out.values()):
+                self._conn.commit()
+                self._cv.notify_all()
+            return out
 
     def set_priority(self, task_id: int, priority: int) -> bool:
-        """Re-prioritize a QUEUED task.  Returns False once it has started."""
+        """Re-prioritize a QUEUED task.  Returns False once it has started.
+
+        The task takes a fresh sequence number, so it joins the *back* of
+        its new priority level (same FIFO contract as the in-memory heap).
+        """
         with self._cv:
-            row = self._fetch_row(task_id)
-            if row["state"] != "queued":
-                return False
-            self._conn.execute(
-                "UPDATE tasks SET priority = ? WHERE task_id = ?",
-                (int(priority), task_id),
-            )
-            self._conn.commit()
-            self._cv.notify_all()
-            return True
+            done = self._set_priority_locked(task_id, priority)
+            if done:
+                self._conn.commit()
+                self._cv.notify_all()
+            return done
+
+    def _set_priority_locked(self, task_id: int, priority: int) -> bool:
+        row = self._fetch_row(task_id)
+        if row["state"] != "queued":
+            return False
+        self._conn.execute(
+            "UPDATE tasks SET priority = ?, seq = ? WHERE task_id = ?",
+            (int(priority), next(self._sequence), task_id),
+        )
+        return True
+
+    def update_priorities(self, priorities: Mapping[int, int]) -> Dict[int, bool]:
+        """Atomically re-prioritize many QUEUED tasks (one transaction)."""
+        with self._cv:
+            out = {
+                task_id: self._set_priority_locked(task_id, priority)
+                for task_id, priority in sorted(
+                    (int(k), int(v)) for k, v in priorities.items()
+                )
+            }
+            if any(out.values()):
+                self._conn.commit()
+                self._cv.notify_all()
+            return out
 
     # ------------------------------------------------------------------ close
     def close(self) -> None:
@@ -261,6 +334,7 @@ class SqliteTaskDatabase:
             worker_id=row["worker_id"],
             result=row["result"],
             error=row["error"],
+            cancel_reason=row["cancel_reason"],
         )
 
     def get_task(self, task_id: int) -> Task:
@@ -303,6 +377,16 @@ class SqliteTaskDatabase:
                 (task_type,),
             ).fetchone()
             return int(row["n"])
+
+    def queued_ids(self, task_type: str) -> List[int]:
+        """Task ids currently QUEUED for ``task_type``, in submission order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT task_id FROM tasks WHERE task_type = ? AND state = 'queued'"
+                " ORDER BY task_id",
+                (task_type,),
+            ).fetchall()
+            return [int(r["task_id"]) for r in rows]
 
     def tasks_for_experiment(self, exp_id: str) -> List[Task]:
         """All tasks of one experiment, in submission order."""

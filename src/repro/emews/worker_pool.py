@@ -177,17 +177,21 @@ class BatchWorkerPool:
         *,
         coalesce_window: float = 0.025,
         max_coalesce: float = 0.25,
+        max_batch: Optional[int] = None,
         name: str = "batch-pool",
     ) -> None:
         if coalesce_window < 0:
             raise ValidationError("coalesce_window must be >= 0")
         if max_coalesce < coalesce_window:
             raise ValidationError("max_coalesce must be >= coalesce_window")
+        if max_batch is not None and max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
         self._db = db
         self._task_type = task_type
         self._evaluator = evaluator
         self._coalesce_window = coalesce_window
         self._max_coalesce = max_coalesce
+        self._max_batch = max_batch
         self.name = name
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -247,7 +251,11 @@ class BatchWorkerPool:
             claim = [first]
             hard_deadline = time.monotonic() + self._max_coalesce
             deadline = min(time.monotonic() + self._coalesce_window, hard_deadline)
-            while True:
+            while self._max_batch is None or len(claim) < self._max_batch:
+                # max_batch bounds each claim to one evaluation *quantum*:
+                # tasks a steering policy demotes or cancels while a quantum
+                # runs are re-ranked before the next claim, instead of the
+                # whole backlog being locked in up front.
                 # Drain everything already queued; then keep collecting until
                 # the queue has been quiet for a full coalesce window, so
                 # concurrently-submitting algorithm instances coalesce into
@@ -293,6 +301,62 @@ class BatchWorkerPool:
             obs.inc("pool.tasks_processed", len(claim))
             obs.inc("pool.batches_processed")
             obs.observe("pool.claim_size", len(claim), DEFAULT_SIZE_BOUNDS)
+
+
+class SteppedWorkerPool:
+    """A synchronous, caller-clocked worker pool for deterministic studies.
+
+    No threads, no wall clock: each :meth:`step` claims up to ``n_slots``
+    tasks in database priority order, evaluates them synchronously, and
+    completes them in ``task_id`` order.  Between quanta the database is
+    quiescent, so a steering policy's re-prioritizations and cancellations
+    land at exact, reproducible points in the schedule — which is what
+    makes evals-to-convergence comparisons (steering on vs off) and the
+    bitwise-determinism tests exact rather than statistical.
+
+    ``fn`` exceptions fail the task (traceback string), as in the
+    threaded pools.
+    """
+
+    def __init__(
+        self,
+        db: TaskDatabase,
+        task_type: str,
+        fn: EvalFn,
+        *,
+        n_slots: int = 4,
+        name: str = "stepped-pool",
+    ) -> None:
+        if n_slots < 1:
+            raise ValidationError("stepped pool needs at least one slot")
+        self._db = db
+        self._task_type = task_type
+        self._fn = fn
+        self.n_slots = n_slots
+        self.name = name
+        self.tasks_processed = 0
+        self.quanta = 0
+
+    def step(self) -> int:
+        """Run one quantum; returns how many tasks were evaluated."""
+        claim: List[Task] = []
+        while len(claim) < self.n_slots:
+            task = self._db.pop_task(self._task_type, self.name, timeout=0.0)
+            if task is None:
+                break
+            claim.append(task)
+        claim.sort(key=lambda task: task.task_id)
+        for task in claim:
+            try:
+                result = self._fn(task.payload_obj())
+            except Exception:
+                self._db.fail_task(task.task_id, traceback.format_exc(limit=5))
+            else:
+                self._db.complete_task(task.task_id, result)
+        if claim:
+            self.tasks_processed += len(claim)
+            self.quanta += 1
+        return len(claim)
 
 
 class SimWorkerPool:

@@ -20,6 +20,10 @@ The paper's second use case (§3) performs a surrogate-based GSA of MetaRVM:
   3 PCE as it performed the best among the PCE degrees we examined").
 - :mod:`repro.gsa.interleave` — the cooperative round-robin driver that
   interleaves N algorithm instances over EMEWS futures (§3.2).
+- :mod:`repro.gsa.steering` — acquisition-driven steering of in-flight
+  work: as results stream back, queued points are re-scored and re-ranked,
+  and the lowest-value ones cancelled (budget reclaimed) or parked (the
+  ``asynch_repriority`` pattern).
 """
 
 from repro.gsa.lhs import latin_hypercube, maximin_latin_hypercube
@@ -52,6 +56,16 @@ from repro.gsa.calibration import (
     calibrate,
 )
 from repro.gsa.interleave import InterleavedDriver, SequentialDriver
+from repro.gsa.steering import (
+    STEER_CANCEL_REASON,
+    SteeringConfig,
+    SteeringDecision,
+    SteeringPolicy,
+    SteeringReport,
+    evals_to_convergence,
+    run_stepped,
+    steered_music_coroutine,
+)
 
 __all__ = [
     "latin_hypercube",
@@ -88,4 +102,12 @@ __all__ = [
     "calibrate",
     "InterleavedDriver",
     "SequentialDriver",
+    "STEER_CANCEL_REASON",
+    "SteeringConfig",
+    "SteeringDecision",
+    "SteeringPolicy",
+    "SteeringReport",
+    "steered_music_coroutine",
+    "run_stepped",
+    "evals_to_convergence",
 ]

@@ -108,6 +108,7 @@ class MusicGSA:
     ) -> None:
         self.space = space
         self.config = config if config is not None else MusicConfig()
+        self._seed = int(seed)
         self._rng = generator_from_seed(seed)
         self._gp = GaussianProcess(dim=space.dim)
         self._x_unit: Optional[np.ndarray] = None
@@ -179,6 +180,37 @@ class MusicGSA:
             scores = upper_confidence_bound(mean, var, kappa=cfg.ucb_kappa)
         best = candidates[int(np.argmax(scores))]
         return self.space.scale(best[None, :])
+
+    # ------------------------------------------------------------------ score
+    def score_points(self, x_natural: np.ndarray) -> np.ndarray:
+        """Acquisition scores of arbitrary points under the current surrogate.
+
+        The steering primitive: re-scores *already proposed* (queued)
+        points against the GP as it stands now, so a policy can demote or
+        cancel points whose information value has decayed.  Pure function
+        of the surrogate state and the points — it draws from a dedicated
+        generator reseeded per call, never from the proposal stream, so
+        scoring queued work perturbs neither :meth:`propose` nor the
+        surrogate-MC noise (the determinism contract for steering
+        decisions).
+        """
+        if self._x_unit is None:
+            raise StateError("tell() the initial design before scoring")
+        x_natural = np.atleast_2d(check_array("x_natural", x_natural, finite=True))
+        x_unit = self.space.unscale(x_natural)
+        cfg = self.config
+        if cfg.acquisition == "random":
+            return np.zeros(x_unit.shape[0])
+        if cfg.acquisition == "music":
+            score_rng = generator_from_seed((self._seed * 2654435761 + 97) % 2**31)
+            return music_scores(self._gp, x_unit, self._x_unit, self._y, rng=score_rng)
+        if cfg.acquisition == "eigf":
+            return eigf_scores(self._gp, x_unit, self._x_unit, self._y)
+        if cfg.acquisition == "ei":
+            mean, var = self._gp.predict(x_unit)
+            return expected_improvement(mean, var, best=float(self._y.max()))
+        mean, var = self._gp.predict(x_unit)
+        return upper_confidence_bound(mean, var, kappa=cfg.ucb_kappa)
 
     # ---------------------------------------------------------------- indices
     def first_order(self) -> np.ndarray:

@@ -1,0 +1,511 @@
+"""Acquisition-driven work steering for the EMEWS/GSA loop.
+
+OSPREY's ``asynch_repriority`` example exists because the biggest remaining
+algorithmic lever in the ME→HPC loop is *steering in-flight work*: as
+completed results stream back, the model-exploration algorithm knows more
+than it did when it queued its lookahead window, so queued points should be
+re-ranked — and the stalest ones cancelled and replaced — rather than
+evaluated in submission order at submission-time value.
+
+This module connects the two halves the stack already has:
+
+- the EMEWS task database's dynamic priorities
+  (:meth:`~repro.emews.db.TaskDatabase.update_priorities`,
+  :meth:`~repro.emews.db.TaskDatabase.cancel_queued`), and
+- the GSA acquisition functions (:meth:`~repro.gsa.music.MusicGSA
+  .score_points`).
+
+Determinism contract
+--------------------
+Every :class:`SteeringDecision` is a **pure function of completed-result
+content**: the steered coroutine consumes results in submission order, so
+the surrogate state at each decision point — and hence the scores, the
+re-ranking, and the cancel set — is reproducible bit-for-bit from the
+result stream alone.  Decisions address points by their per-instance
+submission *ordinal* (not database task id), and are journaled write-ahead
+(:meth:`~repro.state.RunCheckpointer.record_steering_decision`) with
+divergence detection on replay.
+
+Cancellation is inherently racy under threaded worker pools (a worker may
+claim a point before the cancel lands).  The contract survives because a
+*decided* cancellation **revokes** the point: its result — typed
+:class:`~repro.emews.futures.CancelledByPolicy` when the cancel won the
+race, a real evaluation when it lost — is discarded either way, never told
+to the surrogate.  Only observability counters (reclaimed vs wasted) see
+the race; Sobol outputs do not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.validation import check_int
+from repro.emews.futures import CancelledByPolicy, TaskFuture, pop_completed
+from repro.emews.worker_pool import SteppedWorkerPool
+from repro.gsa.music import MusicGSA
+
+#: ``Task.cancel_reason`` / ``CancelledByPolicy.reason`` used for steering
+#: cancellations.
+STEER_CANCEL_REASON = "steering"
+
+#: Steering modes: ``cancel`` reclaims the evaluation budget of dropped
+#: points; ``park`` keeps them queued in a deep low-priority lane.
+STEERING_MODES = ("cancel", "park")
+
+
+@dataclass(frozen=True)
+class SteeringConfig:
+    """Tunables of the acquisition-driven steering loop.
+
+    ``steer_every=0`` disables steering entirely while keeping the same
+    windowed lookahead loop — the honest ablation baseline for the
+    evals-to-convergence benchmark (equal staleness, no corrections).
+    """
+
+    steer_every: int = 2
+    lookahead: int = 12
+    cancel_fraction: float = 0.5
+    min_keep: int = 2
+    mode: str = "cancel"
+    park_priority: int = -1000
+    rank_by: str = "score"
+    protect_head: bool = True
+    cancel_guard: int = 4
+
+    def __post_init__(self) -> None:
+        check_int("steer_every", self.steer_every, minimum=0)
+        check_int("lookahead", self.lookahead, minimum=1)
+        check_int("min_keep", self.min_keep, minimum=0)
+        if not 0.0 <= self.cancel_fraction <= 1.0:
+            raise ValidationError("cancel_fraction must be in [0, 1]")
+        if self.mode not in STEERING_MODES:
+            raise ValidationError(
+                f"unknown steering mode {self.mode!r}; choose from {STEERING_MODES}"
+            )
+        if self.rank_by not in ("score", "fifo"):
+            raise ValidationError("rank_by must be 'score' or 'fifo'")
+        check_int("cancel_guard", self.cancel_guard, minimum=0)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether decisions are actually issued."""
+        return self.steer_every > 0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot (what the run store persists)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, doc: Mapping[str, Any]) -> "SteeringConfig":
+        """Rebuild a config from a stored snapshot."""
+        return cls(**dict(doc))
+
+
+@dataclass(frozen=True)
+class SteeringDecision:
+    """One batched steering decision over the pending window.
+
+    ``ordinals``/``scores`` list the still-pending points (per-instance
+    submission ordinals) and their acquisition scores at decision time;
+    ``priorities`` maps ordinal → new queue priority; ``cancels`` are the
+    ordinals dropped (or parked).  ``n_results`` pins where in the
+    consumed-result stream the decision was taken.
+    """
+
+    step: int
+    n_results: int
+    ordinals: Tuple[int, ...]
+    scores: Tuple[float, ...]
+    priorities: Mapping[int, int]
+    cancels: Tuple[int, ...]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Canonical JSON form — the write-ahead journal payload."""
+        return {
+            "step": self.step,
+            "n_results": self.n_results,
+            "ordinals": list(self.ordinals),
+            "scores": [float(s) for s in self.scores],
+            "priorities": {str(k): int(v) for k, v in sorted(self.priorities.items())},
+            "cancels": list(self.cancels),
+        }
+
+
+class SteeringPolicy:
+    """Deterministic acquisition-driven re-rank / cancel decisions.
+
+    Given the pending window (points + ordinals), scores every point under
+    the instance's current surrogate, ranks by ``(-score, ordinal)`` —
+    the ordinal tie-break keeps equal-score decisions reproducible — and:
+
+    - assigns descending queue priorities so the pool evaluates the most
+      informative points first, and
+    - marks the bottom ``cancel_fraction`` of the window (never cutting
+      below ``min_keep`` survivors) for cancellation/parking.
+
+    Also tracks per-point score churn across consecutive decisions (the
+    observability histogram: how fast queued work's value decays).
+    """
+
+    def __init__(self, music: MusicGSA, config: SteeringConfig) -> None:
+        self.music = music
+        self.config = config
+        self.decisions: List[SteeringDecision] = []
+        self._last_scores: Dict[int, float] = {}
+
+    def decide(
+        self, points: np.ndarray, ordinals: Sequence[int], *, n_results: int
+    ) -> Tuple[SteeringDecision, List[float]]:
+        """One decision over the pending window.
+
+        Returns ``(decision, churn)`` where ``churn`` lists the absolute
+        score change of every point also present in the previous decision.
+        """
+        points = np.atleast_2d(points)
+        if points.shape[0] != len(ordinals):
+            raise ValidationError("points and ordinals disagree on window size")
+        scores = self.music.score_points(points)
+        order = sorted(
+            range(len(ordinals)), key=lambda i: (-float(scores[i]), ordinals[i])
+        )
+        cfg = self.config
+        n = len(ordinals)
+        # The cancel guard exempts the oldest `cancel_guard` live points:
+        # those are the ones a pool has plausibly already claimed, so
+        # cancelling them would only waste the evaluation (the decision
+        # still revokes, so a lost race discards a real result).  The
+        # guard is a pure function of ordinals — no queue-state peeking.
+        by_age = sorted(range(n), key=lambda i: ordinals[i])
+        guarded = set(by_age[: cfg.cancel_guard])
+        eligible = [i for i in order if i not in guarded]
+        n_cancel = min(
+            int(n * cfg.cancel_fraction), len(eligible), max(0, n - cfg.min_keep)
+        )
+        cancel_idx = set(eligible[len(eligible) - n_cancel :]) if n_cancel else set()
+        cancels = tuple(ordinals[i] for i in order if i in cancel_idx)
+        survivors = [i for i in order if i not in cancel_idx]
+        if cfg.rank_by == "fifo":
+            # Cancels are score-driven but survivors keep submission order:
+            # the pool then clears the consumption head promptly instead of
+            # stalling it behind fresher-scored work.
+            survivors = sorted(survivors, key=lambda i: ordinals[i])
+        elif cfg.protect_head and survivors:
+            # Score ranking, but the head-of-line survivor (what the tell
+            # stream is waiting on) is promoted to the front so demotion
+            # never starves consumption.
+            head = min(survivors, key=lambda i: ordinals[i])
+            survivors = [head] + [i for i in survivors if i != head]
+        priorities = {
+            ordinals[i]: len(survivors) - rank for rank, i in enumerate(survivors)
+        }
+        decision = SteeringDecision(
+            step=len(self.decisions),
+            n_results=int(n_results),
+            ordinals=tuple(ordinals),
+            scores=tuple(float(s) for s in scores),
+            priorities=priorities,
+            cancels=cancels,
+        )
+        churn = [
+            abs(float(scores[i]) - self._last_scores[ordinals[i]])
+            for i in range(n)
+            if ordinals[i] in self._last_scores
+        ]
+        self._last_scores = {
+            ordinals[i]: float(scores[i]) for i in range(n)
+        }
+        self.decisions.append(decision)
+        return decision, churn
+
+    def decision_journal(self) -> List[Dict[str, Any]]:
+        """All decisions in canonical JSON form (byte-comparable)."""
+        return [decision.to_jsonable() for decision in self.decisions]
+
+
+@dataclass
+class SteeringReport:
+    """Counters of one steered run (mirrored into ``repro.obs``)."""
+
+    decisions: int = 0
+    reranks: int = 0
+    cancels: int = 0
+    parked: int = 0
+    reclaimed_evals: int = 0
+    wasted_evals: int = 0
+    score_churn: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Integer counters only (the ``steering_report`` dict)."""
+        return {
+            "steering_decisions": self.decisions,
+            "steering_reranks": self.reranks,
+            "steering_cancels": self.cancels,
+            "steering_parked": self.parked,
+            "steering_reclaimed_evals": self.reclaimed_evals,
+            "steering_wasted_evals": self.wasted_evals,
+        }
+
+
+@dataclass
+class _Pending:
+    """One submitted-but-unconsumed point of the steered window."""
+
+    ordinal: int
+    point: np.ndarray  # (1, dim) natural units
+    future: TaskFuture
+    revoked: bool = False
+
+
+def steered_music_coroutine(
+    music: MusicGSA,
+    queue,
+    seed: int,
+    budget: int,
+    steering: SteeringConfig,
+    *,
+    task_type: str = "metarvm",
+    policy: Optional[SteeringPolicy] = None,
+    state=None,
+    obs=None,
+    report: Optional[SteeringReport] = None,
+) -> Iterator[bool]:
+    """A windowed MUSIC instance with acquisition-driven steering.
+
+    Same yield protocol as :func:`~repro.workflows.music_gsa
+    .music_coroutine` (truthy = progress, falsy = checked-still-pending),
+    but instead of the strict propose→wait→tell cycle it keeps a
+    ``steering.lookahead``-deep window of proposals in flight and, every
+    ``steering.steer_every`` consumed results, issues one batched
+    :class:`SteeringDecision` through the queue's bulk ops.
+
+    Results are consumed in submission order (head-of-line), so the
+    surrogate's tell stream — and every decision — is a pure function of
+    result content regardless of worker scheduling.  Revoked points are
+    consumed but never told.  With ``steering.steer_every == 0`` this is
+    the unsteered windowed baseline: identical loop, no decisions.
+
+    ``state`` (a :class:`~repro.state.RunCheckpointer`) journals each
+    decision write-ahead; ``obs``/``report`` collect steering counters.
+    """
+    if report is None:
+        report = SteeringReport()
+    if policy is None:
+        policy = SteeringPolicy(music, steering)
+
+    def _submit(points: np.ndarray, *, priority: int = 0) -> List[TaskFuture]:
+        payloads = [
+            {"point": row.tolist(), "seed": int(seed)}
+            for row in np.atleast_2d(points)
+        ]
+        return queue.submit_tasks(task_type, payloads, priority=priority)
+
+    # Phase 1: the initial design, exactly as the unsteered coroutine.
+    design = music.initial_design()
+    futures = _submit(design)
+    pending_init = list(futures)
+    results: Dict[int, float] = {}
+    yield True
+
+    while pending_init:
+        done = pop_completed(pending_init)
+        if done is None:
+            yield False
+            continue
+        results[done.task_id] = done.result_nowait()["hospitalizations"]
+        yield True
+    ordered = np.array([results[f.task_id] for f in futures])
+    music.tell(design, ordered)
+    yield True
+
+    # Phase 2: windowed lookahead with steering.
+    window: List[_Pending] = []
+    next_ordinal = 0
+    consumed_since_steer = 0
+    refill_credit = steering.lookahead
+
+    def _live() -> int:
+        return sum(1 for p in window if not p.revoked)
+
+    while music.n_evaluations < budget:
+        # Top up the in-flight window.  Beyond the initial fill, refill
+        # credits are granted by *told* results only, so proposals stay
+        # interleaved one-per-tell: a cancelled batch is never re-proposed
+        # wholesale against a frozen surrogate (mass re-proposal just
+        # clusters points at the current acquisition peak).  Reclaimed
+        # budget is instead spent later, against fresher surrogate states.
+        while (
+            refill_credit > 0
+            and _live() < steering.lookahead
+            and music.n_evaluations + _live() < budget
+        ):
+            refill_credit -= 1
+            point = music.propose()
+            future = _submit(point)[0]
+            window.append(_Pending(next_ordinal, point, future))
+            next_ordinal += 1
+            yield True
+        if not window:
+            if music.n_evaluations >= budget:
+                break
+            # Everything in flight was revoked before any refill credit
+            # accrued (tiny guard/min_keep); restart the pipeline.
+            refill_credit = max(refill_credit, 1)
+            continue
+
+        # Consume strictly head-of-line: the tell stream is submission-
+        # ordered no matter how the pool schedules, which is what makes
+        # every downstream decision replayable from result content.
+        head = window[0]
+        if not head.future.check():
+            yield False
+            continue
+        window.pop(0)
+        value = head.future.result_nowait()
+        if head.revoked:
+            if isinstance(value, CancelledByPolicy):
+                report.reclaimed_evals += 1
+                if obs is not None:
+                    obs.inc("steering.reclaimed_evals")
+            else:
+                # A worker won the race and evaluated it anyway; the
+                # decision stands and the result is discarded.
+                report.wasted_evals += 1
+                if obs is not None:
+                    obs.inc("steering.wasted_evals")
+            yield True
+            continue
+        music.tell(head.point, np.array([value["hospitalizations"]]))
+        consumed_since_steer += 1
+        refill_credit += 1
+        yield True
+
+        if (
+            steering.enabled
+            and consumed_since_steer >= steering.steer_every
+            and any(not p.revoked for p in window)
+        ):
+            consumed_since_steer = 0
+            live = [p for p in window if not p.revoked]
+            points = np.vstack([p.point for p in live])
+            decision, churn = policy.decide(
+                points, [p.ordinal for p in live], n_results=music.n_evaluations
+            )
+            if state is not None:
+                state.record_steering_decision(decision.step, decision.to_jsonable())
+            _apply_decision(decision, live, queue, steering, report, obs)
+            for delta in churn:
+                report.score_churn.append(delta)
+                if obs is not None:
+                    from repro.obs import SCORE_CHURN_BOUNDS
+
+                    obs.observe("steering.score_churn", delta, SCORE_CHURN_BOUNDS)
+            yield True
+
+
+def _apply_decision(
+    decision: SteeringDecision,
+    live: Sequence[_Pending],
+    queue,
+    steering: SteeringConfig,
+    report: SteeringReport,
+    obs,
+) -> None:
+    """Issue one decision's bulk ops and mark revocations."""
+    by_ordinal = {p.ordinal: p for p in live}
+    priorities = {
+        by_ordinal[o].future: prio for o, prio in decision.priorities.items()
+    }
+    if steering.mode == "park":
+        for ordinal in decision.cancels:
+            priorities[by_ordinal[ordinal].future] = steering.park_priority
+    if priorities:
+        outcome = queue.update_priorities(priorities)
+        report.reranks += sum(1 for ok in outcome.values() if ok)
+        if obs is not None:
+            obs.inc("steering.reranks", sum(1 for ok in outcome.values() if ok))
+    if steering.mode == "cancel" and decision.cancels:
+        queue.cancel_tasks(
+            [by_ordinal[o].future for o in decision.cancels],
+            reason=STEER_CANCEL_REASON,
+        )
+        for ordinal in decision.cancels:
+            by_ordinal[ordinal].revoked = True
+        report.cancels += len(decision.cancels)
+        if obs is not None:
+            obs.inc("steering.cancels", len(decision.cancels))
+    elif steering.mode == "park" and decision.cancels:
+        report.parked += len(decision.cancels)
+        if obs is not None:
+            obs.inc("steering.parked", len(decision.cancels))
+    report.decisions += 1
+    if obs is not None:
+        obs.inc("steering.decisions")
+
+
+def run_stepped(
+    coroutines: Sequence[Iterator[bool]],
+    pool: SteppedWorkerPool,
+    *,
+    max_quanta: int = 1_000_000,
+) -> Dict[str, int]:
+    """Drive coroutines against a :class:`SteppedWorkerPool` to completion.
+
+    The deterministic driver for steering studies: advance every coroutine
+    until none makes progress, then run exactly one pool quantum, repeat.
+    No wall clock anywhere, so two same-seed runs take bitwise-identical
+    trajectories — which is what lets the benchmark assert an exact
+    evals-to-convergence reduction instead of a statistical one.
+    """
+    active = list(coroutines)
+    turns = 0
+    quanta = 0
+    while active:
+        progress = False
+        for coroutine in list(active):
+            turns += 1
+            try:
+                if next(coroutine):
+                    progress = True
+            except StopIteration:
+                active.remove(coroutine)
+                progress = True
+        if progress or not active:
+            continue
+        if quanta >= max_quanta:
+            raise StateError(f"stepped driver exceeded {max_quanta} quanta")
+        quanta += 1
+        if pool.step() == 0:
+            raise StateError(
+                "stepped driver deadlocked: coroutines pending, queue empty"
+            )
+    return {"turns": turns, "quanta": quanta, "tasks": pool.tasks_processed}
+
+
+def evals_to_convergence(
+    history: Sequence[Tuple[int, np.ndarray]],
+    reference: np.ndarray,
+    *,
+    tol: float = 0.05,
+) -> float:
+    """Evaluations needed for the index estimates to stay within ``tol``.
+
+    The benchmark's figure of merit: the smallest ``n_evaluations`` after
+    which every snapshot's max-abs error against ``reference`` stays at or
+    under ``tol`` for the rest of the run; ``inf`` if never.
+    """
+    if not history:
+        raise ValidationError("empty convergence history")
+    reference = np.asarray(reference, dtype=float)
+    stable_from: float = np.inf
+    for n, values in history:
+        if float(np.max(np.abs(np.asarray(values) - reference))) <= tol:
+            if not np.isfinite(stable_from):
+                stable_from = float(n)
+        else:
+            stable_from = np.inf
+    return stable_from

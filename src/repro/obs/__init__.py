@@ -67,6 +67,8 @@ __all__ = [
     "SERVICE_TICK_BOUNDS",
     "GANG_KEYS",
     "GANG_SIZE_BOUNDS",
+    "STEERING_KEYS",
+    "SCORE_CHURN_BOUNDS",
     "DEFAULT_DAY_BOUNDS",
     "DEFAULT_SIZE_BOUNDS",
 ]
@@ -116,6 +118,25 @@ GANG_KEYS = ("gangs", "members", "flushes", "fused_payloads", "solo_payloads")
 
 #: Bucket edges (members per gang) for the gang-size histogram.
 GANG_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Counter keys of the steering ``steering_view``; stored under
+#: ``steering.<key>`` by the acquisition-driven steering loop
+#: (:mod:`repro.gsa.steering`).
+STEERING_KEYS = (
+    "decisions",
+    "reranks",
+    "cancels",
+    "parked",
+    "reclaimed_evals",
+    "wasted_evals",
+)
+
+#: Bucket edges (absolute acquisition-score change between consecutive
+#: re-scorings of one queued point) for the score-churn histogram.  Scores
+#: are EIGF/MUSIC values on the QoI scale, so the edges span decades.
+SCORE_CHURN_BOUNDS = (
+    1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+)
 
 
 class Observability:
@@ -246,6 +267,25 @@ class Observability:
             "service.gang.size", GANG_SIZE_BOUNDS
         ).as_dict()
         view["gang"] = gang
+        return view
+
+    def steering_view(self) -> Dict[str, object]:
+        """The adaptive-steering health view derived from the registry.
+
+        What an operator asks of a steered run: how many decisions were
+        issued, how much queued work was re-ranked / cancelled / parked,
+        how many evaluations the cancellations reclaimed (vs wasted to the
+        cancel/claim race), and the score-churn histogram — how fast the
+        acquisition value of queued points decays as results stream in.
+        All values read as zero/empty on an unsteered run.
+        """
+        view: Dict[str, object] = {
+            key: int(self.metrics.counter_value(f"steering.{key}"))
+            for key in STEERING_KEYS
+        }
+        view["score_churn"] = self.metrics.histogram(
+            "steering.score_churn", SCORE_CHURN_BOUNDS
+        ).as_dict()
         return view
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

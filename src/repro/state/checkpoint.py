@@ -137,6 +137,7 @@ class RunCheckpointer:
     KIND_BEGIN = "run.begin"
     KIND_END = "run.end"
     KIND_CANCEL = "run.cancel"
+    KIND_STEER = "steer.decision"
 
     def __init__(
         self,
@@ -374,6 +375,40 @@ class RunCheckpointer:
     def record_rng_mark(self, name: str, digests: Dict[str, str], *, t: Optional[float] = None) -> bool:
         """Journal named RNG stream position digests (a replay diagnostic)."""
         return self.record(self.KIND_RNG, name, {"streams": dict(digests)}, t=t)
+
+    # --------------------------------------------------------------- steering
+    def record_steering_decision(
+        self, step: int, payload: Dict[str, Any], *, t: Optional[float] = None
+    ) -> bool:
+        """Write-ahead record of one steering decision, verified on replay.
+
+        Steering decisions are a pure function of completed-result content,
+        so a resumed run must recompute each one byte-identically.  A replay
+        that produces a *different* payload for a journaled step is a broken
+        determinism contract, not an idempotent no-op — it raises
+        :class:`StateError` rather than silently diverging the run.
+        """
+        key = f"step-{int(step)}"
+        existing = self.journal.lookup(self.KIND_STEER, key)
+        if existing is not None:
+            if stable_digest(_canonicalize(existing.payload)) != stable_digest(
+                _canonicalize(payload)
+            ):
+                raise StateError(
+                    f"steering decision {step} diverged from the journaled "
+                    f"run (run {self.run_id}): replay is not deterministic"
+                )
+            self._count_replay(True)
+            return False
+        return self.record(self.KIND_STEER, key, payload, t=t)
+
+    def steering_decisions(self) -> List[Dict[str, Any]]:
+        """All journaled steering decisions, in step order."""
+        records = sorted(
+            self.journal.records(self.KIND_STEER),
+            key=lambda record: int(record.key.split("-", 1)[1]),
+        )
+        return [record.payload for record in records]
 
     # ------------------------------------------------------- EMEWS evaluators
     def wrap_evaluator(self, fn: Callable[[Any], Any]) -> Callable[[Any], Any]:

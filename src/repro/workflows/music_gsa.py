@@ -44,6 +44,12 @@ from repro.obs import Observability
 from repro.perf import MemoCache, memo_salt
 from repro.gsa.interleave import InterleavedDriver, SequentialDriver
 from repro.gsa.music import MusicConfig, MusicGSA
+from repro.gsa.steering import (
+    SteeringConfig,
+    SteeringPolicy,
+    SteeringReport,
+    steered_music_coroutine,
+)
 from repro.gsa.pce import PCEModel
 from repro.gsa.sobol import first_order_indices, saltelli_design
 from repro.models.metarvm import MetaRVM, MetaRVMConfig
@@ -311,6 +317,12 @@ class MusicGsaRunConfig:
     fault_rate: float = 0.0
     fault_seed: int = 0
     music_config: Optional[MusicConfig] = None
+    #: Acquisition-driven steering of the in-flight window (None = the
+    #: classic strict propose→wait→tell coroutine).  Requires ``use_emews``.
+    steering: Optional[SteeringConfig] = None
+    #: Cap per-drain claims of the parallel pool to one evaluation quantum,
+    #: so steering re-ranks land between quanta (slot preemption).
+    max_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_int("budget", self.budget, minimum=40)
@@ -318,6 +330,13 @@ class MusicGsaRunConfig:
         check_int("n_workers", self.n_workers, minimum=1)
         if not 0.0 <= self.fault_rate < 1.0:
             raise ValidationError("fault_rate must be in [0, 1)")
+        if self.max_batch is not None:
+            check_int("max_batch", self.max_batch, minimum=1)
+        if self.steering is not None and not self.use_emews:
+            raise ValidationError(
+                "steering requires use_emews=True: decisions act on the "
+                "EMEWS task queue"
+            )
 
     def to_jsonable(self) -> Dict[str, Any]:
         """Plain-JSON snapshot (what the run store persists)."""
@@ -327,6 +346,9 @@ class MusicGsaRunConfig:
             if self.music_config is not None
             else None
         )
+        doc["steering"] = (
+            self.steering.to_jsonable() if self.steering is not None else None
+        )
         return doc
 
     @classmethod
@@ -335,6 +357,8 @@ class MusicGsaRunConfig:
         doc = dict(doc)
         if doc.get("music_config") is not None:
             doc["music_config"] = MusicConfig(**doc["music_config"])
+        if doc.get("steering") is not None:
+            doc["steering"] = SteeringConfig.from_jsonable(doc["steering"])
         return cls(**doc)
 
 
@@ -359,6 +383,10 @@ class Figure4Data:
     run_id: Optional[str] = None
     #: Checkpointing counters — all zeros unless a ``run_store`` was used.
     state_report: Dict[str, int] = field(default_factory=dict)
+    #: Steering counters (empty on an unsteered run).
+    steering_report: Dict[str, int] = field(default_factory=dict)
+    #: Canonical-JSON steering decision journal (empty on an unsteered run).
+    steering_decisions: List[Dict[str, Any]] = field(default_factory=list)
 
     def stabilization(self, *, tol: float = 0.05) -> Dict[str, Dict[str, float]]:
         """Per-method stabilization sample sizes (see
@@ -444,6 +472,16 @@ def run_music_gsa(
     :class:`~repro.emews.ResilientEvaluator`.  The resulting
     ``resilience_report`` counters land on the returned data.
 
+    With ``config.steering`` set, the MUSIC instance runs as the
+    acquisition-driven steered loop (:mod:`repro.gsa.steering`): a
+    ``lookahead``-deep window of proposals stays in flight and, as results
+    stream back, queued points are re-scored and re-ranked through the
+    queue's bulk ops, with the lowest-value ones cancelled (budget
+    reclaimed) or parked.  Decisions are journaled write-ahead under a
+    ``run_store`` and land on ``Figure4Data.steering_decisions``;
+    ``config.max_batch`` caps the parallel pool's claims per drain so
+    re-ranks take effect between evaluation quanta.
+
     With a ``run_store``, every completed MetaRVM evaluation and both
     expensive arrays (the PCE design responses and the Saltelli reference)
     are journaled.  The EMEWS path has no simulated clock, so the
@@ -483,6 +521,8 @@ def run_music_gsa(
     wrapper: Optional[ResilientEvaluator] = None
     resilience_report: Dict[str, int] = {}
     perf_report: Dict[str, int] = {}
+    steering_policy: Optional[SteeringPolicy] = None
+    steering_counters = SteeringReport()
     if run_cfg.use_emews:
         evaluator, batch_evaluator, wrapper = _build_evaluator(
             model_config, run_cfg.fault_rate, run_cfg.fault_seed, evaluator_retry
@@ -496,6 +536,7 @@ def run_music_gsa(
                 batch_fn=batch_evaluator,
                 n_workers=run_cfg.n_workers,
                 cache=memo_cache,
+                max_batch=run_cfg.max_batch,
                 name="figure4-pool",
             )
         else:
@@ -507,7 +548,23 @@ def run_music_gsa(
             )
         if observability is not None:
             handle.pool.bind_observability(observability)
-        driver = InterleavedDriver([music_coroutine(music, queue, seed, budget)])
+        if run_cfg.steering is not None:
+            steering_policy = SteeringPolicy(music, run_cfg.steering)
+            coroutine = steered_music_coroutine(
+                music,
+                queue,
+                seed,
+                budget,
+                run_cfg.steering,
+                task_type=TASK_TYPE,
+                policy=steering_policy,
+                state=state,
+                obs=observability,
+                report=steering_counters,
+            )
+        else:
+            coroutine = music_coroutine(music, queue, seed, budget)
+        driver = InterleavedDriver([coroutine])
         try:
             driver.run()
         except Exception:
@@ -597,6 +654,12 @@ def run_music_gsa(
         perf_report=perf_report,
         run_id=state.run_id if state is not None else None,
         state_report=state.counters() if state is not None else {},
+        steering_report=(
+            steering_counters.as_dict() if run_cfg.steering is not None else {}
+        ),
+        steering_decisions=(
+            steering_policy.decision_journal() if steering_policy is not None else []
+        ),
     )
 
 

@@ -1,0 +1,251 @@
+"""Steering-era queue semantics: bulk ops, typed cancels, FIFO regression.
+
+Covers the task-database surface the steering loop leans on — atomic
+``update_priorities``, bulk ``cancel_queued`` with a reason, the
+lazy-deletion heap's tombstone/compaction behaviour — plus the FIFO
+tie-break regression: a re-prioritized task must join the *back* of its
+new priority level (fresh sequence number), not keep its submission-order
+slot (the old sorted-list key reused ``task_id`` as the tie-break, which
+let a demoted-then-restored task jump the queue).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import StateError
+from repro.emews.api import TaskQueue
+from repro.emews.db import TaskDatabase, TaskState
+from repro.emews.futures import CancelledByPolicy
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def db(request):
+    """Bulk-op behaviour must be backend-agnostic, like everything else."""
+    if request.param == "memory":
+        return TaskDatabase()
+    from repro.emews.sqlite_db import SqliteTaskDatabase
+
+    return SqliteTaskDatabase()
+
+
+class TestFifoRegression:
+    def test_reprioritized_task_joins_back_of_new_level(self, db):
+        a = db.submit("e", "t", "a", priority=0)
+        b = db.submit("e", "t", "b", priority=0)
+        c = db.submit("e", "t", "c", priority=0)
+        # Re-assert a's priority at the same level: it re-enters the FIFO
+        # at the back, it does not keep its original (front) slot.
+        assert db.set_priority(a, 0)
+        assert [db.pop_task("t", "w").task_id for _ in range(3)] == [b, c, a]
+
+    def test_demoted_then_restored_does_not_jump_queue(self, db):
+        a = db.submit("e", "t", "a", priority=5)
+        b = db.submit("e", "t", "b", priority=5)
+        db.set_priority(a, 0)  # demote behind b
+        db.set_priority(a, 5)  # restore level — but b was there first
+        assert db.pop_task("t", "w").task_id == b
+        assert db.pop_task("t", "w").task_id == a
+
+    def test_promoted_task_beats_lower_levels_only(self, db):
+        a = db.submit("e", "t", "a", priority=0)
+        b = db.submit("e", "t", "b", priority=5)
+        c = db.submit("e", "t", "c", priority=5)
+        db.set_priority(a, 5)
+        assert [db.pop_task("t", "w").task_id for _ in range(3)] == [b, c, a]
+
+
+class TestBulkOps:
+    def test_update_priorities_is_atomic_and_reports_outcome(self, db):
+        ids = [db.submit("e", "t", i, priority=0) for i in range(4)]
+        running = db.pop_task("t", "w").task_id  # ids[0] now RUNNING
+        outcome = db.update_priorities(
+            {ids[0]: 9, ids[1]: 3, ids[2]: 7, ids[3]: 5}
+        )
+        assert outcome == {ids[0]: False, ids[1]: True, ids[2]: True, ids[3]: True}
+        assert running == ids[0]
+        order = [db.pop_task("t", "w").task_id for _ in range(3)]
+        assert order == [ids[2], ids[3], ids[1]]
+
+    def test_cancel_queued_records_reason(self, db):
+        ids = [db.submit("e", "t", i) for i in range(3)]
+        db.pop_task("t", "w")
+        outcome = db.cancel_queued(ids, reason="steering")
+        assert outcome == {ids[0]: False, ids[1]: True, ids[2]: True}
+        for task_id in ids[1:]:
+            task = db.get_task(task_id)
+            assert task.state is TaskState.CANCELLED
+            assert task.cancel_reason == "steering"
+        assert db.pop_task("t", "w") is None
+
+    def test_queue_length_and_queued_ids_track_bulk_ops(self, db):
+        ids = [db.submit("e", "t", i) for i in range(6)]
+        assert db.queue_length("t") == 6
+        assert db.queued_ids("t") == ids
+        db.cancel_queued(ids[:2])
+        assert db.queue_length("t") == 4
+        assert db.queued_ids("t") == ids[2:]
+        db.update_priorities({ids[4]: 2})
+        assert db.queue_length("t") == 4
+        assert sorted(db.queued_ids("t")) == ids[2:]
+
+
+class TestTypedCancellation:
+    def test_reasoned_cancel_resolves_future_with_typed_value(self):
+        db = TaskDatabase()
+        queue = TaskQueue(db, "exp")
+        future = queue.submit_tasks("t", [{"x": 1}])[0]
+        assert queue.cancel_tasks([future], reason="steering") == {
+            future.task_id: True
+        }
+        value = future.result(timeout=0.0)
+        assert value == CancelledByPolicy(task_id=future.task_id, reason="steering")
+
+    def test_reasonless_cancel_keeps_raising(self):
+        db = TaskDatabase()
+        queue = TaskQueue(db, "exp")
+        future = queue.submit_tasks("t", [{"x": 1}])[0]
+        assert future.cancel()
+        with pytest.raises(StateError):
+            future.result(timeout=0.0)
+
+    def test_update_priorities_accepts_futures(self):
+        db = TaskDatabase()
+        queue = TaskQueue(db, "exp")
+        futures = queue.submit_tasks("t", [{"i": i} for i in range(3)])
+        outcome = queue.update_priorities({futures[2]: 5, futures[0].task_id: 3})
+        assert outcome == {futures[2].task_id: True, futures[0].task_id: True}
+        assert db.pop_task("t", "w").task_id == futures[2].task_id
+
+
+class TestHeapHygiene:
+    def test_compaction_churn_preserves_order(self):
+        db = TaskDatabase()
+        ids = [db.submit("e", "t", i, priority=i % 3) for i in range(300)]
+        # Heavy tombstone churn: several re-prioritizations per task plus a
+        # bulk cancel — far past the compaction threshold.
+        for round_no in range(3):
+            db.update_priorities({tid: (tid + round_no) % 3 for tid in ids})
+        cancelled = ids[::2]
+        db.cancel_queued(cancelled, reason="churn")
+        expected = {tid: (tid + 2) % 3 for tid in ids if tid not in set(cancelled)}
+        popped = []
+        while True:
+            task = db.pop_task("t", "w")
+            if task is None:
+                break
+            popped.append(task)
+        assert len(popped) == len(expected)
+        assert all(t.priority == expected[t.task_id] for t in popped)
+        keys = [(-t.priority,) for t in popped]
+        assert keys == sorted(keys)
+
+
+# ------------------------------------------------------ property-based tests
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(-3, 3)),
+        st.tuples(st.just("set_priority"), st.integers(0, 40), st.integers(-3, 3)),
+        st.tuples(st.just("cancel"), st.integers(0, 40)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60)
+@given(_OPS)
+def test_interleaved_ops_match_reference_model(ops):
+    """Arbitrary set_priority/claim/cancel interleavings: the heap agrees
+    with a brute-force reference model, no task is lost or double-claimed."""
+    db = TaskDatabase()
+    ids = []
+    model = {}  # task_id -> (priority, seq) for queued tasks
+    seq = 0
+    popped, cancelled = [], []
+    for op in ops:
+        if op[0] == "submit":
+            task_id = db.submit("e", "t", None, priority=op[1])
+            ids.append(task_id)
+            model[task_id] = (op[1], seq)
+            seq += 1
+        elif op[0] == "set_priority":
+            if not ids:
+                continue
+            target = ids[op[1] % len(ids)]
+            changed = db.set_priority(target, op[2])
+            assert changed == (target in model)
+            if changed:
+                model[target] = (op[2], seq)
+                seq += 1
+        elif op[0] == "cancel":
+            if not ids:
+                continue
+            target = ids[op[1] % len(ids)]
+            ok = db.cancel(target, reason="prop")
+            assert ok == (target in model)
+            if ok:
+                model.pop(target)
+                cancelled.append(target)
+        else:  # pop
+            task = db.pop_task("t", "w")
+            if model:
+                expected = min(model, key=lambda t: (-model[t][0], model[t][1]))
+                assert task is not None and task.task_id == expected
+                model.pop(expected)
+                popped.append(expected)
+            else:
+                assert task is None
+    # Drain: everything still modelled as queued must come out, in order.
+    while model:
+        expected = min(model, key=lambda t: (-model[t][0], model[t][1]))
+        task = db.pop_task("t", "w")
+        assert task is not None and task.task_id == expected
+        model.pop(expected)
+        popped.append(expected)
+    assert db.pop_task("t", "w") is None
+    assert db.queue_length("t") == 0
+    # Conservation: every submitted task is exactly one of popped/cancelled.
+    assert sorted(popped + cancelled) == sorted(ids)
+    assert len(set(popped) & set(cancelled)) == 0
+
+
+def test_threaded_claims_race_steering_ops():
+    """Claimers race a steering thread issuing re-ranks and cancels: every
+    task ends exactly once (claimed xor cancelled), nothing is lost."""
+    db = TaskDatabase()
+    n_tasks = 400
+    ids = [db.submit("e", "t", i, priority=i % 5) for i in range(n_tasks)]
+    claimed, claim_lock = [], threading.Lock()
+    stop = threading.Event()
+
+    def claimer():
+        while not stop.is_set() or db.queue_length("t") > 0:
+            task = db.pop_task("t", "w", timeout=0.001)
+            if task is not None:
+                with claim_lock:
+                    claimed.append(task.task_id)
+
+    threads = [threading.Thread(target=claimer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    cancel_outcomes = {}
+    for start in range(0, n_tasks, 40):
+        chunk = ids[start : start + 40]
+        db.update_priorities({tid: (tid * 7) % 5 for tid in chunk})
+        cancel_outcomes.update(db.cancel_queued(chunk[::3], reason="race"))
+    stop.set()
+    for thread in threads:
+        thread.join()
+
+    won_cancels = {tid for tid, ok in cancel_outcomes.items() if ok}
+    assert len(claimed) == len(set(claimed)), "double-claim"
+    assert set(claimed) & won_cancels == set()
+    assert set(claimed) | won_cancels == set(ids)
+    for tid in won_cancels:
+        assert db.get_task(tid).state is TaskState.CANCELLED
+        assert db.get_task(tid).cancel_reason == "race"

@@ -1,0 +1,284 @@
+"""Acquisition-driven steering: policy, coroutine, determinism, journal.
+
+The determinism contract under test: every steering decision is a pure
+function of completed-result *content* (the head-of-line consumed stream),
+so two same-seed runs — including replay, resume, and fault-plan runs
+whose retries recompute identical results — produce byte-identical
+decision journals and bitwise-identical Sobol trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.emews.api import TaskQueue
+from repro.emews.db import TaskDatabase
+from repro.emews.worker_pool import SteppedWorkerPool
+from repro.gsa.music import MusicConfig, MusicGSA
+from repro.gsa.steering import (
+    STEER_CANCEL_REASON,
+    SteeringConfig,
+    SteeringPolicy,
+    SteeringReport,
+    evals_to_convergence,
+    run_stepped,
+    steered_music_coroutine,
+)
+from repro.gsa.testfunctions import ISHIGAMI_FIRST_ORDER, ishigami
+from repro.models.parameters import ParameterSpace
+from repro.obs import Observability
+from repro.state import InMemoryRunStore, RunCheckpointer
+
+SPACE = ParameterSpace([("x1", (0.0, 1.0)), ("x2", (0.0, 1.0)), ("x3", (0.0, 1.0))])
+FAST_MUSIC = MusicConfig(
+    n_initial=12, acquisition="eigf", n_candidates=24, surrogate_mc=64, refit_every=6
+)
+
+
+def _evaluator(payload):
+    point = np.asarray(payload["point"], dtype=float)[None, :]
+    return {"hospitalizations": float(ishigami(point)[0])}
+
+
+def _steered_run(seed, steering, *, budget=36, n_slots=4, state=None, obs=None):
+    music = MusicGSA(SPACE, FAST_MUSIC, seed=seed)
+    db = TaskDatabase()
+    queue = TaskQueue(db, f"steer-{seed}")
+    pool = SteppedWorkerPool(db, "metarvm", _evaluator, n_slots=n_slots)
+    policy = SteeringPolicy(music, steering)
+    report = SteeringReport()
+    coroutine = steered_music_coroutine(
+        music,
+        queue,
+        seed,
+        budget,
+        steering,
+        policy=policy,
+        state=state,
+        obs=obs,
+        report=report,
+    )
+    stats = run_stepped([coroutine], pool)
+    return music, policy, report, stats
+
+
+class TestSteeringConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SteeringConfig(cancel_fraction=1.5)
+        with pytest.raises(ValidationError):
+            SteeringConfig(mode="vaporize")
+        with pytest.raises(ValidationError):
+            SteeringConfig(rank_by="vibes")
+        with pytest.raises(ValidationError):
+            SteeringConfig(lookahead=0)
+        assert not SteeringConfig(steer_every=0).enabled
+        assert SteeringConfig().enabled
+
+    def test_jsonable_roundtrip(self):
+        cfg = SteeringConfig(
+            steer_every=3, lookahead=20, cancel_fraction=0.25, mode="park"
+        )
+        assert SteeringConfig.from_jsonable(cfg.to_jsonable()) == cfg
+
+
+class TestSteeringPolicy:
+    def _policy(self, **overrides):
+        music = MusicGSA(SPACE, FAST_MUSIC, seed=0)
+        design = music.initial_design()
+        music.tell(design, ishigami(design))
+        return SteeringPolicy(music, SteeringConfig(**overrides)), music
+
+    def test_decision_is_deterministic(self):
+        policy, music = self._policy()
+        points = SPACE.scale(np.random.default_rng(7).random((8, 3)))
+        ordinals = list(range(8))
+        first, _ = policy.decide(points, ordinals, n_results=12)
+        policy_b = SteeringPolicy(music, policy.config)
+        second, _ = policy_b.decide(points, ordinals, n_results=12)
+        assert json.dumps(first.to_jsonable()) == json.dumps(second.to_jsonable())
+
+    def test_cancel_guard_protects_oldest(self):
+        policy, _ = self._policy(
+            cancel_fraction=1.0, min_keep=0, cancel_guard=3, steer_every=1
+        )
+        points = SPACE.scale(np.random.default_rng(3).random((8, 3)))
+        ordinals = [10, 11, 12, 13, 14, 15, 16, 17]
+        decision, _ = policy.decide(points, ordinals, n_results=12)
+        assert set(decision.cancels).isdisjoint({10, 11, 12})
+        assert len(decision.cancels) == 5
+        # Survivors (guard included) all get priorities.
+        assert set(decision.priorities) == set(ordinals) - set(decision.cancels)
+
+    def test_min_keep_floors_survivors(self):
+        policy, _ = self._policy(
+            cancel_fraction=1.0, min_keep=6, cancel_guard=0, steer_every=1
+        )
+        points = SPACE.scale(np.random.default_rng(3).random((8, 3)))
+        decision, _ = policy.decide(points, list(range(8)), n_results=12)
+        assert len(decision.cancels) == 2
+
+    def test_fifo_ranking_keeps_submission_order(self):
+        policy, _ = self._policy(rank_by="fifo", cancel_fraction=0.0, steer_every=1)
+        points = SPACE.scale(np.random.default_rng(5).random((6, 3)))
+        ordinals = [3, 7, 9, 12, 20, 21]
+        decision, _ = policy.decide(points, ordinals, n_results=12)
+        ranked = sorted(decision.priorities, key=decision.priorities.__getitem__)
+        assert ranked == sorted(ordinals, reverse=True)
+
+
+class TestSteeredCoroutine:
+    def test_decision_journal_is_byte_identical_across_runs(self):
+        steering = SteeringConfig(
+            steer_every=1, lookahead=10, cancel_fraction=0.5, cancel_guard=4,
+            rank_by="fifo",
+        )
+        _, policy_a, report_a, _ = _steered_run(5, steering)
+        _, policy_b, report_b, _ = _steered_run(5, steering)
+        assert json.dumps(policy_a.decision_journal()) == json.dumps(
+            policy_b.decision_journal()
+        )
+        assert report_a.as_dict() == report_b.as_dict()
+        assert report_a.decisions > 0
+        assert report_a.wasted_evals == 0
+
+    def test_budget_is_respected_and_reclaimed(self):
+        steering = SteeringConfig(
+            steer_every=1, lookahead=10, cancel_fraction=0.5, cancel_guard=4,
+            rank_by="fifo",
+        )
+        music, _, report, _ = _steered_run(2, steering, budget=30)
+        assert music.n_evaluations == 30
+        assert report.reclaimed_evals > 0
+
+    def test_disabled_steering_issues_no_decisions(self):
+        music, policy, report, _ = _steered_run(
+            2, SteeringConfig(steer_every=0, lookahead=10), budget=30
+        )
+        assert music.n_evaluations == 30
+        assert policy.decisions == []
+        assert report.as_dict() == SteeringReport().as_dict()
+
+    def test_park_mode_parks_instead_of_cancelling(self):
+        steering = SteeringConfig(
+            steer_every=2, lookahead=8, cancel_fraction=0.5, cancel_guard=2,
+            mode="park",
+        )
+        music, _, report, _ = _steered_run(3, steering, budget=30)
+        assert music.n_evaluations == 30
+        assert report.parked > 0
+        assert report.cancels == 0
+        assert report.reclaimed_evals == 0
+        assert report.wasted_evals == 0
+
+    def test_observability_counters_mirror_report(self):
+        obs = Observability()
+        steering = SteeringConfig(
+            steer_every=1, lookahead=10, cancel_fraction=0.5, cancel_guard=4,
+            rank_by="fifo",
+        )
+        _, _, report, _ = _steered_run(5, steering, obs=obs)
+        view = obs.steering_view()
+        assert view["decisions"] == report.decisions
+        assert view["cancels"] == report.cancels
+        assert view["reclaimed_evals"] == report.reclaimed_evals
+        assert view["wasted_evals"] == 0
+        assert view["score_churn"]["count"] == len(report.score_churn)
+
+    def test_cancel_reason_is_steering(self):
+        db = TaskDatabase()
+        queue = TaskQueue(db, "steer-reason")
+        music = MusicGSA(SPACE, FAST_MUSIC, seed=9)
+        pool = SteppedWorkerPool(db, "metarvm", _evaluator, n_slots=4)
+        steering = SteeringConfig(
+            steer_every=1, lookahead=10, cancel_fraction=0.5, cancel_guard=4,
+            rank_by="fifo",
+        )
+        coroutine = steered_music_coroutine(music, queue, 9, 30, steering)
+        run_stepped([coroutine], pool)
+        reasons = {
+            task.cancel_reason
+            for task in db.tasks_for_experiment("steer-reason")
+            if task.cancel_reason is not None
+        }
+        assert reasons == {STEER_CANCEL_REASON}
+
+
+class TestDecisionJournal:
+    def _state(self):
+        store = InMemoryRunStore()
+        handle = store.create_run("steer-test", {})
+        return RunCheckpointer(handle)
+
+    def test_write_ahead_then_replay_hit(self):
+        state = self._state()
+        payload = {"step": 0, "cancels": [3, 4], "priorities": {"1": 2}}
+        assert state.record_steering_decision(0, payload) is True
+        assert state.record_steering_decision(0, dict(payload)) is False
+        assert state.steering_decisions() == [payload]
+
+    def test_divergent_replay_raises(self):
+        state = self._state()
+        state.record_steering_decision(0, {"cancels": [3]})
+        with pytest.raises(StateError):
+            state.record_steering_decision(0, {"cancels": [4]})
+
+    def test_coroutine_journals_every_decision(self):
+        state = self._state()
+        steering = SteeringConfig(
+            steer_every=1, lookahead=10, cancel_fraction=0.5, cancel_guard=4,
+            rank_by="fifo",
+        )
+        _, policy, _, _ = _steered_run(5, steering, state=state)
+        assert state.steering_decisions() == policy.decision_journal()
+
+
+class TestEvalsToConvergence:
+    def test_converges_at_first_stable_point(self):
+        ref = np.array([0.5, 0.5])
+        history = [
+            (10, np.array([0.9, 0.1])),
+            (20, np.array([0.52, 0.49])),
+            (30, np.array([0.51, 0.50])),
+        ]
+        assert evals_to_convergence(history, ref, tol=0.05) == 20.0
+
+    def test_relapse_resets_convergence(self):
+        ref = np.array([0.5])
+        history = [
+            (10, np.array([0.51])),
+            (20, np.array([0.8])),
+            (30, np.array([0.49])),
+        ]
+        assert evals_to_convergence(history, ref, tol=0.05) == 30.0
+
+    def test_never_converged_is_inf(self):
+        history = [(10, np.array([0.9]))]
+        assert np.isinf(evals_to_convergence(history, np.array([0.0]), tol=0.05))
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValidationError):
+            evals_to_convergence([], ISHIGAMI_FIRST_ORDER)
+
+
+class TestRunStepped:
+    def test_deadlock_detection(self):
+        db = TaskDatabase()
+        pool = SteppedWorkerPool(db, "metarvm", _evaluator, n_slots=2)
+
+        def starving():
+            while True:
+                yield False
+
+        with pytest.raises(StateError):
+            run_stepped([starving()], pool)
+
+    def test_stats_account_for_quanta(self):
+        steering = SteeringConfig(steer_every=0, lookahead=8)
+        _, _, _, stats = _steered_run(4, steering, budget=24)
+        assert stats["tasks"] == 24
+        assert stats["quanta"] >= 24 // 4

@@ -1,0 +1,174 @@
+"""Workflow-level steering determinism: kill/resume and fault-plan identity.
+
+The steered EMEWS loop must honor the same headline guarantee as the
+un-steered one (see ``tests/state/test_resume_matrix.py``): kill the run
+anywhere, resume from the journal, and every output — including the
+steering decision journal itself — is bitwise identical to an
+uninterrupted run.  Likewise, evaluator faults that are retried to
+success must not perturb a single decision: decisions are a pure function
+of told result *content*, and a retry recomputes the identical result.
+
+Counters like ``wasted_evals`` are deliberately *not* compared across
+runs here: under the real threaded pool a decided cancel can race an
+in-flight claim, and which side wins only moves an eval between the
+reclaimed/wasted ledgers — the revoked result is discarded either way,
+so the Sobol trajectory and the decisions stay identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkflowKilledError
+from repro.gsa.steering import SteeringConfig
+from repro.state import InMemoryRunStore, JsonlRunStore, KillSwitch
+from repro.workflows.music_gsa import MusicGsaRunConfig, run_music_gsa
+
+pytestmark = pytest.mark.chaos
+
+STEERING = SteeringConfig(
+    steer_every=1,
+    lookahead=10,
+    cancel_fraction=0.5,
+    min_keep=2,
+    cancel_guard=4,
+    rank_by="fifo",
+)
+STEER_CONFIG = MusicGsaRunConfig(
+    seed=3, budget=60, reference_n=256, steering=STEERING
+)
+FAULTY_STEER_CONFIG = MusicGsaRunConfig(
+    seed=3,
+    budget=60,
+    reference_n=256,
+    steering=STEERING,
+    fault_rate=0.15,
+    fault_seed=7,
+)
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return InMemoryRunStore()
+    return JsonlRunStore(tmp_path / "runs")
+
+
+def steered_output(data):
+    """Everything the determinism contract covers, in hashable form."""
+    return (
+        [(n, arr.tobytes()) for n, arr in data.music_curve],
+        [(n, arr.tobytes()) for n, arr in data.pce_curve],
+        data.reference.tobytes(),
+        data.steering_decisions,
+    )
+
+
+@pytest.fixture(scope="module")
+def steered_baseline():
+    data = run_music_gsa(STEER_CONFIG)
+    assert data.steering_report["steering_decisions"] > 0
+    assert data.steering_decisions, "steered run must journal its decisions"
+    return steered_output(data)
+
+
+class TestSteeredDeterminism:
+    def test_repeat_run_is_bitwise_identical(self, steered_baseline):
+        again = run_music_gsa(STEER_CONFIG)
+        assert steered_output(again) == steered_baseline
+
+    def test_faulted_run_matches_fault_free(self, steered_baseline):
+        """Retried evaluator faults recompute identical results, so every
+        steering decision — and the whole Sobol trajectory — is unchanged."""
+        data = run_music_gsa(FAULTY_STEER_CONFIG)
+        assert data.resilience_report["evaluator_faults_injected"] > 0
+        assert steered_output(data) == steered_baseline
+
+
+class TestSteeredResumeMatrix:
+    @pytest.mark.parametrize("backend", ["memory", "jsonl"])
+    @pytest.mark.parametrize("kill_after", [10, 30])
+    def test_killed_then_resumed_is_bitwise_identical(
+        self, kill_after, backend, tmp_path, steered_baseline
+    ):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                STEER_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=kill_after),
+            )
+        run_id = excinfo.value.run_id
+        assert store.open_run(run_id).status == "killed"
+
+        # Resume: the steering config travels in the journal snapshot; the
+        # write-ahead decision journal replays the pre-kill decisions and
+        # re-derives the rest, landing on the same trajectory.
+        resumed = run_music_gsa(run_store=store, resume_from=run_id)
+        assert steered_output(resumed) == steered_baseline
+        assert store.open_run(run_id).status == "completed"
+        assert resumed.state_report["state_replay_hits"] > 0
+
+    def test_killed_faulted_then_resumed_is_bitwise_identical(
+        self, tmp_path, steered_baseline
+    ):
+        """The full gauntlet: faults firing AND a mid-run kill."""
+        store = make_store("jsonl", tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                FAULTY_STEER_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=20),
+            )
+        resumed = run_music_gsa(run_store=store, resume_from=excinfo.value.run_id)
+        assert resumed.resilience_report["evaluator_faults_injected"] > 0
+        assert steered_output(resumed) == steered_baseline
+
+    def test_double_resume_is_idempotent(self, tmp_path, steered_baseline):
+        """Outputs and the decision journal are exactly idempotent.  The
+        task-result cache may *grow* across resumes: a decided cancel can
+        lose the claim race to a worker (replay makes workers near-instant),
+        and the raced evaluation journals its — discarded — result.  That is
+        the reclaimed/wasted ledger showing through; nothing replayable
+        changes, so we pin decisions and outputs, not raw record counts."""
+        store = make_store("memory", tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                STEER_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=20),
+            )
+        run_id = excinfo.value.run_id
+
+        def journal_kinds():
+            journal = store.open_run(run_id).journal
+            steer = [
+                (r.key, r.payload) for r in journal.records("steer.decision")
+            ]
+            other = [
+                (r.kind, r.key, r.payload)
+                for r in journal.records()
+                if r.kind not in ("steer.decision", "task.result")
+            ]
+            return steer, other, len(journal.records("task.result"))
+
+        first = run_music_gsa(run_store=store, resume_from=run_id)
+        steer1, other1, n_tasks1 = journal_kinds()
+        second = run_music_gsa(run_store=store, resume_from=run_id)
+        steer2, other2, n_tasks2 = journal_kinds()
+        assert steered_output(first) == steered_output(second) == steered_baseline
+        assert steer1 == steer2
+        assert other1 == other2
+        assert n_tasks2 >= n_tasks1
+
+    def test_steering_config_roundtrips_through_journal(self, tmp_path):
+        store = make_store("jsonl", tmp_path)
+        with pytest.raises(WorkflowKilledError) as excinfo:
+            run_music_gsa(
+                STEER_CONFIG,
+                run_store=store,
+                kill_switch=KillSwitch(after_records=10),
+            )
+        run_id = excinfo.value.run_id
+        snapshot = store.open_run(run_id).config
+        rebuilt = MusicGsaRunConfig.from_jsonable(snapshot)
+        assert rebuilt.steering == STEERING
