@@ -37,6 +37,7 @@ import json
 import time
 
 from repro.obs import Observability, chrome_trace_json
+from repro.obs.metrics import Histogram
 from repro.perf import MemoCache
 from repro.service import (
     COMPLETED,
@@ -74,9 +75,9 @@ def bench_config(seed: int) -> WastewaterRunConfig:
     return WastewaterRunConfig(sim_days=1.1, goldstein_iterations=100, seed=seed)
 
 
-def _percentile(sorted_values, q: float) -> float:
-    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
-    return sorted_values[idx]
+#: Geometric bucket edges (seconds) for the submit→first-result latency
+#: histogram; quantiles interpolate within these edges (1 ms .. ~2 min).
+LATENCY_BOUNDS = tuple(0.001 * (2**i) for i in range(18))
 
 
 def _run_burst(memo, gang, baselines):
@@ -133,18 +134,21 @@ def _run_burst(memo, gang, baselines):
     gateway.close()
 
     window = t_done - t_first_submit
-    latencies = sorted(
-        finish_wall[ticket] - submit_wall[ticket] for ticket in finish_wall
-    )
+    latency = Histogram("submit_to_first_result_s", bounds=LATENCY_BOUNDS)
+    worst = 0.0
+    for ticket in finish_wall:
+        value = finish_wall[ticket] - submit_wall[ticket]
+        latency.observe(value)
+        worst = max(worst, value)
     return {
         "obs": obs,
         "completion_order": list(order),
         "submit_s": t_submitted - t_first_submit,
         "window_wall_s": window,
         "runs_per_sec": N_RUNS / window,
-        "p50": _percentile(latencies, 0.50),
-        "p99": _percentile(latencies, 0.99),
-        "max": latencies[-1],
+        "p50": latency.quantile(0.50),
+        "p99": latency.quantile(0.99),
+        "max": worst,
         "pumps": pumps,
         "quanta": obs.service_view()["quanta"],
     }

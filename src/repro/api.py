@@ -44,10 +44,17 @@ from repro.common import (
 )
 from repro.faults import FaultPlan, FaultSpec
 from repro.obs import (
+    EventBus,
+    FlightRecorder,
     Observability,
+    SloEngine,
+    SloSpec,
+    TopModel,
     chrome_trace_json,
+    default_service_slos,
     metrics_table,
     profile_summary,
+    render_top,
     trace_gantt_svg,
 )
 from repro.gsa.steering import SteeringConfig, SteeringPolicy, SteeringReport
@@ -113,6 +120,14 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "Observability",
+    # live telemetry
+    "EventBus",
+    "SloSpec",
+    "SloEngine",
+    "default_service_slos",
+    "FlightRecorder",
+    "TopModel",
+    "render_top",
     "MemoCache",
     "RunCheckpointer",
     "KillSwitch",

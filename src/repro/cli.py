@@ -17,6 +17,8 @@ Usage::
     python -m repro.cli runs resume wastewater-34ef0b0223-001 --store runs/
     python -m repro.cli serve-sim --store runs/ --tenants acme:2,beta:1
     python -m repro.cli submit --store runs/ --tenant acme --sim-days 2
+    python -m repro.cli top --store runs/ --events-out events.jsonl
+    python -m repro.cli top --events events.jsonl
 
 Each subcommand prints the same rendering the benchmark harness writes to
 ``benchmarks/output/``; sizes default to quick-turnaround settings and can
@@ -39,6 +41,14 @@ completion (bitwise identical to the uninterrupted run).
 recovers the latest one and drains every pending submission; ``submit``
 journals a submission durably and exits, leaving execution to the next
 ``serve-sim`` — the CLI shape of the paper's hosted-automation story.
+
+``top`` is the live-ops dashboard: per-tenant queue depth / running /
+terminal tallies and throughput, gang batching fill, SLO burn rates with
+budget remaining, and active alerts.  In live mode it recovers the service
+run with a telemetry-enabled observability bundle and drains it; with
+``--events`` it replays a serialized JSONL event log instead — the same
+reducer either way, so the two frames are byte-identical for the same
+burst.
 """
 
 from __future__ import annotations
@@ -374,6 +384,42 @@ def _cmd_serve_sim(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_top(args: argparse.Namespace) -> str:
+    """The ``repro top`` dashboard: one deterministic frame.
+
+    Replay mode (``--events log.jsonl``) folds a serialized event log into
+    the dashboard; live mode (``--store``) recovers the service run with a
+    telemetry-enabled observability bundle, drains it, and renders what
+    happened — same reducer, same bytes.
+    """
+    from repro.obs import TopModel, render_top
+
+    if args.events is not None:
+        with open(args.events, "r", encoding="utf-8") as fh:
+            model = TopModel.from_jsonl(fh.read())
+        return render_top(model)
+    if args.store is None:
+        raise SystemExit("repro top needs --store (live) or --events (replay)")
+    from repro.obs import Observability, default_service_slos
+    from repro.service import GangPolicy, RunGateway
+    from repro.state import JsonlRunStore
+
+    store = JsonlRunStore(args.store)
+    service_id = args.service_run or _latest_service_run_id(store)
+    if service_id is None:
+        raise SystemExit(f"no service run in {args.store}; nothing to watch")
+    obs = Observability()
+    model = TopModel().attach(obs.events)
+    _, engine = obs.install_telemetry(default_service_slos())
+    gang = GangPolicy(max_gang=args.max_gang) if args.gang else None
+    gateway = RunGateway.recover(store, service_id, observability=obs, gang=gang)
+    gateway.drain(max_ticks=args.max_ticks)
+    if args.events_out:
+        with open(args.events_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.events.to_jsonl())
+    return render_top(model, engine.report())
+
+
 def _cmd_submit(args: argparse.Namespace) -> str:
     from repro.service import RunGateway, SubmitRequest
     from repro.state import JsonlRunStore
@@ -564,6 +610,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-workers", type=int, default=2, help="process-backend pool width"
     )
     pss.set_defaults(fn=_cmd_serve_sim)
+
+    pt = sub.add_parser(
+        "top", help="live-ops dashboard: tenants, queues, gangs, SLOs, alerts"
+    )
+    pt.add_argument(
+        "--store", default=None, help="JsonlRunStore directory (live mode)"
+    )
+    pt.add_argument(
+        "--events", default=None, help="replay a serialized JSONL event log"
+    )
+    pt.add_argument(
+        "--service-run", default=None, help="service run id (default: latest)"
+    )
+    pt.add_argument("--max-ticks", type=int, default=100000)
+    pt.add_argument(
+        "--gang",
+        action="store_true",
+        help="fuse compatible concurrent runs into one vectorized MCMC block",
+    )
+    pt.add_argument(
+        "--max-gang", type=int, default=8, help="fairness window: max runs per gang"
+    )
+    pt.add_argument(
+        "--events-out",
+        default=None,
+        help="also write the captured event log (JSONL) to this path",
+    )
+    pt.set_defaults(fn=_cmd_top)
 
     pq = sub.add_parser(
         "submit", help="journal a run submission for the gateway to execute"

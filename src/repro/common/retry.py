@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Type
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventBus
     from repro.obs.tracer import Tracer
 
 from repro.common.errors import (
@@ -127,6 +128,7 @@ def call_with_retries(
     *,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
     tracer: Optional["Tracer"] = None,
+    events: Optional["EventBus"] = None,
     label: str = "call",
 ) -> Any:
     """Invoke ``fn`` under ``policy``, synchronously (no simulated delay).
@@ -139,6 +141,10 @@ def call_with_retries(
     a ``retry.attempt`` span tagged with its outcome: ``success``,
     ``retried`` (transient failure, budget remains), ``exhausted`` (final
     transient failure), or ``fatal`` (non-retryable, propagated as-is).
+    With an :class:`~repro.obs.events.EventBus`, the same outcomes land as
+    ``retry.attempt`` events.  Both are thread-safe; like spans, event
+    *order* is deterministic only on single-threaded event-loop paths —
+    threaded EMEWS evaluators interleave at the OS scheduler's whim.
 
     Raises
     ------
@@ -163,14 +169,22 @@ def call_with_retries(
             result = fn()
         except Exception as exc:
             retryable = policy.retryable(exc)
+            outcome = (
+                "fatal"
+                if not retryable
+                else "retried" if attempt < policy.max_attempts else "exhausted"
+            )
             if span is not None:
-                outcome = (
-                    "fatal"
-                    if not retryable
-                    else "retried" if attempt < policy.max_attempts else "exhausted"
-                )
                 tracer.end(
                     span, status="error", outcome=outcome, error=type(exc).__name__
+                )
+            if events is not None:
+                events.emit(
+                    "retry.attempt",
+                    label,
+                    attempt=attempt,
+                    outcome=outcome,
+                    error=type(exc).__name__,
                 )
             if not retryable:
                 raise
@@ -180,6 +194,10 @@ def call_with_retries(
         else:
             if span is not None:
                 tracer.end(span, status="ok", outcome="success")
+            if events is not None:
+                events.emit(
+                    "retry.attempt", label, attempt=attempt, outcome="success"
+                )
             return result
     raise RetryExhaustedError(
         f"gave up after {policy.max_attempts} attempts: "

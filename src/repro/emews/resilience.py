@@ -18,7 +18,10 @@ budget, and keeps thread-safe counters for workflow reports.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventBus
 
 from repro.common.errors import (
     InjectedFaultError,
@@ -68,6 +71,7 @@ class ResilientEvaluator:
         fault_rate: float = 0.0,
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if not 0.0 <= fault_rate <= 1.0:
             raise ValidationError(f"fault_rate must be in [0, 1], got {fault_rate}")
@@ -75,6 +79,10 @@ class ResilientEvaluator:
         self.fault_rate = float(fault_rate)
         self.fault_seed = int(fault_seed)
         self.retry = retry if retry is not None else RetryPolicy(max_attempts=4)
+        #: Optional event bus for ``retry.attempt`` events.  Lock-safe, but
+        #: cross-thread event order follows the OS scheduler (see
+        #: :mod:`repro.obs.events`).
+        self.events = events
         self._lock = threading.Lock()
         self.faults_injected = 0
         self.retries_performed = 0
@@ -111,7 +119,9 @@ class ResilientEvaluator:
                 self.retries_performed += 1
 
         try:
-            return call_with_retries(once, self.retry, on_retry=on_retry)
+            return call_with_retries(
+                once, self.retry, on_retry=on_retry, events=self.events
+            )
         except RetryExhaustedError:
             with self._lock:
                 self.exhaustions += 1

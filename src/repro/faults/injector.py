@@ -85,6 +85,9 @@ class FaultInjector:
                 "fault",
                 attrs={"site": spec.site, "scripted": spec.scripted},
             )
+            obs.emit(
+                "fault.inject", spec.site, site=spec.site, scripted=spec.scripted
+            )
 
     def _budget_left(self, spec: FaultSpec, index: int) -> bool:
         if spec.max_faults is None:

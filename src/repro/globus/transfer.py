@@ -261,10 +261,24 @@ class TransferService:
                 except Exception as exc:  # authorization or validation failures
                     if obs is not None:
                         obs.end(attempt_span, status="error", outcome="fatal")
+                        obs.emit(
+                            "retry.attempt",
+                            label,
+                            attempt=task.attempts,
+                            outcome="fatal",
+                            error=type(exc).__name__,
+                        )
                     _finish(exc)
                     return
                 if obs is not None:
                     obs.end(attempt_span, status="ok", outcome="success")
+                    if task.attempts > 1:
+                        obs.emit(
+                            "retry.attempt",
+                            label,
+                            attempt=task.attempts,
+                            outcome="success",
+                        )
                 _finish(None)
                 return
             if self._breaker is not None:
@@ -284,6 +298,13 @@ class TransferService:
                         outcome="retried",
                         error=type(error).__name__,
                     )
+                    obs.emit(
+                        "retry.attempt",
+                        label,
+                        attempt=task.attempts,
+                        outcome="retried",
+                        error=type(error).__name__,
+                    )
                 backoff = policy.delay(task.attempts, rng=self._rng)
                 self._env.schedule(backoff + latency, _attempt_done, label=label)
                 return
@@ -291,6 +312,13 @@ class TransferService:
                 obs.end(
                     attempt_span,
                     status="error",
+                    outcome="exhausted",
+                    error=type(error).__name__,
+                )
+                obs.emit(
+                    "retry.attempt",
+                    label,
+                    attempt=task.attempts,
                     outcome="exhausted",
                     error=type(error).__name__,
                 )

@@ -397,6 +397,15 @@ def steered_music_coroutine(
             )
             if state is not None:
                 state.record_steering_decision(decision.step, decision.to_jsonable())
+            if obs is not None:
+                obs.emit(
+                    "steer.decision",
+                    f"step-{decision.step}",
+                    step=decision.step,
+                    n_results=decision.n_results,
+                    n_window=len(live),
+                    n_cancels=len(decision.cancels),
+                )
             _apply_decision(decision, live, queue, steering, report, obs)
             for delta in churn:
                 report.score_churn.append(delta)

@@ -46,6 +46,17 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventBus,
+    events_to_jsonl,
+    parse_events_jsonl,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloEngine, SloSpec, default_service_slos
+from repro.obs.top import TopModel, render_top
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -56,6 +67,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Event",
+    "EventBus",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "events_to_jsonl",
+    "parse_events_jsonl",
+    "SloEngine",
+    "SloSpec",
+    "default_service_slos",
+    "FlightRecorder",
+    "TopModel",
+    "render_top",
     "chrome_trace",
     "chrome_trace_json",
     "trace_gantt_svg",
@@ -160,9 +183,11 @@ class Observability:
         clock: Optional[Callable[[], float]] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer(clock, enabled=enabled)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventBus(clock, enabled=enabled)
 
     @property
     def enabled(self) -> bool:
@@ -170,8 +195,28 @@ class Observability:
         return self.tracer.enabled
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        """Point the tracer at the owning environment's simulated clock."""
+        """Point the tracer and event bus at the owning environment's
+        simulated clock."""
         self.tracer.bind_clock(clock)
+        self.events.bind_clock(clock)
+
+    def install_telemetry(
+        self,
+        specs: Optional[Iterable["SloSpec"]] = None,
+        *,
+        recorder_capacity: int = 64,
+    ) -> "tuple[FlightRecorder, SloEngine]":
+        """Attach a flight recorder and an SLO engine to this bundle's bus.
+
+        The recorder subscribes first so its rings already contain a
+        trigger event when the engine's ``slo.alert`` lands — an
+        alert-triggered dump therefore includes its own cause.
+        """
+        recorder = FlightRecorder(capacity=recorder_capacity).attach(self.events)
+        engine = SloEngine(
+            tuple(specs) if specs is not None else default_service_slos()
+        ).attach(self.events)
+        return recorder, engine
 
     # ------------------------------------------------- tracer passthroughs
     def span(self, name: str, category: str = "task", **kwargs):
@@ -188,6 +233,11 @@ class Observability:
 
     def instant(self, name: str, category: str = "mark", **kwargs) -> None:
         self.tracer.instant(name, category, **kwargs)
+
+    # -------------------------------------------------- event passthroughs
+    def emit(self, kind: str, key: str = "", **kwargs):
+        """Append one structured event to the bus (see :mod:`repro.obs.events`)."""
+        return self.events.emit(kind, key, **kwargs)
 
     # ------------------------------------------------ metrics passthroughs
     def inc(self, name: str, amount: float = 1) -> None:

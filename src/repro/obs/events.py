@@ -1,0 +1,322 @@
+"""Structured, schema-versioned event log for live service telemetry.
+
+PR-4's tracer answers "how long did things take" and the metrics registry
+answers "how many" — but neither gives an operator the *narrative*: which
+tenant's submission was rejected, which gang flushed, which run was killed
+and why, in what order.  :class:`EventBus` is that narrative: a
+zero-dependency, in-process log of typed events emitted from the
+gateway/scheduler/gang/steering/faults/state layers.
+
+Design rules (shared with the rest of ``repro.obs``):
+
+* **Deterministic.**  Events carry the *simulated* clock only (the
+  scheduler tick for service events, simulated days for workflow events)
+  plus a per-bus monotonic sequence number.  Serialization is canonical
+  JSONL (sorted keys, no whitespace), so the same seed + fault plan
+  produces a byte-identical event log.
+* **Typed and versioned.**  Every event kind is declared in
+  :data:`EVENT_KINDS` with its required attribute keys; :meth:`EventBus.emit`
+  rejects unknown kinds and missing attributes at the emission site, and
+  every serialized record carries ``"v": EVENT_SCHEMA_VERSION`` so replay
+  tooling can detect incompatible logs.
+* **Cross-linked.**  Events may carry the ``span_id`` of the tracer span
+  they occurred under, so the event log, the Chrome trace, and the metrics
+  registry describe the same execution and can be joined offline.
+* **Near-zero cost when off.**  The universal disabled path is the
+  ``env.obs is None`` pointer compare; a disabled bus additionally
+  short-circuits on a single boolean before touching the lock.
+
+Emission from real OS threads (EMEWS worker pools) is safe — the bus is
+lock-guarded — but sequence *order* across threads depends on the OS
+scheduler, exactly like tracer spans.  The byte-identity contract applies
+to the single-threaded event-loop paths (the gateway, workflows, flows),
+which is where every determinism test lives.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventBus",
+    "event_to_jsonable",
+    "events_to_jsonl",
+    "parse_events_jsonl",
+]
+
+#: Bumped whenever an event kind's required attributes change meaning.
+EVENT_SCHEMA_VERSION = 1
+
+#: The event schema registry: kind -> attribute keys that MUST be present.
+#: Emission sites may attach extra attributes freely; these are the typed
+#: minimum that downstream consumers (SLO engine, flight recorder, ``repro
+#: top``) are allowed to rely on.
+EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
+    # Gateway admission (key = ticket, or tenant name for pre-ticket rejects).
+    "run.admit": ("workflow", "priority", "seq"),
+    "run.reject": ("reason",),
+    # Scheduler lifecycle (key = ticket).
+    "run.dispatch": ("wait_ticks",),
+    "run.finish": ("state",),
+    # Gang batching (key = lead ticket of the gang).
+    "gang.form": ("size",),
+    "gang.flush": ("size", "fused"),
+    # GSA steering decisions (key = "step-<n>").
+    "steer.decision": ("step", "n_results"),
+    # Fault injection (key = site).
+    "fault.inject": ("site", "scripted"),
+    # Retry harness attempts (key = call label).
+    "retry.attempt": ("attempt", "outcome"),
+    # Write-ahead journal (key = "<record kind>:<record key>").
+    "state.checkpoint": ("record",),
+    "state.kill": ("reason",),
+    # SLO engine verdicts (key = slo name).
+    "slo.alert": ("slo", "burn_fast", "burn_slow"),
+    "slo.resolve": ("slo", "burn_fast"),
+    # Flight recorder dump notifications (key = trigger event key).
+    "recorder.dump": ("trigger", "name", "n_events"),
+}
+
+
+class Event:
+    """One structured log record.
+
+    Attributes mirror the serialized form: ``seq`` (per-bus monotonic),
+    ``t`` (simulated time of the bus clock at emission), ``kind`` (a key of
+    :data:`EVENT_KINDS`), ``key`` (the subject — ticket, site, slo name…),
+    ``tenant`` / ``span_id`` (optional cross-links), and ``attrs``.
+    """
+
+    __slots__ = ("seq", "t", "kind", "key", "tenant", "span_id", "attrs")
+
+    def __init__(
+        self,
+        seq: int,
+        t: float,
+        kind: str,
+        key: str,
+        tenant: Optional[str],
+        span_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.t = t
+        self.kind = kind
+        self.key = key
+        self.tenant = tenant
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(seq={self.seq}, t={self.t}, kind={self.kind!r}, "
+            f"key={self.key!r}, tenant={self.tenant!r}, attrs={self.attrs!r})"
+        )
+
+
+def event_to_jsonable(event: Event) -> Dict[str, Any]:
+    """The canonical dict form of one event (stable key set)."""
+    return {
+        "v": EVENT_SCHEMA_VERSION,
+        "seq": event.seq,
+        "t": event.t,
+        "kind": event.kind,
+        "key": event.key,
+        "tenant": event.tenant,
+        "span": event.span_id,
+        "attrs": event.attrs,
+    }
+
+
+def _dump_line(event: Event) -> str:
+    return json.dumps(event_to_jsonable(event), sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """Canonical JSONL serialization — the byte-identity surface."""
+    lines = [_dump_line(event) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_events_jsonl(text: str) -> List[Event]:
+    """Parse a JSONL event log back into :class:`Event` objects.
+
+    Raises :class:`~repro.common.errors.ValidationError` on a schema-version
+    mismatch or a malformed line, so replay tooling fails loudly rather
+    than rendering nonsense.
+    """
+    events: List[Event] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"event log line {lineno} is not JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ValidationError(f"event log line {lineno} is not an object")
+        version = doc.get("v")
+        if version != EVENT_SCHEMA_VERSION:
+            raise ValidationError(
+                f"event log line {lineno} has schema v{version}, "
+                f"expected v{EVENT_SCHEMA_VERSION}"
+            )
+        try:
+            events.append(
+                Event(
+                    int(doc["seq"]),
+                    float(doc["t"]),
+                    str(doc["kind"]),
+                    str(doc["key"]),
+                    doc.get("tenant"),
+                    doc.get("span"),
+                    dict(doc.get("attrs") or {}),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"event log line {lineno} is missing required fields: {exc}"
+            ) from exc
+    return events
+
+
+class EventBus:
+    """An append-only, subscriber-fanout log of :class:`Event` records.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current *simulated* time.
+        Rebound by :meth:`bind_clock` (the gateway binds the scheduler
+        tick; workflow environments bind ``env.now``).
+    enabled:
+        When ``False``, :meth:`emit` is a single boolean check and the bus
+        records nothing — the "obs on, events off" configuration used by
+        the overhead benchmark.
+
+    Subscribers are notified synchronously, in subscription order, under
+    the bus lock — so a subscriber that itself emits (the SLO engine firing
+    ``slo.alert``, the recorder announcing a dump) produces a totally
+    ordered, deterministic log.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._lock = threading.RLock()
+        self._seq = 0
+        self.events: List[Event] = []
+        self._subscribers: List[Callable[[Event], None]] = []
+        self._pending: List[Event] = []
+        self._draining = False
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the bus at a new simulated-time source."""
+        if not callable(clock):
+            raise ValidationError("EventBus clock must be callable")
+        self._clock = clock
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register ``fn`` to receive every subsequent event; returns it."""
+        with self._lock:
+            self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(fn)
+            except ValueError:
+                pass
+
+    # -- emission -------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        key: str = "",
+        *,
+        tenant: Optional[str] = None,
+        span_id: Optional[int] = None,
+        t: Optional[float] = None,
+        **attrs: Any,
+    ) -> Optional[Event]:
+        """Append one event and fan it out to subscribers.
+
+        Returns the :class:`Event` (or ``None`` when the bus is disabled).
+        Unknown kinds and missing required attributes raise
+        :class:`~repro.common.errors.ValidationError` — schema errors are
+        emission-site bugs and must not ship silently.
+        """
+        if not self.enabled:
+            return None
+        required = EVENT_KINDS.get(kind)
+        if required is None:
+            raise ValidationError(
+                f"unknown event kind {kind!r}; declare it in EVENT_KINDS"
+            )
+        for name in required:
+            if name not in attrs:
+                raise ValidationError(
+                    f"event kind {kind!r} requires attribute {name!r}"
+                )
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                self._seq,
+                float(self._clock() if t is None else t),
+                kind,
+                str(key),
+                tenant,
+                span_id,
+                attrs,
+            )
+            self.events.append(event)
+            # Nested emits (a subscriber reacting to an event by emitting
+            # another — the SLO engine firing an alert, the recorder
+            # announcing a dump) are queued and drained by the outermost
+            # emit, so every subscriber sees every event in global
+            # sequence order regardless of subscription order.
+            self._pending.append(event)
+            if self._draining:
+                return event
+            self._draining = True
+            try:
+                while self._pending:
+                    pending = self._pending.pop(0)
+                    for fn in list(self._subscribers):
+                        fn(pending)
+            finally:
+                self._draining = False
+        return event
+
+    # -- readers --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Event count per kind (deterministic, sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_jsonl(self) -> str:
+        """The canonical byte-identity serialization of the whole log."""
+        with self._lock:
+            return events_to_jsonl(self.events)

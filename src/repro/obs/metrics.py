@@ -145,6 +145,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation over the
+        ``le`` bucket edges (the ``histogram_quantile`` recipe).
+
+        The target rank ``q * count`` is located in the cumulative bucket
+        counts; the result interpolates between the containing bucket's
+        lower and upper edge, assuming samples are uniform within it.  The
+        lowest bucket's lower edge is 0 (or the observed min when that is
+        lower); ranks landing in the overflow bucket return the observed
+        max, since there is no upper edge to interpolate toward.  The
+        estimate is clamped to the observed ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self._min is not None and self._max is not None
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if i == len(self.bounds):  # overflow bucket: no upper edge
+                    return self._max
+                upper = self.bounds[i]
+                lower = self.bounds[i - 1] if i > 0 else min(0.0, self._min)
+                fraction = (rank - previous) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(self._max, max(self._min, estimate))
+        return self._max
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form used by snapshots and exporters."""
         return {

@@ -1,0 +1,134 @@
+"""Flight recorder: a bounded black box of recent events, dumped on trouble.
+
+Long-running services fail at 3am; the question that matters is "what
+happened in the moments *before* this run died?" — and by the time anyone
+looks, the interesting events are buried under a million healthy ones.
+The :class:`FlightRecorder` keeps small ring buffers of recent events —
+one global, one per tenant, one per subject key — and snapshots the
+relevant rings automatically the moment something goes wrong:
+
+* a run finishes ``failed`` (``run.finish`` with ``state == "failed"``),
+* a kill switch or journal fault fires (``state.kill``),
+* an SLO alert fires (``slo.alert``).
+
+Each dump is serialized immediately with the canonical JSONL encoding, so
+dumps are byte-identical across reruns of the same seed + fault plan and
+are unaffected by anything that happens after the trigger.  A
+``recorder.dump`` event announces every capture on the bus (which the
+rings also record — a dump visible in a *later* dump is the breadcrumb
+trail of a cascading incident).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.errors import ValidationError
+from repro.obs.events import Event, EventBus, events_to_jsonl
+
+__all__ = ["FlightRecorder"]
+
+#: Event kinds that trigger an automatic dump, mapped to a short trigger tag.
+_TRIGGERS = {
+    "state.kill": "kill",
+    "slo.alert": "alert",
+}
+
+
+class FlightRecorder:
+    """Ring-buffered event history with automatic dump-on-failure.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size per buffer (global, per-tenant, per-key).  64 events is
+        roughly "the last few scheduler quanta of context" at service
+        event rates.
+
+    Dumps accumulate in :attr:`dumps` (insertion-ordered name -> JSONL
+    text); names embed the trigger event's sequence number so they are
+    unique and deterministic.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValidationError(f"recorder capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._bus: Optional[EventBus] = None
+        self._global: Deque[Event] = deque(maxlen=self.capacity)
+        self._by_tenant: Dict[str, Deque[Event]] = {}
+        self._by_key: Dict[str, Deque[Event]] = {}
+        #: name -> canonical JSONL snapshot, insertion-ordered.
+        self.dumps: Dict[str, str] = {}
+
+    def attach(self, bus: EventBus) -> "FlightRecorder":
+        self._bus = bus
+        bus.subscribe(self.observe)
+        return self
+
+    # -- recording ------------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        self._global.append(event)
+        if event.tenant is not None:
+            ring = self._by_tenant.get(event.tenant)
+            if ring is None:
+                ring = self._by_tenant[event.tenant] = deque(maxlen=self.capacity)
+            ring.append(event)
+        if event.key:
+            ring = self._by_key.get(event.key)
+            if ring is None:
+                ring = self._by_key[event.key] = deque(maxlen=self.capacity)
+            ring.append(event)
+        trigger = _TRIGGERS.get(event.kind)
+        if trigger is None and event.kind == "run.finish":
+            if event.attrs.get("state") == "failed":
+                trigger = "failure"
+        if trigger is not None:
+            self._auto_dump(trigger, event)
+
+    def _auto_dump(self, trigger: str, event: Event) -> None:
+        # Snapshot the subject's own ring when it has one (the story of
+        # this run), otherwise the tenant's, otherwise everything recent.
+        # Alert dumps skip the key ring: an alert's key is the SLO name,
+        # whose ring holds only verdicts — the causal context lives in the
+        # tenant (tenant-scoped SLO) or global ring.
+        ring = None if trigger == "alert" else self._by_key.get(event.key)
+        if ring is None and event.tenant is not None:
+            ring = self._by_tenant.get(event.tenant)
+        if ring is None:
+            ring = self._global
+        name = f"{event.seq:06d}-{trigger}-{event.key or 'service'}"
+        self.dumps[name] = events_to_jsonl(list(ring))
+        if self._bus is not None:
+            self._bus.emit(
+                "recorder.dump",
+                event.key,
+                tenant=event.tenant,
+                t=event.t,
+                trigger=trigger,
+                name=name,
+                n_events=len(ring),
+            )
+
+    # -- manual capture / readers ---------------------------------------
+
+    def dump(
+        self, *, key: Optional[str] = None, tenant: Optional[str] = None
+    ) -> str:
+        """Snapshot a ring on demand (no ``recorder.dump`` event)."""
+        if key is not None:
+            ring = self._by_key.get(key, deque())
+        elif tenant is not None:
+            ring = self._by_tenant.get(tenant, deque())
+        else:
+            ring = self._global
+        return events_to_jsonl(list(ring))
+
+    def dump_names(self) -> List[str]:
+        return list(self.dumps)
+
+    def recent(self, n: int = 10) -> List[Event]:
+        """The last ``n`` events seen (newest last)."""
+        return list(self._global)[-n:]

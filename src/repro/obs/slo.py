@@ -1,0 +1,386 @@
+"""Declarative SLOs with multi-window burn-rate alerting over the event log.
+
+An :class:`SloSpec` names a service-level objective ("99% of dispatches
+wait <= 50 ticks", "95% of runs finish without error") as a pure function
+of the structured event stream: which event kind feeds the indicator,
+which condition marks an event *bad*, and the objective fraction of good
+events.  The :class:`SloEngine` subscribes to an
+:class:`~repro.obs.events.EventBus` and evaluates every spec over two
+sliding simulated-time windows, following the multi-window burn-rate
+recipe from the Google SRE workbook:
+
+* ``burn_rate = bad_fraction / error_budget`` where
+  ``error_budget = 1 - objective``.  Burn 1.0 means "spending budget at
+  exactly the sustainable rate"; burn 10 means the budget is gone in a
+  tenth of the window.
+* An alert **fires** when *both* the fast and the slow window burn at or
+  above ``burn_threshold`` — the fast window makes the alert responsive,
+  the slow window keeps one transient blip from paging.
+* It **resolves** when the fast window drops back below the threshold.
+
+Everything runs on the simulated clock carried by the events themselves,
+so the alert sequence is a deterministic function of the event log: same
+seed + fault plan, same alerts, byte for byte.  ``slo.alert`` /
+``slo.resolve`` verdicts are emitted back onto the same bus, which also
+puts them in the flight recorder's rings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "SloEngine",
+    "SloSpec",
+    "default_service_slos",
+]
+
+#: Condition ops usable in :attr:`SloSpec.bad_when`.
+_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+#: Default latency-style histogram bounds for :attr:`SloSpec.value_field`.
+_DEFAULT_VALUE_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+def _resolve(event: Event, fieldname: str) -> Any:
+    """Look up ``fieldname`` on an event (``attrs.x`` or a core field)."""
+    if fieldname.startswith("attrs."):
+        return event.attrs.get(fieldname[6:])
+    if fieldname in ("t", "kind", "key", "tenant", "seq", "span_id"):
+        return getattr(event, fieldname)
+    return None
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative service-level objective.
+
+    Parameters
+    ----------
+    name:
+        Unique id; also the ``key`` of the fired alert events.
+    event_kind:
+        Which event kind feeds this indicator (e.g. ``"run.finish"``).
+    bad_when:
+        Conditions ``(field, op, value)`` — *all* must hold for an event
+        to count against the budget.  ``field`` is ``attrs.<name>`` or a
+        core event field; ``op`` is one of eq/ne/gt/ge/lt/le.  A missing
+        field never matches, so malformed events count as good rather
+        than paging.
+    objective:
+        Target good fraction in ``(0, 1)``, e.g. ``0.99``.
+    fast_window / slow_window:
+        Sliding window lengths in simulated-time units of the bus clock
+        (scheduler ticks for service events, days for workflow events).
+    burn_threshold:
+        Both windows must burn at or above this rate to fire.
+    tenant:
+        Restrict the indicator to one tenant's events (``None`` = all).
+    value_field:
+        Optional numeric field histogrammed for quantile reporting (the
+        p50/p99 columns of the SLO report), e.g. ``"attrs.wait_ticks"``.
+    min_events:
+        Fast-window sample floor before an alert may fire — keeps a single
+        cold-start failure (1/1 bad = infinite-looking burn) from paging.
+    """
+
+    name: str
+    event_kind: str
+    bad_when: Tuple[Tuple[str, str, Any], ...]
+    objective: float = 0.99
+    fast_window: float = 20.0
+    slow_window: float = 200.0
+    burn_threshold: float = 2.0
+    tenant: Optional[str] = None
+    value_field: Optional[str] = None
+    value_bounds: Tuple[float, ...] = _DEFAULT_VALUE_BOUNDS
+    min_events: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValidationError(
+                f"SLO {self.name!r}: objective must be in (0, 1), got {self.objective}"
+            )
+        if self.fast_window <= 0 or self.slow_window < self.fast_window:
+            raise ValidationError(
+                f"SLO {self.name!r}: need 0 < fast_window <= slow_window"
+            )
+        if self.burn_threshold <= 0:
+            raise ValidationError(
+                f"SLO {self.name!r}: burn_threshold must be positive"
+            )
+        for cond in self.bad_when:
+            if len(cond) != 3 or cond[1] not in _OPS:
+                raise ValidationError(
+                    f"SLO {self.name!r}: bad_when entries are (field, op, value) "
+                    f"with op in {sorted(_OPS)}; got {cond!r}"
+                )
+
+    def is_bad(self, event: Event) -> bool:
+        """Does this event count against the error budget?"""
+        for fieldname, op, value in self.bad_when:
+            actual = _resolve(event, fieldname)
+            if actual is None:
+                return False
+            try:
+                if not _OPS[op](actual, value):
+                    return False
+            except TypeError:
+                return False
+        return bool(self.bad_when)
+
+
+@dataclass
+class _SpecState:
+    """Mutable evaluation state for one spec."""
+
+    samples: Deque[Tuple[float, bool]] = field(default_factory=deque)
+    slow_bad: int = 0
+    total: int = 0
+    bad: int = 0
+    active: bool = False
+    fired: int = 0
+    resolved: int = 0
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+    fast_n: int = 0
+    hist: Optional[Histogram] = None
+
+
+class SloEngine:
+    """Evaluates :class:`SloSpec` s against a live or replayed event stream.
+
+    Attach to a bus with :meth:`attach` (subscribes ``observe``); for
+    offline analysis feed a parsed log through :meth:`observe` directly.
+    Verdict events are emitted back onto the attached bus; with no bus the
+    engine still tracks state and :meth:`report` works, it just cannot
+    announce alerts.
+    """
+
+    def __init__(self, specs: Tuple[SloSpec, ...] = ()) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate SLO names: {names}")
+        self.specs: Tuple[SloSpec, ...] = tuple(specs)
+        self._bus: Optional[EventBus] = None
+        self._state: Dict[str, _SpecState] = {}
+        for spec in self.specs:
+            state = _SpecState()
+            if spec.value_field is not None:
+                state.hist = Histogram(f"slo.{spec.name}", spec.value_bounds)
+            self._state[spec.name] = state
+        #: Chronological (spec name, verdict kind, t) tuples — the alert
+        #: sequence the determinism tests compare.
+        self.alert_log: List[Tuple[str, str, float]] = []
+
+    def attach(self, bus: EventBus) -> "SloEngine":
+        self._bus = bus
+        bus.subscribe(self.observe)
+        return self
+
+    # -- evaluation -----------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        kind = event.kind
+        # Never feed our own verdicts (or dump notices) back into the
+        # indicators — that way lies alert recursion.
+        if kind in ("slo.alert", "slo.resolve", "recorder.dump"):
+            return
+        for spec in self.specs:
+            if spec.event_kind != kind:
+                continue
+            if spec.tenant is not None and event.tenant != spec.tenant:
+                continue
+            self._ingest(spec, event)
+
+    def _ingest(self, spec: SloSpec, event: Event) -> None:
+        state = self._state[spec.name]
+        bad = spec.is_bad(event)
+        now = event.t
+        state.total += 1
+        state.bad += int(bad)
+        state.samples.append((now, bad))
+        state.slow_bad += int(bad)
+        if state.hist is not None and spec.value_field is not None:
+            value = _resolve(event, spec.value_field)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                state.hist.observe(float(value))
+        # Prune the slow window.
+        cutoff_slow = now - spec.slow_window
+        samples = state.samples
+        while samples and samples[0][0] < cutoff_slow:
+            _, was_bad = samples.popleft()
+            state.slow_bad -= int(was_bad)
+        # The fast window is a suffix of the slow one.
+        cutoff_fast = now - spec.fast_window
+        fast_n = fast_bad = 0
+        for t, was_bad in reversed(samples):
+            if t < cutoff_fast:
+                break
+            fast_n += 1
+            fast_bad += int(was_bad)
+        budget = 1.0 - spec.objective
+        slow_n = len(samples)
+        state.fast_n = fast_n
+        state.burn_fast = (fast_bad / fast_n / budget) if fast_n else 0.0
+        state.burn_slow = (state.slow_bad / slow_n / budget) if slow_n else 0.0
+        self._verdict(spec, state, now)
+
+    def _verdict(self, spec: SloSpec, state: _SpecState, now: float) -> None:
+        threshold = spec.burn_threshold
+        if (
+            not state.active
+            and state.fast_n >= spec.min_events
+            and state.burn_fast >= threshold
+            and state.burn_slow >= threshold
+        ):
+            state.active = True
+            state.fired += 1
+            self.alert_log.append((spec.name, "slo.alert", now))
+            if self._bus is not None:
+                self._bus.emit(
+                    "slo.alert",
+                    spec.name,
+                    tenant=spec.tenant,
+                    t=now,
+                    slo=spec.name,
+                    burn_fast=round(state.burn_fast, 6),
+                    burn_slow=round(state.burn_slow, 6),
+                    objective=spec.objective,
+                )
+        elif state.active and state.burn_fast < threshold:
+            state.active = False
+            state.resolved += 1
+            self.alert_log.append((spec.name, "slo.resolve", now))
+            if self._bus is not None:
+                self._bus.emit(
+                    "slo.resolve",
+                    spec.name,
+                    tenant=spec.tenant,
+                    t=now,
+                    slo=spec.name,
+                    burn_fast=round(state.burn_fast, 6),
+                )
+
+    # -- reporting ------------------------------------------------------
+
+    def active_alerts(self) -> List[str]:
+        return [spec.name for spec in self.specs if self._state[spec.name].active]
+
+    def budget_remaining(self, name: str) -> float:
+        """Fraction of error budget left over the slow window (clamped >= 0)."""
+        state = self._state[name]
+        budget = 1.0 - dict((s.name, s) for s in self.specs)[name].objective
+        slow_n = len(state.samples)
+        if slow_n == 0:
+            return 1.0
+        consumed = state.slow_bad / slow_n / budget
+        return max(0.0, round(1.0 - consumed, 6))
+
+    def report(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready summary of every spec."""
+        specs: Dict[str, Any] = {}
+        for spec in self.specs:
+            state = self._state[spec.name]
+            entry: Dict[str, Any] = {
+                "event_kind": spec.event_kind,
+                "tenant": spec.tenant,
+                "objective": spec.objective,
+                "burn_threshold": spec.burn_threshold,
+                "events": state.total,
+                "bad": state.bad,
+                "burn_fast": round(state.burn_fast, 6),
+                "burn_slow": round(state.burn_slow, 6),
+                "budget_remaining": self.budget_remaining(spec.name),
+                "alerts_fired": state.fired,
+                "alerts_resolved": state.resolved,
+                "active": state.active,
+            }
+            if state.hist is not None:
+                entry["p50"] = round(state.hist.quantile(0.50), 6)
+                entry["p99"] = round(state.hist.quantile(0.99), 6)
+            specs[spec.name] = entry
+        return {
+            "alert_log": [
+                {"slo": name, "verdict": verdict, "t": t}
+                for name, verdict, t in self.alert_log
+            ],
+            "specs": specs,
+        }
+
+    def report_json(self) -> str:
+        return json.dumps(self.report(), sort_keys=True, indent=2) + "\n"
+
+
+def default_service_slos(
+    tenants: Tuple[str, ...] = (),
+    *,
+    max_wait_ticks: float = 50.0,
+    fast_window: float = 50.0,
+    slow_window: float = 400.0,
+) -> Tuple[SloSpec, ...]:
+    """A sensible starting SLO set for the run gateway.
+
+    ``submit-latency`` treats any dispatch that waited longer than
+    ``max_wait_ticks`` scheduler ticks as budget-burning (the threshold
+    form of a p99 latency objective) and histograms the waits so the SLO
+    report carries true p50/p99 via :meth:`Histogram.quantile`.
+    ``run-errors`` watches the failure fraction of finished runs, plus one
+    per-tenant copy for each name in ``tenants``.
+    """
+    specs = [
+        SloSpec(
+            name="submit-latency",
+            event_kind="run.dispatch",
+            bad_when=(("attrs.wait_ticks", "gt", max_wait_ticks),),
+            objective=0.99,
+            fast_window=fast_window,
+            slow_window=slow_window,
+            burn_threshold=2.0,
+            min_events=3,
+            value_field="attrs.wait_ticks",
+            description=f"99% of dispatches wait <= {max_wait_ticks} ticks",
+        ),
+        SloSpec(
+            name="run-errors",
+            event_kind="run.finish",
+            bad_when=(("attrs.state", "eq", "failed"),),
+            objective=0.95,
+            fast_window=fast_window,
+            slow_window=slow_window,
+            burn_threshold=2.0,
+            min_events=3,
+            description="95% of finished runs succeed",
+        ),
+    ]
+    for tenant in tenants:
+        specs.append(
+            SloSpec(
+                name=f"run-errors-{tenant}",
+                event_kind="run.finish",
+                bad_when=(("attrs.state", "eq", "failed"),),
+                objective=0.95,
+                fast_window=fast_window,
+                slow_window=slow_window,
+                burn_threshold=2.0,
+                min_events=3,
+                tenant=tenant,
+                description=f"95% of {tenant}'s finished runs succeed",
+            )
+        )
+    return tuple(specs)

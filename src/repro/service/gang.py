@@ -148,9 +148,18 @@ class GangBatcher:
             obs.inc("service.gang.capacity", int(self.policy.max_gang))
             obs.observe("service.gang.size", float(len(chunk)), GANG_SIZE_BOUNDS)
             obs.inc("service.gang.batched_wall_s", elapsed)
+            lead = entries[chunk[0]][0].ticket
+            obs.emit(
+                "gang.form",
+                lead,
+                size=len(chunk),
+                capacity=int(self.policy.max_gang),
+                tickets=[entries[i][0].ticket for i in chunk],
+            )
             for size in ctx.flush_sizes:
                 obs.inc("service.gang.flushes")
                 if size >= 2:
                     obs.inc("service.gang.fused_payloads", size)
                 else:
                     obs.inc("service.gang.solo_payloads", size)
+                obs.emit("gang.flush", lead, size=size, fused=size >= 2)

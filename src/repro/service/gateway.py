@@ -247,10 +247,14 @@ class RunGateway:
         self._inc("submitted")
         if self._closed:
             self._inc("admission_rejects")
+            self._emit_reject(request.tenant, request.tenant, request.workflow, "closed")
             raise AdmissionError("gateway is closed to new submissions")
         driver = self.scheduler.drivers.get(request.workflow)
         if driver is None:
             self._inc("admission_rejects")
+            self._emit_reject(
+                request.tenant, request.tenant, request.workflow, "unknown-workflow"
+            )
             raise AdmissionError(
                 f"unknown workflow {request.workflow!r}; available: "
                 f"{sorted(self.scheduler.drivers)}"
@@ -259,6 +263,9 @@ class RunGateway:
             config_doc = driver.canonical_config(request.config)
         except (ValidationError, KeyError, TypeError, ValueError) as exc:
             self._inc("admission_rejects")
+            self._emit_reject(
+                request.tenant, request.tenant, request.workflow, "invalid-config"
+            )
             raise AdmissionError(
                 f"invalid {request.workflow!r} config: {exc}"
             ) from exc
@@ -275,10 +282,13 @@ class RunGateway:
         try:
             self.scheduler.enqueue(sub)
         except AdmissionError as exc:
-            self._inc(
-                "queue_rejects"
-                if isinstance(exc, QueueFullError)
-                else "admission_rejects"
+            queue_full = isinstance(exc, QueueFullError)
+            self._inc("queue_rejects" if queue_full else "admission_rejects")
+            self._emit_reject(
+                ticket,
+                request.tenant,
+                request.workflow,
+                "queue-full" if queue_full else "admission",
             )
             raise
         self._seq = seq + 1
@@ -375,8 +385,12 @@ class RunGateway:
             return
         self._closed = True
         if self.obs is not None:
-            for span in self._sub_spans.values():
-                self.obs.end(span)
+            for ticket, span in self._sub_spans.items():
+                # Non-terminal submissions at close never ran to an
+                # outcome; export them as aborted, not "ok".
+                state = self.scheduler.get(ticket).state
+                status = "ok" if state == COMPLETED else "aborted"
+                self.obs.end(span, status=status, state=state)
             self._sub_spans.clear()
             for span in self._tenant_spans.values():
                 self.obs.end(span)
@@ -528,14 +542,34 @@ class RunGateway:
     def _begin_sub_span(self, sub: Submission) -> None:
         if self.obs is None:
             return
-        self._sub_spans[sub.ticket] = self.obs.begin(
+        span = self.obs.begin(
             f"run:{sub.ticket}",
             "service.run",
             parent=self._tenant_spans.get(sub.tenant),
             attrs={"workflow": sub.workflow, "priority": sub.priority},
         )
+        self._sub_spans[sub.ticket] = span
+        self.obs.emit(
+            "run.admit",
+            sub.ticket,
+            tenant=sub.tenant,
+            span_id=span.span_id or None,
+            workflow=sub.workflow,
+            priority=sub.priority,
+            seq=sub.seq,
+        )
+
+    def _emit_reject(self, key: str, tenant: str, workflow: str, reason: str) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                "run.reject", key, tenant=tenant, reason=reason, workflow=workflow
+            )
 
     def _end_sub_span(self, sub: Submission) -> None:
         span = self._sub_spans.pop(sub.ticket, None)
         if span is not None and self.obs is not None:
-            self.obs.end(span, state=sub.state, run_id=sub.run_id)
+            # The span status mirrors the terminal state: a cancelled or
+            # failed submission must not export as "ok" (a queued-then-
+            # cancelled run used to).
+            status = "ok" if sub.state == COMPLETED else sub.state
+            self.obs.end(span, status=status, state=sub.state, run_id=sub.run_id)

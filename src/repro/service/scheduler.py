@@ -309,10 +309,16 @@ class RunScheduler:
         self._transitions.append(sub)
         if self._obs is not None:
             self._obs.inc("service.started")
+            wait_ticks = float(self.tick - sub.submitted_tick)
             self._obs.observe(
-                "service.time_in_queue",
-                float(self.tick - sub.submitted_tick),
-                SERVICE_TICK_BOUNDS,
+                "service.time_in_queue", wait_ticks, SERVICE_TICK_BOUNDS
+            )
+            self._obs.emit(
+                "run.dispatch",
+                sub.ticket,
+                tenant=sub.tenant,
+                wait_ticks=wait_ticks,
+                run_id=sub.run_id,
             )
 
     def _step_running(self) -> int:
@@ -422,6 +428,19 @@ class RunScheduler:
         self._transitions.append(sub)
         if self._obs is not None:
             self._obs.inc(f"service.{state}")
+            self._obs.emit(
+                "run.finish",
+                sub.ticket,
+                tenant=sub.tenant,
+                state=state,
+                run_id=sub.run_id,
+                quanta=(
+                    self.tick - sub.started_tick
+                    if sub.started_tick is not None
+                    else 0
+                ),
+                error=sub.error,
+            )
 
     # ------------------------------------------------------------ cancellation
     def cancel(self, ticket: str) -> Tuple[bool, Submission]:

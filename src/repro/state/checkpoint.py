@@ -233,6 +233,13 @@ class RunCheckpointer:
             total = self.records_appended
         if obs is not None:
             obs.inc("state.records_appended")
+            obs.emit(
+                "state.checkpoint",
+                f"{kind}:{key}",
+                t=t,
+                record=kind,
+                run_id=self.run_id,
+            )
         if self._kill is not None and self._kill.should_fire(total):
             self._mark_killed(obs, reason=f"kill switch after {total} records")
             raise WorkflowKilledError(
@@ -249,6 +256,7 @@ class RunCheckpointer:
         if obs is not None:
             obs.inc("state.kills")
             obs.instant(f"kill:{self.run_id}", "state.kill", attrs={"reason": reason})
+            obs.emit("state.kill", self.run_id, reason=reason)
 
     def _count_replay(self, hit: bool) -> None:
         obs = self._observability()

@@ -1,0 +1,161 @@
+"""Chaos reconciliation: telemetry counters vs the structured event log.
+
+Across the same 20 seeded random fault plans the workflow chaos suite
+uses, the counters and the event stream must reconcile *exactly*:
+
+* gateway side — admissions with ``run.admit``, queue-full rejections
+  with ``run.reject``, cancels/failures/completions with ``run.finish``,
+  dispatches with ``run.dispatch``;
+* workflow side — injected faults with ``fault.inject`` and transfer
+  retries with ``retry.attempt`` (outcome ``retried``).
+
+The counters and the events are written at the same sites but through
+different machinery — agreement means neither path drops or double-counts
+under fault pressure.
+
+Marked ``chaos``: in tier 1, deselect with ``-m 'not chaos'``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QueueFullError
+from repro.common.retry import ResilienceConfig
+from repro.common.rng import RngRegistry
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Observability
+from repro.perf import MemoCache
+from repro.service import RunGateway, SubmitRequest, TenantConfig
+from repro.workflows import WastewaterRunConfig, run_wastewater_workflow
+
+pytestmark = pytest.mark.chaos
+
+#: Sites whose faults a configured retry/requeue budget absorbs.
+RECOVERABLE_SITES = ("transfer", "transfer.corrupt", "compute", "flows.step")
+
+BURST_SEEDS = (9300, 9301, 9302, 9303)
+
+
+def random_plan(k: int) -> FaultPlan:
+    """The k-th seeded random fault plan (same family as workflow chaos)."""
+    rng = RngRegistry([4242, k]).stream("plan")
+    specs = tuple(
+        FaultSpec(site=site, rate=0.02 + 0.03 * float(rng.random()))
+        for site in RECOVERABLE_SITES
+    )
+    return FaultPlan(specs=specs, seed=1000 + k)
+
+
+def small_config(seed: int) -> WastewaterRunConfig:
+    return WastewaterRunConfig(sim_days=1.1, goldstein_iterations=100, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def memo() -> MemoCache:
+    cache = MemoCache()
+    for seed in BURST_SEEDS:
+        run_wastewater_workflow(small_config(seed), memo_cache=cache)
+    return cache
+
+
+def faulted_burst(memo, k: int):
+    """One small gateway burst under plan k, with queue pressure + a cancel."""
+    obs = Observability()
+    gw = RunGateway(
+        [
+            TenantConfig("acme", weight=2.0, max_queued=2, max_running=1),
+            TenantConfig("beta", weight=1.0, max_queued=2, max_running=1),
+        ],
+        shards=2,
+        memo_cache=memo,
+        fault_plan=random_plan(k),
+        resilience=ResilienceConfig(),
+        observability=obs,
+    )
+    tickets = []
+    queue_full = 0
+    for i, seed in enumerate(BURST_SEEDS):
+        tenant = ("acme", "beta")[i % 2]
+        try:
+            tickets.append(
+                gw.submit(SubmitRequest(tenant=tenant, config=small_config(seed)))
+            )
+        except QueueFullError:
+            queue_full += 1
+    # Overfill acme's queue so at least one rejection is guaranteed.
+    for seed in (9304, 9305):
+        try:
+            gw.submit(SubmitRequest(tenant="acme", config=small_config(seed)))
+        except QueueFullError:
+            queue_full += 1
+    gw.cancel(tickets[-1].ticket)
+    gw.drain(max_ticks=2000)
+    gw.close()
+    assert queue_full > 0, "burst should provoke queue-full backpressure"
+    return obs
+
+
+def reconcile_gateway(obs):
+    """Assert counter/event agreement on one finished gateway's telemetry."""
+    view = obs.service_view()
+    by_kind = {}
+    for event in obs.events.events:
+        by_kind.setdefault(event.kind, []).append(event)
+
+    admits = by_kind.get("run.admit", [])
+    rejects = by_kind.get("run.reject", [])
+    finishes = by_kind.get("run.finish", [])
+    assert view["admitted"] == len(admits)
+    assert view["queue_rejects"] == len(
+        [e for e in rejects if e.attrs["reason"] == "queue-full"]
+    )
+    assert view["admission_rejects"] == len(
+        [e for e in rejects if e.attrs["reason"] != "queue-full"]
+    )
+    assert view["started"] == len(by_kind.get("run.dispatch", []))
+    for state in ("completed", "cancelled", "failed"):
+        assert view[state] == len(
+            [e for e in finishes if e.attrs["state"] == state]
+        ), state
+    # Every admitted submission reached exactly one terminal event.
+    assert len(finishes) == len(admits)
+    assert sorted(e.key for e in finishes) == sorted(e.key for e in admits)
+    # Gang machinery is off in this burst; the log must not claim otherwise.
+    assert "gang.form" not in by_kind and "gang.flush" not in by_kind
+
+
+def reconcile_workflow(k: int):
+    """One cold faulted standalone run; injector/retry events vs counters."""
+    obs = Observability()
+    result = run_wastewater_workflow(
+        small_config(9310), fault_plan=random_plan(k), observability=obs
+    )
+    report = result.resilience_report
+    events = obs.events.events
+    faults = [e for e in events if e.kind == "fault.inject"]
+    assert len(faults) == report["faults_injected"]
+    assert {e.attrs["site"] for e in faults} <= set(RECOVERABLE_SITES)
+    transfer_retries = [
+        e
+        for e in events
+        if e.kind == "retry.attempt" and e.attrs["outcome"] == "retried"
+    ]
+    assert len(transfer_retries) == report["transfer_retries"]
+    return len(faults)
+
+
+class TestCounterEventReconciliation:
+    def test_20_random_plans_reconcile_exactly(self, memo):
+        total_faults = 0
+        for k in range(20):
+            reconcile_gateway(faulted_burst(memo, k))
+            total_faults += reconcile_workflow(k)
+        # The suite as a whole must actually exercise fault pressure.
+        assert total_faults > 0
+
+    def test_reconciled_burst_is_deterministic_per_plan(self, memo):
+        first = faulted_burst(memo, 3)
+        second = faulted_burst(memo, 3)
+        assert first.events.to_jsonl() == second.events.to_jsonl()
+        assert first.service_view() == second.service_view()

@@ -1,0 +1,135 @@
+"""Unit tests for the structured event log (:mod:`repro.obs.events`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    EventBus,
+    Observability,
+    events_to_jsonl,
+    parse_events_jsonl,
+)
+
+
+class TestSchema:
+    def test_unknown_kind_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValidationError, match="unknown event kind"):
+            bus.emit("made.up", "x")
+
+    def test_missing_required_attr_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValidationError, match="requires attribute"):
+            bus.emit("run.finish", "t-1")  # no `state`
+
+    def test_extra_attrs_allowed(self):
+        bus = EventBus()
+        event = bus.emit("run.finish", "t-1", state="completed", bonus=42)
+        assert event.attrs == {"state": "completed", "bonus": 42}
+
+    def test_every_registered_kind_has_required_attrs(self):
+        for kind, required in EVENT_KINDS.items():
+            assert isinstance(required, tuple), kind
+
+
+class TestEmission:
+    def test_sequence_and_clock(self):
+        ticks = [0.0]
+        bus = EventBus(lambda: ticks[0])
+        first = bus.emit("fault.inject", "transfer", site="transfer", scripted=True)
+        ticks[0] = 3.0
+        second = bus.emit("state.kill", "run-1", reason="boom")
+        assert (first.seq, first.t) == (1, 0.0)
+        assert (second.seq, second.t) == (2, 3.0)
+
+    def test_explicit_t_overrides_clock(self):
+        bus = EventBus(lambda: 9.0)
+        event = bus.emit("state.kill", "run-1", t=1.5, reason="boom")
+        assert event.t == 1.5
+
+    def test_disabled_bus_records_nothing(self):
+        bus = EventBus(enabled=False)
+        assert bus.emit("state.kill", "r", reason="x") is None
+        assert len(bus) == 0
+
+    def test_subscribers_see_nested_emits_in_seq_order(self):
+        bus = EventBus()
+        seen = []
+
+        def reactor(event):
+            seen.append((event.seq, event.kind))
+            if event.kind == "state.kill":
+                bus.emit("recorder.dump", "r", trigger="kill", name="d", n_events=1)
+
+        bus.subscribe(reactor)
+        bus.emit("state.kill", "r", reason="x")
+        assert seen == [(1, "state.kill"), (2, "recorder.dump")]
+        assert [e.seq for e in bus.events] == [1, 2]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        fn = bus.subscribe(lambda e: seen.append(e.kind))
+        bus.emit("state.kill", "r", reason="x")
+        bus.unsubscribe(fn)
+        bus.emit("state.kill", "r2", reason="y")
+        assert seen == ["state.kill"]
+
+
+class TestSerialization:
+    def test_jsonl_is_canonical_and_round_trips(self):
+        bus = EventBus(lambda: 2.0)
+        bus.emit("run.admit", "acme-00000", tenant="acme", span_id=7,
+                 workflow="wastewater", priority=1, seq=0)
+        bus.emit("run.finish", "acme-00000", tenant="acme", state="completed")
+        text = bus.to_jsonl()
+        # Canonical form: sorted keys, no spaces, versioned.
+        line = text.splitlines()[0]
+        doc = json.loads(line)
+        assert list(doc) == sorted(doc)
+        assert doc["v"] == EVENT_SCHEMA_VERSION
+        assert ", " not in line
+        parsed = parse_events_jsonl(text)
+        assert [(e.seq, e.kind, e.key, e.tenant) for e in parsed] == [
+            (1, "run.admit", "acme-00000", "acme"),
+            (2, "run.finish", "acme-00000", "acme"),
+        ]
+        assert parsed[0].span_id == 7
+        assert events_to_jsonl(parsed) == text
+
+    def test_schema_version_mismatch_rejected(self):
+        bad = json.dumps({"v": 999, "seq": 1, "t": 0.0, "kind": "state.kill",
+                          "key": "r", "tenant": None, "span": None, "attrs": {}})
+        with pytest.raises(ValidationError, match="schema v999"):
+            parse_events_jsonl(bad)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValidationError, match="not JSON"):
+            parse_events_jsonl("{nope")
+
+    def test_empty_log(self):
+        assert parse_events_jsonl("") == []
+        assert events_to_jsonl([]) == ""
+
+
+class TestObservabilityIntegration:
+    def test_bundle_carries_a_bus_and_emit_passthrough(self):
+        obs = Observability()
+        obs.emit("state.kill", "r", reason="x")
+        assert obs.events.kinds() == {"state.kill": 1}
+
+    def test_disabled_bundle_disables_the_bus(self):
+        obs = Observability(enabled=False)
+        assert obs.emit("state.kill", "r", reason="x") is None
+        assert len(obs.events) == 0
+
+    def test_bind_clock_rebinds_the_bus(self):
+        obs = Observability()
+        obs.bind_clock(lambda: 42.0)
+        assert obs.emit("state.kill", "r", reason="x").t == 42.0

@@ -132,3 +132,37 @@ class TestSnapshot:
         reg.set_gauge("g", 0)
         reg.observe("h", 1, bounds=(1.0,))
         assert list(reg.names()) == ["c", "g", "h"]
+
+
+class TestQuantile:
+    def test_interpolates_within_bucket_edges(self):
+        h = Histogram("wait", bounds=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 1.5, 4.0, 8.0):
+            h.observe(value)
+        # rank 2 lands at the top of the (1, 2] bucket.
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # rank 0.5 is halfway through the first bucket (lower edge 0).
+        assert h.quantile(0.125) == pytest.approx(0.5)
+
+    def test_clamped_to_observed_range(self):
+        h = Histogram("wait", bounds=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 1.5, 4.0, 8.0):
+            h.observe(value)
+        assert h.quantile(1.0) == 8.0  # interpolation says 10, max says 8
+        assert h.quantile(0.0) == 0.5
+
+    def test_overflow_bucket_returns_observed_max(self):
+        h = Histogram("wait", bounds=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.99) == 50.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("wait", bounds=(1.0,)).quantile(0.99) == 0.0
+
+    def test_invalid_q_raises(self):
+        h = Histogram("wait", bounds=(1.0,))
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            h.quantile(-0.1)

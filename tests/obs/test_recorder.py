@@ -1,0 +1,111 @@
+"""Flight-recorder semantics: rings, triggers, byte-identical dumps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import (
+    EventBus,
+    FlightRecorder,
+    Observability,
+    SloSpec,
+    parse_events_jsonl,
+)
+
+
+def make_bus_and_recorder(capacity=4):
+    bus = EventBus(lambda: 0.0)
+    recorder = FlightRecorder(capacity=capacity).attach(bus)
+    return bus, recorder
+
+
+class TestRings:
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_is_bounded_per_key(self):
+        bus, recorder = make_bus_and_recorder(capacity=3)
+        for i in range(10):
+            bus.emit("state.checkpoint", "run-1", t=float(i), record=f"k{i}")
+        dump = parse_events_jsonl(recorder.dump(key="run-1"))
+        assert [e.attrs["record"] for e in dump] == ["k7", "k8", "k9"]
+
+    def test_tenant_and_global_rings(self):
+        bus, recorder = make_bus_and_recorder()
+        bus.emit("run.admit", "acme-0", tenant="acme", workflow="w", priority=0,
+                 seq=0)
+        bus.emit("run.admit", "beta-0", tenant="beta", workflow="w", priority=0,
+                 seq=1)
+        assert len(parse_events_jsonl(recorder.dump(tenant="acme"))) == 1
+        assert len(parse_events_jsonl(recorder.dump())) == 2
+
+
+class TestTriggers:
+    def test_failed_run_dumps_its_own_story(self):
+        bus, recorder = make_bus_and_recorder()
+        bus.emit("run.admit", "acme-0", tenant="acme", workflow="w", priority=0,
+                 seq=0)
+        bus.emit("run.dispatch", "acme-0", tenant="acme", wait_ticks=1.0)
+        bus.emit("run.finish", "acme-0", tenant="acme", state="failed",
+                 error="boom")
+        assert list(recorder.dumps) == ["000003-failure-acme-0"]
+        story = parse_events_jsonl(recorder.dumps["000003-failure-acme-0"])
+        assert [e.kind for e in story] == ["run.admit", "run.dispatch", "run.finish"]
+        # The dump was announced on the bus.
+        announce = [e for e in bus.events if e.kind == "recorder.dump"]
+        assert len(announce) == 1
+        assert announce[0].attrs["trigger"] == "failure"
+
+    def test_completed_run_does_not_dump(self):
+        bus, recorder = make_bus_and_recorder()
+        bus.emit("run.finish", "acme-0", tenant="acme", state="completed")
+        assert recorder.dumps == {}
+
+    def test_kill_triggers_dump(self):
+        bus, recorder = make_bus_and_recorder()
+        bus.emit("state.checkpoint", "run-9", record="flows.step")
+        bus.emit("state.kill", "run-9", reason="kill switch")
+        assert list(recorder.dumps) == ["000002-kill-run-9"]
+
+    def test_alert_dump_includes_its_own_cause(self):
+        obs = Observability(clock=lambda: 0.0)
+        spec = SloSpec(
+            name="errors",
+            event_kind="run.finish",
+            bad_when=(("attrs.state", "eq", "failed"),),
+            objective=0.9,
+            fast_window=10.0,
+            slow_window=40.0,
+        )
+        recorder, _engine = obs.install_telemetry((spec,))
+        for t in range(3):
+            obs.emit("run.finish", f"acme-{t}", tenant="acme", t=float(t),
+                     state="failed")
+        alert_dumps = [n for n in recorder.dumps if "-alert-" in n]
+        assert alert_dumps == ["000003-alert-errors"]
+        # Alert dumps fall back to the tenant/global ring; the trigger
+        # chain (the failing run.finish, then the alert itself) is present.
+        story = parse_events_jsonl(recorder.dumps[alert_dumps[0]])
+        kinds = [e.kind for e in story]
+        assert "run.finish" in kinds and "slo.alert" in kinds
+
+    def test_dump_is_snapshot_not_live_view(self):
+        bus, recorder = make_bus_and_recorder()
+        bus.emit("run.finish", "acme-0", tenant="acme", state="failed")
+        before = recorder.dumps["000001-failure-acme-0"]
+        bus.emit("run.finish", "acme-0", tenant="acme", state="failed")
+        assert recorder.dumps["000001-failure-acme-0"] == before
+
+
+class TestDeterminism:
+    def test_same_stream_same_dumps(self):
+        def run_once():
+            bus, recorder = make_bus_and_recorder()
+            for t in range(6):
+                bus.emit("run.finish", f"acme-{t % 2}", tenant="acme",
+                         t=float(t), state="failed" if t % 3 == 0 else "completed")
+            return dict(recorder.dumps)
+
+        assert run_once() == run_once()

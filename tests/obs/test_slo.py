@@ -1,0 +1,169 @@
+"""SLO engine semantics: burn-rate math, fire/resolve, windows, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import EventBus, SloEngine, SloSpec, default_service_slos
+
+
+def error_rate_spec(**overrides):
+    base = dict(
+        name="errors",
+        event_kind="run.finish",
+        bad_when=(("attrs.state", "eq", "failed"),),
+        objective=0.9,  # 10% error budget
+        fast_window=10.0,
+        slow_window=40.0,
+        burn_threshold=2.0,  # fires at >= 20% bad in both windows
+    )
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+def finish(bus, t, state, tenant="acme"):
+    bus.emit("run.finish", f"{tenant}-{t}", tenant=tenant, t=t, state=state)
+
+
+class TestSpecValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ValidationError):
+            error_rate_spec(objective=1.0)
+        with pytest.raises(ValidationError):
+            error_rate_spec(objective=0.0)
+
+    def test_window_ordering(self):
+        with pytest.raises(ValidationError):
+            error_rate_spec(fast_window=50.0, slow_window=10.0)
+
+    def test_bad_when_ops(self):
+        with pytest.raises(ValidationError):
+            error_rate_spec(bad_when=(("attrs.state", "matches", "x"),))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            SloEngine((error_rate_spec(), error_rate_spec()))
+
+
+class TestBurnRate:
+    def test_fires_when_both_windows_burn(self):
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(),)).attach(bus)
+        # Fires at the first failure: 1 bad of 3 in the fast window is a
+        # 33% bad fraction against a 10% budget — burn 10/3.
+        for t, state in enumerate(
+            ["completed", "completed", "failed", "completed", "failed"]
+        ):
+            finish(bus, float(t), state)
+        assert engine.active_alerts() == ["errors"]
+        assert [(n, v) for n, v, _ in engine.alert_log] == [("errors", "slo.alert")]
+        alert = [e for e in bus.events if e.kind == "slo.alert"][0]
+        assert alert.key == "errors"
+        assert alert.attrs["burn_fast"] == pytest.approx(10.0 / 3.0, abs=1e-4)
+
+    def test_resolves_when_fast_window_recovers(self):
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(),)).attach(bus)
+        for t, state in enumerate(["failed", "failed", "completed"]):
+            finish(bus, float(t), state)
+        assert engine.active_alerts() == ["errors"]
+        # A run of successes pushes the bad events out of the fast window.
+        for t in range(12, 24):
+            finish(bus, float(t), "completed")
+        assert engine.active_alerts() == []
+        verdicts = [(n, v) for n, v, _ in engine.alert_log]
+        assert verdicts == [("errors", "slo.alert"), ("errors", "slo.resolve")]
+        kinds = [e.kind for e in bus.events if e.kind.startswith("slo.")]
+        assert kinds == ["slo.alert", "slo.resolve"]
+
+    def test_good_traffic_never_fires(self):
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(),)).attach(bus)
+        for t in range(50):
+            finish(bus, float(t), "completed")
+        assert engine.alert_log == []
+        assert engine.budget_remaining("errors") == 1.0
+
+    def test_slow_window_guards_against_stale_burn(self):
+        # A burst of old failures outside the slow window must not count.
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(),)).attach(bus)
+        for t in range(3):
+            finish(bus, float(t), "failed")
+        assert engine.active_alerts() == ["errors"]
+        for t in range(100, 160):
+            finish(bus, float(t), "completed")
+        report = engine.report()["specs"]["errors"]
+        assert report["active"] is False
+        assert report["burn_slow"] == 0.0
+
+    def test_min_events_floor(self):
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(min_events=3),)).attach(bus)
+        finish(bus, 0.0, "failed")
+        assert engine.active_alerts() == []  # 1/1 bad but below the floor
+        finish(bus, 1.0, "failed")
+        finish(bus, 2.0, "failed")
+        assert engine.active_alerts() == ["errors"]
+
+    def test_tenant_filter(self):
+        bus = EventBus()
+        engine = SloEngine(
+            (error_rate_spec(tenant="beta"),)
+        ).attach(bus)
+        for t in range(5):
+            finish(bus, float(t), "failed", tenant="acme")
+        assert engine.active_alerts() == []
+        for t in range(5, 8):
+            finish(bus, float(t), "failed", tenant="beta")
+        assert engine.active_alerts() == ["errors"]
+
+    def test_verdict_events_do_not_feed_indicators(self):
+        # A spec watching slo.alert-shaped traffic must not recurse.
+        bus = EventBus()
+        engine = SloEngine((error_rate_spec(),)).attach(bus)
+        for t in range(3):
+            finish(bus, float(t), "failed")
+        assert len([e for e in bus.events if e.kind == "slo.alert"]) == 1
+
+
+class TestLatencyQuantiles:
+    def test_value_field_histogram_reports_quantiles(self):
+        spec = SloSpec(
+            name="latency",
+            event_kind="run.dispatch",
+            bad_when=(("attrs.wait_ticks", "gt", 50.0),),
+            objective=0.99,
+            fast_window=100.0,
+            slow_window=1000.0,
+            value_field="attrs.wait_ticks",
+            value_bounds=(1, 2, 5, 10, 20, 50, 100),
+        )
+        bus = EventBus()
+        engine = SloEngine((spec,)).attach(bus)
+        for t, wait in enumerate([1.0, 2.0, 2.0, 4.0, 8.0, 60.0]):
+            bus.emit("run.dispatch", f"t-{t}", t=float(t), wait_ticks=wait)
+        report = engine.report()["specs"]["latency"]
+        assert report["bad"] == 1
+        assert 0.0 < report["p50"] <= 5.0
+        assert report["p99"] <= 60.0
+
+
+class TestReport:
+    def test_report_is_json_serializable_and_deterministic(self):
+        def run_once():
+            bus = EventBus()
+            engine = SloEngine(default_service_slos(("acme",))).attach(bus)
+            for t in range(8):
+                bus.emit("run.dispatch", f"acme-{t}", tenant="acme", t=float(t),
+                         wait_ticks=float(t * 30))
+                finish(bus, float(t), "failed" if t % 2 else "completed")
+            return engine.report_json(), bus.to_jsonl()
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        json.loads(first[0])  # valid JSON

@@ -1,0 +1,127 @@
+"""`repro top` model and renderer: live vs replayed frames must agree."""
+
+from __future__ import annotations
+
+from repro.obs import EventBus, TopModel, render_top
+
+
+def drive(bus):
+    """A small scripted service episode across two tenants."""
+    bus.emit("run.admit", "acme-0", tenant="acme", t=0.0, workflow="w",
+             priority=1, seq=0)
+    bus.emit("run.admit", "acme-1", tenant="acme", t=0.0, workflow="w",
+             priority=1, seq=1)
+    bus.emit("run.admit", "beta-0", tenant="beta", t=0.0, workflow="w",
+             priority=0, seq=2)
+    bus.emit("run.reject", "beta", tenant="beta", t=1.0, reason="queue-full",
+             workflow="w")
+    bus.emit("gang.form", "acme-0", t=1.0, size=2, capacity=4,
+             tickets=["acme-0", "acme-1"])
+    bus.emit("gang.flush", "acme-0", t=1.0, size=2, fused=True)
+    bus.emit("run.dispatch", "acme-0", tenant="acme", t=1.0, wait_ticks=1.0)
+    bus.emit("run.dispatch", "acme-1", tenant="acme", t=1.0, wait_ticks=1.0)
+    bus.emit("run.finish", "acme-0", tenant="acme", t=3.0, state="completed")
+    bus.emit("run.finish", "acme-1", tenant="acme", t=3.0, state="failed")
+    bus.emit("run.finish", "beta-0", tenant="beta", t=3.0, state="cancelled")
+
+
+class TestModel:
+    def test_tenant_tallies(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        drive(bus)
+        assert model.tenants["acme"] == {
+            "admitted": 2, "rejected": 0, "queued": 0, "running": 0,
+            "completed": 1, "failed": 1, "cancelled": 0,
+        }
+        assert model.tenants["beta"] == {
+            "admitted": 1, "rejected": 1, "queued": 0, "running": 0,
+            "completed": 0, "failed": 0, "cancelled": 1,
+        }
+
+    def test_in_flight_counts(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        bus.emit("run.admit", "acme-0", tenant="acme", t=0.0, workflow="w",
+                 priority=1, seq=0)
+        bus.emit("run.admit", "acme-1", tenant="acme", t=0.0, workflow="w",
+                 priority=1, seq=1)
+        bus.emit("run.dispatch", "acme-0", tenant="acme", t=1.0, wait_ticks=1.0)
+        row = model.tenants["acme"]
+        assert (row["queued"], row["running"]) == (1, 1)
+
+    def test_gang_fill_ratio(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        drive(bus)
+        assert model.gangs == 1
+        assert model.gang_fill_ratio() == 0.5
+        assert model.fused_payloads == 2
+
+    def test_alert_lifecycle(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        bus.emit("slo.alert", "errors", t=1.0, slo="errors", burn_fast=4.0,
+                 burn_slow=3.0)
+        assert model.active_alerts == {"errors": 4.0}
+        bus.emit("slo.resolve", "errors", t=2.0, slo="errors", burn_fast=0.5)
+        assert model.active_alerts == {}
+        assert (model.alerts_fired, model.alerts_resolved) == (1, 1)
+
+    def test_partial_log_replay_does_not_go_negative(self):
+        # Replaying a tail segment: dispatch/finish for tickets whose
+        # admits were truncated away must not underflow the queue.
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        bus.emit("run.dispatch", "ghost-0", tenant="acme", t=5.0, wait_ticks=2.0)
+        bus.emit("run.finish", "ghost-0", tenant="acme", t=6.0, state="completed")
+        row = model.tenants["acme"]
+        assert (row["queued"], row["running"], row["completed"]) == (0, 0, 1)
+
+
+class TestReplayEquivalence:
+    def test_live_and_replayed_frames_are_identical(self):
+        bus = EventBus()
+        live = TopModel().attach(bus)
+        drive(bus)
+        replayed = TopModel.from_jsonl(bus.to_jsonl())
+        assert render_top(replayed) == render_top(live)
+
+    def test_render_is_deterministic(self):
+        def frame():
+            bus = EventBus()
+            model = TopModel().attach(bus)
+            drive(bus)
+            return render_top(model)
+
+        assert frame() == frame()
+
+
+class TestRender:
+    def test_frame_shape(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        drive(bus)
+        frame = render_top(model)
+        assert frame.startswith("repro top — t=3  events=11  dumps=0")
+        assert "tenants" in frame and "gangs:" in frame
+        assert frame.endswith("ALERTS: none")
+
+    def test_frame_with_slo_report_and_alerts(self):
+        bus = EventBus()
+        model = TopModel().attach(bus)
+        drive(bus)
+        bus.emit("slo.alert", "run-errors", t=3.0, slo="run-errors",
+                 burn_fast=4.0, burn_slow=3.0)
+        report = {
+            "specs": {
+                "run-errors": {
+                    "objective": 0.95, "events": 3, "bad": 1,
+                    "burn_fast": 4.0, "burn_slow": 3.0,
+                    "budget_remaining": 0.2, "active": True,
+                }
+            }
+        }
+        frame = render_top(model, report)
+        assert "FIRING" in frame
+        assert "ALERTS: run-errors (burn 4)" in frame

@@ -1,0 +1,227 @@
+"""Gateway telemetry: event/counter reconciliation, span hygiene, top view.
+
+The structured event log is a second witness to the gateway's counters —
+every admission, rejection, dispatch, and terminal transition must appear
+in both, and the ``repro top`` model folded from the events must agree
+with ``service_view()``.  Also holds the regression test for the queued-
+then-cancelled span leak: cancel used to close the submission span with
+status ``ok`` (and ``close()`` left non-terminal spans dangling).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QueueFullError
+from repro.obs import Observability, TopModel
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    GangPolicy,
+    RunGateway,
+    SubmitRequest,
+    TenantConfig,
+)
+
+from tests.service.conftest import PALETTE_SEEDS, palette_config
+
+
+def make_gateway(warm_memo, obs, *, max_queued=8, gang=None):
+    return RunGateway(
+        [
+            TenantConfig("acme", weight=2.0, max_queued=max_queued,
+                         max_running=2),
+            TenantConfig("beta", weight=1.0, max_queued=max_queued,
+                         max_running=2),
+        ],
+        shards=2,
+        memo_cache=warm_memo,
+        observability=obs,
+        gang=gang,
+    )
+
+
+def kinds(obs):
+    return obs.events.kinds()
+
+
+class TestEventCounterReconciliation:
+    def test_burst_events_reconcile_with_counters(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs, max_queued=2)
+        # 2 admitted for acme, 1 for beta; the 4th submission overflows
+        # acme's queue; one queued submission is cancelled.
+        t0 = gw.submit(SubmitRequest(tenant="acme", config=palette_config(9000)))
+        t1 = gw.submit(SubmitRequest(tenant="acme", config=palette_config(9001)))
+        gw.submit(SubmitRequest(tenant="beta", config=palette_config(9002)))
+        with pytest.raises(QueueFullError):
+            gw.submit(SubmitRequest(tenant="acme", config=palette_config(9003)))
+        gw.cancel(t1.ticket)
+        gw.drain(max_ticks=500)
+
+        view = obs.service_view()
+        events = obs.events.events
+        admits = [e for e in events if e.kind == "run.admit"]
+        rejects = [e for e in events if e.kind == "run.reject"]
+        finishes = [e for e in events if e.kind == "run.finish"]
+        dispatches = [e for e in events if e.kind == "run.dispatch"]
+
+        assert view["admitted"] == len(admits) == 3
+        assert view["queue_rejects"] == len(
+            [e for e in rejects if e.attrs["reason"] == "queue-full"]
+        ) == 1
+        assert view["started"] == len(dispatches) == 2
+        by_state = {
+            s: len([e for e in finishes if e.attrs["state"] == s])
+            for s in ("completed", "cancelled", "failed")
+        }
+        assert view["completed"] == by_state["completed"] == 2
+        assert view["cancelled"] == by_state["cancelled"] == 1
+        assert view["failed"] == by_state["failed"] == 0
+        # Every admit carries the span that traces the submission.
+        assert all(e.span_id for e in admits)
+        assert {e.tenant for e in admits} == {"acme", "beta"}
+        assert t0.ticket in {e.key for e in dispatches}
+
+    def test_reject_reasons_are_typed(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs)
+        from repro.common.errors import AdmissionError
+
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", workflow="quantum"))
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", config={"sim_days": -5}))
+        gw.close()
+        with pytest.raises(AdmissionError):
+            gw.submit(SubmitRequest(tenant="acme", config=palette_config(9000)))
+        reasons = [
+            e.attrs["reason"] for e in obs.events.events if e.kind == "run.reject"
+        ]
+        assert reasons == ["unknown-workflow", "invalid-config", "closed"]
+
+    def test_gang_events_reconcile_with_gang_counters(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs, gang=GangPolicy(max_gang=4))
+        for i, seed in enumerate(PALETTE_SEEDS[:4]):
+            gw.submit(
+                SubmitRequest(tenant=("acme", "beta")[i % 2],
+                              config=palette_config(seed))
+            )
+        gw.drain(max_ticks=500)
+        view = obs.service_view()
+        events = obs.events.events
+        forms = [e for e in events if e.kind == "gang.form"]
+        flushes = [e for e in events if e.kind == "gang.flush"]
+        assert view["gang"]["gangs"] == len(forms)
+        assert view["gang"]["members"] == sum(e.attrs["size"] for e in forms)
+        assert view["gang"]["flushes"] == len(flushes)
+        assert view["gang"]["fused_payloads"] == sum(
+            e.attrs["size"] for e in flushes if e.attrs["fused"]
+        )
+
+    def test_top_model_agrees_with_service_view(self, warm_memo):
+        obs = Observability()
+        model = TopModel().attach(obs.events)
+        gw = make_gateway(warm_memo, obs)
+        tickets = [
+            gw.submit(SubmitRequest(tenant="acme", config=palette_config(seed)))
+            for seed in PALETTE_SEEDS[:3]
+        ]
+        gw.cancel(tickets[2].ticket)
+        gw.drain(max_ticks=500)
+        view = obs.service_view()
+        acme = model.tenants["acme"]
+        assert acme["admitted"] == view["admitted"] == 3
+        assert acme["completed"] == view["completed"] == 2
+        assert acme["cancelled"] == view["cancelled"] == 1
+        assert acme["queued"] == acme["running"] == 0
+        # Replay of the serialized log reaches the identical model state.
+        replayed = TopModel.from_jsonl(obs.events.to_jsonl())
+        assert replayed.tenants == model.tenants
+
+
+class TestSpanHygiene:
+    """Regression: queued-then-cancelled submissions leaked `ok` spans."""
+
+    def test_cancelled_span_closes_with_cancelled_status(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        gw.cancel(ticket)
+        gw.drain(max_ticks=10)
+        span = next(
+            s for s in obs.tracer.spans if s.name == f"run:{ticket}"
+        )
+        assert span.finished
+        assert span.status == CANCELLED
+        assert span.attrs["state"] == CANCELLED
+
+    def test_completed_span_keeps_ok_status(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        gw.drain(max_ticks=500)
+        span = next(s for s in obs.tracer.spans if s.name == f"run:{ticket}")
+        assert (span.status, span.attrs["state"]) == ("ok", COMPLETED)
+
+    def test_close_leaves_no_open_submission_spans(self, warm_memo):
+        obs = Observability()
+        gw = make_gateway(warm_memo, obs)
+        ticket = gw.submit(
+            SubmitRequest(tenant="acme", config=palette_config(9000))
+        ).ticket
+        gw.close()  # still queued: never ran
+        span = next(s for s in obs.tracer.spans if s.name == f"run:{ticket}")
+        assert span.finished
+        assert span.status == "aborted"
+        open_run_spans = [
+            s
+            for s in obs.tracer.spans
+            if s.category == "service.run" and not s.finished
+        ]
+        assert open_run_spans == []
+
+
+class TestCliTop:
+    def test_live_frame_matches_replayed_frame(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "svc")
+        events_path = tmp_path / "events.jsonl"
+        assert main([
+            "serve-sim", "--store", store_dir,
+            "--tenants", "acme:2:16:2,beta:1:16:2", "--shards", "2",
+        ]) == 0
+        capsys.readouterr()
+        for tenant, seed in (("acme", 9000), ("beta", 9001)):
+            assert main([
+                "submit", "--store", store_dir, "--tenant", tenant,
+                "--sim-days", "1.1", "--iterations", "100",
+                "--seed", str(seed),
+            ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "top", "--store", store_dir, "--events-out", str(events_path),
+        ]) == 0
+        live = capsys.readouterr().out
+        assert "repro top" in live and "acme" in live and "slos" in live
+
+        assert main(["top", "--events", str(events_path)]) == 0
+        replayed = capsys.readouterr().out
+        # The replayed tenant table is identical to the live one (the
+        # replay frame just omits the live SLO section).
+        assert replayed.splitlines()[0] == live.splitlines()[0]
+        for line in replayed.splitlines():
+            assert line in live
+
+    def test_top_without_source_is_an_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["top"])

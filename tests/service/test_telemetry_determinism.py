@@ -1,0 +1,169 @@
+"""Acceptance: telemetry is a deterministic function of seed + fault plan.
+
+Two gateway bursts with the same submissions, fault plan, and kill script
+must produce byte-identical event logs, the same SLO alert fire/resolve
+sequence, and byte-identical flight-recorder dumps — including across a
+kill/recover cycle, where the concatenated pre-kill + post-recovery logs
+must match between repetitions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkflowKilledError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Observability, TopModel, render_top
+from repro.service import FAILED, RunGateway, SubmitRequest, TenantConfig
+from repro.state import JsonlRunStore, KillSwitch
+
+from tests.service.conftest import PALETTE_SEEDS, palette_config
+
+
+def tenants():
+    return [
+        TenantConfig("acme", weight=2.0, max_queued=32, max_running=2),
+        TenantConfig("beta", weight=1.0, max_queued=32, max_running=2),
+    ]
+
+
+def telemetry(obs):
+    recorder, engine = obs.install_telemetry()
+    return recorder, engine
+
+
+class TestPlainBurst:
+    def run_burst(self, warm_memo):
+        obs = Observability()
+        recorder, engine = telemetry(obs)
+        gw = RunGateway(
+            tenants(), shards=2, memo_cache=warm_memo, observability=obs
+        )
+        cancelled = None
+        for i, seed in enumerate(PALETTE_SEEDS):
+            receipt = gw.submit(
+                SubmitRequest(
+                    tenant=("acme", "beta")[i % 2], config=palette_config(seed)
+                )
+            )
+            if i == 4:
+                cancelled = receipt.ticket
+        gw.cancel(cancelled)
+        gw.drain(max_ticks=2000)
+        gw.close()
+        return (
+            obs.events.to_jsonl(),
+            engine.report_json(),
+            list(engine.alert_log),
+            dict(recorder.dumps),
+        )
+
+    def test_two_bursts_are_byte_identical(self, warm_memo):
+        first = self.run_burst(warm_memo)
+        second = self.run_burst(warm_memo)
+        assert first[0] == second[0]  # event log, byte for byte
+        assert first[1] == second[1]  # SLO report
+        assert first[2] == second[2]  # alert sequence
+        assert first[3] == second[3]  # flight-recorder dumps
+        # The dashboard replayed from the log is deterministic too.
+        frame = render_top(TopModel.from_jsonl(first[0]))
+        assert frame == render_top(TopModel.from_jsonl(second[0]))
+        assert "events=" in frame
+
+
+class TestFaultPlanBurst:
+    """A journal fault kills every run: failures, an alert, auto-dumps."""
+
+    def run_burst(self, warm_memo, store_dir):
+        obs = Observability()
+        recorder, engine = telemetry(obs)
+        gw = RunGateway(
+            tenants(),
+            shards=2,
+            run_store=JsonlRunStore(store_dir),
+            memo_cache=warm_memo,
+            fault_plan=FaultPlan([FaultSpec(site="state.journal", at_time=0.5)]),
+            observability=obs,
+        )
+        ticket_order = []
+        for i, seed in enumerate(PALETTE_SEEDS[:4]):
+            receipt = gw.submit(
+                SubmitRequest(
+                    tenant=("acme", "beta")[i % 2], config=palette_config(seed)
+                )
+            )
+            ticket_order.append(receipt.ticket)
+        gw.drain(max_ticks=2000)
+        states = {t: gw.status(t).state for t in ticket_order}
+        gw.close()
+        return (
+            states,
+            obs.events.to_jsonl(),
+            list(engine.alert_log),
+            dict(recorder.dumps),
+        )
+
+    def test_fault_plan_telemetry_is_deterministic(self, warm_memo, tmp_path):
+        first = self.run_burst(warm_memo, tmp_path / "a")
+        second = self.run_burst(warm_memo, tmp_path / "b")
+        assert set(first[0].values()) == {FAILED}
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        # The error-rate SLO fired, deterministically both times.
+        assert [(name, verdict) for name, verdict, _ in first[2]]
+        assert any(verdict == "slo.alert" for _, verdict, _ in first[2])
+        assert first[2] == second[2]
+        # Every failure captured a dump; dumps are byte-identical.
+        assert any("-failure-" in name for name in first[3])
+        assert any("-alert-" in name for name in first[3])
+        assert first[3] == second[3]
+
+
+class TestKillRecoverCycle:
+    """The service kill composes: pre-kill + post-recovery logs agree."""
+
+    def run_cycle(self, warm_memo, store_dir):
+        store = JsonlRunStore(store_dir)
+        obs_a = Observability()
+        recorder_a, engine_a = telemetry(obs_a)
+        gw = RunGateway(
+            tenants(),
+            shards=2,
+            run_store=store,
+            memo_cache=warm_memo,
+            kill_switch=KillSwitch(after_records=7),
+            observability=obs_a,
+        )
+        service_id = gw.service_run_id
+        with pytest.raises(WorkflowKilledError):
+            for i, seed in enumerate(PALETTE_SEEDS):
+                gw.submit(
+                    SubmitRequest(
+                        tenant=("acme", "beta")[i % 2],
+                        config=palette_config(seed),
+                    )
+                )
+                gw.pump()
+
+        obs_b = Observability()
+        recorder_b, engine_b = telemetry(obs_b)
+        recovered = RunGateway.recover(
+            store, service_id, memo_cache=warm_memo, observability=obs_b
+        )
+        recovered.drain(max_ticks=2000)
+        recovered.close()
+        return (
+            obs_a.events.to_jsonl() + obs_b.events.to_jsonl(),
+            list(engine_a.alert_log) + list(engine_b.alert_log),
+            {**recorder_a.dumps, **recorder_b.dumps},
+        )
+
+    def test_kill_recover_telemetry_is_deterministic(self, warm_memo, tmp_path):
+        first = self.run_cycle(warm_memo, tmp_path / "a")
+        second = self.run_cycle(warm_memo, tmp_path / "b")
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+        # The service kill itself was recorded and dumped.
+        assert "state.kill" in first[0]
+        assert any("-kill-" in name for name in first[2])
